@@ -1,0 +1,90 @@
+"""A1 (ablation) — Section 6.1: what compatible-subcontract routing costs.
+
+Design choice being ablated: every unmarshal *peeks* the subcontract ID
+and, on a mismatch with the expected subcontract, re-routes through the
+per-domain registry.  The alternative (hard-wiring the expected
+subcontract) would be cheaper but would make `cacheable_file`-style
+subtyping impossible (Section 6.1's motivating problem).
+
+Rows: unmarshal when expected == actual (peek only) vs expected != actual
+(peek + registry lookup + delegated unmarshal).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, sim_us
+from repro.core.registry import SubcontractRegistry
+from repro.idl.compiler import compile_idl
+from repro.kernel.nucleus import Kernel
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.simplex import SimplexServer
+from repro.subcontracts.singleton import SingletonServer
+
+MATCHED_IDL = 'interface item { subcontract "simplex"; int32 poke(); }'
+MISMATCHED_IDL = 'interface item { subcontract "singleton"; int32 poke(); }'
+
+
+class Impl:
+    def poke(self):
+        return 1
+
+
+@pytest.fixture
+def world():
+    kernel = Kernel()
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+    matched = compile_idl(MATCHED_IDL, "route_match").binding("item")
+    mismatched = compile_idl(MISMATCHED_IDL, "route_miss").binding("item")
+    exporter = SimplexServer(server)
+    return kernel, server, client, exporter, matched, mismatched
+
+
+def _roundtrip(kernel, server, client, exporter, binding):
+    obj = exporter.export(Impl(), binding)
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(server)
+    binding.unmarshal_from(buffer, client).spring_consume()
+
+
+@pytest.mark.benchmark(group="A1-routing")
+def bench_unmarshal_expected_matches(benchmark, world):
+    kernel, server, client, exporter, matched, _ = world
+    benchmark(_roundtrip, kernel, server, client, exporter, matched)
+
+
+@pytest.mark.benchmark(group="A1-routing")
+def bench_unmarshal_routed_through_registry(benchmark, world):
+    kernel, server, client, exporter, _, mismatched = world
+    benchmark(_roundtrip, kernel, server, client, exporter, mismatched)
+
+
+@pytest.mark.benchmark(group="A1-routing")
+def bench_a1_shape_and_record(benchmark, world, record):
+    kernel, server, client, exporter, matched, mismatched = world
+    benchmark(_roundtrip, kernel, server, client, exporter, matched)
+
+    direct = min(
+        sim_us(kernel, lambda: _roundtrip(kernel, server, client, exporter, matched))
+        for _ in range(5)
+    )
+    routed = min(
+        sim_us(
+            kernel, lambda: _roundtrip(kernel, server, client, exporter, mismatched)
+        )
+        for _ in range(5)
+    )
+    record("A1", f"unmarshal, expected==actual: {direct:8.2f} sim-us")
+    record("A1", f"unmarshal, routed:           {routed:8.2f} sim-us")
+    record("A1", f"routing adds:                {routed - direct:8.2f} sim-us")
+
+    # Shape: routing costs one extra indirection — a small constant, not
+    # a multiple.  That is the price of Section 6.1's flexibility.
+    assert routed > direct
+    assert routed - direct < 0.05 * direct

@@ -1,0 +1,72 @@
+"""A2 (ablation) — how the caching subcontract's win scales with network
+latency.
+
+The paper's Figure 5 setup presumes a network expensive enough that a
+machine-local cache pays off.  This ablation sweeps the fabric latency to
+show where that presumption holds: the warm-read speedup grows linearly
+with latency, while the registration overhead (E5's unmarshal cost) is
+amortized over fewer reads as the network gets slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import sim_us
+from repro.runtime.env import Environment
+from repro.services.fs import FileServer, fs_module
+from repro.marshal.buffer import MarshalBuffer
+
+LATENCIES = (100.0, 500.0, 2500.0, 12500.0)
+
+
+def _world(latency_us: float):
+    env = Environment(latency_us=latency_us)
+    env.install_cache_manager(env.machine("desk"))
+    fs_domain = env.create_domain("file-server", "fs")
+    client = env.create_domain("desk", "user")
+    file_server = FileServer(fs_domain)
+    file_server.make_file("/doc", b"d" * 512)
+    root = file_server.root.spring_copy()
+    buffer = MarshalBuffer(env.kernel)
+    root._subcontract.marshal(root, buffer)
+    buffer.seal_for_transmission(fs_domain)
+    fs = fs_module().binding("file_system").unmarshal_from(buffer, client)
+    return env, fs
+
+
+@pytest.mark.benchmark(group="A2-latency")
+@pytest.mark.parametrize("latency", LATENCIES)
+def bench_warm_read_at_latency(benchmark, latency):
+    env, fs = _world(latency)
+    handle = fs.open_cached("/doc")
+    handle.read(0, 64)
+    benchmark(handle.read, 0, 64)
+
+
+@pytest.mark.benchmark(group="A2-latency")
+def bench_a2_shape_and_record(benchmark, record):
+    env0, fs0 = _world(LATENCIES[0])
+    handle0 = fs0.open_cached("/doc")
+    handle0.read(0, 64)
+    benchmark(handle0.read, 0, 64)
+
+    speedups = []
+    for latency in LATENCIES:
+        env, fs = _world(latency)
+        plain = fs.open("/doc")
+        cached = fs.open_cached("/doc")
+        cached.read(0, 64)  # warm
+        remote = min(sim_us(env, lambda: plain.read(0, 64)) for _ in range(3))
+        warm = min(sim_us(env, lambda: cached.read(0, 64)) for _ in range(3))
+        speedup = remote / warm
+        speedups.append(speedup)
+        record(
+            "A2",
+            f"latency={latency:8.0f} us: remote {remote:9.1f}, "
+            f"warm {warm:7.1f}, speedup {speedup:6.1f}x",
+        )
+
+    # Shape: the slower the network, the bigger caching's win — strictly
+    # monotone because warm reads never touch the fabric.
+    assert all(speedups[i] < speedups[i + 1] for i in range(len(speedups) - 1))

@@ -1,0 +1,102 @@
+"""A4 (ablation) — object migration as a subcontract.
+
+Section 1 lists object migration among the semantics whole RPC systems
+were built around; `repro.subcontracts.migratory` supplies it as a plug-in
+subcontract instead.  The interesting curve: mean per-call latency for a
+client that makes N calls, as a function of N.  The first
+``DEFAULT_THRESHOLD`` calls pay remote prices plus a one-time state
+transfer; everything after is local, so the amortized cost collapses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import ship, sim_us
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.subcontracts.migratory import DEFAULT_THRESHOLD, MigratoryServer
+from repro.subcontracts.singleton import SingletonServer
+
+
+class Tally:
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def add(self, n):
+        self.value += n
+        return self.value
+
+    def total(self):
+        return self.value
+
+    def reset(self):
+        self.value = 0
+
+    def migrate_out(self) -> bytes:
+        return json.dumps(self.value).encode()
+
+    @classmethod
+    def migrate_in(cls, state: bytes) -> "Tally":
+        return cls(json.loads(state.decode()))
+
+
+CALL_COUNTS = (1, 3, 10, 50, 200)
+
+
+def _client_object(counter_module, server_cls):
+    env = Environment()
+    server = env.create_domain("east", "server")
+    client = env.create_domain("west", "client")
+    binding = counter_module.binding("counter")
+    exported = server_cls(server).export(Tally(), binding)
+    return env, ship(env.kernel, server, client, exported, binding)
+
+
+@pytest.mark.benchmark(group="A4-migration")
+def bench_call_before_migration(benchmark, counter_module):
+    env, obj = _client_object(counter_module, MigratoryServer)
+    obj._subcontract.migration_threshold = None  # pin it remote
+    benchmark(obj.total)
+
+
+@pytest.mark.benchmark(group="A4-migration")
+def bench_call_after_migration(benchmark, counter_module):
+    env, obj = _client_object(counter_module, MigratoryServer)
+    obj._subcontract.migrate(obj)
+    benchmark(obj.total)
+
+
+@pytest.mark.benchmark(group="A4-migration")
+def bench_a4_shape_and_record(benchmark, counter_module, record):
+    env0, warmed = _client_object(counter_module, MigratoryServer)
+    warmed._subcontract.migrate(warmed)
+    benchmark(warmed.total)
+
+    singleton_mean = None
+    means = []
+    for calls in CALL_COUNTS:
+        env_m, migratory_obj = _client_object(counter_module, MigratoryServer)
+        total = sum(sim_us(env_m, migratory_obj.total) for _ in range(calls))
+        mean = total / calls
+        means.append(mean)
+
+        env_s, singleton_obj = _client_object(counter_module, SingletonServer)
+        s_total = sum(sim_us(env_s, singleton_obj.total) for _ in range(calls))
+        singleton_mean = s_total / calls
+        record(
+            "A4",
+            f"N={calls:4d} calls: migratory mean {mean:9.1f} sim-us, "
+            f"server-based mean {singleton_mean:9.1f} sim-us",
+        )
+
+    # Shape: the classic migration trade-off.  N at the threshold pays a
+    # *premium* over staying remote (the state transfer lands there);
+    # beyond it the amortized cost falls monotonically and ends far below
+    # the stay-remote cost.
+    assert means[1] > means[0]  # the migration call itself is the hump
+    assert all(means[i] > means[i + 1] for i in range(1, len(means) - 1))
+    assert means[1] > singleton_mean  # premium at the threshold
+    assert means[-1] < 0.1 * singleton_mean

@@ -1,0 +1,115 @@
+"""A5 (ablation) — Section 8.4: the video subcontract's media path.
+
+"One [future direction] is to develop a subcontract that lets video
+objects encapsulate a specific network packet protocol for live video."
+
+Series regenerated: delivery ratio and per-frame cost of the datagram
+media path versus pushing the same frames as reliable door calls, and the
+media path's graceful degradation under loss — the property live video
+wants (a late/lost frame is worthless; never stall the stream for it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ship, sim_us
+from repro.idl.compiler import compile_idl
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.subcontracts.singleton import SingletonServer
+from repro.subcontracts.video import VideoServer
+
+FEED_IDL = """
+interface feed {
+    subcontract "video";
+    void push_frame(bytes frame);   // the reliable-path alternative
+    string title();
+}
+"""
+
+LOSS_RATES = (0.0, 0.1, 0.3)
+FRAME = b"f" * 256
+FRAMES = 50
+
+
+class FeedImpl:
+    def __init__(self):
+        self.pushed = 0
+
+    def push_frame(self, frame):
+        self.pushed += 1
+
+    def title(self):
+        return "bench"
+
+
+def _world(loss):
+    env = Environment(datagram_loss=loss, seed=7)
+    module = compile_idl(FEED_IDL, f"a5_feed_{loss}")
+    binding = module.binding("feed")
+    server = env.create_domain("studio", "server")
+    client = env.create_domain("home", "client")
+    video_server = VideoServer(server)
+    obj = ship(
+        env.kernel, server, client, video_server.export(FeedImpl(), binding), binding
+    )
+    return env, video_server, obj
+
+
+@pytest.mark.benchmark(group="A5-video")
+def bench_media_path_batch(benchmark, counter_module):
+    env, video_server, obj = _world(0.0)
+    received = []
+    obj._subcontract.subscribe(obj, lambda seq, data: received.append(seq))
+    benchmark(video_server.pump_frames, [FRAME] * 10)
+
+
+@pytest.mark.benchmark(group="A5-video")
+def bench_reliable_path_batch(benchmark, counter_module):
+    env, _, obj = _world(0.0)
+
+    def push_batch():
+        for _ in range(10):
+            obj.push_frame(FRAME)
+
+    benchmark(push_batch)
+
+
+@pytest.mark.benchmark(group="A5-video")
+def bench_a5_shape_and_record(benchmark, record):
+    env0, video_server0, obj0 = _world(0.0)
+    received0: list[int] = []
+    obj0._subcontract.subscribe(obj0, lambda seq, data: received0.append(seq))
+    benchmark(video_server0.pump_frames, [FRAME])
+
+    # Per-frame cost: media datagram vs reliable door call.
+    media_cost = sim_us(env0, lambda: video_server0.pump_frames([FRAME]))
+    reliable_cost = sim_us(env0, lambda: obj0.push_frame(FRAME))
+    record("A5", f"media frame:    {media_cost:9.1f} sim-us (fire-and-forget)")
+    record("A5", f"reliable frame: {reliable_cost:9.1f} sim-us (door round trip)")
+    # One-way datagram beats the two-way door call.
+    assert media_cost < reliable_cost
+
+    # Loss sweep: delivery degrades gracefully, order is preserved, the
+    # control path keeps working, and the sender never stalls.
+    for loss in LOSS_RATES:
+        env, video_server, obj = _world(loss)
+        received: list[int] = []
+        obj._subcontract.subscribe(obj, lambda seq, data: received.append(seq))
+        before = env.clock.now_us
+        sent = video_server.pump_frames([FRAME] * FRAMES)
+        elapsed = env.clock.now_us - before
+        ratio = len(received) / sent
+        record(
+            "A5",
+            f"loss={loss:4.0%}: delivered {len(received)}/{sent} "
+            f"({ratio:4.0%}), sender time {elapsed:9.1f} sim-us",
+        )
+        assert sent == FRAMES
+        assert received == sorted(received)
+        assert obj.title() == "bench"
+        if loss == 0.0:
+            assert ratio == 1.0
+        else:
+            assert 1.0 - loss - 0.25 < ratio < 1.0 - loss + 0.25

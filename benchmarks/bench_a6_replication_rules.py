@@ -1,0 +1,112 @@
+"""A6 (ablation) — §5: simple vs elaborate replication rules.
+
+"In the case of replicon the clients are required to talk only to a
+single server and the servers are required to perform their own state
+synchronization.  (Other subcontracts for replication use more elaborate
+rules.)"
+
+Series regenerated: per-write and per-read cost vs replica count R for
+
+* **replicon** — client sends one door call; servers synchronize
+  themselves (free in simulated time: it models an out-of-band channel);
+* **rowa** — the client subcontract fans writes out to all R replicas.
+
+Shape: replicon's write cost is flat in R; rowa's grows linearly (R door
+calls).  Reads cost one door call under both rules.  That is precisely
+the trade surface that makes replication policy a per-object choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, sim_us
+from repro.core.registry import SubcontractRegistry
+from repro.kernel.nucleus import Kernel
+from repro.runtime.transfer import transfer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.replicon import RepliconGroup
+from repro.subcontracts.rowa import RowaGroup
+
+REPLICAS = (1, 2, 4, 8)
+
+
+class SyncedCounter(CounterImpl):
+    def __init__(self, group):
+        super().__init__()
+        self._group = group
+
+    def add(self, n):
+        self._group.broadcast(lambda impl: impl._apply(n))
+        return self.value
+
+    def _apply(self, n):
+        self.value += n
+
+
+def _world(r, counter_module, flavour):
+    kernel = Kernel()
+    binding = counter_module.binding("counter")
+    domains = []
+    for i in range(r):
+        domain = kernel.create_domain(f"replica-{i}")
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+        domains.append(domain)
+    client = kernel.create_domain("client")
+    SubcontractRegistry(client).register_many(standard_subcontracts())
+
+    if flavour == "replicon":
+        group = RepliconGroup(binding)
+        for domain in domains:
+            group.add_replica(domain, SyncedCounter(group))
+    else:
+        group = RowaGroup(binding, read_ops=("total",))
+        for domain in domains:
+            group.add_replica(domain, CounterImpl())
+    obj = transfer(group.make_object(domains[0]), client)
+    return kernel, obj
+
+
+@pytest.mark.benchmark(group="A6-replication")
+@pytest.mark.parametrize("r", REPLICAS)
+def bench_replicon_write(benchmark, counter_module, r):
+    kernel, obj = _world(r, counter_module, "replicon")
+    benchmark(obj.add, 1)
+
+
+@pytest.mark.benchmark(group="A6-replication")
+@pytest.mark.parametrize("r", REPLICAS)
+def bench_rowa_write(benchmark, counter_module, r):
+    kernel, obj = _world(r, counter_module, "rowa")
+    benchmark(obj.add, 1)
+
+
+@pytest.mark.benchmark(group="A6-replication")
+def bench_a6_shape_and_record(benchmark, counter_module, record):
+    kernel0, obj0 = _world(2, counter_module, "rowa")
+    benchmark(obj0.total)
+
+    replicon_writes = []
+    rowa_writes = []
+    for r in REPLICAS:
+        k1, replicon_obj = _world(r, counter_module, "replicon")
+        k2, rowa_obj = _world(r, counter_module, "rowa")
+        w_replicon = min(sim_us(k1, lambda: replicon_obj.add(1)) for _ in range(3))
+        w_rowa = min(sim_us(k2, lambda: rowa_obj.add(1)) for _ in range(3))
+        r_replicon = min(sim_us(k1, replicon_obj.total) for _ in range(3))
+        r_rowa = min(sim_us(k2, rowa_obj.total) for _ in range(3))
+        replicon_writes.append(w_replicon)
+        rowa_writes.append(w_rowa)
+        record(
+            "A6",
+            f"R={r}: write replicon {w_replicon:8.1f} / rowa {w_rowa:8.1f} "
+            f"sim-us; read replicon {r_replicon:6.1f} / rowa {r_rowa:6.1f}",
+        )
+        # Reads cost one door call under both rules.
+        assert abs(r_replicon - r_rowa) < 0.1 * r_replicon
+
+    # Shape: replicon's write is flat in R; rowa's grows ~linearly.
+    assert max(replicon_writes) - min(replicon_writes) < 0.1 * replicon_writes[0]
+    assert rowa_writes[-1] > 6 * rowa_writes[0]
+    for earlier, later in zip(rowa_writes, rowa_writes[1:]):
+        assert later > earlier

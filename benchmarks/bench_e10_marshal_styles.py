@@ -1,0 +1,163 @@
+"""E10 — Section 2.1: marshalling styles.
+
+The related-work section contrasts three ways of marshalling objects:
+
+* marshal the internal state (by value) — right for "lightweight
+  abstractions, such as an object representing a cartesian coordinate
+  pair";
+* marshal an identifying token (by reference, Eden-style) — right for
+  "heavyweight objects, such as files or databases";
+* let the object's own machinery choose — the subcontract answer.
+
+Series regenerated: transmission cost by state size for by-value vs
+by-reference, showing the crossover that motivates supporting both; plus
+the post-transmission access cost, where by-value is free and
+by-reference pays a remote call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ship, sim_us
+from repro.idl.compiler import compile_idl
+from repro.kernel.nucleus import Kernel
+from repro.core.registry import SubcontractRegistry
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.singleton import SingletonServer
+
+STYLES_IDL = """
+struct payload {
+    bytes state;
+}
+
+interface holder {
+    bytes state();
+}
+
+interface sink {
+    void take_value(payload p);
+    void take_reference(holder h);
+}
+"""
+
+SIZES = (16, 256, 4096, 65536)
+
+
+@pytest.fixture
+def world():
+    module = compile_idl(STYLES_IDL, "marshal_styles")
+    kernel = Kernel()
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+
+    received = {}
+
+    class SinkImpl:
+        def take_value(self, p):
+            received["value"] = p
+
+        def take_reference(self, h):
+            received["reference"] = h
+
+    sink = ship(
+        kernel,
+        server,
+        client,
+        SingletonServer(server).export(SinkImpl(), module.binding("sink")),
+        module.binding("sink"),
+    )
+    return kernel, client, sink, module, received
+
+
+class HolderImpl:
+    def __init__(self, state: bytes) -> None:
+        self._state = state
+
+    def state(self) -> bytes:
+        return self._state
+
+
+@pytest.mark.benchmark(group="E10-styles")
+@pytest.mark.parametrize("size", SIZES)
+def bench_transmit_by_value(benchmark, world, size):
+    kernel, client, sink, module, _ = world
+    payload = module.payload(state=b"s" * size)
+    benchmark(sink.take_value, payload)
+
+
+@pytest.mark.benchmark(group="E10-styles")
+@pytest.mark.parametrize("size", SIZES)
+def bench_transmit_by_reference(benchmark, world, size):
+    kernel, client, sink, module, _ = world
+    exporter = SingletonServer(client)
+
+    def run():
+        holder = exporter.export(HolderImpl(b"s" * size), module.binding("holder"))
+        sink.take_reference(holder)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="E10-styles")
+def bench_e10_shape_and_record(benchmark, world, record):
+    kernel, client, sink, module, received = world
+    exporter = SingletonServer(client)
+    benchmark(sink.take_value, module.payload(state=b"s" * 16))
+
+    crossover_seen = False
+    previous_delta = None
+    for size in SIZES:
+        state = b"s" * size
+        value_cost = min(
+            sim_us(kernel, lambda: sink.take_value(module.payload(state=state)))
+            for _ in range(3)
+        )
+
+        def by_reference():
+            holder = exporter.export(HolderImpl(state), module.binding("holder"))
+            sink.take_reference(holder)
+
+        reference_cost = min(sim_us(kernel, by_reference) for _ in range(3))
+        record(
+            "E10",
+            f"state={size:6d}B: by-value {value_cost:9.1f} sim-us, "
+            f"by-reference {reference_cost:9.1f} sim-us",
+        )
+        if value_cost > reference_cost:
+            crossover_seen = True
+        delta = value_cost - reference_cost
+        if previous_delta is not None:
+            assert delta > previous_delta  # by-value grows with state size
+        previous_delta = delta
+
+    # Shape: small states favour by-value; big states favour the token.
+    small_value = sim_us(
+        kernel, lambda: sink.take_value(module.payload(state=b"xy"))
+    )
+    small_ref = sim_us(
+        kernel,
+        lambda: sink.take_reference(
+            exporter.export(HolderImpl(b"xy"), module.binding("holder"))
+        ),
+    )
+    assert small_value < small_ref
+    assert crossover_seen
+
+    # Post-transmission access: the by-value copy is local and free; the
+    # reference pays a remote call per access.
+    holder = received["reference"]
+    from repro.core import narrow
+
+    remote_holder = narrow(holder, module.binding("holder"))
+    access_reference = sim_us(kernel, remote_holder.state)
+    access_value = sim_us(kernel, lambda: received["value"].state)
+    record(
+        "E10",
+        f"post-transmit access: by-value {access_value:.1f} sim-us, "
+        f"by-reference {access_reference:.1f} sim-us",
+    )
+    assert access_value < access_reference

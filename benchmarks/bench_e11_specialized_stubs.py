@@ -1,0 +1,103 @@
+"""E11 — Section 9.1: subcontracts versus specialized stubs.
+
+"As a future direction, we are interested in providing specialized stubs
+for some particularly popular and performance-critical combinations of
+types and subcontracts."
+
+Rows regenerated: per-call cost of the general path (generated stub ->
+method table -> subcontract vector) versus the library's real
+``repro.idl.specialize`` feature, which fuses the singleton subcontract
+into generated stubs for this one (type, subcontract) combination.  The
+general stubs stay available for every other subcontract (verified by
+tests/idl/test_specialize.py).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import COUNTER_IDL, CounterImpl, ship, sim_us
+from repro.core.registry import SubcontractRegistry
+from repro.idl.compiler import compile_idl
+from repro.idl.specialize import specialize
+from repro.kernel.nucleus import Kernel
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.singleton import SingletonServer
+
+
+@pytest.fixture
+def world():
+    kernel = Kernel()
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+
+    general_module = compile_idl(COUNTER_IDL, "e11_general")
+    special_module = compile_idl(COUNTER_IDL, "e11_special")
+    specialize(special_module, "counter", "singleton")
+
+    def exported(module):
+        binding = module.binding("counter")
+        return ship(
+            kernel,
+            server,
+            client,
+            SingletonServer(server).export(CounterImpl(), binding),
+            binding,
+        )
+
+    general_obj = exported(general_module)
+    special_obj = exported(special_module)
+    assert special_obj._method_table is not general_obj._method_table
+
+    def specialized_total(spring_obj=special_obj):
+        return spring_obj.total()
+
+    return kernel, general_obj, specialized_total
+
+
+@pytest.mark.benchmark(group="E11-specialized")
+def bench_general_stub(benchmark, world):
+    _, obj, _ = world
+    benchmark(obj.total)
+
+
+@pytest.mark.benchmark(group="E11-specialized")
+def bench_specialized_stub(benchmark, world):
+    _, obj, specialized_total = world
+    benchmark(specialized_total)
+
+
+@pytest.mark.benchmark(group="E11-specialized")
+def bench_e11_shape_and_record(benchmark, world, record):
+    kernel, obj, specialized_total = world
+    benchmark(specialized_total)
+    assert obj.total() == specialized_total()
+
+    def best_of(fn, rounds=2000):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best * 1e6
+
+    general = best_of(obj.total)
+    specialized = best_of(specialized_total)
+    record("E11", f"general stub:     {general:8.2f} wall-us/call (best)")
+    record("E11", f"specialized stub: {specialized:8.2f} wall-us/call (best)")
+    record("E11", f"specialization ceiling: {general / specialized:.2f}x")
+
+    # Shape: the fused combination is at least as fast (wall clock, with
+    # a small tolerance for scheduler noise), and in simulated time it
+    # saves exactly the client-side indirect calls.
+    assert specialized <= general * 1.05
+    sim_general = min(sim_us(kernel, obj.total) for _ in range(5))
+    sim_special = min(sim_us(kernel, specialized_total) for _ in range(5))
+    record("E11", f"sim: general {sim_general:.2f} us, specialized {sim_special:.2f} us")
+    model = kernel.clock.model
+    expected_saving = 2 * model.indirect_call_us
+    assert sim_general - sim_special >= expected_saving - 1e-9

@@ -1,0 +1,103 @@
+"""E2 — Section 9.3: the object-transmission overhead of subcontract.
+
+"Transmitting an object requires an extra pair of calls for marshalling
+and unmarshalling and typically also involves the cost of marshalling and
+unmarshalling a subcontract ID."
+
+Rows regenerated:
+
+    raw door-identifier transmission   (no subcontract, no ID)
+    subcontract object transmission    (marshal + ID + unmarshal)
+
+Shape: the subcontract form adds a small constant (the ID bytes and the
+marshal/unmarshal call pair) on top of the kernel-mediated door move that
+both forms pay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, sim_us
+from repro.core.registry import SubcontractRegistry
+from repro.kernel.nucleus import Kernel
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.singleton import SingletonServer
+
+
+@pytest.fixture
+def world(counter_module):
+    kernel = Kernel()
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+    binding = counter_module.binding("counter")
+    subcontract_server = SingletonServer(server)
+    return kernel, server, client, subcontract_server, binding
+
+
+def _raw_transmit(kernel, server, client):
+    """Move a bare door identifier: what transmission costs without any
+    subcontract involvement."""
+    ident = kernel.create_door(server, lambda request: MarshalBuffer(kernel))
+    buffer = MarshalBuffer(kernel)
+    buffer.put_door_id(server, ident)
+    buffer.seal_for_transmission(server)
+    received = buffer.get_door_id(client)
+    kernel.delete_door_id(client, received)
+
+
+def _subcontract_transmit(kernel, server, client, subcontract_server, binding):
+    """Move a full Spring object: marshal (with subcontract ID), then
+    unmarshal into a fabricated object."""
+    obj = subcontract_server.export(CounterImpl(), binding)
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(server)
+    received = binding.unmarshal_from(buffer, client)
+    received.spring_consume()
+
+
+@pytest.mark.benchmark(group="E2-transmission")
+def bench_raw_door_move(benchmark, world):
+    kernel, server, client, _, _ = world
+    benchmark(_raw_transmit, kernel, server, client)
+
+
+@pytest.mark.benchmark(group="E2-transmission")
+def bench_subcontract_object_move(benchmark, world):
+    kernel, server, client, subcontract_server, binding = world
+    benchmark(
+        _subcontract_transmit, kernel, server, client, subcontract_server, binding
+    )
+
+
+@pytest.mark.benchmark(group="E2-transmission")
+def bench_e2_shape_and_record(benchmark, world, record):
+    kernel, server, client, subcontract_server, binding = world
+    benchmark(_raw_transmit, kernel, server, client)
+
+    raw = min(
+        sim_us(kernel, lambda: _raw_transmit(kernel, server, client))
+        for _ in range(5)
+    )
+    full = min(
+        sim_us(
+            kernel,
+            lambda: _subcontract_transmit(
+                kernel, server, client, subcontract_server, binding
+            ),
+        )
+        for _ in range(5)
+    )
+    added = full - raw
+    record("E2", f"raw door move:              {raw:8.2f} sim-us")
+    record("E2", f"subcontract object move:    {full:8.2f} sim-us")
+    record("E2", f"subcontract adds:           {added:8.2f} sim-us per transmission")
+
+    # Shape: a small positive constant — the subcontract ID bytes plus
+    # the marshal/unmarshal pair — not a multiple of the base cost.
+    assert added > 0
+    assert added < raw  # well under doubling the cost of a transmission

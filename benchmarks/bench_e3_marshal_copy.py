@@ -1,0 +1,122 @@
+"""E3 — Section 5.1.5: the fused marshal_copy optimization.
+
+"This mode was originally implemented by first calling the subcontract
+copy operation and then by calling the subcontract marshal operation on
+the copy.  However, it was observed that this frequently led to redundant
+work ... The marshal_copy operation ... is permitted to optimize out some
+of the intermediate steps."
+
+Rows regenerated, for the simplex subcontract (modest win: skips one
+intermediate Spring object) and the caching subcontract (real win: the
+composed path duplicates the machine-local D2 door only to throw it away,
+and the fused path never touches D2):
+
+    copy-then-marshal   vs   marshal_copy
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, ship, sim_us
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.subcontracts.caching import CachingServer
+from repro.subcontracts.simplex import SimplexServer
+
+
+@pytest.fixture
+def simplex_world(counter_module):
+    env = Environment(latency_us=0.0)
+    server = env.create_domain("m", "server")
+    binding = counter_module.binding("counter")
+    obj = SimplexServer(server).export(CounterImpl(), binding)
+    return env, server, obj
+
+
+@pytest.fixture
+def caching_world(counter_module):
+    env = Environment(latency_us=0.0)
+    server = env.create_domain("server-m", "server")
+    client_machine = env.machine("client-m")
+    env.install_cache_manager(client_machine)
+    client = env.create_domain(client_machine, "client")
+    binding = counter_module.binding("counter")
+    exported = CachingServer(server).export(CounterImpl(), binding)
+    # The interesting object is the *client-side* one, which holds a D2.
+    obj = ship(env.kernel, server, client, exported, binding)
+    assert obj._rep.cache_door is not None
+    return env, client, obj
+
+
+def composed(env, domain, obj):
+    duplicate = obj._subcontract.copy(obj)
+    buffer = MarshalBuffer(env.kernel)
+    duplicate._subcontract.marshal(duplicate, buffer)
+    buffer.discard()
+
+
+def fused(env, domain, obj):
+    buffer = MarshalBuffer(env.kernel)
+    obj._subcontract.marshal_copy(obj, buffer)
+    buffer.discard()
+
+
+@pytest.mark.benchmark(group="E3-marshal-copy-simplex")
+def bench_simplex_copy_then_marshal(benchmark, simplex_world):
+    env, server, obj = simplex_world
+    benchmark(composed, env, server, obj)
+
+
+@pytest.mark.benchmark(group="E3-marshal-copy-simplex")
+def bench_simplex_marshal_copy(benchmark, simplex_world):
+    env, server, obj = simplex_world
+    benchmark(fused, env, server, obj)
+
+
+@pytest.mark.benchmark(group="E3-marshal-copy-caching")
+def bench_caching_copy_then_marshal(benchmark, caching_world):
+    env, client, obj = caching_world
+    benchmark(composed, env, client, obj)
+
+
+@pytest.mark.benchmark(group="E3-marshal-copy-caching")
+def bench_caching_marshal_copy(benchmark, caching_world):
+    env, client, obj = caching_world
+    benchmark(fused, env, client, obj)
+
+
+@pytest.mark.benchmark(group="E3-marshal-copy-simplex")
+def bench_e3_shape_and_record(benchmark, simplex_world, caching_world, record):
+    env_s, server, simplex_obj = simplex_world
+    env_c, client, caching_obj = caching_world
+    benchmark(fused, env_s, server, simplex_obj)
+
+    s_composed = min(
+        sim_us(env_s, lambda: composed(env_s, server, simplex_obj)) for _ in range(5)
+    )
+    s_fused = min(
+        sim_us(env_s, lambda: fused(env_s, server, simplex_obj)) for _ in range(5)
+    )
+    c_composed = min(
+        sim_us(env_c, lambda: composed(env_c, client, caching_obj)) for _ in range(5)
+    )
+    c_fused = min(
+        sim_us(env_c, lambda: fused(env_c, client, caching_obj)) for _ in range(5)
+    )
+
+    record("E3", f"simplex copy+marshal: {s_composed:8.2f} sim-us; "
+                 f"marshal_copy: {s_fused:8.2f} sim-us")
+    record("E3", f"caching copy+marshal: {c_composed:8.2f} sim-us; "
+                 f"marshal_copy: {c_fused:8.2f} sim-us "
+                 f"(saves the D2 duplicate+delete)")
+
+    # Shape: fused is never worse, and for caching it is strictly better
+    # because the composed path pays a D2 door copy and delete for
+    # nothing.
+    assert s_fused <= s_composed
+    assert c_fused < c_composed
+    model = env_c.clock.model
+    assert c_composed - c_fused >= (
+        model.door_copy_us + model.door_delete_us
+    ) - 1e-9

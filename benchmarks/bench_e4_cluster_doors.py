@@ -1,0 +1,130 @@
+"""E4 — Section 8.1: the cluster subcontract's resource economics.
+
+"Some servers export large numbers of objects where if a client is
+granted access to any of the objects, it might as well be granted access
+to all of them.  In this case a subcontract can reduce system overhead by
+using a single door to provide access to a set of objects."
+
+Series regenerated: kernel doors consumed when exporting N objects,
+N in {16, 64, 256, 1024}, singleton vs cluster; plus invocation latency
+parity (the tag costs a few bytes, not a door traversal).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, ship, sim_us
+from repro.core.registry import SubcontractRegistry
+from repro.kernel.nucleus import Kernel
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.cluster import ClusterServer
+from repro.subcontracts.singleton import SingletonServer
+
+SWEEP = (16, 64, 256, 1024)
+
+
+def _world(counter_module):
+    kernel = Kernel()
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+    return kernel, server, client, counter_module.binding("counter")
+
+
+@pytest.mark.benchmark(group="E4-export")
+@pytest.mark.parametrize("n", SWEEP)
+def bench_export_singleton(benchmark, counter_module, n):
+    def run():
+        kernel, server, _, binding = _world(counter_module)
+        subcontract_server = SingletonServer(server)
+        for _ in range(n):
+            subcontract_server.export(CounterImpl(), binding)
+        return kernel.live_door_count()
+
+    doors = benchmark(run)
+    assert doors == n
+
+
+@pytest.mark.benchmark(group="E4-export")
+@pytest.mark.parametrize("n", SWEEP)
+def bench_export_cluster(benchmark, counter_module, n):
+    def run():
+        kernel, server, _, binding = _world(counter_module)
+        cluster = ClusterServer(server)
+        for _ in range(n):
+            cluster.export(CounterImpl(), binding)
+        return kernel.live_door_count()
+
+    doors = benchmark(run)
+    assert doors == 1
+
+
+@pytest.mark.benchmark(group="E4-invoke")
+def bench_invoke_singleton(benchmark, counter_module):
+    kernel, server, client, binding = _world(counter_module)
+    obj = ship(
+        kernel,
+        server,
+        client,
+        SingletonServer(server).export(CounterImpl(), binding),
+        binding,
+    )
+    benchmark(obj.total)
+
+
+@pytest.mark.benchmark(group="E4-invoke")
+def bench_invoke_cluster(benchmark, counter_module):
+    kernel, server, client, binding = _world(counter_module)
+    obj = ship(
+        kernel,
+        server,
+        client,
+        ClusterServer(server).export(CounterImpl(), binding),
+        binding,
+    )
+    benchmark(obj.total)
+
+
+@pytest.mark.benchmark(group="E4-invoke")
+def bench_e4_shape_and_record(benchmark, counter_module, record):
+    kernel, server, client, binding = _world(counter_module)
+    cluster = ClusterServer(server)
+    singleton = SingletonServer(server)
+
+    for n in SWEEP:
+        k1, s1, _, b1 = _world(counter_module)
+        sub = SingletonServer(s1)
+        before = k1.live_door_count()
+        for _ in range(n):
+            sub.export(CounterImpl(), b1)
+        singleton_doors = k1.live_door_count() - before
+
+        k2, s2, _, b2 = _world(counter_module)
+        clu = ClusterServer(s2)
+        before = k2.live_door_count()
+        for _ in range(n):
+            clu.export(CounterImpl(), b2)
+        cluster_doors = k2.live_door_count() - before
+
+        record(
+            "E4",
+            f"N={n:5d}: singleton doors={singleton_doors:5d}  "
+            f"cluster doors={cluster_doors}",
+        )
+        assert singleton_doors == n  # O(N)
+        assert cluster_doors == 1  # O(1)
+
+    # Invocation latency parity: the tag adds bytes, not door hops.
+    singleton_obj = ship(
+        kernel, server, client, singleton.export(CounterImpl(), binding), binding
+    )
+    cluster_obj = ship(
+        kernel, server, client, cluster.export(CounterImpl(), binding), binding
+    )
+    benchmark(cluster_obj.total)
+    s = min(sim_us(kernel, singleton_obj.total) for _ in range(5))
+    c = min(sim_us(kernel, cluster_obj.total) for _ in range(5))
+    record("E4", f"invoke latency: singleton {s:.2f} sim-us, cluster {c:.2f} sim-us")
+    assert abs(c - s) < 0.05 * s

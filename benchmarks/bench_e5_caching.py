@@ -1,0 +1,109 @@
+"""E5 — Section 8.2, Figure 5: the caching subcontract.
+
+Series regenerated:
+
+* cold (remote) read vs warm (machine-local cache) read latency;
+* effective mean read latency as the workload's re-read fraction rises
+  (the benefit curve that justifies the "significant overhead to object
+  unmarshalling" the paper concedes in Section 9.3);
+* that registration overhead itself: unmarshal cost of a caching object
+  vs a singleton object.
+
+Shape: warm reads beat cold reads by roughly the network round-trip;
+mean latency falls monotonically with the re-read fraction; caching's
+unmarshal is markedly more expensive than singleton's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import ship, sim_us
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.services.fs import FileServer, fs_module
+
+
+def _world():
+    env = Environment()
+    server_machine = env.machine("file-server")
+    client_machine = env.machine("desk")
+    env.install_cache_manager(client_machine)
+    fs_domain = env.create_domain(server_machine, "fs")
+    client = env.create_domain(client_machine, "user")
+    file_server = FileServer(fs_domain)
+    file_server.make_file("/data", bytes(range(256)) * 16)
+    module = fs_module()
+    fs = ship(
+        env.kernel,
+        fs_domain,
+        client,
+        file_server.root.spring_copy(),
+        module.binding("file_system"),
+    )
+    return env, fs_domain, client, file_server, fs, module
+
+
+@pytest.fixture
+def world():
+    return _world()
+
+
+@pytest.mark.benchmark(group="E5-read")
+def bench_remote_read_plain_file(benchmark, world):
+    env, _, _, _, fs, _ = world
+    handle = fs.open("/data")
+    benchmark(handle.read, 0, 128)
+
+
+@pytest.mark.benchmark(group="E5-read")
+def bench_warm_cached_read(benchmark, world):
+    env, _, _, _, fs, _ = world
+    handle = fs.open_cached("/data")
+    handle.read(0, 128)  # warm the cache
+    benchmark(handle.read, 0, 128)
+
+
+@pytest.mark.benchmark(group="E5-read")
+def bench_e5_shape_and_record(benchmark, world, record):
+    env, fs_domain, client, file_server, fs, module = world
+    plain = fs.open("/data")
+    cached = fs.open_cached("/data")
+    benchmark(plain.size)
+
+    remote = min(sim_us(env, lambda: plain.read(0, 128)) for _ in range(3))
+    cold = sim_us(env, lambda: cached.read(0, 128))
+    warm = min(sim_us(env, lambda: cached.read(0, 128)) for _ in range(3))
+    record("E5", f"remote read: {remote:9.1f} sim-us")
+    record("E5", f"cold cached read: {cold:9.1f} sim-us (miss: cache + server)")
+    record("E5", f"warm cached read: {warm:9.1f} sim-us (machine-local)")
+    record("E5", f"warm speedup over remote: {remote / warm:.1f}x")
+
+    # Figure-5 shape: warm reads never leave the machine, so they beat
+    # remote reads by at least the network round trip.
+    assert warm < remote / 5
+    assert cold >= remote  # a miss pays the front AND the server
+
+    # Re-read fraction sweep: mean latency falls as locality rises.
+    means = []
+    for rereads in (0, 2, 8, 32):
+        handle = fs.open_cached("/data")
+        total = sim_us(env, lambda: handle.read(0, 64))
+        for _ in range(rereads):
+            total += sim_us(env, lambda: handle.read(0, 64))
+        mean = total / (1 + rereads)
+        means.append(mean)
+        record("E5", f"re-reads={rereads:3d}: mean read latency {mean:9.1f} sim-us")
+    assert all(means[i] > means[i + 1] for i in range(len(means) - 1))
+
+    # Section 9.3: "the caching subcontract adds a significant overhead
+    # to object unmarshalling".
+    plain_unmarshal = sim_us(env, lambda: fs.open("/data").spring_consume())
+    caching_unmarshal = sim_us(env, lambda: fs.open_cached("/data").spring_consume())
+    record(
+        "E5",
+        f"unmarshal cost: singleton {plain_unmarshal:9.1f} sim-us, "
+        f"caching {caching_unmarshal:9.1f} sim-us "
+        f"({caching_unmarshal / plain_unmarshal:.1f}x)",
+    )
+    assert caching_unmarshal > 1.5 * plain_unmarshal

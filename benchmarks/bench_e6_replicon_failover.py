@@ -1,0 +1,82 @@
+"""E6 — Section 5.1.3: replicon failover.
+
+"Replicon attempts to invoke each of its door identifiers in turn.  If
+the door invocation fails due to a communications error, then replicon
+deletes that door identifier from its set of targets and proceeds to try
+the next door identifier."
+
+Series regenerated: latency of the first call after k leading replicas
+have died, k in 0..R-1, for R = 4; and the latency of the *second* call,
+which must be back at baseline because the dead targets were pruned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import sim_us
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.runtime.faults import crash_domain
+from repro.services.kv import ReplicatedKVService, kv_binding
+
+REPLICAS = 4
+
+
+def _world(kill_leading: int):
+    env = Environment(latency_us=0.0)
+    replicas = [env.create_domain("dc", f"kv-{i}") for i in range(REPLICAS)]
+    service = ReplicatedKVService(replicas)
+    client = env.create_domain("desk", "client")
+    exported = service.store_for(replicas[0])
+    buffer = MarshalBuffer(env.kernel)
+    exported._subcontract.marshal(exported, buffer)
+    buffer.seal_for_transmission(replicas[0])
+    store = kv_binding().unmarshal_from(buffer, client)
+    store.put("k", "v")
+    for i in range(kill_leading):
+        crash_domain(replicas[i])
+    return env, store
+
+
+@pytest.mark.benchmark(group="E6-failover")
+@pytest.mark.parametrize("dead", [0, 1, 2, 3])
+def bench_first_call_after_k_deaths(benchmark, dead):
+    def setup():
+        env, store = _world(dead)
+        return (store,), {}
+
+    def call(store):
+        return store.get("k")
+
+    benchmark.pedantic(call, setup=setup, rounds=20)
+
+
+@pytest.mark.benchmark(group="E6-failover")
+def bench_e6_shape_and_record(benchmark, record):
+    env0, store0 = _world(0)
+    benchmark(store0.get, "k")
+
+    first_call = []
+    second_call = []
+    for dead in range(REPLICAS):
+        env, store = _world(dead)
+        first = sim_us(env, lambda: store.get("k"))
+        second = sim_us(env, lambda: store.get("k"))
+        first_call.append(first)
+        second_call.append(second)
+        record(
+            "E6",
+            f"dead={dead}: first call {first:8.2f} sim-us, "
+            f"second call {second:8.2f} sim-us "
+            f"(doors left: {len(store._rep.doors)})",
+        )
+
+    # Shape: the first call's latency grows with each leading dead
+    # replica (one wasted attempt each) ...
+    assert all(first_call[i] < first_call[i + 1] for i in range(REPLICAS - 1))
+    # ... while the second call is back near the healthy baseline,
+    # because invoke pruned the dead identifiers.
+    baseline = second_call[0]
+    for dead, second in enumerate(second_call):
+        assert second < baseline * 1.25, (dead, second, baseline)

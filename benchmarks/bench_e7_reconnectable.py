@@ -1,0 +1,86 @@
+"""E7 — Section 8.3: reconnectable crash recovery.
+
+Series regenerated: call latency in three phases — healthy, the first
+call after a crash+restart (pays resolve + backoff once), and steady
+state after recovery (back to baseline).  Plus the failure case: retries
+until the budget runs out when the server never returns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, sim_us
+from repro.kernel import CommunicationError
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.runtime.faults import crash_domain
+from repro.subcontracts.reconnectable import RETRY_BACKOFF_US, ReconnectableServer
+
+
+def _world(counter_module):
+    env = Environment(latency_us=0.0)
+    server = env.create_domain("rack", "server-1")
+    client = env.create_domain("desk", "client")
+    binding = counter_module.binding("counter")
+    obj = ReconnectableServer(server).export(
+        CounterImpl(), binding, name="/svc/counter"
+    )
+    buffer = MarshalBuffer(env.kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(server)
+    client_obj = binding.unmarshal_from(buffer, client)
+    return env, server, client_obj, binding
+
+
+@pytest.mark.benchmark(group="E7-reconnect")
+def bench_healthy_call(benchmark, counter_module):
+    env, server, obj, binding = _world(counter_module)
+    benchmark(obj.total)
+
+
+@pytest.mark.benchmark(group="E7-reconnect")
+def bench_recovery_call(benchmark, counter_module):
+    def setup():
+        env, server, obj, binding = _world(counter_module)
+        crash_domain(server)
+        replacement = env.create_domain("rack", "server-2")
+        ReconnectableServer(replacement).export(
+            CounterImpl(), binding, name="/svc/counter"
+        )
+        return (obj,), {}
+
+    benchmark.pedantic(lambda obj: obj.total(), setup=setup, rounds=20)
+
+
+@pytest.mark.benchmark(group="E7-reconnect")
+def bench_e7_shape_and_record(benchmark, counter_module, record):
+    env, server, obj, binding = _world(counter_module)
+    benchmark(obj.total)
+
+    healthy = min(sim_us(env, obj.total) for _ in range(3))
+    crash_domain(server)
+    replacement = env.create_domain("rack", "server-2")
+    ReconnectableServer(replacement).export(
+        CounterImpl(), binding, name="/svc/counter"
+    )
+    recovery = sim_us(env, obj.total)
+    steady = min(sim_us(env, obj.total) for _ in range(3))
+    record("E7", f"healthy call:   {healthy:11.1f} sim-us")
+    record("E7", f"recovery call:  {recovery:11.1f} sim-us (one-time penalty)")
+    record("E7", f"steady after:   {steady:11.1f} sim-us")
+
+    # Shape: the recovery call pays at least one backoff plus the
+    # re-resolution; afterwards latency is back at the healthy baseline.
+    assert recovery > RETRY_BACKOFF_US
+    assert steady < healthy * 1.25
+
+    # Failure case: server never returns -> bounded retries, then error.
+    env2, server2, obj2, _ = _world(counter_module)
+    crash_domain(server2)
+    with pytest.raises(CommunicationError):
+        obj2.total()
+    retried = env2.clock.tally().get("retry_backoff", 0.0)
+    record("E7", f"giving up after {retried / RETRY_BACKOFF_US:.0f} backoffs "
+                 f"({retried:,.0f} sim-us)")
+    assert retried >= 8 * RETRY_BACKOFF_US

@@ -1,0 +1,101 @@
+"""E9 — Section 6.2: the cost of dynamic subcontract discovery.
+
+Rows regenerated: unmarshal latency of a replicon object in a domain that
+(a) already links replicon, (b) must dynamically load it (first
+encounter), (c) has already loaded it (second encounter).
+
+Shape: the first encounter pays a large one-time library-load penalty;
+afterwards unmarshalling matches the statically-linked case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, sim_us
+from repro.core.discovery import DiscoveryService, LibraryLoader
+from repro.core.registry import SubcontractRegistry
+from repro.kernel.nucleus import Kernel
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.cluster import ClusterClient
+from repro.subcontracts.replicon import RepliconGroup
+from repro.subcontracts.simplex import SimplexClient
+from repro.subcontracts.singleton import SingletonClient
+
+REPLICON_LIB = (
+    "from repro.subcontracts.replicon import RepliconClient\n"
+    "SUBCONTRACTS = {'replicon': RepliconClient}\n"
+)
+
+
+@pytest.fixture
+def world(tmp_path, counter_module):
+    trusted = tmp_path / "trusted"
+    trusted.mkdir()
+    (trusted / "replicon_lib.py").write_text(REPLICON_LIB)
+
+    kernel = Kernel()
+    binding = counter_module.binding("counter")
+    replica = kernel.create_domain("replica")
+    SubcontractRegistry(replica).register_many(standard_subcontracts())
+    group = RepliconGroup(binding)
+    group.add_replica(replica, CounterImpl())
+
+    def wire_form():
+        obj = group.make_object(replica)
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal(obj, buffer)
+        buffer.seal_for_transmission(replica)
+        return buffer
+
+    linked = kernel.create_domain("linked")
+    SubcontractRegistry(linked).register_many(standard_subcontracts())
+
+    restricted = kernel.create_domain("restricted")
+    loader = LibraryLoader([trusted], clock=kernel.clock)
+    discovery = DiscoveryService({"replicon": "replicon_lib"}.get, loader)
+    registry = SubcontractRegistry(restricted, discovery)
+    registry.register_many([SingletonClient, SimplexClient, ClusterClient])
+
+    return kernel, binding, wire_form, linked, restricted
+
+
+def _unmarshal(binding, wire_form, domain):
+    obj = binding.unmarshal_from(wire_form(), domain)
+    obj.spring_consume()
+
+
+@pytest.mark.benchmark(group="E9-discovery")
+def bench_unmarshal_statically_linked(benchmark, world):
+    kernel, binding, wire_form, linked, _ = world
+    benchmark(_unmarshal, binding, wire_form, linked)
+
+
+@pytest.mark.benchmark(group="E9-discovery")
+def bench_unmarshal_after_dynamic_load(benchmark, world):
+    kernel, binding, wire_form, _, restricted = world
+    _unmarshal(binding, wire_form, restricted)  # pay the load once
+    benchmark(_unmarshal, binding, wire_form, restricted)
+
+
+@pytest.mark.benchmark(group="E9-discovery")
+def bench_e9_shape_and_record(benchmark, world, record):
+    kernel, binding, wire_form, linked, restricted = world
+    benchmark(_unmarshal, binding, wire_form, linked)
+
+    known = min(sim_us(kernel, lambda: _unmarshal(binding, wire_form, linked))
+                for _ in range(3))
+    first = sim_us(kernel, lambda: _unmarshal(binding, wire_form, restricted))
+    later = min(sim_us(kernel, lambda: _unmarshal(binding, wire_form, restricted))
+                for _ in range(3))
+    record("E9", f"statically linked unmarshal: {known:10.1f} sim-us")
+    record("E9", f"first encounter (dyn load):  {first:10.1f} sim-us")
+    record("E9", f"subsequent encounters:       {later:10.1f} sim-us")
+
+    # Shape: the first encounter pays the load; later ones match the
+    # statically linked cost (the code is cached in the registry).
+    assert first > 10 * known
+    assert later < known * 1.25
+    load = kernel.clock.model.library_load_us
+    assert first - later >= load * 0.9

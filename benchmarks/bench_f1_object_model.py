@@ -1,0 +1,87 @@
+"""F1 — Figures 1 and 2: the Spring object model, executable.
+
+Figure 1 shows the conventional model (clients hold references to a
+server-side object); Figure 2 shows Spring's model (clients hold the
+object, whose local state may be a handle to remote state).  The
+observable difference:
+
+* transmitting a Spring object *moves* it — the sender ceases to have it;
+* copy-then-transmit yields two distinct objects sharing underlying
+  state.
+
+The bench verifies both behaviours as a trace and measures the cost of
+the copy that the Figure-2 model makes explicit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, ship, sim_us
+from repro.core.errors import ObjectConsumedError
+from repro.core.registry import SubcontractRegistry
+from repro.kernel.nucleus import Kernel
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.singleton import SingletonServer
+
+
+@pytest.fixture
+def world(counter_module):
+    kernel = Kernel()
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+    binding = counter_module.binding("counter")
+    return kernel, server, client, binding
+
+
+@pytest.mark.benchmark(group="F1-model")
+def bench_spring_copy(benchmark, world):
+    kernel, server, client, binding = world
+    obj = SingletonServer(server).export(CounterImpl(), binding)
+
+    def copy_and_release():
+        obj.spring_copy().spring_consume()
+
+    benchmark(copy_and_release)
+
+
+@pytest.mark.benchmark(group="F1-model")
+def bench_move_transmission(benchmark, world):
+    kernel, server, client, binding = world
+    exporter = SingletonServer(server)
+
+    def move():
+        obj = exporter.export(CounterImpl(), binding)
+        ship(kernel, server, client, obj, binding).spring_consume()
+
+    benchmark(move)
+
+
+@pytest.mark.benchmark(group="F1-model")
+def bench_f1_shape_and_record(benchmark, world, record):
+    kernel, server, client, binding = world
+    exporter = SingletonServer(server)
+    obj = exporter.export(CounterImpl(), binding)
+    benchmark(obj.total)
+
+    # Figure 2 trace: transmit moves; the sender's handle is dead.
+    moved = ship(kernel, server, client, obj, binding)
+    with pytest.raises(ObjectConsumedError):
+        obj.total()
+    assert moved.add(1) == 1
+    record("F1", "transmit moves the object: sender handle invalidated  [OK]")
+
+    # Copy-then-transmit: two live objects, one underlying state.
+    original = exporter.export(CounterImpl(), binding)
+    duplicate = original.spring_copy()
+    shipped = ship(kernel, server, client, duplicate, binding)
+    original.add(10)
+    assert shipped.total() == 10
+    record("F1", "copy-then-transmit: two objects share state           [OK]")
+
+    copy_cost = sim_us(kernel, lambda: original.spring_copy().spring_consume())
+    record("F1", f"explicit copy+release cost: {copy_cost:.2f} sim-us")
+    model = kernel.clock.model
+    assert copy_cost >= model.door_copy_us + model.door_delete_us

@@ -1,0 +1,92 @@
+"""F3 — Figure 3: invoking a method on a server-based object.
+
+The figure's arrow sequence:
+
+    application -> method table (stubs) -> subcontract
+        -> [kernel door] -> server subcontract -> server stubs
+        -> server application
+
+and back.  The bench verifies the sequence with an instrumented
+subcontract and measures the full path against its pieces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, ship, sim_us
+from repro.core.registry import SubcontractRegistry
+from repro.kernel.nucleus import Kernel
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.singleton import SingletonClient, SingletonServer
+
+
+@pytest.fixture
+def world(counter_module):
+    kernel = Kernel()
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+    binding = counter_module.binding("counter")
+
+    trace: list[str] = []
+
+    class TracingClient(SingletonClient):
+        def invoke_preamble(self, obj, buffer):
+            trace.append("subcontract.invoke_preamble")
+
+        def invoke(self, obj, buffer):
+            trace.append("subcontract.invoke")
+            reply = super().invoke(obj, buffer)
+            trace.append("subcontract.reply")
+            return reply
+
+    client.subcontract_registry.register(TracingClient)
+
+    class TracingCounter(CounterImpl):
+        def add(self, n):
+            trace.append("server.application")
+            return super().add(n)
+
+    obj = ship(
+        kernel,
+        server,
+        client,
+        SingletonServer(server).export(TracingCounter(), binding),
+        binding,
+    )
+    return kernel, obj, trace
+
+
+@pytest.mark.benchmark(group="F3-callpath")
+def bench_figure3_call(benchmark, world):
+    _, obj, _ = world
+    benchmark(obj.add, 1)
+
+
+@pytest.mark.benchmark(group="F3-callpath")
+def bench_f3_shape_and_record(benchmark, world, record):
+    kernel, obj, trace = world
+    benchmark(obj.total)
+
+    trace.clear()
+    door = obj._rep.door.door
+    handled = door.calls_handled
+    obj.add(1)
+    assert trace == [
+        "subcontract.invoke_preamble",
+        "subcontract.invoke",
+        "server.application",
+        "subcontract.reply",
+    ]
+    assert door.calls_handled == handled + 1
+    record("F3", "call path matches Figure 3 arrow sequence            [OK]")
+
+    cost = min(sim_us(kernel, lambda: obj.add(1)) for _ in range(5))
+    tally = kernel.clock.tally()
+    record("F3", f"full Figure-3 path: {cost:.2f} sim-us per call")
+    # The door traversal dominates; everything else is the thin layers
+    # the figure stacks around it.
+    assert cost > kernel.clock.model.door_call_us
+    assert cost < 1.5 * kernel.clock.model.door_call_us

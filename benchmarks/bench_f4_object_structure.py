@@ -1,0 +1,96 @@
+"""F4 — Figure 4: a file object using the simplex subcontract.
+
+The figure shows the three-part structure of a Spring object: a method
+table of stub methods, a pointer to the subcontract, and a representation
+holding a door identifier leading to the server's state.
+
+The bench verifies the structure and measures its two construction
+paths: server-side creation (export: door + object fabrication) and
+client-side fabrication (unmarshal: read rep + plug parts together).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import CounterImpl, sim_us
+from repro.core.registry import SubcontractRegistry
+from repro.kernel.nucleus import Kernel
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.common import SingleDoorRep
+from repro.subcontracts.simplex import SimplexClient, SimplexServer
+
+
+@pytest.fixture
+def world(counter_module):
+    kernel = Kernel()
+    server = kernel.create_domain("FS")
+    client = kernel.create_domain("app")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+    return kernel, server, client, counter_module.binding("counter")
+
+
+@pytest.mark.benchmark(group="F4-structure")
+def bench_server_side_creation(benchmark, world):
+    kernel, server, _, binding = world
+    exporter = SimplexServer(server)
+
+    def create():
+        exporter.export(CounterImpl(), binding).spring_consume()
+
+    benchmark(create)
+
+
+@pytest.mark.benchmark(group="F4-structure")
+def bench_client_side_fabrication(benchmark, world):
+    kernel, server, client, binding = world
+    exporter = SimplexServer(server)
+
+    def setup():
+        obj = exporter.export(CounterImpl(), binding)
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal(obj, buffer)
+        buffer.seal_for_transmission(server)
+        return (buffer,), {}
+
+    def fabricate(buffer):
+        binding.unmarshal_from(buffer, client).spring_consume()
+
+    benchmark.pedantic(fabricate, setup=setup, rounds=200)
+
+
+@pytest.mark.benchmark(group="F4-structure")
+def bench_f4_shape_and_record(benchmark, world, record):
+    kernel, server, client, binding = world
+    exporter = SimplexServer(server)
+    obj = exporter.export(CounterImpl(), binding)
+    benchmark(obj.total)
+
+    # Figure 4 structure: method table + subcontract pointer +
+    # representation holding exactly one door identifier.
+    assert isinstance(obj._subcontract, SimplexClient)
+    assert obj._subcontract.id == "simplex"
+    assert isinstance(obj._rep, SingleDoorRep)
+    assert obj._rep.door.door.server is server
+    assert set(obj._method_table) == set(binding.operations)
+    record("F4", "object = method table + subcontract + door rep       [OK]")
+
+    create_cost = sim_us(
+        kernel, lambda: exporter.export(CounterImpl(), binding).spring_consume()
+    )
+    record("F4", f"server-side create (door + object): {create_cost:.2f} sim-us")
+    # Door creation dominates server-side object creation.
+    assert create_cost > kernel.clock.model.door_create_us
+
+    def fabricate():
+        fresh = exporter.export(CounterImpl(), binding)
+        buffer = MarshalBuffer(kernel)
+        fresh._subcontract.marshal(fresh, buffer)
+        buffer.seal_for_transmission(server)
+        binding.unmarshal_from(buffer, client).spring_consume()
+
+    total = sim_us(kernel, fabricate)
+    record("F4", f"marshal + client fabrication (incl. create): {total:.2f} sim-us")
+    assert total > create_cost

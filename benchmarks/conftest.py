@@ -1,0 +1,123 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every bench:
+
+* measures wall-clock time with pytest-benchmark (the usual tables), and
+* measures *simulated* microseconds on the kernel clock — the
+  hardware-independent accounting that reproduces the paper's Section 9.3
+  comparisons — and **asserts the paper's qualitative shape** (who wins,
+  by roughly what factor), so `pytest benchmarks/` failing means the
+  reproduction has drifted.
+
+Numbers are also appended to ``benchmarks/results.txt`` so a run leaves a
+readable record (EXPERIMENTS.md is written from those records).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.kernel.clock import ClockWindow
+from repro.kernel.nucleus import Kernel
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("# Subcontract reproduction: simulated-time results\n")
+    yield
+
+
+@pytest.fixture
+def record():
+    """Append one experiment record to the results file."""
+
+    def _record(experiment: str, line: str) -> None:
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(f"[{experiment}] {line}\n")
+
+    return _record
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def local_env():
+    return Environment(latency_us=0.0)
+
+
+def sim_us(kernel_or_env, fn):
+    """Run ``fn`` once and return the simulated microseconds it cost."""
+    clock = getattr(kernel_or_env, "clock", None) or kernel_or_env.clock
+    with ClockWindow(clock) as window:
+        fn()
+    return window.elapsed_us
+
+
+def ship(kernel, src, dst, obj, binding):
+    """Move a Spring object between domains (marshal/unmarshal)."""
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+COUNTER_IDL = """
+interface counter {
+    int32 add(int32 n);
+    int32 total();
+    void reset();
+}
+"""
+
+BLOB_IDL = """
+interface blob_store {
+    bytes roundtrip(bytes data);
+    void absorb(bytes data);
+}
+"""
+
+
+class CounterImpl:
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int) -> int:
+        self.value += n
+        return self.value
+
+    def total(self) -> int:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class BlobImpl:
+    def roundtrip(self, data: bytes) -> bytes:
+        return data
+
+    def absorb(self, data: bytes) -> None:
+        return None
+
+
+@pytest.fixture(scope="session")
+def counter_module():
+    from repro.idl.compiler import compile_idl
+
+    return compile_idl(COUNTER_IDL, module_name="bench.counter")
+
+
+@pytest.fixture(scope="session")
+def blob_module():
+    from repro.idl.compiler import compile_idl
+
+    return compile_idl(BLOB_IDL, module_name="bench.blob")

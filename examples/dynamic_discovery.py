@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Dynamic subcontract discovery (Section 6.2).
+
+An *old* application was linked only with the standard singleton,
+simplex, and cluster subcontracts.  Somebody sends it a replicated
+object.  The unmarshal path: singleton peeks the subcontract ID, the
+registry misses, the naming context maps "replicon" to a library name,
+and the dynamic linker loads it — but only from the administrator's
+trusted directory.
+
+Run:  python examples/dynamic_discovery.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Environment, narrow
+from repro.core.errors import UnknownSubcontractError
+from repro.services.kv import ReplicatedKVService, kv_binding
+from repro.subcontracts.cluster import ClusterClient
+from repro.subcontracts.simplex import SimplexClient
+from repro.subcontracts.singleton import SingletonClient
+
+REPLICON_LIBRARY = """\
+# replicon.so, in spirit: a dynamically loadable subcontract library.
+from repro.subcontracts.replicon import RepliconClient
+
+SUBCONTRACTS = {"replicon": RepliconClient}
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trusted = Path(tmp) / "trusted-libs"
+        trusted.mkdir()
+        untrusted = Path(tmp) / "random-downloads"
+        untrusted.mkdir()
+
+        env = Environment(trusted_lib_dirs=[trusted])
+
+        # The replicated service, and its object bound in naming.
+        replicas = [env.create_domain("dc", f"replica-{i}") for i in range(2)]
+        service = ReplicatedKVService(replicas)
+        env.bind(replicas[0], "/stores/main", service.store_for(replicas[0]))
+
+        # The old application: standard libraries only, no replicon.
+        oldapp = env.create_domain(
+            "desk",
+            "oldapp",
+            subcontracts=[SingletonClient, SimplexClient, ClusterClient],
+        )
+        registry = oldapp.subcontract_registry
+        print("oldapp links:", ", ".join(registry.known_ids()))
+
+        # Attempt 1: no mapping, no library -> refused.
+        try:
+            env.resolve(oldapp, "/stores/main")
+        except UnknownSubcontractError as exc:
+            print(f"\nattempt 1 failed as expected:\n  {exc}")
+
+        # Attempt 2: the mapping exists but the library sits in an
+        # untrusted directory -> still refused (Section 6.2 security).
+        (untrusted / "replicon_lib.py").write_text(REPLICON_LIBRARY)
+        env.register_subcontract_library("replicon", "replicon_lib")
+        try:
+            env.resolve(oldapp, "/stores/main")
+        except UnknownSubcontractError as exc:
+            print(f"\nattempt 2 failed as expected (untrusted location):\n  {exc}")
+
+        # Attempt 3: a privileged administrator installs the library on
+        # the designated search path.
+        (trusted / "replicon_lib.py").write_text(REPLICON_LIBRARY)
+        store = narrow(env.resolve(oldapp, "/stores/main"), kv_binding())
+        print("\nattempt 3 succeeded: the registry dynamically loaded",
+              registry.dynamically_loaded)
+        store.put("obtained", "dynamically")
+        print("oldapp is now talking to a replicated store:",
+              store.get("obtained"))
+        print("oldapp links:", ", ".join(registry.known_ids()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""A newsroom wire service: five subcontracts cooperating in one app.
+
+This is the paper's Section 1 promise as a working system — different
+object mechanisms, each chosen per type, all behind ordinary interfaces:
+
+* the **article archive** is a file service; bureaus read articles as
+  `cacheable_file` objects through their machine-local cache managers
+  (caching subcontract, §8.2);
+* the **headline index** is a replicon group across three racks — a rack
+  can burn down mid-edition (replicon, §5);
+* the **editor's assignment board** keeps its state in stable storage and
+  survives editor-daemon crashes without readers noticing
+  (reconnectable + stable store, §8.3);
+* the directory tying it together is the naming service (cluster, §8.1);
+* live wire-photos stream over raw datagrams, losing frames rather than
+  stalling (video, §8.4).
+
+Run:  python examples/newsroom.py
+"""
+
+from repro import Environment, compile_idl, narrow
+from repro.runtime.faults import crash_domain
+from repro.runtime.report import compare_tallies
+from repro.services.fs import FileServer, fs_module
+from repro.services.kv import ReplicatedKVService, kv_binding
+from repro.services.stable import DurableKVService
+from repro.subcontracts.video import VideoServer
+
+PHOTO_IDL = """
+interface photo_wire {
+    subcontract "video";
+    string caption();
+}
+"""
+
+
+class PhotoWireImpl:
+    def caption(self) -> str:
+        return "scenes from the spring release"
+
+
+def main() -> None:
+    env = Environment(latency_us=1800.0)
+
+    # ------------------------------------------------------------------
+    print("== standing up the newsroom ==")
+    archive_domain = env.create_domain("archive-machine", "archive")
+    archive = FileServer(archive_domain)
+    archive.make_file(
+        "/articles/subcontract", b"Sun Labs ships a flexible base. " * 8
+    )
+    env.bind(archive_domain, "/newsroom/archive", archive.root.spring_copy())
+
+    index_racks = [env.create_domain(f"rack-{i}", f"index-{i}") for i in range(3)]
+    index_service = ReplicatedKVService(index_racks)
+    env.bind(
+        index_racks[0], "/newsroom/index", index_service.store_for(index_racks[0])
+    )
+
+    board = DurableKVService(env, "editorial-machine", "/newsroom/board")
+
+    for office in ("bureau-paris", "bureau-tokyo"):
+        env.install_cache_manager(env.machine(office))
+    print("archive, 3-rack index, durable assignment board, 2 bureaus ready")
+
+    # ------------------------------------------------------------------
+    print("\n== the editor files the morning edition ==")
+    editor = env.create_domain("editorial-machine", "editor")
+    index = narrow(env.resolve(editor, "/newsroom/index"), kv_binding())
+    index.put("front-page", "/articles/subcontract")
+    board_client = board.client_for(editor)
+    board_client.put("paris", "interview the kernel team")
+    board_client.put("tokyo", "photograph the demo")
+    print("index + assignments written")
+
+    # ------------------------------------------------------------------
+    print("\n== bureaus pull the edition (watch the caches work) ==")
+    for office in ("bureau-paris", "bureau-tokyo"):
+        reporter = env.create_domain(office, f"reporter@{office}")
+        fs = narrow(
+            env.resolve(reporter, "/newsroom/archive"),
+            fs_module().binding("file_system"),
+        )
+        idx = narrow(env.resolve(reporter, "/newsroom/index"), kv_binding())
+        path = idx.get("front-page")
+        article = fs.open_cached(path)
+        before = env.clock.tally()
+        article.read(0, 64)
+        for _ in range(4):
+            article.read(0, 64)  # warm re-reads
+        spent = compare_tallies(before, env.clock.tally())
+        network = spent.tally.get("network", 0.0)
+        assignment = board.client_for(reporter).get(office.split("-")[1])
+        print(f"{office}: article cached locally "
+              f"(network time for 5 reads: {network:,.0f} sim-us); "
+              f"assignment: {assignment!r}")
+
+    # ------------------------------------------------------------------
+    print("\n== disaster drills ==")
+    print("rack-0 burns down ...")
+    crash_domain(index_racks[0])
+    probe = env.create_domain("bureau-paris", "probe")
+    idx = narrow(env.resolve(probe, "/newsroom/index"), kv_binding())
+    print("   index still answers:", idx.get("front-page"))
+
+    print("editor daemon crashes; replacement recovers from stable storage ...")
+    board.restart()
+    print("   assignments intact:", board.client_for(probe).keys())
+
+    # ------------------------------------------------------------------
+    print("\n== the photo wire opens (lossy, live, never stalls) ==")
+    photo_module = compile_idl(PHOTO_IDL, module_name="newsroom.photos")
+    studio = env.create_domain("archive-machine", "photo-studio")
+    wire_server = VideoServer(studio)
+    wire = wire_server.export(PhotoWireImpl(), photo_module.binding("photo_wire"))
+    viewer_domain = env.create_domain("bureau-tokyo", "photo-viewer")
+    env.bind(studio, "/newsroom/photos", wire)
+    viewer = narrow(
+        env.resolve(viewer_domain, "/newsroom/photos"),
+        photo_module.binding("photo_wire"),
+    )
+    frames = []
+    viewer._subcontract.subscribe(viewer, lambda seq, data: frames.append(seq))
+    env.fabric.datagram_loss = 0.2
+    sent = wire_server.pump_frames([b"photo" for _ in range(20)])
+    env.fabric.datagram_loss = 0.0
+    print(f"   {len(frames)}/{sent} frames arrived in order "
+          f"({viewer.caption()!r})")
+
+    print("\nedition shipped —", f"{env.clock.now_us/1000:,.1f} simulated ms elapsed")
+
+
+if __name__ == "__main__":
+    main()

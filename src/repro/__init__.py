@@ -1,0 +1,65 @@
+"""Reproduction of *Subcontract: A Flexible Base for Distributed
+Programming* (Hamilton, Powell, Mitchell; Sun Microsystems Laboratories
+TR-93-13; SOSP 1993).
+
+The package layout mirrors the paper's system:
+
+* :mod:`repro.kernel` — the Spring nucleus: domains, doors, capabilities;
+* :mod:`repro.net` — network servers extending doors across machines;
+* :mod:`repro.marshal` — communication buffers and wire encodings;
+* :mod:`repro.idl` — the interface definition language and stub compiler;
+* :mod:`repro.core` — **the subcontract framework** (the contribution);
+* :mod:`repro.subcontracts` — singleton, simplex, cluster, replicon,
+  caching, reconnectable, shm, video, realtime, transact;
+* :mod:`repro.services` — naming, cache manager, files, replicated KV;
+* :mod:`repro.runtime` — one-call environment setup and fault injection.
+
+Quickstart::
+
+    from repro import Environment, compile_idl, narrow
+    from repro.subcontracts.simplex import SimplexServer
+
+    env = Environment()
+    server = env.create_domain("machine-a", "server")
+    client = env.create_domain("machine-b", "client")
+
+    module = compile_idl('interface counter { int32 add(int32 n); }')
+
+    class CounterImpl:
+        def __init__(self): self.total = 0
+        def add(self, n): self.total += n; return self.total
+
+    exported = SimplexServer(server).export(CounterImpl(),
+                                            module.binding("counter"))
+    env.bind(server, "/demo/counter", exported)
+    counter = narrow(env.resolve(client, "/demo/counter"),
+                     module.binding("counter"))
+    assert counter.add(5) == 5
+"""
+
+from repro.core import (
+    ClientSubcontract,
+    ServerSubcontract,
+    SpringObject,
+    SubcontractRegistry,
+    narrow,
+)
+from repro.idl import compile_idl
+from repro.kernel import Kernel
+from repro.runtime import Environment, give, transfer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "Kernel",
+    "compile_idl",
+    "narrow",
+    "transfer",
+    "give",
+    "SpringObject",
+    "ClientSubcontract",
+    "ServerSubcontract",
+    "SubcontractRegistry",
+    "__version__",
+]

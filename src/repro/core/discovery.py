@@ -1,0 +1,145 @@
+"""Dynamic subcontract discovery (Section 6.2).
+
+When a domain receives an object whose subcontract it has never seen, the
+registry asks this discovery service for the code.  The paper's flow:
+
+1. the unmarshal operation sees an unexpected subcontract ID;
+2. the registry has no entry, so it uses a *network naming context* to map
+   the subcontract identifier into a library name (e.g. ``replicon.so``);
+3. the dynamic linker loads that library — **only** from a designated
+   search path of trustworthy locations, because servers are reluctant to
+   run random code nominated by a potentially malicious client;
+4. unmarshalling continues with the newly linked subcontract code.
+
+Here, "libraries" are Python modules (``<name>.py`` files) that export a
+``SUBCONTRACTS`` dict mapping subcontract IDs to client subcontract
+classes, loaded with :mod:`importlib` from the trusted directories only.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import itertools
+import os
+import sys
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.errors import UnknownSubcontractError, UntrustedLibraryError
+from repro.core.subcontract import ClientSubcontract
+
+if TYPE_CHECKING:
+    from repro.kernel.clock import SimClock
+
+__all__ = ["LibraryLoader", "DiscoveryService"]
+
+#: Maps a subcontract ID to a library name (``None`` = unknown).  The
+#: runtime environment wires this to a naming-context lookup; tests may
+#: supply a plain dict's ``get``.
+Resolver = Callable[[str], "str | None"]
+
+_module_counter = itertools.count(1)
+
+
+class LibraryLoader:
+    """Loads subcontract libraries from a trusted search path.
+
+    ``trusted_paths`` plays the role of the designated directory search
+    path of Section 6.2: a library is loaded only when the *resolved* file
+    (after following symlinks) lives under one of these directories, so
+    neither ``..`` tricks nor symlink planting can smuggle code in from
+    elsewhere.
+    """
+
+    def __init__(
+        self,
+        trusted_paths: list[Path | str],
+        clock: "SimClock | None" = None,
+    ) -> None:
+        self.trusted_paths = [Path(p).resolve() for p in trusted_paths]
+        self.clock = clock
+        #: library names loaded so far, for tests and the E9 bench
+        self.loaded: list[str] = []
+
+    def _locate(self, library_name: str) -> Path:
+        filename = (
+            library_name if library_name.endswith(".py") else f"{library_name}.py"
+        )
+        if os.sep in library_name or (os.altsep and os.altsep in library_name):
+            raise UntrustedLibraryError(
+                f"library name {library_name!r} must be a bare name, not a path"
+            )
+        for directory in self.trusted_paths:
+            candidate = (directory / filename).resolve()
+            if not candidate.is_file():
+                continue
+            if not any(
+                candidate.is_relative_to(trusted) for trusted in self.trusted_paths
+            ):
+                raise UntrustedLibraryError(
+                    f"{candidate} resolves outside the trusted search path"
+                )
+            return candidate
+        raise UnknownSubcontractError(
+            f"no library {filename!r} on the trusted search path "
+            f"{[str(p) for p in self.trusted_paths]}"
+        )
+
+    def load(self, library_name: str) -> dict[str, type[ClientSubcontract]]:
+        """Load a library and return its ``SUBCONTRACTS`` export."""
+        path = self._locate(library_name)
+        if self.clock is not None:
+            self.clock.charge("library_load")
+        module_name = f"repro._dynamic.{path.stem}_{next(_module_counter)}"
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        if spec is None or spec.loader is None:  # pragma: no cover - importlib guard
+            raise UnknownSubcontractError(f"cannot load library at {path}")
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[module_name] = module
+        try:
+            spec.loader.exec_module(module)
+        except Exception as exc:
+            sys.modules.pop(module_name, None)
+            raise UnknownSubcontractError(
+                f"library {library_name!r} failed to initialise: {exc}"
+            ) from exc
+        exports = getattr(module, "SUBCONTRACTS", None)
+        if not isinstance(exports, dict):
+            raise UnknownSubcontractError(
+                f"library {library_name!r} does not export a SUBCONTRACTS dict"
+            )
+        self.loaded.append(library_name)
+        return exports
+
+
+class DiscoveryService:
+    """Maps subcontract IDs to loadable client subcontract classes."""
+
+    def __init__(self, resolver: Resolver, loader: LibraryLoader) -> None:
+        self.resolver = resolver
+        self.loader = loader
+
+    def obtain(self, subcontract_id: str) -> type[ClientSubcontract]:
+        """Resolve and load the subcontract class for ``subcontract_id``."""
+        library_name = self.resolver(subcontract_id)
+        if library_name is None:
+            raise UnknownSubcontractError(
+                f"naming context has no library mapping for subcontract "
+                f"{subcontract_id!r}"
+            )
+        exports = self.loader.load(library_name)
+        subcontract_class = exports.get(subcontract_id)
+        if subcontract_class is None:
+            raise UnknownSubcontractError(
+                f"library {library_name!r} does not provide subcontract "
+                f"{subcontract_id!r} (it provides {sorted(exports)})"
+            )
+        if not (
+            isinstance(subcontract_class, type)
+            and issubclass(subcontract_class, ClientSubcontract)
+        ):
+            raise UnknownSubcontractError(
+                f"library {library_name!r} entry for {subcontract_id!r} is not "
+                f"a ClientSubcontract subclass"
+            )
+        return subcontract_class

@@ -1,0 +1,61 @@
+"""Errors raised by the subcontract framework."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SubcontractError",
+    "ObjectConsumedError",
+    "UnknownSubcontractError",
+    "UntrustedLibraryError",
+    "NarrowError",
+    "RemoteApplicationError",
+    "RevokedObjectError",
+]
+
+
+class SubcontractError(Exception):
+    """Base class for subcontract-framework errors."""
+
+
+class ObjectConsumedError(SubcontractError):
+    """An operation was attempted on an object that no longer exists here.
+
+    Spring objects exist in exactly one place at a time (Section 3.2):
+    marshalling or consuming an object deletes all its local state, so any
+    later use of the stale language-level handle is a bug.
+    """
+
+
+class UnknownSubcontractError(SubcontractError):
+    """No code for a subcontract ID could be found or dynamically loaded."""
+
+
+class UntrustedLibraryError(SubcontractError):
+    """A subcontract library was found outside the trusted search path.
+
+    Section 6.2: "for security reasons the dynamic linker will only load
+    libraries that are on a designated directory search-path of
+    trustworthy locations."
+    """
+
+
+class NarrowError(SubcontractError):
+    """A run-time narrow failed: the object does not support the target type."""
+
+
+class RemoteApplicationError(SubcontractError):
+    """The server application raised an exception during the call.
+
+    Carries the remote exception's type name and message; the client sees
+    this instead of the raw server-side exception object, because
+    exceptions — like all state — cross domains only in marshalled form.
+    """
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.message = message
+
+
+class RevokedObjectError(SubcontractError):
+    """The server revoked the object's underlying state (Section 5.2.3)."""

@@ -1,0 +1,33 @@
+"""Subcontract identifiers.
+
+Section 6.1: the marshalled form of every object begins with a subcontract
+identifier, so the receiving side can detect that an object uses a
+different subcontract than the expected one and route unmarshalling to the
+right code (possibly after dynamically loading it, Section 6.2).
+
+Identifiers are short stable strings (e.g. ``"replicon"``).  A registry of
+well-known identifiers for the bundled subcontracts lives in
+:mod:`repro.subcontracts`.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["validate_subcontract_id", "SUBCONTRACT_ID_PATTERN"]
+
+SUBCONTRACT_ID_PATTERN = re.compile(r"^[a-z][a-z0-9_.\-]{0,63}$")
+
+
+def validate_subcontract_id(subcontract_id: str) -> str:
+    """Validate and return a subcontract identifier.
+
+    Raises ValueError for identifiers that could not survive the wire
+    format or that would collide with reserved names.
+    """
+    if not SUBCONTRACT_ID_PATTERN.match(subcontract_id):
+        raise ValueError(
+            f"invalid subcontract id {subcontract_id!r}: must match "
+            f"{SUBCONTRACT_ID_PATTERN.pattern}"
+        )
+    return subcontract_id

@@ -1,0 +1,106 @@
+"""Spring objects.
+
+Section 4: "A Spring object is perceived by a client as consisting of
+three things: 1) a *method table* ...; 2) a *subcontract operations
+vector* ...; and 3) some client-local private state, which is referred to
+as the object's *representation*."
+
+Generated stub classes (from :mod:`repro.idl`) subclass
+:class:`SpringObject`; their public methods forward through the method
+table, whose entries in turn drive the subcontract operations vector.
+How those methods achieve their effect is hidden from the client.
+
+Spring's object model (Section 3.2, Figure 2) treats the client as holding
+the *object itself*, not a reference: transmitting it moves it (the sender
+ceases to have it), and an explicit ``copy`` yields two distinct objects
+that may share underlying state.  ``_consumed`` enforces the "an object
+can only exist in one place at a time" rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.errors import ObjectConsumedError
+
+if TYPE_CHECKING:
+    from repro.core.subcontract import ClientSubcontract
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.domain import Domain
+
+__all__ = ["SpringObject", "MethodTable"]
+
+#: A method table maps operation names to stub entry points.  Each entry
+#: receives the SpringObject followed by the operation's arguments.
+MethodTable = dict[str, Callable[..., Any]]
+
+
+class SpringObject:
+    """The client-visible structure of a Spring object.
+
+    Instances are normally created by a subcontract (``unmarshal``,
+    ``copy``, or the server-side create path) — never directly by
+    application code.
+    """
+
+    _spring_fields = ("_domain", "_method_table", "_subcontract", "_rep", "_binding")
+
+    def __init__(
+        self,
+        domain: "Domain",
+        method_table: MethodTable,
+        subcontract: "ClientSubcontract",
+        rep: Any,
+        binding: "InterfaceBinding",
+    ) -> None:
+        self._domain = domain
+        self._method_table = method_table
+        self._subcontract = subcontract
+        self._rep = rep
+        self._binding = binding
+        self._consumed = False
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self._consumed:
+            raise ObjectConsumedError(
+                f"{self._binding.name} object was marshalled or consumed; "
+                f"it no longer exists in this domain"
+            )
+
+    def _mark_consumed(self) -> None:
+        """Delete all local state (the object has left this domain)."""
+        self._consumed = True
+        self._rep = None
+
+    # ------------------------------------------------------------------
+    # the universal client-side entry points (delegating to the
+    # subcontract operations vector; Sections 5.1.5-5.1.6)
+    # ------------------------------------------------------------------
+
+    def spring_copy(self) -> "SpringObject":
+        """Shallow-copy this object via its subcontract's copy operation."""
+        self._check_live()
+        return self._subcontract.copy(self)
+
+    def spring_consume(self) -> None:
+        """Finish with this object via its subcontract's consume operation."""
+        self._check_live()
+        self._subcontract.consume(self)
+
+    def spring_type_id(self) -> str:
+        """Run-time type query: the object's most-derived IDL type name."""
+        self._check_live()
+        return self._subcontract.type_of(self)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "consumed" if self._consumed else "live"
+        return (
+            f"<SpringObject type={self._binding.name}"
+            f" sc={self._subcontract.id} {state} in {self._domain.name!r}>"
+        )

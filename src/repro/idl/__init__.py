@@ -1,0 +1,48 @@
+"""The interface definition language (Section 3.1).
+
+A compact object-oriented IDL with multiple inheritance, by-value structs,
+sequences, the Spring ``copy`` parameter mode, and per-interface default
+subcontract declarations.  ``compile_idl`` generates subcontract-agnostic
+client stubs and server skeletons.
+"""
+
+from repro.idl.checker import check
+from repro.idl.compiler import IdlModule, compile_idl
+from repro.idl.errors import IdlCheckError, IdlError, IdlSyntaxError
+from repro.idl.genruntime import ANY_BINDING
+from repro.idl.parser import parse
+from repro.idl.specialize import specialize
+from repro.idl.rtypes import (
+    InterfaceBinding,
+    InterfaceType,
+    OperationSpec,
+    ParamMode,
+    ParamSpec,
+    Primitive,
+    PrimitiveType,
+    SequenceType,
+    StructBinding,
+    StructType,
+)
+
+__all__ = [
+    "compile_idl",
+    "IdlModule",
+    "parse",
+    "check",
+    "specialize",
+    "ANY_BINDING",
+    "InterfaceBinding",
+    "StructBinding",
+    "OperationSpec",
+    "ParamSpec",
+    "ParamMode",
+    "Primitive",
+    "PrimitiveType",
+    "SequenceType",
+    "StructType",
+    "InterfaceType",
+    "IdlError",
+    "IdlSyntaxError",
+    "IdlCheckError",
+]

@@ -1,0 +1,287 @@
+"""Semantic checker: resolves the AST into checked, flattened type info.
+
+Responsibilities:
+
+* one namespace for structs and interfaces, no duplicates;
+* all referenced types exist; bases are interfaces;
+* no inheritance cycles; flattened ancestor lists;
+* operation flattening across (multiple) inheritance with conflict
+  detection — inheriting the same operation via two paths is fine,
+  inheriting or redefining *different* signatures under one name is not;
+* structs are pure values: no interface-typed fields, no infinite-size
+  field recursion (sequences break recursion since they can be empty);
+* ``void`` appears only as a result type;
+* every declared name is a usable Python identifier that will not collide
+  with the generated runtime (no leading underscore, no Python keywords,
+  no SpringObject base-class names).
+"""
+
+from __future__ import annotations
+
+import keyword
+from dataclasses import dataclass, field
+
+from repro.idl.errors import IdlCheckError
+from repro.idl.rtypes import (
+    IdlType,
+    InterfaceType,
+    OperationSpec,
+    ParamMode,
+    ParamSpec,
+    Primitive,
+    PrimitiveType,
+    SequenceType,
+    StructType,
+)
+from repro.idl.syntax import (
+    InterfaceDecl,
+    NamedTypeExpr,
+    SequenceTypeExpr,
+    Specification,
+    StructDecl,
+    TypeExpr,
+)
+
+__all__ = ["CheckedStruct", "CheckedInterface", "CheckedSpec", "check"]
+
+_PRIMITIVES = {p.value: PrimitiveType(p) for p in Primitive}
+
+#: names generated code or SpringObject already uses
+_RESERVED_MEMBER_NAMES = frozenset(
+    {"spring_copy", "spring_consume", "spring_type_id"}
+)
+
+
+@dataclass
+class CheckedStruct:
+    name: str
+    fields: tuple[tuple[str, IdlType], ...]
+
+
+@dataclass
+class CheckedInterface:
+    name: str
+    bases: tuple[str, ...]
+    #: self first, then all transitive ancestors, deduplicated in
+    #: depth-first base order
+    ancestors: tuple[str, ...]
+    #: flattened operations: inherited first, then own, keyed by name
+    operations: dict[str, OperationSpec]
+    #: operations declared directly on this interface
+    own_operations: tuple[OperationSpec, ...]
+    default_subcontract_id: str
+
+
+@dataclass
+class CheckedSpec:
+    structs: dict[str, CheckedStruct] = field(default_factory=dict)
+    interfaces: dict[str, CheckedInterface] = field(default_factory=dict)
+
+
+def check(spec: Specification, default_subcontract: str = "singleton") -> CheckedSpec:
+    """Check a parsed specification and return flattened type info."""
+    return _Checker(spec, default_subcontract).run()
+
+
+class _Checker:
+    def __init__(self, spec: Specification, default_subcontract: str) -> None:
+        self.spec = spec
+        self.default_subcontract = default_subcontract
+        self.struct_decls: dict[str, StructDecl] = {}
+        self.interface_decls: dict[str, InterfaceDecl] = {}
+        self.out = CheckedSpec()
+
+    def run(self) -> CheckedSpec:
+        self._collect_names()
+        for decl in self.spec.structs:
+            self.out.structs[decl.name] = self._check_struct(decl)
+        self._check_struct_recursion()
+        for decl in self.spec.interfaces:
+            self._flatten_interface(decl.name, [])
+        return self.out
+
+    # ------------------------------------------------------------------
+
+    def _collect_names(self) -> None:
+        for decl in list(self.spec.structs) + list(self.spec.interfaces):
+            self._check_name(decl.name, "type")
+            if decl.name in self.struct_decls or decl.name in self.interface_decls:
+                raise IdlCheckError(f"duplicate type name {decl.name!r}")
+            if isinstance(decl, StructDecl):
+                self.struct_decls[decl.name] = decl
+            else:
+                self.interface_decls[decl.name] = decl
+
+    def _check_name(self, name: str, what: str) -> None:
+        if name.startswith("_"):
+            raise IdlCheckError(f"{what} name {name!r} may not start with underscore")
+        if keyword.iskeyword(name):
+            raise IdlCheckError(f"{what} name {name!r} is a Python keyword")
+        if name in _RESERVED_MEMBER_NAMES:
+            raise IdlCheckError(f"{what} name {name!r} is reserved by the runtime")
+        if name in _PRIMITIVES or name == "sequence":
+            raise IdlCheckError(f"{what} name {name!r} shadows a builtin IDL type")
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, expr: TypeExpr, *, context: str) -> IdlType:
+        if isinstance(expr, SequenceTypeExpr):
+            element = self._resolve(expr.element, context=context)
+            if element == _PRIMITIVES["void"]:
+                raise IdlCheckError(f"{context}: sequence element may not be void")
+            return SequenceType(element)
+        assert isinstance(expr, NamedTypeExpr)
+        if expr.name in _PRIMITIVES:
+            return _PRIMITIVES[expr.name]
+        if expr.name in self.struct_decls:
+            return StructType(expr.name)
+        if expr.name in self.interface_decls:
+            return InterfaceType(expr.name)
+        raise IdlCheckError(f"{context}: unknown type {expr.name!r}")
+
+    def _check_struct(self, decl: StructDecl) -> CheckedStruct:
+        fields: list[tuple[str, IdlType]] = []
+        seen: set[str] = set()
+        for fdecl in decl.fields:
+            self._check_name(fdecl.name, "field")
+            if fdecl.name in seen:
+                raise IdlCheckError(
+                    f"struct {decl.name!r}: duplicate field {fdecl.name!r}"
+                )
+            seen.add(fdecl.name)
+            ftype = self._resolve(fdecl.type, context=f"struct {decl.name!r}")
+            if ftype == _PRIMITIVES["void"]:
+                raise IdlCheckError(
+                    f"struct {decl.name!r}: field {fdecl.name!r} may not be void"
+                )
+            if _contains_reference(ftype):
+                raise IdlCheckError(
+                    f"struct {decl.name!r}: field {fdecl.name!r} holds an "
+                    f"interface, object, or door type; structs are pure values"
+                )
+            fields.append((fdecl.name, ftype))
+        return CheckedStruct(decl.name, tuple(fields))
+
+    def _check_struct_recursion(self) -> None:
+        # Direct struct-field containment must be acyclic (a struct field
+        # of struct type embeds it whole); sequences may recurse since an
+        # empty sequence terminates the value.
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(name: str, path: list[str]) -> None:
+            if state.get(name) == 1:
+                return
+            if state.get(name) == 0:
+                cycle = " -> ".join(path + [name])
+                raise IdlCheckError(f"recursive struct embedding: {cycle}")
+            state[name] = 0
+            for _, ftype in self.out.structs[name].fields:
+                if isinstance(ftype, StructType):
+                    visit(ftype.name, path + [name])
+            state[name] = 1
+
+        for name in self.out.structs:
+            visit(name, [])
+
+    # ------------------------------------------------------------------
+
+    def _flatten_interface(self, name: str, visiting: list[str]) -> CheckedInterface:
+        if name in self.out.interfaces:
+            return self.out.interfaces[name]
+        if name in visiting:
+            cycle = " -> ".join(visiting + [name])
+            raise IdlCheckError(f"inheritance cycle: {cycle}")
+        decl = self.interface_decls[name]
+
+        ancestors: list[str] = [name]
+        operations: dict[str, OperationSpec] = {}
+        seen_bases: set[str] = set()
+        for base in decl.bases:
+            if base in seen_bases:
+                raise IdlCheckError(
+                    f"interface {name!r}: duplicate base {base!r}"
+                )
+            seen_bases.add(base)
+            if base not in self.interface_decls:
+                if base in self.struct_decls:
+                    raise IdlCheckError(
+                        f"interface {name!r}: base {base!r} is a struct"
+                    )
+                raise IdlCheckError(
+                    f"interface {name!r}: unknown base {base!r}"
+                )
+            checked_base = self._flatten_interface(base, visiting + [name])
+            for ancestor in checked_base.ancestors:
+                if ancestor not in ancestors:
+                    ancestors.append(ancestor)
+            for op in checked_base.operations.values():
+                existing = operations.get(op.name)
+                if existing is not None and existing != op:
+                    raise IdlCheckError(
+                        f"interface {name!r}: operation {op.name!r} inherited "
+                        f"with conflicting signatures from {existing.introduced_by!r} "
+                        f"and {op.introduced_by!r}"
+                    )
+                operations[op.name] = op
+
+        own_ops: list[OperationSpec] = []
+        for opdecl in decl.operations:
+            self._check_name(opdecl.name, "operation")
+            context = f"interface {name!r} operation {opdecl.name!r}"
+            result = self._resolve(opdecl.result, context=context)
+            params: list[ParamSpec] = []
+            seen_params: set[str] = set()
+            for pdecl in opdecl.params:
+                self._check_name(pdecl.name, "parameter")
+                if pdecl.name in seen_params:
+                    raise IdlCheckError(f"{context}: duplicate parameter {pdecl.name!r}")
+                seen_params.add(pdecl.name)
+                ptype = self._resolve(pdecl.type, context=context)
+                if ptype == _PRIMITIVES["void"]:
+                    raise IdlCheckError(f"{context}: parameter may not be void")
+                mode = ParamMode.COPY if pdecl.mode == "copy" else ParamMode.IN
+                if mode is ParamMode.COPY and not _is_reference(ptype):
+                    # copy mode only changes semantics for objects and
+                    # doors; permit it elsewhere as documentation, where
+                    # it degenerates to IN.
+                    mode = ParamMode.IN
+                params.append(ParamSpec(pdecl.name, ptype, mode))
+            op = OperationSpec(opdecl.name, tuple(params), result, introduced_by=name)
+            existing = operations.get(op.name)
+            if existing is not None:
+                raise IdlCheckError(
+                    f"interface {name!r}: operation {op.name!r} conflicts with "
+                    f"the one inherited from {existing.introduced_by!r} "
+                    f"(no overloading or overriding)"
+                )
+            operations[op.name] = op
+            own_ops.append(op)
+
+        checked = CheckedInterface(
+            name=name,
+            bases=decl.bases,
+            ancestors=tuple(ancestors),
+            operations=operations,
+            own_operations=tuple(own_ops),
+            default_subcontract_id=decl.subcontract or self.default_subcontract,
+        )
+        self.out.interfaces[name] = checked
+        return checked
+
+
+def _is_reference(idl_type: IdlType) -> bool:
+    """True for types that denote capabilities rather than pure values."""
+    if isinstance(idl_type, InterfaceType):
+        return True
+    return isinstance(idl_type, PrimitiveType) and idl_type.kind in (
+        Primitive.OBJECT,
+        Primitive.DOOR,
+    )
+
+
+def _contains_reference(idl_type: IdlType) -> bool:
+    if _is_reference(idl_type):
+        return True
+    if isinstance(idl_type, SequenceType):
+        return _contains_reference(idl_type.element)
+    return False

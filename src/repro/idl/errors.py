@@ -1,0 +1,22 @@
+"""IDL compiler error hierarchy."""
+
+from __future__ import annotations
+
+__all__ = ["IdlError", "IdlSyntaxError", "IdlCheckError"]
+
+
+class IdlError(Exception):
+    """Base class for IDL compiler errors."""
+
+
+class IdlSyntaxError(IdlError):
+    """Lexical or grammatical error in IDL source."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class IdlCheckError(IdlError):
+    """Semantic error: unknown type, duplicate name, bad inheritance, ..."""

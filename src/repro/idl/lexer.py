@@ -1,0 +1,157 @@
+"""Lexer for the interface definition language (Section 3.1).
+
+The language is a compact subset of the IDL the paper references
+[OMG 1991]: object-oriented interfaces with multiple inheritance, by-value
+structs, sequences, and the Spring-specific ``copy`` parameter mode and
+per-interface default-subcontract declaration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.idl.errors import IdlSyntaxError
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "interface",
+        "struct",
+        "subcontract",
+        "sequence",
+        "in",
+        "copy",
+        "void",
+        "bool",
+        "int32",
+        "int64",
+        "float64",
+        "string",
+        "bytes",
+        "door",
+        "object",
+    }
+)
+
+_PUNCT = {
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "<": "LANGLE",
+    ">": "RANGLE",
+    ":": "COLON",
+    ";": "SEMI",
+    ",": "COMMA",
+}
+
+
+class TokenKind(enum.Enum):
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    STRING = "STRING"
+    LBRACE = "LBRACE"
+    RBRACE = "RBRACE"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    LANGLE = "LANGLE"
+    RANGLE = "RANGLE"
+    COLON = "COLON"
+    SEMI = "SEMI"
+    COMMA = "COMMA"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize IDL source, raising IdlSyntaxError on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, column
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+
+    while i < n:
+        ch = source[i]
+
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+
+        # line comment
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            end = n if end == -1 else end
+            advance(source[i:end])
+            i = end
+            continue
+
+        # block comment
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise IdlSyntaxError("unterminated block comment", line, column)
+            advance(source[i : end + 2])
+            i = end + 2
+            continue
+
+        if ch in _PUNCT:
+            yield Token(TokenKind[_PUNCT[ch]], ch, line, column)
+            advance(ch)
+            i += 1
+            continue
+
+        if ch == '"':
+            end = i + 1
+            while end < n and source[end] != '"':
+                if source[end] == "\n":
+                    raise IdlSyntaxError("unterminated string literal", line, column)
+                end += 1
+            if end >= n:
+                raise IdlSyntaxError("unterminated string literal", line, column)
+            text = source[i + 1 : end]
+            yield Token(TokenKind.STRING, text, line, column)
+            advance(source[i : end + 1])
+            i = end + 1
+            continue
+
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[i:end]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, text, line, column)
+            advance(text)
+            i = end
+            continue
+
+        raise IdlSyntaxError(f"unexpected character {ch!r}", line, column)
+
+    yield Token(TokenKind.EOF, "", line, column)

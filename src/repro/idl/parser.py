@@ -1,0 +1,193 @@
+"""Recursive-descent parser for the IDL grammar.
+
+Grammar (EBNF)::
+
+    specification := (struct | interface)*
+    struct        := 'struct' IDENT '{' field* '}' ';'?
+    field         := type IDENT ';'
+    interface     := 'interface' IDENT inherits? '{' scdecl? operation* '}' ';'?
+    inherits      := ':' IDENT (',' IDENT)*
+    scdecl        := 'subcontract' STRING ';'
+    operation     := type IDENT '(' params? ')' ';'
+    params        := param (',' param)*
+    param         := ('in' | 'copy')? type IDENT
+    type          := 'void' | 'bool' | 'int32' | 'int64' | 'float64'
+                   | 'string' | 'bytes'
+                   | 'sequence' '<' type '>'
+                   | IDENT
+"""
+
+from __future__ import annotations
+
+from repro.idl.errors import IdlSyntaxError
+from repro.idl.lexer import Token, TokenKind, tokenize
+from repro.idl.syntax import (
+    FieldDecl,
+    InterfaceDecl,
+    NamedTypeExpr,
+    OperationDecl,
+    ParamDecl,
+    SequenceTypeExpr,
+    Specification,
+    StructDecl,
+    TypeExpr,
+)
+
+__all__ = ["parse"]
+
+_TYPE_KEYWORDS = frozenset(
+    {
+        "void",
+        "bool",
+        "int32",
+        "int64",
+        "float64",
+        "string",
+        "bytes",
+        "door",
+        "object",
+        "sequence",
+    }
+)
+
+
+def parse(source: str) -> Specification:
+    """Parse IDL source text into a Specification AST."""
+    return _Parser(tokenize(source)).parse_specification()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> IdlSyntaxError:
+        token = self._cur
+        return IdlSyntaxError(message, token.line, token.column)
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self._cur
+        if token.kind is not kind or (text is not None and token.text != text):
+            wanted = text or kind.name
+            raise self._error(f"expected {wanted!r}, found {token.text!r}")
+        return self._advance()
+
+    def _at_keyword(self, text: str) -> bool:
+        return self._cur.kind is TokenKind.KEYWORD and self._cur.text == text
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._at_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept(self, kind: TokenKind) -> bool:
+        if self._cur.kind is kind:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar productions ----------------------------------------------
+
+    def parse_specification(self) -> Specification:
+        spec = Specification()
+        while self._cur.kind is not TokenKind.EOF:
+            if self._at_keyword("struct"):
+                spec.structs.append(self._parse_struct())
+            elif self._at_keyword("interface"):
+                spec.interfaces.append(self._parse_interface())
+            else:
+                raise self._error(
+                    f"expected 'struct' or 'interface', found {self._cur.text!r}"
+                )
+        return spec
+
+    def _parse_struct(self) -> StructDecl:
+        start = self._expect(TokenKind.KEYWORD, "struct")
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.LBRACE)
+        fields: list[FieldDecl] = []
+        while not self._accept(TokenKind.RBRACE):
+            line = self._cur.line
+            ftype = self._parse_type()
+            fname = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.SEMI)
+            fields.append(FieldDecl(fname, ftype, line))
+        self._accept(TokenKind.SEMI)
+        return StructDecl(name, tuple(fields), start.line)
+
+    def _parse_interface(self) -> InterfaceDecl:
+        start = self._expect(TokenKind.KEYWORD, "interface")
+        name = self._expect(TokenKind.IDENT).text
+        bases: list[str] = []
+        if self._accept(TokenKind.COLON):
+            bases.append(self._expect(TokenKind.IDENT).text)
+            while self._accept(TokenKind.COMMA):
+                bases.append(self._expect(TokenKind.IDENT).text)
+        self._expect(TokenKind.LBRACE)
+
+        subcontract: str | None = None
+        if self._accept_keyword("subcontract"):
+            subcontract = self._expect(TokenKind.STRING).text
+            self._expect(TokenKind.SEMI)
+
+        operations: list[OperationDecl] = []
+        while not self._accept(TokenKind.RBRACE):
+            operations.append(self._parse_operation())
+        self._accept(TokenKind.SEMI)
+        return InterfaceDecl(name, tuple(bases), tuple(operations), subcontract, start.line)
+
+    def _parse_operation(self) -> OperationDecl:
+        line = self._cur.line
+        result = self._parse_type()
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.LPAREN)
+        params: list[ParamDecl] = []
+        if not self._accept(TokenKind.RPAREN):
+            params.append(self._parse_param())
+            while self._accept(TokenKind.COMMA):
+                params.append(self._parse_param())
+            self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        return OperationDecl(name, tuple(params), result, line)
+
+    def _parse_param(self) -> ParamDecl:
+        line = self._cur.line
+        mode = "in"
+        if self._accept_keyword("in"):
+            mode = "in"
+        elif self._accept_keyword("copy"):
+            mode = "copy"
+        ptype = self._parse_type()
+        pname = self._expect(TokenKind.IDENT).text
+        return ParamDecl(pname, ptype, mode, line)
+
+    def _parse_type(self) -> TypeExpr:
+        token = self._cur
+        if token.kind is TokenKind.KEYWORD:
+            if token.text == "sequence":
+                self._advance()
+                self._expect(TokenKind.LANGLE)
+                element = self._parse_type()
+                self._expect(TokenKind.RANGLE)
+                return SequenceTypeExpr(element, token.line)
+            if token.text in _TYPE_KEYWORDS:
+                self._advance()
+                return NamedTypeExpr(token.text, token.line)
+            raise self._error(f"keyword {token.text!r} is not a type")
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return NamedTypeExpr(token.text, token.line)
+        raise self._error(f"expected a type, found {token.text!r}")

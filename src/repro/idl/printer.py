@@ -1,0 +1,71 @@
+"""IDL pretty-printer: the inverse of the parser.
+
+Formats a checked specification back into canonical IDL source.  Used by
+tooling (``python -m repro.idl --emit idl`` normalizes a file) and by the
+round-trip property tests that pin the grammar: ``parse(print(spec))``
+must yield the same checked types.
+"""
+
+from __future__ import annotations
+
+from repro.idl.checker import CheckedSpec
+from repro.idl.rtypes import (
+    IdlType,
+    InterfaceType,
+    OperationSpec,
+    ParamMode,
+    PrimitiveType,
+    SequenceType,
+    StructType,
+)
+
+__all__ = ["format_spec", "format_type"]
+
+
+def format_type(idl_type: IdlType) -> str:
+    """Canonical surface syntax for a resolved type."""
+    if isinstance(idl_type, PrimitiveType):
+        return idl_type.kind.value
+    if isinstance(idl_type, (StructType, InterfaceType)):
+        return idl_type.name
+    assert isinstance(idl_type, SequenceType)
+    return f"sequence<{format_type(idl_type.element)}>"
+
+
+def _format_operation(op: OperationSpec) -> str:
+    params = ", ".join(
+        ("copy " if p.mode is ParamMode.COPY else "")
+        + f"{format_type(p.type)} {p.name}"
+        for p in op.params
+    )
+    return f"    {format_type(op.result)} {op.name}({params});"
+
+
+def format_spec(spec: CheckedSpec, default_subcontract: str = "singleton") -> str:
+    """Render a checked specification as canonical IDL source.
+
+    Only operations *introduced by* each interface are printed (inherited
+    ones reappear through the base list), and a ``subcontract``
+    declaration is emitted only when it differs from the module default.
+    """
+    blocks: list[str] = []
+    for struct in spec.structs.values():
+        lines = [f"struct {struct.name} {{"]
+        lines += [
+            f"    {format_type(ftype)} {fname};" for fname, ftype in struct.fields
+        ]
+        lines.append("}")
+        blocks.append("\n".join(lines))
+
+    for iface in spec.interfaces.values():
+        head = f"interface {iface.name}"
+        if iface.bases:
+            head += " : " + ", ".join(iface.bases)
+        lines = [head + " {"]
+        if iface.default_subcontract_id != default_subcontract:
+            lines.append(f'    subcontract "{iface.default_subcontract_id}";')
+        lines += [_format_operation(op) for op in iface.own_operations]
+        lines.append("}")
+        blocks.append("\n".join(lines))
+
+    return "\n\n".join(blocks) + "\n"

@@ -1,0 +1,228 @@
+"""Runtime type objects produced by the IDL compiler.
+
+The compiler turns IDL source into *bindings*: per-struct and
+per-interface objects that generated stub code and the subcontract layer
+share.  An :class:`InterfaceBinding` is what the paper calls choosing "an
+initial subcontract and an initial method table based on the expected
+type" (Section 5.1.2): it knows the type's default subcontract ID, its
+(shared) remote method table, its stub class, and its server skeleton.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.core.object import MethodTable, SpringObject
+    from repro.kernel.domain import Domain
+    from repro.marshal.buffer import MarshalBuffer
+
+__all__ = [
+    "Primitive",
+    "PrimitiveType",
+    "SequenceType",
+    "StructType",
+    "InterfaceType",
+    "ParamMode",
+    "ParamSpec",
+    "OperationSpec",
+    "StructBinding",
+    "InterfaceBinding",
+    "IdlType",
+]
+
+
+class Primitive(enum.Enum):
+    """IDL primitive type kinds."""
+
+    VOID = "void"
+    BOOL = "bool"
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    BYTES = "bytes"
+    #: a raw kernel door identifier (Section 3.3) — used by low-level
+    #: system interfaces such as the cache manager, which traffics in
+    #: doors rather than typed objects (Section 8.2)
+    DOOR = "door"
+    #: any Spring object; unmarshalled at the generic ``object`` type and
+    #: narrowed by the receiver (Section 6.3)
+    OBJECT = "object"
+
+
+@dataclass(frozen=True)
+class PrimitiveType:
+    kind: Primitive
+
+    def __str__(self) -> str:
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class SequenceType:
+    element: "IdlType"
+
+    def __str__(self) -> str:
+        return f"sequence<{self.element}>"
+
+
+@dataclass(frozen=True)
+class StructType:
+    """A reference to a named struct (marshalled by value, Section 2.1)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class InterfaceType:
+    """A reference to a named interface (an object; marshalled via its
+    subcontract)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+IdlType = PrimitiveType | SequenceType | StructType | InterfaceType
+
+
+def _unattached_struct_codec(*args: Any) -> None:
+    """Placeholder codec used before codegen attaches the real one."""
+    raise RuntimeError("struct binding has no generated codec attached")
+
+
+class ParamMode(enum.Enum):
+    """Parameter passing modes (Section 5.1.5).
+
+    ``IN`` transmits the argument; for objects this *moves* them (Spring
+    objects exist in one place at a time, Section 3.2).  ``COPY`` implies
+    a copy of the argument object is transmitted while the calling domain
+    retains the original — driven through ``marshal_copy`` so subcontracts
+    can fuse the copy and the marshal.
+    """
+
+    IN = "in"
+    COPY = "copy"
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    name: str
+    type: IdlType
+    mode: ParamMode = ParamMode.IN
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    name: str
+    params: tuple[ParamSpec, ...]
+    result: IdlType
+    #: interface that introduced the operation (for diagnostics)
+    introduced_by: str = ""
+
+
+@dataclass
+class StructBinding:
+    """Runtime binding for a by-value struct type."""
+
+    name: str
+    fields: tuple[tuple[str, IdlType], ...]
+    #: generated value class
+    value_class: type = type(None)
+    #: generated (buffer, value) -> None
+    marshal: Callable[..., None] = _unattached_struct_codec
+    #: generated (buffer, domain) -> value
+    unmarshal: Callable[..., Any] = _unattached_struct_codec
+
+
+@dataclass
+class InterfaceBinding:
+    """Runtime binding for an interface type."""
+
+    name: str
+    #: self first, then every (transitive) ancestor, deduplicated
+    ancestors: tuple[str, ...] = ()
+    #: flattened operations (inherited + own), keyed by name
+    operations: dict[str, OperationSpec] = field(default_factory=dict)
+    #: Section 6.1: "for each type we can specify a default subcontract
+    #: for use when talking to that type"
+    default_subcontract_id: str = "singleton"
+    #: generated SpringObject subclass
+    stub_class: type = type(None)
+    #: generated skeleton: dispatch(domain, impl, argbuf, reply, binding)
+    skeleton: Any = None
+    #: stub entry points keyed by operation name (shared by all objects
+    #: of this type; built by codegen)
+    _remote_table: "MethodTable | None" = None
+    #: specialized stub tables keyed by subcontract ID (Section 9.1's
+    #: future direction: fused stubs for popular, performance-critical
+    #: combinations of types and subcontracts).  Installed by
+    #: :func:`repro.idl.specialize.specialize`.
+    _specialized_tables: dict[str, "MethodTable"] = field(default_factory=dict)
+
+    def remote_method_table(self) -> "MethodTable":
+        """The shared method table of general-purpose remote-stub entries."""
+        if self._remote_table is None:
+            raise RuntimeError(
+                f"binding {self.name!r} has no generated stubs attached"
+            )
+        return self._remote_table
+
+    def method_table_for(self, subcontract_id: str) -> "MethodTable":
+        """Pick the method table for an object of this type being
+        fabricated under ``subcontract_id``.
+
+        Section 9.1: "when we were lucky enough to receive an object that
+        happened to be of the right type and subcontract we would be able
+        to use the specialized stubs" — otherwise the general-purpose
+        stubs, which work with any subcontract.
+        """
+        specialized = self._specialized_tables.get(subcontract_id)
+        if specialized is not None:
+            return specialized
+        return self.remote_method_table()
+
+    def install_specialized_table(
+        self, subcontract_id: str, table: "MethodTable"
+    ) -> None:
+        """Attach a fused stub table for one (type, subcontract) pair."""
+        missing = set(self.operations) - set(table)
+        if missing:
+            raise ValueError(
+                f"specialized table for {self.name!r} lacks operations "
+                f"{sorted(missing)}"
+            )
+        self._specialized_tables[subcontract_id] = table
+
+    def unmarshal_from(
+        self, buffer: "MarshalBuffer", domain: "Domain"
+    ) -> "SpringObject":
+        """Read an object of this (expected) type from a buffer.
+
+        Chooses the initial subcontract from the domain's registry based
+        on this type's default subcontract, then lets the subcontract
+        machinery route to the actual subcontract if they differ
+        (Sections 5.1.2 and 6.1).
+        """
+        from repro.core.registry import ensure_registry
+
+        registry = ensure_registry(domain)
+        initial = registry.lookup(self.default_subcontract_id)
+        return initial.unmarshal(buffer, self)
+
+    def is_ancestor_of(self, other: "InterfaceBinding") -> bool:
+        """True when this interface appears in ``other``'s ancestry."""
+        return self.name in other.ancestors
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<InterfaceBinding {self.name} ops={sorted(self.operations)}"
+            f" default_sc={self.default_subcontract_id!r}>"
+        )

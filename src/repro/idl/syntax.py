@@ -1,0 +1,84 @@
+"""Abstract syntax tree for the IDL compiler.
+
+Plain dataclasses produced by :mod:`repro.idl.parser` and consumed by
+:mod:`repro.idl.checker`.  Types are left as surface forms (names,
+``sequence<...>`` nests) for the checker to resolve against declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TypeExpr",
+    "NamedTypeExpr",
+    "SequenceTypeExpr",
+    "FieldDecl",
+    "StructDecl",
+    "ParamDecl",
+    "OperationDecl",
+    "InterfaceDecl",
+    "Specification",
+]
+
+
+@dataclass(frozen=True)
+class NamedTypeExpr:
+    """A primitive keyword, struct name, or interface name."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SequenceTypeExpr:
+    element: "TypeExpr"
+    line: int = 0
+
+
+TypeExpr = NamedTypeExpr | SequenceTypeExpr
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    name: str
+    type: TypeExpr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class StructDecl:
+    name: str
+    fields: tuple[FieldDecl, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    name: str
+    type: TypeExpr
+    mode: str = "in"  # "in" | "copy"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class OperationDecl:
+    name: str
+    params: tuple[ParamDecl, ...]
+    result: TypeExpr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class InterfaceDecl:
+    name: str
+    bases: tuple[str, ...]
+    operations: tuple[OperationDecl, ...]
+    subcontract: str | None = None  # default-subcontract declaration
+    line: int = 0
+
+
+@dataclass
+class Specification:
+    structs: list[StructDecl] = field(default_factory=list)
+    interfaces: list[InterfaceDecl] = field(default_factory=list)

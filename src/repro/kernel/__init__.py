@@ -1,0 +1,43 @@
+"""Spring nucleus emulation: domains, doors, and the kernel call gate.
+
+This package reproduces the substrate described in Section 3.3 of the
+paper ("Doors") and [Hamilton & Kougiouris 1993]: an object-oriented IPC
+mechanism in which door identifiers function as software capabilities and
+the kernel mediates their construction, destruction, copying, and
+transmission.
+"""
+
+from repro.kernel.clock import ClockWindow, CostModel, SimClock
+from repro.kernel.domain import Domain
+from repro.kernel.doors import Door, DoorIdentifier, DoorState, TransitDoorRef
+from repro.kernel.errors import (
+    CommunicationError,
+    DomainCrashedError,
+    DoorAccessError,
+    DoorRevokedError,
+    InvalidDoorError,
+    KernelError,
+    NetworkPartitionError,
+    ServerDiedError,
+)
+from repro.kernel.nucleus import Kernel
+
+__all__ = [
+    "ClockWindow",
+    "CostModel",
+    "SimClock",
+    "Domain",
+    "Door",
+    "DoorIdentifier",
+    "DoorState",
+    "TransitDoorRef",
+    "Kernel",
+    "KernelError",
+    "InvalidDoorError",
+    "DoorRevokedError",
+    "DoorAccessError",
+    "DomainCrashedError",
+    "CommunicationError",
+    "NetworkPartitionError",
+    "ServerDiedError",
+]

@@ -1,0 +1,72 @@
+"""Kernel error hierarchy.
+
+The Spring nucleus reports door failures to callers so that subcontracts
+can react: replicon prunes a dead replica on a communication error,
+reconnectable re-resolves its object name when a door has gone away, and
+ordinary subcontracts surface the failure to the application.  The error
+taxonomy below mirrors the distinctions those subcontracts rely on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KernelError",
+    "InvalidDoorError",
+    "DoorRevokedError",
+    "DoorAccessError",
+    "DomainCrashedError",
+    "CommunicationError",
+    "NetworkPartitionError",
+    "ServerDiedError",
+]
+
+
+class KernelError(Exception):
+    """Base class for all errors raised by the Spring nucleus emulation."""
+
+
+class InvalidDoorError(KernelError):
+    """A door identifier does not name any live door.
+
+    Raised when an identifier was deleted, never issued, or belongs to a
+    door whose server domain has been destroyed.
+    """
+
+
+class DoorRevokedError(InvalidDoorError):
+    """The server explicitly revoked the door (Section 5.2.3).
+
+    Revocation invalidates every outstanding identifier at once; clients
+    discover it on their next invocation.
+    """
+
+
+class DoorAccessError(KernelError):
+    """A domain used a door identifier it does not own.
+
+    Door identifiers function as software capabilities: only the
+    legitimate owner of an identifier may issue a call on its door
+    (Section 3.3).  Attempting to use another domain's identifier is a
+    protection violation, not a communication failure.
+    """
+
+
+class DomainCrashedError(KernelError):
+    """An operation was attempted by or on a crashed domain."""
+
+
+class CommunicationError(KernelError):
+    """A call could not reach the target door.
+
+    This is the failure subcontracts treat as 'the replica/server is
+    unreachable' — replicon prunes the target, reconnectable begins its
+    recovery protocol.
+    """
+
+
+class NetworkPartitionError(CommunicationError):
+    """The network fabric refused to carry the call between two machines."""
+
+
+class ServerDiedError(CommunicationError):
+    """The server domain crashed while (or before) handling the call."""

@@ -1,0 +1,339 @@
+"""The Spring nucleus emulation: kernel-mediated door operations.
+
+All operations on doors and door identifiers go through the kernel
+(Section 3.3): construction, destruction, copying, transmission, and of
+course cross-domain calls.  The kernel also implements:
+
+* capability enforcement — only the owning domain may use an identifier;
+* refcounting with *unreferenced notification* — when the last identifier
+  for a door is deleted, the door's server is told so it can reclaim the
+  underlying state (Section 7);
+* revocation — a server invalidates every outstanding identifier at once
+  (Section 5.2.3);
+* domain crash semantics — a crashed domain's doors die and its
+  identifiers evaporate, which is exactly the failure the reconnectable
+  subcontract (Section 8.3) exists to mask.
+
+Calls between domains on *different machines* are delegated to the network
+fabric installed by :mod:`repro.net`; the kernel only ever performs the
+local leg, matching the paper's split between the nucleus and the network
+servers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.kernel.clock import CostModel, SimClock
+from repro.kernel.doors import (
+    Door,
+    DoorHandler,
+    DoorIdentifier,
+    DoorState,
+    TransitDoorRef,
+)
+from repro.kernel.domain import Domain
+from repro.kernel.errors import (
+    DoorAccessError,
+    DoorRevokedError,
+    InvalidDoorError,
+    ServerDiedError,
+)
+
+if TYPE_CHECKING:
+    from repro.marshal.buffer import MarshalBuffer
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """One Spring nucleus instance.
+
+    A single kernel may host many domains; :mod:`repro.net` groups domains
+    into machines and installs a fabric hook for cross-machine calls.  In
+    tests that don't care about machines, all domains share one kernel and
+    every door call is a local (cross-domain, same-machine) call.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        import threading
+
+        self.clock = SimClock(cost_model)
+        self.domains: dict[int, Domain] = {}
+        self.doors: dict[int, Door] = {}
+        # Guards the kernel's capability tables.  Held only across table
+        # mutations — never across a door handler, so nested and
+        # concurrent calls proceed (domains have threads, Section 3.3).
+        self._table_lock = threading.RLock()
+        #: optional hook installed by the network layer: called for door
+        #: calls whose server lives on a different machine than the caller.
+        self.fabric: Callable[[Domain, Door, "MarshalBuffer"], "MarshalBuffer"] | None = None
+        #: depth of the current nested door-call chain (for tests/traces)
+        self.call_depth = 0
+
+    # ------------------------------------------------------------------
+    # domains
+    # ------------------------------------------------------------------
+
+    def create_domain(self, name: str) -> Domain:
+        """Boot a new domain (address space + threads)."""
+        with self._table_lock:
+            domain = Domain(self, name)
+            self.domains[domain.uid] = domain
+            return domain
+
+    def crash_domain(self, domain: Domain) -> None:
+        """Terminate a domain abruptly.
+
+        Every door the domain serves becomes DEAD (future calls raise
+        :class:`ServerDiedError` wrapped as a communication failure) and
+        every identifier the domain owns is deleted — without running
+        unreferenced notifications into the crashed domain itself.
+        """
+        with self._table_lock:
+            if not domain.alive:
+                return
+            domain.alive = False
+            for door in list(domain.served_doors.values()):
+                door.state = DoorState.DEAD
+            # Deleting the crashed domain's identifiers may drop other
+            # (still-alive) servers' doors to zero references; those
+            # servers do get their unreferenced notification.
+            for ident in list(domain.door_ids.values()):
+                self._release_identifier(ident)
+            domain.door_ids.clear()
+
+    # ------------------------------------------------------------------
+    # door construction / destruction
+    # ------------------------------------------------------------------
+
+    def create_door(
+        self,
+        server: Domain,
+        handler: DoorHandler,
+        unreferenced: Callable[[Door], None] | None = None,
+        label: str = "",
+    ) -> DoorIdentifier:
+        """Create a door served by ``server`` and return its first identifier.
+
+        The returned identifier is owned by ``server``; the server passes
+        it (or copies of it) to clients through marshalled objects.
+        """
+        server.check_alive()
+        self.clock.charge("door_create")
+        with self._table_lock:
+            door = Door(server, handler, unreferenced, label)
+            self.doors[door.uid] = door
+            server.served_doors[door.uid] = door
+            return self._issue_identifier(door, server)
+
+    def copy_door_id(self, domain: Domain, ident: DoorIdentifier) -> DoorIdentifier:
+        """Duplicate an identifier (kernel door-id copy; Section 7 simplex copy).
+
+        Copying is permitted even when the door is dead or revoked —
+        holding or passing a stale capability is legal (compare Mach dead
+        names); only *calls* on it fail.
+        """
+        domain.check_alive()
+        self.clock.charge("door_copy")
+        with self._table_lock:
+            self._check_usable(domain, ident, for_call=False)
+            return self._issue_identifier(ident.door, domain, allow_inactive=True)
+
+    def delete_door_id(self, domain: Domain, ident: DoorIdentifier) -> None:
+        """Delete an identifier the domain owns (Section 7 simplex consume).
+
+        When the door's last identifier disappears the kernel notifies the
+        door's target so the server-side subcontract can clean up.
+        """
+        domain.check_alive()
+        self.clock.charge("door_delete")
+        with self._table_lock:
+            if not domain.owns(ident):
+                raise DoorAccessError(
+                    f"domain {domain.name!r} does not own identifier #{ident.uid}"
+                )
+            self._release_identifier(ident)
+
+    def revoke_door(self, server: Domain, door: Door) -> None:
+        """Server-side revocation (Section 5.2.3).
+
+        The server discards a piece of state even though clients still
+        hold objects pointing at it; revoking the underlying door
+        effectively prevents further incoming calls.  Outstanding
+        identifiers remain in client tables but every use raises
+        :class:`DoorRevokedError`.
+        """
+        server.check_alive()
+        with self._table_lock:
+            if door.uid not in server.served_doors:
+                raise DoorAccessError(
+                    f"domain {server.name!r} does not serve door #{door.uid}"
+                )
+            door.state = DoorState.REVOKED
+
+    # ------------------------------------------------------------------
+    # transmission (marshal-layer support)
+    # ------------------------------------------------------------------
+
+    def detach_door_id(self, domain: Domain, ident: DoorIdentifier) -> TransitDoorRef:
+        """Move an identifier out of a domain and into transit.
+
+        Used when a subcontract marshals an object: the object's door
+        identifiers leave the sender's address space (marshal *deletes all
+        the local state associated with the object*, Section 5.1.1) but
+        keep their refcount unit so the door stays referenced in flight.
+        """
+        domain.check_alive()
+        with self._table_lock:
+            self._check_usable(domain, ident, for_call=False)
+            domain._disown(ident)
+            ident.valid = False
+            return TransitDoorRef(ident.door)
+
+    def attach_door_id(self, domain: Domain, transit: TransitDoorRef) -> DoorIdentifier:
+        """Materialise an in-transit door reference as a domain-owned identifier."""
+        domain.check_alive()
+        with self._table_lock:
+            if not transit.live:
+                raise InvalidDoorError("transit door reference already consumed")
+            transit.live = False
+            # The refcount unit transfers from the transit ref to the
+            # new identifier.
+            ident = DoorIdentifier(transit.door, domain)
+            domain._adopt(ident)
+            return ident
+
+    def discard_transit(self, transit: TransitDoorRef) -> None:
+        """Drop an in-transit reference (message destroyed undelivered)."""
+        with self._table_lock:
+            if not transit.live:
+                return
+            transit.live = False
+            self._drop_ref(transit.door)
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+
+    def door_call(
+        self, caller: Domain, ident: DoorIdentifier, buffer: "MarshalBuffer"
+    ) -> "MarshalBuffer":
+        """Execute a cross-address-space call through a door.
+
+        The kernel validates the capability, charges the door-traversal
+        cost, translates the buffer's door vector into transit form, and
+        delivers the call to the door's handler (normally the server-side
+        subcontract).  Cross-machine calls are handed to the network
+        fabric, which forwards them to the remote machine's kernel leg.
+        """
+        caller.check_alive()
+        with self._table_lock:
+            self._check_usable(caller, ident, for_call=True)
+            door = ident.door
+            server = door.server
+        if not server.alive:
+            raise ServerDiedError(
+                f"server domain {server.name!r} of door #{door.uid} has crashed"
+            )
+
+        buffer.seal_for_transmission(caller)
+
+        if (
+            self.fabric is not None
+            and caller.machine is not None
+            and server.machine is not None
+            and caller.machine is not server.machine
+        ):
+            reply = self.fabric(caller, door, buffer)
+        else:
+            self.clock.charge("door_call")
+            reply = self._deliver(door, buffer)
+        reply.seal_for_transmission(server)
+        return reply
+
+    def _deliver(self, door: Door, buffer: "MarshalBuffer") -> "MarshalBuffer":
+        """Run the handler leg of a door call on the server's machine."""
+        server = door.server
+        if not server.alive or door.state is DoorState.DEAD:
+            raise ServerDiedError(
+                f"server domain {server.name!r} of door #{door.uid} has crashed"
+            )
+        if door.state is DoorState.REVOKED:
+            raise DoorRevokedError(f"door #{door.uid} has been revoked")
+        with self._table_lock:
+            door.calls_handled += 1
+            self.call_depth += 1
+        try:
+            reply = door.handler(buffer)
+        finally:
+            with self._table_lock:
+                self.call_depth -= 1
+        return reply
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _issue_identifier(
+        self, door: Door, owner: Domain, allow_inactive: bool = False
+    ) -> DoorIdentifier:
+        if door.state is not DoorState.ACTIVE and not allow_inactive:
+            raise InvalidDoorError(f"door #{door.uid} is {door.state.value}")
+        ident = DoorIdentifier(door, owner)
+        door.refcount += 1
+        owner._adopt(ident)
+        return ident
+
+    def _release_identifier(self, ident: DoorIdentifier) -> None:
+        if not ident.valid:
+            return
+        ident.valid = False
+        ident.owner._disown(ident)
+        self._drop_ref(ident.door)
+
+    def _drop_ref(self, door: Door) -> None:
+        door.refcount -= 1
+        if door.refcount < 0:  # pragma: no cover - invariant guard
+            raise AssertionError(f"door #{door.uid} refcount went negative")
+        if door.refcount == 0:
+            self._door_unreferenced(door)
+
+    def _door_unreferenced(self, door: Door) -> None:
+        """Last identifier gone: notify the door's target, then retire it."""
+        server = door.server
+        server.served_doors.pop(door.uid, None)
+        self.doors.pop(door.uid, None)
+        was_active = door.state is DoorState.ACTIVE
+        door.state = DoorState.DEAD
+        if was_active and server.alive and door.unreferenced is not None:
+            door.unreferenced(door)
+
+    def _check_usable(
+        self, domain: Domain, ident: DoorIdentifier, for_call: bool
+    ) -> None:
+        if not domain.owns(ident):
+            raise DoorAccessError(
+                f"domain {domain.name!r} does not own identifier #{ident.uid}"
+            )
+        if not ident.valid:
+            raise InvalidDoorError(f"identifier #{ident.uid} is no longer valid")
+        door = ident.door
+        if not for_call:
+            # Holding, copying, and transmitting stale capabilities is
+            # legal; only calls on them fail.
+            return
+        if door.state is DoorState.REVOKED:
+            raise DoorRevokedError(f"door #{door.uid} has been revoked")
+        if door.state is DoorState.DEAD:
+            # Calls on a dead door are a communication failure — the
+            # signal replicon and reconnectable recover from.
+            raise ServerDiedError(f"server of door #{door.uid} has crashed")
+
+    # ------------------------------------------------------------------
+    # introspection (tests, benches)
+    # ------------------------------------------------------------------
+
+    def live_door_count(self) -> int:
+        """Number of doors currently registered with the kernel (E4)."""
+        return len(self.doors)

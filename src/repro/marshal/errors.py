@@ -1,0 +1,26 @@
+"""Marshalling error hierarchy."""
+
+from __future__ import annotations
+
+__all__ = ["MarshalError", "WireTypeError", "BufferUnderflowError", "DoorVectorError"]
+
+
+class MarshalError(Exception):
+    """Base class for errors raised by the marshal layer."""
+
+
+class WireTypeError(MarshalError):
+    """The next wire item does not have the expected type tag.
+
+    Raised when stubs and skeletons disagree about an interface, or when a
+    subcontract misreads a buffer — both bugs the self-describing wire
+    format exists to catch early.
+    """
+
+
+class BufferUnderflowError(MarshalError):
+    """A read ran past the end of the marshalled data."""
+
+
+class DoorVectorError(MarshalError):
+    """A door slot index did not name a live entry in the buffer's door vector."""

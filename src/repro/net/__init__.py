@@ -1,0 +1,12 @@
+"""Network layer: machines, the network fabric, and network servers.
+
+Models the paper's "set of network servers [that] extend the door
+mechanism transparently over the network" (Section 3.3), plus the
+unreliable datagram service the video subcontract's media path uses.
+"""
+
+from repro.net.fabric import NetworkFabric
+from repro.net.machine import Machine
+from repro.net.netserver import NetworkServer
+
+__all__ = ["NetworkFabric", "Machine", "NetworkServer"]

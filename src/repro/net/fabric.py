@@ -1,0 +1,173 @@
+"""The simulated network fabric.
+
+Carries two kinds of traffic:
+
+* **forwarded door calls** — installed as the kernel's ``fabric`` hook;
+  invoked whenever a door call's caller and server live on different
+  machines.  Applies latency on both legs, honours partitions, and drives
+  the per-machine network-server accounting.
+* **datagrams** — an unreliable, loss-prone, fire-and-forget service used
+  by the video subcontract's media path (Section 8.4).
+
+All latency is simulated time on the kernel clock; nothing sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable
+
+from repro.kernel.errors import NetworkPartitionError
+from repro.net.machine import Machine
+
+if TYPE_CHECKING:
+    from repro.kernel.domain import Domain
+    from repro.kernel.doors import Door
+    from repro.kernel.nucleus import Kernel
+    from repro.marshal.buffer import MarshalBuffer
+
+__all__ = ["NetworkFabric"]
+
+
+class NetworkFabric:
+    """One network joining a set of machines."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        latency_us: float = 1200.0,
+        bandwidth_us_per_byte: float = 0.05,
+        datagram_loss: float = 0.0,
+        seed: int = 1993,
+    ) -> None:
+        self.kernel = kernel
+        self.latency_us = latency_us
+        self.bandwidth_us_per_byte = bandwidth_us_per_byte
+        self.datagram_loss = datagram_loss
+        self._rng = random.Random(seed)
+        self.machines: dict[str, Machine] = {}
+        #: unordered machine-name pairs that cannot reach each other
+        self._partitions: set[frozenset[str]] = set()
+        #: (machine_name, port) -> callback(payload)
+        self._ports: dict[tuple[str, str], Callable[[bytes], None]] = {}
+        #: statistics
+        self.calls_carried = 0
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        kernel.fabric = self.carry
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def create_machine(self, name: str) -> Machine:
+        """Add a machine to this network."""
+        if name in self.machines:
+            raise ValueError(f"machine {name!r} already exists")
+        machine = Machine(self.kernel, name, self)
+        self.machines[name] = machine
+        return machine
+
+    def partition(self, a: Machine | str, b: Machine | str) -> None:
+        """Cut the link between two machines (both directions)."""
+        self._partitions.add(frozenset((self._name(a), self._name(b))))
+
+    def heal(self, a: Machine | str, b: Machine | str) -> None:
+        """Restore the link between two machines."""
+        self._partitions.discard(frozenset((self._name(a), self._name(b))))
+
+    def heal_all(self) -> None:
+        """Restore every cut link."""
+        self._partitions.clear()
+
+    def partitioned(self, a: Machine | str, b: Machine | str) -> bool:
+        """True when the two machines cannot currently reach each other."""
+        return frozenset((self._name(a), self._name(b))) in self._partitions
+
+    @staticmethod
+    def _name(machine: Machine | str) -> str:
+        return machine if isinstance(machine, str) else machine.name
+
+    # ------------------------------------------------------------------
+    # forwarded door calls (the kernel's fabric hook)
+    # ------------------------------------------------------------------
+
+    def carry(
+        self, caller: "Domain", door: "Door", buffer: "MarshalBuffer"
+    ) -> "MarshalBuffer":
+        """Kernel fabric hook: forward one door call between machines."""
+        src = caller.machine
+        dst = door.server.machine
+        assert src is not None and dst is not None
+        if self.partitioned(src, dst):
+            raise NetworkPartitionError(
+                f"machines {src.name!r} and {dst.name!r} are partitioned"
+            )
+        self.calls_carried += 1
+
+        # Request leg: translate outbound doors, pay wire time, translate
+        # inbound doors, then the remote kernel's door traversal.
+        src.net_server.outbound(buffer.live_door_count())
+        self._wire_time(buffer.size)
+        dst.net_server.inbound(buffer.live_door_count())
+        self.kernel.clock.charge("door_call")
+        reply = self.kernel._deliver(door, buffer)
+
+        # Reply leg: partitions that formed mid-call lose the reply.
+        if self.partitioned(src, dst):
+            reply.discard()
+            raise NetworkPartitionError(
+                f"reply lost: machines {src.name!r} and {dst.name!r} partitioned"
+            )
+        dst.net_server.outbound_reply(reply.live_door_count())
+        self._wire_time(reply.size)
+        src.net_server.inbound_reply(reply.live_door_count())
+        # Shared regions do not span machines; never let one leak across.
+        reply.region = None
+        return reply
+
+    def _wire_time(self, size: int) -> None:
+        self.kernel.clock.advance(
+            self.latency_us + self.bandwidth_us_per_byte * size, "network"
+        )
+
+    # ------------------------------------------------------------------
+    # datagrams (unreliable; used by the video subcontract)
+    # ------------------------------------------------------------------
+
+    def register_port(
+        self, machine: Machine | str, port: str, callback: Callable[[bytes], None]
+    ) -> None:
+        """Listen for datagrams on (machine, port)."""
+        key = (self._name(machine), port)
+        if key in self._ports:
+            raise ValueError(f"port {port!r} already registered on {key[0]!r}")
+        self._ports[key] = callback
+
+    def unregister_port(self, machine: Machine | str, port: str) -> None:
+        """Stop listening on (machine, port)."""
+        self._ports.pop((self._name(machine), port), None)
+
+    def send_datagram(
+        self, src: Machine | str, dst: Machine | str, port: str, payload: bytes
+    ) -> bool:
+        """Offer one datagram to the network; returns True if delivered.
+
+        Datagrams are silently dropped on partition, on loss (per the
+        fabric's loss model), or when nobody listens on the port — there
+        are no replies and no errors, which is the property the video
+        subcontract is built to tolerate.
+        """
+        self.datagrams_sent += 1
+        if self.partitioned(src, dst):
+            return False
+        if self.datagram_loss > 0 and self._rng.random() < self.datagram_loss:
+            return False
+        callback = self._ports.get((self._name(dst), port))
+        if callback is None:
+            return False
+        if self._name(src) != self._name(dst):
+            self._wire_time(len(payload))
+        self.datagrams_delivered += 1
+        callback(bytes(payload))
+        return True

@@ -1,0 +1,62 @@
+"""Per-machine network server bookkeeping.
+
+The paper's network servers do two jobs: forward door invocations over
+the network, and map door identifiers to and from an extended network
+form.  In this emulation the forwarding is performed by the fabric (one
+shared Python process stands in for all machines), but the *translation
+work* — every door identifier crossing a machine boundary must be
+converted to a network handle on the way out and back to a local
+identifier on the way in — is accounted here, per machine, so tests and
+benches can observe exactly how many translations each workload causes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.net.machine import Machine
+
+__all__ = ["NetworkServer"]
+
+#: simulated cost of translating one door identifier to/from network form
+TRANSLATE_DOOR_US = 6.0
+
+
+class NetworkServer:
+    """Statistics and translation accounting for one machine."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.calls_forwarded = 0
+        self.replies_forwarded = 0
+        self.doors_exported = 0  # local identifiers -> network handles
+        self.doors_imported = 0  # network handles -> local identifiers
+
+    def outbound(self, door_count: int) -> None:
+        """A request is leaving this machine carrying ``door_count`` doors."""
+        self.calls_forwarded += 1
+        self.doors_exported += door_count
+        self._charge(door_count)
+
+    def inbound(self, door_count: int) -> None:
+        """A request is arriving at this machine carrying ``door_count`` doors."""
+        self.doors_imported += door_count
+        self._charge(door_count)
+
+    def outbound_reply(self, door_count: int) -> None:
+        """A reply is leaving this machine carrying doors."""
+        self.replies_forwarded += 1
+        self.doors_exported += door_count
+        self._charge(door_count)
+
+    def inbound_reply(self, door_count: int) -> None:
+        """A reply is arriving at this machine carrying doors."""
+        self.doors_imported += door_count
+        self._charge(door_count)
+
+    def _charge(self, door_count: int) -> None:
+        if door_count:
+            self.machine.kernel.clock.advance(
+                TRANSLATE_DOOR_US * door_count, "net_door_translate"
+            )

@@ -1,0 +1,20 @@
+"""Runtime environment helpers: one-call world setup and fault injection."""
+
+from repro.runtime.env import Environment
+from repro.runtime.faults import crash_domain, crash_machine, partitioned
+from repro.runtime.report import CostReport, compare_tallies, format_tally
+from repro.runtime.threads import run_concurrently
+from repro.runtime.transfer import give, transfer
+
+__all__ = [
+    "run_concurrently",
+    "Environment",
+    "crash_domain",
+    "crash_machine",
+    "partitioned",
+    "CostReport",
+    "compare_tallies",
+    "format_tally",
+    "transfer",
+    "give",
+]

@@ -1,0 +1,175 @@
+"""The runtime environment: one call to stand up a small Spring world.
+
+``Environment`` wires together everything a paper scenario needs:
+
+* a kernel and a network fabric with machines;
+* a name service (with each new domain handed a root-context capability
+  in ``domain.locals["naming_root"]``, the way every Spring domain is
+  booted with its name-service door);
+* per-domain subcontract registries, seeded with the standard library or
+  a restricted set, each with a discovery service that maps subcontract
+  IDs to library names through the naming service and loads libraries
+  from the trusted search path (Section 6.2);
+* per-machine cache managers, registered in the machine-local naming
+  context the caching subcontract resolves (Section 8.2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.discovery import DiscoveryService, LibraryLoader
+from repro.core.registry import SubcontractRegistry
+from repro.kernel.clock import CostModel
+from repro.kernel.nucleus import Kernel
+from repro.net.fabric import NetworkFabric
+from repro.net.machine import Machine
+from repro.services.cachemgr import DEFAULT_CACHEABLE_OPS, CacheManagerService
+from repro.services.naming import NameService
+from repro.subcontracts import standard_subcontracts
+
+if TYPE_CHECKING:
+    from repro.core.object import SpringObject
+    from repro.core.subcontract import ClientSubcontract
+    from repro.kernel.domain import Domain
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """A self-contained distributed world for examples, tests, benches."""
+
+    def __init__(
+        self,
+        latency_us: float = 1200.0,
+        cost_model: CostModel | None = None,
+        datagram_loss: float = 0.0,
+        trusted_lib_dirs: Iterable[Path | str] = (),
+        with_naming: bool = True,
+        seed: int = 1993,
+    ) -> None:
+        self.kernel = Kernel(cost_model)
+        self.clock = self.kernel.clock
+        self.fabric = NetworkFabric(
+            self.kernel,
+            latency_us=latency_us,
+            datagram_loss=datagram_loss,
+            seed=seed,
+        )
+        self.loader = LibraryLoader(list(trusted_lib_dirs), clock=self.clock)
+        self.name_service: NameService | None = None
+        if with_naming:
+            ns_machine = self.fabric.create_machine("nameserver")
+            ns_domain = ns_machine.create_domain("naming")
+            registry = SubcontractRegistry(ns_domain)
+            registry.register_many(standard_subcontracts())
+            self.name_service = NameService(ns_domain)
+        #: cache manager services by (machine name, manager name)
+        self.cache_managers: dict[tuple[str, str], CacheManagerService] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def machine(self, name: str) -> Machine:
+        """Get or create a machine."""
+        existing = self.fabric.machines.get(name)
+        if existing is not None:
+            return existing
+        return self.fabric.create_machine(name)
+
+    def create_domain(
+        self,
+        machine: Machine | str,
+        name: str,
+        subcontracts: Iterable[type["ClientSubcontract"]] | None = None,
+        with_discovery: bool = True,
+    ) -> "Domain":
+        """Boot a domain: registry seeded, naming root planted, discovery
+        wired.
+
+        ``subcontracts`` restricts the "linked-in standard libraries"; a
+        restricted domain must still include the cluster client if it is
+        to talk to the naming service.
+        """
+        if isinstance(machine, str):
+            machine = self.machine(machine)
+        domain = machine.create_domain(name)
+        registry = SubcontractRegistry(domain)
+        registry.register_many(
+            standard_subcontracts() if subcontracts is None else subcontracts
+        )
+        if self.name_service is not None:
+            naming_root = self.name_service.root_for(domain)
+            domain.locals["naming_root"] = naming_root
+            if with_discovery:
+                registry.discovery = self._discovery_for(naming_root)
+        return domain
+
+    # ------------------------------------------------------------------
+    # dynamic subcontract discovery (Section 6.2)
+    # ------------------------------------------------------------------
+
+    def _discovery_for(self, naming_root: "SpringObject") -> DiscoveryService:
+        def resolver(subcontract_id: str) -> str | None:
+            try:
+                return naming_root.resolve_label(f"/subcontracts/{subcontract_id}")
+            except Exception:
+                return None
+
+        return DiscoveryService(resolver, self.loader)
+
+    def register_subcontract_library(
+        self, subcontract_id: str, library_name: str
+    ) -> None:
+        """Administrator action: publish the subcontract-id -> library
+        mapping in the network naming context (Section 6.2)."""
+        if self.name_service is None:
+            raise RuntimeError("environment was built without a naming service")
+        self.name_service.root_impl.bind_label(
+            f"/subcontracts/{subcontract_id}", library_name
+        )
+
+    def add_trusted_lib_dir(self, directory: Path | str) -> None:
+        """Administrator action: extend the designated trusted search path."""
+        self.loader.trusted_paths.append(Path(directory).resolve())
+
+    # ------------------------------------------------------------------
+    # cache managers (Section 8.2)
+    # ------------------------------------------------------------------
+
+    def install_cache_manager(
+        self,
+        machine: Machine | str,
+        name: str = "default",
+        cacheable_ops: tuple[str, ...] = DEFAULT_CACHEABLE_OPS,
+    ) -> CacheManagerService:
+        """Run a cache manager on a machine and register it in the
+        machine-local naming context the caching subcontract searches."""
+        if isinstance(machine, str):
+            machine = self.machine(machine)
+        key = (machine.name, name)
+        if key in self.cache_managers:
+            raise ValueError(f"machine {machine.name!r} already runs cache {name!r}")
+        domain = self.create_domain(machine, f"cachemgr:{machine.name}:{name}")
+        service = CacheManagerService(domain, cacheable_ops)
+        naming_root = domain.locals["naming_root"]
+        naming_root.rebind(
+            f"/machines/{machine.name}/caches/{name}",
+            service.manager.spring_copy(),
+        )
+        self.cache_managers[key] = service
+        return service
+
+    # ------------------------------------------------------------------
+    # naming conveniences
+    # ------------------------------------------------------------------
+
+    def bind(self, domain: "Domain", path: str, obj: "SpringObject") -> None:
+        """Bind an object (moved from ``domain``) at a naming path."""
+        domain.locals["naming_root"].rebind(path, obj)
+
+    def resolve(self, domain: "Domain", path: str) -> "SpringObject":
+        """Resolve a naming path into a generic object owned by ``domain``."""
+        return domain.locals["naming_root"].resolve(path)

@@ -1,0 +1,43 @@
+"""Fault injection helpers for tests, examples, and benches.
+
+The failure modes the paper's subcontracts are built against:
+
+* a server domain crashes (doors die; replicon prunes, reconnectable
+  re-resolves);
+* a whole machine crashes;
+* the network partitions (calls between two machines fail until healed).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.kernel.domain import Domain
+    from repro.net.fabric import NetworkFabric
+    from repro.net.machine import Machine
+
+__all__ = ["crash_domain", "crash_machine", "partitioned"]
+
+
+def crash_domain(domain: "Domain") -> None:
+    """Terminate a domain abruptly; every door it serves dies with it."""
+    domain.kernel.crash_domain(domain)
+
+
+def crash_machine(machine: "Machine") -> None:
+    """Power off a machine: all of its domains crash."""
+    machine.crash()
+
+
+@contextmanager
+def partitioned(
+    fabric: "NetworkFabric", a: "Machine | str", b: "Machine | str"
+) -> Iterator[None]:
+    """Temporarily cut the link between two machines."""
+    fabric.partition(a, b)
+    try:
+        yield
+    finally:
+        fabric.heal(a, b)

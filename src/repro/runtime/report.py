@@ -1,0 +1,81 @@
+"""Cost reporting: turn the simulated clock's tally into readable tables.
+
+Benches and examples measure *where* simulated time went; this module
+formats the breakdown the way the paper talks about costs — door
+traversals vs marshalling vs network vs subcontract indirections.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.kernel.clock import SimClock
+
+__all__ = ["format_tally", "CostReport", "compare_tallies"]
+
+#: presentation order and human labels for known charge categories
+_LABELS = {
+    "door_call": "kernel door traversals",
+    "door_create": "door creation",
+    "door_copy": "door-identifier copies",
+    "door_delete": "door-identifier deletes",
+    "network": "network (latency + wire)",
+    "net_door_translate": "network door translation",
+    "marshal_byte": "marshalling (bytes)",
+    "marshal_door_id": "marshalling (door ids)",
+    "memory_copy_byte": "buffer copies",
+    "indirect_call": "subcontract indirect calls",
+    "local_call": "method-table hops",
+    "library_load": "dynamic library loads",
+    "retry_backoff": "reconnect backoff",
+    "rawnet_rto": "rawnet retransmission timeouts",
+    "shm_setup": "shared-region setup",
+    "stable_write": "stable-storage commits",
+    "stable_scan": "stable-storage recovery scans",
+    "explicit": "explicit delays",
+}
+
+
+class CostReport:
+    """A snapshot of a clock's tally, formattable and comparable."""
+
+    def __init__(self, tally: dict[str, float]) -> None:
+        self.tally = dict(tally)
+
+    @property
+    def total_us(self) -> float:
+        return sum(self.tally.values())
+
+    def lines(self) -> list[str]:
+        """The formatted rows, largest cost first, ending with the total."""
+        total = self.total_us
+        rows = []
+        for key, spent in sorted(self.tally.items(), key=lambda kv: -kv[1]):
+            if spent <= 0:
+                continue
+            share = 100.0 * spent / total if total else 0.0
+            label = _LABELS.get(key, key)
+            rows.append(f"{label:<32} {spent:>14,.1f} us  {share:5.1f}%")
+        rows.append(f"{'total':<32} {total:>14,.1f} us")
+        return rows
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+def format_tally(clock: "SimClock") -> str:
+    """Human-readable breakdown of where a clock's simulated time went."""
+    return str(CostReport(clock.tally()))
+
+
+def compare_tallies(
+    before: dict[str, float], after: dict[str, float]
+) -> CostReport:
+    """The cost of a region: ``after`` minus ``before`` per category."""
+    delta = {}
+    for key in set(before) | set(after):
+        diff = after.get(key, 0.0) - before.get(key, 0.0)
+        if abs(diff) > 1e-12:
+            delta[key] = diff
+    return CostReport(delta)

@@ -1,0 +1,38 @@
+"""Concurrency helpers: domains are "an address space plus a collection
+of threads" (Section 3.3).
+
+The kernel's capability tables are lock-protected, so multiple Python
+threads may drive door calls concurrently.  ``run_concurrently`` is the
+test/bench-friendly way to do it: start every worker, join them all, and
+re-raise the first failure instead of letting it vanish inside a thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["run_concurrently"]
+
+
+def run_concurrently(workers: list[Callable[[], None]], timeout: float = 60.0) -> None:
+    """Run workers in parallel threads; propagate the first exception."""
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def wrap(worker: Callable[[], None]) -> None:
+        try:
+            worker()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            with lock:
+                failures.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(w,)) for w in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+        if thread.is_alive():
+            raise TimeoutError("a worker thread did not finish in time")
+    if failures:
+        raise failures[0]

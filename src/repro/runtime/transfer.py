@@ -1,0 +1,50 @@
+"""Direct object transfer between domains.
+
+Objects normally travel as arguments and results of door calls; at start
+of day, though, somebody has to hand the first capability over (the way
+Spring boots a domain with its name-service door).  These helpers perform
+that kernel-mediated transfer explicitly:
+
+* :func:`transfer` — **move** an object to another domain (the source
+  handle is consumed; Figure 2 semantics);
+* :func:`give` — transfer a **copy**, keeping the original.
+
+Both run the full marshal/unmarshal path — subcontract ID, compatible
+routing, door-vector translation — so a transferred object is
+indistinguishable from one received through an interface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.marshal.buffer import MarshalBuffer
+
+if TYPE_CHECKING:
+    from repro.core.object import SpringObject
+    from repro.kernel.domain import Domain
+
+__all__ = ["transfer", "give"]
+
+
+def transfer(obj: "SpringObject", to_domain: "Domain") -> "SpringObject":
+    """Move ``obj`` into ``to_domain``; the source handle is consumed."""
+    source = obj._domain
+    binding = obj._binding
+    buffer = MarshalBuffer(source.kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(source)
+    return binding.unmarshal_from(buffer, to_domain)
+
+
+def give(obj: "SpringObject", to_domain: "Domain") -> "SpringObject":
+    """Deliver a copy of ``obj`` to ``to_domain``, keeping the original.
+
+    Uses the subcontract's fused ``marshal_copy`` (Section 5.1.5).
+    """
+    source = obj._domain
+    binding = obj._binding
+    buffer = MarshalBuffer(source.kernel)
+    obj._subcontract.marshal_copy(obj, buffer)
+    buffer.seal_for_transmission(source)
+    return binding.unmarshal_from(buffer, to_domain)

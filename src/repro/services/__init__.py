@@ -1,0 +1,54 @@
+"""Substrate services: naming, cache management, files, key-value store.
+
+All of these are ordinary Spring services — their interfaces are defined
+in IDL and every one of them is reached through the subcontract machinery
+it also demonstrates ("all system interfaces are defined in IDL and all
+the inter-process communication uses our subcontract machinery",
+Section 3.4).
+"""
+
+from repro.services.cachemgr import (
+    CacheManagerImpl,
+    CacheManagerService,
+    cache_manager_binding,
+    cache_manager_module,
+)
+from repro.services.fs import FileImpl, FileServer, FileSystemImpl, fs_module
+from repro.services.kv import KVReplicaImpl, ReplicatedKVService, kv_binding, kv_module
+from repro.services.naming import (
+    NameNotFound,
+    NameService,
+    NamingContextImpl,
+    naming_binding,
+    naming_module,
+)
+from repro.services.stable import (
+    DurableKVService,
+    StableStore,
+    durable_kv_module,
+    stable_store_for,
+)
+
+__all__ = [
+    "NameService",
+    "NamingContextImpl",
+    "NameNotFound",
+    "naming_module",
+    "naming_binding",
+    "CacheManagerService",
+    "CacheManagerImpl",
+    "cache_manager_module",
+    "cache_manager_binding",
+    "FileServer",
+    "FileImpl",
+    "FileSystemImpl",
+    "fs_module",
+    "ReplicatedKVService",
+    "KVReplicaImpl",
+    "kv_module",
+    "kv_binding",
+    "StableStore",
+    "stable_store_for",
+    "DurableKVService",
+    "durable_kv_module",
+]

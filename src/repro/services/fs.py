@@ -1,0 +1,239 @@
+"""A Spring-flavoured file service.
+
+The paper's running examples are file types: ``file`` uses the singleton
+subcontract, ``cacheable_file`` is a subtype using the caching subcontract
+(Section 6.1), and ``replicated_file`` is a subtype using replicon
+(Section 6.2's dynamic-discovery story).  This module provides all three
+over one shared store, so tests and benches can hand the *same* state out
+under different subcontracts and watch the semantics differ.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+from repro.core.object import SpringObject
+from repro.idl.compiler import IdlModule, compile_idl
+from repro.subcontracts.caching import CachingServer
+from repro.subcontracts.replicon import RepliconGroup
+from repro.subcontracts.singleton import SingletonServer
+
+if TYPE_CHECKING:
+    from repro.kernel.domain import Domain
+
+__all__ = [
+    "FS_IDL",
+    "fs_module",
+    "FileImpl",
+    "FileSystemImpl",
+    "FileServer",
+]
+
+FS_IDL = """
+// Spring file system types (Sections 6.1, 6.3, 8.2).
+interface file {
+    subcontract "singleton";
+    int32 size();
+    bytes read(int32 offset, int32 count);
+    int32 write(int32 offset, bytes data);
+    void truncate(int32 length);
+    int64 generation();
+}
+
+interface cacheable_file : file {
+    subcontract "caching";
+}
+
+interface replicated_file : file {
+    subcontract "replicon";
+}
+
+interface file_system {
+    subcontract "singleton";
+    file open(string path);
+    cacheable_file open_cached(string path);
+    void mkfile(string path, bytes initial);
+    void remove(string path);
+    bool exists(string path);
+    sequence<string> list_dir(string path);
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def fs_module() -> IdlModule:
+    return compile_idl(FS_IDL, module_name="repro.services.fs")
+
+
+class _Inode:
+    """Shared file state: the bytes plus a generation counter."""
+
+    __slots__ = ("data", "generation")
+
+    def __init__(self, data: bytes = b"") -> None:
+        self.data = bytearray(data)
+        self.generation = 0
+
+
+class FileImpl:
+    """Implementation of the ``file`` operations over one inode."""
+
+    def __init__(self, inode: _Inode) -> None:
+        self._inode = inode
+
+    def size(self) -> int:
+        """Current length of the file in bytes."""
+        return len(self._inode.data)
+
+    def read(self, offset: int, count: int) -> bytes:
+        """Read up to ``count`` bytes starting at ``offset``."""
+        if offset < 0 or count < 0:
+            raise ValueError("offset and count must be non-negative")
+        return bytes(self._inode.data[offset : offset + count])
+
+    def write(self, offset: int, data: bytes) -> int:
+        """Write bytes at ``offset`` (extending the file); returns count."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        inode = self._inode
+        if offset > len(inode.data):
+            inode.data.extend(b"\x00" * (offset - len(inode.data)))
+        inode.data[offset : offset + len(data)] = data
+        inode.generation += 1
+        return len(data)
+
+    def truncate(self, length: int) -> None:
+        """Cut the file to ``length`` bytes."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        del self._inode.data[length:]
+        self._inode.generation += 1
+
+    def generation(self) -> int:
+        """Monotone write counter (staleness detection)."""
+        return self._inode.generation
+
+
+class FileSystemImpl:
+    """Implementation of the ``file_system`` operations.
+
+    ``open``/``open_cached`` export a fresh Spring object per call — the
+    skeleton moves it into the reply, so each caller gets its own handle
+    on the shared inode.
+    """
+
+    def __init__(self, server: "FileServer") -> None:
+        self._server = server
+
+    def open(self, path: str) -> SpringObject:
+        """Open a plain (singleton) file object."""
+        return self._server.export_file(path)
+
+    def open_cached(self, path: str) -> SpringObject:
+        """Open a caching-subcontract file object (§8.2)."""
+        return self._server.export_cacheable_file(path)
+
+    def mkfile(self, path: str, initial: bytes) -> None:
+        """Create an empty-or-seeded file at a path."""
+        self._server.make_file(path, initial)
+
+    def remove(self, path: str) -> None:
+        """Delete a file; error if absent."""
+        if path not in self._server.inodes:
+            raise FileNotFoundError(path)
+        del self._server.inodes[path]
+
+    def exists(self, path: str) -> bool:
+        """True when a file exists at the path."""
+        return path in self._server.inodes
+
+    def list_dir(self, path: str) -> list[str]:
+        """Sorted child names under a directory prefix."""
+        prefix = path.rstrip("/") + "/" if path and path != "/" else "/"
+        names = set()
+        for candidate in self._server.inodes:
+            if candidate.startswith(prefix):
+                rest = candidate[len(prefix) :]
+                names.add(rest.split("/", 1)[0])
+        return sorted(names)
+
+
+class FileServer:
+    """One file service domain exporting all three file flavours."""
+
+    def __init__(self, domain: "Domain", cache_manager_name: str = "default") -> None:
+        self.domain = domain
+        self.module = fs_module()
+        self.inodes: dict[str, _Inode] = {}
+        self._singleton = SingletonServer(domain)
+        self._caching = CachingServer(domain, manager_name=cache_manager_name)
+        self.fs_impl = FileSystemImpl(self)
+        #: the file_system Spring object; hand copies to clients
+        self.root = self._singleton.export(
+            self.fs_impl, self.module.binding("file_system")
+        )
+
+    # -- state ------------------------------------------------------------
+
+    def make_file(self, path: str, initial: bytes = b"") -> _Inode:
+        """Create a file at a path; error if it exists."""
+        if path in self.inodes:
+            raise FileExistsError(path)
+        inode = _Inode(initial)
+        self.inodes[path] = inode
+        return inode
+
+    def _inode(self, path: str) -> _Inode:
+        try:
+            return self.inodes[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    # -- exports ------------------------------------------------------------
+
+    def export_file(self, path: str) -> SpringObject:
+        """A plain (singleton) file object for ``path``."""
+        return self._singleton.export(
+            FileImpl(self._inode(path)), self.module.binding("file")
+        )
+
+    def export_cacheable_file(self, path: str) -> SpringObject:
+        """A caching-subcontract file object for ``path`` (Section 8.2)."""
+        return self._caching.export(
+            FileImpl(self._inode(path)), self.module.binding("cacheable_file")
+        )
+
+    def export_replicated_file(
+        self, path: str, replica_domains: list["Domain"]
+    ) -> SpringObject:
+        """A replicon-subcontract file object whose state is replicated
+        across ``replica_domains`` (Section 6.2's replicated_file).
+
+        Each replica domain gets its own inode copy; writes propagate
+        through the group broadcast (the servers' own synchronization).
+        """
+        binding = self.module.binding("replicated_file")
+        group = RepliconGroup(binding)
+        source = self._inode(path)
+        impls = []
+        for domain in replica_domains:
+            impl = _ReplicatedFileImpl(_Inode(bytes(source.data)), group)
+            impls.append(impl)
+            group.add_replica(domain, impl)
+        return group.make_object(replica_domains[0])
+
+
+class _ReplicatedFileImpl(FileImpl):
+    """A file replica: writes are broadcast to the whole group."""
+
+    def __init__(self, inode: _Inode, group: RepliconGroup) -> None:
+        super().__init__(inode)
+        self._group = group
+
+    def write(self, offset: int, data: bytes) -> int:
+        self._group.broadcast(lambda impl: FileImpl.write(impl, offset, data))
+        return len(data)
+
+    def truncate(self, length: int) -> None:
+        self._group.broadcast(lambda impl: FileImpl.truncate(impl, length))

@@ -1,0 +1,128 @@
+"""A replicated key-value store built on the replicon subcontract.
+
+This is the Section 5 workload made concrete: a set of server domains
+conspire to maintain the state of one logical store; clients hold a
+replicon object and keep operating as replicas die (the E6 bench measures
+exactly that failover).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+from repro.core.object import SpringObject
+from repro.idl.compiler import IdlModule, compile_idl
+from repro.subcontracts.replicon import RepliconGroup
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.domain import Domain
+
+__all__ = ["KV_IDL", "kv_module", "kv_binding", "KVReplicaImpl", "ReplicatedKVService"]
+
+KV_IDL = """
+// Replicated key-value store (the Section 5 replicon workload).
+interface kv_store {
+    subcontract "replicon";
+    void put(string key, string value);
+    string get(string key);
+    bool has(string key);
+    void remove(string key);
+    sequence<string> keys();
+    int32 size();
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def kv_module() -> IdlModule:
+    return compile_idl(KV_IDL, module_name="repro.services.kv")
+
+
+def kv_binding() -> "InterfaceBinding":
+    """The runtime binding for the ``kv_store`` interface."""
+    return kv_module().binding("kv_store")
+
+
+class KVReplicaImpl:
+    """One replica's copy of the store.
+
+    Mutations are broadcast through the group — the "servers perform
+    their own state synchronization" channel — so every live replica
+    applies each write; reads are served locally by whichever replica the
+    client's invoke reached.
+    """
+
+    def __init__(self, group: RepliconGroup) -> None:
+        self._group = group
+        self._data: dict[str, str] = {}
+
+    # -- local application (the synchronization channel) -------------------
+
+    def _apply_put(self, key: str, value: str) -> None:
+        self._data[key] = value
+
+    def _apply_remove(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    # -- IDL operations ---------------------------------------------------
+
+    def put(self, key: str, value: str) -> None:
+        """Store a value under a key on every live replica."""
+        self._group.broadcast(lambda impl: impl._apply_put(key, value))
+
+    def get(self, key: str) -> str:
+        """Read a key from this replica; KeyError if absent."""
+        try:
+            return self._data[key]
+        except KeyError:
+            raise KeyError(f"no key {key!r}") from None
+
+    def has(self, key: str) -> bool:
+        """True when the key exists."""
+        return key in self._data
+
+    def remove(self, key: str) -> None:
+        """Delete a key on every live replica; KeyError if absent."""
+        if key not in self._data:
+            raise KeyError(f"no key {key!r}")
+        self._group.broadcast(lambda impl: impl._apply_remove(key))
+
+    def keys(self) -> list[str]:
+        """Sorted keys."""
+        return sorted(self._data)
+
+    def size(self) -> int:
+        """Number of keys."""
+        return len(self._data)
+
+
+class ReplicatedKVService:
+    """A replicon group of KV replicas spread over server domains."""
+
+    def __init__(self, replica_domains: list["Domain"]) -> None:
+        if not replica_domains:
+            raise ValueError("a replicated KV store needs at least one replica")
+        self.binding = kv_binding()
+        self.group = RepliconGroup(self.binding)
+        self.replicas: list[KVReplicaImpl] = []
+        for domain in replica_domains:
+            self.add_replica(domain)
+
+    def add_replica(self, domain: "Domain") -> KVReplicaImpl:
+        """Bring up a new replica; existing replicas' state is copied in."""
+        impl = KVReplicaImpl(self.group)
+        live = next(
+            (i for d, i, _ in self.group.members if d.alive), None
+        )
+        if live is not None:
+            impl._data.update(live._data)
+        self.group.add_replica(domain, impl)
+        self.replicas.append(impl)
+        return impl
+
+    def store_for(self, domain: "Domain") -> SpringObject:
+        """Fabricate a kv_store object owned by a member domain (it can
+        then be marshalled out to any client)."""
+        return self.group.make_object(domain)

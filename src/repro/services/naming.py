@@ -1,0 +1,227 @@
+"""The naming service.
+
+Spring provides naming as a user-mode service outside the kernel
+(Section 3.4); subcontracts lean on it in three places:
+
+* the caching subcontract resolves its cache manager name "in a
+  machine-local context" (Section 8.2);
+* the reconnectable subcontract re-resolves its object name after a
+  server crash (Section 8.3);
+* dynamic subcontract discovery uses "a network naming context to map the
+  subcontract identifier into a library name" (Section 6.2) — the string
+  *labels* below.
+
+The service itself is an ordinary Spring service: its interface is
+defined in IDL and exported through the cluster subcontract (one door for
+arbitrarily many contexts — Section 8.1's motivating workload).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+from repro.core.object import SpringObject
+from repro.idl.compiler import IdlModule, compile_idl
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.cluster import ClusterServer
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.domain import Domain
+
+__all__ = ["NAMING_IDL", "naming_module", "naming_binding", "NameService", "NameNotFound"]
+
+NAMING_IDL = """
+// The Spring-style hierarchical naming service.
+interface naming_context {
+    subcontract "cluster";
+
+    // object bindings ------------------------------------------------
+    void bind(string name, object obj);          // error if bound
+    void rebind(string name, object obj);        // replace if bound
+    object resolve(string name);                 // a copy of the binding
+    void unbind(string name);
+    sequence<string> list_names();
+
+    // string labels (used for subcontract-id -> library mapping) ------
+    void bind_label(string name, string value);
+    string resolve_label(string name);
+    sequence<string> list_labels();
+
+    // sub-contexts -----------------------------------------------------
+    naming_context create_context(string name);
+    naming_context resolve_context(string name);
+    bool has_context(string name);
+}
+"""
+
+
+class NameNotFound(KeyError):
+    """A path did not resolve.  Crosses the wire as a remote error."""
+
+
+@lru_cache(maxsize=1)
+def naming_module() -> IdlModule:
+    """The compiled naming IDL (shared, compile-once)."""
+    return compile_idl(NAMING_IDL, module_name="repro.services.naming")
+
+
+def naming_binding() -> "InterfaceBinding":
+    """The runtime binding for the ``naming_context`` interface."""
+    return naming_module().binding("naming_context")
+
+
+def _split(path: str) -> list[str]:
+    parts = [part for part in path.split("/") if part]
+    if not parts:
+        raise NameNotFound(f"empty name {path!r}")
+    return parts
+
+
+class NamingContextImpl:
+    """Implementation of one naming context (and, transitively, its tree).
+
+    Slash-separated paths are resolved locally: every context in one
+    service instance lives in the same server domain, so traversal is a
+    plain walk.  ``bind``/``bind_label`` create intermediate contexts on
+    demand.
+    """
+
+    def __init__(self, service: "NameService", name: str = "") -> None:
+        self._service = service
+        self._name = name
+        self._objects: dict[str, SpringObject] = {}
+        self._labels: dict[str, str] = {}
+        self._children: dict[str, NamingContextImpl] = {}
+
+    # -- traversal -------------------------------------------------------
+
+    def _walk(self, parts: list[str], create: bool) -> "NamingContextImpl":
+        context = self
+        for part in parts:
+            child = context._children.get(part)
+            if child is None:
+                if not create:
+                    raise NameNotFound(f"no context {part!r} under {context._name!r}")
+                child = NamingContextImpl(self._service, part)
+                context._children[part] = child
+            context = child
+        return context
+
+    def _leaf(self, path: str, create: bool) -> tuple["NamingContextImpl", str]:
+        parts = _split(path)
+        return self._walk(parts[:-1], create), parts[-1]
+
+    # -- object bindings ---------------------------------------------------
+
+    def bind(self, name: str, obj: SpringObject) -> None:
+        """Bind an object at a path; error if already bound."""
+        context, leaf = self._leaf(name, create=True)
+        if leaf in context._objects:
+            obj.spring_consume()
+            raise ValueError(f"name {name!r} is already bound")
+        context._objects[leaf] = obj
+
+    def rebind(self, name: str, obj: SpringObject) -> None:
+        """Bind an object at a path, replacing any existing binding."""
+        context, leaf = self._leaf(name, create=True)
+        old = context._objects.pop(leaf, None)
+        if old is not None:
+            old.spring_consume()
+        context._objects[leaf] = obj
+
+    def resolve(self, name: str) -> SpringObject:
+        """Return a copy of the object bound at a path."""
+        context, leaf = self._leaf(name, create=False)
+        stored = context._objects.get(leaf)
+        if stored is None:
+            raise NameNotFound(f"name {name!r} is not bound")
+        # Return a copy; the stored object stays bound.  The skeleton
+        # moves the copy into the reply.
+        return stored.spring_copy()
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding; error if absent."""
+        context, leaf = self._leaf(name, create=False)
+        stored = context._objects.pop(leaf, None)
+        if stored is None:
+            raise NameNotFound(f"name {name!r} is not bound")
+        stored.spring_consume()
+
+    def list_names(self) -> list[str]:
+        """Sorted object-binding names in this context."""
+        return sorted(self._objects)
+
+    # -- labels -----------------------------------------------------------
+
+    def bind_label(self, name: str, value: str) -> None:
+        """Bind a string label at a path (subcontract-id mapping, §6.2)."""
+        context, leaf = self._leaf(name, create=True)
+        context._labels[leaf] = value
+
+    def resolve_label(self, name: str) -> str:
+        """Return the string label bound at a path."""
+        context, leaf = self._leaf(name, create=False)
+        try:
+            return context._labels[leaf]
+        except KeyError:
+            raise NameNotFound(f"label {name!r} is not bound") from None
+
+    def list_labels(self) -> list[str]:
+        """Sorted label names in this context."""
+        return sorted(self._labels)
+
+    # -- sub-contexts -------------------------------------------------------
+
+    def create_context(self, name: str) -> SpringObject:
+        """Create (or find) a sub-context and return a handle on it."""
+        context = self._walk(_split(name), create=True)
+        return self._service.export_context(context)
+
+    def resolve_context(self, name: str) -> SpringObject:
+        """Return a handle on an existing sub-context."""
+        context = self._walk(_split(name), create=False)
+        return self._service.export_context(context)
+
+    def has_context(self, name: str) -> bool:
+        """True when the path names an existing context."""
+        try:
+            self._walk(_split(name), create=False)
+            return True
+        except NameNotFound:
+            return False
+
+
+class NameService:
+    """One naming service instance, hosted in a server domain.
+
+    Contexts are exported through a single cluster door (Section 8.1);
+    ``root_for`` hands a fresh root capability to any domain — the
+    bootstrap every Spring domain gets at start of day.
+    """
+
+    def __init__(self, domain: "Domain") -> None:
+        self.domain = domain
+        self.binding = naming_binding()
+        self._cluster = ClusterServer(domain)
+        self._exports: dict[int, SpringObject] = {}
+        self.root_impl = NamingContextImpl(self, name="")
+        self.root = self._cluster.export(self.root_impl, self.binding)
+        self._exports[id(self.root_impl)] = self.root
+
+    def export_context(self, impl: NamingContextImpl) -> SpringObject:
+        """A fresh handle on a context (each impl is exported once; every
+        request gets a copy of the canonical server-side object)."""
+        canonical = self._exports.get(id(impl))
+        if canonical is None:
+            canonical = self._cluster.export(impl, self.binding)
+            self._exports[id(impl)] = canonical
+        return canonical.spring_copy()
+
+    def root_for(self, domain: "Domain") -> SpringObject:
+        """A copy of the root context, unmarshalled into ``domain``."""
+        buffer = MarshalBuffer(self.domain.kernel)
+        self.root._subcontract.marshal_copy(self.root, buffer)
+        buffer.seal_for_transmission(self.domain)
+        return self.binding.unmarshal_from(buffer, domain)

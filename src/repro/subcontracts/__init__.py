@@ -1,0 +1,54 @@
+"""The bundled subcontract library.
+
+``standard_subcontracts`` is the "set of libraries that provide a set of
+standard subcontracts" a program is typically linked with (Section 6.2);
+:func:`repro.core.registry.ensure_registry` seeds new domains with it.
+Tests that exercise dynamic discovery build restricted registries by hand
+instead.
+"""
+
+from __future__ import annotations
+
+from repro.subcontracts.singleton import SingletonClient, SingletonServer
+from repro.subcontracts.simplex import SimplexClient, SimplexServer
+
+__all__ = [
+    "standard_subcontracts",
+    "SingletonClient",
+    "SingletonServer",
+    "SimplexClient",
+    "SimplexServer",
+]
+
+
+def standard_subcontracts() -> list[type]:
+    """Client subcontract classes every standard domain is linked with."""
+    from repro.subcontracts.caching import CachingClient
+    from repro.subcontracts.cluster import ClusterClient
+    from repro.subcontracts.migratory import MigratoryClient
+    from repro.subcontracts.rawnet import RawNetClient
+    from repro.subcontracts.realtime import RealtimeClient
+    from repro.subcontracts.reconnectable import ReconnectableClient
+    from repro.subcontracts.replicon import RepliconClient
+    from repro.subcontracts.rowa import RowaClient
+    from repro.subcontracts.shm import ShmClient
+    from repro.subcontracts.synchronized import SynchronizedClient
+    from repro.subcontracts.transact import TransactClient
+    from repro.subcontracts.video import VideoClient
+
+    return [
+        SingletonClient,
+        SimplexClient,
+        ClusterClient,
+        RepliconClient,
+        CachingClient,
+        ReconnectableClient,
+        ShmClient,
+        VideoClient,
+        RealtimeClient,
+        TransactClient,
+        RawNetClient,
+        MigratoryClient,
+        SynchronizedClient,
+        RowaClient,
+    ]

@@ -1,0 +1,231 @@
+"""The caching subcontract (Section 8.2, Figure 5).
+
+"When a server is on a different machine from its clients, it is often
+useful to perform caching on the client machines.  So when we transmit a
+cacheable object between machines, we'd like the receiving machine to
+register the received object with a local cache manager and access the
+object via the cache.
+
+The representation of a caching object includes a door identifier D1 that
+points to the server, a door identifier D2 that points to a local cache,
+and the name of a cache manager.
+
+When we transmit a caching object between machines, we only transmit the
+D1 door identifier and the cache manager name.  The caching unmarshal
+code resolves the cache manager name in a machine-local context to
+discover a suitable local cache manager and then presents the D1 door
+identifier to the local cache manager and receives a new D2.  Whenever
+the subcontract performs an invoke operation it uses the D2 door
+identifier."
+
+The machine-local context is the naming subtree
+``/machines/<machine>/caches`` maintained by the runtime environment.  If
+no suitable cache manager exists on the receiving machine, the subcontract
+degrades gracefully: D2 is absent and invocations go straight to the
+server through D1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.object import SpringObject
+from repro.core.registry import ensure_registry
+from repro.core.subcontract import ClientSubcontract, ServerSubcontract
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.common import make_door_handler
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.doors import DoorIdentifier
+
+__all__ = ["CachingClient", "CachingServer", "CachingRep"]
+
+
+class CachingRep:
+    """D1 (server door), D2 (local cache door, may be None), and the
+    cache manager name."""
+
+    __slots__ = ("server_door", "cache_door", "manager_name")
+
+    def __init__(
+        self,
+        server_door: "DoorIdentifier",
+        cache_door: "DoorIdentifier | None",
+        manager_name: str,
+    ) -> None:
+        self.server_door = server_door
+        self.cache_door = cache_door
+        self.manager_name = manager_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d2 = f"#{self.cache_door.uid}" if self.cache_door else "none"
+        return (
+            f"<CachingRep D1=#{self.server_door.uid} D2={d2}"
+            f" manager={self.manager_name!r}>"
+        )
+
+
+class CachingClient(ClientSubcontract):
+    """Client operations vector for the caching subcontract."""
+
+    id = "caching"
+
+    def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
+        kernel = self.domain.kernel
+        rep: CachingRep = obj._rep
+        # "Whenever the subcontract performs an invoke operation it uses
+        # the D2 door identifier" — D1 only when no local cache exists.
+        door = rep.cache_door if rep.cache_door is not None else rep.server_door
+        kernel.clock.charge("memory_copy_byte", buffer.size)
+        reply = kernel.door_call(self.domain, door, buffer)
+        kernel.clock.charge("memory_copy_byte", reply.size)
+        return reply
+
+    # ------------------------------------------------------------------
+    # transmission: only D1 and the manager name travel
+    # ------------------------------------------------------------------
+
+    def marshal_rep(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        rep: CachingRep = obj._rep
+        buffer.put_door_id(self.domain, rep.server_door)
+        buffer.put_string(rep.manager_name)
+        if rep.cache_door is not None:
+            # D2 is machine-local: it does not travel, so release it.
+            self._quiet_delete(rep.cache_door)
+
+    def unmarshal_rep(
+        self, buffer: MarshalBuffer, binding: "InterfaceBinding"
+    ) -> SpringObject:
+        server_door = buffer.get_door_id(self.domain)
+        manager_name = buffer.get_string()
+        cache_door = self._register_with_local_cache(server_door, manager_name)
+        return self.make_object(
+            CachingRep(server_door, cache_door, manager_name), binding
+        )
+
+    def _register_with_local_cache(
+        self, server_door: "DoorIdentifier", manager_name: str
+    ) -> "DoorIdentifier | None":
+        """Resolve the manager name in a machine-local context and present
+        D1 to the discovered cache manager, receiving a new D2.
+
+        This is the "significant overhead to object unmarshalling"
+        Section 9.3 mentions — it buys local caching on every later read.
+        """
+        from repro.core.errors import SubcontractError
+        from repro.core.stubs import narrow
+
+        machine = self.domain.machine
+        naming = self.domain.locals.get("naming_root")
+        if machine is None or naming is None:
+            return None
+        try:
+            resolved = naming.resolve(
+                f"/machines/{machine.name}/caches/{manager_name}"
+            )
+        except Exception:
+            return None
+        from repro.services.cachemgr import cache_manager_binding
+
+        try:
+            manager = narrow(resolved, cache_manager_binding())
+        except SubcontractError:
+            resolved.spring_consume()
+            return None
+        try:
+            presented = self.domain.kernel.copy_door_id(self.domain, server_door)
+            return manager.register_cache(presented)
+        finally:
+            manager.spring_consume()
+
+    # ------------------------------------------------------------------
+
+    def copy(self, obj: SpringObject) -> SpringObject:
+        obj._check_live()
+        kernel = self.domain.kernel
+        rep: CachingRep = obj._rep
+        d1 = kernel.copy_door_id(self.domain, rep.server_door)
+        d2 = (
+            kernel.copy_door_id(self.domain, rep.cache_door)
+            if rep.cache_door is not None
+            else None
+        )
+        return self.make_object(CachingRep(d1, d2, rep.manager_name), obj._binding)
+
+    def marshal_copy(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        # Fused copy+marshal (Section 5.1.5).  The plain copy-then-marshal
+        # path would duplicate D2 only to delete it again (D2 never
+        # travels); the fused form touches only D1.
+        obj._check_live()
+        self.domain.kernel.clock.charge("indirect_call")
+        rep: CachingRep = obj._rep
+        d1 = self.domain.kernel.copy_door_id(self.domain, rep.server_door)
+        buffer.put_object_header(self.id)
+        buffer.put_door_id(self.domain, d1)
+        buffer.put_string(rep.manager_name)
+
+    def consume(self, obj: SpringObject) -> None:
+        obj._check_live()
+        rep: CachingRep = obj._rep
+        self._quiet_delete(rep.server_door)
+        if rep.cache_door is not None:
+            self._quiet_delete(rep.cache_door)
+        obj._mark_consumed()
+
+    def _quiet_delete(self, door: "DoorIdentifier") -> None:
+        from repro.kernel.errors import KernelError
+
+        try:
+            self.domain.kernel.delete_door_id(self.domain, door)
+        except KernelError:
+            pass
+
+    def type_info(self, obj: SpringObject) -> tuple[str, ...]:
+        # Route the type query to the real server, not the cache front
+        # (the front forwards unknown operations, but asking the source
+        # avoids a stale cached answer).
+        from repro.core.stubs import remote_type_query
+
+        return remote_type_query(obj)
+
+
+class CachingServer(ServerSubcontract):
+    """Server-side caching machinery.
+
+    Exporting creates the server door (D1's target) exactly like
+    singleton; the subcontract ID in the marshalled form is what makes
+    receivers register with their local cache manager.  ``manager_name``
+    selects which cache manager receivers should look for.
+    """
+
+    id = "caching"
+
+    def __init__(self, domain: Any, manager_name: str = "default") -> None:
+        super().__init__(domain)
+        self.manager_name = manager_name
+
+    def export(
+        self,
+        impl: Any,
+        binding: "InterfaceBinding",
+        unreferenced: Callable[[Any], None] | None = None,
+        **options: Any,
+    ) -> SpringObject:
+        if options:
+            raise TypeError(f"unknown export options: {sorted(options)}")
+        handler = make_door_handler(self.domain, impl, binding)
+        door = self.domain.kernel.create_door(
+            self.domain, handler, label=f"caching:{binding.name}"
+        )
+        client_vector = ensure_registry(self.domain).lookup(self.id)
+        # The exporting domain itself talks straight to the state (no D2):
+        # caching begins when the object crosses to another machine.
+        return client_vector.make_object(
+            CachingRep(door, None, self.manager_name), binding
+        )
+
+    def revoke(self, obj: SpringObject) -> None:
+        obj._check_live()
+        door = obj._rep.server_door.door
+        self.domain.kernel.revoke_door(self.domain, door)

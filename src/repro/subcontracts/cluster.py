@@ -1,0 +1,156 @@
+"""The cluster subcontract (Section 8.1).
+
+"Some servers export large numbers of objects where if a client is
+granted access to any of the objects, it might as well be granted access
+to all of them.  In this case a subcontract can reduce system overhead by
+using a single door to provide access to a set of objects."
+
+Each cluster object is represented by the combination of a door
+identifier and an integer tag.  The cluster ``invoke_preamble`` and
+``invoke`` operations conspire to ship the tag along to the server when
+performing a cross-domain call on the door; the server-side cluster code
+uses the tag to dispatch to a particular object.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import RevokedObjectError
+from repro.core.object import SpringObject
+from repro.core.registry import ensure_registry
+from repro.core.stubs import write_revoked_status
+from repro.core.subcontract import ClientSubcontract, ServerSubcontract
+from repro.marshal.buffer import MarshalBuffer
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.doors import DoorIdentifier
+
+__all__ = ["ClusterClient", "ClusterServer", "ClusterRep"]
+
+
+class ClusterRep:
+    """A door identifier shared with the whole cluster, plus this
+    object's integer tag."""
+
+    __slots__ = ("door", "tag")
+
+    def __init__(self, door: "DoorIdentifier", tag: int) -> None:
+        self.door = door
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClusterRep door_id=#{self.door.uid} tag={self.tag}>"
+
+
+class ClusterClient(ClientSubcontract):
+    """Client operations vector for the cluster subcontract."""
+
+    id = "cluster"
+
+    def invoke_preamble(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        # Ship the object's tag ahead of the marshalled arguments so the
+        # server-side cluster code can dispatch to the right object.
+        buffer.put_int32(obj._rep.tag)
+
+    def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
+        kernel = self.domain.kernel
+        kernel.clock.charge("memory_copy_byte", buffer.size)
+        reply = kernel.door_call(self.domain, obj._rep.door, buffer)
+        kernel.clock.charge("memory_copy_byte", reply.size)
+        return reply
+
+    def marshal_rep(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        rep: ClusterRep = obj._rep
+        buffer.put_door_id(self.domain, rep.door)
+        buffer.put_int32(rep.tag)
+
+    def unmarshal_rep(
+        self, buffer: MarshalBuffer, binding: "InterfaceBinding"
+    ) -> SpringObject:
+        door = buffer.get_door_id(self.domain)
+        tag = buffer.get_int32()
+        return self.make_object(ClusterRep(door, tag), binding)
+
+    def copy(self, obj: SpringObject) -> SpringObject:
+        obj._check_live()
+        rep: ClusterRep = obj._rep
+        duplicate = self.domain.kernel.copy_door_id(self.domain, rep.door)
+        return self.make_object(ClusterRep(duplicate, rep.tag), obj._binding)
+
+    def marshal_copy(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        obj._check_live()
+        self.domain.kernel.clock.charge("indirect_call")
+        rep: ClusterRep = obj._rep
+        duplicate = self.domain.kernel.copy_door_id(self.domain, rep.door)
+        buffer.put_object_header(self.id)
+        buffer.put_door_id(self.domain, duplicate)
+        buffer.put_int32(rep.tag)
+
+    def consume(self, obj: SpringObject) -> None:
+        obj._check_live()
+        self.domain.kernel.delete_door_id(self.domain, obj._rep.door)
+        obj._mark_consumed()
+
+
+class ClusterServer(ServerSubcontract):
+    """Server-side cluster machinery: one door for all exported objects.
+
+    The door is created on first export; every exported object's
+    representation holds its own copy of the door identifier plus a fresh
+    tag.  Revoking an object removes its tag from the dispatch table —
+    the shared door stays up for its siblings, and calls on the revoked
+    tag receive a revocation reply (Section 5.2.3).
+    """
+
+    id = "cluster"
+
+    def __init__(self, domain: Any) -> None:
+        super().__init__(domain)
+        self._door: "DoorIdentifier | None" = None
+        self._next_tag = 0
+        #: tag -> (impl, binding)
+        self.exports: dict[int, tuple[Any, "InterfaceBinding"]] = {}
+
+    def _ensure_door(self) -> "DoorIdentifier":
+        if self._door is None:
+            self._door = self.domain.kernel.create_door(
+                self.domain, self._handle_call, label="cluster"
+            )
+        return self._door
+
+    def _handle_call(self, request: MarshalBuffer) -> MarshalBuffer:
+        kernel = self.domain.kernel
+        reply = MarshalBuffer(kernel)
+        tag = request.get_int32()
+        entry = self.exports.get(tag)
+        if entry is None:
+            write_revoked_status(reply, f"cluster tag {tag} has been revoked")
+            return reply
+        impl, binding = entry
+        kernel.clock.charge("indirect_call")  # subcontract -> server stubs
+        binding.skeleton.dispatch(self.domain, impl, request, reply, binding)
+        return reply
+
+    def export(self, impl: Any, binding: "InterfaceBinding", **options: Any) -> SpringObject:
+        if options:
+            raise TypeError(f"unknown export options: {sorted(options)}")
+        shared_door = self._ensure_door()
+        tag = self._next_tag
+        self._next_tag += 1
+        self.exports[tag] = (impl, binding)
+        member_door = self.domain.kernel.copy_door_id(self.domain, shared_door)
+        client_vector = ensure_registry(self.domain).lookup(self.id)
+        return client_vector.make_object(ClusterRep(member_door, tag), binding)
+
+    def revoke(self, obj: SpringObject) -> None:
+        obj._check_live()
+        tag = obj._rep.tag
+        if tag not in self.exports:
+            raise RevokedObjectError(f"cluster tag {tag} is not exported here")
+        del self.exports[tag]
+
+    def revoke_tag(self, tag: int) -> None:
+        """Revoke by tag when the server no longer holds the object."""
+        self.exports.pop(tag, None)

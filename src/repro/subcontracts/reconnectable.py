@@ -1,0 +1,198 @@
+"""The reconnectable subcontract (Section 8.3).
+
+"Some servers keep their state in stable storage.  If a client has an
+object whose state is kept in such a server, it would like the object to
+be able to quietly recover from server crashes.  Normal Spring door
+identifiers become invalid when a server crashes, so we need to add some
+new mechanism to allow a client to reconnect to a server.
+
+The reconnectable subcontract uses a representation consisting of a
+normal door identifier, plus an object name.
+
+Normally the recoverable subcontract's invoke code simply does a kernel
+door invocation on the door identifier.  However, if this fails, the
+subcontract instead attempts to resolve the object name to obtain a new
+object and retries the operation on that.  It retries periodically until
+it succeeds in getting a new valid object."
+
+The object name is resolved against the domain's naming context, which
+the runtime environment plants in ``domain.locals["naming_root"]``
+(standing in for the name-service capability every Spring domain is
+booted with).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.errors import SubcontractError
+from repro.core.object import SpringObject
+from repro.core.registry import ensure_registry
+from repro.core.subcontract import ClientSubcontract, ServerSubcontract
+from repro.kernel.errors import CommunicationError, InvalidDoorError, KernelError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.common import make_door_handler
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.doors import DoorIdentifier
+
+__all__ = ["ReconnectableClient", "ReconnectableServer", "ReconnectableRep"]
+
+#: simulated pause between reconnection attempts, charged to the clock
+RETRY_BACKOFF_US = 50_000.0
+
+#: how many resolve-and-retry rounds before giving up
+DEFAULT_MAX_RETRIES = 8
+
+
+class ReconnectableRep:
+    """A normal door identifier, plus an object name."""
+
+    __slots__ = ("door", "name")
+
+    def __init__(self, door: "DoorIdentifier", name: str) -> None:
+        self.door = door
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReconnectableRep door_id=#{self.door.uid} name={self.name!r}>"
+
+
+class ReconnectableClient(ClientSubcontract):
+    """Client operations vector for the reconnectable subcontract."""
+
+    id = "reconnectable"
+
+    max_retries = DEFAULT_MAX_RETRIES
+
+    def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
+        kernel = self.domain.kernel
+        rep: ReconnectableRep = obj._rep
+        attempts = 0
+        while True:
+            try:
+                kernel.clock.charge("memory_copy_byte", buffer.size)
+                reply = kernel.door_call(self.domain, rep.door, buffer)
+                kernel.clock.charge("memory_copy_byte", reply.size)
+                return reply
+            except (CommunicationError, InvalidDoorError) as failure:
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise CommunicationError(
+                        f"reconnectable: gave up re-resolving {rep.name!r} "
+                        f"after {self.max_retries} attempts"
+                    ) from failure
+                kernel.clock.advance(RETRY_BACKOFF_US, "retry_backoff")
+                self._reconnect(rep)
+
+    def _reconnect(self, rep: ReconnectableRep) -> None:
+        """Resolve the object name to obtain a new object, adopting its
+        door; a failed resolve leaves the rep unchanged for the next
+        periodic retry."""
+        naming = self.domain.locals.get("naming_root")
+        if naming is None:
+            raise SubcontractError(
+                f"domain {self.domain.name!r} has no naming context "
+                f"(domain.locals['naming_root']); reconnectable objects "
+                f"cannot recover without one"
+            )
+        try:
+            fresh = naming.resolve(rep.name)
+        except Exception:
+            return  # name still unbound; retry later
+        if not isinstance(fresh, SpringObject) or not isinstance(
+            fresh._rep, ReconnectableRep
+        ):
+            # The name was rebound to something that is not a
+            # reconnectable object; we cannot adopt it.
+            if isinstance(fresh, SpringObject):
+                fresh.spring_consume()
+            return
+        old_door = rep.door
+        rep.door = fresh._rep.door
+        fresh._mark_consumed()  # we absorbed its representation
+        try:
+            self.domain.kernel.delete_door_id(self.domain, old_door)
+        except KernelError:
+            pass
+
+    def marshal_rep(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        rep: ReconnectableRep = obj._rep
+        buffer.put_door_id(self.domain, rep.door)
+        buffer.put_string(rep.name)
+
+    def unmarshal_rep(
+        self, buffer: MarshalBuffer, binding: "InterfaceBinding"
+    ) -> SpringObject:
+        door = buffer.get_door_id(self.domain)
+        name = buffer.get_string()
+        return self.make_object(ReconnectableRep(door, name), binding)
+
+    def copy(self, obj: SpringObject) -> SpringObject:
+        obj._check_live()
+        rep: ReconnectableRep = obj._rep
+        duplicate = self.domain.kernel.copy_door_id(self.domain, rep.door)
+        return self.make_object(ReconnectableRep(duplicate, rep.name), obj._binding)
+
+    def marshal_copy(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        obj._check_live()
+        self.domain.kernel.clock.charge("indirect_call")
+        rep: ReconnectableRep = obj._rep
+        duplicate = self.domain.kernel.copy_door_id(self.domain, rep.door)
+        buffer.put_object_header(self.id)
+        buffer.put_door_id(self.domain, duplicate)
+        buffer.put_string(rep.name)
+
+    def consume(self, obj: SpringObject) -> None:
+        obj._check_live()
+        try:
+            self.domain.kernel.delete_door_id(self.domain, obj._rep.door)
+        except KernelError:
+            pass
+        obj._mark_consumed()
+
+
+class ReconnectableServer(ServerSubcontract):
+    """Server-side reconnectable machinery.
+
+    ``export`` creates the door and *binds* a reconnectable object under
+    the given name in the naming context, so clients can re-resolve it
+    after a crash.  A restarted server calls ``export`` again with the
+    same name; the rebind replaces the stale object.
+    """
+
+    id = "reconnectable"
+
+    def export(
+        self,
+        impl: Any,
+        binding: "InterfaceBinding",
+        name: str = "",
+        unreferenced: Callable[[Any], None] | None = None,
+        **options: Any,
+    ) -> SpringObject:
+        if not name:
+            raise TypeError("reconnectable export requires a stable object name")
+        if options:
+            raise TypeError(f"unknown export options: {sorted(options)}")
+        naming = self.domain.locals.get("naming_root")
+        if naming is None:
+            raise SubcontractError(
+                f"domain {self.domain.name!r} has no naming context; "
+                f"reconnectable servers must be able to (re)bind their name"
+            )
+        handler = make_door_handler(self.domain, impl, binding)
+        door = self.domain.kernel.create_door(
+            self.domain, handler, label=f"reconnectable:{binding.name}"
+        )
+        client_vector = ensure_registry(self.domain).lookup(self.id)
+        obj = client_vector.make_object(ReconnectableRep(door, name), binding)
+        recovery_copy = obj.spring_copy()
+        naming.rebind(name, recovery_copy)
+        return obj
+
+    def revoke(self, obj: SpringObject) -> None:
+        obj._check_live()
+        door = obj._rep.door.door
+        self.domain.kernel.revoke_door(self.domain, door)

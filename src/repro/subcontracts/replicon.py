@@ -1,0 +1,300 @@
+"""The replicon subcontract: the paper's simplest replication subcontract
+(Section 5).
+
+"A set of server domains conspire to maintain the underlying state
+associated with an object.  Each server creates a kernel door to accept
+incoming calls on that state.  The client domains possess a set of door
+identifiers that they use to call through to server domains.  In the case
+of replicon the clients are required to talk only to a single server and
+the servers are required to perform their own state synchronization."
+
+Client behaviour (Section 5.1.3): invoke tries each door identifier in
+turn; a communication failure prunes that identifier from the target set
+and the next one is tried.  The invoke protocol also piggybacks
+subcontract control information in the call and reply buffers, used to
+support changes to the replica set: the client sends the epoch of its
+replica set, and a server holding a newer set replies with fresh door
+identifiers which the client adopts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import SubcontractError
+from repro.core.object import SpringObject
+from repro.core.registry import ensure_registry
+from repro.core.subcontract import ClientSubcontract
+from repro.kernel.errors import CommunicationError, InvalidDoorError, KernelError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.common import make_door_handler
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.domain import Domain
+    from repro.kernel.doors import DoorIdentifier
+
+__all__ = ["RepliconClient", "RepliconGroup", "RepliconRep"]
+
+
+class RepliconRep:
+    """A set of kernel door identifiers, one per replica, plus the epoch
+    of the replica set they came from."""
+
+    __slots__ = ("doors", "epoch")
+
+    def __init__(self, doors: list["DoorIdentifier"], epoch: int) -> None:
+        self.doors = doors
+        self.epoch = epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RepliconRep {len(self.doors)} doors epoch={self.epoch}>"
+
+
+class RepliconClient(ClientSubcontract):
+    """Client operations vector for the replicon subcontract."""
+
+    id = "replicon"
+
+    def invoke_preamble(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        # Piggybacked control: the epoch of the client's replica set, so
+        # a server with a newer set can send a correction in the reply.
+        buffer.put_int32(obj._rep.epoch)
+
+    def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
+        kernel = self.domain.kernel
+        rep: RepliconRep = obj._rep
+        #: replicas pruned during this invocation, for tests/benches
+        pruned = 0
+        while rep.doors:
+            door = rep.doors[0]
+            try:
+                kernel.clock.charge("memory_copy_byte", buffer.size)
+                reply = kernel.door_call(self.domain, door, buffer)
+            except (CommunicationError, InvalidDoorError):
+                # This replica is unreachable: delete the identifier from
+                # the target set and proceed to the next one.
+                rep.doors.pop(0)
+                self._quiet_delete(door)
+                pruned += 1
+                continue
+            kernel.clock.charge("memory_copy_byte", reply.size)
+            self._read_reply_control(rep, reply)
+            return reply
+        raise CommunicationError(
+            f"replicon: all {pruned} replica doors are unreachable"
+        )
+
+    def _read_reply_control(self, rep: RepliconRep, reply: MarshalBuffer) -> None:
+        updated = reply.get_bool()
+        if not updated:
+            return
+        new_epoch = reply.get_int32()
+        count = reply.get_sequence_header()
+        new_doors = [reply.get_door_id(self.domain) for _ in range(count)]
+        if not new_doors:
+            # A server never advertises an empty set; ignore defensively.
+            for door in new_doors:
+                self._quiet_delete(door)
+            return
+        for door in rep.doors:
+            self._quiet_delete(door)
+        rep.doors = new_doors
+        rep.epoch = new_epoch
+
+    def _quiet_delete(self, door: "DoorIdentifier") -> None:
+        try:
+            self.domain.kernel.delete_door_id(self.domain, door)
+        except KernelError:
+            pass
+
+    def marshal_rep(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        # Section 5.1.1: "marshalling the count of door identifiers and
+        # then marshalling each of its door identifiers in turn."
+        rep: RepliconRep = obj._rep
+        buffer.put_int32(rep.epoch)
+        buffer.put_sequence_header(len(rep.doors))
+        for door in rep.doors:
+            buffer.put_door_id(self.domain, door)
+
+    def unmarshal_rep(
+        self, buffer: MarshalBuffer, binding: "InterfaceBinding"
+    ) -> SpringObject:
+        epoch = buffer.get_int32()
+        count = buffer.get_sequence_header()
+        doors = [buffer.get_door_id(self.domain) for _ in range(count)]
+        return self.make_object(RepliconRep(doors, epoch), binding)
+
+    def copy(self, obj: SpringObject) -> SpringObject:
+        obj._check_live()
+        rep: RepliconRep = obj._rep
+        kernel = self.domain.kernel
+        doors = [kernel.copy_door_id(self.domain, door) for door in rep.doors]
+        return self.make_object(RepliconRep(doors, rep.epoch), obj._binding)
+
+    def marshal_copy(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        # Fused copy+marshal: duplicate each door identifier straight into
+        # the buffer (Section 5.1.5).
+        obj._check_live()
+        self.domain.kernel.clock.charge("indirect_call")
+        rep: RepliconRep = obj._rep
+        kernel = self.domain.kernel
+        buffer.put_object_header(self.id)
+        buffer.put_int32(rep.epoch)
+        buffer.put_sequence_header(len(rep.doors))
+        for door in rep.doors:
+            buffer.put_door_id(self.domain, kernel.copy_door_id(self.domain, door))
+
+    def consume(self, obj: SpringObject) -> None:
+        obj._check_live()
+        for door in obj._rep.doors:
+            self._quiet_delete(door)
+        obj._mark_consumed()
+
+
+class RepliconGroup:
+    """The server side of replicon: a set of conspiring server domains.
+
+    Each member domain exports a door onto its local copy of the state;
+    the group tracks membership and hands out door-identifier sets.  The
+    group abstraction stands in for the servers' own synchronization
+    protocol, which the paper leaves to the servers ("the servers are
+    required to perform their own state synchronization"); the
+    :meth:`broadcast` helper is what a replicated service uses to apply a
+    state change on every live replica.
+
+    Because domains own door identifiers, the group keeps a full matrix:
+    for every member domain, one identifier per member door, so any member
+    can service an epoch update by handing the client copies it owns.
+    """
+
+    id = "replicon"
+
+    def __init__(self, binding: "InterfaceBinding") -> None:
+        self.binding = binding
+        self.epoch = 0
+        #: (domain, impl, door identifier owned by that domain)
+        self.members: list[tuple["Domain", Any, "DoorIdentifier"]] = []
+        #: domain uid -> list of identifiers (one per member) owned by it
+        self._matrix: dict[int, list["DoorIdentifier"]] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def add_replica(self, domain: "Domain", impl: Any) -> None:
+        """A new server domain joins the conspiracy."""
+        handler = make_door_handler(
+            domain, impl, self.binding, control_hook=self._control_hook(domain)
+        )
+        door = domain.kernel.create_door(
+            domain, handler, label=f"replicon:{self.binding.name}"
+        )
+        self.members.append((domain, impl, door))
+        self.epoch += 1
+        self._rebuild_matrix()
+
+    def remove_replica(self, domain: "Domain") -> None:
+        """A member leaves (or is declared dead by its peers)."""
+        before = len(self.members)
+        self.members = [m for m in self.members if m[0] is not domain]
+        if len(self.members) != before:
+            self.epoch += 1
+            self._rebuild_matrix()
+
+    def prune_dead(self) -> None:
+        """The peers' failure detector: drop crashed member domains.
+
+        All dead members leave in one membership change (one epoch bump,
+        one matrix rebuild) — rebuilding per-removal would try to copy
+        door identifiers still owned by other dead members.
+        """
+        live = [m for m in self.members if m[0].alive]
+        if len(live) != len(self.members):
+            self.members = live
+            self.epoch += 1
+            self._rebuild_matrix()
+
+    def _rebuild_matrix(self) -> None:
+        # Drop identifiers owned by previous matrix holders.
+        for domain_uid, idents in self._matrix.items():
+            for ident in idents:
+                if ident.valid and ident.owner.alive:
+                    try:
+                        ident.owner.kernel.delete_door_id(ident.owner, ident)
+                    except KernelError:
+                        pass
+        self._matrix = {}
+        for holder, _, _ in self.members:
+            idents = []
+            for _, _, door in self.members:
+                kernel = holder.kernel
+                idents.append(kernel.copy_door_id(door.owner, door))
+            # Transfer ownership of the copies to the holder by detaching
+            # and re-attaching through the kernel (the members' private
+            # synchronization channel).
+            owned = []
+            for ident in idents:
+                transit = ident.owner.kernel.detach_door_id(ident.owner, ident)
+                owned.append(holder.kernel.attach_door_id(holder, transit))
+            self._matrix[holder.uid] = owned
+
+    # ------------------------------------------------------------------
+    # server-side call processing
+    # ------------------------------------------------------------------
+
+    def _control_hook(self, domain: "Domain"):
+        def hook(request: MarshalBuffer, reply: MarshalBuffer) -> None:
+            client_epoch = request.get_int32()
+            if client_epoch >= self.epoch:
+                reply.put_bool(False)
+                return
+            reply.put_bool(True)
+            reply.put_int32(self.epoch)
+            idents = self._matrix.get(domain.uid, [])
+            fresh = [
+                domain.kernel.copy_door_id(domain, ident)
+                for ident in idents
+                if ident.valid
+            ]
+            reply.put_sequence_header(len(fresh))
+            for ident in fresh:
+                reply.put_door_id(domain, ident)
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # object fabrication
+    # ------------------------------------------------------------------
+
+    def make_object(self, domain: "Domain") -> SpringObject:
+        """Fabricate a client-side replicon object owned by ``domain``.
+
+        ``domain`` is typically one of the member domains, which then
+        marshals the object out to clients.
+        """
+        idents = self._matrix.get(domain.uid)
+        if idents is None:
+            raise SubcontractError(
+                f"domain {domain.name!r} is not a member of this replicon group"
+            )
+        doors = [domain.kernel.copy_door_id(domain, ident) for ident in idents]
+        client_vector = ensure_registry(domain).lookup(self.id)
+        return client_vector.make_object(RepliconRep(doors, self.epoch), self.binding)
+
+    # ------------------------------------------------------------------
+    # the servers' own state synchronization
+    # ------------------------------------------------------------------
+
+    def broadcast(self, apply_fn) -> int:
+        """Apply a state change on every live replica; returns the count."""
+        applied = 0
+        for domain, impl, _ in self.members:
+            if domain.alive:
+                apply_fn(impl)
+                applied += 1
+        return applied
+
+    def live_member_count(self) -> int:
+        """Number of member domains currently alive."""
+        return sum(1 for domain, _, _ in self.members if domain.alive)

@@ -1,0 +1,205 @@
+"""The rowa subcontract: read-one / write-all-available replication.
+
+Section 5 introduces replicon as "our *simplest* subcontract for
+supporting replication ... (Other subcontracts for replication use more
+elaborate rules.)"  This module is one of those other subcontracts.
+
+Where replicon's clients "are required to talk only to a single server
+and the servers are required to perform their own state synchronization",
+rowa moves the synchronization *into the client subcontract*:
+
+* **reads** go to the first available replica (cheap);
+* **writes** fan out to every available replica, all carrying the same
+  request bytes; the first reply is returned after all replicas have
+  applied the write.
+
+Server-side, the replicas are completely independent implementations —
+no group broadcast, no peer protocol at all.  The subcontract must know
+which operations are reads; the exporter declares them, and the set
+travels inside the object's marshalled representation so every receiving
+domain applies the same rule.
+
+The trade-off (documented and tested): a replica that was unavailable
+during a write and later becomes reachable again serves stale data —
+rejoining requires state transfer, which rowa deliberately does not
+provide.  Pick replicon when servers can synchronize themselves; pick
+rowa when they cannot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import SubcontractError
+from repro.core.object import SpringObject
+from repro.core.registry import ensure_registry
+from repro.core.subcontract import ClientSubcontract
+from repro.kernel.errors import CommunicationError, InvalidDoorError, KernelError
+from repro.marshal.buffer import MarshalBuffer
+from repro.marshal.errors import MarshalError
+from repro.subcontracts.common import make_door_handler
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.domain import Domain
+    from repro.kernel.doors import DoorIdentifier
+
+__all__ = ["RowaClient", "RowaGroup", "RowaRep"]
+
+
+class RowaRep:
+    """Doors to every replica, plus the declared read-operation names."""
+
+    __slots__ = ("doors", "read_ops")
+
+    def __init__(self, doors: list["DoorIdentifier"], read_ops: frozenset[str]) -> None:
+        self.doors = doors
+        self.read_ops = read_ops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RowaRep {len(self.doors)} doors reads={sorted(self.read_ops)}>"
+
+
+class RowaClient(ClientSubcontract):
+    """Client operations vector for the rowa subcontract."""
+
+    id = "rowa"
+
+    def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
+        kernel = self.domain.kernel
+        rep: RowaRep = obj._rep
+        # The request starts with the operation name (rowa writes no
+        # preamble control), so the subcontract can classify the call.
+        saved = buffer.read_pos
+        opname = buffer.get_string()
+        buffer.read_pos = saved
+
+        if opname in rep.read_ops or opname == "_spring_type_query":
+            return self._read_one(rep, buffer)
+        return self._write_all(rep, buffer)
+
+    def _read_one(self, rep: RowaRep, buffer: MarshalBuffer) -> MarshalBuffer:
+        kernel = self.domain.kernel
+        while rep.doors:
+            door = rep.doors[0]
+            try:
+                kernel.clock.charge("memory_copy_byte", buffer.size)
+                reply = kernel.door_call(self.domain, door, buffer)
+            except (CommunicationError, InvalidDoorError):
+                rep.doors.pop(0)
+                self._quiet_delete(door)
+                continue
+            kernel.clock.charge("memory_copy_byte", reply.size)
+            return reply
+        raise CommunicationError("rowa: no replica is available")
+
+    def _write_all(self, rep: RowaRep, buffer: MarshalBuffer) -> MarshalBuffer:
+        if buffer.live_door_count():
+            raise MarshalError(
+                "rowa cannot fan out requests carrying door identifiers "
+                "(the capability could be delivered only once)"
+            )
+        kernel = self.domain.kernel
+        first_reply: MarshalBuffer | None = None
+        survivors: list["DoorIdentifier"] = []
+        for door in rep.doors:
+            try:
+                kernel.clock.charge("memory_copy_byte", buffer.size)
+                reply = kernel.door_call(self.domain, door, buffer)
+            except (CommunicationError, InvalidDoorError):
+                self._quiet_delete(door)
+                continue
+            survivors.append(door)
+            if first_reply is None:
+                kernel.clock.charge("memory_copy_byte", reply.size)
+                first_reply = reply
+        rep.doors = survivors
+        if first_reply is None:
+            raise CommunicationError("rowa: no replica accepted the write")
+        return first_reply
+
+    def _quiet_delete(self, door: "DoorIdentifier") -> None:
+        try:
+            self.domain.kernel.delete_door_id(self.domain, door)
+        except KernelError:
+            pass
+
+    # ------------------------------------------------------------------
+
+    def marshal_rep(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
+        rep: RowaRep = obj._rep
+        buffer.put_sequence_header(len(rep.read_ops))
+        for opname in sorted(rep.read_ops):
+            buffer.put_string(opname)
+        buffer.put_sequence_header(len(rep.doors))
+        for door in rep.doors:
+            buffer.put_door_id(self.domain, door)
+
+    def unmarshal_rep(self, buffer: MarshalBuffer, binding: "InterfaceBinding"):
+        read_ops = frozenset(
+            buffer.get_string() for _ in range(buffer.get_sequence_header())
+        )
+        doors = [
+            buffer.get_door_id(self.domain)
+            for _ in range(buffer.get_sequence_header())
+        ]
+        return self.make_object(RowaRep(doors, read_ops), binding)
+
+    def copy(self, obj: SpringObject) -> SpringObject:
+        obj._check_live()
+        rep: RowaRep = obj._rep
+        kernel = self.domain.kernel
+        doors = [kernel.copy_door_id(self.domain, door) for door in rep.doors]
+        return self.make_object(RowaRep(doors, rep.read_ops), obj._binding)
+
+    def consume(self, obj: SpringObject) -> None:
+        obj._check_live()
+        for door in obj._rep.doors:
+            self._quiet_delete(door)
+        obj._mark_consumed()
+
+
+class RowaGroup:
+    """Server side of rowa: fully independent replicas.
+
+    Each ``add_replica`` exports a door onto a private implementation; no
+    peer communication exists.  ``make_object`` fabricates the client
+    object with doors to every member and the declared read set.
+    """
+
+    id = "rowa"
+
+    def __init__(self, binding: "InterfaceBinding", read_ops: tuple[str, ...]) -> None:
+        unknown = set(read_ops) - set(binding.operations)
+        if unknown:
+            raise SubcontractError(
+                f"rowa read_ops name unknown operations: {sorted(unknown)}"
+            )
+        self.binding = binding
+        self.read_ops = frozenset(read_ops)
+        #: (domain, impl, door identifier owned by that domain)
+        self.members: list[tuple["Domain", Any, "DoorIdentifier"]] = []
+
+    def add_replica(self, domain: "Domain", impl: Any) -> None:
+        """Export an independent replica; no peer protocol is installed."""
+        handler = make_door_handler(domain, impl, self.binding)
+        door = domain.kernel.create_door(
+            domain, handler, label=f"rowa:{self.binding.name}"
+        )
+        self.members.append((domain, impl, door))
+
+    def make_object(self, domain: "Domain") -> SpringObject:
+        """Fabricate a client object (owned by a member domain) holding
+        doors to every replica."""
+        if not any(member_domain is domain for member_domain, _, _ in self.members):
+            raise SubcontractError(
+                f"domain {domain.name!r} is not a member of this rowa group"
+            )
+        kernel = domain.kernel
+        doors = []
+        for member_domain, _, door in self.members:
+            duplicate = kernel.copy_door_id(member_domain, door)
+            transit = kernel.detach_door_id(member_domain, duplicate)
+            doors.append(kernel.attach_door_id(domain, transit))
+        vector = ensure_registry(domain).lookup(self.id)
+        return vector.make_object(RowaRep(doors, self.read_ops), self.binding)

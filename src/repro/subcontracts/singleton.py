@@ -1,0 +1,138 @@
+"""The singleton subcontract: the standard, simple client-server default.
+
+Section 6.1: "the standard type *file* is specified to use a simple
+subcontract called *singleton*."  A singleton object's representation is
+a single kernel door identifier; invoke is one kernel door call; marshal
+transmits the door identifier (moving the object); copy duplicates the
+door identifier.
+
+Most other single-door subcontracts (simplex, reconnectable, shm) share
+this client-side shape, so the client vector is written as a reusable
+base class.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.object import SpringObject
+from repro.core.registry import ensure_registry
+from repro.core.subcontract import ClientSubcontract, ServerSubcontract
+from repro.subcontracts.common import SingleDoorRep, make_door_handler
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.doors import Door
+    from repro.marshal.buffer import MarshalBuffer
+
+__all__ = ["SingleDoorClient", "SingletonClient", "SingletonServer"]
+
+
+class SingleDoorClient(ClientSubcontract):
+    """Reusable client vector for one-door-per-object subcontracts."""
+
+    def invoke(self, obj: SpringObject, buffer: "MarshalBuffer") -> "MarshalBuffer":
+        kernel = self.domain.kernel
+        rep: SingleDoorRep = obj._rep
+        # Arguments are copied from the caller's buffer into the kernel on
+        # the way out, and the reply copied back (the cost the shm
+        # subcontract's invoke_preamble eliminates, Section 5.1.4).
+        if buffer.region is None:
+            kernel.clock.charge("memory_copy_byte", buffer.size)
+        reply = kernel.door_call(self.domain, rep.door, buffer)
+        if reply.region is None:
+            kernel.clock.charge("memory_copy_byte", reply.size)
+        return reply
+
+    def marshal_rep(self, obj: SpringObject, buffer: "MarshalBuffer") -> None:
+        buffer.put_door_id(self.domain, obj._rep.door)
+
+    def unmarshal_rep(
+        self, buffer: "MarshalBuffer", binding: "InterfaceBinding"
+    ) -> SpringObject:
+        door = buffer.get_door_id(self.domain)
+        return self.make_object(SingleDoorRep(door), binding)
+
+    def copy(self, obj: SpringObject) -> SpringObject:
+        obj._check_live()
+        duplicate = self.domain.kernel.copy_door_id(self.domain, obj._rep.door)
+        return self.make_object(SingleDoorRep(duplicate), obj._binding)
+
+    def marshal_copy(self, obj: SpringObject, buffer: "MarshalBuffer") -> None:
+        # Fused copy+marshal (Section 5.1.5): duplicate the door identifier
+        # straight into the buffer without fabricating (and immediately
+        # destroying) an intermediate Spring object.
+        obj._check_live()
+        self.domain.kernel.clock.charge("indirect_call")
+        duplicate = self.domain.kernel.copy_door_id(self.domain, obj._rep.door)
+        buffer.put_object_header(self.id)
+        buffer.put_door_id(self.domain, duplicate)
+
+    def consume(self, obj: SpringObject) -> None:
+        obj._check_live()
+        self.domain.kernel.delete_door_id(self.domain, obj._rep.door)
+        obj._mark_consumed()
+
+
+class SingletonClient(SingleDoorClient):
+    """Client operations vector for the singleton subcontract."""
+
+    id = "singleton"
+
+
+class SingletonServer(ServerSubcontract):
+    """Server-side singleton machinery: one kernel door per exported object."""
+
+    id = "singleton"
+
+    def __init__(self, domain: Any) -> None:
+        super().__init__(domain)
+        #: door uid -> impl, for revocation and introspection
+        self.exports: dict[int, Any] = {}
+
+    def export(
+        self,
+        impl: Any,
+        binding: "InterfaceBinding",
+        unreferenced: Callable[[Any], None] | None = None,
+        **options: Any,
+    ) -> SpringObject:
+        """Create a Spring object from a language-level object.
+
+        ``unreferenced`` (or an ``_spring_unreferenced`` method on the
+        impl) is called when the last door identifier for the object is
+        deleted anywhere in the system, so the server can reclaim the
+        underlying state (Section 7).
+        """
+        if options:
+            raise TypeError(f"unknown export options: {sorted(options)}")
+        handler = make_door_handler(self.domain, impl, binding)
+        door_id = self.domain.kernel.create_door(
+            self.domain,
+            handler,
+            unreferenced=self._unreferenced_hook(impl, unreferenced),
+            label=f"{self.id}:{binding.name}",
+        )
+        self.exports[door_id.door.uid] = impl
+        client_vector = ensure_registry(self.domain).lookup(self.id)
+        return client_vector.make_object(SingleDoorRep(door_id), binding)
+
+    def _unreferenced_hook(
+        self, impl: Any, unreferenced: Callable[[Any], None] | None
+    ) -> Callable[["Door"], None]:
+        def hook(door: "Door") -> None:
+            self.exports.pop(door.uid, None)
+            if unreferenced is not None:
+                unreferenced(impl)
+            elif hasattr(impl, "_spring_unreferenced"):
+                impl._spring_unreferenced()
+
+        return hook
+
+    def revoke(self, obj: SpringObject) -> None:
+        """Revoke the underlying door: clients' future calls fail
+        (Section 5.2.3)."""
+        obj._check_live()
+        door = obj._rep.door.door
+        self.exports.pop(door.uid, None)
+        self.domain.kernel.revoke_door(self.domain, door)

@@ -1,0 +1,93 @@
+"""The synchronized subcontract: objects locked during invocation.
+
+Section 2.2 credits Smalltalk-80 reflection with making it possible "to
+implement objects which are automatically locked during invocation"
+[Foote & Johnson 1989] — one of the inspirations for applying reflective
+control to distributed computing.  This subcontract is that idea in
+subcontract form: the server-side machinery holds a per-object mutex
+around every dispatch, so implementations need no locking of their own
+even when many client threads call concurrently (domains have threads,
+Section 3.3).
+
+Client-side it is a plain single-door subcontract; the synchronization is
+entirely a server-side policy — which is exactly why it belongs in a
+subcontract rather than in every implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.object import SpringObject
+from repro.core.registry import ensure_registry
+from repro.core.subcontract import ServerSubcontract
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.common import SingleDoorRep, make_door_handler
+from repro.subcontracts.singleton import SingleDoorClient
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+
+__all__ = ["SynchronizedClient", "SynchronizedServer"]
+
+
+class SynchronizedClient(SingleDoorClient):
+    """Client operations vector for the synchronized subcontract."""
+
+    id = "synchronized"
+
+
+class SynchronizedServer(ServerSubcontract):
+    """Server-side synchronized machinery: one mutex per exported object,
+    held for the duration of each dispatch."""
+
+    id = "synchronized"
+
+    def __init__(self, domain: Any) -> None:
+        super().__init__(domain)
+        #: door uid -> its mutex (introspectable by tests)
+        self.locks: dict[int, threading.Lock] = {}
+        #: peak number of dispatches observed inside any one object's
+        #: critical section; stays 1 when the lock works
+        self.peak_concurrency = 0
+        self._in_flight: dict[int, int] = {}
+        self._meta_lock = threading.Lock()
+
+    def export(
+        self,
+        impl: Any,
+        binding: "InterfaceBinding",
+        unreferenced: Callable[[Any], None] | None = None,
+        **options: Any,
+    ) -> SpringObject:
+        if options:
+            raise TypeError(f"unknown export options: {sorted(options)}")
+        inner = make_door_handler(self.domain, impl, binding)
+        lock = threading.Lock()
+
+        def handler(request: MarshalBuffer) -> MarshalBuffer:
+            with lock:
+                with self._meta_lock:
+                    count = self._in_flight.get(door_uid, 0) + 1
+                    self._in_flight[door_uid] = count
+                    self.peak_concurrency = max(self.peak_concurrency, count)
+                try:
+                    return inner(request)
+                finally:
+                    with self._meta_lock:
+                        self._in_flight[door_uid] -= 1
+
+        door = self.domain.kernel.create_door(
+            self.domain, handler, label=f"synchronized:{binding.name}"
+        )
+        door_uid = door.door.uid
+        self.locks[door_uid] = lock
+        vector = ensure_registry(self.domain).lookup(self.id)
+        return vector.make_object(SingleDoorRep(door), binding)
+
+    def revoke(self, obj: SpringObject) -> None:
+        obj._check_live()
+        door = obj._rep.door.door
+        self.locks.pop(door.uid, None)
+        self.domain.kernel.revoke_door(self.domain, door)

@@ -1,0 +1,160 @@
+"""The video subcontract (Section 8.4, future directions).
+
+"One is to develop a subcontract that lets video objects encapsulate a
+specific network packet protocol for live video."
+
+Control operations (play/stop/describe, whatever the IDL interface
+declares) travel the ordinary door path.  The *media* path is different:
+frames are pushed over the network fabric's unreliable datagram service
+— no replies, loss tolerated — which is exactly the kind of new
+communication machinery the paper argues should be introducible without
+touching the base RPC system.
+
+The subscription handshake is subcontract-level control: the client-side
+``subscribe`` sends a reserved request that the server-side handler
+intercepts *before* the skeleton ever sees it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.errors import SubcontractError
+from repro.core.object import SpringObject
+from repro.core.registry import ensure_registry
+from repro.core.stubs import write_ok_status
+from repro.core.subcontract import ServerSubcontract
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.common import SingleDoorRep, make_door_handler
+from repro.subcontracts.singleton import SingleDoorClient
+
+if TYPE_CHECKING:
+    from repro.idl.rtypes import InterfaceBinding
+
+__all__ = ["VideoClient", "VideoServer"]
+
+#: reserved wire operation intercepted by the server-side video handler
+_SUBSCRIBE_OP = "_video_subscribe"
+_UNSUBSCRIBE_OP = "_video_unsubscribe"
+
+_port_counter = itertools.count(1)
+
+
+class VideoClient(SingleDoorClient):
+    """Client operations vector for the video subcontract."""
+
+    id = "video"
+
+    def subscribe(
+        self, obj: SpringObject, on_frame: Callable[[int, bytes], None]
+    ) -> str:
+        """Open a live stream: frames arrive on ``on_frame(seq, payload)``.
+
+        Registers a datagram port on the client's machine and tells the
+        server-side subcontract to push frames at it.  Returns the port
+        name (pass it to :meth:`unsubscribe`).
+        """
+        machine = self.domain.machine
+        if machine is None or machine.fabric is None:
+            raise SubcontractError(
+                "video subscription needs a machine with a network fabric"
+            )
+        port = f"video-{next(_port_counter)}"
+
+        def deliver(payload: bytes) -> None:
+            seq = int.from_bytes(payload[:8], "little")
+            on_frame(seq, payload[8:])
+
+        machine.fabric.register_port(machine, port, deliver)
+        self._control(obj, _SUBSCRIBE_OP, machine.name, port)
+        return port
+
+    def unsubscribe(self, obj: SpringObject, port: str) -> None:
+        """Stop a live stream and release the datagram port."""
+        machine = self.domain.machine
+        self._control(obj, _UNSUBSCRIBE_OP, machine.name, port)
+        machine.fabric.unregister_port(machine, port)
+
+    def _control(
+        self, obj: SpringObject, op: str, machine_name: str, port: str
+    ) -> None:
+        obj._check_live()
+        kernel = self.domain.kernel
+        buffer = MarshalBuffer(kernel)
+        buffer.put_string(op)
+        buffer.put_string(machine_name)
+        buffer.put_string(port)
+        reply = kernel.door_call(self.domain, obj._rep.door, buffer)
+        reply.get_int8()  # status; subscription control never fails soft
+
+
+class VideoServer(ServerSubcontract):
+    """Server-side video machinery.
+
+    Wraps the normal skeleton-forwarding handler with an interceptor for
+    the subscription control operations, and pumps frames to subscribers
+    over the fabric's datagram service.
+    """
+
+    id = "video"
+
+    def __init__(self, domain: Any) -> None:
+        super().__init__(domain)
+        #: (machine_name, port) -> next sequence number
+        self.subscribers: dict[tuple[str, str], int] = {}
+
+    def export(
+        self, impl: Any, binding: "InterfaceBinding", **options: Any
+    ) -> SpringObject:
+        if options:
+            raise TypeError(f"unknown export options: {sorted(options)}")
+        inner = make_door_handler(self.domain, impl, binding)
+
+        def handler(request: MarshalBuffer) -> MarshalBuffer:
+            saved = request.read_pos
+            op = request.get_string()
+            if op == _SUBSCRIBE_OP or op == _UNSUBSCRIBE_OP:
+                machine_name = request.get_string()
+                port = request.get_string()
+                if op == _SUBSCRIBE_OP:
+                    self.subscribers[(machine_name, port)] = 0
+                else:
+                    self.subscribers.pop((machine_name, port), None)
+                reply = MarshalBuffer(self.domain.kernel)
+                write_ok_status(reply)
+                return reply
+            request.read_pos = saved
+            return inner(request)
+
+        door = self.domain.kernel.create_door(
+            self.domain, handler, label=f"video:{binding.name}"
+        )
+        client_vector = ensure_registry(self.domain).lookup(self.id)
+        return client_vector.make_object(SingleDoorRep(door), binding)
+
+    def pump_frames(self, frames: list[bytes]) -> int:
+        """Push a batch of frames to every subscriber.
+
+        Each frame goes out as one unreliable datagram (eight bytes of
+        sequence number + payload); the fabric applies its loss model.
+        Returns the number of datagrams offered to the network.
+        """
+        machine = self.domain.machine
+        if machine is None or machine.fabric is None:
+            raise SubcontractError("video server needs a machine with a fabric")
+        fabric = machine.fabric
+        sent = 0
+        for (machine_name, port), seq in list(self.subscribers.items()):
+            for frame in frames:
+                payload = seq.to_bytes(8, "little") + frame
+                fabric.send_datagram(machine, machine_name, port, payload)
+                seq += 1
+                sent += 1
+            self.subscribers[(machine_name, port)] = seq
+        return sent
+
+    def revoke(self, obj: SpringObject) -> None:
+        obj._check_live()
+        self.subscribers.clear()
+        self.domain.kernel.revoke_door(self.domain, obj._rep.door.door)

@@ -1,0 +1,82 @@
+"""Compatible subcontracts (Section 6.1).
+
+"Subcontract A is said to be compatible with subcontract B if the
+unmarshalling code for subcontract B can correctly cope with receiving an
+object of subcontract A" — implemented by peeking the subcontract ID and
+routing through the registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import UnknownSubcontractError
+from repro.core.registry import SubcontractRegistry
+from repro.idl.compiler import compile_idl
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.simplex import SimplexServer
+from repro.subcontracts.singleton import SingletonClient, SingletonServer
+from tests.conftest import CounterImpl, make_domain
+
+
+@pytest.fixture
+def typed_module():
+    # file defaults to singleton; the exporter will actually use simplex.
+    return compile_idl(
+        'interface ledger { subcontract "singleton"; int32 add(int32 n); }',
+        "compat_ledger",
+    )
+
+
+class TestRouting:
+    def test_default_subcontract_routes_to_actual(self, kernel, typed_module):
+        """The Section 7 walk-through: singleton's unmarshal receives a
+        simplex object and delegates through the registry."""
+        server = make_domain(kernel, "server")
+        client = make_domain(kernel, "client")
+        binding = typed_module.binding("ledger")
+        assert binding.default_subcontract_id == "singleton"
+
+        exported = SimplexServer(server).export(CounterImpl(), binding)
+        buffer = MarshalBuffer(kernel)
+        exported._subcontract.marshal(exported, buffer)
+        buffer.seal_for_transmission(server)
+
+        received = binding.unmarshal_from(buffer, client)
+        assert received._subcontract.id == "simplex"
+        assert received.add(2) == 2
+
+    def test_matching_subcontract_needs_no_routing(self, kernel, typed_module):
+        server = make_domain(kernel, "server")
+        client = make_domain(kernel, "client")
+        binding = typed_module.binding("ledger")
+        exported = SingletonServer(server).export(CounterImpl(), binding)
+        buffer = MarshalBuffer(kernel)
+        exported._subcontract.marshal(exported, buffer)
+        buffer.seal_for_transmission(server)
+        received = binding.unmarshal_from(buffer, client)
+        assert received._subcontract.id == "singleton"
+        assert received.add(3) == 3
+
+    def test_unknown_actual_subcontract_raises(self, kernel, typed_module):
+        server = make_domain(kernel, "server")
+        binding = typed_module.binding("ledger")
+        exported = SimplexServer(server).export(CounterImpl(), binding)
+        buffer = MarshalBuffer(kernel)
+        exported._subcontract.marshal(exported, buffer)
+        buffer.seal_for_transmission(server)
+
+        # The receiving domain is linked with singleton only.
+        restricted = kernel.create_domain("restricted")
+        SubcontractRegistry(restricted).register(SingletonClient)
+        with pytest.raises(UnknownSubcontractError, match="simplex"):
+            binding.unmarshal_from(buffer, restricted)
+
+    def test_wire_form_carries_subcontract_id(self, kernel, typed_module):
+        server = make_domain(kernel, "server")
+        binding = typed_module.binding("ledger")
+        exported = SimplexServer(server).export(CounterImpl(), binding)
+        buffer = MarshalBuffer(kernel)
+        exported._subcontract.marshal(exported, buffer)
+        buffer.rewind()
+        assert buffer.peek_object_header() == "simplex"

@@ -1,0 +1,58 @@
+"""Cost report formatting."""
+
+from __future__ import annotations
+
+from repro.kernel.clock import SimClock
+from repro.runtime.report import CostReport, compare_tallies, format_tally
+
+
+class TestCostReport:
+    def test_empty_tally(self):
+        report = CostReport({})
+        assert report.total_us == 0
+        assert "total" in str(report)
+
+    def test_ordering_and_shares(self):
+        report = CostReport({"door_call": 300.0, "marshal_byte": 100.0})
+        lines = report.lines()
+        assert "kernel door traversals" in lines[0]
+        assert "75.0%" in lines[0]
+        assert "marshalling (bytes)" in lines[1]
+        assert "25.0%" in lines[1]
+        assert "400.0 us" in lines[-1]
+
+    def test_unknown_categories_pass_through(self):
+        report = CostReport({"weird_thing": 5.0})
+        assert "weird_thing" in str(report)
+
+    def test_zero_rows_suppressed(self):
+        report = CostReport({"door_call": 0.0, "network": 2.0})
+        text = str(report)
+        assert "door traversals" not in text
+        assert "network" in text
+
+    def test_format_tally_from_real_clock(self):
+        clock = SimClock()
+        clock.charge("door_call")
+        clock.charge("marshal_byte", 50)
+        text = format_tally(clock)
+        assert "kernel door traversals" in text
+        assert "total" in text
+
+    def test_compare_tallies(self):
+        before = {"door_call": 100.0, "network": 50.0}
+        after = {"door_call": 300.0, "network": 50.0, "marshal_byte": 7.0}
+        delta = compare_tallies(before, after)
+        assert delta.tally == {"door_call": 200.0, "marshal_byte": 7.0}
+        assert delta.total_us == 207.0
+
+    def test_region_measurement_pattern(self):
+        """The intended usage: snapshot, work, diff."""
+        clock = SimClock()
+        clock.charge("door_call")
+        before = clock.tally()
+        clock.charge("door_call")
+        clock.charge("indirect_call", 3)
+        delta = compare_tallies(before, clock.tally())
+        assert delta.tally["door_call"] == clock.model.door_call_us
+        assert delta.tally["indirect_call"] == 3 * clock.model.indirect_call_us

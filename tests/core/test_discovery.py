@@ -1,0 +1,157 @@
+"""Dynamic subcontract discovery (Section 6.2).
+
+A domain that receives an object of an unknown subcontract maps the
+subcontract ID to a library name through a naming context and dynamically
+links the library — but only from the designated trusted search path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.discovery import DiscoveryService, LibraryLoader
+from repro.core.errors import UnknownSubcontractError, UntrustedLibraryError
+from repro.core.registry import SubcontractRegistry
+from repro.idl.compiler import compile_idl
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.singleton import SingletonClient
+from repro.subcontracts.replicon import RepliconGroup
+from tests.conftest import CounterImpl, make_domain
+
+REPLICON_LIB = (
+    "from repro.subcontracts.replicon import RepliconClient\n"
+    "SUBCONTRACTS = {'replicon': RepliconClient}\n"
+)
+
+
+@pytest.fixture
+def trusted_dir(tmp_path):
+    directory = tmp_path / "trusted"
+    directory.mkdir()
+    (directory / "replicon_lib.py").write_text(REPLICON_LIB)
+    return directory
+
+
+def restricted_domain_with_discovery(kernel, trusted_dir, mapping):
+    domain = kernel.create_domain("restricted")
+    loader = LibraryLoader([trusted_dir], clock=kernel.clock)
+    discovery = DiscoveryService(mapping.get, loader)
+    registry = SubcontractRegistry(domain, discovery)
+    registry.register(SingletonClient)
+    return domain, registry, loader
+
+
+class TestDiscoveryFlow:
+    def test_end_to_end(self, kernel, counter_module, trusted_dir):
+        """The paper's replicated_file story: a singleton-only program
+        receives a replicon object and dynamically obtains the code."""
+        binding = counter_module.binding("counter")
+        replica = make_domain(kernel, "replica")
+        group = RepliconGroup(binding)
+        group.add_replica(replica, CounterImpl())
+        exported = group.make_object(replica)
+
+        buffer = MarshalBuffer(kernel)
+        exported._subcontract.marshal(exported, buffer)
+        buffer.seal_for_transmission(replica)
+
+        domain, registry, loader = restricted_domain_with_discovery(
+            kernel, trusted_dir, {"replicon": "replicon_lib"}
+        )
+        assert not registry.knows("replicon")
+        received = binding.unmarshal_from(buffer, domain)
+        assert received._subcontract.id == "replicon"
+        assert received.add(4) == 4
+        assert registry.knows("replicon")
+        assert registry.dynamically_loaded == ["replicon"]
+        assert loader.loaded == ["replicon_lib"]
+
+    def test_second_encounter_uses_cached_code(self, kernel, trusted_dir):
+        domain, registry, loader = restricted_domain_with_discovery(
+            kernel, trusted_dir, {"replicon": "replicon_lib"}
+        )
+        first = registry.lookup("replicon")
+        second = registry.lookup("replicon")
+        assert first is second
+        assert loader.loaded == ["replicon_lib"]
+
+    def test_unmapped_id_fails(self, kernel, trusted_dir):
+        _, registry, _ = restricted_domain_with_discovery(kernel, trusted_dir, {})
+        with pytest.raises(UnknownSubcontractError, match="no library mapping"):
+            registry.lookup("replicon")
+
+    def test_loading_charges_clock(self, kernel, trusted_dir):
+        _, registry, _ = restricted_domain_with_discovery(
+            kernel, trusted_dir, {"replicon": "replicon_lib"}
+        )
+        before = kernel.clock.tally().get("library_load", 0.0)
+        registry.lookup("replicon")
+        assert kernel.clock.tally()["library_load"] > before
+
+
+class TestSecurity:
+    """Section 6.2: only libraries on the trusted search path load."""
+
+    def test_library_outside_trusted_path_not_found(self, kernel, tmp_path):
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        (elsewhere / "evil.py").write_text(REPLICON_LIB)
+        trusted = tmp_path / "trusted"
+        trusted.mkdir()
+        loader = LibraryLoader([trusted])
+        with pytest.raises(UnknownSubcontractError, match="trusted search path"):
+            loader.load("evil")
+
+    def test_path_like_library_names_rejected(self, trusted_dir):
+        loader = LibraryLoader([trusted_dir])
+        with pytest.raises(UntrustedLibraryError, match="bare name"):
+            loader.load("../outside")
+
+    @pytest.mark.skipif(os.name != "posix", reason="symlinks")
+    def test_symlink_escape_rejected(self, tmp_path, trusted_dir):
+        outside = tmp_path / "outside.py"
+        outside.write_text(REPLICON_LIB)
+        (trusted_dir / "sneaky.py").symlink_to(outside)
+        loader = LibraryLoader([trusted_dir])
+        with pytest.raises(UntrustedLibraryError, match="resolves outside"):
+            loader.load("sneaky")
+
+    def test_admin_can_extend_trusted_path(self, kernel, tmp_path):
+        extra = tmp_path / "extra"
+        extra.mkdir()
+        (extra / "lib.py").write_text(REPLICON_LIB)
+        loader = LibraryLoader([])
+        with pytest.raises(UnknownSubcontractError):
+            loader.load("lib")
+        loader.trusted_paths.append(extra.resolve())
+        assert "replicon" in loader.load("lib")
+
+
+class TestBadLibraries:
+    def test_library_without_exports(self, tmp_path):
+        (tmp_path / "empty.py").write_text("x = 1\n")
+        loader = LibraryLoader([tmp_path])
+        with pytest.raises(UnknownSubcontractError, match="SUBCONTRACTS"):
+            loader.load("empty")
+
+    def test_library_that_raises_on_import(self, tmp_path):
+        (tmp_path / "broken.py").write_text("raise RuntimeError('nope')\n")
+        loader = LibraryLoader([tmp_path])
+        with pytest.raises(UnknownSubcontractError, match="failed to initialise"):
+            loader.load("broken")
+
+    def test_library_with_wrong_id(self, tmp_path):
+        (tmp_path / "mislabelled.py").write_text(REPLICON_LIB)
+        loader = LibraryLoader([tmp_path])
+        service = DiscoveryService({"caching": "mislabelled"}.get, loader)
+        with pytest.raises(UnknownSubcontractError, match="does not provide"):
+            service.obtain("caching")
+
+    def test_library_entry_not_a_subcontract(self, tmp_path):
+        (tmp_path / "junk.py").write_text("SUBCONTRACTS = {'replicon': 42}\n")
+        loader = LibraryLoader([tmp_path])
+        service = DiscoveryService({"replicon": "junk"}.get, loader)
+        with pytest.raises(UnknownSubcontractError, match="not a ClientSubcontract"):
+            service.obtain("replicon")

@@ -1,0 +1,112 @@
+"""Run-time type narrowing (Section 6.3).
+
+"Clients may attempt to narrow an object's type at run-time to determine
+if a given object of a statically determined type, such as file, actually
+supports a subtype with richer semantics, such as replicated file."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import narrow
+from repro.core.errors import NarrowError, ObjectConsumedError
+from repro.idl.compiler import compile_idl
+from repro.idl.genruntime import ANY_BINDING
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import make_domain
+
+HIERARCHY_IDL = """
+interface file {
+    bytes read_all();
+}
+interface versioned_file : file {
+    int32 version();
+}
+"""
+
+
+class VersionedFileImpl:
+    def __init__(self, data: bytes, version: int) -> None:
+        self._data = data
+        self._version = version
+
+    def read_all(self) -> bytes:
+        return self._data
+
+    def version(self) -> int:
+        return self._version
+
+
+@pytest.fixture
+def module():
+    return compile_idl(HIERARCHY_IDL, "narrow_files")
+
+
+@pytest.fixture
+def world(kernel, module):
+    server = make_domain(kernel, "server")
+    client = make_domain(kernel, "client")
+    exported = SimplexServer(server).export(
+        VersionedFileImpl(b"payload", 7), module.binding("versioned_file")
+    )
+    # Ship it at the *base* static type, as a file.
+    buffer = MarshalBuffer(kernel)
+    exported._subcontract.marshal(exported, buffer)
+    buffer.seal_for_transmission(server)
+    as_file = module.binding("file").unmarshal_from(buffer, client)
+    return client, as_file, module
+
+
+class TestNarrow:
+    def test_successful_narrow_unlocks_subtype_operations(self, world):
+        _, as_file, module = world
+        assert not hasattr(as_file, "version")
+        narrowed = narrow(as_file, module.binding("versioned_file"))
+        assert narrowed.version() == 7
+        assert narrowed.read_all() == b"payload"
+
+    def test_narrow_consumes_original_handle(self, world):
+        _, as_file, module = world
+        narrow(as_file, module.binding("versioned_file"))
+        with pytest.raises(ObjectConsumedError):
+            as_file.read_all()
+
+    def test_failed_narrow_leaves_object_usable(self, kernel, module):
+        server = make_domain(kernel, "server")
+
+        class PlainFile:
+            def read_all(self):
+                return b"plain"
+
+        plain = SimplexServer(server).export(PlainFile(), module.binding("file"))
+        with pytest.raises(NarrowError):
+            narrow(plain, module.binding("versioned_file"))
+        assert plain.read_all() == b"plain"
+
+    def test_narrow_from_generic_object(self, world):
+        client, as_file, module = world
+        # Re-view the object at the generic type, then narrow down.
+        from repro.core.object import SpringObject
+
+        generic = SpringObject(
+            domain=as_file._domain,
+            method_table={},
+            subcontract=as_file._subcontract,
+            rep=as_file._rep,
+            binding=ANY_BINDING,
+        )
+        narrowed = narrow(generic, module.binding("versioned_file"))
+        assert narrowed.version() == 7
+
+    def test_narrow_to_same_type_is_allowed(self, world):
+        _, as_file, module = world
+        same = narrow(as_file, module.binding("file"))
+        assert same.read_all() == b"payload"
+
+    def test_narrowed_object_shares_representation(self, world):
+        _, as_file, module = world
+        rep = as_file._rep
+        narrowed = narrow(as_file, module.binding("versioned_file"))
+        assert narrowed._rep is rep

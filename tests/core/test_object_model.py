@@ -1,0 +1,113 @@
+"""The Spring object model (Sections 3.2 and 4, Figures 1/2/4).
+
+Spring treats the client as holding the object itself: transmitting it
+moves it; copying before transmitting yields two distinct objects sharing
+underlying state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ObjectConsumedError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.common import SingleDoorRep
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import CounterImpl, make_domain
+
+
+@pytest.fixture
+def world(kernel, counter_module):
+    server = make_domain(kernel, "server")
+    client = make_domain(kernel, "client")
+    obj = SimplexServer(server).export(CounterImpl(), counter_module.binding("counter"))
+    return kernel, server, client, obj, counter_module
+
+
+def ship(kernel, src, dst, obj, binding):
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+class TestStructure:
+    """Figure 4: method table + subcontract + representation."""
+
+    def test_object_has_three_parts(self, world):
+        _, _, _, obj, module = world
+        assert set(obj._method_table) == {"add", "total", "reset"}
+        assert obj._subcontract.id == "simplex"
+        assert isinstance(obj._rep, SingleDoorRep)
+
+    def test_method_table_shared_per_type(self, world):
+        kernel, server, _, obj, module = world
+        second = SimplexServer(server).export(
+            CounterImpl(), module.binding("counter")
+        )
+        assert obj._method_table is second._method_table
+
+    def test_stub_class_matches_idl_name(self, world):
+        _, _, _, obj, module = world
+        assert type(obj).__name__ == "counter"
+        assert isinstance(obj, module.counter)
+
+
+class TestMoveSemantics:
+    """Figure 2: an object can only exist in one place at a time."""
+
+    def test_marshal_consumes_sender_object(self, world):
+        kernel, server, client, obj, module = world
+        moved = ship(kernel, server, client, obj, module.binding("counter"))
+        with pytest.raises(ObjectConsumedError):
+            obj.add(1)
+        with pytest.raises(ObjectConsumedError):
+            obj.spring_copy()
+        with pytest.raises(ObjectConsumedError):
+            obj.spring_consume()
+        assert moved.add(1) == 1
+
+    def test_copy_then_transmit_leaves_two_objects(self, world):
+        kernel, server, client, obj, module = world
+        duplicate = obj.spring_copy()
+        moved = ship(kernel, server, client, duplicate, module.binding("counter"))
+        # Both the retained original and the shipped copy are live and
+        # point at the same underlying state.
+        assert obj.add(10) == 10
+        assert moved.total() == 10
+        assert moved.add(5) == 15
+        assert obj.total() == 15
+
+    def test_consume_deletes_local_state(self, world):
+        kernel, server, _, obj, _ = world
+        assert kernel.live_door_count() == 1
+        obj.spring_consume()
+        assert kernel.live_door_count() == 0
+        with pytest.raises(ObjectConsumedError):
+            obj.total()
+
+    def test_unreferenced_notification_after_last_consume(
+        self, kernel, counter_module
+    ):
+        server = make_domain(kernel, "server")
+        reclaimed = []
+        obj = SimplexServer(server).export(
+            CounterImpl(),
+            counter_module.binding("counter"),
+            unreferenced=reclaimed.append,
+        )
+        dup = obj.spring_copy()
+        obj.spring_consume()
+        assert reclaimed == []
+        dup.spring_consume()
+        assert len(reclaimed) == 1
+
+    def test_repeated_hops_preserve_state(self, world):
+        kernel, server, client, obj, module = world
+        binding = module.binding("counter")
+        obj.add(3)
+        for hop in range(4):
+            src = server if hop % 2 == 0 else client
+            dst = client if hop % 2 == 0 else server
+            obj = ship(kernel, src, dst, obj, binding)
+        assert obj.total() == 3

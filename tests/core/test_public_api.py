@@ -1,0 +1,88 @@
+"""Public API surface checks.
+
+Every ``__all__`` name must import, and every public callable must carry
+a docstring — the deliverable contract for the documented library.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.kernel",
+    "repro.net",
+    "repro.marshal",
+    "repro.idl",
+    "repro.core",
+    "repro.subcontracts",
+    "repro.services",
+    "repro.runtime",
+]
+
+SUBCONTRACT_MODULES = [
+    "repro.subcontracts.singleton",
+    "repro.subcontracts.simplex",
+    "repro.subcontracts.cluster",
+    "repro.subcontracts.replicon",
+    "repro.subcontracts.caching",
+    "repro.subcontracts.reconnectable",
+    "repro.subcontracts.shm",
+    "repro.subcontracts.video",
+    "repro.subcontracts.realtime",
+    "repro.subcontracts.transact",
+    "repro.subcontracts.rawnet",
+    "repro.subcontracts.migratory",
+    "repro.subcontracts.synchronized",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES + SUBCONTRACT_MODULES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES + SUBCONTRACT_MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        item = getattr(module, name)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            if not inspect.getdoc(item):
+                undocumented.append(name)
+            if inspect.isclass(item):
+                for method_name, method in vars(item).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(method) and not inspect.getdoc(method):
+                        undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, f"{module_name}: undocumented public items {undocumented}"
+
+
+def test_top_level_convenience_imports():
+    import repro
+
+    assert callable(repro.compile_idl)
+    assert callable(repro.narrow)
+    assert callable(repro.transfer)
+    assert callable(repro.give)
+    assert repro.Environment
+    assert repro.__version__
+
+
+def test_standard_catalog_ids_are_unique_and_valid():
+    from repro.core.identity import validate_subcontract_id
+    from repro.subcontracts import standard_subcontracts
+
+    classes = standard_subcontracts()
+    ids = [cls.id for cls in classes]
+    assert len(ids) == len(set(ids))
+    for scid in ids:
+        validate_subcontract_id(scid)

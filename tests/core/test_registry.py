@@ -1,0 +1,114 @@
+"""Per-domain subcontract registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SubcontractError, UnknownSubcontractError
+from repro.core.registry import SubcontractRegistry, ensure_registry
+from repro.core.subcontract import ClientSubcontract
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.singleton import SingletonClient
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, kernel):
+        domain = kernel.create_domain("d")
+        registry = SubcontractRegistry(domain)
+        instance = registry.register(SingletonClient)
+        assert registry.lookup("singleton") is instance
+        assert registry.knows("singleton")
+
+    def test_instances_are_domain_bound(self, kernel):
+        d1 = kernel.create_domain("d1")
+        d2 = kernel.create_domain("d2")
+        r1 = SubcontractRegistry(d1)
+        r2 = SubcontractRegistry(d2)
+        r1.register(SingletonClient)
+        r2.register(SingletonClient)
+        assert r1.lookup("singleton") is not r2.lookup("singleton")
+        assert r1.lookup("singleton").domain is d1
+
+    def test_reregistration_replaces(self, kernel):
+        domain = kernel.create_domain("d")
+        registry = SubcontractRegistry(domain)
+        first = registry.register(SingletonClient)
+        second = registry.register(SingletonClient)
+        assert registry.lookup("singleton") is second
+        assert first is not second
+
+    def test_lookup_miss_without_discovery_raises(self, kernel):
+        domain = kernel.create_domain("d")
+        registry = SubcontractRegistry(domain)
+        with pytest.raises(UnknownSubcontractError, match="replicon"):
+            registry.lookup("replicon")
+
+    def test_registry_attaches_to_domain(self, kernel):
+        domain = kernel.create_domain("d")
+        registry = SubcontractRegistry(domain)
+        assert domain.subcontract_registry is registry
+
+    def test_known_ids_sorted(self, kernel):
+        domain = kernel.create_domain("d")
+        registry = SubcontractRegistry(domain)
+        registry.register_many(standard_subcontracts())
+        ids = registry.known_ids()
+        assert ids == tuple(sorted(ids))
+        assert "singleton" in ids and "replicon" in ids
+
+
+class TestEnsureRegistry:
+    def test_creates_standard_registry_on_demand(self, kernel):
+        domain = kernel.create_domain("d")
+        registry = ensure_registry(domain)
+        for expected in (
+            "singleton",
+            "simplex",
+            "cluster",
+            "replicon",
+            "caching",
+            "reconnectable",
+            "shm",
+            "video",
+            "realtime",
+            "transact",
+        ):
+            assert registry.knows(expected), expected
+
+    def test_idempotent(self, kernel):
+        domain = kernel.create_domain("d")
+        first = ensure_registry(domain)
+        assert ensure_registry(domain) is first
+
+
+class TestSubcontractValidation:
+    def test_missing_id_rejected(self, kernel):
+        domain = kernel.create_domain("d")
+
+        class Nameless(ClientSubcontract):
+            def invoke(self, obj, buffer):
+                raise NotImplementedError
+
+            def copy(self, obj):
+                raise NotImplementedError
+
+            def consume(self, obj):
+                raise NotImplementedError
+
+            def marshal_rep(self, obj, buffer):
+                raise NotImplementedError
+
+            def unmarshal_rep(self, buffer, binding):
+                raise NotImplementedError
+
+        with pytest.raises(SubcontractError, match="does not define"):
+            Nameless(domain)
+
+    def test_bad_id_rejected(self, kernel):
+        domain = kernel.create_domain("d")
+
+        class BadId(SingletonClient):
+            id = "Not Valid!"
+
+        with pytest.raises(ValueError, match="invalid subcontract id"):
+            BadId(domain)

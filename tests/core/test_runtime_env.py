@@ -1,0 +1,102 @@
+"""Runtime Environment behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.env import Environment
+from repro.runtime.faults import crash_domain, crash_machine, partitioned
+from repro.subcontracts.singleton import SingletonClient
+
+
+class TestTopology:
+    def test_machine_get_or_create(self, env):
+        first = env.machine("alpha")
+        assert env.machine("alpha") is first
+
+    def test_domain_gets_registry_and_naming(self, env):
+        domain = env.create_domain("alpha", "worker")
+        assert domain.subcontract_registry is not None
+        assert domain.subcontract_registry.knows("singleton")
+        assert "naming_root" in domain.locals
+
+    def test_restricted_domain_subset(self, env):
+        from repro.subcontracts.cluster import ClusterClient
+
+        # Cluster is required to talk to the naming service (documented
+        # constraint of Environment.create_domain).
+        domain = env.create_domain(
+            "alpha", "tiny", subcontracts=[SingletonClient, ClusterClient]
+        )
+        registry = domain.subcontract_registry
+        assert registry.knows("singleton")
+        assert not registry.knows("replicon")
+
+    def test_restricted_domain_without_cluster_fails_fast(self):
+        env = Environment(with_naming=False)
+        domain = env.create_domain("m", "tiny", subcontracts=[SingletonClient])
+        assert not domain.subcontract_registry.knows("cluster")
+
+    def test_without_naming(self):
+        env = Environment(with_naming=False)
+        domain = env.create_domain("m", "d")
+        assert "naming_root" not in domain.locals
+        with pytest.raises(RuntimeError, match="without a naming service"):
+            env.register_subcontract_library("x", "y")
+
+    def test_discovery_optional(self, env):
+        domain = env.create_domain("alpha", "nodisc", with_discovery=False)
+        assert domain.subcontract_registry.discovery is None
+
+
+class TestCacheManagers:
+    def test_duplicate_manager_rejected(self, env):
+        env.install_cache_manager("alpha")
+        with pytest.raises(ValueError, match="already runs cache"):
+            env.install_cache_manager("alpha")
+
+    def test_two_named_managers_per_machine(self, env):
+        env.install_cache_manager("alpha", name="fs-cache")
+        env.install_cache_manager("alpha", name="db-cache")
+        assert ("alpha", "fs-cache") in env.cache_managers
+        assert ("alpha", "db-cache") in env.cache_managers
+
+    def test_manager_registered_in_machine_local_context(self, env):
+        env.install_cache_manager("alpha")
+        probe = env.create_domain("alpha", "probe")
+        resolved = env.resolve(probe, "/machines/alpha/caches/default")
+        resolved.spring_consume()
+
+
+class TestAdmin:
+    def test_register_subcontract_library(self, env):
+        env.register_subcontract_library("replicon", "replicon_lib")
+        probe = env.create_domain("alpha", "probe")
+        naming = probe.locals["naming_root"]
+        assert naming.resolve_label("/subcontracts/replicon") == "replicon_lib"
+
+    def test_add_trusted_lib_dir(self, env, tmp_path):
+        env.add_trusted_lib_dir(tmp_path)
+        assert tmp_path.resolve() in env.loader.trusted_paths
+
+
+class TestFaultHelpers:
+    def test_crash_domain_helper(self, env):
+        domain = env.create_domain("alpha", "victim")
+        crash_domain(domain)
+        assert not domain.alive
+
+    def test_crash_machine_helper(self, env):
+        machine = env.machine("doomed")
+        domains = [env.create_domain(machine, f"d{i}") for i in range(3)]
+        crash_machine(machine)
+        assert all(not d.alive for d in domains)
+
+    def test_partitioned_context_manager_heals_on_error(self, env):
+        try:
+            with partitioned(env.fabric, "a", "b"):
+                assert env.fabric.partitioned("a", "b")
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not env.fabric.partitioned("a", "b")

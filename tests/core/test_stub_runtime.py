@@ -1,0 +1,129 @@
+"""Unit tests of the stub runtime (repro.core.stubs) in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    ObjectConsumedError,
+    RemoteApplicationError,
+    RevokedObjectError,
+)
+from repro.core.object import SpringObject
+from repro.core.stubs import (
+    STATUS_EXCEPTION,
+    STATUS_OK,
+    STATUS_REVOKED,
+    remote_call,
+    write_exception_status,
+    write_ok_status,
+    write_revoked_status,
+)
+from repro.core.subcontract import ClientSubcontract
+from repro.idl.rtypes import InterfaceBinding
+from repro.marshal.buffer import MarshalBuffer
+
+
+class ScriptedSubcontract(ClientSubcontract):
+    """A subcontract whose invoke replays a canned reply."""
+
+    id = "scripted"
+
+    def __init__(self, domain, reply_factory):
+        super().__init__(domain)
+        self._reply_factory = reply_factory
+        self.preambles = 0
+        self.sent_buffers = []
+
+    def invoke_preamble(self, obj, buffer):
+        self.preambles += 1
+        buffer.put_string("control")
+
+    def invoke(self, obj, buffer):
+        self.sent_buffers.append(buffer)
+        return self._reply_factory()
+
+    def marshal_rep(self, obj, buffer):
+        raise NotImplementedError
+
+    def unmarshal_rep(self, buffer, binding):
+        raise NotImplementedError
+
+    def copy(self, obj):
+        raise NotImplementedError
+
+    def consume(self, obj):
+        obj._mark_consumed()
+
+
+def make_object(kernel, reply_factory):
+    domain = kernel.create_domain("d")
+    binding = InterfaceBinding(name="thing", ancestors=("thing",))
+    binding.stub_class = SpringObject
+    binding._remote_table = {}
+    subcontract = ScriptedSubcontract(domain, reply_factory)
+    obj = SpringObject(
+        domain=domain,
+        method_table={},
+        subcontract=subcontract,
+        rep=object(),
+        binding=binding,
+    )
+    return obj, subcontract
+
+
+class TestRemoteCall:
+    def test_ok_path_returns_unmarshalled_result(self, kernel):
+        def reply():
+            buffer = MarshalBuffer(kernel)
+            write_ok_status(buffer)
+            buffer.put_int32(99)
+            buffer.rewind()
+            return buffer
+
+        obj, subcontract = make_object(kernel, reply)
+        result = remote_call(
+            obj, "op", lambda buf: buf.put_int32(1), lambda buf, d: buf.get_int32()
+        )
+        assert result == 99
+        assert subcontract.preambles == 1
+        # The request buffer holds: control, opname, then the argument.
+        sent = subcontract.sent_buffers[0]
+        sent.rewind()
+        assert sent.get_string() == "control"
+        assert sent.get_string() == "op"
+        assert sent.get_int32() == 1
+
+    def test_exception_status_raises_remote_error(self, kernel):
+        def reply():
+            buffer = MarshalBuffer(kernel)
+            write_exception_status(buffer, KeyError("missing"))
+            buffer.rewind()
+            return buffer
+
+        obj, _ = make_object(kernel, reply)
+        with pytest.raises(RemoteApplicationError) as info:
+            remote_call(obj, "op", lambda b: None, lambda b, d: None)
+        assert info.value.remote_type == "KeyError"
+        assert "missing" in info.value.message
+
+    def test_revoked_status_raises_revoked(self, kernel):
+        def reply():
+            buffer = MarshalBuffer(kernel)
+            write_revoked_status(buffer, "gone")
+            buffer.rewind()
+            return buffer
+
+        obj, _ = make_object(kernel, reply)
+        with pytest.raises(RevokedObjectError, match="gone"):
+            remote_call(obj, "op", lambda b: None, lambda b, d: None)
+
+    def test_consumed_object_rejected_before_any_work(self, kernel):
+        obj, subcontract = make_object(kernel, lambda: None)
+        subcontract.consume(obj)
+        with pytest.raises(ObjectConsumedError):
+            remote_call(obj, "op", lambda b: None, lambda b, d: None)
+        assert subcontract.preambles == 0
+
+    def test_status_codes_are_distinct(self):
+        assert len({STATUS_OK, STATUS_EXCEPTION, STATUS_REVOKED}) == 3

@@ -1,0 +1,65 @@
+"""The public transfer/give helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ObjectConsumedError
+from repro.runtime.transfer import give, transfer
+from repro.subcontracts.cluster import ClusterServer
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import CounterImpl
+
+
+class TestTransfer:
+    def test_move_semantics(self, env, counter_module):
+        server = env.create_domain("a", "server")
+        client = env.create_domain("b", "client")
+        obj = SimplexServer(server).export(
+            CounterImpl(), counter_module.binding("counter")
+        )
+        moved = transfer(obj, client)
+        with pytest.raises(ObjectConsumedError):
+            obj.total()
+        assert moved._domain is client
+        assert moved.add(2) == 2
+
+    def test_give_keeps_original(self, env, counter_module):
+        server = env.create_domain("a", "server")
+        client = env.create_domain("b", "client")
+        obj = SimplexServer(server).export(
+            CounterImpl(), counter_module.binding("counter")
+        )
+        delivered = give(obj, client)
+        assert obj.add(1) == 1
+        assert delivered.total() == 1
+
+    def test_transfer_preserves_subcontract(self, env, counter_module):
+        server = env.create_domain("a", "server")
+        client = env.create_domain("b", "client")
+        obj = ClusterServer(server).export(
+            CounterImpl(), counter_module.binding("counter")
+        )
+        moved = transfer(obj, client)
+        assert moved._subcontract.id == "cluster"
+
+    def test_chained_transfers(self, env, counter_module):
+        domains = [env.create_domain("m", f"d{i}") for i in range(5)]
+        obj = SimplexServer(domains[0]).export(
+            CounterImpl(), counter_module.binding("counter")
+        )
+        obj.add(7)
+        for domain in domains[1:]:
+            obj = transfer(obj, domain)
+        assert obj.total() == 7
+        assert obj._domain is domains[-1]
+
+    def test_give_to_many(self, env, counter_module):
+        server = env.create_domain("m", "server")
+        obj = SimplexServer(server).export(
+            CounterImpl(), counter_module.binding("counter")
+        )
+        receivers = [env.create_domain("m", f"r{i}") for i in range(3)]
+        copies = [give(obj, receiver) for receiver in receivers]
+        obj.add(4)
+        assert all(copy.total() == 4 for copy in copies)

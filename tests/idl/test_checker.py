@@ -1,0 +1,202 @@
+"""IDL semantic checker tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.idl.checker import check
+from repro.idl.errors import IdlCheckError
+from repro.idl.parser import parse
+from repro.idl.rtypes import ParamMode, Primitive, PrimitiveType
+
+
+def checked(source, **kwargs):
+    return check(parse(source), **kwargs)
+
+
+class TestNameRules:
+    def test_duplicate_type_names_rejected(self):
+        with pytest.raises(IdlCheckError, match="duplicate type name"):
+            checked("struct a { int32 v; } interface a { }")
+
+    def test_underscore_prefix_rejected(self):
+        with pytest.raises(IdlCheckError, match="underscore"):
+            checked("interface f { void _hidden(); }")
+
+    def test_python_keyword_rejected(self):
+        with pytest.raises(IdlCheckError, match="keyword"):
+            checked("interface f { void lambda(); }")
+
+    def test_runtime_reserved_names_rejected(self):
+        with pytest.raises(IdlCheckError, match="reserved"):
+            checked("interface f { void spring_copy(); }")
+
+    def test_builtin_shadowing_rejected(self):
+        # Builtin type names are lexer keywords, so shadowing is caught
+        # as a syntax error before the checker's defensive rule fires.
+        from repro.idl.errors import IdlError
+
+        with pytest.raises(IdlError):
+            checked("struct int32 { }")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(IdlCheckError, match="duplicate field"):
+            checked("struct s { int32 v; string v; }")
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(IdlCheckError, match="duplicate parameter"):
+            checked("interface f { void op(int32 a, string a); }")
+
+
+class TestTypeResolution:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(IdlCheckError, match="unknown type"):
+            checked("interface f { mystery op(); }")
+
+    def test_void_param_rejected(self):
+        with pytest.raises(IdlCheckError, match="may not be void"):
+            checked("interface f { void op(void v); }")
+
+    def test_void_field_rejected(self):
+        with pytest.raises(IdlCheckError, match="may not be void"):
+            checked("struct s { void v; }")
+
+    def test_void_sequence_element_rejected(self):
+        with pytest.raises(IdlCheckError, match="void"):
+            checked("interface f { sequence<void> op(); }")
+
+    def test_interface_typed_struct_field_rejected(self):
+        with pytest.raises(IdlCheckError, match="pure values"):
+            checked("interface f { } struct s { f ref; }")
+
+    def test_door_struct_field_rejected(self):
+        with pytest.raises(IdlCheckError, match="pure values"):
+            checked("struct s { door d; }")
+
+    def test_object_in_nested_sequence_field_rejected(self):
+        with pytest.raises(IdlCheckError, match="pure values"):
+            checked("struct s { sequence<sequence<object>> refs; }")
+
+
+class TestStructRecursion:
+    def test_direct_self_embedding_rejected(self):
+        with pytest.raises(IdlCheckError, match="recursive struct"):
+            checked("struct s { s inner; }")
+
+    def test_mutual_embedding_rejected(self):
+        with pytest.raises(IdlCheckError, match="recursive struct"):
+            checked("struct a { b inner; } struct b { a inner; }")
+
+    def test_sequence_breaks_recursion(self):
+        spec = checked("struct tree { int32 v; sequence<tree> children; }")
+        assert "tree" in spec.structs
+
+    def test_diamond_embedding_allowed(self):
+        spec = checked(
+            "struct leaf { int32 v; } "
+            "struct a { leaf l; } struct b { leaf l; } "
+            "struct top { a x; b y; }"
+        )
+        assert set(spec.structs) == {"leaf", "a", "b", "top"}
+
+
+class TestInheritance:
+    def test_ancestors_flattened_self_first(self):
+        spec = checked(
+            "interface a { } interface b : a { } interface c : b { }"
+        )
+        assert spec.interfaces["c"].ancestors == ("c", "b", "a")
+
+    def test_diamond_ancestors_deduplicated(self):
+        spec = checked(
+            "interface root { } interface l : root { } "
+            "interface r : root { } interface top : l, r { }"
+        )
+        assert spec.interfaces["top"].ancestors == ("top", "l", "root", "r")
+
+    def test_operations_inherited(self):
+        spec = checked(
+            "interface a { void x(); } interface b : a { void y(); }"
+        )
+        assert set(spec.interfaces["b"].operations) == {"x", "y"}
+        assert spec.interfaces["b"].operations["x"].introduced_by == "a"
+
+    def test_same_op_via_two_paths_ok(self):
+        spec = checked(
+            "interface root { void ping(); } interface l : root { } "
+            "interface r : root { } interface top : l, r { }"
+        )
+        assert set(spec.interfaces["top"].operations) == {"ping"}
+
+    def test_conflicting_inherited_signatures_rejected(self):
+        with pytest.raises(IdlCheckError, match="conflicting signatures"):
+            checked(
+                "interface a { void op(); } interface b { int32 op(); } "
+                "interface c : a, b { }"
+            )
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(IdlCheckError, match="no overloading"):
+            checked("interface a { void op(); } interface b : a { void op(); }")
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(IdlCheckError, match="unknown base"):
+            checked("interface d : ghost { }")
+
+    def test_struct_base_rejected(self):
+        with pytest.raises(IdlCheckError, match="is a struct"):
+            checked("struct s { int32 v; } interface d : s { }")
+
+    def test_duplicate_base_rejected(self):
+        with pytest.raises(IdlCheckError, match="duplicate base"):
+            checked("interface a { } interface d : a, a { }")
+
+    def test_forward_reference_to_later_interface(self):
+        spec = checked("interface uses { later get(); } interface later { }")
+        assert "uses" in spec.interfaces
+
+
+class TestSubcontractDefaults:
+    def test_in_source_declaration_wins(self):
+        spec = checked('interface f { subcontract "caching"; }')
+        assert spec.interfaces["f"].default_subcontract_id == "caching"
+
+    def test_fallback_default(self):
+        spec = checked("interface f { }")
+        assert spec.interfaces["f"].default_subcontract_id == "singleton"
+
+    def test_custom_fallback(self):
+        spec = checked("interface f { }", default_subcontract="simplex")
+        assert spec.interfaces["f"].default_subcontract_id == "simplex"
+
+    def test_subtype_does_not_inherit_subcontract_declaration(self):
+        # Each type picks its own subcontract (Section 6.3): cacheable_file
+        # chooses caching even though file is singleton, and vice versa a
+        # subtype without a declaration gets the module default.
+        spec = checked(
+            'interface file { subcontract "singleton"; } '
+            'interface cacheable_file : file { subcontract "caching"; } '
+            "interface plain_sub : cacheable_file { }"
+        )
+        assert spec.interfaces["cacheable_file"].default_subcontract_id == "caching"
+        assert spec.interfaces["plain_sub"].default_subcontract_id == "singleton"
+
+
+class TestParamModes:
+    def test_copy_mode_kept_for_objects(self):
+        spec = checked("interface f { void op(copy object o); }")
+        assert spec.interfaces["f"].operations["op"].params[0].mode is ParamMode.COPY
+
+    def test_copy_mode_kept_for_doors(self):
+        spec = checked("interface f { void op(copy door d); }")
+        assert spec.interfaces["f"].operations["op"].params[0].mode is ParamMode.COPY
+
+    def test_copy_mode_degenerates_for_values(self):
+        spec = checked("interface f { void op(copy int32 n); }")
+        assert spec.interfaces["f"].operations["op"].params[0].mode is ParamMode.IN
+
+    def test_void_result_allowed(self):
+        spec = checked("interface f { void op(); }")
+        assert spec.interfaces["f"].operations["op"].result == PrimitiveType(
+            Primitive.VOID
+        )

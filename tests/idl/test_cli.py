@@ -1,0 +1,109 @@
+"""The `python -m repro.idl` stub-compiler command."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.idl.__main__ import main
+
+GOOD_IDL = """
+struct point { float64 x; float64 y; }
+interface shapes {
+    subcontract "cluster";
+    point centroid(sequence<point> ps);
+}
+"""
+
+BAD_IDL = "interface broken { int32 op(; }"
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "shapes.idl"
+    path.write_text(GOOD_IDL)
+    return path
+
+
+class TestMain:
+    def test_summary(self, good_file, capsys):
+        assert main([str(good_file)]) == 0
+        out = capsys.readouterr().out
+        assert "interface shapes" in out
+        assert "[subcontract=cluster]" in out
+        assert "struct point" in out
+        assert "centroid" in out
+
+    def test_emit_stubs_is_valid_python(self, good_file, capsys):
+        assert main([str(good_file), "--emit", "stubs"]) == 0
+        out = capsys.readouterr().out
+        compile(out, "<emitted>", "exec")  # must parse
+        assert "_skel_shapes" in out
+        assert "class shapes(SpringObject):" in out
+
+    def test_emit_tree(self, good_file, capsys):
+        assert main([str(good_file), "--emit", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert "ancestors=('shapes',)" in out
+
+    def test_bad_idl_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.idl"
+        path.write_text(BAD_IDL)
+        assert main([str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "broken.idl" in err
+
+    def test_missing_file(self, capsys):
+        assert main(["/no/such/file.idl"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_emit_idl_canonical_form(self, good_file, capsys):
+        assert main([str(good_file), "--emit", "idl"]) == 0
+        out = capsys.readouterr().out
+        assert 'subcontract "cluster";' in out
+        assert "struct point {" in out
+        # canonical output is itself valid input
+        from repro.idl.parser import parse
+
+        parse(out)
+
+    def test_default_subcontract_flag(self, tmp_path, capsys):
+        path = tmp_path / "plain.idl"
+        path.write_text("interface plain { void ping(); }")
+        assert main([str(path), "--default-subcontract", "simplex"]) == 0
+        assert "[subcontract=simplex]" in capsys.readouterr().out
+
+    def test_inherited_ops_annotated(self, tmp_path, capsys):
+        path = tmp_path / "inh.idl"
+        path.write_text(
+            "interface base { void ping(); } interface derived : base { }"
+        )
+        assert main([str(path)]) == 0
+        assert "(from base)" in capsys.readouterr().out
+
+
+class TestSubprocess:
+    def test_stdin_mode(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.idl", "-"],
+            input=GOOD_IDL,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "interface shapes" in result.stdout
+
+    def test_error_exit_code(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.idl", "-"],
+            input=BAD_IDL,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 1
+        assert "error" in result.stderr

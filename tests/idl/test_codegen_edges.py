@@ -1,0 +1,200 @@
+"""Code-generation edge cases exercised end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import narrow
+from repro.core.errors import RemoteApplicationError
+from repro.idl.compiler import compile_idl
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import CounterImpl, make_domain
+
+
+def export_and_ship(kernel, module, iface, impl):
+    server = make_domain(kernel, "server")
+    client = make_domain(kernel, "client")
+    binding = module.binding(iface)
+    obj = SimplexServer(server).export(impl, binding)
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(server)
+    return client, binding.unmarshal_from(buffer, client)
+
+
+class TestEmptyAndMinimal:
+    def test_empty_interface_supports_type_query_only(self, kernel):
+        module = compile_idl("interface nothing { }", "edge_empty")
+        _, obj = export_and_ship(kernel, module, "nothing", object())
+        assert obj.spring_type_id() == "nothing"
+
+    def test_operation_with_many_params(self, kernel):
+        module = compile_idl(
+            "interface wide { string glue(string a, string b, string c, "
+            "string d, string e, string f, string g, string h); }",
+            "edge_wide",
+        )
+
+        class Impl:
+            def glue(self, *parts):
+                return "".join(parts)
+
+        _, obj = export_and_ship(kernel, module, "wide", Impl())
+        assert obj.glue(*"abcdefgh") == "abcdefgh"
+
+
+class TestSequencesOfEverything:
+    def test_sequence_of_structs(self, kernel):
+        module = compile_idl(
+            "struct p { int32 v; } "
+            "interface s { sequence<p> bump(sequence<p> ps); }",
+            "edge_seq_struct",
+        )
+
+        class Impl:
+            def bump(self, ps):
+                return [type(p)(v=p.v + 1) for p in ps]
+
+        _, obj = export_and_ship(kernel, module, "s", Impl())
+        ps = [module.p(v=i) for i in range(5)]
+        assert [q.v for q in obj.bump(ps)] == [1, 2, 3, 4, 5]
+
+    def test_deeply_nested_sequences(self, kernel):
+        module = compile_idl(
+            "interface deep { sequence<sequence<sequence<int32>>> id3("
+            "sequence<sequence<sequence<int32>>> v); }",
+            "edge_deep",
+        )
+
+        class Impl:
+            def id3(self, v):
+                return v
+
+        _, obj = export_and_ship(kernel, module, "deep", Impl())
+        value = [[[1, 2], []], [[3]]]
+        assert obj.id3(value) == value
+
+    def test_large_sequence(self, kernel):
+        module = compile_idl(
+            "interface big { int64 total(sequence<int32> vs); }", "edge_big"
+        )
+
+        class Impl:
+            def total(self, vs):
+                return sum(vs)
+
+        _, obj = export_and_ship(kernel, module, "big", Impl())
+        values = list(range(5000))
+        assert obj.total(values) == sum(values)
+
+    def test_sequence_of_objects_moves_each(self, kernel, counter_module):
+        module = compile_idl(
+            "interface sink { int32 drain_all(sequence<object> objs); }",
+            "edge_objseq",
+        )
+        received = []
+
+        class Impl:
+            def drain_all(self, objs):
+                received.extend(objs)
+                return len(objs)
+
+        client, sink = export_and_ship(kernel, module, "sink", Impl())
+        exporter = SimplexServer(client)
+        counters = [
+            exporter.export(CounterImpl(), counter_module.binding("counter"))
+            for _ in range(3)
+        ]
+        assert sink.drain_all(counters) == 3
+        from repro.core.errors import ObjectConsumedError
+
+        for counter in counters:
+            with pytest.raises(ObjectConsumedError):
+                counter.total()
+        assert len(received) == 3
+        first = narrow(received[0], counter_module.binding("counter"))
+        assert first.add(1) == 1
+
+
+class TestDoorParams:
+    def test_copy_mode_door_retains_original(self, kernel):
+        module = compile_idl(
+            "interface keeper { void stash(copy door d); }", "edge_doorcopy"
+        )
+        stashed = []
+
+        class Impl:
+            def stash(self, d):
+                stashed.append(d)
+
+        client, keeper = export_and_ship(kernel, module, "keeper", Impl())
+        mine = kernel.create_door(client, lambda req: MarshalBuffer(kernel))
+        keeper.stash(mine)
+        assert mine.valid  # copy mode kept the caller's identifier
+        assert client.owns(mine)
+        assert stashed[0].door is mine.door
+
+    def test_sequence_of_doors(self, kernel):
+        module = compile_idl(
+            "interface multi { int32 count(sequence<door> ds); }", "edge_doorseq"
+        )
+
+        class Impl:
+            def count(self, ds):
+                return len(ds)
+
+        client, multi = export_and_ship(kernel, module, "multi", Impl())
+        doors = [
+            kernel.create_door(client, lambda req: MarshalBuffer(kernel))
+            for _ in range(4)
+        ]
+        assert multi.count(doors) == 4
+        for door in doors:
+            assert not door.valid  # in mode: all four moved
+
+
+class TestSkeletonRobustness:
+    def test_partial_result_marshal_rolls_back_cleanly(self, kernel):
+        """If marshalling a result fails midway, the reply contains only
+        the exception — no half-written bytes."""
+        module = compile_idl(
+            "interface seq { sequence<int32> go(); }", "edge_partial"
+        )
+
+        class Impl:
+            def go(self):
+                return [1, 2, "not an int", 4]  # fails at element 3
+
+        _, obj = export_and_ship(kernel, module, "seq", Impl())
+        with pytest.raises(RemoteApplicationError):
+            obj.go()
+        # And the connection is still healthy for the next call.
+        class Good(Impl):
+            def go(self):
+                return [1, 2, 3]
+
+        obj2 = export_and_ship(kernel, module, "seq", Good())[1]
+        assert obj2.go() == [1, 2, 3]
+
+    def test_argument_type_error_reported_remotely(self, kernel):
+        module = compile_idl("interface t { void take(int32 v); }", "edge_argtype")
+
+        class Impl:
+            def take(self, v):
+                pass
+
+        _, obj = export_and_ship(kernel, module, "t", Impl())
+        with pytest.raises(Exception):
+            obj.take("a string")  # client-side struct packing fails
+
+    def test_unicode_surrogate_free_strings(self, kernel):
+        module = compile_idl("interface u { string echo(string s); }", "edge_uni")
+
+        class Impl:
+            def echo(self, s):
+                return s
+
+        _, obj = export_and_ship(kernel, module, "u", Impl())
+        tricky = "𝕊übçøntra¢t — ☂ 中文 עברית"
+        assert obj.echo(tricky) == tricky

@@ -1,0 +1,99 @@
+"""Compiler front-door API behaviour."""
+
+from __future__ import annotations
+
+import linecache
+
+import pytest
+
+from repro.idl.compiler import compile_idl
+from repro.idl.errors import IdlCheckError
+
+
+class TestIdlModule:
+    def test_attribute_access_for_classes(self):
+        module = compile_idl(
+            "struct p { int32 v; } interface i { p get(); }", "api_attrs"
+        )
+        assert module.p(v=1).v == 1
+        assert module.i.__name__ == "i"
+
+    def test_missing_attribute_message(self):
+        module = compile_idl("interface i { }", "api_missing")
+        with pytest.raises(AttributeError, match="has no type 'zzz'"):
+            module.zzz
+
+    def test_binding_lookup_errors_list_candidates(self):
+        module = compile_idl("interface alpha { } interface beta { }", "api_list")
+        with pytest.raises(KeyError, match="alpha.*beta"):
+            module.binding("gamma")
+        with pytest.raises(KeyError, match="defines no struct"):
+            module.struct("alpha")
+
+    def test_source_registered_for_tracebacks(self):
+        module = compile_idl("interface t { void f(); }", "api_trace")
+        filename = "<idl:api_trace>"
+        assert linecache.getline(filename, 1).startswith("# Generated")
+        assert "def _stub_t_f" in module.source
+
+    def test_module_names_autogenerate_uniquely(self):
+        a = compile_idl("interface x { }")
+        b = compile_idl("interface x { }")
+        assert a.name != b.name
+
+    def test_compiling_same_source_twice_gives_independent_bindings(self):
+        src = "interface c { void f(); }"
+        a = compile_idl(src, "api_a")
+        b = compile_idl(src, "api_b")
+        assert a.binding("c") is not b.binding("c")
+        assert a.binding("c").stub_class is not b.binding("c").stub_class
+
+
+class TestOverrides:
+    def test_override_applies(self):
+        module = compile_idl(
+            "interface f { }", "api_ovr", subcontract_overrides={"f": "caching"}
+        )
+        assert module.binding("f").default_subcontract_id == "caching"
+
+    def test_override_beats_in_source_declaration(self):
+        module = compile_idl(
+            'interface f { subcontract "singleton"; }',
+            "api_ovr2",
+            subcontract_overrides={"f": "replicon"},
+        )
+        assert module.binding("f").default_subcontract_id == "replicon"
+
+    def test_override_unknown_interface_rejected(self):
+        with pytest.raises(IdlCheckError, match="unknown interface"):
+            compile_idl(
+                "interface f { }", "api_ovr3", subcontract_overrides={"g": "x"}
+            )
+
+    def test_invalid_subcontract_id_rejected(self):
+        with pytest.raises(ValueError, match="invalid subcontract id"):
+            compile_idl('interface f { subcontract "NOT OK"; }', "api_badsc")
+
+
+class TestBindingIntrospection:
+    def test_operations_preserve_declaration_order(self):
+        module = compile_idl(
+            "interface o { void z(); void a(); void m(); }", "api_order"
+        )
+        assert list(module.binding("o").operations) == ["z", "a", "m"]
+
+    def test_inherited_operations_come_first(self):
+        module = compile_idl(
+            "interface base { void b(); } interface d : base { void own(); }",
+            "api_inh",
+        )
+        assert list(module.binding("d").operations) == ["b", "own"]
+
+    def test_is_ancestor_of(self):
+        module = compile_idl(
+            "interface base { } interface d : base { }", "api_anc"
+        )
+        base = module.binding("base")
+        derived = module.binding("d")
+        assert base.is_ancestor_of(derived)
+        assert not derived.is_ancestor_of(base)

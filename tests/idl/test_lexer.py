@@ -1,0 +1,124 @@
+"""IDL lexer tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.idl.errors import IdlSyntaxError
+from repro.idl.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("interface foo struct bar sequence baz")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+        ]
+
+    def test_all_punctuation(self):
+        source = "{ } ( ) < > : ; ,"
+        expected = [
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LANGLE,
+            TokenKind.RANGLE,
+            TokenKind.COLON,
+            TokenKind.SEMI,
+            TokenKind.COMMA,
+            TokenKind.EOF,
+        ]
+        assert kinds(source) == expected
+
+    def test_string_literal(self):
+        tokens = tokenize('subcontract "replicon";')
+        assert tokens[1].kind is TokenKind.STRING
+        assert tokens[1].text == "replicon"
+
+    def test_identifier_with_underscores_and_digits(self):
+        assert texts("cache_manager2") == ["cache_manager2"]
+
+    def test_type_keywords(self):
+        for kw in ("void", "bool", "int32", "int64", "float64",
+                   "string", "bytes", "door", "object", "in", "copy"):
+            token = tokenize(kw)[0]
+            assert token.kind is TokenKind.KEYWORD, kw
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("foo // comment here\nbar") == ["foo", "bar"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("foo // no newline") == ["foo"]
+
+    def test_block_comment_skipped(self):
+        assert texts("foo /* multi\nline */ bar") == ["foo", "bar"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(IdlSyntaxError, match="unterminated block comment"):
+            tokenize("foo /* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(IdlSyntaxError) as info:
+            tokenize("ok\n   @")
+        assert info.value.line == 2
+        assert info.value.column == 4
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(IdlSyntaxError, match="unexpected character"):
+            tokenize("interface $")
+
+    def test_unterminated_string(self):
+        with pytest.raises(IdlSyntaxError, match="unterminated string"):
+            tokenize('"never closed')
+
+    def test_newline_in_string(self):
+        with pytest.raises(IdlSyntaxError, match="unterminated string"):
+            tokenize('"broken\nstring"')
+
+
+class TestLexerProperties:
+    @given(st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,30}", fullmatch=True))
+    def test_any_identifierish_word_lexes_to_one_token(self, word):
+        tokens = tokenize(word)
+        assert len(tokens) == 2
+        assert tokens[0].text == word
+
+    @given(st.lists(
+        st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True),
+        min_size=1, max_size=20,
+    ))
+    def test_whitespace_separated_words_round_trip(self, words):
+        tokens = tokenize("  \t\n ".join(words))
+        assert [t.text for t in tokens[:-1]] == words

@@ -1,0 +1,123 @@
+"""IDL parser tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.idl.errors import IdlSyntaxError
+from repro.idl.parser import parse
+from repro.idl.syntax import NamedTypeExpr, SequenceTypeExpr
+
+
+class TestStructs:
+    def test_simple_struct(self):
+        spec = parse("struct point { float64 x; float64 y; }")
+        assert len(spec.structs) == 1
+        struct = spec.structs[0]
+        assert struct.name == "point"
+        assert [f.name for f in struct.fields] == ["x", "y"]
+        assert struct.fields[0].type == NamedTypeExpr("float64", struct.fields[0].type.line)
+
+    def test_empty_struct(self):
+        spec = parse("struct unit { }")
+        assert spec.structs[0].fields == ()
+
+    def test_struct_with_trailing_semicolon(self):
+        spec = parse("struct p { int32 v; };")
+        assert spec.structs[0].name == "p"
+
+    def test_struct_field_missing_semicolon(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("struct p { int32 v }")
+
+
+class TestInterfaces:
+    def test_minimal_interface(self):
+        spec = parse("interface empty { }")
+        iface = spec.interfaces[0]
+        assert iface.name == "empty"
+        assert iface.bases == ()
+        assert iface.operations == ()
+        assert iface.subcontract is None
+
+    def test_single_inheritance(self):
+        spec = parse("interface base {} interface derived : base {}")
+        assert spec.interfaces[1].bases == ("base",)
+
+    def test_multiple_inheritance(self):
+        spec = parse("interface a {} interface b {} interface c : a, b {}")
+        assert spec.interfaces[2].bases == ("a", "b")
+
+    def test_subcontract_declaration(self):
+        spec = parse('interface f { subcontract "caching"; void x(); }')
+        assert spec.interfaces[0].subcontract == "caching"
+
+    def test_operation_with_params_and_modes(self):
+        spec = parse(
+            "interface f { int32 op(in int32 a, copy object b, string c); }"
+        )
+        op = spec.interfaces[0].operations[0]
+        assert op.name == "op"
+        assert [p.mode for p in op.params] == ["in", "copy", "in"]
+        assert [p.name for p in op.params] == ["a", "b", "c"]
+
+    def test_void_result(self):
+        spec = parse("interface f { void fire(); }")
+        assert spec.interfaces[0].operations[0].result == NamedTypeExpr(
+            "void", spec.interfaces[0].operations[0].result.line
+        )
+
+    def test_nested_sequence_type(self):
+        spec = parse("interface f { sequence<sequence<int32>> grid(); }")
+        result = spec.interfaces[0].operations[0].result
+        assert isinstance(result, SequenceTypeExpr)
+        assert isinstance(result.element, SequenceTypeExpr)
+        assert result.element.element.name == "int32"
+
+    def test_user_type_references(self):
+        spec = parse("interface f { foo frob(bar b); }")
+        op = spec.interfaces[0].operations[0]
+        assert op.result.name == "foo"
+        assert op.params[0].type.name == "bar"
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "interface { }",  # missing name
+            "interface f : { }",  # missing base name
+            "interface f { int32 op( }",  # broken params
+            "interface f { int32 op(int32); }",  # missing param name
+            "interface f { int32 op(); extra",  # unclosed body
+            "struct s { sequence<> x; }",  # empty sequence
+            "banana",  # not a declaration
+            "interface f { subcontract replicon; }",  # unquoted subcontract
+            'interface f { void x(); subcontract "late"; }',  # scdecl not first
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(IdlSyntaxError):
+            parse(source)
+
+    def test_keyword_as_interface_name(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("interface struct { }")
+
+    def test_sequence_keyword_not_a_bare_type(self):
+        with pytest.raises(IdlSyntaxError):
+            parse("interface f { sequence op(); }")
+
+
+class TestMixedSpecifications:
+    def test_structs_and_interfaces_interleaved(self):
+        spec = parse(
+            """
+            struct a { int32 v; }
+            interface one { a get(); }
+            struct b { a inner; }
+            interface two : one { b getb(); }
+            """
+        )
+        assert [s.name for s in spec.structs] == ["a", "b"]
+        assert [i.name for i in spec.interfaces] == ["one", "two"]

@@ -1,0 +1,87 @@
+"""IDL pretty-printer and the parse <-> print round-trip property."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.idl.checker import check
+from repro.idl.parser import parse
+from repro.idl.printer import format_spec, format_type
+from repro.idl.rtypes import Primitive, PrimitiveType, SequenceType, StructType
+
+# reuse the valid-spec generator from the pipeline property tests
+from tests.idl.test_properties import _specs
+
+
+class TestFormatType:
+    def test_primitives(self):
+        assert format_type(PrimitiveType(Primitive.INT32)) == "int32"
+        assert format_type(PrimitiveType(Primitive.OBJECT)) == "object"
+
+    def test_nested_sequence(self):
+        t = SequenceType(SequenceType(PrimitiveType(Primitive.STRING)))
+        assert format_type(t) == "sequence<sequence<string>>"
+
+    def test_named(self):
+        assert format_type(StructType("point")) == "point"
+
+
+class TestFormatSpec:
+    SOURCE = """
+    struct point { float64 x; float64 y; }
+    interface shape {
+        subcontract "cluster";
+        point centroid();
+    }
+    interface polygon : shape {
+        int32 sides(copy object witness);
+    }
+    """
+
+    def test_output_reparses_to_same_types(self):
+        first = check(parse(self.SOURCE))
+        printed = format_spec(first)
+        second = check(parse(printed))
+        assert first.structs == second.structs
+        assert set(first.interfaces) == set(second.interfaces)
+        for name, iface in first.interfaces.items():
+            other = second.interfaces[name]
+            assert iface.ancestors == other.ancestors
+            assert iface.operations == other.operations
+            assert iface.default_subcontract_id == other.default_subcontract_id
+
+    def test_subcontract_printed_only_when_non_default(self):
+        printed = format_spec(check(parse(self.SOURCE)))
+        assert printed.count("subcontract") == 1
+        assert '"cluster"' in printed
+
+    def test_inherited_operations_not_reprinted(self):
+        printed = format_spec(check(parse(self.SOURCE)))
+        assert printed.count("centroid") == 1
+
+    def test_copy_mode_preserved(self):
+        printed = format_spec(check(parse(self.SOURCE)))
+        assert "copy object witness" in printed
+
+
+class TestRoundTripProperty:
+    @given(_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_random_specs_round_trip(self, spec):
+        source, struct_name, iface_name, fields, op_names = spec
+        first = check(parse(source))
+        printed = format_spec(first)
+        second = check(parse(printed))
+        assert first.structs == second.structs
+        for name, iface in first.interfaces.items():
+            other = second.interfaces[name]
+            assert iface.operations == other.operations
+            assert iface.ancestors == other.ancestors
+
+    @given(_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_printing_is_idempotent(self, spec):
+        source = spec[0]
+        once = format_spec(check(parse(source)))
+        twice = format_spec(check(parse(once)))
+        assert once == twice

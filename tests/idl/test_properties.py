@@ -1,0 +1,165 @@
+"""Property-based tests for the IDL pipeline."""
+
+from __future__ import annotations
+
+import keyword
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idl.checker import check
+from repro.idl.compiler import compile_idl
+from repro.idl.parser import parse
+from repro.kernel.nucleus import Kernel
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import make_domain
+
+# ----------------------------------------------------------------------
+# random-but-valid specification generation
+# ----------------------------------------------------------------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: not keyword.iskeyword(s)
+    and s not in {"interface", "struct", "sequence", "subcontract", "in", "copy",
+                  "void", "bool", "int32", "int64", "float64", "string", "bytes",
+                  "door", "object", "spring_copy", "spring_consume",
+                  "spring_type_id"}
+)
+
+_value_type = st.sampled_from(["bool", "int32", "int64", "float64", "string", "bytes"])
+
+
+@st.composite
+def _specs(draw):
+    """A small random specification: one struct + one interface using it."""
+    struct_name = draw(_ident)
+    field_names = draw(
+        st.lists(_ident, min_size=1, max_size=4, unique=True)
+    )
+    fields = [(name, draw(_value_type)) for name in field_names]
+    op_names = draw(
+        st.lists(
+            _ident.filter(lambda s: s != struct_name),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    lines = [f"struct {struct_name} {{"]
+    lines += [f"    {ftype} {fname};" for fname, ftype in fields]
+    lines.append("}")
+    iface_name = draw(_ident.filter(lambda s: s != struct_name and s not in op_names))
+    lines.append(f"interface {iface_name} {{")
+    for op in op_names:
+        result = draw(st.sampled_from(["void", "int32", struct_name]))
+        param_count = draw(st.integers(min_value=0, max_value=3))
+        params = ", ".join(
+            f"{draw(_value_type)} p{i}" for i in range(param_count)
+        )
+        lines.append(f"    {result} {op}({params});")
+    lines.append("}")
+    return "\n".join(lines), struct_name, iface_name, fields, op_names
+
+
+class TestPipelineProperties:
+    @given(_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_generated_specs_compile(self, spec):
+        source, struct_name, iface_name, fields, op_names = spec
+        module = compile_idl(source)
+        binding = module.binding(iface_name)
+        assert set(binding.operations) == set(op_names)
+        struct_binding = module.struct(struct_name)
+        assert [f for f, _ in struct_binding.fields] == [f for f, _ in fields]
+
+    @given(_specs())
+    @settings(max_examples=15, deadline=None)
+    def test_compiled_interfaces_are_callable(self, spec):
+        source, struct_name, iface_name, fields, op_names = spec
+        module = compile_idl(source)
+        binding = module.binding(iface_name)
+        kernel = Kernel()
+        server = make_domain(kernel, "server")
+
+        defaults = {
+            "bool": True,
+            "int32": 7,
+            "int64": 7,
+            "float64": 0.5,
+            "string": "s",
+            "bytes": b"b",
+        }
+
+        struct_cls = module.struct(struct_name).value_class
+        struct_value = struct_cls(
+            **{fname: defaults[ftype] for fname, ftype in fields}
+        )
+
+        class Impl:
+            pass
+
+        for op_name, op in binding.operations.items():
+            result = op.result
+            from repro.idl.rtypes import Primitive, PrimitiveType, StructType
+
+            if isinstance(result, StructType):
+                ret = struct_value
+            elif result == PrimitiveType(Primitive.VOID):
+                ret = None
+            else:
+                ret = 3
+            setattr(Impl, op_name, staticmethod(lambda *a, _r=ret: _r))
+
+        obj = SimplexServer(server).export(Impl(), binding)
+        for op_name, op in binding.operations.items():
+            args = [defaults[str(p.type)] for p in op.params]
+            outcome = getattr(obj, op_name)(*args)
+            from repro.idl.rtypes import Primitive, PrimitiveType, StructType
+
+            if isinstance(op.result, StructType):
+                assert outcome == struct_value
+            elif op.result == PrimitiveType(Primitive.VOID):
+                assert outcome is None
+            else:
+                assert outcome == 3
+
+
+class TestEchoRoundTripProperties:
+    """Arbitrary value trees survive a real cross-domain round trip."""
+
+    @given(
+        values=st.lists(
+            st.lists(st.text(max_size=20), max_size=5), max_size=5
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nested_sequences(self, echo_module, values):
+        kernel = Kernel()
+        server = make_domain(kernel, "server")
+        from tests.conftest import EchoImpl
+
+        obj = SimplexServer(server).export(EchoImpl(), echo_module.binding("echo"))
+        assert obj.nest(values) == values
+
+    @given(
+        x=st.floats(allow_nan=False, allow_infinity=False),
+        y=st.floats(allow_nan=False, allow_infinity=False),
+        label=st.text(max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_struct_values(self, echo_module, x, y, label):
+        kernel = Kernel()
+        server = make_domain(kernel, "server")
+        from tests.conftest import EchoImpl
+
+        obj = SimplexServer(server).export(EchoImpl(), echo_module.binding("echo"))
+        seg = echo_module.segment(
+            a=echo_module.point(x=x, y=y),
+            b=echo_module.point(x=y, y=x),
+            label=label,
+        )
+        result = obj.swap_ends(seg)
+        assert result.a == seg.b
+        assert result.b == seg.a
+        assert result.label == label

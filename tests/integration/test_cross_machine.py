@@ -1,0 +1,132 @@
+"""Cross-machine integration scenarios through the full Environment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import narrow
+from repro.core.errors import UnknownSubcontractError
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.faults import crash_domain, partitioned
+from repro.services.kv import ReplicatedKVService, kv_binding
+from repro.subcontracts.simplex import SimplexServer
+from repro.subcontracts.singleton import SingletonClient
+from repro.subcontracts.cluster import ClusterClient
+from repro.subcontracts.simplex import SimplexClient
+from tests.conftest import CounterImpl
+
+REPLICON_LIB = (
+    "from repro.subcontracts.replicon import RepliconClient\n"
+    "SUBCONTRACTS = {'replicon': RepliconClient}\n"
+)
+
+
+class TestDynamicDiscoveryThroughNaming:
+    """Section 6.2 end-to-end, with the subcontract-id -> library mapping
+    published in the network naming context and the library loaded from
+    the administrator-controlled trusted directory."""
+
+    def test_restricted_domain_learns_replicon(self, tmp_path, counter_module):
+        from repro.runtime.env import Environment
+
+        trusted = tmp_path / "trusted"
+        trusted.mkdir()
+        (trusted / "replicon_lib.py").write_text(REPLICON_LIB)
+
+        env = Environment(trusted_lib_dirs=[trusted])
+        env.register_subcontract_library("replicon", "replicon_lib")
+
+        binding = counter_module.binding("counter")
+        replicas = [env.create_domain("dc", f"r{i}") for i in range(2)]
+        service = ReplicatedKVService(replicas)
+
+        # The old application knows nothing about replication: it links
+        # only singleton, simplex, and cluster (for naming).
+        oldapp = env.create_domain(
+            "desk",
+            "oldapp",
+            subcontracts=[SingletonClient, SimplexClient, ClusterClient],
+        )
+        registry = oldapp.subcontract_registry
+        assert not registry.knows("replicon")
+
+        exported = service.store_for(replicas[0])
+        env.bind(replicas[0], "/stores/main", exported)
+
+        store_any = env.resolve(oldapp, "/stores/main")
+        store = narrow(store_any, kv_binding())
+        store.put("works", "yes")
+        assert store.get("works") == "yes"
+        assert registry.dynamically_loaded == ["replicon"]
+
+    def test_without_mapping_discovery_fails(self, tmp_path, counter_module):
+        from repro.runtime.env import Environment
+
+        env = Environment(trusted_lib_dirs=[])
+        replicas = [env.create_domain("dc", "r0")]
+        service = ReplicatedKVService(replicas)
+        oldapp = env.create_domain(
+            "desk",
+            "oldapp",
+            subcontracts=[SingletonClient, SimplexClient, ClusterClient],
+        )
+        exported = service.store_for(replicas[0])
+        env.bind(replicas[0], "/stores/main", exported)
+        with pytest.raises(UnknownSubcontractError):
+            env.resolve(oldapp, "/stores/main")
+
+
+class TestMultiMachineTopology:
+    def test_three_machine_relay(self, env, counter_module):
+        """An object hops client→broker→consumer across three machines
+        and still works."""
+        binding = counter_module.binding("counter")
+        producer = env.create_domain("m-prod", "producer")
+        broker = env.create_domain("m-broker", "broker")
+        consumer = env.create_domain("m-cons", "consumer")
+
+        obj = SimplexServer(producer).export(CounterImpl(), binding)
+        obj.add(5)
+
+        def ship(src, dst, thing):
+            buffer = MarshalBuffer(env.kernel)
+            thing._subcontract.marshal(thing, buffer)
+            buffer.seal_for_transmission(src)
+            return binding.unmarshal_from(buffer, dst)
+
+        at_broker = ship(producer, broker, obj)
+        assert at_broker.total() == 5
+        at_consumer = ship(broker, consumer, at_broker)
+        assert at_consumer.add(1) == 6
+
+    def test_partition_heals_and_service_resumes(self, env, counter_module):
+        binding = counter_module.binding("counter")
+        server = env.create_domain("east", "server")
+        client = env.create_domain("west", "client")
+        obj = SimplexServer(server).export(CounterImpl(), binding)
+        env.bind(server, "/svc/counter", obj)
+        remote = narrow(env.resolve(client, "/svc/counter"), binding)
+        remote.add(1)
+        from repro.kernel import NetworkPartitionError
+
+        with partitioned(env.fabric, "east", "west"):
+            with pytest.raises(NetworkPartitionError):
+                remote.add(1)
+        assert remote.add(1) == 2
+
+    def test_replicated_store_spans_machines(self, env):
+        """Replicas on distinct machines; a whole-machine crash is
+        absorbed by replicas elsewhere."""
+        replicas = [
+            env.create_domain(f"rack-{i}", f"kv-{i}") for i in range(3)
+        ]
+        service = ReplicatedKVService(replicas)
+        client = env.create_domain("laptop", "client")
+        exported = service.store_for(replicas[0])
+        env.bind(replicas[0], "/kv", exported)
+        store = narrow(env.resolve(client, "/kv"), kv_binding())
+        store.put("a", "1")
+        env.machine("rack-0").crash()
+        assert store.get("a") == "1"
+        store.put("b", "2")
+        assert store.get("b") == "2"

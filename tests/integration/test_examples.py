@@ -1,0 +1,59 @@
+"""Every example script must run clean — they are part of the API contract."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["add(5)   -> 5", "total()  -> 42", "simulated time used"],
+    "replicated_kv.py": [
+        "client reads anyway: subcontract",
+        "never mentioned replication",
+    ],
+    "cached_files.py": ["served by the local cache", "b'REVISED!'"],
+    "crash_recovery.py": ["after the crash", "reconnect backoff"],
+    "dynamic_discovery.py": [
+        "attempt 1 failed",
+        "attempt 2 failed",
+        "attempt 3 succeeded",
+    ],
+    "newsroom.py": [
+        "index still answers: /articles/subcontract",
+        "assignments intact: ['paris', 'tokyo']",
+        "edition shipped",
+    ],
+    "subcontract_tour.py": [
+        "tour complete",
+        "cluster",
+        "replicon",
+        "get() over packets -> 8",
+        "get() after migration -> 10 | network calls for it: 0",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    for snippet in EXPECTED_SNIPPETS[script]:
+        assert snippet in result.stdout, (
+            f"{script} output missing {snippet!r}:\n{result.stdout}"
+        )
+
+
+def test_examples_directory_has_no_strays():
+    """Each example must be registered here so it stays tested."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

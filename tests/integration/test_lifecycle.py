@@ -1,0 +1,184 @@
+"""The life-cycle of a Spring object (Section 7), as an executable story.
+
+A fileserver FS exports file objects using the simplex subcontract; the
+narrative follows one file object through birth, transfer, invocation,
+reproduction (copy), and death — with the kernel notifying the server
+when the last door identifier disappears.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import narrow
+from repro.core.errors import ObjectConsumedError
+from repro.marshal.buffer import MarshalBuffer
+from repro.services.fs import FileServer, fs_module
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import make_domain
+
+FS_STORY_IDL = """
+interface file {
+    int32 size();
+    bytes read(int32 offset, int32 count);
+}
+interface file_system {
+    file open(string path);
+}
+"""
+
+
+class StoryFileImpl:
+    def __init__(self, data: bytes, reclaimed: list) -> None:
+        self._data = data
+        self._reclaimed = reclaimed
+
+    def size(self) -> int:
+        return len(self._data)
+
+    def read(self, offset: int, count: int) -> bytes:
+        return self._data[offset : offset + count]
+
+    def _spring_unreferenced(self) -> None:
+        self._reclaimed.append(self)
+
+
+def test_section_7_life_cycle(kernel):
+    from repro.idl.compiler import compile_idl
+
+    module = compile_idl(FS_STORY_IDL, "story_fs")
+    file_binding = module.binding("file")
+    fs_binding = module.binding("file_system")
+    # file's default subcontract is singleton (the module default) while
+    # the fileserver actually exports with simplex — exactly the
+    # Section 7 mismatch that compatible-subcontract routing resolves.
+    assert file_binding.default_subcontract_id == "singleton"
+
+    fileserver = make_domain(kernel, "FS")
+    app = make_domain(kernel, "app")
+    reclaimed: list = []
+
+    simplex = SimplexServer(fileserver)
+
+    class FileSystemImpl:
+        def open(self, path: str):
+            # "The fileserver ... uses the server-side code of the simplex
+            # subcontract to create a Spring object."  Birth.
+            return simplex.export(
+                StoryFileImpl(b"spring rules", reclaimed), file_binding
+            )
+
+    fs_obj = simplex.export(FileSystemImpl(), fs_binding)
+    buffer = MarshalBuffer(kernel)
+    fs_obj._subcontract.marshal(fs_obj, buffer)
+    buffer.seal_for_transmission(fileserver)
+    fs = fs_binding.unmarshal_from(buffer, app)
+
+    # --- transfer: the file object crosses address spaces as the result
+    # of an operation on a file_system object.  The client-side stubs
+    # initially call singleton's unmarshal; singleton sees the simplex
+    # subcontract ID and routes through the registry.
+    file_obj = fs.open("/etc/passwd")
+    assert file_obj._subcontract.id == "simplex"
+    assert file_obj._domain is app
+
+    # --- invocation: stubs -> invoke_preamble -> marshal -> invoke ->
+    # kernel door -> server-side simplex -> server stubs -> application.
+    assert file_obj.size() == 12
+    assert file_obj.read(0, 6) == b"spring"
+
+    # --- reproduction: a shallow copy; both objects share state.
+    duplicate = file_obj.spring_copy()
+    assert duplicate.read(7, 5) == b"rules"
+
+    # --- death: consume deletes door identifiers; when the last one
+    # goes, the kernel notifies the server-side simplex code, which lets
+    # the server application clean up.
+    file_obj.spring_consume()
+    assert reclaimed == []  # the duplicate still holds a door identifier
+    duplicate.spring_consume()
+    assert len(reclaimed) == 1
+
+    with pytest.raises(ObjectConsumedError):
+        file_obj.size()
+
+
+def test_figure_3_call_path_trace(kernel, counter_module):
+    """Reproduce Figure 3: the logical progression of a call to a
+    server-based Spring object, by instrumenting each hop."""
+    from repro.core.subcontract import ClientSubcontract
+    from repro.subcontracts.singleton import SingletonClient, SingletonServer
+
+    trace: list[str] = []
+    server = make_domain(kernel, "server")
+    client = make_domain(kernel, "client")
+    binding = counter_module.binding("counter")
+
+    class TracingClient(SingletonClient):
+        def invoke_preamble(self, obj, buffer):
+            trace.append("client-subcontract:invoke_preamble")
+            super().invoke_preamble(obj, buffer)
+
+        def invoke(self, obj, buffer):
+            trace.append("client-subcontract:invoke")
+            reply = super().invoke(obj, buffer)
+            trace.append("client-subcontract:reply")
+            return reply
+
+    client.subcontract_registry.register(TracingClient)
+
+    class TracingCounter:
+        def __init__(self):
+            self.value = 0
+
+        def add(self, n):
+            trace.append("server-application:add")
+            self.value += n
+            return self.value
+
+        def total(self):
+            return self.value
+
+        def reset(self):
+            self.value = 0
+
+    exported = SingletonServer(server).export(TracingCounter(), binding)
+    buffer = MarshalBuffer(kernel)
+    exported._subcontract.marshal(exported, buffer)
+    buffer.seal_for_transmission(server)
+    obj = binding.unmarshal_from(buffer, client)
+
+    handled_before = obj._rep.door.door.calls_handled
+    trace.append("application:call")
+    assert obj.add(3) == 3
+    trace.append("application:returned")
+
+    assert trace == [
+        "application:call",
+        "client-subcontract:invoke_preamble",
+        "client-subcontract:invoke",
+        "server-application:add",
+        "client-subcontract:reply",
+        "application:returned",
+    ]
+    # the kernel door really carried the call
+    assert obj._rep.door.door.calls_handled == handled_before + 1
+
+
+def test_indirect_call_accounting_matches_section_9_3(kernel, counter_module):
+    """Section 9.3: each invocation requires two extra indirect calls
+    from the stubs into the client subcontract and one from the
+    server-side subcontract into the server stubs."""
+    from repro.subcontracts.singleton import SingletonServer
+    from tests.conftest import CounterImpl
+
+    server = make_domain(kernel, "server")
+    binding = counter_module.binding("counter")
+    obj = SingletonServer(server).export(CounterImpl(), binding)
+
+    kernel.clock.reset_tally()
+    obj.add(1)
+    tally = kernel.clock.tally()
+    per_call_indirect = tally["indirect_call"] / kernel.clock.model.indirect_call_us
+    assert per_call_indirect == pytest.approx(3)  # 2 client-side + 1 server-side
+    assert tally["door_call"] == kernel.clock.model.door_call_us

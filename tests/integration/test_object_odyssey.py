@@ -1,0 +1,97 @@
+"""Model-based integration property: the object odyssey.
+
+A counter object is exported under a random subcontract and then driven
+through a random itinerary of moves, copies, invocations, and consumes
+across a set of domains on several machines.  A plain Python model tracks
+what the distributed system *should* say; the invariant is that every
+live handle agrees with the model and every consumed handle refuses use.
+
+This is the Spring object model (Figure 2) under adversarial schedules.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.errors import ObjectConsumedError
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.subcontracts.cluster import ClusterServer
+from repro.subcontracts.simplex import SimplexServer
+from repro.subcontracts.singleton import SingletonServer
+from tests.conftest import COUNTER_IDL, CounterImpl
+
+_SERVERS = {
+    "singleton": SingletonServer,
+    "simplex": SimplexServer,
+    "cluster": ClusterServer,
+}
+
+_actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("move"), st.integers(0, 3), st.integers(1, 9)),
+        st.tuples(st.just("copy"), st.integers(0, 3), st.integers(1, 9)),
+        st.tuples(st.just("add"), st.integers(0, 3), st.integers(1, 9)),
+        st.tuples(st.just("consume"), st.integers(0, 3), st.integers(0, 0)),
+    ),
+    max_size=25,
+)
+
+
+@given(
+    subcontract=st.sampled_from(sorted(_SERVERS)),
+    actions=_actions,
+)
+@settings(max_examples=40, deadline=None)
+def test_object_odyssey(subcontract, actions):
+    from repro.idl.compiler import compile_idl
+
+    env = Environment(latency_us=0.0)
+    module = compile_idl(COUNTER_IDL, "odyssey")
+    binding = module.binding("counter")
+    domains = [env.create_domain(f"m{i % 2}", f"d{i}") for i in range(4)]
+    server_domain = env.create_domain("m0", "exporter")
+
+    exported = _SERVERS[subcontract](server_domain).export(CounterImpl(), binding)
+
+    # live handles: list of (domain_index, SpringObject); model: the value
+    handles = [(None, exported)]  # None = the exporting domain
+    expected = 0
+
+    def domain_of(entry):
+        index, _ = entry
+        return server_domain if index is None else domains[index]
+
+    for action, target, amount in actions:
+        if not handles:
+            break
+        index, obj = handles[0]
+        src = domain_of(handles[0])
+        if action == "move":
+            buffer = MarshalBuffer(env.kernel)
+            obj._subcontract.marshal(obj, buffer)
+            buffer.seal_for_transmission(src)
+            moved = binding.unmarshal_from(buffer, domains[target])
+            with pytest.raises(ObjectConsumedError):
+                obj.total()
+            handles[0] = (target, moved)
+        elif action == "copy":
+            duplicate = obj.spring_copy()
+            handles.append((index, duplicate))
+            expected += 0
+        elif action == "add":
+            assert obj.add(amount) == expected + amount
+            expected += amount
+        else:  # consume
+            obj.spring_consume()
+            with pytest.raises(ObjectConsumedError):
+                obj.add(1)
+            handles.pop(0)
+
+    # Every surviving handle sees the same state.
+    for entry in handles:
+        _, obj = entry
+        assert obj.total() == expected

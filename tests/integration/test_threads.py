@@ -1,0 +1,126 @@
+"""Concurrent door traffic: kernel integrity under threads (§3.3).
+
+Domains have threads; these tests hammer the kernel's capability tables
+and the subcontract call path from many Python threads at once and check
+that nothing tears: counts exact, refcounts exact, no stray errors.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.threads import run_concurrently
+from repro.runtime.transfer import give
+from repro.subcontracts.cluster import ClusterServer
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import make_domain
+
+
+class LockedCounter:
+    """A thread-safe server application (the app's job, not the kernel's)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int) -> int:
+        with self._lock:
+            self.value += n
+            return self.value
+
+    def total(self) -> int:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+THREADS = 8
+CALLS = 40
+
+
+class TestConcurrentCalls:
+    def test_concurrent_invocations_all_land(self, kernel, counter_module):
+        server = make_domain(kernel, "server")
+        binding = counter_module.binding("counter")
+        impl = LockedCounter()
+        exported = SimplexServer(server).export(impl, binding)
+
+        clients = [make_domain(kernel, f"client-{i}") for i in range(THREADS)]
+        handles = [give(exported, client) for client in clients]
+
+        def worker(handle):
+            def run():
+                for _ in range(CALLS):
+                    handle.add(1)
+
+            return run
+
+        run_concurrently([worker(handle) for handle in handles])
+        assert impl.value == THREADS * CALLS
+        assert exported.total() == THREADS * CALLS
+        assert kernel.call_depth == 0
+
+    def test_concurrent_copy_delete_keeps_refcount_exact(self, kernel, counter_module):
+        server = make_domain(kernel, "server")
+        binding = counter_module.binding("counter")
+        exported = SimplexServer(server).export(LockedCounter(), binding)
+        door = exported._rep.door.door
+
+        def churn():
+            for _ in range(100):
+                duplicate = kernel.copy_door_id(server, exported._rep.door)
+                kernel.delete_door_id(server, duplicate)
+
+        run_concurrently([churn for _ in range(THREADS)])
+        assert door.refcount == 1  # only the original identifier remains
+
+    def test_concurrent_exports_create_exact_door_count(self, kernel, counter_module):
+        server = make_domain(kernel, "server")
+        binding = counter_module.binding("counter")
+        exporter = SimplexServer(server)
+        before = kernel.live_door_count()
+        per_thread = 25
+
+        def export_batch():
+            for _ in range(per_thread):
+                exporter.export(LockedCounter(), binding)
+
+        run_concurrently([export_batch for _ in range(THREADS)])
+        assert kernel.live_door_count() == before + THREADS * per_thread
+
+    def test_concurrent_cluster_members_dispatch_correctly(
+        self, kernel, counter_module
+    ):
+        server = make_domain(kernel, "server")
+        binding = counter_module.binding("counter")
+        cluster = ClusterServer(server)
+        impls = [LockedCounter() for _ in range(THREADS)]
+        clients = [make_domain(kernel, f"c{i}") for i in range(THREADS)]
+        handles = [
+            give(cluster.export(impl, binding), client)
+            for impl, client in zip(impls, clients)
+        ]
+
+        def worker(handle):
+            def run():
+                for _ in range(CALLS):
+                    handle.add(1)
+
+            return run
+
+        run_concurrently([worker(handle) for handle in handles])
+        # Tag dispatch never crossed wires under concurrency.
+        assert [impl.value for impl in impls] == [CALLS] * THREADS
+
+    def test_worker_exception_propagates(self):
+        def fine():
+            pass
+
+        def broken():
+            raise RuntimeError("worker failed")
+
+        with pytest.raises(RuntimeError, match="worker failed"):
+            run_concurrently([fine, broken, fine])

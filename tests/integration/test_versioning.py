@@ -1,0 +1,96 @@
+"""Interface evolution across the wire.
+
+Dispatch is by operation name, so a server exporting a newer interface
+serves clients compiled against an older one (the CORBA-era guarantee
+Spring's IDL also gave), and the failure mode for the reverse direction
+is a clean remote error, not corruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RemoteApplicationError
+from repro.idl.compiler import compile_idl
+from repro.runtime.transfer import transfer
+from repro.subcontracts.simplex import SimplexServer
+
+V1 = """
+interface service {
+    int32 ping(int32 v);
+}
+"""
+
+V2 = """
+interface service {
+    int32 ping(int32 v);
+    string shiny(string arg);
+}
+"""
+
+
+class V2Impl:
+    def ping(self, v):
+        return v + 1
+
+    def shiny(self, arg):
+        return arg.upper()
+
+
+@pytest.fixture
+def world(env):
+    server = env.create_domain("new-build", "server")
+    client = env.create_domain("old-build", "client")
+    return env, server, client
+
+
+class TestForwardCompatibility:
+    def test_old_client_talks_to_new_server(self, world):
+        env, server, client = world
+        v1 = compile_idl(V1, "ver_v1")
+        v2 = compile_idl(V2, "ver_v2")
+        exported = SimplexServer(server).export(V2Impl(), v2.binding("service"))
+        # The old client unmarshals at its own (v1) notion of the type.
+        moved = transfer(exported, client)
+        old_view = v1.binding("service").stub_class(
+            domain=client,
+            method_table=v1.binding("service").remote_method_table(),
+            subcontract=moved._subcontract,
+            rep=moved._rep,
+            binding=v1.binding("service"),
+        )
+        assert old_view.ping(41) == 42
+
+    def test_old_client_narrow_still_works(self, world):
+        """narrow against the old binding succeeds: ancestry by name."""
+        from repro.core import narrow
+
+        env, server, client = world
+        v1 = compile_idl(V1, "ver_n1")
+        v2 = compile_idl(V2, "ver_n2")
+        exported = SimplexServer(server).export(V2Impl(), v2.binding("service"))
+        moved = transfer(exported, client)
+        narrowed = narrow(moved, v1.binding("service"))
+        assert narrowed.ping(1) == 2
+
+    def test_new_client_on_old_server_fails_cleanly(self, world):
+        env, server, client = world
+        v1 = compile_idl(V1, "ver_o1")
+        v2 = compile_idl(V2, "ver_o2")
+
+        class V1Impl:
+            def ping(self, v):
+                return v + 1
+
+        exported = SimplexServer(server).export(V1Impl(), v1.binding("service"))
+        moved = transfer(exported, client)
+        new_view = v2.binding("service").stub_class(
+            domain=client,
+            method_table=v2.binding("service").remote_method_table(),
+            subcontract=moved._subcontract,
+            rep=moved._rep,
+            binding=v2.binding("service"),
+        )
+        assert new_view.ping(1) == 2  # shared subset still fine
+        with pytest.raises(RemoteApplicationError, match="no operation"):
+            new_view.shiny("x")

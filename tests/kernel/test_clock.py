@@ -1,0 +1,81 @@
+"""Simulated clock and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.clock import ClockWindow, CostModel, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0.0
+
+    def test_charge_advances_by_model_cost(self):
+        clock = SimClock(CostModel(door_call_us=100.0))
+        charged = clock.charge("door_call")
+        assert charged == 100.0
+        assert clock.now_us == 100.0
+
+    def test_charge_with_count(self):
+        clock = SimClock(CostModel(marshal_byte_us=0.5))
+        clock.charge("marshal_byte", 10)
+        assert clock.now_us == 5.0
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(AttributeError):
+            SimClock().charge("warp_drive")
+
+    def test_advance_explicit(self):
+        clock = SimClock()
+        clock.advance(42.0, "network")
+        assert clock.now_us == 42.0
+        assert clock.tally()["network"] == 42.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_tally_accumulates_per_category(self):
+        clock = SimClock(CostModel(door_call_us=10.0, door_copy_us=1.0))
+        clock.charge("door_call")
+        clock.charge("door_call")
+        clock.charge("door_copy")
+        tally = clock.tally()
+        assert tally["door_call"] == 20.0
+        assert tally["door_copy"] == 1.0
+
+    def test_reset_tally_keeps_now(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.reset_tally()
+        assert clock.now_us == 5.0
+        assert clock.tally() == {}
+
+    def test_window_measures_region(self):
+        clock = SimClock()
+        clock.advance(3.0)
+        with ClockWindow(clock) as window:
+            clock.advance(7.0)
+        assert window.elapsed_us == 7.0
+        assert clock.now_us == 10.0
+
+
+class TestCostModelRatios:
+    """The cost model must preserve the paper's ordering of costs."""
+
+    def test_local_much_cheaper_than_door(self):
+        model = CostModel()
+        assert model.local_call_us * 50 < model.door_call_us
+
+    def test_door_much_cheaper_than_network(self):
+        model = CostModel()
+        assert model.door_call_us * 2 < model.network_hop_us
+
+    def test_subcontract_tax_is_small(self):
+        """Section 9.3: two client indirect calls + one server-side, plus
+        a subcontract ID, must stay well under the paper's 2us-equivalent
+        share of a minimal door call."""
+        model = CostModel()
+        tax = 3 * model.indirect_call_us + model.marshal_door_id_us
+        assert tax < 0.1 * model.door_call_us

@@ -1,0 +1,165 @@
+"""Domain crash semantics: the failure model subcontracts build on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import (
+    DomainCrashedError,
+    DoorState,
+    InvalidDoorError,
+    Kernel,
+    ServerDiedError,
+)
+from repro.marshal.buffer import MarshalBuffer
+
+
+def noop_handler(kernel):
+    def handler(request):
+        return MarshalBuffer(kernel)
+
+    return handler
+
+
+class TestCrashEffects:
+    def test_crash_kills_served_doors(self, kernel):
+        server = kernel.create_domain("server")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        kernel.crash_domain(server)
+        assert ident.door.state is DoorState.DEAD
+
+    def test_crash_releases_owned_identifiers(self, kernel):
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        dup = kernel.copy_door_id(server, ident)
+        transit = kernel.detach_door_id(server, dup)
+        held_by_client = kernel.attach_door_id(client, transit)
+        door = ident.door
+        kernel.crash_domain(client)
+        # Client's identifier evaporated; server's remains.
+        assert not held_by_client.valid
+        assert door.refcount == 1
+        assert server.owns(ident)
+
+    def test_crash_is_idempotent(self, kernel):
+        domain = kernel.create_domain("d")
+        kernel.crash_domain(domain)
+        kernel.crash_domain(domain)  # no error
+        assert not domain.alive
+
+    def test_crashed_domain_cannot_act(self, kernel):
+        server = kernel.create_domain("server")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        kernel.crash_domain(server)
+        with pytest.raises(DomainCrashedError):
+            kernel.copy_door_id(server, ident)
+        with pytest.raises(DomainCrashedError):
+            kernel.detach_door_id(server, ident)
+
+    def test_cannot_attach_into_crashed_domain(self, kernel):
+        server = kernel.create_domain("server")
+        victim = kernel.create_domain("victim")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        transit = kernel.detach_door_id(server, ident)
+        kernel.crash_domain(victim)
+        with pytest.raises(DomainCrashedError):
+            kernel.attach_door_id(victim, transit)
+        # The transit reference is still live; deliver it somewhere sane.
+        other = kernel.create_domain("other")
+        rescued = kernel.attach_door_id(other, transit)
+        assert other.owns(rescued)
+
+    def test_copied_identifier_dies_with_server(self, kernel):
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        dup = kernel.copy_door_id(server, ident)
+        transit = kernel.detach_door_id(server, dup)
+        remote = kernel.attach_door_id(client, transit)
+        kernel.crash_domain(server)
+        with pytest.raises(ServerDiedError):
+            kernel.door_call(client, remote, MarshalBuffer(kernel))
+        # Deleting the now-useless identifier is still permitted cleanup.
+        kernel.delete_door_id(client, remote)
+
+    def test_transit_to_dead_door_still_attaches(self, kernel):
+        """A message in flight when its server dies can still be
+        received; the failure surfaces at call time (like a stale
+        capability), not at unmarshal time."""
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        transit = kernel.detach_door_id(server, ident)
+        kernel.crash_domain(server)
+        received = kernel.attach_door_id(client, transit)
+        with pytest.raises(ServerDiedError):
+            kernel.door_call(client, received, MarshalBuffer(kernel))
+
+    def test_stale_capabilities_can_be_copied_and_passed(self, kernel):
+        """Holding, copying, and transmitting an identifier whose door is
+        dead is legal (compare Mach dead names); only calls fail."""
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        receiver = kernel.create_domain("receiver")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        transit = kernel.detach_door_id(server, ident)
+        held = kernel.attach_door_id(client, transit)
+        kernel.crash_domain(server)
+
+        duplicate = kernel.copy_door_id(client, held)
+        moved = kernel.attach_door_id(
+            receiver, kernel.detach_door_id(client, duplicate)
+        )
+        with pytest.raises(ServerDiedError):
+            kernel.door_call(receiver, moved, MarshalBuffer(kernel))
+        kernel.delete_door_id(receiver, moved)
+        kernel.delete_door_id(client, held)
+
+    def test_revoked_capabilities_can_be_copied(self, kernel):
+        from repro.kernel import DoorRevokedError
+
+        server = kernel.create_domain("server")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        kernel.revoke_door(server, ident.door)
+        duplicate = kernel.copy_door_id(server, ident)
+        with pytest.raises(DoorRevokedError):
+            kernel.door_call(server, duplicate, MarshalBuffer(kernel))
+
+    def test_double_discard_of_transit_is_noop(self, kernel):
+        server = kernel.create_domain("server")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        transit = kernel.detach_door_id(server, ident)
+        kernel.discard_transit(transit)
+        kernel.discard_transit(transit)  # second time: nothing to do
+
+    def test_consumed_transit_cannot_attach(self, kernel):
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        transit = kernel.detach_door_id(server, ident)
+        kernel.attach_door_id(client, transit)
+        with pytest.raises(InvalidDoorError, match="already consumed"):
+            kernel.attach_door_id(client, transit)
+
+    def test_nested_call_crash_propagates(self, kernel):
+        """A server that crashes its *peer* mid-call: the outer call
+        observes the inner failure as an exception."""
+        front = kernel.create_domain("front")
+        back = kernel.create_domain("back")
+        client = kernel.create_domain("client")
+
+        back_door = kernel.create_door(back, noop_handler(kernel))
+        transit = kernel.detach_door_id(back, back_door)
+        front_owned = kernel.attach_door_id(front, transit)
+
+        def front_handler(request):
+            kernel.crash_domain(back)
+            return kernel.door_call(front, front_owned, MarshalBuffer(kernel))
+
+        front_door = kernel.create_door(front, front_handler)
+        t2 = kernel.detach_door_id(front, front_door)
+        client_owned = kernel.attach_door_id(client, t2)
+        with pytest.raises(ServerDiedError):
+            kernel.door_call(client, client_owned, MarshalBuffer(kernel))
+        assert kernel.call_depth == 0  # depth unwound despite the error

@@ -1,0 +1,128 @@
+"""Refcounting and unreferenced notification (Section 7).
+
+"Later, when all active door identifiers for the server door have been
+deleted, the kernel will notify the door's target ... so that it can
+clean up."
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import DoorState, Kernel
+from repro.marshal.buffer import MarshalBuffer
+
+
+def noop_handler(kernel):
+    def handler(request):
+        return MarshalBuffer(kernel)
+
+    return handler
+
+
+class TestUnreferencedNotification:
+    def test_notified_when_last_identifier_deleted(self, kernel):
+        server = kernel.create_domain("server")
+        notified = []
+        ident = kernel.create_door(
+            server, noop_handler(kernel), unreferenced=notified.append
+        )
+        dup = kernel.copy_door_id(server, ident)
+        kernel.delete_door_id(server, ident)
+        assert notified == []
+        kernel.delete_door_id(server, dup)
+        assert len(notified) == 1
+        assert notified[0].state is DoorState.DEAD
+
+    def test_notified_when_client_crash_drops_last_ref(self, kernel):
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        notified = []
+        ident = kernel.create_door(
+            server, noop_handler(kernel), unreferenced=notified.append
+        )
+        transit = kernel.detach_door_id(server, ident)
+        kernel.attach_door_id(client, transit)
+        kernel.crash_domain(client)
+        assert len(notified) == 1
+
+    def test_not_notified_into_crashed_server(self, kernel):
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        notified = []
+        ident = kernel.create_door(
+            server, noop_handler(kernel), unreferenced=notified.append
+        )
+        transit = kernel.detach_door_id(server, ident)
+        moved = kernel.attach_door_id(client, transit)
+        kernel.crash_domain(server)
+        kernel.delete_door_id(client, moved)
+        assert notified == []
+
+    def test_discarded_transit_releases_reference(self, kernel):
+        server = kernel.create_domain("server")
+        notified = []
+        ident = kernel.create_door(
+            server, noop_handler(kernel), unreferenced=notified.append
+        )
+        transit = kernel.detach_door_id(server, ident)
+        assert notified == []
+        kernel.discard_transit(transit)
+        assert len(notified) == 1
+
+    def test_transit_reference_pins_door(self, kernel):
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        notified = []
+        ident = kernel.create_door(
+            server, noop_handler(kernel), unreferenced=notified.append
+        )
+        dup = kernel.copy_door_id(server, ident)
+        transit = kernel.detach_door_id(server, dup)
+        kernel.delete_door_id(server, ident)
+        # One reference still rides in transit: no notification yet.
+        assert notified == []
+        moved = kernel.attach_door_id(client, transit)
+        kernel.delete_door_id(client, moved)
+        assert len(notified) == 1
+
+
+class TestRefcountInvariants:
+    @given(
+        ops=st.lists(
+            st.sampled_from(["copy", "delete", "detach_attach"]),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_refcount_equals_live_identifiers(self, ops):
+        """Under arbitrary op sequences, a door's refcount equals the
+        number of valid identifiers plus live transit refs."""
+        kernel = Kernel()
+        server = kernel.create_domain("server")
+        client = kernel.create_domain("client")
+        first = kernel.create_door(server, noop_handler(kernel))
+        door = first.door
+        live = [(server, first)]
+
+        for op in ops:
+            if not live:
+                break
+            owner, ident = live[0]
+            if op == "copy":
+                live.append((owner, kernel.copy_door_id(owner, ident)))
+            elif op == "delete":
+                kernel.delete_door_id(owner, ident)
+                live.pop(0)
+            else:  # detach_attach: bounce to the other domain
+                target = client if owner is server else server
+                transit = kernel.detach_door_id(owner, ident)
+                live[0] = (target, kernel.attach_door_id(target, transit))
+            assert door.refcount == len(live)
+            for holder, i in live:
+                assert holder.owns(i)
+        if not live:
+            assert door.state is DoorState.DEAD

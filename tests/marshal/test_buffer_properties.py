@@ -1,0 +1,73 @@
+"""Model-based property test: random typed value sequences survive a
+buffer round trip in order."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.marshal.buffer import MarshalBuffer
+
+_value = st.one_of(
+    st.tuples(st.just("bool"), st.booleans()),
+    st.tuples(st.just("int8"), st.integers(min_value=-128, max_value=127)),
+    st.tuples(
+        st.just("int32"), st.integers(min_value=-(2**31), max_value=2**31 - 1)
+    ),
+    st.tuples(
+        st.just("int64"), st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    ),
+    st.tuples(st.just("float64"), st.floats(allow_nan=False)),
+    st.tuples(st.just("string"), st.text(max_size=80)),
+    st.tuples(st.just("bytes"), st.binary(max_size=80)),
+    st.tuples(st.just("nil"), st.none()),
+    st.tuples(st.just("seq"), st.integers(min_value=0, max_value=1000)),
+)
+
+
+@given(items=st.lists(_value, max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_interleaved_round_trip(items):
+    buffer = MarshalBuffer()
+    for kind, value in items:
+        if kind == "nil":
+            buffer.put_nil()
+        elif kind == "seq":
+            buffer.put_sequence_header(value)
+        else:
+            getattr(buffer, f"put_{kind}")(value)
+    buffer.rewind()
+    for kind, value in items:
+        if kind == "nil":
+            buffer.get_nil()
+        elif kind == "seq":
+            assert buffer.get_sequence_header() == value
+        else:
+            assert getattr(buffer, f"get_{kind}")() == value
+    assert buffer.exhausted()
+
+
+@given(
+    prefix=st.lists(_value, max_size=10),
+    dropped=st.lists(_value, min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_truncate_restores_prefix_exactly(prefix, dropped):
+    def put_all(buffer, items):
+        for kind, value in items:
+            if kind == "nil":
+                buffer.put_nil()
+            elif kind == "seq":
+                buffer.put_sequence_header(value)
+            else:
+                getattr(buffer, f"put_{kind}")(value)
+
+    reference = MarshalBuffer()
+    put_all(reference, prefix)
+
+    buffer = MarshalBuffer()
+    put_all(buffer, prefix)
+    marker = buffer.mark()
+    put_all(buffer, dropped)
+    buffer.truncate(marker)
+    assert bytes(buffer.data) == bytes(reference.data)

@@ -1,0 +1,94 @@
+"""Datagram service edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.env import Environment
+
+
+@pytest.fixture
+def fabric(env):
+    env.machine("a")
+    env.machine("b")
+    return env.fabric
+
+
+class TestDelivery:
+    def test_delivered_to_registered_port(self, env, fabric):
+        got = []
+        fabric.register_port("b", "p1", got.append)
+        assert fabric.send_datagram("a", "b", "p1", b"hello")
+        assert got == [b"hello"]
+
+    def test_unregistered_port_drops_silently(self, fabric):
+        assert not fabric.send_datagram("a", "b", "ghost", b"x")
+
+    def test_unregister_stops_delivery(self, env, fabric):
+        got = []
+        fabric.register_port("b", "p2", got.append)
+        fabric.unregister_port("b", "p2")
+        assert not fabric.send_datagram("a", "b", "p2", b"x")
+        assert got == []
+
+    def test_duplicate_port_rejected(self, fabric):
+        fabric.register_port("b", "p3", lambda p: None)
+        with pytest.raises(ValueError, match="already registered"):
+            fabric.register_port("b", "p3", lambda p: None)
+
+    def test_same_name_port_on_other_machine_ok(self, fabric):
+        fabric.register_port("a", "p4", lambda p: None)
+        fabric.register_port("b", "p4", lambda p: None)
+
+    def test_partition_drops(self, fabric):
+        got = []
+        fabric.register_port("b", "p5", got.append)
+        fabric.partition("a", "b")
+        assert not fabric.send_datagram("a", "b", "p5", b"x")
+        fabric.heal("a", "b")
+        assert fabric.send_datagram("a", "b", "p5", b"x")
+
+    def test_payload_is_defensively_copied(self, fabric):
+        got = []
+        fabric.register_port("b", "p6", got.append)
+        payload = bytearray(b"mutate-me")
+        fabric.send_datagram("a", "b", "p6", payload)
+        payload[0] = 0
+        assert got[0] == b"mutate-me"
+
+
+class TestCostAndLoss:
+    def test_cross_machine_datagram_pays_wire_time(self, env, fabric):
+        fabric.register_port("b", "w1", lambda p: None)
+        before = env.clock.tally().get("network", 0.0)
+        fabric.send_datagram("a", "b", "w1", b"x" * 100)
+        assert env.clock.tally()["network"] > before
+
+    def test_same_machine_datagram_is_free(self, env, fabric):
+        fabric.register_port("a", "w2", lambda p: None)
+        before = env.clock.tally().get("network", 0.0)
+        fabric.send_datagram("a", "a", "w2", b"x")
+        assert env.clock.tally().get("network", 0.0) == before
+
+    def test_loss_model_is_seeded_and_deterministic(self):
+        def run(seed):
+            env = Environment(datagram_loss=0.5, seed=seed)
+            env.machine("a")
+            env.machine("b")
+            env.fabric.register_port("b", "p", lambda p: None)
+            return [
+                env.fabric.send_datagram("a", "b", "p", bytes([i]))
+                for i in range(50)
+            ]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_statistics(self, env, fabric):
+        fabric.register_port("b", "s1", lambda p: None)
+        sent_before = fabric.datagrams_sent
+        delivered_before = fabric.datagrams_delivered
+        fabric.send_datagram("a", "b", "s1", b"x")
+        fabric.send_datagram("a", "b", "nowhere", b"x")
+        assert fabric.datagrams_sent == sent_before + 2
+        assert fabric.datagrams_delivered == delivered_before + 1

@@ -1,0 +1,94 @@
+"""The documented cache-coherence contract (DESIGN.md design notes).
+
+The Spring file system ran a full coherence protocol; this reproduction's
+cache manager deliberately implements a simpler contract:
+
+1. a non-cacheable operation performed *through a front* invalidates that
+   front's entries;
+2. `flush`/`flush_all` invalidate on demand;
+3. fronts on OTHER machines are NOT notified — they may serve stale reads
+   until flushed.
+
+These tests pin all three clauses, including the staleness, so the
+simplification stays visible and intentional.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import narrow
+from repro.marshal.buffer import MarshalBuffer
+from repro.services.fs import FileServer, fs_module
+
+
+@pytest.fixture
+def world(env):
+    env.install_cache_manager(env.machine("desk-a"))
+    env.install_cache_manager(env.machine("desk-b"))
+    fs_domain = env.create_domain("file-server", "fs")
+    user_a = env.create_domain("desk-a", "user-a")
+    user_b = env.create_domain("desk-b", "user-b")
+    file_server = FileServer(fs_domain)
+    file_server.make_file("/shared", b"original")
+
+    def fs_for(user):
+        root = file_server.root.spring_copy()
+        buffer = MarshalBuffer(env.kernel)
+        root._subcontract.marshal(root, buffer)
+        buffer.seal_for_transmission(fs_domain)
+        return fs_module().binding("file_system").unmarshal_from(buffer, user)
+
+    return env, fs_for(user_a), fs_for(user_b)
+
+
+class TestCoherenceContract:
+    def test_clause_1_writer_front_sees_fresh_data(self, world):
+        env, fs_a, _ = world
+        handle = fs_a.open_cached("/shared")
+        assert handle.read(0, 8) == b"original"
+        handle.write(0, b"REWRITTEN"[:8])
+        assert handle.read(0, 8) == b"REWRITTE"
+
+    def test_clause_3_remote_front_may_be_stale(self, world):
+        """The documented simplification: desk-b's cached view survives a
+        write made from desk-a."""
+        env, fs_a, fs_b = world
+        reader = fs_b.open_cached("/shared")
+        assert reader.read(0, 8) == b"original"  # cached on desk-b
+
+        writer = fs_a.open_cached("/shared")
+        writer.write(0, b"CHANGED!")
+
+        # desk-b still serves the stale bytes from its front...
+        assert reader.read(0, 8) == b"original"
+
+    def test_clause_2_flush_restores_freshness(self, world):
+        env, fs_a, fs_b = world
+        reader = fs_b.open_cached("/shared")
+        reader.read(0, 8)
+        fs_a.open_cached("/shared").write(0, b"CHANGED!")
+
+        env.cache_managers[("desk-b", "default")].impl.flush_all()
+        assert reader.read(0, 8) == b"CHANGED!"
+
+    def test_plain_files_are_always_coherent(self, world):
+        """Applications that need strict coherence use the plain file
+        type — the per-type subcontract choice of Section 6.3."""
+        env, fs_a, fs_b = world
+        reader = fs_b.open("/shared")
+        writer = fs_a.open("/shared")
+        assert reader.read(0, 8) == b"original"
+        writer.write(0, b"CHANGED!")
+        assert reader.read(0, 8) == b"CHANGED!"
+
+    def test_generation_counter_detects_staleness(self, world):
+        """A client that cares can compare generations: 'generation' is
+        not in the cacheable set, so it always reaches the server."""
+        env, fs_a, fs_b = world
+        reader = fs_b.open_cached("/shared")
+        generation_before = reader.generation()
+        reader.read(0, 8)
+        fs_a.open_cached("/shared").write(0, b"CHANGED!")
+        assert reader.generation() == generation_before + 1  # fresh
+        # ... so the application can decide to flush and re-read.

@@ -1,0 +1,94 @@
+"""Model-based property test of the cache manager.
+
+Random read/write sequences through a front must always observe the
+backend's current value (reads through the same front see their own
+writes), and the hit/miss counters must match the model's prediction.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import SubcontractRegistry, ensure_registry
+from repro.idl.compiler import compile_idl
+from repro.kernel.nucleus import Kernel
+from repro.services.cachemgr import CacheManagerService
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.common import SingleDoorRep
+from repro.subcontracts.singleton import SingletonServer
+
+IDL = "interface cell { string get(); void set(string v); }"
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("get"), st.just("")),
+        st.tuples(st.just("set"), st.text(alphabet="abc", max_size=3)),
+    ),
+    max_size=30,
+)
+
+
+class Cell:
+    def __init__(self):
+        self.value = ""
+        self.reads = 0
+
+    def get(self):
+        self.reads += 1
+        return self.value
+
+    def set(self, v):
+        self.value = v
+
+
+@given(script=_ops)
+@settings(max_examples=50, deadline=None)
+def test_front_against_model(script):
+    kernel = Kernel()
+    module = compile_idl(IDL, "cachemgr_prop")
+    binding = module.binding("cell")
+    server = kernel.create_domain("server")
+    manager_domain = kernel.create_domain("manager")
+    client = kernel.create_domain("client")
+    for domain in (server, manager_domain, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+
+    service = CacheManagerService(manager_domain, cacheable_ops=("get",))
+    cell = Cell()
+    exported = SingletonServer(server).export(cell, binding)
+
+    # build a front-backed client object by hand
+    d1 = kernel.copy_door_id(server, exported._rep.door)
+    transit = kernel.detach_door_id(server, d1)
+    presented = kernel.attach_door_id(manager_domain, transit)
+    front_door = service.impl.register_cache(presented)
+    t2 = kernel.detach_door_id(manager_domain, front_door)
+    d2 = kernel.attach_door_id(client, t2)
+    vector = ensure_registry(client).lookup("singleton")
+    obj = vector.make_object(SingleDoorRep(d2), binding)
+
+    # model
+    value = ""
+    cached = None  # what the front would serve for 'get', or None
+    expected_hits = 0
+    expected_misses = 0
+    expected_reads = 0
+
+    for action, argument in script:
+        if action == "set":
+            obj.set(argument)
+            value = argument
+            cached = None  # write invalidates the front
+        else:
+            assert obj.get() == value
+            if cached is not None:
+                expected_hits += 1
+            else:
+                expected_misses += 1
+                expected_reads += 1
+                cached = value
+
+    assert service.impl.hit_count == expected_hits
+    assert service.impl.miss_count == expected_misses
+    assert cell.reads == expected_reads

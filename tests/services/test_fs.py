@@ -1,0 +1,167 @@
+"""File service behaviour: file / cacheable_file / replicated_file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import narrow
+from repro.core.errors import RemoteApplicationError
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.faults import crash_domain
+from repro.services.fs import FileServer, fs_module
+
+
+@pytest.fixture
+def world(env):
+    server_machine = env.machine("fileserver")
+    client_machine = env.machine("workstation")
+    env.install_cache_manager(client_machine)
+    server = env.create_domain(server_machine, "fs")
+    client = env.create_domain(client_machine, "user")
+    file_server = FileServer(server)
+    file_server.make_file("/etc/motd", b"hello spring")
+    file_server.make_file("/home/g/notes", b"subcontract")
+    # hand the file_system object to the client
+    root_copy = file_server.root.spring_copy()
+    buffer = MarshalBuffer(env.kernel)
+    root_copy._subcontract.marshal(root_copy, buffer)
+    buffer.seal_for_transmission(server)
+    fs = fs_module().binding("file_system").unmarshal_from(buffer, client)
+    return env, server, client, file_server, fs
+
+
+class TestFileSystem:
+    def test_open_and_read(self, world):
+        _, _, _, _, fs = world
+        f = fs.open("/etc/motd")
+        assert f.read(0, 5) == b"hello"
+        assert f.size() == 12
+
+    def test_write_and_generation(self, world):
+        _, _, _, _, fs = world
+        f = fs.open("/etc/motd")
+        assert f.generation() == 0
+        f.write(0, b"HELLO")
+        assert f.read(0, 12) == b"HELLO spring"
+        assert f.generation() == 1
+
+    def test_write_extends_past_end(self, world):
+        _, _, _, _, fs = world
+        f = fs.open("/etc/motd")
+        f.write(20, b"!")
+        assert f.size() == 21
+        assert f.read(12, 8) == b"\x00" * 8
+
+    def test_truncate(self, world):
+        _, _, _, _, fs = world
+        f = fs.open("/etc/motd")
+        f.truncate(5)
+        assert f.size() == 5
+        assert f.read(0, 100) == b"hello"
+
+    def test_two_handles_share_inode(self, world):
+        _, _, _, _, fs = world
+        a = fs.open("/etc/motd")
+        b = fs.open("/etc/motd")
+        a.write(0, b"X")
+        assert b.read(0, 1) == b"X"
+
+    def test_mkfile_exists_remove(self, world):
+        _, _, _, _, fs = world
+        assert not fs.exists("/tmp/new")
+        fs.mkfile("/tmp/new", b"fresh")
+        assert fs.exists("/tmp/new")
+        assert fs.open("/tmp/new").read(0, 5) == b"fresh"
+        fs.remove("/tmp/new")
+        assert not fs.exists("/tmp/new")
+
+    def test_open_missing_file(self, world):
+        _, _, _, _, fs = world
+        with pytest.raises(RemoteApplicationError, match="FileNotFoundError"):
+            fs.open("/no/such")
+
+    def test_mkfile_duplicate(self, world):
+        _, _, _, _, fs = world
+        with pytest.raises(RemoteApplicationError, match="FileExistsError"):
+            fs.mkfile("/etc/motd", b"")
+
+    def test_list_dir(self, world):
+        _, _, _, _, fs = world
+        assert fs.list_dir("/") == ["etc", "home"]
+        assert fs.list_dir("/home") == ["g"]
+
+    def test_bad_args_cross_as_remote_errors(self, world):
+        _, _, _, _, fs = world
+        f = fs.open("/etc/motd")
+        with pytest.raises(RemoteApplicationError, match="ValueError"):
+            f.read(-1, 4)
+
+
+class TestCacheableFiles:
+    def test_open_cached_uses_caching_subcontract(self, world):
+        env, _, _, _, fs = world
+        f = fs.open_cached("/etc/motd")
+        assert f._subcontract.id == "caching"
+        assert f._rep.cache_door is not None  # registered with local manager
+
+    def test_cached_reads_hit_local_manager(self, world):
+        env, _, _, file_server, fs = world
+        f = fs.open_cached("/etc/motd")
+        f.read(0, 5)
+        manager = env.cache_managers[("workstation", "default")].impl
+        misses = manager.miss_count
+        f.read(0, 5)
+        f.read(0, 5)
+        assert manager.hit_count >= 2
+        assert manager.miss_count == misses
+
+    def test_cacheable_file_narrows_from_file(self, world):
+        """Section 6.3: the subtype relationship holds at run time."""
+        env, _, _, _, fs = world
+        f = fs.open_cached("/etc/motd")
+        info = f._subcontract.type_info(f)
+        assert info[0] == "cacheable_file"
+        assert "file" in info
+
+    def test_write_through_cacheable_file(self, world):
+        _, _, _, _, fs = world
+        f = fs.open_cached("/etc/motd")
+        f.read(0, 5)
+        f.write(0, b"J")
+        assert f.read(0, 5) == b"Jello"
+
+
+class TestReplicatedFiles:
+    def test_replicated_file_survives_replica_crash(self, env):
+        server = env.create_domain("fileserver", "fs2")
+        replicas = [env.create_domain("fileserver", f"fsrep-{i}") for i in range(3)]
+        fsrv = FileServer(server)
+        fsrv.make_file("/data", b"abc")
+        obj = fsrv.export_replicated_file("/data", replicas)
+        # ship to a client on another machine
+        client = env.create_domain("workstation2", "user")
+        buffer = MarshalBuffer(env.kernel)
+        obj._subcontract.marshal(obj, buffer)
+        buffer.seal_for_transmission(replicas[0])
+        f = fs_module().binding("replicated_file").unmarshal_from(buffer, client)
+
+        assert f.read(0, 3) == b"abc"
+        f.write(0, b"xyz")
+        crash_domain(replicas[0])
+        assert f.read(0, 3) == b"xyz"  # failover to a surviving replica
+
+    def test_writes_reach_all_replicas(self, env):
+        server = env.create_domain("fileserver", "fs3")
+        replicas = [env.create_domain("fileserver", f"fsr3-{i}") for i in range(2)]
+        client = env.create_domain("workstation3", "user")
+        fsrv = FileServer(server)
+        fsrv.make_file("/d2", b"....")
+        exported = fsrv.export_replicated_file("/d2", replicas)
+        buffer = MarshalBuffer(env.kernel)
+        exported._subcontract.marshal(exported, buffer)
+        buffer.seal_for_transmission(replicas[0])
+        obj = fs_module().binding("replicated_file").unmarshal_from(buffer, client)
+        obj.write(0, b"WXYZ")
+        # Read via the surviving replica after crashing the first.
+        crash_domain(replicas[0])
+        assert obj.read(0, 4) == b"WXYZ"

@@ -1,0 +1,107 @@
+"""Replicated key-value store behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RemoteApplicationError
+from repro.kernel import CommunicationError
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.faults import crash_domain
+from repro.services.kv import ReplicatedKVService, kv_binding
+
+
+@pytest.fixture
+def world(env):
+    replicas = [env.create_domain("dc-east", f"kv-{i}") for i in range(3)]
+    service = ReplicatedKVService(replicas)
+    client = env.create_domain("laptop", "client")
+    exported = service.store_for(replicas[0])
+    buffer = MarshalBuffer(env.kernel)
+    exported._subcontract.marshal(exported, buffer)
+    buffer.seal_for_transmission(replicas[0])
+    store = kv_binding().unmarshal_from(buffer, client)
+    return env, service, replicas, client, store
+
+
+class TestBasicOperations:
+    def test_put_get(self, world):
+        _, _, _, _, store = world
+        store.put("color", "green")
+        assert store.get("color") == "green"
+
+    def test_has_and_remove(self, world):
+        _, _, _, _, store = world
+        store.put("k", "v")
+        assert store.has("k")
+        store.remove("k")
+        assert not store.has("k")
+
+    def test_keys_and_size(self, world):
+        _, _, _, _, store = world
+        for k in ("b", "a", "c"):
+            store.put(k, k)
+        assert store.keys() == ["a", "b", "c"]
+        assert store.size() == 3
+
+    def test_missing_key_errors(self, world):
+        _, _, _, _, store = world
+        with pytest.raises(RemoteApplicationError, match="KeyError"):
+            store.get("ghost")
+        with pytest.raises(RemoteApplicationError, match="KeyError"):
+            store.remove("ghost")
+
+
+class TestReplication:
+    def test_writes_reach_every_replica(self, world):
+        _, service, _, _, store = world
+        store.put("x", "1")
+        assert all(impl._data.get("x") == "1" for impl in service.replicas)
+
+    def test_survives_replica_crashes(self, world):
+        _, _, replicas, _, store = world
+        store.put("durable", "yes")
+        crash_domain(replicas[0])
+        assert store.get("durable") == "yes"
+        crash_domain(replicas[1])
+        assert store.get("durable") == "yes"
+        store.put("after", "crashes")
+        assert store.get("after") == "crashes"
+
+    def test_total_failure_raises(self, world):
+        _, _, replicas, _, store = world
+        for replica in replicas:
+            crash_domain(replica)
+        with pytest.raises(CommunicationError):
+            store.get("anything")
+
+    def test_new_replica_inherits_state(self, world):
+        env, service, replicas, client, store = world
+        store.put("seed", "value")
+        newcomer = env.create_domain("dc-west", "kv-new")
+        impl = service.add_replica(newcomer)
+        assert impl._data == {"seed": "value"}
+        # And it serves traffic once the client learns the new set.
+        for replica in replicas:
+            crash_domain(replica)
+        service.group.prune_dead()
+        # Client still holds only dead doors + has stale epoch; the next
+        # call fails over nowhere... so refresh by asking while one old
+        # replica remains alive in a fresh scenario instead:
+        # (covered in test_epoch_refresh_brings_in_new_replica)
+
+    def test_epoch_refresh_brings_in_new_replica(self, world):
+        env, service, replicas, client, store = world
+        store.put("seed", "value")
+        newcomer = env.create_domain("dc-west", "kv-new2")
+        service.add_replica(newcomer)
+        store.get("seed")  # reply piggybacks the 4-member set
+        assert len(store._rep.doors) == 4
+        # Now the three originals die; the newcomer carries on.
+        for replica in replicas:
+            crash_domain(replica)
+        assert store.get("seed") == "value"
+
+    def test_requires_at_least_one_replica(self):
+        with pytest.raises(ValueError):
+            ReplicatedKVService([])

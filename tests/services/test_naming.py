@@ -1,0 +1,153 @@
+"""Naming service behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import narrow
+from repro.core.errors import RemoteApplicationError
+from repro.services.naming import naming_binding
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import CounterImpl
+
+
+@pytest.fixture
+def world(env, counter_module):
+    domain = env.create_domain("office", "worker")
+    naming = domain.locals["naming_root"]
+    return env, domain, naming, counter_module
+
+
+def fresh_counter(env, domain, module):
+    return SimplexServer(domain).export(CounterImpl(), module.binding("counter"))
+
+
+class TestObjectBindings:
+    def test_bind_resolve_roundtrip(self, world):
+        env, domain, naming, module = world
+        obj = fresh_counter(env, domain, module)
+        obj.add(5)
+        naming.bind("/apps/counter", obj)
+        resolved = narrow(naming.resolve("/apps/counter"), module.binding("counter"))
+        assert resolved.total() == 5
+
+    def test_resolve_returns_fresh_copies(self, world):
+        env, domain, naming, module = world
+        naming.bind("/apps/c", fresh_counter(env, domain, module))
+        first = narrow(naming.resolve("/apps/c"), module.binding("counter"))
+        second = narrow(naming.resolve("/apps/c"), module.binding("counter"))
+        first.add(2)
+        assert second.total() == 2  # same underlying state
+        first.spring_consume()
+        assert second.total() == 2  # independent handles
+
+    def test_double_bind_rejected(self, world):
+        env, domain, naming, module = world
+        naming.bind("/x", fresh_counter(env, domain, module))
+        with pytest.raises(RemoteApplicationError, match="already bound"):
+            naming.bind("/x", fresh_counter(env, domain, module))
+
+    def test_rebind_replaces(self, world):
+        env, domain, naming, module = world
+        first = fresh_counter(env, domain, module)
+        first.add(1)
+        naming.bind("/y", first)
+        second = fresh_counter(env, domain, module)
+        second.add(10)
+        naming.rebind("/y", second)
+        resolved = narrow(naming.resolve("/y"), module.binding("counter"))
+        assert resolved.total() == 10
+
+    def test_unbind(self, world):
+        env, domain, naming, module = world
+        naming.bind("/z", fresh_counter(env, domain, module))
+        naming.unbind("/z")
+        with pytest.raises(RemoteApplicationError, match="not bound"):
+            naming.resolve("/z")
+
+    def test_resolve_missing_name(self, world):
+        _, _, naming, _ = world
+        with pytest.raises(RemoteApplicationError, match="not bound"):
+            naming.resolve("/ghost")
+
+    def test_intermediate_contexts_autocreated(self, world):
+        env, domain, naming, module = world
+        naming.bind("/a/b/c/deep", fresh_counter(env, domain, module))
+        assert naming.has_context("/a/b/c")
+        assert naming.list_names() == []  # bound in the leaf context
+        ctx = naming.resolve_context("/a/b/c")
+        assert ctx.list_names() == ["deep"]
+
+    def test_list_names_sorted(self, world):
+        env, domain, naming, module = world
+        for name in ("zeta", "alpha", "mid"):
+            naming.bind(f"/{name}", fresh_counter(env, domain, module))
+        assert naming.list_names() == ["alpha", "mid", "zeta"]
+
+
+class TestLabels:
+    def test_label_roundtrip(self, world):
+        _, _, naming, _ = world
+        naming.bind_label("/subcontracts/replicon", "replicon_lib")
+        assert naming.resolve_label("/subcontracts/replicon") == "replicon_lib"
+
+    def test_missing_label(self, world):
+        _, _, naming, _ = world
+        with pytest.raises(RemoteApplicationError, match="NameNotFound"):
+            naming.resolve_label("/subcontracts/nope")
+
+    def test_labels_and_objects_are_separate_namespaces(self, world):
+        env, domain, naming, module = world
+        naming.bind("/thing", fresh_counter(env, domain, module))
+        naming.bind_label("/thing", "a label")
+        assert naming.resolve_label("/thing") == "a label"
+        narrow(naming.resolve("/thing"), module.binding("counter"))
+
+    def test_list_labels(self, world):
+        _, _, naming, _ = world
+        naming.bind_label("/cfg/b", "2")
+        naming.bind_label("/cfg/a", "1")
+        ctx = naming.resolve_context("/cfg")
+        assert ctx.list_labels() == ["a", "b"]
+
+
+class TestContexts:
+    def test_create_and_use_subcontext(self, world):
+        env, domain, naming, module = world
+        sub = naming.create_context("/teams/blue")
+        sub.bind("member", fresh_counter(env, domain, module))
+        # visible through the root by full path too
+        resolved = naming.resolve("/teams/blue/member")
+        resolved.spring_consume()
+
+    def test_resolve_context_missing(self, world):
+        _, _, naming, _ = world
+        with pytest.raises(RemoteApplicationError):
+            naming.resolve_context("/never/made")
+
+    def test_contexts_shared_across_domains(self, env, counter_module):
+        d1 = env.create_domain("office", "d1")
+        d2 = env.create_domain("home", "d2")
+        obj = SimplexServer(d1).export(
+            CounterImpl(), counter_module.binding("counter")
+        )
+        obj.add(42)
+        d1.locals["naming_root"].bind("/shared/thing", obj)
+        resolved = narrow(
+            d2.locals["naming_root"].resolve("/shared/thing"),
+            counter_module.binding("counter"),
+        )
+        assert resolved.total() == 42
+
+    def test_naming_uses_cluster_subcontract(self, world):
+        _, _, naming, _ = world
+        assert naming._subcontract.id == "cluster"
+        assert naming_binding().default_subcontract_id == "cluster"
+
+    def test_single_door_for_all_contexts(self, env, world):
+        """Section 8.1 motivation: many contexts, one door."""
+        _, _, naming, _ = world
+        doors_before = env.kernel.live_door_count()
+        for i in range(10):
+            naming.create_context(f"/many/ctx-{i}").spring_consume()
+        assert env.kernel.live_door_count() == doors_before

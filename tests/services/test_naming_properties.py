@@ -1,0 +1,79 @@
+"""Model-based property test of the naming service.
+
+A random sequence of bind/rebind/unbind/resolve operations against the
+real (cluster-exported, door-mediated) naming service must agree with a
+plain dict model.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import narrow
+from repro.core.errors import RemoteApplicationError
+from repro.runtime.env import Environment
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import COUNTER_IDL, CounterImpl
+
+_names = st.sampled_from(["/a", "/b", "/deep/one", "/deep/two", "/x/y/z"])
+_ops = st.lists(
+    st.tuples(st.sampled_from(["bind", "rebind", "unbind", "resolve"]), _names,
+              st.integers(min_value=0, max_value=99)),
+    max_size=30,
+)
+
+
+@given(script=_ops)
+@settings(max_examples=30, deadline=None)
+def test_naming_agrees_with_dict_model(script):
+    from repro.idl.compiler import compile_idl
+
+    env = Environment(latency_us=0.0)
+    module = compile_idl(COUNTER_IDL, "naming_prop")
+    binding = module.binding("counter")
+    domain = env.create_domain("m", "worker")
+    naming = domain.locals["naming_root"]
+
+    model: dict[str, int] = {}
+
+    def fresh(value: int):
+        impl = CounterImpl()
+        impl.value = value
+        return SimplexServer(domain).export(impl, binding)
+
+    for op, name, value in script:
+        if op == "bind":
+            if name in model:
+                try:
+                    naming.bind(name, fresh(value))
+                    raise AssertionError("bind over existing name must fail")
+                except RemoteApplicationError:
+                    pass
+            else:
+                naming.bind(name, fresh(value))
+                model[name] = value
+        elif op == "rebind":
+            naming.rebind(name, fresh(value))
+            model[name] = value
+        elif op == "unbind":
+            if name in model:
+                naming.unbind(name)
+                del model[name]
+            else:
+                try:
+                    naming.unbind(name)
+                    raise AssertionError("unbind of missing name must fail")
+                except RemoteApplicationError:
+                    pass
+        else:  # resolve
+            if name in model:
+                resolved = narrow(naming.resolve(name), binding)
+                assert resolved.total() == model[name]
+                resolved.spring_consume()
+            else:
+                try:
+                    naming.resolve(name)
+                    raise AssertionError("resolve of missing name must fail")
+                except RemoteApplicationError:
+                    pass

@@ -1,0 +1,111 @@
+"""Stable storage and the durable KV service (Section 8.3's premise)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RemoteApplicationError
+from repro.kernel import CommunicationError
+from repro.services.stable import DurableKVService, stable_store_for
+
+
+@pytest.fixture
+def world(env):
+    service = DurableKVService(env, "server-rack")
+    client_domain = env.create_domain("laptop", "client")
+    client = service.client_for(client_domain)
+    return env, service, client
+
+
+class TestStableStore:
+    def test_per_machine_singleton(self, env):
+        machine = env.machine("m")
+        assert stable_store_for(machine) is stable_store_for(machine)
+
+    def test_store_survives_domain_crash(self, env):
+        machine = env.machine("m")
+        store = stable_store_for(machine)
+        domain = env.create_domain(machine, "writer")
+        store.commit("/rec", "k", "v")
+        env.kernel.crash_domain(domain)
+        assert store.load("/rec") == {"k": "v"}
+
+    def test_commit_and_scan_charge_the_clock(self, env):
+        store = stable_store_for(env.machine("m"))
+        env.clock.reset_tally()
+        store.commit("/rec", "k", "v")
+        store.load("/rec")
+        tally = env.clock.tally()
+        assert tally["stable_write"] > 0
+        assert tally["stable_scan"] > 0
+
+    def test_deletion_commits(self, env):
+        store = stable_store_for(env.machine("m"))
+        store.commit("/rec", "k", "v")
+        store.commit("/rec", "k", None)
+        assert store.load("/rec") == {}
+
+    def test_wipe(self, env):
+        store = stable_store_for(env.machine("m"))
+        store.commit("/rec", "k", "v")
+        store.wipe("/rec")
+        assert store.load("/rec") == {}
+
+
+class TestDurableKV:
+    def test_basic_operation(self, world):
+        _, _, client = world
+        client.put("motto", "welcome diversity")
+        assert client.get("motto") == "welcome diversity"
+        assert client.has("motto")
+        assert client.keys() == ["motto"]
+        client.remove("motto")
+        assert not client.has("motto")
+
+    def test_missing_key(self, world):
+        _, _, client = world
+        with pytest.raises(RemoteApplicationError, match="KeyError"):
+            client.get("ghost")
+
+    def test_state_survives_restart_and_client_recovers(self, world):
+        env, service, client = world
+        client.put("a", "1")
+        client.put("b", "2")
+        service.restart()
+        # Same client object, new incarnation, recovered state.
+        assert client.get("a") == "1"
+        assert client.keys() == ["a", "b"]
+        client.put("c", "3")
+        assert service.incarnation == 2
+
+    def test_multiple_restarts(self, world):
+        env, service, client = world
+        for i in range(4):
+            client.put(f"k{i}", str(i))
+            service.restart()
+        assert client.keys() == ["k0", "k1", "k2", "k3"]
+        assert service.incarnation == 5
+
+    def test_crash_without_restart_exhausts_retries(self, world):
+        env, service, client = world
+        client.put("x", "1")
+        service.crash()
+        with pytest.raises(CommunicationError):
+            client.get("x")
+
+    def test_writes_between_clients_are_shared(self, world):
+        env, service, client = world
+        other_domain = env.create_domain("laptop", "client-2")
+        other = service.client_for(other_domain)
+        client.put("shared", "yes")
+        assert other.get("shared") == "yes"
+
+    def test_unwritten_state_is_lost_on_crash_only_if_not_committed(self, world):
+        """Every put commits synchronously, so nothing is ever lost —
+        the durability contract the simulated charges pay for."""
+        env, service, client = world
+        commits_before = service.store.commits
+        client.put("durable", "always")
+        assert service.store.commits == commits_before + 1
+        service.restart()
+        assert client.get("durable") == "always"

@@ -1,0 +1,192 @@
+"""Caching subcontract behaviour (Section 8.2, Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.marshal.buffer import MarshalBuffer
+from repro.services.fs import fs_module
+from repro.subcontracts.caching import CachingServer
+
+
+@pytest.fixture
+def world(env, counter_module):
+    """A server machine and two client machines, each with a cache
+    manager; the server exports a cacheable counter-like object."""
+    server_machine = env.machine("server-city")
+    client_machine = env.machine("client-town")
+    env.install_cache_manager(client_machine)
+    server = env.create_domain(server_machine, "server")
+    client = env.create_domain(client_machine, "client")
+    return env, server, client, counter_module
+
+
+class ReadMostlyImpl:
+    """'total' is a cacheable read; 'add' is a write."""
+
+    def __init__(self):
+        self.value = 0
+        self.reads = 0
+
+    def add(self, n):
+        self.value += n
+        return self.value
+
+    def total(self):
+        self.reads += 1
+        return self.value
+
+    def reset(self):
+        self.value = 0
+
+
+def ship(env, src, dst, obj, binding):
+    buffer = MarshalBuffer(env.kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+class TestRegistration:
+    def test_unmarshal_registers_with_local_manager(self, world):
+        env, server, client, module = world
+        binding = module.binding("counter")
+        impl = ReadMostlyImpl()
+        exported = CachingServer(server).export(impl, binding)
+        received = ship(env, server, client, exported, binding)
+        assert received._subcontract.id == "caching"
+        rep = received._rep
+        assert rep.cache_door is not None
+        assert rep.manager_name == "default"
+        manager = env.cache_managers[("client-town", "default")]
+        assert len(manager.impl.fronts) == 1
+
+    def test_machine_without_manager_degrades_to_direct(self, env, counter_module):
+        server = env.create_domain("m1", "server")
+        bare_client = env.create_domain("m2-bare", "client")
+        binding = counter_module.binding("counter")
+        impl = ReadMostlyImpl()
+        exported = CachingServer(server).export(impl, binding)
+        received = ship(env, server, bare_client, exported, binding)
+        assert received._rep.cache_door is None
+        assert received.add(2) == 2  # direct to server via D1
+
+    def test_exporting_domain_talks_direct(self, world):
+        env, server, _, module = world
+        impl = ReadMostlyImpl()
+        exported = CachingServer(server).export(impl, module.binding("counter"))
+        assert exported._rep.cache_door is None
+        assert exported.add(1) == 1
+
+
+class TestCachingBehaviour:
+    def test_repeated_reads_hit_cache(self, world):
+        env, server, client, module = world
+        binding = module.binding("counter")
+        impl = ReadMostlyImpl()
+        # make 'total' cacheable for this test world (defaults lack it)
+        env.cache_managers[("client-town", "default")].impl.cacheable.add("total")
+        received = ship(
+            env, server, client, CachingServer(server).export(impl, binding), binding
+        )
+        assert received.total() == 0
+        assert received.total() == 0
+        assert received.total() == 0
+        assert impl.reads == 1  # only the first read reached the server
+        manager = env.cache_managers[("client-town", "default")].impl
+        assert manager.hit_count == 2
+        assert manager.miss_count == 1
+
+    def test_cached_reads_avoid_the_network(self, world):
+        env, server, client, module = world
+        binding = module.binding("counter")
+        env.cache_managers[("client-town", "default")].impl.cacheable.add("total")
+        received = ship(
+            env,
+            server,
+            client,
+            CachingServer(server).export(ReadMostlyImpl(), binding),
+            binding,
+        )
+        received.total()  # cold
+        carried_before = env.fabric.calls_carried
+        received.total()  # warm: machine-local only
+        assert env.fabric.calls_carried == carried_before
+
+    def test_write_through_invalidates_front(self, world):
+        env, server, client, module = world
+        binding = module.binding("counter")
+        env.cache_managers[("client-town", "default")].impl.cacheable.add("total")
+        impl = ReadMostlyImpl()
+        received = ship(
+            env, server, client, CachingServer(server).export(impl, binding), binding
+        )
+        assert received.total() == 0
+        received.add(5)  # write goes through the front and invalidates
+        assert received.total() == 5  # re-read from the server, not stale
+        assert impl.reads == 2
+
+    def test_two_objects_same_server_share_front(self, world):
+        env, server, client, module = world
+        binding = module.binding("counter")
+        impl = ReadMostlyImpl()
+        caching_server = CachingServer(server)
+        exported = caching_server.export(impl, binding)
+        keeper = exported.spring_copy()
+        first = ship(env, server, client, exported, binding)
+        second = ship(env, server, client, keeper, binding)
+        manager = env.cache_managers[("client-town", "default")].impl
+        assert len(manager.fronts) == 1
+        assert first._rep.cache_door.door is second._rep.cache_door.door
+
+
+class TestTransmission:
+    def test_only_d1_and_name_travel(self, world):
+        env, server, client, module = world
+        binding = module.binding("counter")
+        received = ship(
+            env,
+            server,
+            client,
+            CachingServer(server).export(ReadMostlyImpl(), binding),
+            binding,
+        )
+        buffer = MarshalBuffer(env.kernel)
+        received._subcontract.marshal(received, buffer)
+        assert buffer.live_door_count() == 1  # D1 only; D2 stays local
+        buffer.discard()
+
+    def test_reshipping_registers_on_next_machine(self, world):
+        env, server, client, module = world
+        third_machine = env.machine("third-town")
+        env.install_cache_manager(third_machine)
+        third = env.create_domain(third_machine, "third")
+        binding = module.binding("counter")
+        impl = ReadMostlyImpl()
+        received = ship(
+            env, server, client, CachingServer(server).export(impl, binding), binding
+        )
+        rehomed = ship(env, client, third, received, binding)
+        assert rehomed._rep.cache_door is not None
+        manager = env.cache_managers[("third-town", "default")]
+        assert len(manager.impl.fronts) == 1
+        assert rehomed.add(1) == 1
+
+    def test_marshal_copy_fused_skips_d2_duplication(self, world):
+        env, server, client, module = world
+        binding = module.binding("counter")
+        received = ship(
+            env,
+            server,
+            client,
+            CachingServer(server).export(ReadMostlyImpl(), binding),
+            binding,
+        )
+        d2_door = received._rep.cache_door.door
+        d2_refs = d2_door.refcount
+        buffer = MarshalBuffer(env.kernel)
+        received._subcontract.marshal_copy(received, buffer)
+        # The fused path never touched D2.
+        assert d2_door.refcount == d2_refs
+        assert received._rep.cache_door is not None
+        buffer.discard()

@@ -1,0 +1,153 @@
+"""Cluster subcontract behaviour (Section 8.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RevokedObjectError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.cluster import ClusterServer
+from repro.subcontracts.singleton import SingletonServer
+from tests.conftest import CounterImpl, make_domain
+
+
+@pytest.fixture
+def world(kernel, counter_module):
+    server = make_domain(kernel, "server")
+    client = make_domain(kernel, "client")
+    cluster = ClusterServer(server)
+    return kernel, server, client, cluster, counter_module
+
+
+def ship(kernel, src, dst, obj, binding):
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+class TestDoorSharing:
+    def test_single_door_for_many_objects(self, world):
+        """The whole point: N objects, one kernel door (vs singleton's N)."""
+        kernel, server, _, cluster, module = world
+        before = kernel.live_door_count()
+        objs = [
+            cluster.export(CounterImpl(), module.binding("counter"))
+            for _ in range(50)
+        ]
+        assert kernel.live_door_count() == before + 1
+        # Compare: singleton costs one door each.
+        singleton = SingletonServer(server)
+        for _ in range(5):
+            singleton.export(CounterImpl(), module.binding("counter"))
+        assert kernel.live_door_count() == before + 1 + 5
+        assert len({obj._rep.tag for obj in objs}) == 50
+
+    def test_tag_dispatches_to_right_object(self, world):
+        kernel, server, client, cluster, module = world
+        binding = module.binding("counter")
+        impls = [CounterImpl() for _ in range(4)]
+        remotes = [
+            ship(kernel, server, client, cluster.export(impl, binding), binding)
+            for impl in impls
+        ]
+        for i, remote in enumerate(remotes):
+            remote.add(i + 1)
+        assert [impl.value for impl in impls] == [1, 2, 3, 4]
+
+    def test_mixed_types_in_one_cluster(self, world, echo_module):
+        kernel, server, client, cluster, module = world
+        from tests.conftest import EchoImpl
+
+        counter = ship(
+            kernel,
+            server,
+            client,
+            cluster.export(CounterImpl(), module.binding("counter")),
+            module.binding("counter"),
+        )
+        echo = ship(
+            kernel,
+            server,
+            client,
+            cluster.export(EchoImpl(), echo_module.binding("echo")),
+            echo_module.binding("echo"),
+        )
+        assert counter.add(1) == 1
+        assert echo.upper("ab") == "AB"
+
+
+class TestLifecycle:
+    def test_copy_shares_tag(self, world):
+        kernel, server, client, cluster, module = world
+        binding = module.binding("counter")
+        obj = cluster.export(CounterImpl(), binding)
+        duplicate = obj.spring_copy()
+        assert duplicate._rep.tag == obj._rep.tag
+        assert duplicate._rep.door.uid != obj._rep.door.uid
+        remote = ship(kernel, server, client, duplicate, binding)
+        obj.add(2)
+        assert remote.total() == 2
+
+    def test_marshal_copy_fused(self, world):
+        kernel, server, client, cluster, module = world
+        binding = module.binding("counter")
+        obj = cluster.export(CounterImpl(), binding)
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal_copy(obj, buffer)
+        buffer.seal_for_transmission(server)
+        remote = binding.unmarshal_from(buffer, client)
+        assert obj.add(3) == 3
+        assert remote.total() == 3
+
+    def test_consume_releases_member_door_id(self, world):
+        kernel, server, _, cluster, module = world
+        binding = module.binding("counter")
+        obj = cluster.export(CounterImpl(), binding)
+        door = obj._rep.door.door
+        refs = door.refcount
+        obj.spring_consume()
+        assert door.refcount == refs - 1
+
+    def test_cluster_door_survives_until_all_members_gone(self, world):
+        kernel, server, _, cluster, module = world
+        binding = module.binding("counter")
+        a = cluster.export(CounterImpl(), binding)
+        b = cluster.export(CounterImpl(), binding)
+        a.spring_consume()
+        assert b.add(1) == 1  # door still alive for the sibling
+
+
+class TestRevocation:
+    def test_revoked_tag_rejected_but_siblings_fine(self, world):
+        kernel, server, client, cluster, module = world
+        binding = module.binding("counter")
+        victim_server_side = cluster.export(CounterImpl(), binding)
+        sibling_server_side = cluster.export(CounterImpl(), binding)
+        victim_keeper = victim_server_side.spring_copy()
+        victim = ship(kernel, server, client, victim_server_side, binding)
+        sibling = ship(kernel, server, client, sibling_server_side, binding)
+
+        cluster.revoke(victim_keeper)
+        with pytest.raises(RevokedObjectError):
+            victim.add(1)
+        assert sibling.add(1) == 1
+
+    def test_revoke_by_tag(self, world):
+        kernel, server, client, cluster, module = world
+        binding = module.binding("counter")
+        obj = ship(
+            kernel, server, client, cluster.export(CounterImpl(), binding), binding
+        )
+        cluster.revoke_tag(0)
+        with pytest.raises(RevokedObjectError):
+            obj.total()
+
+    def test_double_revoke_rejected(self, world):
+        _, _, _, cluster, module = world
+        binding = module.binding("counter")
+        obj = cluster.export(CounterImpl(), binding)
+        keeper = obj.spring_copy()
+        cluster.revoke(obj)
+        with pytest.raises(RevokedObjectError, match="not exported"):
+            cluster.revoke(keeper)

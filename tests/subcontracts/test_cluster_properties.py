@@ -1,0 +1,88 @@
+"""Model-based property test of the cluster subcontract (§8.1).
+
+Random sequences of export / invoke / revoke / consume against one
+cluster must keep tag dispatch exact (every live member reaches *its*
+impl, never a sibling's) while the kernel hosts exactly one door.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ObjectConsumedError, RevokedObjectError
+from repro.core.registry import SubcontractRegistry
+from repro.idl.compiler import compile_idl
+from repro.kernel.nucleus import Kernel
+from repro.runtime.transfer import transfer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.cluster import ClusterServer
+from tests.conftest import COUNTER_IDL, CounterImpl
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("export"), st.just(0)),
+        st.tuples(st.just("invoke"), st.integers(0, 9)),
+        st.tuples(st.just("revoke"), st.integers(0, 9)),
+        st.tuples(st.just("consume"), st.integers(0, 9)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(script=_ops)
+@settings(max_examples=50, deadline=None)
+def test_cluster_model(script):
+    kernel = Kernel()
+    module = compile_idl(COUNTER_IDL, "cluster_prop")
+    binding = module.binding("counter")
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+    cluster = ClusterServer(server)
+
+    # model: per-member (impl value | 'revoked' | 'consumed')
+    members: list[dict] = []
+
+    for action, index in script:
+        if action == "export":
+            impl = CounterImpl()
+            server_side = cluster.export(impl, binding)
+            keeper = server_side.spring_copy()
+            obj = transfer(server_side, client)
+            members.append(
+                {"impl": impl, "obj": obj, "keeper": keeper, "state": "live", "value": 0}
+            )
+            continue
+        if not members:
+            continue
+        member = members[index % len(members)]
+        if action == "invoke":
+            if member["state"] == "live":
+                member["value"] += 1
+                assert member["obj"].add(1) == member["value"]
+                assert member["impl"].value == member["value"]
+            elif member["state"] == "revoked":
+                with pytest.raises(RevokedObjectError):
+                    member["obj"].add(1)
+            else:  # consumed
+                with pytest.raises(ObjectConsumedError):
+                    member["obj"].add(1)
+        elif action == "revoke":
+            if member["state"] == "live":
+                cluster.revoke(member["keeper"])
+                member["state"] = "revoked"
+        else:  # consume
+            if member["state"] in ("live", "revoked"):
+                member["obj"].spring_consume()
+                member["state"] = "consumed"
+
+    # Invariants: at most one cluster door exists, and every live member
+    # still reads its own (and only its own) value.
+    assert kernel.live_door_count() <= 1 + 0  # the shared door (if refs remain)
+    for member in members:
+        if member["state"] == "live":
+            assert member["obj"].total() == member["value"]

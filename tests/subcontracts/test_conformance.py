@@ -1,0 +1,221 @@
+"""Subcontract conformance: the uniform client vector contract (§5.1).
+
+Every bundled subcontract must honour the same observable contract so
+that "application level programmers need not be aware of the specific
+subcontracts that are being used for particular objects" (§1).  This
+suite runs one checklist against all of them:
+
+1. exported objects have the Figure-4 structure;
+2. the wire form leads with the subcontract ID, and singleton's
+   unmarshal routes to it (§6.1 compatibility);
+3. transmit moves (sender consumed), state survives;
+4. copy yields a second live handle on shared state;
+5. consume invalidates the handle;
+6. the run-time type query answers the static type.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ObjectConsumedError
+from repro.core.object import SpringObject
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.transfer import give, transfer
+from tests.conftest import CounterImpl
+
+
+class MigratableCounter(CounterImpl):
+    def migrate_out(self) -> bytes:
+        return json.dumps(self.value).encode()
+
+    @classmethod
+    def migrate_in(cls, state: bytes) -> "MigratableCounter":
+        impl = cls()
+        impl.value = json.loads(state.decode())
+        return impl
+
+
+def _singleton(env, server, binding):
+    from repro.subcontracts.singleton import SingletonServer
+
+    return SingletonServer(server).export(CounterImpl(), binding)
+
+
+def _simplex(env, server, binding):
+    from repro.subcontracts.simplex import SimplexServer
+
+    return SimplexServer(server).export(CounterImpl(), binding)
+
+
+def _cluster(env, server, binding):
+    from repro.subcontracts.cluster import ClusterServer
+
+    return ClusterServer(server).export(CounterImpl(), binding)
+
+
+def _replicon(env, server, binding):
+    from repro.subcontracts.replicon import RepliconGroup
+
+    group = RepliconGroup(binding)
+    group.add_replica(server, CounterImpl())
+    return group.make_object(server)
+
+
+def _caching(env, server, binding):
+    from repro.subcontracts.caching import CachingServer
+
+    return CachingServer(server).export(CounterImpl(), binding)
+
+
+def _reconnectable(env, server, binding):
+    from repro.subcontracts.reconnectable import ReconnectableServer
+
+    return ReconnectableServer(server).export(
+        CounterImpl(), binding, name=f"/conf/{server.name}"
+    )
+
+
+def _shm(env, server, binding):
+    from repro.subcontracts.shm import ShmServer
+
+    return ShmServer(server).export(CounterImpl(), binding)
+
+
+def _video(env, server, binding):
+    from repro.subcontracts.video import VideoServer
+
+    return VideoServer(server).export(CounterImpl(), binding)
+
+
+def _realtime(env, server, binding):
+    from repro.subcontracts.realtime import RealtimeServer
+
+    return RealtimeServer(server).export(CounterImpl(), binding)
+
+
+def _transact(env, server, binding):
+    from repro.subcontracts.transact import TransactionCoordinator, TransactServer
+
+    return TransactServer(server, TransactionCoordinator()).export(
+        CounterImpl(), binding
+    )
+
+
+def _rawnet(env, server, binding):
+    from repro.subcontracts.rawnet import RawNetServer
+
+    return RawNetServer(server).export(CounterImpl(), binding)
+
+
+def _rowa(env, server, binding):
+    from repro.subcontracts.rowa import RowaGroup
+
+    group = RowaGroup(binding, read_ops=("total",))
+    group.add_replica(server, CounterImpl())
+    return group.make_object(server)
+
+
+def _synchronized(env, server, binding):
+    from repro.subcontracts.synchronized import SynchronizedServer
+
+    return SynchronizedServer(server).export(CounterImpl(), binding)
+
+
+def _migratory(env, server, binding):
+    from repro.subcontracts.migratory import MigratoryServer
+
+    obj = MigratoryServer(server).export(MigratableCounter(), binding)
+    obj._subcontract.migration_threshold = None  # keep it remote here
+    return obj
+
+
+EXPORTERS = {
+    "singleton": _singleton,
+    "simplex": _simplex,
+    "cluster": _cluster,
+    "replicon": _replicon,
+    "caching": _caching,
+    "reconnectable": _reconnectable,
+    "shm": _shm,
+    "video": _video,
+    "realtime": _realtime,
+    "transact": _transact,
+    "rawnet": _rawnet,
+    "migratory": _migratory,
+    "synchronized": _synchronized,
+    "rowa": _rowa,
+}
+
+ALL = sorted(EXPORTERS)
+
+
+@pytest.fixture
+def world(env, counter_module):
+    server = env.create_domain("server-town", "server")
+    client = env.create_domain("client-town", "client")
+    return env, server, client, counter_module.binding("counter")
+
+
+@pytest.mark.parametrize("scid", ALL)
+class TestConformance:
+    def _exported(self, world, scid):
+        env, server, client, binding = world
+        return env, server, client, binding, EXPORTERS[scid](env, server, binding)
+
+    def test_figure_4_structure(self, world, scid):
+        env, server, client, binding, obj = self._exported(world, scid)
+        assert isinstance(obj, SpringObject)
+        assert obj._subcontract.id == scid
+        assert set(obj._method_table) >= set(binding.operations)
+        assert obj._rep is not None
+        assert obj._domain is server
+
+    def test_wire_form_leads_with_id_and_routes(self, world, scid):
+        env, server, client, binding, obj = self._exported(world, scid)
+        buffer = MarshalBuffer(env.kernel)
+        obj._subcontract.marshal(obj, buffer)
+        buffer.rewind()
+        assert buffer.peek_object_header() == scid
+        buffer.seal_for_transmission(server)
+        # binding's default is singleton; routing must find the code.
+        assert binding.default_subcontract_id == "singleton"
+        received = binding.unmarshal_from(buffer, client)
+        assert received._subcontract.id == scid
+
+    def test_transmit_moves_and_preserves_state(self, world, scid):
+        env, server, client, binding, obj = self._exported(world, scid)
+        assert obj.add(5) == 5
+        moved = transfer(obj, client)
+        with pytest.raises(ObjectConsumedError):
+            obj.total()
+        assert moved.total() == 5
+
+    def test_copy_shares_state(self, world, scid):
+        env, server, client, binding, obj = self._exported(world, scid)
+        duplicate = obj.spring_copy()
+        obj.add(2)
+        assert duplicate.total() == 2
+        duplicate.add(1)
+        assert obj.total() == 3
+
+    def test_give_through_marshal_copy(self, world, scid):
+        env, server, client, binding, obj = self._exported(world, scid)
+        delivered = give(obj, client)
+        obj.add(4)
+        assert delivered.total() == 4
+
+    def test_consume_invalidates(self, world, scid):
+        env, server, client, binding, obj = self._exported(world, scid)
+        obj.spring_consume()
+        with pytest.raises(ObjectConsumedError):
+            obj.add(1)
+        with pytest.raises(ObjectConsumedError):
+            obj.spring_consume()
+
+    def test_type_query(self, world, scid):
+        env, server, client, binding, obj = self._exported(world, scid)
+        assert obj.spring_type_id() == "counter"
+        assert "counter" in obj._subcontract.type_info(obj)

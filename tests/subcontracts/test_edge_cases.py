@@ -1,0 +1,171 @@
+"""Cross-subcontract edge cases not covered by the per-subcontract files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.transfer import give, transfer
+from repro.subcontracts.caching import CachingServer
+from repro.subcontracts.cluster import ClusterServer
+from repro.subcontracts.transact import (
+    TransactServer,
+    TransactionCoordinator,
+    begin_transaction,
+)
+from repro.subcontracts.video import VideoServer
+from tests.conftest import CounterImpl
+
+
+class TestCachingDoorCarryingReplies:
+    def test_replies_with_doors_are_never_cached(self, env, counter_module):
+        """A cacheable op whose reply carries a capability must not be
+        served from cache (a cached door right cannot be re-delivered)."""
+        from repro.idl.compiler import compile_idl
+
+        module = compile_idl(
+            "interface dispenser { object fresh(); }", "edge_dispenser"
+        )
+        env.install_cache_manager(env.machine("client-town"))
+        server = env.create_domain("server-town", "server")
+        client = env.create_domain("client-town", "client")
+        # make 'fresh' nominally cacheable to prove the door check wins
+        env.cache_managers[("client-town", "default")].impl.cacheable.add("fresh")
+
+        from repro.subcontracts.simplex import SimplexServer
+
+        exporter = SimplexServer(server)
+
+        class Dispenser:
+            def __init__(self):
+                self.calls = 0
+
+            def fresh(self):
+                self.calls += 1
+                return exporter.export(
+                    CounterImpl(), counter_module.binding("counter")
+                )
+
+        impl = Dispenser()
+        obj = transfer(
+            CachingServer(server).export(impl, module.binding("dispenser")), client
+        )
+        from repro.core import narrow
+
+        a = narrow(obj.fresh(), counter_module.binding("counter"))
+        b = narrow(obj.fresh(), counter_module.binding("counter"))
+        assert impl.calls == 2  # both calls reached the server
+        a.add(1)
+        assert b.total() == 0  # distinct objects, distinct state
+
+
+class TestClusterLifecycleEdges:
+    def test_reexport_after_revoke_gets_new_tag(self, env, counter_module):
+        server = env.create_domain("m", "server")
+        cluster = ClusterServer(server)
+        binding = counter_module.binding("counter")
+        first = cluster.export(CounterImpl(), binding)
+        tag = first._rep.tag
+        cluster.revoke(first.spring_copy())
+        second = cluster.export(CounterImpl(), binding)
+        assert second._rep.tag != tag
+        assert second.add(1) == 1
+
+    def test_cluster_server_crash_kills_all_members(self, env, counter_module):
+        from repro.kernel import CommunicationError, ServerDiedError
+        from repro.runtime.faults import crash_domain
+
+        server = env.create_domain("m", "server")
+        client = env.create_domain("m2", "client")
+        cluster = ClusterServer(server)
+        binding = counter_module.binding("counter")
+        members = [
+            transfer(cluster.export(CounterImpl(), binding), client)
+            for _ in range(3)
+        ]
+        crash_domain(server)
+        for member in members:
+            with pytest.raises((CommunicationError, ServerDiedError)):
+                member.total()
+
+
+class TestVideoEdges:
+    def test_unsubscribe_unknown_port_is_noop(self, env, counter_module):
+        server = env.create_domain("studio", "server")
+        client = env.create_domain("home", "client")
+        video = VideoServer(server)
+        obj = transfer(
+            video.export(CounterImpl(), counter_module.binding("counter")), client
+        )
+        # register a port manually so unregister has something to skip
+        obj._subcontract._control(obj, "_video_unsubscribe", "home", "never-there")
+
+    def test_pump_with_no_subscribers(self, env, counter_module):
+        server = env.create_domain("studio", "server")
+        video = VideoServer(server)
+        video.export(CounterImpl(), counter_module.binding("counter"))
+        assert video.pump_frames([b"x", b"y"]) == 0
+
+
+class TestTransactEdges:
+    def test_commit_with_no_participants(self, env):
+        coordinator = TransactionCoordinator()
+        client = env.create_domain("m", "client")
+        txn = begin_transaction(client, coordinator)
+        assert txn.commit() is True
+
+    def test_abort_with_no_participants(self, env):
+        coordinator = TransactionCoordinator()
+        client = env.create_domain("m", "client")
+        txn = begin_transaction(client, coordinator)
+        txn.abort()
+        assert txn.state == "aborted"
+
+    def test_same_impl_enlisted_once(self, env, counter_module):
+        coordinator = TransactionCoordinator()
+        server = env.create_domain("m", "server")
+        client = env.create_domain("m2", "client")
+        impl = CounterImpl()
+        obj = transfer(
+            TransactServer(server, coordinator).export(
+                impl, counter_module.binding("counter")
+            ),
+            client,
+        )
+        txn = begin_transaction(client, coordinator)
+        obj.add(1)
+        obj.add(1)
+        obj.add(1)
+        assert coordinator.participants(txn.txn_id) == (impl,)
+        txn.commit()
+
+    def test_new_transaction_after_commit(self, env):
+        coordinator = TransactionCoordinator()
+        client = env.create_domain("m", "client")
+        first = begin_transaction(client, coordinator)
+        first.commit()
+        second = begin_transaction(client, coordinator)
+        assert second.txn_id != first.txn_id
+        second.abort()
+
+
+class TestGiveAcrossSubcontracts:
+    @pytest.mark.parametrize("which", ["singleton", "simplex", "cluster", "caching"])
+    def test_give_keeps_original_for_every_subcontract(
+        self, env, counter_module, which
+    ):
+        from repro.subcontracts.simplex import SimplexServer
+        from repro.subcontracts.singleton import SingletonServer
+
+        server = env.create_domain("m", "server")
+        client = env.create_domain("m2", "client")
+        binding = counter_module.binding("counter")
+        exporters = {
+            "singleton": lambda: SingletonServer(server).export(CounterImpl(), binding),
+            "simplex": lambda: SimplexServer(server).export(CounterImpl(), binding),
+            "cluster": lambda: ClusterServer(server).export(CounterImpl(), binding),
+            "caching": lambda: CachingServer(server).export(CounterImpl(), binding),
+        }
+        obj = exporters[which]()
+        delivered = give(obj, client)
+        obj.add(3)
+        assert delivered.total() == 3

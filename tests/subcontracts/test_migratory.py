@@ -1,0 +1,154 @@
+"""Migratory subcontract behaviour (object migration as a subcontract)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import RemoteApplicationError, SubcontractError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.migratory import (
+    DEFAULT_THRESHOLD,
+    MigratoryServer,
+    register_factory,
+)
+
+
+class Tally:
+    """A migratable counter: its state is a JSON blob."""
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = 0 + value
+
+    def add(self, n: int) -> int:
+        self.value += n
+        return self.value
+
+    def total(self) -> int:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    # -- migration contract ------------------------------------------------
+
+    def migrate_out(self) -> bytes:
+        return json.dumps({"value": self.value}).encode()
+
+    @classmethod
+    def migrate_in(cls, state: bytes) -> "Tally":
+        return cls(json.loads(state.decode())["value"])
+
+
+@pytest.fixture
+def world(env, counter_module):
+    server = env.create_domain("server-site", "server")
+    client = env.create_domain("client-site", "client")
+    binding = counter_module.binding("counter")
+    exported = MigratoryServer(server).export(Tally(), binding)
+    buffer = MarshalBuffer(env.kernel)
+    exported._subcontract.marshal(exported, buffer)
+    buffer.seal_for_transmission(server)
+    obj = binding.unmarshal_from(buffer, client)
+    return env, server, client, obj
+
+
+class TestAutomaticMigration:
+    def test_starts_remote_then_migrates(self, world):
+        env, _, _, obj = world
+        assert not obj._rep.is_local
+        for i in range(DEFAULT_THRESHOLD):
+            obj.add(1)
+        assert obj._rep.is_local  # the threshold pulled the state over
+        assert obj.total() == DEFAULT_THRESHOLD
+
+    def test_local_calls_skip_the_network(self, world):
+        env, _, _, obj = world
+        for _ in range(DEFAULT_THRESHOLD):
+            obj.add(1)
+        carried_before = env.fabric.calls_carried
+        for _ in range(10):
+            obj.add(1)
+        assert env.fabric.calls_carried == carried_before
+        assert obj.total() == DEFAULT_THRESHOLD + 10
+
+    def test_explicit_migration(self, world):
+        env, _, _, obj = world
+        obj._subcontract.migrate(obj)
+        assert obj._rep.is_local
+        assert obj.add(5) == 5
+
+    def test_old_server_refuses_after_migration(self, world):
+        env, server, client, obj = world
+        stale = obj.spring_copy()  # still points at the server door
+        obj._subcontract.migrate(obj)
+        with pytest.raises(RemoteApplicationError, match="migrated away"):
+            stale.total()
+
+    def test_only_one_party_wins_a_migration_race(self, world):
+        env, server, client, obj = world
+        rival = obj.spring_copy()
+        obj._subcontract.migrate(obj)
+        # The rival's migration attempt fails softly; it stays remote —
+        # and the old server refuses its calls, so it fails loudly there.
+        rival._subcontract.migrate(rival)
+        assert not rival._rep.is_local
+
+
+class TestMigratedObjectsAreValues:
+    def test_marshal_ships_live_state(self, world):
+        env, server, client, obj = world
+        third = env.create_domain("third-site", "third")
+        obj._subcontract.migrate(obj)
+        obj.add(7)
+        binding = obj._binding  # keep a reference; marshal consumes obj
+        buffer = MarshalBuffer(env.kernel)
+        obj._subcontract.marshal(obj, buffer)
+        assert buffer.live_door_count() == 0  # pure state, no capability
+        buffer.seal_for_transmission(client)
+        moved = binding.unmarshal_from(buffer, third)
+        assert moved._rep.is_local
+        assert moved.total() == 7
+
+    def test_copy_of_local_object_shares_state(self, world):
+        _, _, _, obj = world
+        obj._subcontract.migrate(obj)
+        duplicate = obj.spring_copy()
+        obj.add(3)
+        assert duplicate.total() == 3
+
+    def test_type_info_local_after_migration(self, world):
+        env, _, _, obj = world
+        obj._subcontract.migrate(obj)
+        carried_before = env.fabric.calls_carried
+        assert obj.spring_type_id() == "counter"
+        assert env.fabric.calls_carried == carried_before
+
+
+class TestContract:
+    def test_non_migratable_impl_rejected(self, env, counter_module):
+        from tests.conftest import CounterImpl
+
+        server = env.create_domain("s", "server")
+        with pytest.raises(SubcontractError, match="not migratable"):
+            MigratoryServer(server).export(
+                CounterImpl(), counter_module.binding("counter")
+            )
+
+    def test_remote_exceptions_before_migration(self, env, counter_module):
+        class Grumpy(Tally):
+            def add(self, n):
+                raise ValueError("closed")
+
+        register_factory(Grumpy)
+        server = env.create_domain("s2", "server")
+        client = env.create_domain("c2", "client")
+        binding = counter_module.binding("counter")
+        exported = MigratoryServer(server).export(Grumpy(), binding)
+        buffer = MarshalBuffer(env.kernel)
+        exported._subcontract.marshal(exported, buffer)
+        buffer.seal_for_transmission(server)
+        obj = binding.unmarshal_from(buffer, client)
+        with pytest.raises(RemoteApplicationError, match="closed"):
+            obj.add(1)

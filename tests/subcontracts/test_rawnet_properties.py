@@ -1,0 +1,87 @@
+"""Property tests for the rawnet packet protocol."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.subcontracts.rawnet import (
+    MTU,
+    RawNetServer,
+    _fragment,
+    _pack_fragment,
+    _unpack_fragment,
+)
+from tests.conftest import EchoImpl
+
+
+class TestFragmentation:
+    @given(payload=st.binary(max_size=5 * MTU))
+    @settings(max_examples=80, deadline=None)
+    def test_fragments_reassemble_exactly(self, payload):
+        fragments = _fragment(payload)
+        assert b"".join(fragments) == payload
+        assert all(len(f) <= MTU for f in fragments)
+        # Only the final fragment may be short (no silent padding).
+        assert all(len(f) == MTU for f in fragments[:-1])
+
+    @given(payload=st.binary(max_size=3 * MTU))
+    @settings(max_examples=40, deadline=None)
+    def test_empty_and_small_payloads_use_one_fragment(self, payload):
+        fragments = _fragment(payload)
+        if len(payload) <= MTU:
+            assert len(fragments) == 1
+
+    @given(
+        kind=st.integers(0, 1),
+        msg_id=st.integers(1, 2**62),
+        index=st.integers(0, 1000),
+        count=st.integers(1, 1001),
+        machine=st.text(max_size=16),
+        port=st.text(max_size=16),
+        chunk=st.binary(max_size=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fragment_header_round_trip(
+        self, kind, msg_id, index, count, machine, port, chunk
+    ):
+        packed = _pack_fragment(kind, msg_id, index, count, machine, port, chunk)
+        assert _unpack_fragment(packed) == (
+            kind,
+            msg_id,
+            index,
+            count,
+            machine,
+            port,
+            chunk,
+        )
+
+
+class TestEndToEndPayloadProperty:
+    @given(size=st.integers(0, 3 * MTU + 7))
+    @settings(max_examples=25, deadline=None)
+    def test_any_size_round_trips_over_packets(self, size):
+        env = Environment()
+        from repro.idl.compiler import compile_idl
+
+        module = compile_idl(
+            "interface blob { bytes roundtrip(bytes data); }", "rawnet_prop"
+        )
+
+        class Impl:
+            def roundtrip(self, data):
+                return data
+
+        server = env.create_domain("s", "server")
+        client = env.create_domain("c", "client")
+        binding = module.binding("blob")
+        exported = RawNetServer(server).export(Impl(), binding)
+        buffer = MarshalBuffer(env.kernel)
+        exported._subcontract.marshal(exported, buffer)
+        buffer.seal_for_transmission(server)
+        obj = binding.unmarshal_from(buffer, client)
+
+        payload = bytes(i % 251 for i in range(size))
+        assert obj.roundtrip(payload) == payload

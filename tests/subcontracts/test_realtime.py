@@ -1,0 +1,104 @@
+"""Realtime subcontract behaviour (Section 8.4 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.realtime import (
+    RealtimeServer,
+    current_priority,
+    set_priority,
+)
+
+RT_IDL = """
+interface sensor {
+    subcontract "realtime";
+    int32 sample();
+}
+"""
+
+
+@pytest.fixture
+def module():
+    from repro.idl.compiler import compile_idl
+
+    return compile_idl(RT_IDL, "rt_sensor")
+
+
+@pytest.fixture
+def world(env, module):
+    server = env.create_domain("plant", "server")
+    client = env.create_domain("control-room", "client")
+    binding = module.binding("sensor")
+    observed = []
+
+    class SensorImpl:
+        def sample(self):
+            observed.append(current_priority(server))
+            return len(observed)
+
+    rt_server = RealtimeServer(server)
+    obj = rt_server.export(SensorImpl(), binding)
+    buffer = MarshalBuffer(env.kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(server)
+    client_obj = binding.unmarshal_from(buffer, client)
+    return env, server, client, client_obj, rt_server, observed
+
+
+class TestPriorityPropagation:
+    def test_default_priority_is_zero(self, world):
+        _, _, _, obj, _, observed = world
+        obj.sample()
+        assert observed == [0]
+
+    def test_client_priority_inherited_during_dispatch(self, world):
+        _, server, client, obj, _, observed = world
+        set_priority(client, 9)
+        obj.sample()
+        assert observed == [9]
+        # restored afterwards
+        assert current_priority(server) == 0
+
+    def test_priority_never_lowered(self, world):
+        """A low-priority caller does not drag a busy high-priority
+        server down."""
+        _, server, client, obj, _, observed = world
+        set_priority(server, 5)
+        set_priority(client, 2)
+        obj.sample()
+        assert observed == [5]
+        assert current_priority(server) == 5
+
+    def test_peak_priority_recorded(self, world):
+        _, _, client, obj, rt_server, _ = world
+        set_priority(client, 3)
+        obj.sample()
+        set_priority(client, 11)
+        obj.sample()
+        set_priority(client, 7)
+        obj.sample()
+        assert rt_server.peak_priority == 11
+
+    def test_restored_even_when_impl_raises(self, env, module):
+        server = env.create_domain("plant-2", "server")
+        client = env.create_domain("room-2", "client")
+        binding = module.binding("sensor")
+
+        class AngrySensor:
+            def sample(self):
+                raise RuntimeError("overheated")
+
+        obj = RealtimeServer(server).export(AngrySensor(), binding)
+        buffer = MarshalBuffer(env.kernel)
+        obj._subcontract.marshal(obj, buffer)
+        buffer.seal_for_transmission(server)
+        client_obj = binding.unmarshal_from(buffer, client)
+
+        from repro.core.errors import RemoteApplicationError
+
+        set_priority(client, 4)
+        with pytest.raises(RemoteApplicationError):
+            client_obj.sample()
+        assert current_priority(server) == 0

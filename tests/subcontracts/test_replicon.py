@@ -1,0 +1,174 @@
+"""Replicon subcontract behaviour (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import CommunicationError
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.faults import crash_domain
+from repro.subcontracts.replicon import RepliconGroup
+from tests.conftest import CounterImpl, make_domain
+
+
+class SharedCounterImpl(CounterImpl):
+    """A replica impl whose writes go through the group broadcast."""
+
+    def __init__(self, group: RepliconGroup) -> None:
+        super().__init__()
+        self._group = group
+
+    def add(self, n):
+        self._group.broadcast(lambda impl: impl._apply(n))
+        return self.value
+
+    def _apply(self, n):
+        self.value += n
+
+
+@pytest.fixture
+def world(kernel, counter_module):
+    binding = counter_module.binding("counter")
+    group = RepliconGroup(binding)
+    replicas = []
+    for i in range(3):
+        domain = make_domain(kernel, f"replica-{i}")
+        impl = SharedCounterImpl(group)
+        group.add_replica(domain, impl)
+        replicas.append((domain, impl))
+    client = make_domain(kernel, "client")
+    obj = group.make_object(replicas[0][0])
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(replicas[0][0])
+    client_obj = binding.unmarshal_from(buffer, client)
+    return kernel, group, replicas, client, client_obj, binding
+
+
+class TestBasicReplication:
+    def test_rep_holds_one_door_per_replica(self, world):
+        _, group, replicas, _, obj, _ = world
+        assert len(obj._rep.doors) == len(replicas)
+        assert obj._rep.epoch == group.epoch
+
+    def test_write_reaches_every_replica(self, world):
+        _, _, replicas, _, obj, _ = world
+        obj.add(7)
+        assert [impl.value for _, impl in replicas] == [7, 7, 7]
+
+    def test_reads_served_by_first_replica(self, world):
+        _, _, replicas, _, obj, _ = world
+        obj.add(1)
+        first_door = obj._rep.doors[0].door
+        calls_before = first_door.calls_handled
+        obj.total()
+        assert first_door.calls_handled == calls_before + 1
+
+
+class TestFailover:
+    def test_invoke_skips_dead_replicas(self, world):
+        kernel, _, replicas, _, obj, _ = world
+        obj.add(5)
+        crash_domain(replicas[0][0])
+        # The call still succeeds, served by a surviving replica.
+        assert obj.total() == 5
+
+    def test_dead_replicas_pruned_from_target_set(self, world):
+        kernel, _, replicas, _, obj, _ = world
+        crash_domain(replicas[0][0])
+        assert len(obj._rep.doors) == 3
+        obj.total()
+        assert len(obj._rep.doors) == 2
+
+    def test_all_replicas_dead_raises_communication_error(self, world):
+        kernel, _, replicas, _, obj, _ = world
+        for domain, _ in replicas:
+            crash_domain(domain)
+        with pytest.raises(CommunicationError, match="unreachable"):
+            obj.total()
+        assert obj._rep.doors == []
+
+    def test_subsequent_calls_fast_after_pruning(self, world):
+        """Once pruned, later calls go straight to a live replica."""
+        kernel, _, replicas, _, obj, _ = world
+        crash_domain(replicas[0][0])
+        crash_domain(replicas[1][0])
+        obj.total()  # prunes two
+        live_door = obj._rep.doors[0].door
+        handled_before = live_door.calls_handled
+        obj.total()
+        assert live_door.calls_handled == handled_before + 1
+        assert len(obj._rep.doors) == 1
+
+
+class TestReplicaSetUpdates:
+    """The piggybacked epoch protocol (Section 5.1.3)."""
+
+    def test_stale_client_receives_new_replica_set(self, world):
+        kernel, group, replicas, client, obj, binding = world
+        old_epoch = obj._rep.epoch
+        # A new replica joins after the client got its object.
+        new_domain = make_domain(kernel, "replica-new")
+        new_impl = SharedCounterImpl(group)
+        group.add_replica(new_domain, new_impl)
+        assert group.epoch > old_epoch
+
+        obj.add(2)  # the reply piggybacks the fresh set
+        assert obj._rep.epoch == group.epoch
+        assert len(obj._rep.doors) == 4
+        assert new_impl.value == 2
+
+    def test_removed_replica_disappears_from_updated_set(self, world):
+        kernel, group, replicas, _, obj, _ = world
+        crash_domain(replicas[2][0])
+        group.prune_dead()  # the peers' failure detector notices
+        obj.total()
+        assert len(obj._rep.doors) == 2
+        assert obj._rep.epoch == group.epoch
+
+    def test_current_client_gets_no_update(self, world):
+        _, group, _, _, obj, _ = world
+        obj.total()
+        doors_before = [d.uid for d in obj._rep.doors]
+        obj.total()
+        assert [d.uid for d in obj._rep.doors] == doors_before
+
+
+class TestLifecycle:
+    def test_copy_duplicates_every_door(self, world):
+        _, _, _, _, obj, _ = world
+        duplicate = obj.spring_copy()
+        assert len(duplicate._rep.doors) == len(obj._rep.doors)
+        assert {d.uid for d in duplicate._rep.doors}.isdisjoint(
+            {d.uid for d in obj._rep.doors}
+        )
+        duplicate.add(1)
+        assert obj.total() == 1
+
+    def test_marshal_copy_fused(self, world):
+        kernel, _, _, client, obj, binding = world
+        second_client = make_domain(kernel, "client-2")
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal_copy(obj, buffer)
+        buffer.seal_for_transmission(client)
+        other = binding.unmarshal_from(buffer, second_client)
+        other.add(4)
+        assert obj.total() == 4
+
+    def test_consume_releases_all_doors(self, world):
+        _, _, replicas, _, obj, _ = world
+        doors = [d.door for d in obj._rep.doors]
+        refs_before = [door.refcount for door in doors]
+        obj.spring_consume()
+        assert [door.refcount for door in doors] == [r - 1 for r in refs_before]
+
+    def test_marshal_moves_count_and_doors(self, world):
+        kernel, _, _, client, obj, binding = world
+        other = make_domain(kernel, "client-3")
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal(obj, buffer)
+        assert buffer.live_door_count() == 3
+        buffer.seal_for_transmission(client)
+        moved = binding.unmarshal_from(buffer, other)
+        assert len(moved._rep.doors) == 3
+        assert moved.total() == 0

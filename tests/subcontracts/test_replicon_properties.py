@@ -1,0 +1,103 @@
+"""Property-based tests of the replicon invariant (Section 5).
+
+The invariant: as long as *any* replica in the client's target set is
+alive, invoke succeeds; and writes reach every replica that is alive at
+write time (the group broadcast is the servers' own synchronization).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import SubcontractRegistry
+from repro.kernel import CommunicationError, Kernel
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.replicon import RepliconGroup
+from tests.conftest import CounterImpl, make_domain
+
+
+class GroupCounter(CounterImpl):
+    def __init__(self, group):
+        super().__init__()
+        self._group = group
+
+    def add(self, n):
+        self._group.broadcast(lambda impl: impl._apply(n))
+        return self.value
+
+    def _apply(self, n):
+        self.value += n
+
+
+def build(replica_count):
+    from tests.conftest import COUNTER_IDL
+    from repro.idl.compiler import compile_idl
+
+    kernel = Kernel()
+    module = compile_idl(COUNTER_IDL, "replicon_prop")
+    binding = module.binding("counter")
+    group = RepliconGroup(binding)
+    replicas = []
+    for i in range(replica_count):
+        domain = make_domain(kernel, f"r{i}")
+        impl = GroupCounter(group)
+        group.add_replica(domain, impl)
+        replicas.append((domain, impl))
+    client = make_domain(kernel, "client")
+    obj = group.make_object(replicas[0][0])
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(replicas[0][0])
+    client_obj = binding.unmarshal_from(buffer, client)
+    return kernel, group, replicas, client_obj
+
+
+@given(
+    replica_count=st.integers(min_value=1, max_value=5),
+    script=st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), st.integers(min_value=1, max_value=9)),
+            st.tuples(st.just("crash"), st.integers(min_value=0, max_value=4)),
+            st.tuples(st.just("read"), st.just(0)),
+        ),
+        max_size=25,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_any_alive_replica_serves(replica_count, script):
+    kernel, group, replicas, obj = build(replica_count)
+    expected = 0
+    alive = replica_count
+
+    for action, arg in script:
+        if action == "crash":
+            domain, _ = replicas[arg % replica_count]
+            if domain.alive:
+                kernel.crash_domain(domain)
+                alive -= 1
+        elif action == "add":
+            if alive > 0:
+                assert obj.add(arg) is None or True  # add returns int via impl
+                expected += arg
+            else:
+                try:
+                    obj.add(arg)
+                    raise AssertionError("add should fail with no replicas")
+                except CommunicationError:
+                    pass
+        else:  # read
+            if alive > 0:
+                assert obj.total() == expected
+            else:
+                try:
+                    obj.total()
+                    raise AssertionError("read should fail with no replicas")
+                except CommunicationError:
+                    pass
+
+    # Post-condition: every replica still alive has the full value.
+    for domain, impl in replicas:
+        if domain.alive:
+            assert impl.value == expected

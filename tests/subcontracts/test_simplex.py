@@ -1,0 +1,103 @@
+"""Simplex-specific behaviour (beyond the shared single-door tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ObjectConsumedError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.simplex import InlineRep, SimplexServer
+from tests.conftest import CounterImpl, make_domain
+
+
+@pytest.fixture
+def world(kernel, counter_module):
+    server = make_domain(kernel, "server")
+    client = make_domain(kernel, "client")
+    return kernel, server, client, counter_module.binding("counter")
+
+
+class TestInlineVector:
+    """The Section 5.2.1 same-address-space optimization."""
+
+    def test_inline_copy_shares_impl_state(self, world):
+        kernel, server, _, binding = world
+        obj = SimplexServer(server).export(CounterImpl(), binding, inline=True)
+        duplicate = obj.spring_copy()
+        obj.add(5)
+        assert duplicate.total() == 5
+
+    def test_inline_copy_then_marshal_both_reach_same_state(self, world):
+        kernel, server, client, binding = world
+        obj = SimplexServer(server).export(CounterImpl(), binding, inline=True)
+        duplicate = obj.spring_copy()
+        buffer = MarshalBuffer(kernel)
+        duplicate._subcontract.marshal(duplicate, buffer)
+        buffer.seal_for_transmission(server)
+        remote = binding.unmarshal_from(buffer, client)
+        obj.add(3)
+        assert remote.total() == 3
+
+    def test_inline_consume_without_door_is_clean(self, world):
+        kernel, server, _, binding = world
+        obj = SimplexServer(server).export(CounterImpl(), binding, inline=True)
+        doors = kernel.live_door_count()
+        obj.spring_consume()
+        assert kernel.live_door_count() == doors
+        with pytest.raises(ObjectConsumedError):
+            obj.total()
+
+    def test_inline_consume_after_door_creation_releases_it(self, world):
+        kernel, server, _, binding = world
+        obj = SimplexServer(server).export(CounterImpl(), binding, inline=True)
+        # Force the lazy door into existence via the remote protocol.
+        stub = binding.remote_method_table()["total"]
+        stub(obj)
+        assert obj._rep.door is not None
+        doors = kernel.live_door_count()
+        obj.spring_consume()
+        assert kernel.live_door_count() == doors - 1
+
+    def test_inline_unreferenced_hook_fires(self, world):
+        kernel, server, client, binding = world
+        reclaimed = []
+        obj = SimplexServer(server).export(
+            CounterImpl(), binding, inline=True, unreferenced=reclaimed.append
+        )
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal(obj, buffer)
+        buffer.seal_for_transmission(server)
+        remote = binding.unmarshal_from(buffer, client)
+        remote.spring_consume()
+        assert len(reclaimed) == 1
+
+    def test_inline_invoke_falls_back_to_door(self, world):
+        """Driving an inline object through the remote stub protocol
+        (e.g. via its shared remote method table) still works."""
+        kernel, server, _, binding = world
+        obj = SimplexServer(server).export(CounterImpl(), binding, inline=True)
+        stub = binding.remote_method_table()["add"]
+        assert stub(obj, 4) == 4
+        assert obj.total() == 4  # direct path sees the same state
+
+    def test_wire_form_of_inline_object_is_plain_simplex(self, world):
+        kernel, server, client, binding = world
+        obj = SimplexServer(server).export(CounterImpl(), binding, inline=True)
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal(obj, buffer)
+        buffer.rewind()
+        assert buffer.peek_object_header() == "simplex"
+
+
+class TestExportOptions:
+    def test_unknown_options_rejected(self, world):
+        _, server, _, binding = world
+        with pytest.raises(TypeError, match="unknown export options"):
+            SimplexServer(server).export(CounterImpl(), binding, turbo=True)
+
+    def test_unknown_inline_options_rejected(self, world):
+        _, server, _, binding = world
+        with pytest.raises(TypeError, match="unknown export options"):
+            SimplexServer(server).export(
+                CounterImpl(), binding, inline=True, turbo=True
+            )

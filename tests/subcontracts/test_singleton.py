@@ -1,0 +1,139 @@
+"""Singleton subcontract behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ObjectConsumedError
+from repro.kernel import DoorRevokedError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.singleton import SingletonServer
+from tests.conftest import CounterImpl, make_domain
+
+
+@pytest.fixture
+def world(kernel, counter_module):
+    server = make_domain(kernel, "server")
+    client = make_domain(kernel, "client")
+    impl = CounterImpl()
+    obj = SingletonServer(server).export(impl, counter_module.binding("counter"))
+    return kernel, server, client, obj, impl, counter_module
+
+
+def ship(kernel, src, dst, obj, binding):
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+class TestBasicOperation:
+    def test_local_invocation(self, world):
+        _, _, _, obj, impl, _ = world
+        assert obj.add(5) == 5
+        assert impl.value == 5
+
+    def test_remote_invocation_after_transfer(self, world):
+        kernel, server, client, obj, impl, module = world
+        remote = ship(kernel, server, client, obj, module.binding("counter"))
+        assert remote.add(3) == 3
+        assert impl.value == 3
+
+    def test_one_door_per_exported_object(self, kernel, counter_module):
+        server = make_domain(kernel, "server")
+        subcontract_server = SingletonServer(server)
+        before = kernel.live_door_count()
+        for _ in range(10):
+            subcontract_server.export(CounterImpl(), counter_module.binding("counter"))
+        assert kernel.live_door_count() == before + 10
+
+    def test_exports_tracked(self, kernel, counter_module):
+        server = make_domain(kernel, "server")
+        subcontract_server = SingletonServer(server)
+        impl = CounterImpl()
+        obj = subcontract_server.export(impl, counter_module.binding("counter"))
+        assert subcontract_server.exports[obj._rep.door.door.uid] is impl
+
+
+class TestMarshalCopy:
+    def test_marshal_copy_keeps_original(self, world):
+        kernel, server, client, obj, impl, module = world
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal_copy(obj, buffer)
+        buffer.seal_for_transmission(server)
+        received = module.binding("counter").unmarshal_from(buffer, client)
+        assert obj.add(1) == 1  # original alive
+        assert received.total() == 1  # shared state
+
+    def test_marshal_copy_skips_intermediate_object(self, world):
+        """The fused path makes exactly one door-id copy and fabricates no
+        intermediate Spring object."""
+        kernel, server, _, obj, _, _ = world
+        door = obj._rep.door.door
+        refs_before = door.refcount
+        buffer = MarshalBuffer(kernel)
+        obj._subcontract.marshal_copy(obj, buffer)
+        assert door.refcount == refs_before + 1
+        buffer.discard()
+
+    def test_default_marshal_copy_equivalent_result(self, world):
+        """copy-then-marshal and marshal_copy produce interchangeable
+        wire forms."""
+        kernel, server, client, obj, impl, module = world
+        binding = module.binding("counter")
+
+        fused = MarshalBuffer(kernel)
+        obj._subcontract.marshal_copy(obj, fused)
+        fused.seal_for_transmission(server)
+
+        duplicate = obj.spring_copy()
+        composed = MarshalBuffer(kernel)
+        duplicate._subcontract.marshal(duplicate, composed)
+        composed.seal_for_transmission(server)
+
+        a = binding.unmarshal_from(fused, client)
+        b = binding.unmarshal_from(composed, client)
+        assert a.add(2) == 2
+        assert b.total() == 2
+
+
+class TestRevocation:
+    def test_revoked_object_fails_at_client(self, world):
+        kernel, server, client, obj, _, module = world
+        keeper = obj.spring_copy()
+        remote = ship(kernel, server, client, obj, module.binding("counter"))
+        SingletonServer(server).revoke(keeper)
+        with pytest.raises(DoorRevokedError):
+            remote.add(1)
+
+    def test_revocation_reclaims_export_entry(self, kernel, counter_module):
+        server = make_domain(kernel, "server")
+        subcontract_server = SingletonServer(server)
+        obj = subcontract_server.export(CounterImpl(), counter_module.binding("counter"))
+        uid = obj._rep.door.door.uid
+        subcontract_server.revoke(obj)
+        assert uid not in subcontract_server.exports
+
+
+class TestUnreferenced:
+    def test_impl_hook_called(self, kernel, counter_module):
+        server = make_domain(kernel, "server")
+
+        class HookedCounter(CounterImpl):
+            def __init__(self):
+                super().__init__()
+                self.reclaimed = False
+
+            def _spring_unreferenced(self):
+                self.reclaimed = True
+
+        impl = HookedCounter()
+        obj = SingletonServer(server).export(impl, counter_module.binding("counter"))
+        obj.spring_consume()
+        assert impl.reclaimed
+
+    def test_consumed_object_cannot_be_used(self, world):
+        _, _, _, obj, _, _ = world
+        obj.spring_consume()
+        with pytest.raises(ObjectConsumedError):
+            obj.add(1)

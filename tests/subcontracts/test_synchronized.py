@@ -1,0 +1,123 @@
+"""Synchronized subcontract behaviour (§2.2's locked-during-invocation)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.threads import run_concurrently
+from repro.runtime.transfer import give
+from repro.subcontracts.synchronized import SynchronizedServer
+from tests.conftest import make_domain
+
+THREADS = 6
+CALLS = 20
+
+
+class RacyCounter:
+    """Deliberately unsafe read-modify-write with a yield in the middle —
+    torn updates are near-certain without external locking."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int) -> int:
+        snapshot = self.value
+        time.sleep(0.0005)  # invite a context switch mid-update
+        self.value = snapshot + n
+        return self.value
+
+    def total(self) -> int:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@pytest.fixture
+def world(kernel, counter_module):
+    server = make_domain(kernel, "server")
+    binding = counter_module.binding("counter")
+    return kernel, server, binding
+
+
+def hammer(handles):
+    def worker(handle):
+        def run():
+            for _ in range(CALLS):
+                handle.add(1)
+
+        return run
+
+    run_concurrently([worker(handle) for handle in handles])
+
+
+class TestSerialization:
+    def test_unsafe_impl_survives_concurrency(self, world):
+        """The subcontract's per-object mutex makes the racy impl exact."""
+        kernel, server, binding = world
+        impl = RacyCounter()
+        sync_server = SynchronizedServer(server)
+        exported = sync_server.export(impl, binding)
+        clients = [make_domain(kernel, f"c{i}") for i in range(THREADS)]
+        handles = [give(exported, client) for client in clients]
+        hammer(handles)
+        assert impl.value == THREADS * CALLS
+        assert sync_server.peak_concurrency == 1  # never two in the object
+
+    def test_locks_are_per_object(self, world):
+        """Two synchronized objects do not serialize against each other:
+        thread A parked inside object 1 must not block object 2."""
+        kernel, server, binding = world
+        sync_server = SynchronizedServer(server)
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        class Blocker(RacyCounter):
+            def add(self, n):
+                entered.set()
+                release.wait(5)
+                return super().add(n)
+
+        blocker = sync_server.export(Blocker(), binding)
+        quick_impl = RacyCounter()
+        quick = sync_server.export(quick_impl, binding)
+        client = make_domain(kernel, "client")
+        blocker_handle = give(blocker, client)
+        quick_handle = give(quick, client)
+
+        slow = threading.Thread(target=lambda: blocker_handle.add(1))
+        slow.start()
+        assert entered.wait(5)
+        # While object 1 is held, object 2 proceeds immediately.
+        assert quick_handle.add(1) == 1
+        release.set()
+        slow.join(5)
+        assert not slow.is_alive()
+
+    def test_single_threaded_use_unaffected(self, world):
+        kernel, server, binding = world
+        impl = RacyCounter()
+        obj = SynchronizedServer(server).export(impl, binding)
+        assert obj.add(1) == 1
+        assert obj.total() == 1
+
+    def test_conformance_basics(self, world):
+        from repro.core.errors import ObjectConsumedError
+        from repro.runtime.transfer import transfer
+
+        kernel, server, binding = world
+        obj = SynchronizedServer(server).export(RacyCounter(), binding)
+        client = make_domain(kernel, "client")
+        moved = transfer(obj, client)
+        with pytest.raises(ObjectConsumedError):
+            obj.total()
+        assert moved._subcontract.id == "synchronized"
+        assert moved.add(1) == 1
+        duplicate = moved.spring_copy()
+        assert duplicate.total() == 1
+        moved.spring_consume()
+        assert duplicate.total() == 1

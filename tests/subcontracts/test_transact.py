@@ -1,0 +1,196 @@
+"""Transact subcontract behaviour (Section 8.4 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SubcontractError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.transact import (
+    TransactServer,
+    TransactionCoordinator,
+    begin_transaction,
+    current_transaction,
+)
+
+TXN_IDL = """
+interface account {
+    subcontract "transact";
+    void deposit(int32 amount);
+    void withdraw(int32 amount);
+    int32 balance();
+}
+"""
+
+
+class AccountImpl:
+    """Transactional account: mutations buffer until commit."""
+
+    def __init__(self, balance: int = 0, allow_overdraft: bool = False) -> None:
+        self._committed = balance
+        self._pending: dict[int, int] = {}
+        self._allow_overdraft = allow_overdraft
+
+    def _delta(self) -> int:
+        return sum(self._pending.values())
+
+    def deposit(self, amount: int) -> None:
+        txn = self._current_txn
+        if txn:
+            self._pending[txn] = self._pending.get(txn, 0) + amount
+        else:
+            self._committed += amount
+
+    def withdraw(self, amount: int) -> None:
+        txn = self._current_txn
+        if txn:
+            self._pending[txn] = self._pending.get(txn, 0) - amount
+        else:
+            self._committed -= amount
+
+    def balance(self) -> int:
+        return self._committed
+
+    # -- two-phase-commit hooks --------------------------------------------
+
+    def txn_prepare(self, txn_id: int) -> bool:
+        projected = self._committed + self._pending.get(txn_id, 0)
+        return self._allow_overdraft or projected >= 0
+
+    def txn_commit(self, txn_id: int) -> None:
+        self._committed += self._pending.pop(txn_id, 0)
+
+    def txn_rollback(self, txn_id: int) -> None:
+        self._pending.pop(txn_id, None)
+
+    _current_txn = 0  # set by the test harness around calls
+
+
+@pytest.fixture
+def module():
+    from repro.idl.compiler import compile_idl
+
+    return compile_idl(TXN_IDL, "txn_account")
+
+
+@pytest.fixture
+def world(env, module):
+    coordinator = TransactionCoordinator()
+    server = env.create_domain("bank", "server")
+    client = env.create_domain("teller", "client")
+    binding = module.binding("account")
+    txn_server = TransactServer(server, coordinator)
+
+    def export(impl):
+        obj = txn_server.export(impl, binding)
+        buffer = MarshalBuffer(env.kernel)
+        obj._subcontract.marshal(obj, buffer)
+        buffer.seal_for_transmission(server)
+        return binding.unmarshal_from(buffer, client)
+
+    return env, coordinator, client, export
+
+
+class TxnAwareAccount(AccountImpl):
+    """Routes the piggybacked txn id to the impl's buffering."""
+
+    def __init__(self, coordinator, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._coordinator = coordinator
+
+    @property
+    def _current_txn(self):
+        # the enlistment just happened in the handler; find our txn
+        for txn_id, participants in self._coordinator._participants.items():
+            if self in participants:
+                return txn_id
+        return 0
+
+
+class TestTransactions:
+    def test_calls_outside_transactions_apply_directly(self, world):
+        _, coordinator, _, export = world
+        account = export(TxnAwareAccount(coordinator, 100))
+        account.deposit(50)
+        assert account.balance() == 150
+
+    def test_commit_applies_buffered_changes(self, world):
+        _, coordinator, client, export = world
+        account = export(TxnAwareAccount(coordinator, 100))
+        txn = begin_transaction(client, coordinator)
+        account.deposit(30)
+        account.withdraw(10)
+        assert account.balance() == 100  # not yet visible
+        assert txn.commit() is True
+        assert account.balance() == 120
+
+    def test_abort_discards_changes(self, world):
+        _, coordinator, client, export = world
+        account = export(TxnAwareAccount(coordinator, 100))
+        txn = begin_transaction(client, coordinator)
+        account.withdraw(40)
+        txn.abort()
+        assert account.balance() == 100
+
+    def test_prepare_veto_rolls_back_everyone(self, world):
+        """Classic 2PC: one participant votes no, both roll back."""
+        _, coordinator, client, export = world
+        rich = TxnAwareAccount(coordinator, 100)
+        poor = TxnAwareAccount(coordinator, 10)
+        rich_obj = export(rich)
+        poor_obj = export(poor)
+        txn = begin_transaction(client, coordinator)
+        rich_obj.deposit(50)     # would be fine
+        poor_obj.withdraw(50)    # overdraft: poor votes no
+        assert txn.commit() is False
+        assert rich_obj.balance() == 100
+        assert poor_obj.balance() == 10
+
+    def test_multiple_participants_commit_atomically(self, world):
+        _, coordinator, client, export = world
+        a = TxnAwareAccount(coordinator, 100)
+        b = TxnAwareAccount(coordinator, 0)
+        a_obj, b_obj = export(a), export(b)
+        txn = begin_transaction(client, coordinator)
+        a_obj.withdraw(25)
+        b_obj.deposit(25)
+        assert txn.commit() is True
+        assert a_obj.balance() == 75
+        assert b_obj.balance() == 25
+
+    def test_enlistment_happens_via_piggyback(self, world):
+        _, coordinator, client, export = world
+        account = export(TxnAwareAccount(coordinator, 0))
+        txn = begin_transaction(client, coordinator)
+        assert coordinator.participants(txn.txn_id) == ()
+        account.deposit(1)
+        assert len(coordinator.participants(txn.txn_id)) == 1
+        txn.commit()
+
+    def test_nested_transactions_rejected(self, world):
+        _, coordinator, client, _ = world
+        txn = begin_transaction(client, coordinator)
+        with pytest.raises(SubcontractError, match="already has an active"):
+            begin_transaction(client, coordinator)
+        txn.abort()
+
+    def test_finished_transaction_cannot_be_reused(self, world):
+        _, coordinator, client, _ = world
+        txn = begin_transaction(client, coordinator)
+        txn.commit()
+        with pytest.raises(SubcontractError, match="committed"):
+            txn.commit()
+        assert current_transaction(client) is None
+
+    def test_transactions_from_two_clients_are_isolated(self, env, module, world):
+        _, coordinator, client, export = world
+        other_client = env.create_domain("teller", "client-2")
+        account_impl = TxnAwareAccount(coordinator, 0)
+        account = export(account_impl)
+        txn = begin_transaction(client, coordinator)
+        account.deposit(5)
+        other_txn = begin_transaction(other_client, coordinator)
+        assert other_txn.txn_id != txn.txn_id
+        txn.commit()
+        other_txn.abort()
+        assert account.balance() == 5
