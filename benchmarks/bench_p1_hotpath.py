@@ -1,0 +1,215 @@
+"""P1 — hot-path invocation microbench (PR 1's perf tentpole).
+
+Measures the wall-clock floor of one round-trip invocation through the
+full Figure-3 path (E11 methodology: best-of-N ``time.perf_counter``
+samples), for three configurations:
+
+    raw door RPC        (hand-written stubs, no subcontract)
+    general stub        (generated stub -> method table -> subcontract)
+    specialized stub    (repro.idl.specialize fused path)
+
+plus allocation behaviour per call: ``MarshalBuffer`` constructions
+(should be ~0 once the per-domain pool is warm) and net traced bytes via
+``tracemalloc``.
+
+Simulated time is *also* sampled and asserted against the cost model —
+the perf work moves wall time only; sim-µs is the paper's model and must
+not drift.
+
+Run standalone (``python benchmarks/run_all.py``) or under pytest
+(``pytest benchmarks/bench_p1_hotpath.py``).  The ``bench_smoke`` marker
+selects a tiny configuration suitable for tier-1.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import pytest
+
+from benchmarks.conftest import COUNTER_IDL, CounterImpl, ship, sim_us
+from repro.core.registry import SubcontractRegistry
+from repro.idl.compiler import compile_idl
+from repro.idl.specialize import specialize
+from repro.kernel.nucleus import Kernel
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts import standard_subcontracts
+from repro.subcontracts.singleton import SingletonServer
+
+#: wall-us/call figures measured on the seed tree (commit 76ff150) with
+#: this same harness, before the hot-path overhaul; run_all.py reports
+#: the current tree against these.
+SEED_BASELINE = {
+    "raw_door_wall_us": 6.98,
+    "general_wall_us": 12.53,
+    "specialized_wall_us": 11.19,
+    "general_buffer_allocs_per_call": 2.0,
+}
+
+
+def build_world():
+    """One kernel, two domains, raw/general/specialized counter objects."""
+    kernel = Kernel()
+    server = kernel.create_domain("server")
+    client = kernel.create_domain("client")
+    for domain in (server, client):
+        SubcontractRegistry(domain).register_many(standard_subcontracts())
+
+    general_module = compile_idl(COUNTER_IDL, "p1_general")
+    special_module = compile_idl(COUNTER_IDL, "p1_special")
+    specialize(special_module, "counter", "singleton")
+
+    def exported(module):
+        binding = module.binding("counter")
+        return ship(
+            kernel,
+            server,
+            client,
+            SingletonServer(server).export(CounterImpl(), binding),
+            binding,
+        )
+
+    general_obj = exported(general_module)
+    special_obj = exported(special_module)
+
+    impl = CounterImpl()
+
+    def raw_handler(request):
+        reply = MarshalBuffer(kernel)
+        reply.put_int32(impl.add(request.get_int32()))
+        return reply
+
+    raw_id = kernel.create_door(server, raw_handler, label="p1-raw")
+    raw_door = kernel.attach_door_id(client, kernel.detach_door_id(server, raw_id))
+
+    def raw_call(n: int = 1) -> int:
+        buffer = MarshalBuffer(kernel)
+        kernel.clock.charge("memory_copy_byte", 5)
+        buffer.put_int32(n)
+        reply = kernel.door_call(client, raw_door, buffer)
+        return reply.get_int32()
+
+    return kernel, raw_call, general_obj, special_obj
+
+
+def best_of(fn, rounds: int) -> float:
+    """Best single-call wall time in microseconds over ``rounds`` samples."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best * 1e6
+
+
+def buffer_allocs_per_call(fn, rounds: int = 200) -> float:
+    """MarshalBuffer constructions per call (pool effectiveness)."""
+    counted = 0
+    original = MarshalBuffer.__init__
+
+    def counting(self, kernel=None):
+        nonlocal counted
+        counted += 1
+        original(self, kernel)
+
+    fn()  # warm the pool before instrumenting
+    MarshalBuffer.__init__ = counting
+    try:
+        for _ in range(rounds):
+            fn()
+    finally:
+        MarshalBuffer.__init__ = original
+    return counted / rounds
+
+
+def traced_net_bytes_per_call(fn, rounds: int = 200) -> float:
+    """Net bytes retained per call under tracemalloc (leak detector)."""
+    fn()
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    for _ in range(rounds):
+        fn()
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    total = sum(stat.size_diff for stat in after.compare_to(before, "filename"))
+    return total / rounds
+
+
+def run(rounds: int = 20000, warmup: int = 2000) -> dict:
+    """Run the P1 microbench; returns the measurement dict."""
+    kernel, raw_call, general_obj, special_obj = build_world()
+    for _ in range(warmup):
+        raw_call()
+        general_obj.total()
+        special_obj.total()
+
+    model = kernel.clock.model
+    sim_general = min(sim_us(kernel, general_obj.total) for _ in range(5))
+    sim_special = min(sim_us(kernel, special_obj.total) for _ in range(5))
+    sim_raw = min(sim_us(kernel, lambda: raw_call(1)) for _ in range(5))
+
+    results = {
+        "rounds": rounds,
+        "raw_door_wall_us": round(best_of(raw_call, rounds), 2),
+        "general_wall_us": round(best_of(general_obj.total, rounds), 2),
+        "specialized_wall_us": round(best_of(special_obj.total, rounds), 2),
+        "general_buffer_allocs_per_call": round(
+            buffer_allocs_per_call(general_obj.total), 3
+        ),
+        "general_traced_net_bytes_per_call": round(
+            traced_net_bytes_per_call(general_obj.total), 1
+        ),
+        "raw_sim_us": sim_raw,
+        "general_sim_us": sim_general,
+        "specialized_sim_us": sim_special,
+    }
+
+    # Sim-time model invariants (bit-for-bit with the cost model, not
+    # with wall clocks): the fused path saves exactly the two client-side
+    # indirect calls, and subcontract's sim-time tax stays tiny.
+    expected_saving = 2 * model.indirect_call_us
+    assert sim_general - sim_special >= expected_saving - 1e-9
+    assert sim_general - sim_raw < 0.10 * sim_raw
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+@pytest.mark.benchmark(group="P1-hotpath")
+def bench_p1_general_stub(benchmark, world):
+    _, _, general_obj, _ = world
+    benchmark(general_obj.total)
+
+
+@pytest.mark.benchmark(group="P1-hotpath")
+def bench_p1_specialized_stub(benchmark, world):
+    _, _, _, special_obj = world
+    benchmark(special_obj.total)
+
+
+@pytest.mark.benchmark(group="P1-hotpath")
+def bench_p1_raw_door(benchmark, world):
+    _, raw_call, _, _ = world
+    benchmark(raw_call, 1)
+
+
+@pytest.mark.bench_smoke
+def bench_p1_shape_and_record(record):
+    results = run(rounds=2000, warmup=500)
+    record("P1", f"raw door RPC:     {results['raw_door_wall_us']:8.2f} wall-us/call (best)")
+    record("P1", f"general stub:     {results['general_wall_us']:8.2f} wall-us/call (best)")
+    record("P1", f"specialized stub: {results['specialized_wall_us']:8.2f} wall-us/call (best)")
+    record("P1", f"buffer allocs/call (warm pool): {results['general_buffer_allocs_per_call']:.3f}")
+    # A warm pool means the general path constructs (almost) no buffers.
+    assert results["general_buffer_allocs_per_call"] < 0.5

@@ -1,0 +1,79 @@
+"""Run the perf benches without pytest and emit machine-readable results.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/run_all.py [--rounds N] [--quick]
+
+Writes ``benchmarks/BENCH_P1.json`` with three blocks:
+
+* ``baseline`` — the seed tree's wall-µs/call figures (measured with this
+  same harness before the PR-1 hot-path overhaul),
+* ``current`` — this tree, measured now,
+* ``improvement_pct`` — relative wall-time improvement per configuration.
+
+Simulated-time figures ride along in ``current`` so accounting drift is
+visible in the same artifact; the bench itself asserts the sim-time
+shape (see :mod:`benchmarks.bench_p1_hotpath`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+OUT_PATH = BENCH_DIR / "BENCH_P1.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--rounds", type=int, default=20000, help="samples per configuration"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small config (smoke-test sizing)"
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    sys.path.insert(0, str(BENCH_DIR.parent))
+    from benchmarks.bench_p1_hotpath import SEED_BASELINE, run
+
+    rounds = 2000 if args.quick else args.rounds
+    warmup = 500 if args.quick else 2000
+    print(f"P1 hot-path bench: {rounds} rounds per configuration ...")
+    current = run(rounds=rounds, warmup=warmup)
+
+    improvement = {}
+    for key in ("raw_door_wall_us", "general_wall_us", "specialized_wall_us"):
+        before = SEED_BASELINE[key]
+        after = current[key]
+        improvement[key] = round(100.0 * (before - after) / before, 1)
+
+    payload = {
+        "bench": "P1-hotpath",
+        "baseline": SEED_BASELINE,
+        "current": current,
+        "improvement_pct": improvement,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for key, pct in improvement.items():
+        name = key.replace("_wall_us", "")
+        print(
+            f"  {name:12s} {SEED_BASELINE[key]:7.2f} -> {current[key]:7.2f} "
+            f"wall-us/call  ({pct:+.1f}%)"
+        )
+    print(
+        f"  buffer allocs/call (warm pool): "
+        f"{current['general_buffer_allocs_per_call']:.3f} "
+        f"(baseline {SEED_BASELINE['general_buffer_allocs_per_call']:.1f})"
+    )
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,22 +78,33 @@ def remote_call(
     clock = domain.kernel.clock
     subcontract = obj._subcontract
 
-    buffer = MarshalBuffer(domain.kernel)
-    clock.charge("indirect_call")  # stubs -> subcontract (preamble)
-    subcontract.invoke_preamble(obj, buffer)
-    buffer.put_string(opname)
-    marshal_args(buffer)
-    clock.charge("indirect_call")  # stubs -> subcontract (invoke)
-    reply = subcontract.invoke(obj, buffer)
+    buffer = domain.acquire_buffer()
+    try:
+        clock.charge("indirect_call")  # stubs -> subcontract (preamble)
+        subcontract.invoke_preamble(obj, buffer)
+        buffer.put_string(opname)
+        marshal_args(buffer)
+        clock.charge("indirect_call")  # stubs -> subcontract (invoke)
+        reply = subcontract.invoke(obj, buffer)
+    finally:
+        # The request is fully consumed once invoke returns (or failed
+        # before transmission); recycle it.  release() refuses to pool a
+        # buffer still parking live door references.
+        buffer.release()
 
     status = reply.get_int8()
     if status == STATUS_EXCEPTION:
         remote_type = reply.get_string()
         message = reply.get_string()
+        reply.release()
         raise RemoteApplicationError(remote_type, message)
     if status == STATUS_REVOKED:
-        raise RevokedObjectError(reply.get_string())
-    return unmarshal_results(reply, domain)
+        message = reply.get_string()
+        reply.release()
+        raise RevokedObjectError(message)
+    results = unmarshal_results(reply, domain)
+    reply.release()
+    return results
 
 
 def remote_type_query(obj: SpringObject) -> tuple[str, ...]:

@@ -8,13 +8,22 @@ call, door traversal, byte marshalled, and network hop has a configurable
 simulated cost, and benchmarks report both wall-clock time (via
 pytest-benchmark) and simulated microseconds (via this clock).
 
-The clock is deliberately simple — a monotonically increasing float plus a
-cost table — so that tests can assert exact charge sequences.
+The clock is deliberately simple in its *model* — a monotonically
+increasing float plus a cost table, so tests can assert exact charge
+sequences — but its *implementation* is built for the invocation hot
+path: charges go to per-thread tally shards (no lock, no contention) and
+are merged only when ``now_us`` or ``tally()`` is read.  Batching the
+bookkeeping this way changes when a charge becomes visible to a reader in
+another thread, never the simulated total: within one thread, charges
+accumulate in exactly the order they are made, so single-threaded charge
+sequences produce bit-for-bit the same floats as a single shared
+accumulator would.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, fields
 
 __all__ = ["CostModel", "SimClock"]
 
@@ -44,6 +53,20 @@ class CostModel:
     memory_copy_byte_us: float = 0.005
 
 
+class _TallyShard:
+    """One thread's private slice of a clock's accounting.
+
+    Shards are append-only registered and never removed: a shard outlives
+    its thread so the time it charged is never forgotten.
+    """
+
+    __slots__ = ("total_us", "events")
+
+    def __init__(self) -> None:
+        self.total_us = 0.0
+        self.events: dict[str, float] = {}
+
+
 class SimClock:
     """Accumulates simulated time for a kernel instance.
 
@@ -52,22 +75,36 @@ class SimClock:
     fabric's latency model).  A per-category tally is kept so benches can
     report a breakdown (e.g. how much of a call was door traversal versus
     marshalling).
+
+    Concurrency: domains are "an address space plus a collection of
+    threads", so concurrent callers may charge the clock simultaneously.
+    Each thread charges its own :class:`_TallyShard`; readers merge the
+    shards.  Shard floats only ever grow, so reads are monotonic.
     """
 
     def __init__(self, model: CostModel | None = None) -> None:
-        import threading
-
         self.model = model or CostModel()
-        self._now_us = 0.0
-        self._tally: dict[str, float] = {}
-        # Domains are "an address space plus a collection of threads";
-        # concurrent callers may charge the clock simultaneously.
-        self._lock = threading.Lock()
+        #: event name -> unit cost, precomputed so the hot path never
+        #: builds an f-string or takes a getattr on a dataclass.
+        self._units: dict[str, float] = {
+            f.name[:-3]: getattr(self.model, f.name) for f in fields(self.model)
+        }
+        self._marshal_byte_us = self._units["marshal_byte"]
+        self._local = threading.local()
+        self._shards: list[_TallyShard] = []
+        # Guards shard registration only — never a charge.
+        self._register_lock = threading.Lock()
 
-    @property
-    def now_us(self) -> float:
-        """Current simulated time in microseconds since kernel boot."""
-        return self._now_us
+    # -- shard plumbing ------------------------------------------------
+
+    def _new_shard(self) -> _TallyShard:
+        shard = _TallyShard()
+        with self._register_lock:
+            self._shards.append(shard)
+        self._local.shard = shard
+        return shard
+
+    # -- writes (hot path, lock-free) ----------------------------------
 
     def charge(self, event: str, count: float = 1.0) -> float:
         """Charge ``count`` occurrences of ``event`` from the cost model.
@@ -75,28 +112,80 @@ class SimClock:
         ``event`` must name a ``CostModel`` field without the ``_us``
         suffix (e.g. ``"door_call"``).  Returns the charged duration.
         """
-        unit = getattr(self.model, f"{event}_us")
+        try:
+            unit = self._units[event]
+        except KeyError:
+            # Unknown events keep the historical AttributeError contract;
+            # cost-model subclasses with extra fields get memoised here.
+            unit = getattr(self.model, f"{event}_us")
+            self._units[event] = unit
         duration = unit * count
-        with self._lock:
-            self._now_us += duration
-            self._tally[event] = self._tally.get(event, 0.0) + duration
+        try:
+            shard = self._local.shard
+        except AttributeError:
+            shard = self._new_shard()
+        shard.total_us += duration
+        events = shard.events
+        events[event] = events.get(event, 0.0) + duration
+        return duration
+
+    def charge_bytes(self, count: int) -> float:
+        """Batched ``marshal_byte`` charge: one call per marshalled item.
+
+        Identical float arithmetic to ``charge("marshal_byte", count)``
+        (unit * count, accumulated once), just without the event lookup.
+        """
+        duration = self._marshal_byte_us * count
+        try:
+            shard = self._local.shard
+        except AttributeError:
+            shard = self._new_shard()
+        shard.total_us += duration
+        events = shard.events
+        events["marshal_byte"] = events.get("marshal_byte", 0.0) + duration
         return duration
 
     def advance(self, duration_us: float, category: str = "explicit") -> None:
         """Advance the clock by an explicit duration (e.g. network latency)."""
         if duration_us < 0:
             raise ValueError(f"cannot advance clock by {duration_us} us")
-        with self._lock:
-            self._now_us += duration_us
-            self._tally[category] = self._tally.get(category, 0.0) + duration_us
+        try:
+            shard = self._local.shard
+        except AttributeError:
+            shard = self._new_shard()
+        shard.total_us += duration_us
+        events = shard.events
+        events[category] = events.get(category, 0.0) + duration_us
+
+    # -- reads (merge shards) ------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds since kernel boot."""
+        shards = self._shards
+        if len(shards) == 1:
+            return shards[0].total_us
+        total = 0.0
+        for shard in shards:
+            total += shard.total_us
+        return total
 
     def tally(self) -> dict[str, float]:
-        """Return a copy of the per-category simulated-time breakdown."""
-        return dict(self._tally)
+        """Return a merged copy of the per-category simulated-time breakdown."""
+        merged: dict[str, float] = {}
+        with self._register_lock:
+            shards = list(self._shards)
+        for shard in shards:
+            for event, spent_us in list(shard.events.items()):
+                merged[event] = merged.get(event, 0.0) + spent_us
+        return merged
 
     def reset_tally(self) -> None:
         """Zero the per-category breakdown without rewinding the clock."""
-        self._tally.clear()
+        with self._register_lock:
+            shards = list(self._shards)
+        for shard in shards:
+            shard.events.clear()
 
 
 class ClockWindow:

@@ -21,6 +21,7 @@ import itertools
 from typing import TYPE_CHECKING, Any
 
 from repro.kernel.errors import DomainCrashedError
+from repro.marshal.buffer import MarshalBuffer
 
 if TYPE_CHECKING:
     from repro.kernel.doors import DoorIdentifier
@@ -55,6 +56,29 @@ class Domain:
         self.subcontract_registry: Any | None = None
         #: scratch storage for services running in this domain
         self.locals: dict[str, Any] = {}
+        #: free-list of reusable marshal buffers (invocation hot path)
+        self._buffer_pool: list[MarshalBuffer] = []
+
+    # ------------------------------------------------------------------
+    # marshal-buffer pool (invocation hot path)
+    # ------------------------------------------------------------------
+
+    def acquire_buffer(self) -> MarshalBuffer:
+        """Take a reusable marshal buffer from this domain's free-list.
+
+        The buffer's :meth:`~repro.marshal.buffer.MarshalBuffer.release`
+        resets it and returns it here.  List append/pop are atomic under
+        the GIL, so domain threads share the pool without a lock.
+        """
+        pool = self._buffer_pool
+        if pool:
+            buffer = pool.pop()
+            buffer._pooled = False
+            buffer._check_pristine()
+            return buffer
+        buffer = MarshalBuffer(self.kernel)
+        buffer._home = self
+        return buffer
 
     # ------------------------------------------------------------------
     # capability bookkeeping (called only by the kernel)

@@ -22,6 +22,7 @@ servers.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable
 
 from repro.kernel.clock import CostModel, SimClock
@@ -56,8 +57,6 @@ class Kernel:
     """
 
     def __init__(self, cost_model: CostModel | None = None) -> None:
-        import threading
-
         self.clock = SimClock(cost_model)
         self.domains: dict[int, Domain] = {}
         self.doors: dict[int, Door] = {}
@@ -68,8 +67,15 @@ class Kernel:
         #: optional hook installed by the network layer: called for door
         #: calls whose server lives on a different machine than the caller.
         self.fabric: Callable[[Domain, Door, "MarshalBuffer"], "MarshalBuffer"] | None = None
-        #: depth of the current nested door-call chain (for tests/traces)
-        self.call_depth = 0
+        # Nested door-call depth is tracked per thread (a chain of nested
+        # calls lives on one thread), so the delivery path updates it
+        # without touching the table lock.
+        self._depth = threading.local()
+
+    @property
+    def call_depth(self) -> int:
+        """Depth of the calling thread's nested door-call chain."""
+        return getattr(self._depth, "value", 0)
 
     # ------------------------------------------------------------------
     # domains
@@ -263,12 +269,13 @@ class Kernel:
             raise DoorRevokedError(f"door #{door.uid} has been revoked")
         with self._table_lock:
             door.calls_handled += 1
-            self.call_depth += 1
+        depth_local = self._depth
+        depth = getattr(depth_local, "value", 0)
+        depth_local.value = depth + 1
         try:
             reply = door.handler(buffer)
         finally:
-            with self._table_lock:
-                self.call_depth -= 1
+            depth_local.value = depth
         return reply
 
     # ------------------------------------------------------------------

@@ -19,6 +19,13 @@ Two properties matter for fidelity:
   marshalling begins, or redirect marshalling into a shared-memory region;
   the buffer supports both by being an ordinary append stream plus an
   optional backing-region marker.
+
+Buffers on the invocation hot path are pooled: each domain keeps a small
+free-list (:meth:`repro.kernel.domain.Domain.acquire_buffer`), and
+:meth:`release` resets a buffer and returns it to its home pool.  Only
+pool-acquired buffers participate — ``MarshalBuffer(kernel)`` constructs
+an unpooled buffer whose ``release`` is a no-op — and a buffer still
+holding live in-transit door references is never reused.
 """
 
 from __future__ import annotations
@@ -35,15 +42,32 @@ if TYPE_CHECKING:
 
 __all__ = ["MarshalBuffer"]
 
+#: free-list bound per domain; beyond this, released buffers are retired
+POOL_LIMIT = 32
+
 
 class MarshalBuffer:
     """An append-only byte stream plus a kernel-managed door vector."""
+
+    __slots__ = (
+        "kernel",
+        "data",
+        "_enc",
+        "_dec",
+        "_clock",
+        "doors",
+        "region",
+        "sealed",
+        "_home",
+        "_pooled",
+    )
 
     def __init__(self, kernel: "Kernel | None" = None) -> None:
         self.kernel = kernel
         self.data = bytearray()
         self._enc = Encoder(self.data)
         self._dec = Decoder(self.data)
+        self._clock = kernel.clock if kernel is not None else None
         #: out-of-band door references; entries become None once consumed
         self.doors: list["TransitDoorRef | None"] = []
         #: set by the shm subcontract's invoke_preamble: marshalling is
@@ -51,74 +75,73 @@ class MarshalBuffer:
         #: copy the bytes again (Section 5.1.4).
         self.region: Any | None = None
         self.sealed = False
+        #: home pool (a Domain) when acquired via Domain.acquire_buffer
+        self._home: "Domain | None" = None
+        self._pooled = False
 
     # ------------------------------------------------------------------
     # write side
     # ------------------------------------------------------------------
 
-    def _charge_bytes(self, before: int) -> None:
-        if self.kernel is not None:
-            self.kernel.clock.charge("marshal_byte", len(self.data) - before)
-
     def put_bool(self, value: bool) -> None:
         """Append a tagged boolean to the stream."""
-        before = len(self.data)
-        self._enc.put_bool(value)
-        self._charge_bytes(before)
+        written = self._enc.put_bool(value)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_int8(self, value: int) -> None:
         """Append a tagged int8 to the stream."""
-        before = len(self.data)
-        self._enc.put_int8(value)
-        self._charge_bytes(before)
+        written = self._enc.put_int8(value)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_int32(self, value: int) -> None:
         """Append a tagged int32 to the stream."""
-        before = len(self.data)
-        self._enc.put_int32(value)
-        self._charge_bytes(before)
+        written = self._enc.put_int32(value)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_int64(self, value: int) -> None:
         """Append a tagged int64 to the stream."""
-        before = len(self.data)
-        self._enc.put_int64(value)
-        self._charge_bytes(before)
+        written = self._enc.put_int64(value)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_float64(self, value: float) -> None:
         """Append a tagged float64 to the stream."""
-        before = len(self.data)
-        self._enc.put_float64(value)
-        self._charge_bytes(before)
+        written = self._enc.put_float64(value)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_string(self, value: str) -> None:
         """Append a tagged UTF-8 string to the stream."""
-        before = len(self.data)
-        self._enc.put_string(value)
-        self._charge_bytes(before)
+        written = self._enc.put_string(value)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_bytes(self, value: bytes | bytearray) -> None:
         """Append a tagged byte string to the stream."""
-        before = len(self.data)
-        self._enc.put_bytes(value)
-        self._charge_bytes(before)
+        written = self._enc.put_bytes(value)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_nil(self) -> None:
         """Append a nil marker."""
-        before = len(self.data)
-        self._enc.put_nil()
-        self._charge_bytes(before)
+        written = self._enc.put_nil()
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_sequence_header(self, count: int) -> None:
         """Append a sequence header carrying the element count."""
-        before = len(self.data)
-        self._enc.put_sequence_header(count)
-        self._charge_bytes(before)
+        written = self._enc.put_sequence_header(count)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_object_header(self, subcontract_id: str) -> None:
         """Append a marshalled-object header with its subcontract ID (§6.1)."""
-        before = len(self.data)
-        self._enc.put_object_header(subcontract_id)
-        self._charge_bytes(before)
+        written = self._enc.put_object_header(subcontract_id)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
 
     def put_door_id(self, domain: "Domain", ident: "DoorIdentifier") -> None:
         """Marshal a door identifier: consume it from ``domain``, park it
@@ -135,11 +158,10 @@ class MarshalBuffer:
         if slot > 0xFFFF:
             raise MarshalError("door vector overflow (65536 entries)")
         self.doors.append(transit)
-        before = len(self.data)
-        self._enc.put_door_slot(slot)
-        self._charge_bytes(before)
-        if self.kernel is not None:
-            self.kernel.clock.charge("marshal_door_id")
+        written = self._enc.put_door_slot(slot)
+        if self._clock is not None:
+            self._clock.charge_bytes(written)
+            self._clock.charge("marshal_door_id")
 
     # ------------------------------------------------------------------
     # read side
@@ -300,6 +322,46 @@ class MarshalBuffer:
                 if transit is not None and transit.live:
                     self.kernel.discard_transit(transit)
         self.doors = [None] * len(self.doors)
+
+    # ------------------------------------------------------------------
+    # pooling (hot-path allocation reuse)
+    # ------------------------------------------------------------------
+
+    def release(self) -> None:
+        """Return a pool-acquired buffer to its home domain's free-list.
+
+        Unpooled buffers (plain ``MarshalBuffer(kernel)``) ignore the
+        call, as does a double release.  A buffer still parking live
+        in-transit door references is *not* reused: pooling must never
+        change refcount semantics, so such a buffer is simply retired
+        exactly as an unpooled one would be.
+        """
+        home = self._home
+        if home is None or self._pooled:
+            return
+        for transit in self.doors:
+            if transit is not None and transit.live:
+                return
+        self.data.clear()
+        self.doors = []
+        self.region = None
+        self.sealed = False
+        self._dec.pos = 0
+        pool = home._buffer_pool
+        if len(pool) < POOL_LIMIT:
+            self._pooled = True
+            pool.append(self)
+        else:
+            self._home = None
+
+    def _check_pristine(self) -> None:
+        """Invariant check run when a pooled buffer is reacquired."""
+        if self.data or self.doors or self.region is not None or self._dec.pos:
+            raise MarshalError(
+                "pooled buffer reacquired dirty: "
+                f"{len(self.data)}B doors={len(self.doors)} "
+                f"region={self.region!r} pos={self._dec.pos}"
+            )
 
     # ------------------------------------------------------------------
     # introspection

@@ -7,6 +7,16 @@ subcontract misreads fail loudly instead of silently misinterpreting
 bytes.  (Spring's real format was untagged; the tag costs one byte per
 item and does not change any comparison the benches make, since every
 configuration pays it equally.)
+
+Hot-path notes: the decoder reads fixed-width items with
+``struct.unpack_from`` straight off the backing buffer and slices
+variable-width payloads exactly once, at the moment they are needed — no
+intermediate ``bytes()`` copy per item.  (A persistent ``memoryview``
+would pin a ``bytearray`` against resizing, and the same backing store is
+still being appended to in interleaved write/read uses, so reads index
+the buffer directly instead.)  Encoder methods return the number of bytes
+they appended so callers can account for marshalling without re-measuring
+the stream.
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from __future__ import annotations
 import enum
 import struct
 
-from repro.marshal.errors import BufferUnderflowError, WireTypeError
+from repro.marshal.errors import BufferUnderflowError, MarshalError, WireTypeError
 
 __all__ = ["WireTag", "Encoder", "Decoder"]
 
@@ -23,6 +33,11 @@ _I32 = struct.Struct("<i")
 _I64 = struct.Struct("<q")
 _U16 = struct.Struct("<H")
 _F64 = struct.Struct("<d")
+
+#: An unsigned LEB128 encoding of a 64-bit value needs at most 10 bytes;
+#: anything longer is a malformed (or hostile) buffer trying to make us
+#: build an unbounded Python int.
+_VARINT_MAX_BYTES = 10
 
 
 class WireTag(enum.IntEnum):
@@ -42,97 +57,118 @@ class WireTag(enum.IntEnum):
 
 
 class Encoder:
-    """Appends tagged wire items to a bytearray."""
+    """Appends tagged wire items to a bytearray.
+
+    Every ``put_*`` method returns the number of bytes appended.
+    """
+
+    __slots__ = ("_data",)
 
     def __init__(self, data: bytearray) -> None:
         self._data = data
 
     # -- primitives ----------------------------------------------------
 
-    def put_tag(self, tag: WireTag) -> None:
+    def put_tag(self, tag: WireTag) -> int:
         """Write a raw one-byte wire tag."""
         self._data.append(tag)
+        return 1
 
-    def put_varint(self, value: int) -> None:
+    def put_varint(self, value: int) -> int:
         """Unsigned LEB128, used for lengths and counts."""
         if value < 0:
             raise ValueError(f"varint must be non-negative, got {value}")
+        data = self._data
+        written = 1
         while True:
             byte = value & 0x7F
             value >>= 7
             if value:
-                self._data.append(byte | 0x80)
+                data.append(byte | 0x80)
+                written += 1
             else:
-                self._data.append(byte)
-                return
+                data.append(byte)
+                return written
 
-    def put_bool(self, value: bool) -> None:
+    def put_bool(self, value: bool) -> int:
         """Encode a tagged boolean."""
-        self.put_tag(WireTag.BOOL)
+        self._data.append(WireTag.BOOL)
         self._data.append(1 if value else 0)
+        return 2
 
-    def put_int8(self, value: int) -> None:
+    def put_int8(self, value: int) -> int:
         """Encode a tagged int8."""
-        self.put_tag(WireTag.INT8)
+        self._data.append(WireTag.INT8)
         self._data += _I8.pack(value)
+        return 2
 
-    def put_int32(self, value: int) -> None:
+    def put_int32(self, value: int) -> int:
         """Encode a tagged int32."""
-        self.put_tag(WireTag.INT32)
+        self._data.append(WireTag.INT32)
         self._data += _I32.pack(value)
+        return 5
 
-    def put_int64(self, value: int) -> None:
+    def put_int64(self, value: int) -> int:
         """Encode a tagged int64."""
-        self.put_tag(WireTag.INT64)
+        self._data.append(WireTag.INT64)
         self._data += _I64.pack(value)
+        return 9
 
-    def put_float64(self, value: float) -> None:
+    def put_float64(self, value: float) -> int:
         """Encode a tagged float64."""
-        self.put_tag(WireTag.FLOAT64)
+        self._data.append(WireTag.FLOAT64)
         self._data += _F64.pack(value)
+        return 9
 
-    def put_string(self, value: str) -> None:
+    def put_string(self, value: str) -> int:
         """Encode a tagged UTF-8 string."""
         raw = value.encode("utf-8")
-        self.put_tag(WireTag.STRING)
-        self.put_varint(len(raw))
+        self._data.append(WireTag.STRING)
+        written = 1 + self.put_varint(len(raw)) + len(raw)
         self._data += raw
+        return written
 
-    def put_bytes(self, value: bytes | bytearray) -> None:
+    def put_bytes(self, value: bytes | bytearray) -> int:
         """Encode a tagged byte string."""
-        self.put_tag(WireTag.BYTES)
-        self.put_varint(len(value))
+        self._data.append(WireTag.BYTES)
+        written = 1 + self.put_varint(len(value)) + len(value)
         self._data += value
+        return written
 
-    def put_sequence_header(self, count: int) -> None:
+    def put_sequence_header(self, count: int) -> int:
         """Encode a sequence header with its element count."""
-        self.put_tag(WireTag.SEQUENCE)
-        self.put_varint(count)
+        self._data.append(WireTag.SEQUENCE)
+        return 1 + self.put_varint(count)
 
-    def put_door_slot(self, slot: int) -> None:
+    def put_door_slot(self, slot: int) -> int:
         """Encode a door-vector slot index."""
-        self.put_tag(WireTag.DOOR_SLOT)
+        self._data.append(WireTag.DOOR_SLOT)
         self._data += _U16.pack(slot)
+        return 3
 
-    def put_nil(self) -> None:
+    def put_nil(self) -> int:
         """Encode a nil marker."""
-        self.put_tag(WireTag.NIL)
+        self._data.append(WireTag.NIL)
+        return 1
 
-    def put_object_header(self, subcontract_id: str) -> None:
+    def put_object_header(self, subcontract_id: str) -> int:
         """Write the header of a marshalled object: tag + subcontract ID.
 
         Section 6.1: "the normal mechanism we use to implement compatible
         subcontracts is to include a subcontract identifier as part of the
         marshalled form of each object."
         """
-        self.put_tag(WireTag.OBJECT)
         raw = subcontract_id.encode("utf-8")
-        self.put_varint(len(raw))
+        self._data.append(WireTag.OBJECT)
+        written = 1 + self.put_varint(len(raw)) + len(raw)
         self._data += raw
+        return written
 
 
 class Decoder:
     """Reads tagged wire items from a bytes-like object."""
+
+    __slots__ = ("_data", "pos")
 
     def __init__(self, data: bytes | bytearray, pos: int = 0) -> None:
         self._data = data
@@ -150,9 +186,28 @@ class Decoder:
         self.pos = end
         return chunk
 
+    def _bounds(self, n: int) -> int:
+        """Check ``n`` readable bytes remain; return the end offset."""
+        end = self.pos + n
+        if end > len(self._data):
+            raise BufferUnderflowError(
+                f"need {n} bytes at offset {self.pos}, buffer has {len(self._data)}"
+            )
+        return end
+
+    def _byte(self) -> int:
+        """Consume one raw byte without allocating."""
+        pos = self.pos
+        if pos >= len(self._data):
+            raise BufferUnderflowError(
+                f"need 1 bytes at offset {pos}, buffer has {len(self._data)}"
+            )
+        self.pos = pos + 1
+        return self._data[pos]
+
     def expect_tag(self, tag: WireTag) -> None:
         """Consume one tag byte, raising WireTypeError on mismatch."""
-        got = self._take(1)[0]
+        got = self._byte()
         if got != tag:
             try:
                 got_name = WireTag(got).name
@@ -164,57 +219,82 @@ class Decoder:
         """The next tag byte, without consuming it."""
         if self.pos >= len(self._data):
             raise BufferUnderflowError("peeked past end of buffer")
-        return WireTag(self._data[self.pos])
+        raw = self._data[self.pos]
+        try:
+            return WireTag(raw)
+        except ValueError:
+            raise WireTypeError(f"unknown wire tag 0x{raw:02x}") from None
 
     def get_varint(self) -> int:
-        """Decode an unsigned LEB128 integer."""
+        """Decode an unsigned LEB128 integer (at most 10 bytes)."""
         result = 0
         shift = 0
-        while True:
-            byte = self._take(1)[0]
+        for _ in range(_VARINT_MAX_BYTES):
+            byte = self._byte()
             result |= (byte & 0x7F) << shift
             if not byte & 0x80:
                 return result
             shift += 7
+        raise MarshalError(
+            f"varint exceeds {_VARINT_MAX_BYTES} bytes at offset {self.pos}"
+        )
 
     # -- primitives ----------------------------------------------------
 
     def get_bool(self) -> bool:
         """Decode a boolean."""
         self.expect_tag(WireTag.BOOL)
-        return self._take(1)[0] != 0
+        return self._byte() != 0
 
     def get_int8(self) -> int:
         """Decode a int8."""
         self.expect_tag(WireTag.INT8)
-        return _I8.unpack(self._take(1))[0]
+        end = self._bounds(1)
+        value = _I8.unpack_from(self._data, self.pos)[0]
+        self.pos = end
+        return value
 
     def get_int32(self) -> int:
         """Decode a int32."""
         self.expect_tag(WireTag.INT32)
-        return _I32.unpack(self._take(4))[0]
+        end = self._bounds(4)
+        value = _I32.unpack_from(self._data, self.pos)[0]
+        self.pos = end
+        return value
 
     def get_int64(self) -> int:
         """Decode a int64."""
         self.expect_tag(WireTag.INT64)
-        return _I64.unpack(self._take(8))[0]
+        end = self._bounds(8)
+        value = _I64.unpack_from(self._data, self.pos)[0]
+        self.pos = end
+        return value
 
     def get_float64(self) -> float:
         """Decode a float64."""
         self.expect_tag(WireTag.FLOAT64)
-        return _F64.unpack(self._take(8))[0]
+        end = self._bounds(8)
+        value = _F64.unpack_from(self._data, self.pos)[0]
+        self.pos = end
+        return value
 
     def get_string(self) -> str:
         """Decode a UTF-8 string."""
         self.expect_tag(WireTag.STRING)
         length = self.get_varint()
-        return self._take(length).decode("utf-8")
+        end = self._bounds(length)
+        value = str(self._data[self.pos : end], "utf-8")
+        self.pos = end
+        return value
 
     def get_bytes(self) -> bytes:
         """Decode a byte string."""
         self.expect_tag(WireTag.BYTES)
         length = self.get_varint()
-        return self._take(length)
+        end = self._bounds(length)
+        chunk = self._data[self.pos : end]
+        self.pos = end
+        return chunk if type(chunk) is bytes else bytes(chunk)
 
     def get_sequence_header(self) -> int:
         """Decode a sequence header; returns the element count."""
@@ -224,7 +304,10 @@ class Decoder:
     def get_door_slot(self) -> int:
         """Decode a door-vector slot index."""
         self.expect_tag(WireTag.DOOR_SLOT)
-        return _U16.unpack(self._take(2))[0]
+        end = self._bounds(2)
+        value = _U16.unpack_from(self._data, self.pos)[0]
+        self.pos = end
+        return value
 
     def get_nil(self) -> None:
         """Decode a nil marker."""
@@ -234,7 +317,10 @@ class Decoder:
         """Read a marshalled object's header; returns its subcontract ID."""
         self.expect_tag(WireTag.OBJECT)
         length = self.get_varint()
-        return self._take(length).decode("utf-8")
+        end = self._bounds(length)
+        value = str(self._data[self.pos : end], "utf-8")
+        self.pos = end
+        return value
 
     def peek_object_header(self) -> str:
         """Peek at the subcontract ID without consuming it (Section 6.1).

@@ -122,7 +122,7 @@ class ClusterServer(ServerSubcontract):
 
     def _handle_call(self, request: MarshalBuffer) -> MarshalBuffer:
         kernel = self.domain.kernel
-        reply = MarshalBuffer(kernel)
+        reply = self.domain.acquire_buffer()
         tag = request.get_int32()
         entry = self.exports.get(tag)
         if entry is None:

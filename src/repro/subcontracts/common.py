@@ -43,7 +43,9 @@ def make_door_handler(
     skeleton = binding.skeleton
 
     def handler(request: MarshalBuffer) -> MarshalBuffer:
-        reply = MarshalBuffer(kernel)
+        # Pool-acquired: the consumer of the reply (normally the client's
+        # remote_call) releases it back to this domain's free-list.
+        reply = domain.acquire_buffer()
         if control_hook is not None:
             control_hook(request, reply)
         kernel.clock.charge("indirect_call")  # subcontract -> server stubs

@@ -40,7 +40,11 @@ class ScriptedSubcontract(ClientSubcontract):
         buffer.put_string("control")
 
     def invoke(self, obj, buffer):
-        self.sent_buffers.append(buffer)
+        # remote_call recycles the request buffer once invoke returns, so
+        # keep a snapshot of the wire bytes rather than the live buffer.
+        snapshot = MarshalBuffer(self.domain.kernel)
+        snapshot.data.extend(buffer.data)
+        self.sent_buffers.append(snapshot)
         return self._reply_factory()
 
     def marshal_rep(self, obj, buffer):

@@ -1,0 +1,62 @@
+"""Smallest-config smoke runs of the perf benches, in tier-1.
+
+Each headline bench (E1 invocation overhead, E11 specialized stubs, P1
+hot path) gets one fast ``bench_smoke``-marked test here running its
+smallest configuration, so a hot-path regression that breaks a bench's
+*shape* assertions — sim-time drift, pool misbehaviour, specialization
+losing its edge — fails the ordinary test run, not just a manual bench
+session.  Select just these with ``pytest -m bench_smoke``.
+
+Wall-clock *numbers* are never asserted here (CI machines vary); only
+structural and simulated-time properties are.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_p1_hotpath import build_world, run
+from benchmarks.conftest import sim_us
+
+pytestmark = pytest.mark.bench_smoke
+
+ROUNDS = 300
+WARMUP = 100
+
+
+@pytest.fixture(scope="module")
+def p1_results():
+    return run(rounds=ROUNDS, warmup=WARMUP)
+
+
+def test_e1_smoke_subcontract_tax_is_small(p1_results):
+    # E1 smallest config: the subcontract layer's sim-time tax over a raw
+    # door call stays positive and under 10% (run() asserts the bound;
+    # re-check the sign here so this test names the property).
+    added = p1_results["general_sim_us"] - p1_results["raw_sim_us"]
+    assert added > 0
+
+
+def test_e11_smoke_specialization_saves_indirect_calls(p1_results):
+    # E11 smallest config: fused stubs save sim time versus general stubs.
+    assert p1_results["specialized_sim_us"] < p1_results["general_sim_us"]
+
+
+def test_p1_smoke_pool_eliminates_buffer_allocations(p1_results):
+    assert p1_results["general_buffer_allocs_per_call"] < 0.5
+
+
+def test_p1_smoke_sim_time_is_deterministic():
+    # Two fresh worlds charge bit-for-bit identical simulated time —
+    # the invariant the sharded clock and pooled buffers must preserve.
+    def measure():
+        kernel, raw_call, general_obj, special_obj = build_world()
+        raw_call()
+        general_obj.total()
+        return (
+            min(sim_us(kernel, general_obj.total) for _ in range(3)),
+            min(sim_us(kernel, special_obj.total) for _ in range(3)),
+            min(sim_us(kernel, raw_call) for _ in range(3)),
+        )
+
+    assert measure() == measure()

@@ -1,0 +1,117 @@
+"""Sharded clock accounting under thread pressure.
+
+The SimClock keeps a per-thread tally shard and merges on read; these
+tests pin the conservation law that makes that safe: no charge is ever
+lost or double-counted, regardless of which threads issued it or when
+they exited.  Unit costs are chosen so the expected sums are exact in
+floating point (dyadic values), making the assertions equality, not
+approximation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.kernel.clock import CostModel, SimClock
+
+THREADS = 8
+CHARGES = 2000
+
+
+def hammer(clock: SimClock, barrier: threading.Barrier) -> None:
+    barrier.wait()
+    for _ in range(CHARGES):
+        clock.charge("door_call")
+        clock.charge("marshal_byte", 4)
+        clock.charge_bytes(2)
+        clock.advance(0.25, "network")
+
+
+class TestConcurrentCharging:
+    def make_clock(self) -> SimClock:
+        # Dyadic unit costs: every product and sum below is exact.
+        return SimClock(CostModel(door_call_us=1.5, marshal_byte_us=0.125))
+
+    def test_total_time_is_conserved(self):
+        clock = self.make_clock()
+        barrier = threading.Barrier(THREADS)
+        threads = [
+            threading.Thread(target=hammer, args=(clock, barrier))
+            for _ in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        per_thread = CHARGES * (1.5 + 4 * 0.125 + 2 * 0.125 + 0.25)
+        assert clock.now_us == THREADS * per_thread
+
+    def test_per_category_tallies_are_conserved(self):
+        clock = self.make_clock()
+        barrier = threading.Barrier(THREADS)
+        threads = [
+            threading.Thread(target=hammer, args=(clock, barrier))
+            for _ in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tally = clock.tally()
+        n = THREADS * CHARGES
+        assert tally["door_call"] == n * 1.5
+        # charge_bytes lands in the same category as charge("marshal_byte").
+        assert tally["marshal_byte"] == n * 6 * 0.125
+        assert tally["network"] == n * 0.25
+        assert sum(tally.values()) == clock.now_us
+
+    def test_shards_survive_thread_exit(self):
+        clock = self.make_clock()
+
+        def one_charge():
+            clock.charge("door_call")
+
+        for _ in range(5):
+            t = threading.Thread(target=one_charge)
+            t.start()
+            t.join()
+        # All five charging threads are gone; their time is not.
+        assert clock.now_us == 5 * 1.5
+
+    def test_reads_are_consistent_while_charging(self):
+        clock = self.make_clock()
+        stop = threading.Event()
+        errors: list[AssertionError] = []
+
+        def writer():
+            while not stop.is_set():
+                clock.charge("door_call")
+
+        def reader():
+            try:
+                for _ in range(500):
+                    before = clock.now_us
+                    after = clock.now_us
+                    assert after >= before
+                    assert sum(clock.tally().values()) <= clock.now_us
+            except AssertionError as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_charge_bytes_matches_charge_exactly(self):
+        a = self.make_clock()
+        b = self.make_clock()
+        for count in (0, 1, 7, 123, 4096):
+            a.charge_bytes(count)
+            b.charge("marshal_byte", count)
+        assert a.now_us == b.now_us
+        assert a.tally() == b.tally()

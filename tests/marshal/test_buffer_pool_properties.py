@@ -1,0 +1,91 @@
+"""Model-based property test: a pooled buffer reused after release is
+indistinguishable from a freshly constructed one."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.nucleus import Kernel
+from repro.marshal.buffer import MarshalBuffer
+
+_value = st.one_of(
+    st.tuples(st.just("bool"), st.booleans()),
+    st.tuples(st.just("int8"), st.integers(min_value=-128, max_value=127)),
+    st.tuples(
+        st.just("int32"), st.integers(min_value=-(2**31), max_value=2**31 - 1)
+    ),
+    st.tuples(
+        st.just("int64"), st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    ),
+    st.tuples(st.just("float64"), st.floats(allow_nan=False)),
+    st.tuples(st.just("string"), st.text(max_size=80)),
+    st.tuples(st.just("bytes"), st.binary(max_size=80)),
+    st.tuples(st.just("nil"), st.none()),
+    st.tuples(st.just("seq"), st.integers(min_value=0, max_value=1000)),
+)
+
+
+def put_all(buffer, items):
+    for kind, value in items:
+        if kind == "nil":
+            buffer.put_nil()
+        elif kind == "seq":
+            buffer.put_sequence_header(value)
+        else:
+            getattr(buffer, f"put_{kind}")(value)
+
+
+def get_all(buffer, items):
+    for kind, value in items:
+        if kind == "nil":
+            buffer.get_nil()
+        elif kind == "seq":
+            assert buffer.get_sequence_header() == value
+        else:
+            assert getattr(buffer, f"get_{kind}")() == value
+
+
+@given(garbage=st.lists(_value, max_size=40), items=st.lists(_value, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_reused_pooled_buffer_is_indistinguishable_from_fresh(garbage, items):
+    kernel = Kernel()
+    domain = kernel.create_domain("d")
+
+    # Dirty a pooled buffer with arbitrary traffic, partially read it,
+    # then release it back to the domain's pool.
+    dirty = domain.acquire_buffer()
+    put_all(dirty, garbage)
+    dirty.rewind()
+    if garbage:
+        get_all(dirty, garbage[: len(garbage) // 2])
+    dirty.release()
+
+    # Reacquire (the pool hands the same object back) and compare its
+    # behaviour against a never-pooled buffer given identical traffic.
+    reused = domain.acquire_buffer()
+    assert reused is dirty
+    fresh = MarshalBuffer(kernel)
+
+    put_all(reused, items)
+    put_all(fresh, items)
+    assert bytes(reused.data) == bytes(fresh.data)
+    assert reused.size == fresh.size
+
+    reused.rewind()
+    fresh.rewind()
+    get_all(reused, items)
+    get_all(fresh, items)
+    assert reused.exhausted() and fresh.exhausted()
+
+
+@given(items=st.lists(_value, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_double_release_is_idempotent(items):
+    kernel = Kernel()
+    domain = kernel.create_domain("d")
+    buffer = domain.acquire_buffer()
+    put_all(buffer, items)
+    buffer.release()
+    buffer.release()
+    assert domain._buffer_pool.count(buffer) == 1

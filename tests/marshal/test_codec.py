@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.marshal.codec import Decoder, Encoder, WireTag
-from repro.marshal.errors import BufferUnderflowError, WireTypeError
+from repro.marshal.errors import BufferUnderflowError, MarshalError, WireTypeError
 
 
 def enc():
@@ -153,6 +153,22 @@ class TestErrorPaths:
     def test_unknown_tag_byte_reported(self):
         with pytest.raises(WireTypeError, match="0xee"):
             Decoder(bytes([0xEE])).get_int32()
+
+    def test_peek_tag_on_unknown_byte_raises_wire_type_error(self):
+        with pytest.raises(WireTypeError, match="0xee"):
+            Decoder(bytes([0xEE])).peek_tag()
+
+    def test_varint_with_too_many_continuation_bytes_rejected(self):
+        # 11 bytes all flagged "more follows": a malformed or adversarial
+        # stream must fail with MarshalError, not read unboundedly.
+        with pytest.raises(MarshalError, match="varint exceeds 10 bytes"):
+            Decoder(bytes([0x80] * 11)).get_varint()
+
+    def test_varint_at_exactly_ten_bytes_decodes(self):
+        encoder, data = enc()
+        encoder.put_varint((1 << 64) - 1)  # worst case: 10 LEB128 bytes
+        assert len(data) == 10
+        assert Decoder(data).get_varint() == (1 << 64) - 1
 
     @given(st.binary(min_size=1, max_size=64))
     @settings(max_examples=60)
