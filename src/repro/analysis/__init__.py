@@ -1,0 +1,46 @@
+"""springlint: static analysis for the subcontract runtime.
+
+An AST-based analyzer enforcing the invariants this codebase depends on
+but python cannot express: pooled-buffer lifecycle, subcontract
+conformance, marshal/unmarshal symmetry, lock ordering, and simulated-
+clock discipline.
+
+Run it as ``python -m repro.analysis [paths]`` or via the
+``springlint`` console script.  See ``docs/static-analysis.md`` for the
+rule catalog and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Analyzer,
+    Finding,
+    Rule,
+    SourceModule,
+    iter_python_files,
+    load_pyproject_config,
+)
+from repro.analysis.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Analyzer",
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "default_analyzer",
+    "iter_python_files",
+    "load_pyproject_config",
+]
+
+
+def default_analyzer(
+    disabled: frozenset[str] = frozenset(),
+    selected: frozenset[str] | None = None,
+) -> Analyzer:
+    """An :class:`Analyzer` with a fresh instance of every shipped rule."""
+    return Analyzer(
+        rules=[cls() for cls in ALL_RULES],
+        disabled=disabled,
+        selected=selected,
+    )

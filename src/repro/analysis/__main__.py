@@ -1,0 +1,124 @@
+"""The springlint command line: ``python -m repro.analysis [paths]``.
+
+Exit status is 0 when no findings survive suppression, 1 when any
+finding is reported, and 2 on usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+# The analyzer CLI itself is host tooling, not simulated-path code: it
+# reports elapsed wall time for the run, which is exactly what the
+# clock-discipline rule exists to ban elsewhere.
+import time  # springlint: disable=clock-discipline -- analyzer CLI timing is wall-clock by design; not simulated-path code
+
+from repro.analysis import default_analyzer, load_pyproject_config
+from repro.analysis.engine import iter_python_files, render_json
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="springlint",
+        description="AST-based static analysis for the subcontract runtime",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: from "
+        "[tool.springlint] paths in pyproject.toml, else 'src')",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON document instead of human text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the shipped rules and exit",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="disable a rule by name (repeatable)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only the named rule(s) (repeatable)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.name:28s} {cls.description}")
+        return 0
+
+    config = load_pyproject_config()
+    paths = args.paths or config.get("paths") or ["src"]
+    disabled = frozenset(args.disable) | frozenset(config.get("disable", ()))
+    selected = frozenset(args.select) if args.select else None
+
+    # A typo'd path or rule name must not turn into a silent green run.
+    known = {cls.name for cls in ALL_RULES}
+    unknown = (disabled | (selected or frozenset())) - known
+    if unknown:
+        print(
+            f"springlint: error: unknown rule(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 2
+    from pathlib import Path
+
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"springlint: error: no such path: {', '.join(str(m) for m in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    started = time.perf_counter()  # springlint: disable=clock-discipline -- CLI elapsed-time report, see module comment
+    analyzer = default_analyzer(disabled=disabled, selected=selected)
+    files = list(iter_python_files(paths))
+    findings = analyzer.run_paths(paths)
+    elapsed = time.perf_counter() - started  # springlint: disable=clock-discipline -- CLI elapsed-time report, see module comment
+
+    if args.json:
+        print(render_json(findings, files_seen=len(files)))
+    else:
+        for finding in findings:
+            print(finding.format_human())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"springlint: {len(findings)} {noun} in {len(files)} files "
+            f"({elapsed:.2f}s)",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        status = main()
+    except BrokenPipeError:
+        # Output was piped to a consumer that closed early (e.g. head).
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't print a second traceback, and exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        status = 1
+    raise SystemExit(status)

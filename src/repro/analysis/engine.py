@@ -1,0 +1,250 @@
+"""The springlint rule engine.
+
+springlint is an AST-based analyzer for the invariants this codebase
+cannot express in the type system: pooled-buffer lifecycle, subcontract
+conformance, marshal/unmarshal symmetry, lock ordering, and simulated-
+clock discipline.  The engine is deliberately small:
+
+* a :class:`SourceModule` wraps one parsed file plus its inline
+  suppressions (``# springlint: disable=<rule>``);
+* a :class:`Rule` inspects modules one at a time via :meth:`Rule.check`
+  and may emit cross-file findings from :meth:`Rule.finish` once every
+  module has been seen (the lock-ordering rule needs the whole graph);
+* the :class:`Analyzer` walks the requested paths, runs every enabled
+  rule, filters suppressed findings, and hands back a sorted list of
+  :class:`Finding` objects.
+
+Rules never import the packages they analyze — everything is derived
+from source text, so the analyzer runs on broken trees, on fixtures that
+deliberately violate invariants, and on generated stub source that never
+touches disk.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Rule",
+    "Analyzer",
+    "iter_python_files",
+    "load_pyproject_config",
+]
+
+SEVERITIES = ("error", "warning")
+
+#: ``# springlint: disable=rule-a,rule-b -- optional justification``
+_SUPPRESS_RE = re.compile(
+    r"#\s*springlint:\s*(?P<kind>disable-file|disable)\s*=\s*(?P<rules>[^#]*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    severity: str
+    message: str
+    hint: str = ""
+
+    def format_human(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.severity}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+class SourceModule:
+    """One parsed python file plus its inline suppression table."""
+
+    def __init__(self, path: str | Path, text: str | None = None) -> None:
+        self.path = str(path)
+        if text is None:
+            text = Path(path).read_text(encoding="utf-8")
+        self.text = text
+        self.tree = ast.parse(text, filename=self.path)
+        #: physical line number -> rule names suppressed on that line
+        #: ("*" suppresses every rule)
+        self.line_suppressions: dict[int, set[str]] = {}
+        #: rule names suppressed for the whole file
+        self.file_suppressions: set[str] = set()
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            rules_part = match.group("rules").split("--", 1)[0]
+            rules = {r.strip() for r in rules_part.split(",") if r.strip()}
+            if not rules:
+                continue
+            if match.group("kind") == "disable-file":
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when an inline comment silences this finding."""
+        if {finding.rule, "*"} & self.file_suppressions:
+            return True
+        at_line = self.line_suppressions.get(finding.line, ())
+        return finding.rule in at_line or "*" in at_line
+
+
+class Rule:
+    """Base class for springlint rules.
+
+    Subclasses set ``name`` (the kebab-case id used in output and in
+    suppression comments) and ``description``, and implement
+    :meth:`check`.  Rules needing whole-program state accumulate it in
+    ``check`` and emit from :meth:`finish`.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finish(self) -> Iterator[Finding]:
+        return iter(())
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, sorted, skipping caches."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for child in sorted(path.rglob("*.py")):
+            parts = child.parts
+            if "__pycache__" in parts or any(p.startswith(".") for p in parts):
+                continue
+            yield child
+
+
+@dataclass
+class Analyzer:
+    """Run a set of rules over a set of files."""
+
+    rules: Sequence[Rule]
+    disabled: frozenset[str] = field(default_factory=frozenset)
+    selected: frozenset[str] | None = None
+
+    def enabled_rules(self) -> list[Rule]:
+        out = []
+        for rule in self.rules:
+            if rule.name in self.disabled:
+                continue
+            if self.selected is not None and rule.name not in self.selected:
+                continue
+            out.append(rule)
+        return out
+
+    def run_modules(self, modules: Iterable[SourceModule]) -> list[Finding]:
+        modules = list(modules)
+        by_path = {m.path: m for m in modules}
+        rules = self.enabled_rules()
+        findings: list[Finding] = []
+        for rule in rules:
+            for module in modules:
+                findings.extend(rule.check(module))
+        for rule in rules:
+            findings.extend(rule.finish())
+        kept = []
+        for finding in findings:
+            module = by_path.get(finding.path)
+            if module is not None and module.suppressed(finding):
+                continue
+            kept.append(finding)
+        kept.sort(key=Finding.sort_key)
+        return kept
+
+    def run_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        modules = []
+        parse_failures: list[Finding] = []
+        for path in iter_python_files(paths):
+            try:
+                modules.append(SourceModule(path))
+            except SyntaxError as exc:
+                parse_failures.append(
+                    Finding(
+                        rule="parse",
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        severity="error",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        findings = self.run_modules(modules)
+        findings.extend(parse_failures)
+        findings.sort(key=Finding.sort_key)
+        return findings
+
+
+def load_pyproject_config(start: str | Path = ".") -> dict:
+    """Read ``[tool.springlint]`` from the nearest pyproject.toml.
+
+    Returns an empty dict when there is no pyproject, no section, or no
+    toml parser (python 3.10 without tomli); configuration is a
+    convenience, never a requirement.
+    """
+    try:
+        import tomllib
+    except ImportError:  # python 3.10: tomllib is 3.11+, tomli may be absent
+        return {}
+    directory = Path(start).resolve()
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            try:
+                data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+            except (OSError, tomllib.TOMLDecodeError):
+                return {}
+            section = data.get("tool", {}).get("springlint", {})
+            return section if isinstance(section, dict) else {}
+    return {}
+
+
+def render_json(findings: Sequence[Finding], files_seen: int) -> str:
+    counts = {sev: 0 for sev in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    return json.dumps(
+        {
+            "version": 1,
+            "files": files_seen,
+            "counts": counts,
+            "findings": [f.to_json() for f in findings],
+        },
+        indent=2,
+    )

@@ -1,0 +1,31 @@
+"""The springlint rule catalog.
+
+``ALL_RULES`` lists rule *classes* in the order findings should be
+documented; the CLI instantiates a fresh rule set per run because some
+rules carry whole-program state between ``check`` and ``finish``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.buffer_lifecycle import BufferLifecycleRule
+from repro.analysis.rules.subcontract_conformance import SubcontractConformanceRule
+from repro.analysis.rules.marshal_symmetry import MarshalSymmetryRule
+from repro.analysis.rules.lock_ordering import LockOrderingRule
+from repro.analysis.rules.clock_discipline import ClockDisciplineRule
+
+__all__ = [
+    "ALL_RULES",
+    "BufferLifecycleRule",
+    "SubcontractConformanceRule",
+    "MarshalSymmetryRule",
+    "LockOrderingRule",
+    "ClockDisciplineRule",
+]
+
+ALL_RULES = (
+    BufferLifecycleRule,
+    SubcontractConformanceRule,
+    MarshalSymmetryRule,
+    LockOrderingRule,
+    ClockDisciplineRule,
+)

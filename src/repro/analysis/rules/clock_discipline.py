@@ -1,0 +1,156 @@
+"""clock-discipline: simulated time must stay simulated, and cheap.
+
+The whole repository runs on a deterministic :class:`SimClock`; one
+stray ``time.time()`` in a simulated path makes runs irreproducible in a
+way no test catches until a benchmark drifts.  And the sharded clock's
+hot path (``charge``) is only cheap if call sites pass precomputed
+constant event names — an f-string at the call site re-introduces the
+per-call formatting cost the accounting overhaul removed.
+
+Two checks:
+
+* **wall-clock calls** — ``time.time``, ``time.monotonic``,
+  ``time.perf_counter``, ``time.process_time``, ``time.time_ns`` (and
+  ``_ns`` variants), ``datetime.now``/``utcnow`` are banned.  Dotted
+  names are resolved through the module's import table, so
+  ``from time import perf_counter as pc; pc()`` is still caught.
+* **charge-site formatting** — the event-name argument of
+  ``.charge(...)``/``.charge_cycles(...)`` (first argument) and the
+  category argument of ``.advance(...)`` (second argument) must not be
+  an f-string, string concatenation/``%`` expression, or ``.format()``
+  call.  Names and constants are fine: hoist the formatting to module
+  level and pass the precomputed string.
+
+``charge_bytes`` is exempt — its arguments are sizes, not names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Rule, SourceModule
+
+__all__ = ["ClockDisciplineRule"]
+
+#: fully-qualified callables that read the host's wall clock
+_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+#: method name -> index of the event/category argument that must be
+#: precomputed (no formatting work on the hot path)
+_CHARGE_ARG = {"charge": 0, "charge_cycles": 0, "advance": 1}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully qualified name, from import statements."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def _is_formatting(node: ast.expr) -> bool:
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.BinOp):  # "a" + x, "fmt %s" % x
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("format", "join")
+    ):
+        return True
+    return False
+
+
+class ClockDisciplineRule(Rule):
+    name = "clock-discipline"
+    description = (
+        "no wall-clock reads in simulated paths; SimClock charge sites "
+        "must pass precomputed event names"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        imports = _import_table(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_wall_clock(module, imports, node)
+            yield from self._check_charge_site(module, node)
+
+    def _check_wall_clock(
+        self, module: SourceModule, imports: dict[str, str], node: ast.Call
+    ) -> Iterator[Finding]:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        head, _, rest = dotted.partition(".")
+        resolved = imports.get(head, head) + (f".{rest}" if rest else "")
+        if resolved in _BANNED or dotted in _BANNED:
+            yield Finding(
+                rule=self.name,
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                severity="error",
+                message=(
+                    f"wall-clock call {dotted}() in a simulated-path "
+                    "module breaks run determinism"
+                ),
+                hint="use the kernel's SimClock (clock.now() / "
+                "clock.advance()) instead of host time",
+            )
+
+    def _check_charge_site(
+        self, module: SourceModule, node: ast.Call
+    ) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        arg_index = _CHARGE_ARG.get(node.func.attr)
+        if arg_index is None or len(node.args) <= arg_index:
+            return
+        arg = node.args[arg_index]
+        if _is_formatting(arg):
+            yield Finding(
+                rule=self.name,
+                path=module.path,
+                line=arg.lineno,
+                col=arg.col_offset,
+                severity="error",
+                message=(
+                    f"{node.func.attr}() is called with a formatted "
+                    "event name: string building on the accounting hot "
+                    "path defeats the precomputed-constant design"
+                ),
+                hint="hoist the name to a module-level constant (e.g. "
+                '_EV_SEND = "net.send") and pass that',
+            )

@@ -1,0 +1,236 @@
+"""lock-ordering: the static lock-acquisition graph must be acyclic.
+
+Distributed runtimes deadlock the boring way: thread A holds lock X and
+wants Y while thread B holds Y and wants X.  The fix is a global
+acquisition order, and an acquisition order is easy to check statically:
+build a directed graph with an edge X -> Y whenever the code can acquire
+Y while holding X, and demand the graph has no cycles.
+
+Lock acquisitions are recognized as ``with`` statements whose context
+expression *names* a lock — a bare name or attribute whose identifier
+contains ``lock`` (but not ``clock``; ``ClockWindow`` is not a mutex).
+Call expressions (``with Foo():``) are ignored: those are constructors
+or context-manager factories, not held mutexes.  Locks are keyed as
+``ClassName.attr`` for ``self`` attributes (so every method of a class
+shares one node per lock field) and by qualified function name for
+locals.
+
+Edges come from two places:
+
+* **lexical nesting** — a ``with b_lock:`` inside a ``with a_lock:``
+  adds a -> b;
+* **one-level calls** — calling ``self.method()`` or a same-module
+  function while holding a lock adds an edge to every lock that callee
+  acquires at its top level.  Deeper transitive resolution is
+  deliberately out of scope; one level catches the classic
+  "public method takes the lock, calls another public method that takes
+  another lock" pattern without whole-program points-to analysis.
+
+Cycles are reported once per cycle, as warnings, at the site of the
+first edge the walker saw.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Rule, SourceModule
+
+__all__ = ["LockOrderingRule"]
+
+
+def _lock_name(expr: ast.expr) -> str | None:
+    """The identifier a ``with`` context names, if it looks like a lock."""
+    if isinstance(expr, ast.Name):
+        ident = expr.id
+    elif isinstance(expr, ast.Attribute):
+        ident = expr.attr
+    else:
+        return None  # calls, subscripts: not a held lock object
+    lowered = ident.lower()
+    if "lock" in lowered and "clock" not in lowered:
+        return ident
+    return None
+
+
+class _FunctionScan(ast.NodeVisitor):
+    """Collect lock acquisitions and calls-under-lock for one function."""
+
+    def __init__(self, rule: "LockOrderingRule", module: SourceModule,
+                 class_name: str | None, func_name: str) -> None:
+        self.rule = rule
+        self.module = module
+        self.class_name = class_name
+        self.func_name = func_name
+        #: stack of lock keys currently held (lexically)
+        self.held: list[str] = []
+        #: lock keys acquired anywhere in this function body
+        self.acquired: set[str] = set()
+
+    def _key(self, expr: ast.expr, ident: str) -> str:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.class_name
+        ):
+            return f"{self.class_name}.{ident}"
+        if isinstance(expr, ast.Attribute):
+            return ident  # cls-level or module object attribute: key by field
+        return f"{self.class_name or self.module.path}.{self.func_name}.{ident}"
+
+    def visit_With(self, node: ast.With) -> None:
+        taken: list[str] = []
+        for item in node.items:
+            ident = _lock_name(item.context_expr)
+            if ident is None:
+                continue
+            key = self._key(item.context_expr, ident)
+            self.acquired.add(key)
+            for holder in self.held:
+                if holder != key:
+                    self.rule.add_edge(holder, key, self.module, node)
+            self.held.append(key)
+            taken.append(key)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in taken:
+            self.held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held:
+            callee = None
+            if (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and self.class_name
+            ):
+                callee = (self.class_name, node.func.attr)
+            elif isinstance(node.func, ast.Name):
+                callee = (None, node.func.id)
+            if callee is not None:
+                self.rule.add_call_edge(
+                    list(self.held), self.module, callee, node
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are scanned as their own functions
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+
+class LockOrderingRule(Rule):
+    name = "lock-ordering"
+    description = (
+        "the static lock-acquisition graph (with-blocks plus one level "
+        "of calls) must contain no cycles"
+    )
+
+    def __init__(self) -> None:
+        #: lock key -> {lock key acquired while holding it}
+        self.edges: dict[str, dict[str, tuple[SourceModule, int, int]]] = {}
+        #: (module_key, class_or_None, func_name) -> set of lock keys
+        self._acquires: dict[tuple[str, str | None, str], set[str]] = {}
+        #: deferred call edges: (held-keys, module, callee, site)
+        self._pending_calls: list[
+            tuple[list[str], SourceModule, tuple[str | None, str], ast.Call]
+        ] = []
+
+    def add_edge(
+        self, frm: str, to: str, module: SourceModule, site: ast.AST
+    ) -> None:
+        self.edges.setdefault(frm, {}).setdefault(
+            to, (module, site.lineno, site.col_offset)
+        )
+
+    def add_call_edge(
+        self,
+        held: list[str],
+        module: SourceModule,
+        callee: tuple[str | None, str],
+        site: ast.Call,
+    ) -> None:
+        self._pending_calls.append((held, module, callee, site))
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(module, None, node)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._scan_function(module, node.name, item)
+        return iter(())
+
+    def _scan_function(
+        self,
+        module: SourceModule,
+        class_name: str | None,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        scan = _FunctionScan(self, module, class_name, node.name)
+        for stmt in node.body:
+            scan.visit(stmt)
+        self._acquires[(module.path, class_name, node.name)] = scan.acquired
+
+    def finish(self) -> Iterator[Finding]:
+        # Resolve one level of calls: an edge from every held lock to
+        # every lock the callee acquires.  Same-class methods match on
+        # (class, name); bare names match a same-module function.
+        for held, module, (cls, name), site in self._pending_calls:
+            acquired = self._acquires.get((module.path, cls, name))
+            if not acquired:
+                continue
+            for frm in held:
+                for to in acquired:
+                    if frm != to:
+                        self.add_edge(frm, to, module, site)
+        self._pending_calls = []
+
+        yield from self._report_cycles()
+        self.edges = {}
+        self._acquires = {}
+
+    def _report_cycles(self) -> Iterator[Finding]:
+        reported: set[frozenset[str]] = set()
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in self.edges}
+
+        def walk(node: str, path: list[str]) -> Iterator[Finding]:
+            color[node] = GRAY
+            path.append(node)
+            for succ in self.edges.get(node, {}):
+                if color.get(succ, WHITE) == GRAY:
+                    cycle = path[path.index(succ):] + [succ]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        module, line, col = self.edges[node][succ]
+                        yield Finding(
+                            rule=self.name,
+                            path=module.path,
+                            line=line,
+                            col=col,
+                            severity="warning",
+                            message=(
+                                "lock-ordering cycle: "
+                                + " -> ".join(cycle)
+                            ),
+                            hint="pick one global acquisition order for "
+                            "these locks and acquire them in that order "
+                            "everywhere",
+                        )
+                elif color.get(succ, WHITE) == WHITE:
+                    yield from walk(succ, path)
+            path.pop()
+            color[node] = BLACK
+
+        for node in list(self.edges):
+            if color.get(node, WHITE) == WHITE:
+                yield from walk(node, [])

@@ -1,0 +1,318 @@
+"""subcontract-conformance: subcontract subclasses must honor the vector.
+
+The paper's flexibility argument (new object mechanics under unchanged
+stubs) only holds if every subcontract implements the operations vector
+the stubs rely on.  This rule builds the package-wide class hierarchy by
+name and checks every class that (transitively) derives from
+``ClientSubcontract`` or ``ServerSubcontract``:
+
+* **missing operations** — a leaf client subcontract must provide
+  ``invoke``, ``copy``, ``consume``, ``marshal_rep`` and
+  ``unmarshal_rep`` somewhere along its chain; a leaf server subcontract
+  must provide ``export`` and ``revoke``;
+* **missing id** — a leaf subcontract must assign a non-empty wire ``id``;
+* **incompatible signatures** — overrides must keep the arity the stubs
+  call with (``invoke(self, obj, buffer)`` and friends);
+* **swallowed MarshalError** — an ``except`` catching any marshal-layer
+  error whose body never re-raises hides wire corruption from the
+  caller; subcontracts must let marshal errors propagate (or wrap and
+  re-raise them).
+
+Classes that are themselves subclassed within the analyzed tree count as
+intermediate bases and are exempt from the leaf checks (``SingleDoorClient``
+has no ``id`` by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Rule, SourceModule
+
+__all__ = ["SubcontractConformanceRule"]
+
+_CLIENT_ROOT = "ClientSubcontract"
+_SERVER_ROOT = "ServerSubcontract"
+
+_CLIENT_REQUIRED = ("invoke", "copy", "consume", "marshal_rep", "unmarshal_rep")
+_SERVER_REQUIRED = ("export", "revoke")
+
+#: operation -> number of positional parameters after self the stubs
+#: pass; None means "at least this many" (export takes free-form options)
+_ARITY: dict[str, tuple[int, bool]] = {
+    "invoke": (2, False),
+    "invoke_preamble": (2, False),
+    "marshal": (2, False),
+    "unmarshal": (2, False),
+    "marshal_copy": (2, False),
+    "marshal_rep": (2, False),
+    "unmarshal_rep": (2, False),
+    "copy": (1, False),
+    "consume": (1, False),
+    "type_of": (1, False),
+    "type_info": (1, False),
+    "export": (2, True),
+    "revoke": (1, False),
+}
+
+_MARSHAL_ERRORS = {
+    "MarshalError",
+    "WireTypeError",
+    "BufferUnderflowError",
+    "DoorVectorError",
+    "BufferLifecycleError",
+}
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module_path: str
+    line: int
+    col: int
+    bases: list[str]
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    has_id: bool = False
+
+
+def _base_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _positional_arity(func: ast.FunctionDef) -> tuple[int, int, bool]:
+    """(required_positional, max_positional, has_star) excluding self."""
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    n_defaults = len(args.defaults)
+    required = len(positional) - n_defaults
+    has_star = args.vararg is not None or args.kwarg is not None
+    return required, len(positional), has_star
+
+
+class SubcontractConformanceRule(Rule):
+    name = "subcontract-conformance"
+    description = (
+        "subcontract subclasses must implement the required operations "
+        "with stub-compatible signatures and must not swallow MarshalError"
+    )
+
+    def __init__(self) -> None:
+        self._classes: dict[str, _ClassInfo] = {}
+        self._class_nodes: list[tuple[SourceModule, ast.ClassDef]] = []
+
+    # -- per-module collection ------------------------------------------
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._collect_class(module, node)
+        return iter(())
+
+    def _collect_class(self, module: SourceModule, node: ast.ClassDef) -> None:
+        info = _ClassInfo(
+            name=node.name,
+            module_path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            bases=[b for b in (_base_name(base) for base in node.bases) if b],
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[item.name] = item
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name) and target.id == "id":
+                        info.has_id = self._nonempty_const(item.value)
+            elif isinstance(item, ast.AnnAssign):
+                if (
+                    isinstance(item.target, ast.Name)
+                    and item.target.id == "id"
+                    and item.value is not None
+                ):
+                    info.has_id = self._nonempty_const(item.value)
+        # Last definition of a name wins, matching python import order
+        # closely enough for a by-name hierarchy.
+        self._classes[info.name] = info
+        self._class_nodes.append((module, node))
+
+    @staticmethod
+    def _nonempty_const(value: ast.expr) -> bool:
+        return not (isinstance(value, ast.Constant) and value.value in ("", None))
+
+    # -- whole-program checks -------------------------------------------
+
+    def finish(self) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        for module, node in self._class_nodes:
+            findings.extend(self._check_swallowed_marshal_errors(module, node))
+        self._class_nodes = []
+        subclassed = {base for info in self._classes.values() for base in info.bases}
+
+        for info in self._classes.values():
+            root = self._root_of(info)
+            if root is None:
+                continue
+            chain = self._chain_of(info)
+            findings.extend(self._check_signatures(info))
+            if info.name in subclassed:
+                continue  # intermediate base: leaf obligations don't apply
+            required = _CLIENT_REQUIRED if root == _CLIENT_ROOT else _SERVER_REQUIRED
+            provided = {m for c in chain for m in c.methods}
+            for op in required:
+                if op not in provided:
+                    findings.append(
+                        self._finding(
+                            info,
+                            f"subcontract {info.name!r} does not implement "
+                            f"required operation {op!r}",
+                            f"the stubs call {op}() through the subcontract "
+                            "vector; add an implementation or inherit one",
+                        )
+                    )
+            if not any(c.has_id for c in chain):
+                findings.append(
+                    self._finding(
+                        info,
+                        f"subcontract {info.name!r} does not define a wire id",
+                        'assign a stable identifier, e.g. id = "mycontract"',
+                    )
+                )
+        yield from findings
+
+    def _root_of(self, info: _ClassInfo) -> str | None:
+        seen: set[str] = set()
+        stack = list(info.bases)
+        while stack:
+            base = stack.pop()
+            if base in (_CLIENT_ROOT, _SERVER_ROOT):
+                return base
+            if base in seen:
+                continue
+            seen.add(base)
+            parent = self._classes.get(base)
+            if parent is not None:
+                stack.extend(parent.bases)
+        return None
+
+    def _chain_of(self, info: _ClassInfo) -> list[_ClassInfo]:
+        chain = [info]
+        seen = {info.name}
+        stack = list(info.bases)
+        while stack:
+            base = stack.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            parent = self._classes.get(base)
+            if parent is not None:
+                chain.append(parent)
+                stack.extend(parent.bases)
+        return chain
+
+    def _check_signatures(self, info: _ClassInfo) -> Iterator[Finding]:
+        for op, (expected, open_ended) in _ARITY.items():
+            func = info.methods.get(op)
+            if func is None:
+                continue
+            required, maximum, has_star = _positional_arity(func)
+            ok = (
+                has_star
+                or (required <= expected <= maximum)
+                or (open_ended and required <= expected)
+            )
+            if not ok:
+                yield Finding(
+                    rule=self.name,
+                    path=info.module_path,
+                    line=func.lineno,
+                    col=func.col_offset,
+                    severity="error",
+                    message=(
+                        f"{info.name}.{op} has an incompatible signature: "
+                        f"the stubs pass {expected} positional argument(s) "
+                        f"after self, this override requires {required} "
+                        f"and accepts at most {maximum}"
+                    ),
+                    hint="match the base-class parameter list (extra "
+                    "keyword-only or defaulted parameters are fine)",
+                )
+
+    def _check_swallowed_marshal_errors(
+        self, module: SourceModule, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if self._root_of_ast(node) is None and not self._looks_like_subcontract(node):
+            return
+        for handler in (
+            n for n in ast.walk(node) if isinstance(n, ast.ExceptHandler)
+        ):
+            caught = self._caught_names(handler.type)
+            if not (caught & _MARSHAL_ERRORS):
+                continue
+            reraises = any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+            if not reraises:
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=handler.lineno,
+                    col=handler.col_offset,
+                    severity="error",
+                    message=(
+                        f"{node.name} silently swallows "
+                        f"{', '.join(sorted(caught & _MARSHAL_ERRORS))}: "
+                        "wire corruption would be hidden from the caller"
+                    ),
+                    hint="re-raise (bare `raise`), or wrap the error in a "
+                    "subcontract-level exception and raise that",
+                )
+
+    def _root_of_ast(self, node: ast.ClassDef) -> str | None:
+        stack = [b for b in (_base_name(base) for base in node.bases) if b]
+        seen: set[str] = set()
+        while stack:
+            base = stack.pop()
+            if base in (_CLIENT_ROOT, _SERVER_ROOT):
+                return base
+            if base in seen:
+                continue
+            seen.add(base)
+            parent = self._classes.get(base)
+            if parent is not None:
+                stack.extend(parent.bases)
+        return None
+
+    @staticmethod
+    def _looks_like_subcontract(node: ast.ClassDef) -> bool:
+        names = {b for b in (_base_name(base) for base in node.bases) if b}
+        return any("Subcontract" in n or n.endswith(("Client", "Server")) for n in names)
+
+    def _caught_names(self, type_node: ast.expr | None) -> set[str]:
+        if type_node is None:
+            return set()
+        if isinstance(type_node, ast.Tuple):
+            out: set[str] = set()
+            for element in type_node.elts:
+                name = _base_name(element)
+                if name:
+                    out.add(name)
+            return out
+        name = _base_name(type_node)
+        return {name} if name else set()
+
+    def _finding(self, info: _ClassInfo, message: str, hint: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=info.module_path,
+            line=info.line,
+            col=info.col,
+            severity="error",
+            message=message,
+            hint=hint,
+        )

@@ -88,19 +88,20 @@ def remote_call(
         reply = subcontract.invoke(obj, buffer)
     finally:
         # The request is fully consumed once invoke returns (or failed
-        # before transmission); recycle it.  release() refuses to pool a
-        # buffer still parking live door references.
-        buffer.release()
+        # before transmission).  A failed call may leave marshalled door
+        # arguments in transit; recycle discards them (so unreferenced
+        # notifications still fire) before pooling the buffer.
+        buffer.recycle()
 
     status = reply.get_int8()
     if status == STATUS_EXCEPTION:
         remote_type = reply.get_string()
         message = reply.get_string()
-        reply.release()
+        reply.recycle()
         raise RemoteApplicationError(remote_type, message)
     if status == STATUS_REVOKED:
         message = reply.get_string()
-        reply.release()
+        reply.recycle()
         raise RevokedObjectError(message)
     results = unmarshal_results(reply, domain)
     reply.release()

@@ -74,6 +74,11 @@ class Domain:
         if pool:
             buffer = pool.pop()
             buffer._pooled = False
+            # Re-arm the real streams (release() left use-after-release
+            # sentinels in their place) before the pristine check reads them.
+            buffer._enc = buffer._real_enc
+            buffer._dec = buffer._real_dec
+            buffer._released_at = None
             buffer._check_pristine()
             return buffer
         buffer = MarshalBuffer(self.kernel)

@@ -24,16 +24,22 @@ Buffers on the invocation hot path are pooled: each domain keeps a small
 free-list (:meth:`repro.kernel.domain.Domain.acquire_buffer`), and
 :meth:`release` resets a buffer and returns it to its home pool.  Only
 pool-acquired buffers participate — ``MarshalBuffer(kernel)`` constructs
-an unpooled buffer whose ``release`` is a no-op — and a buffer still
-holding live in-transit door references is never reused.
+an unpooled buffer whose ``release`` is a no-op.  Misuse of a pooled
+buffer (double release, release while still parking live in-transit door
+references, any put/get after release) raises
+:class:`~repro.marshal.errors.BufferLifecycleError` at the misuse site;
+failure paths that may hold in-transit references clean up with
+:meth:`recycle`, which discards and then releases.
 """
 
 from __future__ import annotations
 
+import os
+import traceback
 from typing import TYPE_CHECKING, Any
 
 from repro.marshal.codec import Decoder, Encoder, WireTag
-from repro.marshal.errors import DoorVectorError, MarshalError
+from repro.marshal.errors import BufferLifecycleError, DoorVectorError, MarshalError
 
 if TYPE_CHECKING:
     from repro.kernel.domain import Domain
@@ -44,6 +50,37 @@ __all__ = ["MarshalBuffer"]
 
 #: free-list bound per domain; beyond this, released buffers are retired
 POOL_LIMIT = 32
+
+#: when true (REPRO_DEBUG=1 at import, or set by tests), release() records
+#: the releasing stack so a later double release can name the first site
+_DEBUG = os.environ.get("REPRO_DEBUG", "") not in ("", "0")
+
+
+class _ReleasedStream:
+    """Sentinel installed as a released buffer's encoder/decoder.
+
+    Swapping the stream pointers costs nothing on the live hot path, but
+    any put/get through a stale handle fails immediately and by name
+    instead of corrupting a buffer that the pool may already have handed
+    to another caller.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> Any:
+        raise BufferLifecycleError(
+            f"{name!r} on a released marshal buffer: this handle was "
+            "returned to its domain's pool (use-after-release)"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise BufferLifecycleError(
+            f"cannot set {name!r} on a released marshal buffer "
+            "(use-after-release)"
+        )
+
+
+_RELEASED_STREAM = _ReleasedStream()
 
 
 class MarshalBuffer:
@@ -60,13 +97,17 @@ class MarshalBuffer:
         "sealed",
         "_home",
         "_pooled",
+        "_retired",
+        "_real_enc",
+        "_real_dec",
+        "_released_at",
     )
 
     def __init__(self, kernel: "Kernel | None" = None) -> None:
         self.kernel = kernel
         self.data = bytearray()
-        self._enc = Encoder(self.data)
-        self._dec = Decoder(self.data)
+        self._enc = self._real_enc = Encoder(self.data)
+        self._dec = self._real_dec = Decoder(self.data)
         self._clock = kernel.clock if kernel is not None else None
         #: out-of-band door references; entries become None once consumed
         self.doors: list["TransitDoorRef | None"] = []
@@ -78,6 +119,8 @@ class MarshalBuffer:
         #: home pool (a Domain) when acquired via Domain.acquire_buffer
         self._home: "Domain | None" = None
         self._pooled = False
+        self._retired = False
+        self._released_at: str | None = None
 
     # ------------------------------------------------------------------
     # write side
@@ -331,28 +374,65 @@ class MarshalBuffer:
         """Return a pool-acquired buffer to its home domain's free-list.
 
         Unpooled buffers (plain ``MarshalBuffer(kernel)``) ignore the
-        call, as does a double release.  A buffer still parking live
-        in-transit door references is *not* reused: pooling must never
-        change refcount semantics, so such a buffer is simply retired
-        exactly as an unpooled one would be.
+        call.  Two misuses raise :class:`BufferLifecycleError` at the
+        call site instead of corrupting the pool and failing later via
+        the pristine-state check:
+
+        * **double release** — the buffer is already back in (or retired
+          from) its pool; with ``REPRO_DEBUG=1`` the message names the
+          first release site;
+        * **release in transit** — the buffer still parks live in-transit
+          door references.  Pooling must never change refcount semantics;
+          call :meth:`discard` first, or :meth:`recycle` to do both.
         """
+        if self._pooled or self._retired:
+            first = (
+                f"; first released at:\n{self._released_at}"
+                if self._released_at
+                else " (set REPRO_DEBUG=1 to record the first release site)"
+            )
+            raise BufferLifecycleError(
+                "double release of a pooled marshal buffer" + first
+            )
         home = self._home
-        if home is None or self._pooled:
+        if home is None:
             return
-        for transit in self.doors:
-            if transit is not None and transit.live:
-                return
+        live = self.live_door_count()
+        if live:
+            raise BufferLifecycleError(
+                f"released while parking {live} live in-transit door "
+                "reference(s); discard() them first, or use recycle()"
+            )
+        if _DEBUG:
+            self._released_at = "".join(traceback.format_stack(limit=8)[:-1])
         self.data.clear()
         self.doors = []
         self.region = None
         self.sealed = False
-        self._dec.pos = 0
+        self._real_dec.pos = 0
+        # Stale handles now fail loudly on any put/get (use-after-release).
+        self._enc = self._dec = _RELEASED_STREAM
         pool = home._buffer_pool
         if len(pool) < POOL_LIMIT:
             self._pooled = True
             pool.append(self)
         else:
+            self._retired = True
             self._home = None
+
+    def recycle(self) -> None:
+        """Discard any live in-transit door references, then release.
+
+        The sanctioned cleanup for failure paths: a request that never
+        reached its server (or a reply that never reached its caller) may
+        still park detached door references, which :meth:`release`
+        refuses to pool.  Recycle drops them — firing unreferenced
+        notifications exactly as an undelivered message must — and then
+        returns the buffer to its pool.
+        """
+        if self.live_door_count():
+            self.discard()
+        self.release()
 
     def _check_pristine(self) -> None:
         """Invariant check run when a pooled buffer is reacquired."""
@@ -379,5 +459,5 @@ class MarshalBuffer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<MarshalBuffer {len(self.data)}B doors={self.live_door_count()}"
-            f" pos={self._dec.pos}>"
+            f" pos={self._real_dec.pos}>"
         )

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["MarshalError", "WireTypeError", "BufferUnderflowError", "DoorVectorError"]
+__all__ = [
+    "MarshalError",
+    "WireTypeError",
+    "BufferUnderflowError",
+    "DoorVectorError",
+    "BufferLifecycleError",
+]
 
 
 class MarshalError(Exception):
@@ -24,3 +30,16 @@ class BufferUnderflowError(MarshalError):
 
 class DoorVectorError(MarshalError):
     """A door slot index did not name a live entry in the buffer's door vector."""
+
+
+class BufferLifecycleError(MarshalError):
+    """A pooled communication buffer was used outside its lifecycle.
+
+    Raised immediately at the misuse site — double release, release of a
+    buffer still parking live in-transit door references, or any put/get
+    on a buffer that has already been returned to its domain's pool —
+    instead of corrupting the pool and failing later via the
+    pristine-state check on reacquisition.  With ``REPRO_DEBUG=1`` the
+    first release site is recorded and included in double-release
+    messages.
+    """

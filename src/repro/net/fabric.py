@@ -115,10 +115,10 @@ class NetworkFabric:
 
         # Reply leg: partitions that formed mid-call lose the reply.
         if self.partitioned(src, dst):
-            reply.discard()
             # The reply never reaches the caller, so nobody else will
-            # recycle it; return it to its server-side pool here.
-            reply.release()
+            # clean it up: drop its in-transit doors and return it to its
+            # server-side pool here.
+            reply.recycle()
             raise NetworkPartitionError(
                 f"reply lost: machines {src.name!r} and {dst.name!r} partitioned"
             )

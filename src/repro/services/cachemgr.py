@@ -112,7 +112,13 @@ class _CacheFront:
         forward = MarshalBuffer(kernel)
         forward.put_string(opname)
         forward.graft_tail(request)
-        reply = kernel.door_call(domain, self.server_door, forward)
+        try:
+            reply = kernel.door_call(domain, self.server_door, forward)
+        finally:
+            # graft_tail stole the request's door vector; if the forward
+            # never reaches the server (or the server leaves slots
+            # unread), drop the leftovers so their refcounts unwind.
+            forward.discard()
 
         if cacheable and reply.live_door_count() == 0:
             self.manager.miss_count += 1

@@ -128,7 +128,10 @@ class MigratoryClient(ClientSubcontract):
         kernel = self.domain.kernel
         request = MarshalBuffer(kernel)
         request.put_string(_FETCH_OP)
-        reply = kernel.door_call(self.domain, rep.door, request)
+        try:
+            reply = kernel.door_call(self.domain, rep.door, request)
+        finally:
+            request.release()
         status = reply.get_int8()
         if status != STATUS_OK:
             # Someone else migrated it first, or the type refused; the
@@ -233,13 +236,14 @@ class MigratoryServer(ServerSubcontract):
         def handler(request: MarshalBuffer) -> MarshalBuffer:
             saved = request.read_pos
             op = request.get_string()
-            reply = MarshalBuffer(kernel)
             if state["moved"]:
+                reply = MarshalBuffer(kernel)
                 write_exception_status(
                     reply, SubcontractError("object has migrated away")
                 )
                 return reply
             if op == _FETCH_OP:
+                reply = MarshalBuffer(kernel)
                 write_ok_status(reply)
                 reply.put_string(_factory_name(type(impl)))
                 reply.put_bytes(impl.migrate_out())

@@ -324,15 +324,21 @@ class RawNetServer(ServerSubcontract):
         request.data.extend(whole)
         request.rewind()
         reply = MarshalBuffer(kernel)
-        kernel.clock.charge("indirect_call")  # subcontract -> server stubs
-        self.executions += 1
-        binding.skeleton.dispatch(self.domain, impl, request, reply, binding)
-        if reply.live_door_count():
-            raise MarshalError(
-                "rawnet reply may not carry door identifiers; the "
-                f"operation's result type is incompatible with {port}"
-            )
-        reply_payload = bytes(reply.data)
+        try:
+            kernel.clock.charge("indirect_call")  # subcontract -> server stubs
+            self.executions += 1
+            binding.skeleton.dispatch(self.domain, impl, request, reply, binding)
+            if reply.live_door_count():
+                raise MarshalError(
+                    "rawnet reply may not carry door identifiers; the "
+                    f"operation's result type is incompatible with {port}"
+                )
+            reply_payload = bytes(reply.data)
+        finally:
+            request.release()
+            # On the incompatible-result path the reply parks doors that
+            # will never be sent; drop them so their refcounts unwind.
+            reply.recycle()
         self._remember(key, reply_payload)
         self._send_reply(reply_machine, reply_port, msg_id, reply_payload)
 

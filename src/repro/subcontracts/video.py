@@ -85,8 +85,12 @@ class VideoClient(SingleDoorClient):
         buffer.put_string(op)
         buffer.put_string(machine_name)
         buffer.put_string(port)
-        reply = kernel.door_call(self.domain, obj._rep.door, buffer)
+        try:
+            reply = kernel.door_call(self.domain, obj._rep.door, buffer)
+        finally:
+            buffer.release()
         reply.get_int8()  # status; subscription control never fails soft
+        reply.release()
 
 
 class VideoServer(ServerSubcontract):

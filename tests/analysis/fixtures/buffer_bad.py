@@ -1,0 +1,70 @@
+"""Fixture: every buffer-lifecycle violation class springlint must catch.
+
+Not importable production code — parsed by the analyzer in tests.
+"""
+
+
+def leaks_on_fallthrough(domain):
+    buffer = domain.acquire_buffer()
+    buffer.put_int32(7)
+    # never released: falls off the end of the function
+
+
+def leaks_on_one_branch(domain, flag):
+    buffer = domain.acquire_buffer()
+    if flag:
+        buffer.release()
+    # else-path leaks: "not released on all control-flow paths"
+
+
+def double_release(domain):
+    buffer = domain.acquire_buffer()
+    buffer.release()
+    buffer.release()
+
+
+def use_after_release(domain):
+    buffer = domain.acquire_buffer()
+    buffer.release()
+    buffer.put_int32(1)
+
+
+def returns_released(domain):
+    buffer = domain.acquire_buffer()
+    buffer.release()
+    return buffer
+
+
+def leaks_on_early_return(domain, flag):
+    buffer = domain.acquire_buffer()
+    if flag:
+        return None
+    buffer.release()
+    return None
+
+
+def leaks_on_raise(domain, flag):
+    buffer = domain.acquire_buffer()
+    if flag:
+        raise ValueError("buffer is still open here")
+    buffer.release()
+
+
+def leaks_constructor(kernel):
+    from repro.marshal.buffer import MarshalBuffer
+
+    scratch = MarshalBuffer(kernel)
+    scratch.put_string("never freed")
+
+
+def reassigns_while_open(domain):
+    buffer = domain.acquire_buffer()
+    buffer = domain.acquire_buffer()  # first buffer is now unreachable
+    buffer.release()
+
+
+def leaks_per_iteration(domain, items):
+    for _ in items:
+        buffer = domain.acquire_buffer()
+        buffer.put_int32(1)
+    # each iteration abandons the previous buffer

@@ -1,0 +1,62 @@
+"""Fixture: buffer usage patterns springlint must accept unflagged."""
+
+
+def straight_line(domain):
+    buffer = domain.acquire_buffer()
+    buffer.put_int32(7)
+    buffer.release()
+
+
+def try_finally(domain):
+    buffer = domain.acquire_buffer()
+    try:
+        buffer.put_int32(7)
+        if buffer.size > 100:
+            return None
+        buffer.put_string("more")
+    finally:
+        buffer.release()
+    return None
+
+
+def recycled_on_failure(domain, door):
+    buffer = domain.acquire_buffer()
+    try:
+        buffer.put_door_transit(door)
+        raise ValueError("mid-call failure with doors in transit")
+    finally:
+        buffer.recycle()
+
+
+def released_on_both_branches(domain, flag):
+    buffer = domain.acquire_buffer()
+    if flag:
+        buffer.put_int32(1)
+        buffer.release()
+    else:
+        buffer.discard()
+        buffer.release()
+
+
+def ownership_transfer(domain):
+    buffer = domain.acquire_buffer()
+    buffer.put_string("caller now owns this")
+    return buffer
+
+
+def discard_then_release(domain):
+    buffer = domain.acquire_buffer()
+    buffer.discard()
+    buffer.release()
+
+
+def per_iteration_release(domain, items):
+    for item in items:
+        buffer = domain.acquire_buffer()
+        buffer.put_int32(item)
+        buffer.release()
+
+
+def suppressed_leak(domain):
+    buffer = domain.acquire_buffer()  # springlint: disable=buffer-lifecycle -- handed to C layer out of band
+    buffer.put_int32(1)

@@ -1,0 +1,37 @@
+"""Fixture: clock-discipline violations springlint must catch."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def wall_clock_direct():
+    return time.time()
+
+
+def wall_clock_monotonic():
+    return time.monotonic_ns()
+
+
+def wall_clock_aliased_from_import():
+    return pc()
+
+
+def wall_clock_datetime():
+    return datetime.now()
+
+
+def formatted_charge_name(clock, op):
+    clock.charge(f"invoke.{op}", 10)
+
+
+def concatenated_charge_name(clock, op):
+    clock.charge("invoke." + op, 10)
+
+
+def format_call_charge_name(clock, op):
+    clock.charge("invoke.{}".format(op), 10)
+
+
+def formatted_advance_category(clock, op):
+    clock.advance(5, f"net.{op}")

@@ -1,0 +1,87 @@
+"""Fixture: subcontract-conformance violations springlint must catch."""
+
+
+class ClientSubcontract:
+    """Stand-in root so the fixture is self-contained."""
+
+
+class ServerSubcontract:
+    """Stand-in root."""
+
+
+class MissingOpsClient(ClientSubcontract):
+    """Leaf client subcontract missing most required operations."""
+
+    id = "missing-ops"
+
+    def invoke(self, obj, buffer):
+        pass
+
+    # copy / consume / marshal_rep / unmarshal_rep all missing
+
+
+class NoWireIdClient(ClientSubcontract):
+    """Leaf with all ops but no wire id."""
+
+    def invoke(self, obj, buffer):
+        pass
+
+    def copy(self, obj):
+        pass
+
+    def consume(self, obj):
+        pass
+
+    def marshal_rep(self, rep, buffer):
+        pass
+
+    def unmarshal_rep(self, buffer, binding):
+        pass
+
+
+class BadSignatureClient(ClientSubcontract):
+    id = "bad-sig"
+
+    def invoke(self, obj):  # stubs pass (obj, buffer): too few params
+        pass
+
+    def copy(self, obj, extra, stuff):  # stubs pass (obj): too many required
+        pass
+
+    def consume(self, obj):
+        pass
+
+    def marshal_rep(self, rep, buffer):
+        pass
+
+    def unmarshal_rep(self, buffer, binding):
+        pass
+
+
+class SwallowsMarshalErrors(ClientSubcontract):
+    id = "swallower"
+
+    def invoke(self, obj, buffer):
+        try:
+            buffer.get_int32()
+        except MarshalError:  # noqa: F821 - fixture, never imported
+            return None  # swallowed: caller never learns the wire is bad
+
+    def copy(self, obj):
+        pass
+
+    def consume(self, obj):
+        pass
+
+    def marshal_rep(self, rep, buffer):
+        pass
+
+    def unmarshal_rep(self, buffer, binding):
+        pass
+
+
+class MissingRevokeServer(ServerSubcontract):
+    id = "no-revoke"
+
+    def export(self, impl, binding):
+        pass

@@ -1,0 +1,89 @@
+"""Fixture: conforming subcontracts springlint must accept."""
+
+
+class ClientSubcontract:
+    """Stand-in root."""
+
+
+class ServerSubcontract:
+    """Stand-in root."""
+
+
+class IntermediateClient(ClientSubcontract):
+    """Subclassed below, so leaf obligations (ops, id) don't apply."""
+
+    def invoke(self, obj, buffer):
+        pass
+
+    def copy(self, obj):
+        pass
+
+
+class CompleteClient(IntermediateClient):
+    """Leaf inheriting part of the vector, providing the rest."""
+
+    id = "complete"
+
+    def consume(self, obj):
+        pass
+
+    def marshal_rep(self, rep, buffer):
+        pass
+
+    def unmarshal_rep(self, buffer, binding):
+        pass
+
+
+class WrapsMarshalErrors(ClientSubcontract):
+    """Catching a marshal error is fine when the handler re-raises."""
+
+    id = "wrapper"
+
+    def invoke(self, obj, buffer):
+        try:
+            buffer.get_int32()
+        except MarshalError as exc:  # noqa: F821 - fixture, never imported
+            raise RuntimeError("bad reply") from exc
+
+    def copy(self, obj):
+        pass
+
+    def consume(self, obj):
+        pass
+
+    def marshal_rep(self, rep, buffer):
+        pass
+
+    def unmarshal_rep(self, buffer, binding):
+        pass
+
+
+class DefaultedParamsClient(ClientSubcontract):
+    """Extra defaulted/star parameters keep stub compatibility."""
+
+    id = "defaulted"
+
+    def invoke(self, obj, buffer, *, trace=False):
+        pass
+
+    def copy(self, obj, deep=False):
+        pass
+
+    def consume(self, obj, **hints):
+        pass
+
+    def marshal_rep(self, rep, buffer):
+        pass
+
+    def unmarshal_rep(self, buffer, binding):
+        pass
+
+
+class CompleteServer(ServerSubcontract):
+    id = "complete-server"
+
+    def export(self, impl, binding, **options):
+        pass
+
+    def revoke(self, obj):
+        pass

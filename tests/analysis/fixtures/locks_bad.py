@@ -1,0 +1,46 @@
+"""Fixture: lock-ordering cycles springlint must catch."""
+
+import threading
+
+
+class LexicalCycle:
+    """a -> b in one method, b -> a in another: classic AB/BA deadlock."""
+
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def first(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def second(self):
+        with self._b_lock:
+            with self._a_lock:
+                pass
+
+
+class CallCycle:
+    """Cycle through one level of calls: holder of x calls a method
+    that takes y, and vice versa."""
+
+    def __init__(self):
+        self._x_lock = threading.Lock()
+        self._y_lock = threading.Lock()
+
+    def outer_x(self):
+        with self._x_lock:
+            self.take_y()
+
+    def take_y(self):
+        with self._y_lock:
+            pass
+
+    def outer_y(self):
+        with self._y_lock:
+            self.take_x()
+
+    def take_x(self):
+        with self._x_lock:
+            pass

@@ -1,0 +1,53 @@
+"""Fixture: acyclic lock usage springlint must accept."""
+
+import threading
+
+
+class ConsistentOrder:
+    """a before b everywhere: the graph has edges but no cycle."""
+
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def first(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def second(self):
+        with self._a_lock:
+            self.leaf()
+
+    def leaf(self):
+        with self._b_lock:
+            pass
+
+
+class SingleLock:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def reentrant_looking(self):
+        with self._lock:
+            pass
+
+    def other(self):
+        with self._lock:
+            pass
+
+
+class NotActuallyLocks:
+    """A clock is not a mutex, and a call expression is a factory."""
+
+    def __init__(self, clock):
+        self.clock = clock
+
+    def tick(self):
+        with self.clock:
+            with open_lockfile():  # noqa: F821 - fixture, never imported
+                pass
+
+
+def open_lockfile():
+    raise NotImplementedError

@@ -1,0 +1,187 @@
+"""Engine-level tests: suppression, JSON output, CLI behaviour."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import default_analyzer
+from repro.analysis.engine import Finding, SourceModule, render_json
+from repro.analysis.__main__ import main
+
+LEAKY = """\
+def leak(domain):
+    buffer = domain.acquire_buffer()
+    buffer.put_int32(1)
+"""
+
+
+def run_source(source: str, path: str = "virtual.py"):
+    module = SourceModule(path, text=textwrap.dedent(source))
+    return default_analyzer().run_modules([module])
+
+
+# -- suppression --------------------------------------------------------
+
+
+def test_unsuppressed_source_is_flagged():
+    assert len(run_source(LEAKY)) == 1
+
+
+def test_line_suppression_silences_only_that_rule_on_that_line():
+    findings = run_source(
+        """\
+        def leak(domain):
+            buffer = domain.acquire_buffer()  # springlint: disable=buffer-lifecycle
+            buffer.put_int32(1)
+        """
+    )
+    assert findings == []
+
+
+def test_line_suppression_with_justification_comment():
+    findings = run_source(
+        """\
+        def leak(domain):
+            buffer = domain.acquire_buffer()  # springlint: disable=buffer-lifecycle -- ownership passes out of band
+            buffer.put_int32(1)
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_for_other_rule_does_not_silence():
+    findings = run_source(
+        """\
+        def leak(domain):
+            buffer = domain.acquire_buffer()  # springlint: disable=clock-discipline
+            buffer.put_int32(1)
+        """
+    )
+    assert len(findings) == 1
+    assert findings[0].rule == "buffer-lifecycle"
+
+
+def test_file_suppression_silences_whole_file():
+    findings = run_source(
+        "# springlint: disable-file=buffer-lifecycle\n" + LEAKY
+    )
+    assert findings == []
+
+
+def test_star_suppresses_every_rule():
+    findings = run_source(
+        """\
+        def leak(domain):
+            buffer = domain.acquire_buffer()  # springlint: disable=*
+            buffer.put_int32(1)
+        """
+    )
+    assert findings == []
+
+
+def test_disabled_and_selected_rule_sets():
+    module = SourceModule("virtual.py", text=LEAKY)
+    assert (
+        default_analyzer(disabled=frozenset({"buffer-lifecycle"})).run_modules(
+            [module]
+        )
+        == []
+    )
+    assert (
+        default_analyzer(selected=frozenset({"clock-discipline"})).run_modules(
+            [module]
+        )
+        == []
+    )
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    findings = default_analyzer().run_paths([bad])
+    assert len(findings) == 1
+    assert findings[0].rule == "parse"
+    assert findings[0].severity == "error"
+
+
+# -- output formats -----------------------------------------------------
+
+
+def test_human_format_is_path_line_col_severity_rule():
+    finding = Finding(
+        rule="demo", path="a.py", line=3, col=4,
+        severity="error", message="boom", hint="fix it",
+    )
+    text = finding.format_human()
+    assert text.startswith("a.py:3:4: error: [demo] boom")
+    assert "hint: fix it" in text
+
+
+def test_json_document_shape():
+    finding = Finding(
+        rule="demo", path="a.py", line=3, col=4,
+        severity="warning", message="boom",
+    )
+    doc = json.loads(render_json([finding], files_seen=7))
+    assert doc["version"] == 1
+    assert doc["files"] == 7
+    assert doc["counts"] == {"error": 0, "warning": 1}
+    assert doc["findings"] == [
+        {
+            "rule": "demo", "path": "a.py", "line": 3, "col": 4,
+            "severity": "warning", "message": "boom", "hint": "",
+        }
+    ]
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(LEAKY, encoding="utf-8")
+
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    capsys.readouterr()
+
+    assert main(["--json", str(dirty)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["error"] == 1
+    assert doc["findings"][0]["rule"] == "buffer-lifecycle"
+
+
+def test_cli_select_and_disable(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(LEAKY, encoding="utf-8")
+    assert main(["--disable", "buffer-lifecycle", str(dirty)]) == 0
+    assert main(["--select", "clock-discipline", str(dirty)]) == 0
+    assert main(["--select", "buffer-lifecycle", str(dirty)]) == 1
+
+
+def test_cli_rejects_unknown_rules_and_paths(tmp_path, capsys):
+    # A typo'd rule or path must not become a silent green run.
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    assert main(["--select", "buffer-lifecycl", str(clean)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+    assert main(["--disable", "nope", str(clean)]) == 2
+    capsys.readouterr()
+    assert main([str(tmp_path / "does-not-exist")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "buffer-lifecycle",
+        "subcontract-conformance",
+        "marshal-symmetry",
+        "lock-ordering",
+        "clock-discipline",
+    ):
+        assert name in out

@@ -1,0 +1,134 @@
+"""Per-rule positive/negative tests over the seeded fixtures.
+
+Each ``*_bad.py`` fixture deliberately violates one rule; springlint
+must flag every seeded violation (positive) and report nothing on the
+matching ``*_good.py`` fixture (negative).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import default_analyzer
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_rule(rule_name: str, fixture: str):
+    analyzer = default_analyzer(selected=frozenset({rule_name}))
+    return analyzer.run_paths([FIXTURES / fixture])
+
+
+def messages(findings) -> str:
+    return "\n".join(f.message for f in findings)
+
+
+# -- buffer-lifecycle ---------------------------------------------------
+
+
+def test_buffer_lifecycle_flags_every_seeded_violation():
+    findings = run_rule("buffer-lifecycle", "buffer_bad.py")
+    text = messages(findings)
+    assert "is never released" in text
+    assert "not released on all control-flow paths" in text
+    assert "double release" in text
+    assert "used after release" in text
+    assert "not released before return" in text
+    assert "not released when raising" in text
+    assert "overwritten while still open" in text
+    assert "acquired inside a loop" in text
+    # the MarshalBuffer() constructor is tracked, not just acquire_buffer()
+    assert any(f.message.startswith("buffer 'scratch'") for f in findings)
+    assert all(f.rule == "buffer-lifecycle" for f in findings)
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_buffer_lifecycle_accepts_correct_patterns():
+    assert run_rule("buffer-lifecycle", "buffer_good.py") == []
+
+
+def test_findings_carry_location_and_hint():
+    findings = run_rule("buffer-lifecycle", "buffer_bad.py")
+    assert findings, "fixture must produce findings"
+    for finding in findings:
+        assert finding.path.endswith("buffer_bad.py")
+        assert finding.line > 0
+        assert finding.hint
+
+
+# -- subcontract-conformance --------------------------------------------
+
+
+def test_conformance_flags_every_seeded_violation():
+    findings = run_rule("subcontract-conformance", "conformance_bad.py")
+    text = messages(findings)
+    for op in ("copy", "consume", "marshal_rep", "unmarshal_rep"):
+        assert f"does not implement required operation '{op}'" in text
+    assert "does not define a wire id" in text
+    assert "BadSignatureClient.invoke has an incompatible signature" in text
+    assert "BadSignatureClient.copy has an incompatible signature" in text
+    assert "SwallowsMarshalErrors silently swallows MarshalError" in text
+    assert "'MissingRevokeServer' does not implement required operation 'revoke'" in text
+
+
+def test_conformance_accepts_correct_subcontracts():
+    # Intermediate bases, inherited ops, wrapped-and-reraised marshal
+    # errors, and defaulted extra parameters must all pass.
+    assert run_rule("subcontract-conformance", "conformance_good.py") == []
+
+
+# -- marshal-symmetry ---------------------------------------------------
+
+
+def test_symmetry_flags_unpaired_kinds_in_both_directions():
+    findings = run_rule("marshal-symmetry", "symmetry_bad.py")
+    text = messages(findings)
+    assert "writes a 'int32' item that unmarshal_rep never reads" in text
+    assert "reads a 'bool' item that marshal_rep never writes" in text
+    # full marshal/unmarshal pairs are checked too, both directions
+    assert "marshal writes a 'bytes' item that unmarshal never reads" in text
+    assert "unmarshal reads a 'string' item that marshal never writes" in text
+
+
+def test_symmetry_accepts_paired_kinds():
+    # door_transit/door_id unify, peek counts as a read, loops and
+    # branches are fine (set comparison, not order proof), and a class
+    # defining only one half of a pair is not checked.
+    assert run_rule("marshal-symmetry", "symmetry_good.py") == []
+
+
+# -- lock-ordering ------------------------------------------------------
+
+
+def test_lock_ordering_reports_lexical_and_call_cycles():
+    findings = run_rule("lock-ordering", "locks_bad.py")
+    text = messages(findings)
+    assert "LexicalCycle._a_lock" in text and "LexicalCycle._b_lock" in text
+    assert "CallCycle._x_lock" in text and "CallCycle._y_lock" in text
+    assert all(f.severity == "warning" for f in findings)
+    assert len(findings) == 2  # one finding per distinct cycle
+
+
+def test_lock_ordering_accepts_consistent_order():
+    # Consistent a-before-b (lexically and through calls), repeated
+    # single-lock use, clocks, and with-Call() factories are all clean.
+    assert run_rule("lock-ordering", "locks_good.py") == []
+
+
+# -- clock-discipline ---------------------------------------------------
+
+
+def test_clock_discipline_flags_wall_clock_and_formatted_charges():
+    findings = run_rule("clock-discipline", "clock_bad.py")
+    text = messages(findings)
+    assert "time.time()" in text
+    assert "time.monotonic_ns()" in text
+    assert "pc()" in text  # from-import alias resolved to time.perf_counter
+    assert "datetime.now()" in text
+    assert text.count("formatted event name") == 4  # f-string, +, .format, advance
+
+
+def test_clock_discipline_accepts_sim_clock_and_constants():
+    # SimClock use, constant/hoisted charge names, charge_bytes, and a
+    # justified inline suppression must all pass.
+    assert run_rule("clock-discipline", "clock_good.py") == []

@@ -1,0 +1,152 @@
+"""Runtime buffer-lifecycle enforcement: the errors springlint's
+buffer-lifecycle rule predicts must actually fire, loudly and clearly,
+when the misuse happens at runtime."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.marshal.buffer as buffer_mod
+from repro.marshal.buffer import MarshalBuffer
+from repro.marshal.errors import BufferLifecycleError, MarshalError
+
+
+def noop_handler(kernel):
+    def handler(request):
+        return MarshalBuffer(kernel)
+
+    return handler
+
+
+class TestDoubleRelease:
+    def test_double_release_raises(self, kernel):
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.release()
+        with pytest.raises(BufferLifecycleError, match="double release"):
+            buffer.release()
+
+    def test_lifecycle_error_is_a_marshal_error(self, kernel):
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.release()
+        with pytest.raises(MarshalError):
+            buffer.release()
+
+    def test_pool_survives_the_misuse(self, kernel):
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.release()
+        with pytest.raises(BufferLifecycleError):
+            buffer.release()
+        assert domain._buffer_pool.count(buffer) == 1
+        reused = domain.acquire_buffer()
+        assert reused is buffer
+        reused.put_int32(7)
+        reused.release()
+
+    def test_unpooled_buffer_release_stays_a_noop(self, kernel):
+        buffer = MarshalBuffer(kernel)
+        buffer.put_int32(1)
+        buffer.release()
+        buffer.release()  # unpooled: no pool to corrupt, no error
+
+    def test_debug_mode_names_the_first_release_site(self, kernel, monkeypatch):
+        monkeypatch.setattr(buffer_mod, "_DEBUG", True)
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.release()  # this line should appear in the error
+        with pytest.raises(BufferLifecycleError) as excinfo:
+            buffer.release()
+        message = str(excinfo.value)
+        assert "first released at" in message
+        assert "test_buffer_lifecycle_runtime" in message
+
+    def test_without_debug_the_error_tells_you_how_to_get_the_site(
+        self, kernel, monkeypatch
+    ):
+        monkeypatch.setattr(buffer_mod, "_DEBUG", False)
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.release()
+        with pytest.raises(BufferLifecycleError, match="REPRO_DEBUG=1"):
+            buffer.release()
+
+
+class TestReleaseInTransit:
+    def test_release_with_live_transit_doors_raises(self, kernel):
+        server = kernel.create_domain("server")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        buffer = server.acquire_buffer()
+        buffer.put_door_id(server, ident)
+        with pytest.raises(BufferLifecycleError, match="in-transit door"):
+            buffer.release()
+
+    def test_recycle_is_the_sanctioned_cleanup(self, kernel):
+        server = kernel.create_domain("server")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        buffer = server.acquire_buffer()
+        buffer.put_door_id(server, ident)
+        buffer.recycle()  # discards the transit ref, then releases
+        assert server._buffer_pool.count(buffer) == 1
+
+    def test_discard_then_release_also_works(self, kernel):
+        server = kernel.create_domain("server")
+        ident = kernel.create_door(server, noop_handler(kernel))
+        buffer = server.acquire_buffer()
+        buffer.put_door_id(server, ident)
+        buffer.discard()
+        buffer.release()
+        assert server._buffer_pool.count(buffer) == 1
+
+    def test_recycle_on_clean_buffer_is_just_release(self, kernel):
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.put_int32(3)
+        buffer.recycle()
+        assert domain._buffer_pool.count(buffer) == 1
+
+
+class TestUseAfterRelease:
+    def test_put_after_release_raises(self, kernel):
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.release()
+        with pytest.raises(BufferLifecycleError, match="use-after-release"):
+            buffer.put_int32(1)
+
+    def test_get_after_release_raises(self, kernel):
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.put_int32(1)
+        buffer.rewind()
+        buffer.release()
+        with pytest.raises(BufferLifecycleError, match="use-after-release"):
+            buffer.get_int32()
+
+    def test_stale_handle_fails_even_after_reacquisition(self, kernel):
+        # Releasing hands the buffer to the pool; a caller that kept the
+        # old reference and the new owner must not share streams.  The
+        # stale handle is the same object, so after reacquire the new
+        # owner's streams are live again — this test pins the window in
+        # between: released but not yet reacquired.
+        domain = kernel.create_domain("d")
+        stale = domain.acquire_buffer()
+        stale.release()
+        with pytest.raises(BufferLifecycleError):
+            stale.put_string("stale write")
+        fresh = domain.acquire_buffer()
+        assert fresh is stale  # pool handed the object back
+        fresh.put_string("fresh write is fine")
+        fresh.release()
+
+    def test_reacquired_buffer_streams_work(self, kernel):
+        domain = kernel.create_domain("d")
+        buffer = domain.acquire_buffer()
+        buffer.put_int32(41)
+        buffer.release()
+        again = domain.acquire_buffer()
+        again.put_int32(42)
+        again.rewind()
+        assert again.get_int32() == 42
+        again.release()
