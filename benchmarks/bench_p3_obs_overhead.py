@@ -1,0 +1,177 @@
+"""P3 — observability overhead microbench (PR 3's tentpole gate).
+
+Measures the tracing layer's cost on the P1 hot path in both modes:
+
+* **disabled** (every kernel's default ``NULL_TRACER``): the hot path
+  pays exactly one attribute load and one branch per layer.  The PR gate
+  is that this regresses pre-observability ``general_wall_us`` by at
+  most 2%, and that disabled simulated time is *bit-for-bit* identical
+  to the pre-observability tree (asserted on every run against the
+  pinned :data:`PRE_OBS_GENERAL_SIM_US`).
+* **enabled** (``install_tracer``): every call opens the invoke, door,
+  handler, and skeleton spans.  Enabled sim time must exceed disabled by
+  exactly ``spans_per_call * trace_span_us`` — the tracer is honest
+  about its own probe cost and charges nothing else.
+
+How the ≤2% disabled-wall gate is enforced honestly: re-measuring the
+*seed* tree (zero code change) on the same machine at PR time came out
+10% above the walls recorded in BENCH_P1.json — comparing today's wall
+clock against a JSON recorded under different machine load measures the
+machine, not the code.  So the wall gate was applied as a same-session
+interleaved A/B against the pre-observability commit; the result is
+committed below as :data:`PR_AB_VS_PRE_OBS` and rides into
+``BENCH_P3.json``.  What *is* asserted on every run (and in tier-1 via
+the bench_smoke tests) are the machine-independent invariants: disabled
+sim time bit-for-bit equal to the recorded pre-observability figure,
+and the enabled delta exactly the tracer's own probes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_p1_hotpath import best_of, build_world
+from benchmarks.conftest import sim_us
+from repro.obs.tracer import install_tracer
+
+BENCH_P1_PATH = Path(__file__).parent / "BENCH_P1.json"
+
+#: tracing-disabled wall-us/call may regress at most this fraction
+#: versus the pre-observability tree measured in the same session
+DISABLED_OVERHEAD_GATE = 0.02
+
+#: general-stub sim-us/call recorded by the PRE-observability tree
+#: (BENCH_P1.json as committed by PR 1, before any tracer existed).
+#: Pinned here as a constant so the bit-for-bit disabled-mode parity
+#: gate survives BENCH_P1.json regenerations on this tree.  The sim
+#: clock is deterministic, so the check is machine-independent.
+PRE_OBS_GENERAL_SIM_US = 111.61000000010245
+
+#: spans opened per general-stub call on the single-machine P1 path:
+#: invoke + door + handler + skeleton
+SPANS_PER_GENERAL_CALL = 4
+
+#: the PR-time wall gate record: three interleaved best-of-8000 rounds of
+#: bench_p1 on this tree versus a worktree at the pre-observability
+#: commit (324467b), same machine, same session.  Best-of general wall:
+#: 8.76 instrumented vs 8.79 seed — the disabled path is at parity,
+#: inside the 2% gate (per-round spread on *either* tree was ~3%).
+PR_AB_VS_PRE_OBS = {
+    "pre_obs_commit": "324467b",
+    "rounds_per_sample": 8000,
+    "seed_general_wall_us": [8.80, 8.79, 8.94],
+    "instrumented_general_wall_us": [9.06, 8.76, 9.04],
+    "best_of_overhead_pct": round(100.0 * (8.76 - 8.79) / 8.79, 1),
+    "gate_pct": 100.0 * DISABLED_OVERHEAD_GATE,
+    "gate": "pass",
+}
+
+
+def recorded_p1() -> dict:
+    """The ``current`` block of the committed BENCH_P1.json, or ``{}``."""
+    if not BENCH_P1_PATH.exists():
+        return {}
+    return json.loads(BENCH_P1_PATH.read_text()).get("current", {})
+
+
+def run(rounds: int = 20000, warmup: int = 2000) -> dict:
+    """Run the P3 overhead bench; returns the measurement dict."""
+    # Two identical worlds; only one gets a live tracer.
+    kernel_off, _, general_off, special_off = build_world()
+    kernel_on, _, general_on, special_on = build_world()
+    tracer = install_tracer(kernel_on)
+
+    for _ in range(warmup):
+        general_off.total()
+        special_off.total()
+        general_on.total()
+        special_on.total()
+
+    model = kernel_on.clock.model
+    sim_off = min(sim_us(kernel_off, general_off.total) for _ in range(5))
+    sim_on = min(sim_us(kernel_on, general_on.total) for _ in range(5))
+
+    results = {
+        "rounds": rounds,
+        "disabled_general_wall_us": round(best_of(general_off.total, rounds), 2),
+        "enabled_general_wall_us": round(best_of(general_on.total, rounds), 2),
+        "disabled_specialized_wall_us": round(best_of(special_off.total, rounds), 2),
+        "enabled_specialized_wall_us": round(best_of(special_on.total, rounds), 2),
+        "disabled_general_sim_us": sim_off,
+        "enabled_general_sim_us": sim_on,
+        "spans_per_general_call": SPANS_PER_GENERAL_CALL,
+        "trace_span_us": model.trace_span_us,
+    }
+    results["enabled_wall_overhead_pct"] = round(
+        100.0
+        * (results["enabled_general_wall_us"] - results["disabled_general_wall_us"])
+        / results["disabled_general_wall_us"],
+        1,
+    )
+
+    baseline = recorded_p1()
+    baseline_wall = baseline.get("general_wall_us")
+    if baseline_wall:
+        results["baseline_general_wall_us"] = baseline_wall
+        results["disabled_vs_baseline_pct"] = round(
+            100.0
+            * (results["disabled_general_wall_us"] - baseline_wall)
+            / baseline_wall,
+            1,
+        )
+
+    # -- deterministic invariants (machine-independent) -----------------
+
+    # Disabled mode charges not one simulated nanosecond for tracing:
+    # sim time matches the recorded pre-observability tree bit-for-bit.
+    assert abs(sim_off - PRE_OBS_GENERAL_SIM_US) < 1e-6, (
+        f"tracing-disabled sim time drifted: {sim_off} != pre-observability "
+        f"record {PRE_OBS_GENERAL_SIM_US}"
+    )
+    # Enabled mode charges exactly its own probes, nothing else.
+    expected_probe = SPANS_PER_GENERAL_CALL * model.trace_span_us
+    assert sim_on - sim_off == pytest.approx(expected_probe), (
+        f"enabled-mode sim delta {sim_on - sim_off} != "
+        f"{SPANS_PER_GENERAL_CALL} spans * {model.trace_span_us}us"
+    )
+    # The enabled world really traced: spans were recorded (ring wraps).
+    assert tracer.spans(), "enabled world recorded no spans"
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def worlds():
+    kernel_off, _, general_off, _ = build_world()
+    kernel_on, _, general_on, _ = build_world()
+    install_tracer(kernel_on)
+    return general_off, general_on
+
+
+@pytest.mark.benchmark(group="P3-obs-overhead")
+def bench_p3_disabled_general(benchmark, worlds):
+    general_off, _ = worlds
+    benchmark(general_off.total)
+
+
+@pytest.mark.benchmark(group="P3-obs-overhead")
+def bench_p3_enabled_general(benchmark, worlds):
+    _, general_on = worlds
+    benchmark(general_on.total)
+
+
+@pytest.mark.bench_smoke
+def bench_p3_shape_and_record(record):
+    results = run(rounds=2000, warmup=500)
+    record("P3", f"disabled general: {results['disabled_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P3", f"enabled general:  {results['enabled_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P3", f"enabled overhead: {results['enabled_wall_overhead_pct']:+.1f}%")
+    if "disabled_vs_baseline_pct" in results:
+        record("P3", f"disabled vs BENCH_P1: {results['disabled_vs_baseline_pct']:+.1f}%")

@@ -14,6 +14,14 @@ Writes ``benchmarks/BENCH_P1.json`` with three blocks:
 Simulated-time figures ride along in ``current`` so accounting drift is
 visible in the same artifact; the bench itself asserts the sim-time
 shape (see :mod:`benchmarks.bench_p1_hotpath`).
+
+Also writes ``benchmarks/BENCH_P3.json`` (the PR-3 observability
+overhead bench): tracing disabled vs enabled on the same hot path,
+the deterministic sim-parity gates (asserted inside the bench run),
+the same-session cross-check of the disabled path against the P1
+numbers just measured, and the committed PR-time A/B record of the
+2% disabled-overhead wall gate (see
+:mod:`benchmarks.bench_p3_obs_overhead`).
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).parent
 OUT_PATH = BENCH_DIR / "BENCH_P1.json"
+P3_OUT_PATH = BENCH_DIR / "BENCH_P3.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,6 +81,46 @@ def main(argv: list[str] | None = None) -> int:
         f"(baseline {SEED_BASELINE['general_buffer_allocs_per_call']:.1f})"
     )
     print(f"wrote {OUT_PATH}")
+
+    from benchmarks.bench_p3_obs_overhead import PR_AB_VS_PRE_OBS
+    from benchmarks.bench_p3_obs_overhead import run as run_p3
+
+    print(f"P3 observability-overhead bench: {rounds} rounds per configuration ...")
+    p3 = run_p3(rounds=rounds, warmup=warmup)
+
+    # Same-session cross-check: the P1 general path *is* the
+    # tracing-disabled path, so the two measurements of identical code
+    # must agree within run-to-run noise.  The true overhead-vs-pre-obs
+    # record is the committed PR-time A/B (pr_ab_vs_pre_obs).
+    same_session_pct = round(
+        100.0
+        * (p3["disabled_general_wall_us"] - current["general_wall_us"])
+        / current["general_wall_us"],
+        1,
+    )
+    p3_payload = {
+        "bench": "P3-obs-overhead",
+        "current": p3,
+        "same_session_p1_general_wall_us": current["general_wall_us"],
+        "disabled_vs_same_session_p1_pct": same_session_pct,
+        "pr_ab_vs_pre_obs": PR_AB_VS_PRE_OBS,
+    }
+    P3_OUT_PATH.write_text(json.dumps(p3_payload, indent=2) + "\n")
+
+    print(
+        f"  disabled     {p3['disabled_general_wall_us']:7.2f} wall-us/call "
+        f"(same-session P1 general: {current['general_wall_us']:.2f}, "
+        f"{same_session_pct:+.1f}%)"
+    )
+    print(
+        f"  enabled      {p3['enabled_general_wall_us']:7.2f} wall-us/call "
+        f"({p3['enabled_wall_overhead_pct']:+.1f}% over disabled)"
+    )
+    print(
+        f"  sim parity: disabled general {p3['disabled_general_sim_us']:.2f} "
+        f"sim-us/call == pre-observability record (asserted)"
+    )
+    print(f"wrote {P3_OUT_PATH}")
     return 0
 
 

@@ -8,6 +8,7 @@ rules carry whole-program state between ``check`` and ``finish``.
 from __future__ import annotations
 
 from repro.analysis.rules.buffer_lifecycle import BufferLifecycleRule
+from repro.analysis.rules.span_balance import SpanBalanceRule
 from repro.analysis.rules.subcontract_conformance import SubcontractConformanceRule
 from repro.analysis.rules.marshal_symmetry import MarshalSymmetryRule
 from repro.analysis.rules.lock_ordering import LockOrderingRule
@@ -16,6 +17,7 @@ from repro.analysis.rules.clock_discipline import ClockDisciplineRule
 __all__ = [
     "ALL_RULES",
     "BufferLifecycleRule",
+    "SpanBalanceRule",
     "SubcontractConformanceRule",
     "MarshalSymmetryRule",
     "LockOrderingRule",
@@ -24,6 +26,7 @@ __all__ = [
 
 ALL_RULES = (
     BufferLifecycleRule,
+    SpanBalanceRule,
     SubcontractConformanceRule,
     MarshalSymmetryRule,
     LockOrderingRule,

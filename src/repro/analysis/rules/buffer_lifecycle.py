@@ -44,10 +44,10 @@ ESCAPED = "escaped"
 
 _CLOSED_ISH = {CLOSED, DISCARDED, ESCAPED}
 
-_ACQUIRE_METHODS = {"acquire_buffer"}
-_CTOR_NAMES = {"MarshalBuffer"}
-_RELEASERS = {"release", "recycle"}
-_DISCARDERS = {"discard"}
+_ACQUIRE_METHODS = frozenset({"acquire_buffer"})
+_CTOR_NAMES = frozenset({"MarshalBuffer"})
+_RELEASERS = frozenset({"release", "recycle"})
+_DISCARDERS = frozenset({"discard"})
 
 
 class _Var:
@@ -62,25 +62,45 @@ class _Var:
         return _Var(self.state, self.line, self.col)
 
 
-def _is_acquisition(node: ast.expr) -> bool:
-    if not isinstance(node, ast.Call):
-        return False
-    func = node.func
-    if isinstance(func, ast.Attribute) and func.attr in _ACQUIRE_METHODS:
-        return True
-    if isinstance(func, ast.Name) and func.id in _CTOR_NAMES:
-        return True
-    if isinstance(func, ast.Attribute) and func.attr in _CTOR_NAMES:
-        return True
-    return False
-
-
 def _names_in(node: ast.AST) -> set[str]:
     return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
 class _FunctionAnalysis:
-    """Abstract interpretation of one function body."""
+    """Abstract interpretation of one function body.
+
+    The control-flow machinery is parameterized by class attributes so
+    other paired-resource rules (span-balance) can subclass it with
+    their own acquire/close vocabulary while reusing the walker.
+    """
+
+    #: call shapes that create a tracked resource
+    acquire_methods: frozenset[str] = _ACQUIRE_METHODS
+    ctor_names: frozenset[str] = _CTOR_NAMES
+    #: method names that close / discard a tracked resource
+    releasers: frozenset[str] = _RELEASERS
+    discarders: frozenset[str] = _DISCARDERS
+    #: message vocabulary ("buffer ... acquired ... never released")
+    noun = "buffer"
+    acquired_word = "acquired"
+    closed_word = "released"
+    release_word = "release"
+    leak_hint = (
+        "release()/recycle() it in a finally block, or return it to "
+        "transfer ownership"
+    )
+    double_hint = (
+        "the second release corrupts the pool at runtime "
+        "(BufferLifecycleError); remove it"
+    )
+    use_hint = (
+        "a released buffer may already belong to another "
+        "caller; restructure so the release is last"
+    )
+    #: when True, ``with acquire() as x:`` (or ``with tracked_name:``)
+    #: is balanced by definition — the context manager closes on exit.
+    #: Buffers are not context managers, so this stays off here.
+    context_managed = False
 
     def __init__(self, rule: "BufferLifecycleRule", module: SourceModule, func_name: str):
         self.rule = rule
@@ -107,10 +127,21 @@ class _FunctionAnalysis:
             name,
             var.line,
             var.col,
-            f"buffer {name!r} acquired in {self.func_name!r} is {why}",
-            "release()/recycle() it in a finally block, or return it to "
-            "transfer ownership",
+            f"{self.noun} {name!r} {self.acquired_word} in {self.func_name!r} is {why}",
+            self.leak_hint,
         )
+
+    def _is_acquisition(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self.acquire_methods:
+            return True
+        if isinstance(func, ast.Name) and func.id in self.ctor_names:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in self.ctor_names:
+            return True
+        return False
 
     # -- interpretation -------------------------------------------------
 
@@ -123,9 +154,11 @@ class _FunctionAnalysis:
     def _check_fallthrough(self, env: dict[str, _Var]) -> None:
         for name, var in env.items():
             if var.state == OPEN:
-                self._leak(name, var, "never released")
+                self._leak(name, var, f"never {self.closed_word}")
             elif var.state == MAYBE:
-                self._leak(name, var, "not released on all control-flow paths")
+                self._leak(
+                    name, var, f"not {self.closed_word} on all control-flow paths"
+                )
 
     def _check_exit(self, env: dict[str, _Var], protected: frozenset[str], keep: set[str], why: str) -> None:
         """A return/raise leaves the function: open vars leak unless a
@@ -145,9 +178,8 @@ class _FunctionAnalysis:
                     name,
                     getattr(node, "lineno", var.line),
                     getattr(node, "col_offset", 0),
-                    f"buffer {name!r} used after release",
-                    "a released buffer may already belong to another "
-                    "caller; restructure so the release is last",
+                    f"{self.noun} {name!r} used after {self.release_word}",
+                    self.use_hint,
                 )
 
     def _merge(self, base: dict[str, _Var], branches: list[tuple[dict[str, _Var], bool]]) -> dict[str, _Var]:
@@ -187,7 +219,7 @@ class _FunctionAnalysis:
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
-                and node.func.attr in (_RELEASERS | _DISCARDERS)
+                and node.func.attr in (self.releasers | self.discarders)
                 and isinstance(node.func.value, ast.Name)
             ):
                 closers.add(node.func.value.id)
@@ -219,12 +251,22 @@ class _FunctionAnalysis:
                         self._use_check(stmt, {name: env[name]})
                     env[name] = _Var(ESCAPED, env[name].line, env[name].col)
                 keep = returned
-            self._check_exit(env, protected, keep, f"not released before return (line {stmt.lineno})")
+            self._check_exit(
+                env,
+                protected,
+                keep,
+                f"not {self.closed_word} before return (line {stmt.lineno})",
+            )
             return True
 
         if isinstance(stmt, ast.Raise):
             self._use_check(stmt, env)
-            self._check_exit(env, protected, set(), f"not released when raising (line {stmt.lineno})")
+            self._check_exit(
+                env,
+                protected,
+                set(),
+                f"not {self.closed_word} when raising (line {stmt.lineno})",
+            )
             return True
 
         if isinstance(stmt, (ast.Break, ast.Continue)):
@@ -254,7 +296,29 @@ class _FunctionAnalysis:
 
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
             for item in stmt.items:
+                if self.context_managed and self._is_acquisition(item.context_expr):
+                    # ``with begin_*(...) as name:`` — __exit__ closes it
+                    # on every path, including exceptions.
+                    if isinstance(item.optional_vars, ast.Name):
+                        env[item.optional_vars.id] = _Var(
+                            ESCAPED, stmt.lineno, stmt.col_offset
+                        )
+                    continue
                 self._use_check(item.context_expr, env)
+                ce = item.context_expr
+                if (
+                    self.context_managed
+                    and isinstance(ce, ast.Name)
+                    and ce.id in env
+                    and env[ce.id].state in (OPEN, MAYBE)
+                ):
+                    # ``with tracked_name:`` — the context manager takes
+                    # over closing responsibility.
+                    env[ce.id] = _Var(ESCAPED, env[ce.id].line, env[ce.id].col)
+                    if isinstance(item.optional_vars, ast.Name):
+                        env[item.optional_vars.id] = _Var(
+                            ESCAPED, stmt.lineno, stmt.col_offset
+                        )
             return self._block(stmt.body, env, protected)
 
         if isinstance(stmt, ast.Try):
@@ -295,8 +359,8 @@ class _FunctionAnalysis:
                 self._leak(
                     name,
                     var,
-                    "acquired inside a loop but not released by the end of "
-                    "the loop body",
+                    f"{self.acquired_word} inside a loop but not "
+                    f"{self.closed_word} by the end of the loop body",
                 )
         merged = self._merge({}, [(body_env, terminated), (dict(env), False)])
         env.clear()
@@ -328,7 +392,7 @@ class _FunctionAnalysis:
         targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
         if value is None:
             return
-        if _is_acquisition(value):
+        if self._is_acquisition(value):
             if len(targets) == 1 and isinstance(targets[0], ast.Name):
                 name = targets[0].id
                 prior = env.get(name)
@@ -358,23 +422,22 @@ class _FunctionAnalysis:
             name = value.func.value.id
             var = env[name]
             method = value.func.attr
-            if method in _RELEASERS:
+            if method in self.releasers:
                 if var.state == CLOSED:
                     self._emit(
                         "double-release",
                         name,
                         value.lineno,
                         value.col_offset,
-                        f"double release of buffer {name!r}",
-                        "the second release corrupts the pool at runtime "
-                        "(BufferLifecycleError); remove it",
+                        f"double {self.release_word} of {self.noun} {name!r}",
+                        self.double_hint,
                     )
                 else:
                     env[name] = _Var(CLOSED, var.line, var.col)
                 for arg in value.args:
                     self._use_check(arg, env)
                 return
-            if method in _DISCARDERS:
+            if method in self.discarders:
                 if var.state not in _CLOSED_ISH:
                     env[name] = _Var(DISCARDED, var.line, var.col)
                 return
@@ -388,6 +451,9 @@ class BufferLifecycleRule(Rule):
         "discarded, recycled, or returned on every control-flow path; "
         "flags double release and use-after-release"
     )
+    #: subclass hook: the walker class used per function (span-balance
+    #: swaps in its own vocabulary)
+    analysis_class = _FunctionAnalysis
 
     def finding(self, module: SourceModule, line: int, col: int, message: str, hint: str) -> Finding:
         return Finding(
@@ -403,6 +469,6 @@ class BufferLifecycleRule(Rule):
     def check(self, module: SourceModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                analysis = _FunctionAnalysis(self, module, node.name)
+                analysis = self.analysis_class(self, module, node.name)
                 analysis.run(node.body)
                 yield from analysis.findings

@@ -1,0 +1,67 @@
+"""span-balance: every tracing span begun on a path must be ended.
+
+The observability layer (``repro.obs.tracer``) hands out :class:`Span`
+objects from ``begin_span`` / ``begin_invoke`` / ``begin_handler``.  A
+span that is never ended stays on the tracer's per-thread stack forever:
+every later span in that thread parents under it, trace trees go bogus,
+and the per-domain ring never sees the record.  The sanctioned idioms
+are exactly the ones the buffer-lifecycle rule sanctions for pooled
+buffers — which is why this rule *is* that rule with a different
+vocabulary:
+
+* ``with tracer.begin_invoke(...) as span:`` — ``__exit__`` ends it on
+  every path, including exceptions (the preferred form);
+* ``span = tracer.begin_span(...)`` followed by ``span.end()`` in a
+  ``finally`` block;
+* returning the span to transfer ownership to the caller.
+
+Unlike buffers, spans *are* context managers, so ``with`` over an
+acquisition (or over an already-tracked span variable) counts as
+balanced.  ``Span.end()`` is idempotent at runtime, so a double end is
+not a crash — but it is dead code that usually marks a refactoring
+mistake, and reads of a span after ``end()`` silently record nothing,
+so both are still flagged.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.buffer_lifecycle import (
+    BufferLifecycleRule,
+    _FunctionAnalysis,
+)
+
+__all__ = ["SpanBalanceRule"]
+
+
+class _SpanAnalysis(_FunctionAnalysis):
+    acquire_methods = frozenset({"begin_span", "begin_invoke", "begin_handler"})
+    ctor_names = frozenset()
+    releasers = frozenset({"end"})
+    discarders = frozenset()
+    noun = "span"
+    acquired_word = "begun"
+    closed_word = "ended"
+    release_word = "end"
+    leak_hint = (
+        "use `with tracer.begin_...(...) as span:`, end() it in a "
+        "finally block, or return it to transfer ownership"
+    )
+    double_hint = (
+        "Span.end() is idempotent at runtime, but the second call is "
+        "dead code; remove it"
+    )
+    use_hint = (
+        "an ended span records nothing; annotate()/event() before end(), "
+        "or let the with-statement end it"
+    )
+    context_managed = True
+
+
+class SpanBalanceRule(BufferLifecycleRule):
+    name = "span-balance"
+    description = (
+        "tracer.begin_span()/begin_invoke()/begin_handler() results must "
+        "be ended on every control-flow path (with-statement, finally "
+        "block, or return); flags double end and use-after-end"
+    )
+    analysis_class = _SpanAnalysis

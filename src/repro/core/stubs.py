@@ -75,8 +75,21 @@ def remote_call(
     """Drive one object invocation through the subcontract vector."""
     obj._check_live()
     domain = obj._domain
-    clock = domain.kernel.clock
+    kernel = domain.kernel
+    clock = kernel.clock
     subcontract = obj._subcontract
+
+    if kernel.tracer.enabled:
+        return _traced_remote_call(
+            obj,
+            opname,
+            marshal_args,
+            unmarshal_results,
+            domain,
+            clock,
+            subcontract,
+            kernel.tracer,
+        )
 
     buffer = domain.acquire_buffer()
     try:
@@ -106,6 +119,48 @@ def remote_call(
     results = unmarshal_results(reply, domain)
     reply.release()
     return results
+
+
+def _traced_remote_call(
+    obj: SpringObject,
+    opname: str,
+    marshal_args: Callable[[MarshalBuffer], None],
+    unmarshal_results: Callable[[MarshalBuffer, "Domain"], Any],
+    domain: "Domain",
+    clock,
+    subcontract,
+    tracer,
+) -> Any:
+    """Traced twin of :func:`remote_call`: identical protocol, wrapped in
+    the client-side invoke span (the root of a fresh trace, or a child of
+    the thread's current span when called from inside a handler)."""
+    with tracer.begin_invoke(domain, opname, subcontract.id) as span:
+        buffer = domain.acquire_buffer()
+        try:
+            clock.charge("indirect_call")  # stubs -> subcontract (preamble)
+            subcontract.invoke_preamble(obj, buffer)
+            buffer.put_string(opname)
+            marshal_args(buffer)
+            span.annotate(request_bytes=buffer.size)
+            clock.charge("indirect_call")  # stubs -> subcontract (invoke)
+            reply = subcontract.invoke(obj, buffer)
+        finally:
+            buffer.recycle()
+
+        span.annotate(reply_bytes=reply.size)
+        status = reply.get_int8()
+        if status == STATUS_EXCEPTION:
+            remote_type = reply.get_string()
+            message = reply.get_string()
+            reply.recycle()
+            raise RemoteApplicationError(remote_type, message)
+        if status == STATUS_REVOKED:
+            message = reply.get_string()
+            reply.recycle()
+            raise RevokedObjectError(message)
+        results = unmarshal_results(reply, domain)
+        reply.release()
+        return results
 
 
 def remote_type_query(obj: SpringObject) -> tuple[str, ...]:

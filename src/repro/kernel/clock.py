@@ -51,6 +51,10 @@ class CostModel:
     door_delete_us: float = 4.0
     library_load_us: float = 25000.0
     memory_copy_byte_us: float = 0.005
+    # Tracing probe costs (repro.obs): charged only while a tracer is
+    # enabled, so untraced runs accumulate bit-for-bit identical totals.
+    trace_span_us: float = 0.6
+    trace_event_us: float = 0.15
 
 
 class _TallyShard:

@@ -58,6 +58,8 @@ class Domain:
         self.locals: dict[str, Any] = {}
         #: free-list of reusable marshal buffers (invocation hot path)
         self._buffer_pool: list[MarshalBuffer] = []
+        #: per-domain span ring; attached lazily by repro.obs when tracing
+        self._trace_ring: Any | None = None
 
     # ------------------------------------------------------------------
     # marshal-buffer pool (invocation hot path)

@@ -40,6 +40,7 @@ from repro.kernel.errors import (
     InvalidDoorError,
     ServerDiedError,
 )
+from repro.obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:
     from repro.marshal.buffer import MarshalBuffer
@@ -71,6 +72,10 @@ class Kernel:
         # calls lives on one thread), so the delivery path updates it
         # without touching the table lock.
         self._depth = threading.local()
+        #: the observability tracer; preinstalled no-op so hot paths pay
+        #: exactly one attribute read + one branch when tracing is off.
+        #: Replaced by repro.obs.install_tracer.
+        self.tracer = NULL_TRACER
 
     @property
     def call_depth(self) -> int:
@@ -245,6 +250,9 @@ class Kernel:
 
         buffer.seal_for_transmission(caller)
 
+        if self.tracer.enabled:
+            return self._traced_door_call(caller, door, server, buffer, self.tracer)
+
         if (
             self.fabric is not None
             and caller.machine is not None
@@ -254,12 +262,55 @@ class Kernel:
             reply = self.fabric(caller, door, buffer)
         else:
             self.clock.charge("door_call")
-            reply = self._deliver(door, buffer)
+            # Tracing was just checked off for this same synchronous call:
+            # go straight to the untraced delivery body.
+            reply = self._deliver_untraced(door, buffer)
         reply.seal_for_transmission(server)
         return reply
 
+    def _traced_door_call(
+        self,
+        caller: Domain,
+        door: Door,
+        server: Domain,
+        buffer: "MarshalBuffer",
+        tracer,
+    ) -> "MarshalBuffer":
+        """Traced twin of the door-call tail: opens the door span and
+        stamps the trace context onto the buffer's out-of-band slot so it
+        crosses the transmission boundary without touching the marshalled
+        bytes (domain isolation: only the two integers travel)."""
+        remote = (
+            self.fabric is not None
+            and caller.machine is not None
+            and server.machine is not None
+            and caller.machine is not server.machine
+        )
+        name = door.label or f"door#{door.uid}"
+        with tracer.begin_span(
+            caller, name, "door", door=door.uid, server=server.name, remote=remote
+        ) as span:
+            buffer.trace_ctx = span.ctx
+            try:
+                if remote:
+                    reply = self.fabric(caller, door, buffer)
+                else:
+                    self.clock.charge("door_call")
+                    reply = self._deliver(door, buffer)
+            finally:
+                buffer.trace_ctx = None
+            reply.seal_for_transmission(server)
+            return reply
+
     def _deliver(self, door: Door, buffer: "MarshalBuffer") -> "MarshalBuffer":
         """Run the handler leg of a door call on the server's machine."""
+        if self.tracer.enabled:
+            return self._traced_deliver(door, buffer, self.tracer)
+        return self._deliver_untraced(door, buffer)
+
+    def _deliver_untraced(self, door: Door, buffer: "MarshalBuffer") -> "MarshalBuffer":
+        """Untraced delivery body (callers that already know tracing is
+        off for this call — the local door-call tail — skip the re-check)."""
         server = door.server
         if not server.alive or door.state is DoorState.DEAD:
             raise ServerDiedError(
@@ -274,6 +325,32 @@ class Kernel:
         depth_local.value = depth + 1
         try:
             reply = door.handler(buffer)
+        finally:
+            depth_local.value = depth
+        return reply
+
+    def _traced_deliver(
+        self, door: Door, buffer: "MarshalBuffer", tracer
+    ) -> "MarshalBuffer":
+        """Traced twin of :meth:`_deliver`: the handler span's parent is
+        taken ONLY from the context that crossed the wire (the buffer's
+        out-of-band slot), never from the delivering thread's stack."""
+        server = door.server
+        if not server.alive or door.state is DoorState.DEAD:
+            raise ServerDiedError(
+                f"server domain {server.name!r} of door #{door.uid} has crashed"
+            )
+        if door.state is DoorState.REVOKED:
+            raise DoorRevokedError(f"door #{door.uid} has been revoked")
+        with self._table_lock:
+            door.calls_handled += 1
+        depth_local = self._depth
+        depth = getattr(depth_local, "value", 0)
+        depth_local.value = depth + 1
+        name = door.label or f"door#{door.uid}"
+        try:
+            with tracer.begin_handler(server, name, buffer.trace_ctx, door=door.uid):
+                reply = door.handler(buffer)
         finally:
             depth_local.value = depth
         return reply

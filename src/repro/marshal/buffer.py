@@ -101,6 +101,7 @@ class MarshalBuffer:
         "_real_enc",
         "_real_dec",
         "_released_at",
+        "trace_ctx",
     )
 
     def __init__(self, kernel: "Kernel | None" = None) -> None:
@@ -121,6 +122,10 @@ class MarshalBuffer:
         self._pooled = False
         self._retired = False
         self._released_at: str | None = None
+        #: out-of-band trace context ``(trace_id, span_id)`` stamped by the
+        #: kernel's traced door leg; like ``doors``, it crosses the
+        #: transmission boundary without entering the marshalled bytes.
+        self.trace_ctx: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     # write side
@@ -409,6 +414,7 @@ class MarshalBuffer:
         self.doors = []
         self.region = None
         self.sealed = False
+        self.trace_ctx = None
         self._real_dec.pos = 0
         # Stale handles now fail loudly on any put/get (use-after-release).
         self._enc = self._dec = _RELEASED_STREAM

@@ -54,6 +54,7 @@ class WireTag(enum.IntEnum):
     DOOR_SLOT = 0x09
     NIL = 0x0A
     OBJECT = 0x0B  # header preceding a marshalled Spring object
+    TRACE = 0x0C  # optional trailing trace context (repro.obs)
 
 
 class Encoder:
@@ -139,6 +140,16 @@ class Encoder:
         """Encode a sequence header with its element count."""
         self._data.append(WireTag.SEQUENCE)
         return 1 + self.put_varint(count)
+
+    def put_trace_ctx(self, trace_id: int, span_id: int) -> int:
+        """Encode a trace context item (tag + two varints).
+
+        In-band transports (rawnet fragment headers) append this only
+        while tracing is enabled, so the untraced wire format is
+        byte-for-byte unchanged.
+        """
+        self._data.append(WireTag.TRACE)
+        return 1 + self.put_varint(trace_id) + self.put_varint(span_id)
 
     def put_door_slot(self, slot: int) -> int:
         """Encode a door-vector slot index."""
@@ -295,6 +306,11 @@ class Decoder:
         chunk = self._data[self.pos : end]
         self.pos = end
         return chunk if type(chunk) is bytes else bytes(chunk)
+
+    def get_trace_ctx(self) -> tuple[int, int]:
+        """Decode a trace context item; returns ``(trace_id, span_id)``."""
+        self.expect_tag(WireTag.TRACE)
+        return (self.get_varint(), self.get_varint())
 
     def get_sequence_header(self) -> int:
         """Decode a sequence header; returns the element count."""

@@ -96,6 +96,26 @@ class NetworkFabric:
         self, caller: "Domain", door: "Door", buffer: "MarshalBuffer"
     ) -> "MarshalBuffer":
         """Kernel fabric hook: forward one door call between machines."""
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            src = caller.machine
+            dst = door.server.machine
+            with tracer.begin_span(
+                caller,
+                "fabric.carry",
+                "fabric",
+                src=src.name if src is not None else "?",
+                dst=dst.name if dst is not None else "?",
+                bytes=buffer.size,
+            ) as span:
+                reply = self._carry(caller, door, buffer)
+                span.annotate(reply_bytes=reply.size)
+                return reply
+        return self._carry(caller, door, buffer)
+
+    def _carry(
+        self, caller: "Domain", door: "Door", buffer: "MarshalBuffer"
+    ) -> "MarshalBuffer":
         src = caller.machine
         dst = door.server.machine
         assert src is not None and dst is not None
@@ -107,9 +127,9 @@ class NetworkFabric:
 
         # Request leg: translate outbound doors, pay wire time, translate
         # inbound doors, then the remote kernel's door traversal.
-        src.net_server.outbound(buffer.live_door_count())
+        src.net_server.outbound(buffer.live_door_count(), domain=caller)
         self._wire_time(buffer.size)
-        dst.net_server.inbound(buffer.live_door_count())
+        dst.net_server.inbound(buffer.live_door_count(), domain=door.server)
         self.kernel.clock.charge("door_call")
         reply = self.kernel._deliver(door, buffer)
 
@@ -122,9 +142,9 @@ class NetworkFabric:
             raise NetworkPartitionError(
                 f"reply lost: machines {src.name!r} and {dst.name!r} partitioned"
             )
-        dst.net_server.outbound_reply(reply.live_door_count())
+        dst.net_server.outbound_reply(reply.live_door_count(), domain=door.server)
         self._wire_time(reply.size)
-        src.net_server.inbound_reply(reply.live_door_count())
+        src.net_server.inbound_reply(reply.live_door_count(), domain=caller)
         # Shared regions do not span machines; never let one leak across.
         reply.region = None
         return reply

@@ -15,12 +15,19 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.kernel.domain import Domain
     from repro.net.machine import Machine
 
 __all__ = ["NetworkServer"]
 
 #: simulated cost of translating one door identifier to/from network form
 TRANSLATE_DOOR_US = 6.0
+
+#: span names, precomputed (clock-discipline: no hot-path formatting)
+_SPAN_OUTBOUND = "netserver.outbound"
+_SPAN_INBOUND = "netserver.inbound"
+_SPAN_OUTBOUND_REPLY = "netserver.outbound_reply"
+_SPAN_INBOUND_REPLY = "netserver.inbound_reply"
 
 
 class NetworkServer:
@@ -33,30 +40,41 @@ class NetworkServer:
         self.doors_exported = 0  # local identifiers -> network handles
         self.doors_imported = 0  # network handles -> local identifiers
 
-    def outbound(self, door_count: int) -> None:
+    def outbound(self, door_count: int, domain: "Domain | None" = None) -> None:
         """A request is leaving this machine carrying ``door_count`` doors."""
         self.calls_forwarded += 1
         self.doors_exported += door_count
-        self._charge(door_count)
+        self._charge(door_count, _SPAN_OUTBOUND, domain)
 
-    def inbound(self, door_count: int) -> None:
+    def inbound(self, door_count: int, domain: "Domain | None" = None) -> None:
         """A request is arriving at this machine carrying ``door_count`` doors."""
         self.doors_imported += door_count
-        self._charge(door_count)
+        self._charge(door_count, _SPAN_INBOUND, domain)
 
-    def outbound_reply(self, door_count: int) -> None:
+    def outbound_reply(self, door_count: int, domain: "Domain | None" = None) -> None:
         """A reply is leaving this machine carrying doors."""
         self.replies_forwarded += 1
         self.doors_exported += door_count
-        self._charge(door_count)
+        self._charge(door_count, _SPAN_OUTBOUND_REPLY, domain)
 
-    def inbound_reply(self, door_count: int) -> None:
+    def inbound_reply(self, door_count: int, domain: "Domain | None" = None) -> None:
         """A reply is arriving at this machine carrying doors."""
         self.doors_imported += door_count
-        self._charge(door_count)
+        self._charge(door_count, _SPAN_INBOUND_REPLY, domain)
 
-    def _charge(self, door_count: int) -> None:
+    def _charge(self, door_count: int, span_name: str, domain: "Domain | None") -> None:
+        kernel = self.machine.kernel
+        tracer = kernel.tracer
+        if tracer.enabled and domain is not None:
+            with tracer.begin_span(
+                domain, span_name, "netserver", machine=self.machine.name, doors=door_count
+            ):
+                if door_count:
+                    kernel.clock.advance(
+                        TRANSLATE_DOOR_US * door_count, "net_door_translate"
+                    )
+            return
         if door_count:
-            self.machine.kernel.clock.advance(
+            kernel.clock.advance(
                 TRANSLATE_DOOR_US * door_count, "net_door_translate"
             )

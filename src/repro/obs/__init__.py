@@ -1,0 +1,61 @@
+"""Observability for the subcontract runtime: causal tracing + metrics.
+
+The paper's whole point is that subcontracts hide machinery — replication,
+caching, reconnection — behind an unchanged stub boundary.  This package
+makes that hidden machinery observable per call: every invocation opens a
+**span** carrying a trace id and parent span id, the context rides the
+communication buffer across doors/fabric/netserver/skeleton hops, and the
+subcontracts annotate spans with the routing decisions they make (cluster
+member chosen, cache hit or miss, replicon failover, reconnect retries,
+rawnet retransmits).
+
+Design constraints (see ``docs/observability.md``):
+
+* **Near-zero disabled cost.**  Every kernel has a ``tracer`` attribute,
+  preinstalled as the no-op :data:`NULL_TRACER`; hot paths pay exactly one
+  attribute read plus one branch (``if kernel.tracer.enabled:``) and
+  delegate to a separate traced twin, so the disabled fast path stays
+  branch-for-branch what PR 1 tuned.
+* **Simulated and wall time.**  Span timestamps come from the kernel's
+  deterministic :class:`~repro.kernel.clock.SimClock`; wall-clock deltas
+  ride along for profiling real hardware.  The tracer's own probe cost is
+  charged to the clock (``trace_span`` / ``trace_event``) only while
+  tracing is enabled, so disabled runs are bit-for-bit identical.
+* **Per-domain ring collection.**  Finished spans land in a fixed-size
+  per-domain ring (no lock, no unbounded growth); exporters and the CLI
+  merge the rings.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace,
+    render_metrics,
+    render_summary,
+    render_tree,
+    span_record,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.ring import TraceRing
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, install_tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceRing",
+    "Tracer",
+    "chrome_trace",
+    "install_tracer",
+    "render_metrics",
+    "render_summary",
+    "render_tree",
+    "span_record",
+    "write_chrome_trace",
+    "write_jsonl",
+]

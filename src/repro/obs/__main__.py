@@ -1,0 +1,89 @@
+"""``python -m repro.obs`` — the trace toolchain CLI.
+
+Subcommands:
+
+* ``demo``     run the two-machine demo, print the trace tree, and
+  optionally export JSONL / Chrome trace files;
+* ``tree``     render a trace tree from a JSONL export;
+* ``summary``  render the span-latency summary from a JSONL export;
+* ``metrics``  run the demo and dump the per-subcontract metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.demo import run_demo
+from repro.obs.export import (
+    load_jsonl,
+    render_metrics,
+    render_summary,
+    render_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    env, tracer = run_demo()
+    spans = tracer.spans()
+    if args.jsonl:
+        count = write_jsonl(spans, args.jsonl)
+        print(f"wrote {count} spans to {args.jsonl}")
+    if args.chrome:
+        count = write_chrome_trace(spans, args.chrome)
+        print(f"wrote {count} trace events to {args.chrome}")
+    print(render_tree(spans))
+    print()
+    print(render_summary(spans))
+    print()
+    print(render_metrics(tracer.metrics))
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    print(render_tree(load_jsonl(args.path)))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    print(render_summary(load_jsonl(args.path)))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    env, tracer = run_demo()
+    print(render_metrics(tracer.metrics))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render invocation traces and per-subcontract metrics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the two-machine demo scenario")
+    demo.add_argument("--jsonl", help="also write spans to this JSONL file")
+    demo.add_argument("--chrome", help="also write a Chrome trace_event file")
+    demo.set_defaults(func=_cmd_demo)
+
+    tree = sub.add_parser("tree", help="render a trace tree from a JSONL export")
+    tree.add_argument("path", help="JSONL file written by write_jsonl")
+    tree.set_defaults(func=_cmd_tree)
+
+    summary = sub.add_parser("summary", help="span-latency summary from JSONL")
+    summary.add_argument("path", help="JSONL file written by write_jsonl")
+    summary.set_defaults(func=_cmd_summary)
+
+    metrics = sub.add_parser("metrics", help="run the demo and dump metrics")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

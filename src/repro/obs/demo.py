@@ -1,0 +1,148 @@
+"""The two-machine demo scenario behind ``python -m repro.obs demo``.
+
+Machines ``alpha`` (client + its cache manager) and ``beta`` (server +
+audit domains).  The server exports a **cluster** counter whose
+implementation makes a *nested* call to a singleton audit object in a
+sibling domain, and a **caching** store whose reads route through the
+client machine's cache front — so one run exercises the acceptance
+chain: client stub -> door -> fabric -> netserver -> skeleton -> nested
+server-side call, with cache hit/miss and cluster member-choice
+annotations on the spans.
+"""
+
+from __future__ import annotations
+
+from repro.idl.compiler import compile_idl
+from repro.marshal.buffer import MarshalBuffer
+from repro.obs.tracer import Tracer, install_tracer
+from repro.runtime.env import Environment
+from repro.subcontracts.caching import CachingServer
+from repro.subcontracts.cluster import ClusterServer
+from repro.subcontracts.singleton import SingletonServer
+
+__all__ = ["DEMO_IDL", "build_demo_world", "run_demo"]
+
+DEMO_IDL = """
+interface counter {
+    int32 add(int32 n);
+    int32 total();
+}
+
+interface store {
+    string get(string key);
+    void put(string key, string value);
+}
+
+interface audit {
+    void record(string what);
+}
+"""
+
+
+class AuditImpl:
+    """Singleton audit log living in its own domain on beta."""
+
+    def __init__(self) -> None:
+        self.entries: list[str] = []
+
+    def record(self, what: str) -> None:
+        self.entries.append(what)
+
+
+class CounterImpl:
+    """Cluster-exported counter; every add makes a nested audit call."""
+
+    def __init__(self, audit) -> None:
+        self.value = 0
+        self.audit = audit
+
+    def add(self, n: int) -> int:
+        self.value += n
+        self.audit.record(f"add:{n}")
+        return self.value
+
+    def total(self) -> int:
+        return self.value
+
+
+class StoreImpl:
+    """Caching-exported read-mostly store."""
+
+    def __init__(self) -> None:
+        self.data = {"motd": "subcontracts hide machinery"}
+        self.reads = 0
+
+    def get(self, key: str) -> str:
+        self.reads += 1
+        return self.data.get(key, "")
+
+    def put(self, key: str, value: str) -> None:
+        self.data[key] = value
+
+
+def _ship(env: Environment, src, dst, obj, binding):
+    buffer = MarshalBuffer(env.kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+def build_demo_world() -> dict:
+    """Stand up the two-machine world with tracing installed."""
+    env = Environment()
+    tracer = install_tracer(env.kernel)
+
+    alpha = env.machine("alpha")
+    beta = env.machine("beta")
+    env.install_cache_manager(alpha)
+
+    client = env.create_domain(alpha, "client")
+    server = env.create_domain(beta, "server")
+    audit_domain = env.create_domain(beta, "audit")
+
+    module = compile_idl(DEMO_IDL)
+    counter_binding = module.binding("counter")
+    store_binding = module.binding("store")
+    audit_binding = module.binding("audit")
+
+    audit_impl = AuditImpl()
+    audit_exported = SingletonServer(audit_domain).export(audit_impl, audit_binding)
+    # The server domain holds a proxy to the audit object: calls made
+    # from inside the counter handler are nested server-side calls.
+    audit_proxy = _ship(env, audit_domain, server, audit_exported, audit_binding)
+
+    counter_impl = CounterImpl(audit_proxy)
+    counter_exported = ClusterServer(server).export(counter_impl, counter_binding)
+    counter = _ship(env, server, client, counter_exported, counter_binding)
+
+    store_impl = StoreImpl()
+    store_exported = CachingServer(server).export(store_impl, store_binding)
+    store = _ship(env, server, client, store_exported, store_binding)
+
+    return {
+        "env": env,
+        "tracer": tracer,
+        "counter": counter,
+        "store": store,
+        "counter_impl": counter_impl,
+        "store_impl": store_impl,
+        "audit_impl": audit_impl,
+    }
+
+
+def run_demo() -> tuple[Environment, Tracer]:
+    """Run the scenario; returns the environment and its tracer."""
+    world = build_demo_world()
+    counter = world["counter"]
+    store = world["store"]
+
+    counter.add(3)  # cluster call with a nested audit call
+    counter.add(4)
+    assert counter.total() == 7
+
+    assert store.get("motd")  # cache miss: forwarded to the server
+    assert store.get("motd")  # cache hit: served on alpha
+    store.put("k", "v")  # write-through, invalidates the front
+    assert store.get("k") == "v"
+
+    return world["env"], world["tracer"]

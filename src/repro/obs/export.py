@@ -1,0 +1,283 @@
+"""Trace exporters and renderers: JSONL, Chrome trace_event, CLI text.
+
+Two wire formats:
+
+* **JSONL** — one :func:`span_record` dict per line; loss-free (all
+  events, attributes, wall deltas) and trivially greppable.
+* **Chrome ``trace_event``** — a JSON object loadable in
+  ``chrome://tracing`` / Perfetto.  Machines map to processes and
+  domains to threads (via ``M`` metadata records), spans become ``X``
+  complete events timed in simulated microseconds, and span events
+  become ``i`` instant events.
+
+The render helpers turn the same span list into the CLI's trace tree,
+latency summary, and metrics dump.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Span
+
+__all__ = [
+    "span_record",
+    "load_jsonl",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_tree",
+    "render_summary",
+    "render_metrics",
+]
+
+
+def span_record(span: "Span") -> dict:
+    """The loss-free dict form of one span (one JSONL line)."""
+    record = {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "category": span.category,
+        "subcontract": span.subcontract,
+        "domain": span.domain_name,
+        "machine": span.machine_name,
+        "start_sim_us": span.start_sim_us,
+        "end_sim_us": span.end_sim_us,
+        "duration_us": span.duration_us,
+        "wall_us": span.wall_us,
+        "status": span.status,
+    }
+    if span.error_type is not None:
+        record["error_type"] = span.error_type
+        record["error_message"] = span.error_message
+    if span.attrs:
+        record["attrs"] = dict(span.attrs)
+    if span.events:
+        record["events"] = list(span.events)
+    return record
+
+
+def write_jsonl(spans: "Iterable[Span]", path: str) -> int:
+    """Write one JSON record per span; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span_record(span), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str) -> list[dict]:
+    """Read back records written by :func:`write_jsonl`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def chrome_trace(spans: "Sequence[Span]") -> dict:
+    """Spans as a Chrome ``trace_event`` document (dict, JSON-ready).
+
+    Machines become processes, domains become threads; ids are assigned
+    in first-seen order and named with ``M`` metadata events so the
+    viewer shows real names instead of numbers.
+    """
+    pids: dict[str, int] = {}
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+
+    def _pid(machine: str) -> int:
+        pid = pids.get(machine)
+        if pid is None:
+            pid = pids[machine] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": machine or "(no machine)"},
+                }
+            )
+        return pid
+
+    def _tid(machine: str, domain: str) -> int:
+        tid = tids.get(domain)
+        if tid is None:
+            tid = tids[domain] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": _pid(machine),
+                    "tid": tid,
+                    "args": {"name": domain},
+                }
+            )
+        return tid
+
+    for span in spans:
+        pid = _pid(span.machine_name)
+        tid = _tid(span.machine_name, span.domain_name)
+        args: dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "status": span.status,
+            "wall_us": round(span.wall_us, 3),
+        }
+        if span.subcontract:
+            args["subcontract"] = span.subcontract
+        if span.error_type:
+            args["error_type"] = span.error_type
+        args.update(span.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "name": f"{span.category}:{span.name}",
+                "cat": span.category,
+                "pid": pid,
+                "tid": tid,
+                "ts": span.start_sim_us,
+                "dur": span.duration_us,
+                "args": args,
+            }
+        )
+        for evt in span.events:
+            detail = {k: v for k, v in evt.items() if k not in ("name", "ts_us")}
+            detail["span_id"] = span.span_id
+            events.append(
+                {
+                    "ph": "i",
+                    "name": evt["name"],
+                    "cat": span.category,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": evt["ts_us"],
+                    "s": "t",
+                    "args": detail,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: "Sequence[Span]", path: str) -> int:
+    """Write the Chrome trace document; returns the event count."""
+    doc = chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+# -- text renderers ----------------------------------------------------
+
+
+def _as_records(spans: "Sequence[Span] | Sequence[dict]") -> list[dict]:
+    out = []
+    for span in spans:
+        out.append(span if isinstance(span, dict) else span_record(span))
+    return out
+
+
+def render_tree(spans: "Sequence[Span] | Sequence[dict]") -> str:
+    """ASCII trace trees: one root block per trace id, children indented."""
+    records = _as_records(spans)
+    by_trace: dict[int, list[dict]] = defaultdict(list)
+    for rec in records:
+        by_trace[rec["trace_id"]].append(rec)
+
+    lines: list[str] = []
+    for trace_id in sorted(by_trace):
+        trace = sorted(by_trace[trace_id], key=lambda r: (r["start_sim_us"], r["span_id"]))
+        present = {r["span_id"] for r in trace}
+        children: dict[int, list[dict]] = defaultdict(list)
+        roots = []
+        for rec in trace:
+            if rec["parent_id"] in present:
+                children[rec["parent_id"]].append(rec)
+            else:
+                roots.append(rec)
+        lines.append(f"trace {trace_id}")
+
+        def _walk(rec: dict, depth: int) -> None:
+            mark = "" if rec["status"] == "ok" else "  !! " + str(
+                rec.get("error_type") or rec["status"]
+            )
+            sub = f" [{rec['subcontract']}]" if rec.get("subcontract") else ""
+            lines.append(
+                f"{'  ' * depth}- {rec['category']}:{rec['name']}{sub}"
+                f"  @{rec['domain']}/{rec['machine'] or '-'}"
+                f"  {rec['duration_us']:.2f}us{mark}"
+            )
+            for evt in rec.get("events", ()):
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in evt.items() if k not in ("name", "ts_us")
+                )
+                suffix = f" ({detail})" if detail else ""
+                lines.append(f"{'  ' * (depth + 1)}* {evt['name']}{suffix}")
+            for child in children.get(rec["span_id"], ()):
+                _walk(child, depth + 1)
+
+        for root in roots:
+            _walk(root, 1)
+    return "\n".join(lines)
+
+
+def render_summary(spans: "Sequence[Span] | Sequence[dict]") -> str:
+    """Per-(category, name) latency table: count, total, mean, max, errors."""
+    records = _as_records(spans)
+    groups: dict[tuple[str, str], list[dict]] = defaultdict(list)
+    for rec in records:
+        groups[(rec["category"], rec["name"])].append(rec)
+
+    header = f"{'span':<42} {'count':>6} {'total_us':>12} {'mean_us':>10} {'max_us':>10} {'errors':>6}"
+    lines = [header, "-" * len(header)]
+    for (category, name), recs in sorted(
+        groups.items(), key=lambda kv: -sum(r["duration_us"] for r in kv[1])
+    ):
+        durations = [r["duration_us"] for r in recs]
+        errors = sum(1 for r in recs if r["status"] != "ok")
+        lines.append(
+            f"{category + ':' + name:<42} {len(recs):>6} {sum(durations):>12.2f}"
+            f" {sum(durations) / len(durations):>10.2f} {max(durations):>10.2f}"
+            f" {errors:>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: "MetricsRegistry | dict") -> str:
+    """Human-readable per-subcontract metrics dump."""
+    snapshot = metrics if isinstance(metrics, dict) else metrics.snapshot()
+    lines: list[str] = []
+    for scope in sorted(snapshot):
+        lines.append(f"[{scope}]")
+        scoped = snapshot[scope]
+        for name, value in sorted(scoped.get("counters", {}).items()):
+            lines.append(f"  {name:<28} {value}")
+        for name, hist in sorted(scoped.get("histograms", {}).items()):
+            lines.append(
+                f"  {name:<28} count={hist['count']} mean={hist['mean']:.2f}"
+                f" sum={hist['sum']:.2f}"
+            )
+            bounds = hist["bounds"]
+            counts = hist["counts"]
+            for i, count in enumerate(counts):
+                if not count:
+                    continue
+                if i < len(bounds):
+                    label = f"< {bounds[i]:g}"
+                else:
+                    label = f">= {bounds[-1]:g}"
+                lines.append(f"    {label:<24} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Per-subcontract metrics: counters and fixed-bucket histograms.
+
+The registry is keyed by ``(scope, name)`` where the scope is normally a
+subcontract id (``"cluster"``, ``"caching"``, ...).  Histograms use fixed
+bucket bounds chosen at creation — no dynamic resizing, no percentile
+estimation — so observation is a bisect plus two float adds and snapshots
+are trivially mergeable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_US",
+    "BYTES_BUCKETS",
+    "RETRY_BUCKETS",
+]
+
+#: simulated-microsecond latency bounds, spanning a local indirect call
+#: (sub-µs) through cross-machine calls with retry backoff (hundreds of ms)
+LATENCY_BUCKETS_US = (
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+    10_000.0, 25_000.0, 50_000.0, 100_000.0, 250_000.0,
+)
+
+#: marshalled-payload size bounds
+BYTES_BUCKETS = (16.0, 64.0, 256.0, 1_024.0, 4_096.0, 16_384.0, 65_536.0)
+
+#: retry/retransmission-count bounds
+RETRY_BUCKETS = (0.0, 1.0, 2.0, 3.0, 5.0, 8.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per bound, plus sum and total.
+
+    ``bounds`` are upper edges: an observation lands in the first bucket
+    whose bound is strictly greater than the value, and observations at
+    or beyond the last bound land in the overflow bucket (``counts[-1]``).
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Iterable[float]) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Counters and histograms, keyed by (scope, name)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, str], Counter] = {}
+        self._histograms: dict[tuple[str, str], Histogram] = {}
+
+    def counter(self, scope: str, name: str) -> Counter:
+        key = (scope, name)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        return counter
+
+    def histogram(
+        self, scope: str, name: str, bounds: Iterable[float] = LATENCY_BUCKETS_US
+    ) -> Histogram:
+        key = (scope, name)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(bounds)
+        return histogram
+
+    def snapshot(self) -> dict:
+        """Nested ``{scope: {"counters": ..., "histograms": ...}}`` dict."""
+        out: dict[str, dict] = {}
+        for (scope, name), counter in sorted(self._counters.items()):
+            out.setdefault(scope, {"counters": {}, "histograms": {}})
+            out[scope]["counters"][name] = counter.value
+        for (scope, name), histogram in sorted(self._histograms.items()):
+            out.setdefault(scope, {"counters": {}, "histograms": {}})
+            out[scope]["histograms"][name] = histogram.snapshot()
+        return out

@@ -1,0 +1,74 @@
+"""Fixed-capacity span collection, one ring per domain.
+
+Spans are recorded where they finish — in the domain that opened them —
+so collection never crosses the domain-isolation boundary and concurrent
+domains never contend on a shared list.  The ring is lock-free under the
+GIL: the slot index comes from :func:`itertools.count` (a single atomic
+C-level increment) and the write is a single ``STORE_SUBSCR`` into a
+preallocated list.  When the ring wraps, the oldest spans are simply
+overwritten; :attr:`dropped` says how many were lost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Span
+
+__all__ = ["TraceRing", "DEFAULT_RING_CAPACITY"]
+
+#: default spans retained per domain before the ring wraps
+DEFAULT_RING_CAPACITY = 4096
+
+
+class TraceRing:
+    """A bounded ring of finished spans for one domain."""
+
+    __slots__ = ("capacity", "owner", "domain_name", "_slots", "_counter")
+
+    def __init__(
+        self, capacity: int = DEFAULT_RING_CAPACITY, owner: Any = None, domain_name: str = ""
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: the tracer this ring belongs to; a replacement tracer must not
+        #: adopt a predecessor's rings
+        self.owner = owner
+        self.domain_name = domain_name
+        self._slots: list["Span | None"] = [None] * capacity
+        self._counter = itertools.count()
+
+    def record(self, span: "Span") -> None:
+        """Store one finished span, overwriting the oldest on wrap."""
+        seq = next(self._counter)
+        span.seq = seq
+        self._slots[seq % self.capacity] = span
+
+    def spans(self) -> list["Span"]:
+        """Retained spans in the order they were recorded."""
+        out = [s for s in self._slots if s is not None]
+        out.sort(key=lambda s: s.seq)
+        return out
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever recorded (including overwritten ones)."""
+        retained = [s.seq for s in self._slots if s is not None]
+        return max(retained) + 1 if retained else 0
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to ring wraparound."""
+        return self.recorded - sum(1 for s in self._slots if s is not None)
+
+    def __len__(self) -> int:
+        return sum(1 for s in self._slots if s is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TraceRing {self.domain_name!r} {len(self)}/{self.capacity}"
+            f" dropped={self.dropped}>"
+        )

@@ -163,6 +163,24 @@ class Environment:
         return service
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def install_tracer(self, ring_capacity: int | None = None):
+        """Turn on end-to-end tracing for this world.
+
+        Every ``remote_call`` (and fused stub) from now on opens an
+        invoke span; context propagates through doors, the fabric, and
+        network servers into server-side dispatch.  Returns the live
+        :class:`repro.obs.tracer.Tracer` (also at ``env.kernel.tracer``).
+        """
+        from repro.obs.tracer import install_tracer
+
+        if ring_capacity is None:
+            return install_tracer(self.kernel)
+        return install_tracer(self.kernel, ring_capacity=ring_capacity)
+
+    # ------------------------------------------------------------------
     # naming conveniences
     # ------------------------------------------------------------------
 

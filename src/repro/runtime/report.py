@@ -21,6 +21,7 @@ _LABELS = {
     "door_copy": "door-identifier copies",
     "door_delete": "door-identifier deletes",
     "network": "network (latency + wire)",
+    "network_hop": "network hops",
     "net_door_translate": "network door translation",
     "marshal_byte": "marshalling (bytes)",
     "marshal_door_id": "marshalling (door ids)",
@@ -33,6 +34,8 @@ _LABELS = {
     "shm_setup": "shared-region setup",
     "stable_write": "stable-storage commits",
     "stable_scan": "stable-storage recovery scans",
+    "trace_span": "tracing (span probes)",
+    "trace_event": "tracing (event probes)",
     "explicit": "explicit delays",
 }
 

@@ -102,6 +102,8 @@ class _CacheFront:
             stored = self.entries.get(key)
             if stored is not None:
                 self.manager.hit_count += 1
+                if kernel.tracer.enabled:
+                    kernel.tracer.event("cache.hit", subcontract="caching", op=opname)
                 kernel.clock.charge("memory_copy_byte", len(stored))
                 reply = MarshalBuffer(kernel)
                 reply.data.extend(stored)
@@ -122,6 +124,8 @@ class _CacheFront:
 
         if cacheable and reply.live_door_count() == 0:
             self.manager.miss_count += 1
+            if kernel.tracer.enabled:
+                kernel.tracer.event("cache.miss", subcontract="caching", op=opname)
             self.entries[key] = bytes(reply.data)
         elif opname not in self.manager.cacheable and opname not in _NEUTRAL_OPS:
             # A write (or any unknown operation) went through: drop this

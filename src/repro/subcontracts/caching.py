@@ -77,6 +77,13 @@ class CachingClient(ClientSubcontract):
         # "Whenever the subcontract performs an invoke operation it uses
         # the D2 door identifier" — D1 only when no local cache exists.
         door = rep.cache_door if rep.cache_door is not None else rep.server_door
+        tracer = kernel.tracer
+        if tracer.enabled:
+            tracer.event(
+                "caching.route",
+                subcontract=self.id,
+                via="cache" if rep.cache_door is not None else "server",
+            )
         kernel.clock.charge("memory_copy_byte", buffer.size)
         reply = kernel.door_call(self.domain, door, buffer)
         kernel.clock.charge("memory_copy_byte", reply.size)

@@ -22,6 +22,7 @@ from repro.core.registry import ensure_registry
 from repro.core.stubs import write_revoked_status
 from repro.core.subcontract import ClientSubcontract, ServerSubcontract
 from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.common import peek_opname
 
 if TYPE_CHECKING:
     from repro.idl.rtypes import InterfaceBinding
@@ -56,6 +57,12 @@ class ClusterClient(ClientSubcontract):
 
     def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
         kernel = self.domain.kernel
+        tracer = kernel.tracer
+        if tracer.enabled:
+            rep: ClusterRep = obj._rep
+            tracer.event(
+                "cluster.member", subcontract=self.id, tag=rep.tag, door=rep.door.uid
+            )
         kernel.clock.charge("memory_copy_byte", buffer.size)
         reply = kernel.door_call(self.domain, obj._rep.door, buffer)
         kernel.clock.charge("memory_copy_byte", reply.size)
@@ -126,9 +133,19 @@ class ClusterServer(ServerSubcontract):
         tag = request.get_int32()
         entry = self.exports.get(tag)
         if entry is None:
+            if kernel.tracer.enabled:
+                kernel.tracer.event("cluster.revoked_tag", subcontract=self.id, tag=tag)
             write_revoked_status(reply, f"cluster tag {tag} has been revoked")
             return reply
         impl, binding = entry
+        tracer = kernel.tracer
+        if tracer.enabled:
+            with tracer.begin_span(
+                self.domain, peek_opname(request), "skeleton", interface=binding.name, tag=tag
+            ):
+                kernel.clock.charge("indirect_call")  # subcontract -> server stubs
+                binding.skeleton.dispatch(self.domain, impl, request, reply, binding)
+            return reply
         kernel.clock.charge("indirect_call")  # subcontract -> server stubs
         binding.skeleton.dispatch(self.domain, impl, request, reply, binding)
         return reply

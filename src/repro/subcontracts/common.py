@@ -17,7 +17,7 @@ if TYPE_CHECKING:
     from repro.idl.rtypes import InterfaceBinding
     from repro.kernel.domain import Domain
 
-__all__ = ["make_door_handler", "SingleDoorRep"]
+__all__ = ["make_door_handler", "peek_opname", "SingleDoorRep"]
 
 #: hook run by a handler before dispatch: (request, reply) -> None.  The
 #: request hook reads the subcontract's control information off the front
@@ -41,6 +41,7 @@ def make_door_handler(
     """
     kernel = domain.kernel
     skeleton = binding.skeleton
+    interface_name = binding.name
 
     def handler(request: MarshalBuffer) -> MarshalBuffer:
         # Pool-acquired: the consumer of the reply (normally the client's
@@ -48,11 +49,33 @@ def make_door_handler(
         reply = domain.acquire_buffer()
         if control_hook is not None:
             control_hook(request, reply)
+        if kernel.tracer.enabled:
+            with kernel.tracer.begin_span(
+                domain,
+                peek_opname(request),
+                "skeleton",
+                interface=interface_name,
+            ):
+                kernel.clock.charge("indirect_call")  # subcontract -> server stubs
+                skeleton.dispatch(domain, impl, request, reply, binding)
+            return reply
         kernel.clock.charge("indirect_call")  # subcontract -> server stubs
         skeleton.dispatch(domain, impl, request, reply, binding)
         return reply
 
     return handler
+
+
+def peek_opname(request: MarshalBuffer) -> str:
+    """Read the operation name at the request's current position without
+    consuming it (the skeleton re-reads it during dispatch)."""
+    saved = request.read_pos
+    try:
+        return request.get_string()
+    except Exception:
+        return "?"
+    finally:
+        request.read_pos = saved
 
 
 class SingleDoorRep:

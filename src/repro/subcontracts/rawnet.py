@@ -92,6 +92,7 @@ def _pack_fragment(
     reply_machine: str,
     reply_port: str,
     chunk: bytes,
+    trace_ctx: tuple[int, int] | None = None,
 ) -> bytes:
     data = bytearray()
     enc = Encoder(data)
@@ -102,12 +103,18 @@ def _pack_fragment(
     enc.put_string(reply_machine)
     enc.put_string(reply_port)
     enc.put_bytes(chunk)
+    if trace_ctx is not None:
+        # Optional trailing item: appended only while tracing is enabled,
+        # so the untraced packet format is byte-for-byte unchanged.
+        enc.put_trace_ctx(*trace_ctx)
     return bytes(data)
 
 
-def _unpack_fragment(payload: bytes) -> tuple[int, int, int, int, str, str, bytes]:
+def _unpack_fragment(
+    payload: bytes,
+) -> tuple[int, int, int, int, str, str, bytes, tuple[int, int] | None]:
     dec = Decoder(payload)
-    return (
+    fields = (
         dec.get_int8(),
         dec.get_int64(),
         dec.get_int32(),
@@ -116,6 +123,8 @@ def _unpack_fragment(payload: bytes) -> tuple[int, int, int, int, str, str, byte
         dec.get_string(),
         dec.get_bytes(),
     )
+    trace_ctx = dec.get_trace_ctx() if dec.pos < len(payload) else None
+    return fields + (trace_ctx,)
 
 
 class _Reassembler:
@@ -150,7 +159,7 @@ class _ClientEndpoint:
         fabric.register_port(domain.machine, self.port, self._receive)
 
     def _receive(self, payload: bytes) -> None:
-        kind, msg_id, index, count, _, _, chunk = _unpack_fragment(payload)
+        kind, msg_id, index, count, _, _, chunk, _ctx = _unpack_fragment(payload)
         if kind != _KIND_REPLY:
             return
         whole = self.reassembler.offer(msg_id, index, count, chunk)
@@ -195,10 +204,20 @@ class RawNetClient(ClientSubcontract):
         payload = bytes(buffer.data)
         fragments = _fragment(payload)
 
+        tracer = kernel.tracer
+        trace_ctx = tracer.current_ctx() if tracer.enabled else None
+
         # The attempt budget is a per-domain policy knob: lossier links
         # warrant more patience (domain.locals["rawnet_max_attempts"]).
         budget = self.domain.locals.get("rawnet_max_attempts", MAX_ATTEMPTS)
         for attempt in range(budget):
+            if attempt and tracer.enabled:
+                tracer.event(
+                    "rawnet.retransmit",
+                    subcontract=self.id,
+                    attempt=attempt,
+                    msg_id=msg_id,
+                )
             for index, chunk in enumerate(fragments):
                 fabric.send_datagram(
                     domain.machine,
@@ -212,10 +231,13 @@ class RawNetClient(ClientSubcontract):
                         domain.machine.name,
                         endpoint.port,
                         chunk,
+                        trace_ctx,
                     ),
                 )
             whole = endpoint.take(msg_id)
             if whole is not None:
+                if tracer.enabled:
+                    tracer.annotate(retries=attempt)
                 reply = MarshalBuffer(kernel)
                 reply.data.extend(whole)
                 reply.rewind()
@@ -299,7 +321,7 @@ class RawNetServer(ServerSubcontract):
     # ------------------------------------------------------------------
 
     def _receive(self, port: str, payload: bytes) -> None:
-        kind, msg_id, index, count, reply_machine, reply_port, chunk = (
+        kind, msg_id, index, count, reply_machine, reply_port, chunk, trace_ctx = (
             _unpack_fragment(payload)
         )
         if kind != _KIND_REQUEST:
@@ -313,12 +335,31 @@ class RawNetServer(ServerSubcontract):
             # A retransmitted request whose reply got lost: answer from
             # the cache, do NOT execute again (at-most-once).
             self.duplicates_served += 1
+            tracer = self.domain.kernel.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "rawnet.duplicate", subcontract=self.id, msg_id=msg_id, port=port
+                )
             self._send_reply(reply_machine, reply_port, msg_id, cached)
             return
         entry = self._exports.get(port)
         if entry is None:
             return  # revoked: silence, like a closed UDP port
         impl, binding = entry
+        tracer = self.domain.kernel.tracer
+        if tracer.enabled:
+            # The handler span's parent is the context carried in-band in
+            # the packet header — the packet is the only causal link.
+            with tracer.begin_handler(
+                self.domain, port, trace_ctx, transport="rawnet", msg_id=msg_id
+            ):
+                reply_payload = self._execute(port, impl, binding, whole)
+        else:
+            reply_payload = self._execute(port, impl, binding, whole)
+        self._remember(key, reply_payload)
+        self._send_reply(reply_machine, reply_port, msg_id, reply_payload)
+
+    def _execute(self, port: str, impl: Any, binding: "InterfaceBinding", whole: bytes) -> bytes:
         kernel = self.domain.kernel
         request = MarshalBuffer(kernel)
         request.data.extend(whole)
@@ -333,14 +374,12 @@ class RawNetServer(ServerSubcontract):
                     "rawnet reply may not carry door identifiers; the "
                     f"operation's result type is incompatible with {port}"
                 )
-            reply_payload = bytes(reply.data)
+            return bytes(reply.data)
         finally:
             request.release()
             # On the incompatible-result path the reply parks doors that
             # will never be sent; drop them so their refcounts unwind.
             reply.recycle()
-        self._remember(key, reply_payload)
-        self._send_reply(reply_machine, reply_port, msg_id, reply_payload)
 
     def _remember(self, key: tuple[str, str, int], payload: bytes) -> None:
         self.reply_cache[key] = payload

@@ -68,6 +68,7 @@ class ReconnectableClient(ClientSubcontract):
 
     def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
         kernel = self.domain.kernel
+        tracer = kernel.tracer
         rep: ReconnectableRep = obj._rep
         attempts = 0
         while True:
@@ -75,6 +76,8 @@ class ReconnectableClient(ClientSubcontract):
                 kernel.clock.charge("memory_copy_byte", buffer.size)
                 reply = kernel.door_call(self.domain, rep.door, buffer)
                 kernel.clock.charge("memory_copy_byte", reply.size)
+                if tracer.enabled:
+                    tracer.annotate(retries=attempts)
                 return reply
             except (CommunicationError, InvalidDoorError) as failure:
                 attempts += 1
@@ -83,6 +86,14 @@ class ReconnectableClient(ClientSubcontract):
                         f"reconnectable: gave up re-resolving {rep.name!r} "
                         f"after {self.max_retries} attempts"
                     ) from failure
+                if tracer.enabled:
+                    tracer.event(
+                        "reconnect.retry",
+                        subcontract=self.id,
+                        attempt=attempts,
+                        error=type(failure).__name__,
+                        backoff_us=RETRY_BACKOFF_US,
+                    )
                 kernel.clock.advance(RETRY_BACKOFF_US, "retry_backoff")
                 self._reconnect(rep)
 

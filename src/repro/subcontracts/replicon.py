@@ -63,22 +63,39 @@ class RepliconClient(ClientSubcontract):
 
     def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
         kernel = self.domain.kernel
+        tracer = kernel.tracer
         rep: RepliconRep = obj._rep
         #: replicas pruned during this invocation, for tests/benches
         pruned = 0
         while rep.doors:
             door = rep.doors[0]
             try:
+                if tracer.enabled:
+                    tracer.event(
+                        "replicon.member",
+                        subcontract=self.id,
+                        door=door.uid,
+                        epoch=rep.epoch,
+                    )
                 kernel.clock.charge("memory_copy_byte", buffer.size)
                 reply = kernel.door_call(self.domain, door, buffer)
-            except (CommunicationError, InvalidDoorError):
+            except (CommunicationError, InvalidDoorError) as exc:
                 # This replica is unreachable: delete the identifier from
                 # the target set and proceed to the next one.
                 rep.doors.pop(0)
                 self._quiet_delete(door)
                 pruned += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "replicon.failover",
+                        subcontract=self.id,
+                        door=door.uid,
+                        error=type(exc).__name__,
+                    )
                 continue
             kernel.clock.charge("memory_copy_byte", reply.size)
+            if tracer.enabled and pruned:
+                tracer.annotate(failovers=pruned)
             self._read_reply_control(rep, reply)
             return reply
         raise CommunicationError(
@@ -89,6 +106,7 @@ class RepliconClient(ClientSubcontract):
         updated = reply.get_bool()
         if not updated:
             return
+        tracer = self.domain.kernel.tracer
         new_epoch = reply.get_int32()
         count = reply.get_sequence_header()
         new_doors = [reply.get_door_id(self.domain) for _ in range(count)]
@@ -99,6 +117,14 @@ class RepliconClient(ClientSubcontract):
             return
         for door in rep.doors:
             self._quiet_delete(door)
+        if tracer.enabled:
+            tracer.event(
+                "replicon.epoch_update",
+                subcontract=self.id,
+                old_epoch=rep.epoch,
+                new_epoch=new_epoch,
+                members=len(new_doors),
+            )
         rep.doors = new_doors
         rep.epoch = new_epoch
 

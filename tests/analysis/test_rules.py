@@ -56,6 +56,41 @@ def test_findings_carry_location_and_hint():
         assert finding.hint
 
 
+# -- span-balance -------------------------------------------------------
+
+
+def test_span_balance_flags_every_seeded_violation():
+    findings = run_rule("span-balance", "spans_bad.py")
+    text = messages(findings)
+    assert "is never ended" in text
+    assert "not ended on all control-flow paths" in text
+    assert "double end of span 'span'" in text
+    assert "span 'span' used after end" in text
+    assert "not ended before return" in text
+    assert "not ended when raising" in text
+    assert "overwritten while still open" in text
+    assert "begun inside a loop" in text
+    assert all(f.rule == "span-balance" for f in findings)
+    assert all(f.severity == "error" for f in findings)
+    assert all(f.hint for f in findings)
+
+
+def test_span_balance_accepts_sanctioned_idioms():
+    # with-statement (aliased and bare), try/finally end, per-branch
+    # ends, ownership transfer via return, and nested with-spans.
+    assert run_rule("span-balance", "spans_good.py") == []
+
+
+def test_span_balance_does_not_fire_on_buffer_code():
+    # The vocabularies are disjoint: buffer fixtures contain no
+    # begin_*/end pairs, so the span rule stays silent on them.
+    assert run_rule("span-balance", "buffer_bad.py") == []
+
+
+def test_buffer_rule_ignores_span_code():
+    assert run_rule("buffer-lifecycle", "spans_bad.py") == []
+
+
 # -- subcontract-conformance --------------------------------------------
 
 

@@ -1,10 +1,11 @@
 """Smallest-config smoke runs of the perf benches, in tier-1.
 
 Each headline bench (E1 invocation overhead, E11 specialized stubs, P1
-hot path) gets one fast ``bench_smoke``-marked test here running its
-smallest configuration, so a hot-path regression that breaks a bench's
-*shape* assertions — sim-time drift, pool misbehaviour, specialization
-losing its edge — fails the ordinary test run, not just a manual bench
+hot path, P3 observability overhead) gets one fast ``bench_smoke``-marked
+test here running its smallest configuration, so a hot-path regression
+that breaks a bench's *shape* assertions — sim-time drift, pool
+misbehaviour, specialization losing its edge, the tracer charging time
+while disabled — fails the ordinary test run, not just a manual bench
 session.  Select just these with ``pytest -m bench_smoke``.
 
 Wall-clock *numbers* are never asserted here (CI machines vary); only
@@ -16,6 +17,11 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.bench_p1_hotpath import build_world, run
+from benchmarks.bench_p3_obs_overhead import (
+    PRE_OBS_GENERAL_SIM_US,
+    SPANS_PER_GENERAL_CALL,
+    run as run_p3,
+)
 from benchmarks.conftest import sim_us
 
 pytestmark = pytest.mark.bench_smoke
@@ -27,6 +33,14 @@ WARMUP = 100
 @pytest.fixture(scope="module")
 def p1_results():
     return run(rounds=ROUNDS, warmup=WARMUP)
+
+
+@pytest.fixture(scope="module")
+def p3_results():
+    # run() itself asserts the two deterministic P3 gates: disabled sim
+    # time bit-for-bit equal to the pre-observability record, and the
+    # enabled delta exactly the tracer's own probe charges.
+    return run_p3(rounds=ROUNDS, warmup=WARMUP)
 
 
 def test_e1_smoke_subcontract_tax_is_small(p1_results):
@@ -44,6 +58,22 @@ def test_e11_smoke_specialization_saves_indirect_calls(p1_results):
 
 def test_p1_smoke_pool_eliminates_buffer_allocations(p1_results):
     assert p1_results["general_buffer_allocs_per_call"] < 0.5
+
+
+def test_p3_smoke_disabled_tracing_charges_zero_sim_time(p3_results):
+    # The machine-independent form of the 2% overhead gate: with the
+    # default NULL_TRACER the sim clock's per-call total is bit-for-bit
+    # the pre-observability figure — tracing contributes nothing.
+    assert p3_results["disabled_general_sim_us"] == pytest.approx(
+        PRE_OBS_GENERAL_SIM_US, abs=1e-6
+    )
+
+
+def test_p3_smoke_enabled_tracing_charges_only_its_probes(p3_results):
+    delta = p3_results["enabled_general_sim_us"] - p3_results["disabled_general_sim_us"]
+    assert delta == pytest.approx(
+        SPANS_PER_GENERAL_CALL * p3_results["trace_span_us"]
+    )
 
 
 def test_p1_smoke_sim_time_is_deterministic():

@@ -1,0 +1,38 @@
+"""Shared world builders for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.marshal.buffer import MarshalBuffer
+from repro.obs.tracer import install_tracer
+from repro.runtime.env import Environment
+from repro.subcontracts.singleton import SingletonServer
+from tests.conftest import CounterImpl
+
+
+def ship(env, src, dst, obj, binding):
+    buffer = MarshalBuffer(env.kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+def build_counter_world(counter_module):
+    """A cross-machine singleton counter world, tracing NOT yet enabled."""
+    env = Environment()
+    server = env.create_domain("server-m", "server")
+    client = env.create_domain("client-m", "client")
+    binding = counter_module.binding("counter")
+    exported = SingletonServer(server).export(CounterImpl(), binding)
+    remote = ship(env, server, client, exported, binding)
+    return env, client, server, remote
+
+
+@pytest.fixture
+def traced_world(counter_module):
+    """The counter world with a tracer installed after setup, so the
+    rings hold only what the test itself does."""
+    env, client, server, remote = build_counter_world(counter_module)
+    tracer = install_tracer(env.kernel)
+    return env, tracer, client, server, remote

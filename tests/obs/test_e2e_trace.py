@@ -1,0 +1,147 @@
+"""The acceptance scenario: one trace id across the full invocation path.
+
+A cluster call from the client machine must produce a single trace whose
+spans cover client stub -> door -> fabric -> netserver -> handler ->
+skeleton -> nested server-side call, with subcontract annotations
+visible in both the JSONL and the Chrome exports.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.demo import build_demo_world
+from repro.obs.export import chrome_trace, load_jsonl, write_jsonl
+
+
+def cluster_trace(tracer):
+    """Spans of the counter.add trace, sorted by span id.
+
+    The naming service is itself cluster-exported, so world setup leaves
+    cluster-invoke traces too — select by operation name.
+    """
+    root = next(
+        s for s in tracer.spans()
+        if s.category == "invoke" and s.subcontract == "cluster" and s.name == "add"
+    )
+    return sorted(
+        (s for s in tracer.spans() if s.trace_id == root.trace_id),
+        key=lambda s: s.span_id,
+    )
+
+
+class TestSingleTraceAcrossTheStack:
+    def test_one_trace_id_spans_every_layer_and_the_nested_call(self):
+        world = build_demo_world()
+        world["counter"].add(5)
+        trace = cluster_trace(world["tracer"])
+
+        categories = {s.category for s in trace}
+        assert {
+            "invoke", "door", "fabric", "netserver", "handler", "skeleton"
+        } <= categories
+
+        # Both machines contributed spans to the same trace.
+        assert {s.machine_name for s in trace} >= {"alpha", "beta"}
+
+        # The nested server-side audit call joined the same trace.
+        nested = [
+            s for s in trace
+            if s.category == "invoke" and s.subcontract == "singleton"
+        ]
+        assert nested, "nested audit call must be part of the trace"
+        assert nested[0].name == "record"
+        # ...and it is causally *under* the server-side skeleton dispatch.
+        by_id = {s.span_id: s for s in trace}
+        ancestor = by_id.get(nested[0].parent_id)
+        seen = set()
+        while ancestor is not None and ancestor.span_id not in seen:
+            seen.add(ancestor.span_id)
+            if ancestor.category == "skeleton":
+                break
+            ancestor = by_id.get(ancestor.parent_id)
+        assert ancestor is not None and ancestor.category == "skeleton"
+
+    def test_every_span_parents_inside_the_trace(self):
+        world = build_demo_world()
+        world["counter"].add(5)
+        trace = cluster_trace(world["tracer"])
+        ids = {s.span_id for s in trace}
+        root = trace[0]
+        assert root.parent_id == 0
+        for span in trace[1:]:
+            assert span.parent_id in ids
+
+    def test_subcontract_annotations_reach_both_exports(self, tmp_path):
+        world = build_demo_world()
+        world["counter"].add(5)
+        world["store"].get("motd")  # miss
+        world["store"].get("motd")  # hit
+        tracer = world["tracer"]
+        spans = tracer.spans()
+
+        # Routing events landed on the spans themselves.
+        cluster_invoke = next(
+            s for s in spans
+            if s.category == "invoke" and s.subcontract == "cluster"
+            and s.name == "add"
+        )
+        assert any(e["name"] == "cluster.member" for e in cluster_invoke.events)
+        event_names = {e["name"] for s in spans for e in s.events}
+        assert {"cache.miss", "cache.hit"} <= event_names
+
+        # JSONL round-trips the same annotations.
+        path = tmp_path / "e2e.jsonl"
+        write_jsonl(spans, str(path))
+        records = load_jsonl(str(path))
+        trace_id = cluster_invoke.trace_id
+        chain = [r for r in records if r["trace_id"] == trace_id]
+        assert {
+            "invoke", "door", "fabric", "netserver", "handler", "skeleton"
+        } <= {r["category"] for r in chain}
+        assert any(r.get("subcontract") == "cluster" for r in chain)
+        assert any(
+            e["name"] == "cluster.member"
+            for r in chain for e in r.get("events", ())
+        )
+
+        # The Chrome export carries the same trace id and annotations.
+        doc = chrome_trace(spans)
+        json.dumps(doc)  # must be serializable as-is
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        chain_events = [e for e in complete if e["args"]["trace_id"] == trace_id]
+        assert {e["cat"] for e in chain_events} >= {
+            "invoke", "door", "fabric", "netserver", "handler", "skeleton"
+        }
+        assert any(e["args"].get("subcontract") == "cluster" for e in chain_events)
+        instants = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert {"cluster.member", "cache.miss", "cache.hit"} <= instants
+
+    def test_fused_stub_path_joins_tracing(self):
+        """specialize() stubs must open the same invoke span when traced."""
+        from repro.idl.compiler import compile_idl
+        from repro.idl.specialize import specialize
+        from repro.obs.tracer import install_tracer
+        from repro.runtime.env import Environment
+        from repro.subcontracts.singleton import SingletonServer
+        from tests.conftest import COUNTER_IDL, CounterImpl
+        from tests.obs.conftest import ship
+
+        module = compile_idl(COUNTER_IDL, module_name="obs.fused")
+        specialize(module, "counter", "singleton")
+
+        env = Environment()
+        server = env.create_domain("server-m", "server")
+        client = env.create_domain("client-m", "client")
+        binding = module.binding("counter")
+        exported = SingletonServer(server).export(CounterImpl(), binding)
+        # Fabricated after specialize(): the client object gets the
+        # fused table, not the general-purpose stubs.
+        remote = ship(env, server, client, exported, binding)
+        tracer = install_tracer(env.kernel)
+        assert remote.add(3) == 3
+        invoke = next(s for s in tracer.spans() if s.category == "invoke")
+        assert invoke.subcontract == "singleton"
+        assert invoke.attrs.get("fused") is True
+        assert invoke.attrs["request_bytes"] > 0
+        assert invoke.attrs["reply_bytes"] > 0

@@ -1,0 +1,147 @@
+"""Exporters (JSONL, Chrome trace_event), text renderers, and the CLI."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.export import (
+    chrome_trace,
+    load_jsonl,
+    render_metrics,
+    render_summary,
+    render_tree,
+    span_record,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+class TestJsonl:
+    def test_round_trip(self, traced_world, tmp_path):
+        env, tracer, _, _, remote = traced_world
+        remote.add(1)
+        spans = tracer.spans()
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(spans, str(path))
+        assert count == len(spans) > 0
+        records = load_jsonl(str(path))
+        assert [r["span_id"] for r in records] == [s.span_id for s in spans]
+        for rec in records:
+            for key in (
+                "trace_id", "parent_id", "name", "category", "domain",
+                "machine", "start_sim_us", "duration_us", "wall_us", "status",
+            ):
+                assert key in rec
+
+    def test_record_includes_errors_attrs_events(self, traced_world):
+        env, tracer, client, _, _ = traced_world
+        try:
+            with tracer.begin_span(client, "bad") as span:
+                span.annotate(k=1)
+                span.event("tick", n=2)
+                raise RuntimeError("nope")
+        except RuntimeError:
+            pass
+        rec = span_record(span)
+        assert rec["status"] == "error"
+        assert rec["error_type"] == "RuntimeError"
+        assert rec["attrs"] == {"k": 1}
+        assert rec["events"][0]["name"] == "tick"
+
+
+class TestChromeTrace:
+    def test_document_structure(self, traced_world, tmp_path):
+        env, tracer, client, _, remote = traced_world
+        remote.add(1)
+        with tracer.begin_span(client, "annotated") as span:
+            span.event("blip")
+        doc = chrome_trace(tracer.spans())
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i"} <= phases
+        process_names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert {"client-m", "server-m"} <= process_names
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all("trace_id" in e["args"] for e in complete)
+        assert any(e["name"].startswith("invoke:") for e in complete)
+
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer.spans(), str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == count == len(events)
+
+
+class TestRenderers:
+    def test_tree_nests_children_and_shows_events(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        remote.add(1)
+        tree = render_tree(tracer.spans())
+        assert tree.startswith("trace ")
+        assert "- invoke:add [singleton]" in tree
+        # The door span renders indented under the invoke span.
+        invoke_line = next(l for l in tree.splitlines() if "invoke:add" in l)
+        door_line = next(l for l in tree.splitlines() if "door:" in l)
+        assert len(door_line) - len(door_line.lstrip()) > len(invoke_line) - len(
+            invoke_line.lstrip()
+        )
+
+    def test_summary_aggregates_by_span(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        remote.add(1)
+        remote.add(2)
+        summary = render_summary(tracer.spans())
+        row = next(l for l in summary.splitlines() if "invoke:add" in l)
+        assert " 2 " in row  # count column
+
+    def test_metrics_renderer(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        remote.add(1)
+        text = render_metrics(tracer.metrics)
+        assert "[singleton]" in text
+        assert "invocations" in text
+        assert "invoke_sim_us" in text
+
+
+class TestCli:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.obs", *argv],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_demo_writes_both_exports(self, tmp_path):
+        jsonl = tmp_path / "demo.jsonl"
+        chrome = tmp_path / "demo-chrome.json"
+        result = self._run("demo", "--jsonl", str(jsonl), "--chrome", str(chrome))
+        assert result.returncode == 0, result.stderr
+        assert "trace " in result.stdout  # the tree
+        assert "invoke:add [cluster]" in result.stdout
+        assert jsonl.exists() and chrome.exists()
+        records = load_jsonl(str(jsonl))
+        assert records
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+        tree = self._run("tree", str(jsonl))
+        assert tree.returncode == 0 and "invoke:add" in tree.stdout
+        summary = self._run("summary", str(jsonl))
+        assert summary.returncode == 0 and "span" in summary.stdout
+
+    def test_metrics_subcommand(self):
+        result = self._run("metrics")
+        assert result.returncode == 0, result.stderr
+        assert "[cluster]" in result.stdout
+        assert "invocations" in result.stdout

@@ -1,0 +1,80 @@
+"""Metrics registry and the tracer's per-subcontract accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.demo import run_demo
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.runtime.faults import crash_domain
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram((10.0, 100.0))
+        h.observe(5.0)    # < 10
+        h.observe(50.0)   # < 100
+        h.observe(10.0)   # boundary: an exact bound lands in the next bucket
+        h.observe(1e6)    # overflow
+        assert h.counts == [1, 2, 1]
+        assert h.total == 4
+        assert h.mean == pytest.approx((5 + 50 + 10 + 1e6) / 4)
+
+    def test_histogram_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_registry_is_keyed_by_scope_and_name(self):
+        reg = MetricsRegistry()
+        reg.counter("cluster", "invocations").inc()
+        reg.counter("caching", "invocations").inc(2)
+        reg.histogram("cluster", "lat", (1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["cluster"]["counters"]["invocations"] == 1
+        assert snap["caching"]["counters"]["invocations"] == 2
+        assert snap["cluster"]["histograms"]["lat"]["count"] == 1
+
+
+class TestInvokeAccounting:
+    def test_invocations_and_size_histograms(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        remote.add(1)
+        remote.add(2)
+        snap = tracer.metrics.snapshot()
+        scoped = snap["singleton"]
+        assert scoped["counters"]["invocations"] == 2
+        assert "errors" not in scoped["counters"]
+        assert scoped["histograms"]["invoke_sim_us"]["count"] == 2
+        assert scoped["histograms"]["request_bytes"]["count"] == 2
+        assert scoped["histograms"]["reply_bytes"]["count"] == 2
+        assert scoped["histograms"]["request_bytes"]["sum"] > 0
+
+    def test_failed_invocation_counts_as_error(self, traced_world):
+        env, tracer, _, server, remote = traced_world
+        crash_domain(server)
+        with pytest.raises(Exception):
+            remote.add(1)
+        scoped = tracer.metrics.snapshot()["singleton"]
+        assert scoped["counters"]["invocations"] == 1
+        assert scoped["counters"]["errors"] == 1
+
+
+class TestSubcontractEventCounters:
+    def test_demo_counts_routing_events_per_subcontract(self):
+        _, tracer = run_demo()
+        snap = tracer.metrics.snapshot()
+        # At least the three counter calls (add, add, total) chose a
+        # member; naming-service resolves are cluster calls too.
+        assert snap["cluster"]["counters"]["events:cluster.member"] >= 3
+        # store.get: miss, hit, then a post-invalidation miss on "k".
+        assert snap["caching"]["counters"]["events:cache.miss"] >= 2
+        assert snap["caching"]["counters"]["events:cache.hit"] >= 1
+        # The demo's invoke spans all landed in per-subcontract scopes.
+        for scope in ("cluster", "caching", "singleton"):
+            assert snap[scope]["counters"]["invocations"] > 0

@@ -1,0 +1,126 @@
+"""Fault paths leave honest traces: error spans and ordered retry events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import CommunicationError, NetworkPartitionError
+from repro.marshal.buffer import MarshalBuffer
+from repro.obs.tracer import install_tracer
+from repro.runtime.env import Environment
+from repro.runtime.faults import crash_domain, partitioned
+from repro.subcontracts.reconnectable import ReconnectableServer
+from tests.conftest import CounterImpl
+
+
+def invoke_spans(tracer):
+    return [s for s in tracer.spans() if s.category == "invoke"]
+
+
+class TestCrash:
+    def test_crashed_server_yields_error_status_invoke_span(self, traced_world):
+        env, tracer, _, server, remote = traced_world
+        crash_domain(server)
+        with pytest.raises(Exception):
+            remote.add(1)
+        (span,) = invoke_spans(tracer)
+        assert span.status == "error"
+        assert span.error_type
+        assert span.error_message
+
+    def test_error_propagates_through_every_open_ancestor(self, traced_world):
+        env, tracer, _, server, remote = traced_world
+        crash_domain(server)
+        with pytest.raises(Exception):
+            remote.add(1)
+        (invoke,) = invoke_spans(tracer)
+        trace = [s for s in tracer.spans() if s.trace_id == invoke.trace_id]
+        # Whatever layers did open a span before the failure, none of
+        # them may report "ok" for a call that raised.
+        assert trace, "the failed call must still be traced"
+        assert all(s.status == "error" for s in trace)
+
+
+class TestPartition:
+    def test_partition_yields_error_spans_at_client_and_fabric(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        with partitioned(env.fabric, "server-m", "client-m"):
+            with pytest.raises(NetworkPartitionError):
+                remote.add(1)
+        (invoke,) = invoke_spans(tracer)
+        assert invoke.status == "error"
+        assert invoke.error_type == "NetworkPartitionError"
+        fabric_spans = [s for s in tracer.spans() if s.category == "fabric"]
+        assert fabric_spans
+        assert all(s.status == "error" for s in fabric_spans)
+        assert all(s.trace_id == invoke.trace_id for s in fabric_spans)
+
+    def test_healed_link_traces_clean_again(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        with partitioned(env.fabric, "server-m", "client-m"):
+            with pytest.raises(NetworkPartitionError):
+                remote.add(1)
+        remote.add(1)
+        statuses = [s.status for s in invoke_spans(tracer)]
+        assert statuses == ["error", "ok"]
+
+
+@pytest.fixture
+def reconnectable_world(counter_module):
+    env = Environment()
+    server = env.create_domain("servers", "server-1")
+    client = env.create_domain("clients", "client")
+    binding = counter_module.binding("counter")
+    obj = ReconnectableServer(server).export(
+        CounterImpl(), binding, name="/services/counter"
+    )
+    buffer = MarshalBuffer(env.kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(server)
+    remote = binding.unmarshal_from(buffer, client)
+    tracer = install_tracer(env.kernel)
+    return env, tracer, server, remote, binding
+
+
+class TestReconnectableRetries:
+    def test_recovery_records_retry_event_and_retries_attr(
+        self, reconnectable_world, counter_module
+    ):
+        env, tracer, server, remote, binding = reconnectable_world
+        crash_domain(server)
+        # Restart: a fresh domain re-exports under the same name.
+        fresh = env.create_domain("servers", "server-2")
+        ReconnectableServer(fresh).export(
+            CounterImpl(), binding, name="/services/counter"
+        )
+        assert remote.add(5) == 5
+        invoke = next(
+            s for s in tracer.spans()
+            if s.category == "invoke" and s.name == "add"
+        )
+        assert invoke.status == "ok"
+        assert invoke.attrs["retries"] >= 1
+        retries = [e for e in invoke.events if e["name"] == "reconnect.retry"]
+        assert retries
+        assert retries[0]["attempt"] == 1
+        assert retries[0]["error"]
+        assert retries[0]["backoff_us"] > 0
+
+    def test_give_up_records_every_retry_in_order(self, reconnectable_world):
+        env, tracer, server, remote, _ = reconnectable_world
+        crash_domain(server)  # no restart: re-resolution keeps failing
+        with pytest.raises(CommunicationError):
+            remote.add(1)
+        invoke = next(
+            s for s in tracer.spans()
+            if s.category == "invoke" and s.name == "add"
+        )
+        assert invoke.status == "error"
+        attempts = [
+            e["attempt"] for e in invoke.events if e["name"] == "reconnect.retry"
+        ]
+        assert attempts == list(range(1, len(attempts) + 1))
+        assert len(attempts) == remote._subcontract.max_retries
+        counters = tracer.metrics.snapshot()["reconnectable"]["counters"]
+        assert counters["events:reconnect.retry"] == len(attempts)
+        assert counters["errors"] == 1

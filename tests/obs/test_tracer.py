@@ -1,0 +1,159 @@
+"""Tracer core: spans, causal parenting, rings, and the disabled mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, install_tracer
+from repro.runtime.env import Environment
+from tests.obs.conftest import build_counter_world
+
+
+class TestSpans:
+    def test_span_records_to_its_domain_ring(self, traced_world):
+        env, tracer, client, _, _ = traced_world
+        with tracer.begin_span(client, "work") as span:
+            span.annotate(step=1)
+        spans = tracer.spans()
+        assert spans == [span]
+        assert span.domain_name == "client"
+        assert span.machine_name == "client-m"
+        assert span.end_sim_us >= span.start_sim_us
+        assert span.wall_us >= 0.0
+        assert span.attrs == {"step": 1}
+
+    def test_nested_spans_parent_via_thread_stack(self, traced_world):
+        env, tracer, client, _, _ = traced_world
+        with tracer.begin_span(client, "outer") as outer:
+            with tracer.begin_span(client, "inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == 0
+
+    def test_handler_parents_only_from_wire_context(self, traced_world):
+        env, tracer, client, server, _ = traced_world
+        with tracer.begin_span(client, "unrelated"):
+            joined = tracer.begin_handler(server, "h1", (77, 5))
+            joined.end()
+            fresh = tracer.begin_handler(server, "h2", None)
+            fresh.end()
+        # The wire context wins over the open span on the stack...
+        assert (joined.trace_id, joined.parent_id) == (77, 5)
+        # ...and no context at all means a brand-new trace, not adoption.
+        assert fresh.parent_id == 0
+        assert fresh.trace_id not in (77, joined.trace_id)
+
+    def test_context_manager_records_error(self, traced_world):
+        env, tracer, client, _, _ = traced_world
+        with pytest.raises(ValueError):
+            with tracer.begin_span(client, "doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.status == "error"
+        assert span.error_type == "ValueError"
+        assert span.error_message == "boom"
+
+    def test_end_is_idempotent(self, traced_world):
+        env, tracer, client, _, _ = traced_world
+        span = tracer.begin_span(client, "once")
+        span.end()
+        first_end = span.end_sim_us
+        env.clock.advance(10.0)
+        span.end()
+        assert span.end_sim_us == first_end
+        assert len(tracer.spans()) == 1
+
+    def test_events_carry_sim_timestamps(self, traced_world):
+        env, tracer, client, _, _ = traced_world
+        with tracer.begin_span(client, "evented") as span:
+            span.event("checkpoint", k="v")
+        (evt,) = span.events
+        assert evt["name"] == "checkpoint"
+        assert evt["k"] == "v"
+        assert span.start_sim_us <= evt["ts_us"] <= span.end_sim_us
+
+
+class TestClockCharges:
+    def test_traced_call_charges_probe_categories(self, traced_world):
+        env, tracer, client, _, remote = traced_world
+        env.clock.reset_tally()
+        remote.add(1)
+        tally = env.clock.tally()
+        assert tally.get("trace_span", 0) > 0
+
+    def test_disabled_run_charges_no_probe_time(self, counter_module):
+        env, _, _, remote = build_counter_world(counter_module)
+        env.clock.reset_tally()
+        remote.add(1)
+        tally = env.clock.tally()
+        assert "trace_span" not in tally
+        assert "trace_event" not in tally
+
+    def test_disabled_sim_totals_match_untraced_world_exactly(self, counter_module):
+        """Apart from its own probe categories, tracing must not shift a
+        single simulated microsecond between categories."""
+        plain_env, _, _, plain_remote = build_counter_world(counter_module)
+        traced_env, _, _, traced_remote = build_counter_world(counter_module)
+        install_tracer(traced_env.kernel)
+
+        plain_env.clock.reset_tally()
+        traced_env.clock.reset_tally()
+        for _ in range(3):
+            plain_remote.add(2)
+            traced_remote.add(2)
+
+        plain = plain_env.clock.tally()
+        traced = traced_env.clock.tally()
+        traced.pop("trace_span", None)
+        traced.pop("trace_event", None)
+        assert traced == plain
+
+
+class TestRings:
+    def test_ring_wraparound_drops_oldest(self, counter_module):
+        env, client, _, _ = build_counter_world(counter_module)
+        tracer = install_tracer(env.kernel, ring_capacity=4)
+        for i in range(10):
+            tracer.begin_span(client, f"s{i}").end()
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert [s.name for s in spans] == ["s6", "s7", "s8", "s9"]
+        assert tracer.dropped() == 6
+
+    def test_replacement_tracer_does_not_adopt_old_rings(self, counter_module):
+        env, client, _, _ = build_counter_world(counter_module)
+        first = install_tracer(env.kernel)
+        first.begin_span(client, "old").end()
+        second = install_tracer(env.kernel)
+        second.begin_span(client, "new").end()
+        assert [s.name for s in first.spans()] == ["old"]
+        assert [s.name for s in second.spans()] == ["new"]
+
+
+class TestDisabledMode:
+    def test_kernel_boots_with_the_shared_null_tracer(self):
+        env = Environment()
+        assert env.kernel.tracer is NULL_TRACER
+        assert env.kernel.tracer.enabled is False
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        with null.begin_span(None, "x") as span:
+            span.annotate(a=1)
+            span.event("e")
+        assert span.status == "ok"
+        assert null.current() is None
+        assert null.current_ctx() is None
+        null.event("e", subcontract="any")
+        null.annotate(a=1)
+        assert null.spans() == []
+        assert null.dropped() == 0
+
+    def test_env_install_tracer_convenience(self):
+        env = Environment()
+        tracer = env.install_tracer(ring_capacity=8)
+        assert env.kernel.tracer is tracer
+        assert tracer.enabled is True
+        assert tracer.ring_capacity == 8

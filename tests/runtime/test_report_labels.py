@@ -1,0 +1,66 @@
+"""Label-drift guard: every charged category must have a report label.
+
+``CostReport.lines`` falls back to the raw key for unknown categories, so
+a new charge site silently renders as its internal name.  This test walks
+``src/`` and asserts that every category charged anywhere — cost-model
+fields, ``charge("...")`` literals, and ``advance(..., "...")`` literals —
+has a human label in ``runtime.report._LABELS``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import fields
+from pathlib import Path
+
+from repro.kernel.clock import CostModel
+from repro.runtime.report import _LABELS, CostReport
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def charged_categories() -> set[str]:
+    """Every charge category statically reachable from src/."""
+    categories = set()
+    # Cost-model fields are charged by their field name minus the _us
+    # suffix (SimClock._units), plus the batched marshal_byte path.
+    for field in fields(CostModel):
+        assert field.name.endswith("_us")
+        categories.add(field.name[: -len("_us")])
+    # Literal-string charge/advance call sites.
+    for path in SRC.rglob("*.py"):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            arg_index = {"charge": 0, "charge_cycles": 0, "advance": 1}.get(func.attr)
+            if arg_index is None or len(node.args) <= arg_index:
+                continue
+            arg = node.args[arg_index]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                categories.add(arg.value)
+    # SimClock.advance defaults to this category.
+    categories.add("explicit")
+    return categories
+
+
+class TestLabelDrift:
+    def test_every_charged_category_has_a_label(self):
+        missing = charged_categories() - set(_LABELS)
+        assert not missing, (
+            f"charge categories missing a label in runtime.report._LABELS: "
+            f"{sorted(missing)}"
+        )
+
+    def test_trace_categories_are_labelled(self):
+        assert "trace_span" in _LABELS
+        assert "trace_event" in _LABELS
+
+    def test_report_renders_trace_rows(self):
+        report = CostReport({"trace_span": 12.0, "trace_event": 3.0})
+        text = str(report)
+        assert "tracing (span probes)" in text
+        assert "tracing (event probes)" in text

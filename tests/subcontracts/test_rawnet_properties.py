@@ -10,6 +10,7 @@ from repro.runtime.env import Environment
 from repro.subcontracts.rawnet import (
     MTU,
     RawNetServer,
+    _KIND_REQUEST,
     _fragment,
     _pack_fragment,
     _unpack_fragment,
@@ -56,7 +57,24 @@ class TestFragmentation:
             machine,
             port,
             chunk,
+            None,  # no trailing trace context when tracing is off
         )
+
+    @given(
+        msg_id=st.integers(1, 2**62),
+        chunk=st.binary(max_size=64),
+        trace_id=st.integers(1, 2**62),
+        span_id=st.integers(1, 2**62),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fragment_trace_ctx_round_trip(self, msg_id, chunk, trace_id, span_id):
+        packed = _pack_fragment(
+            _KIND_REQUEST, msg_id, 0, 1, "m", "p", chunk, (trace_id, span_id)
+        )
+        unpacked = _unpack_fragment(packed)
+        assert unpacked[1] == msg_id
+        assert unpacked[6] == chunk
+        assert unpacked[7] == (trace_id, span_id)
 
 
 class TestEndToEndPayloadProperty:
