@@ -1,0 +1,214 @@
+"""P4 — fault-plane overhead microbench (PR 4's robustness tentpole gate).
+
+Measures what the chaos/deadline/retry machinery costs the P1 hot path,
+in three configurations:
+
+* **uninstalled** (every kernel's default ``kernel.chaos = None``, no
+  deadline set): the hot path pays one attribute read and one branch per
+  interception point.  The PR gate is that this regresses pre-chaos
+  ``general_wall_us`` by at most 2% (same-session interleaved A/B, see
+  :data:`PR_AB_VS_PRE_CHAOS`), and that uninstalled simulated time is
+  *bit-for-bit* identical to the pre-chaos tree (asserted on every run
+  against the pinned :data:`PRE_CHAOS_GENERAL_SIM_US`).
+* **installed but quiet** (a ``FaultPlane`` with every rate at zero):
+  a zero rate draws nothing from the RNG and charges nothing to the
+  clock, so quiet-plane sim time must equal uninstalled sim time
+  bit-for-bit — installing the plane buys fault *capability*, not fault
+  *cost*.
+* **degraded** (rawnet under 1% / 5% datagram loss): deterministic
+  sim-us/call of the retransmission tax, asserted monotone in the loss
+  rate — the numbers the fault plane exists to produce.
+
+How the ≤2% uninstalled-wall gate was enforced honestly (same story as
+P3): wall clocks recorded in a JSON measure the machine of the day, so
+the gate was applied as a same-session interleaved A/B against the
+pre-chaos commit; the per-round spread on this host was large (~20%,
+shared machine), so the comparison statistic is the best-of across all
+alternating rounds — the floor each tree can reach — committed below in
+:data:`PR_AB_VS_PRE_CHAOS` and riding into ``BENCH_P4.json``.  What *is*
+asserted on every run are the machine-independent invariants: the two
+sim-time parities and the degraded-mode monotonicity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_p1_hotpath import best_of, build_world
+from benchmarks.conftest import COUNTER_IDL, CounterImpl, ship, sim_us
+from repro.idl.compiler import compile_idl
+from repro.kernel.clock import ClockWindow
+from repro.kernel.errors import CommunicationError
+from repro.runtime.chaos import install_chaos
+from repro.runtime.env import Environment
+from repro.subcontracts.rawnet import RawNetServer
+
+#: chaos-uninstalled wall-us/call may regress at most this fraction
+#: versus the pre-chaos tree measured in the same session
+UNINSTALLED_OVERHEAD_GATE = 0.02
+
+#: general-stub sim-us/call recorded by the PRE-chaos tree (the same
+#: tracing-disabled figure PR 3 pinned; the fault plane and the deadline
+#: gate charge nothing while idle, so it must not move).  The sim clock
+#: is deterministic, so the check is machine-independent.
+PRE_CHAOS_GENERAL_SIM_US = 111.61000000010245
+
+#: the PR-time wall gate record: ten alternating best-of-6000 rounds of
+#: the P1 general-stub probe on this tree versus a worktree at the
+#: pre-chaos commit (ddecf03), same machine, same session.  Per-round
+#: spread on either tree was ~20% (shared host drifting between rounds;
+#: each tree both won and lost individual pairs), so the comparison is
+#: floor-to-floor: best-of 9.19 instrumented vs 9.03 pre-chaos = +1.8%,
+#: inside the 2% gate.
+PR_AB_VS_PRE_CHAOS = {
+    "pre_chaos_commit": "ddecf03",
+    "rounds_per_sample": 6000,
+    "pre_chaos_general_wall_us": [
+        9.10, 9.23, 9.03, 9.20, 9.72, 10.97, 10.92, 11.56, 11.09, 11.96,
+    ],
+    "instrumented_general_wall_us": [
+        15.70, 11.70, 9.43, 11.23, 11.09, 9.39, 9.19, 11.80, 11.32, 11.53,
+    ],
+    "best_of_overhead_pct": round(100.0 * (9.19 - 9.03) / 9.03, 1),
+    "gate_pct": 100.0 * UNINSTALLED_OVERHEAD_GATE,
+    "gate": "pass",
+}
+
+#: datagram loss rates for the degraded-mode sweep
+DEGRADED_DROP_RATES = (0.0, 0.01, 0.05)
+
+
+def degraded_rawnet(drop: float, calls: int = 300) -> dict:
+    """Drive rawnet calls under ``drop`` datagram loss; sim-us/call.
+
+    Everything here is simulated time under a fixed seed, so the numbers
+    are deterministic and machine-independent: the retransmission tax is
+    a property of the loss rate and the RTO schedule, not of the host.
+    """
+    env = Environment(latency_us=200.0)
+    server = env.create_domain(env.machine("s"), "server")
+    client = env.create_domain(env.machine("c"), "client")
+    module = compile_idl(COUNTER_IDL, f"p4_rawnet_{int(drop * 1000)}")
+    binding = module.binding("counter")
+    exported = RawNetServer(server).export(CounterImpl(), binding)
+    obj = ship(env.kernel, server, client, exported, binding)
+    plane = env.install_chaos(seed=1)
+    plane.default_link.drop = drop
+
+    ok = failed = 0
+    with ClockWindow(env.clock) as window:
+        for _ in range(calls):
+            try:
+                obj.add(1)
+            except CommunicationError:
+                failed += 1
+            else:
+                ok += 1
+    per_call = window.elapsed_us / calls
+    return {
+        "drop_rate": drop,
+        "calls": calls,
+        "ok": ok,
+        "failed": failed,
+        "sim_us_per_call": round(per_call, 2),
+        "calls_per_sim_second": round(1e6 / per_call, 1),
+        "datagrams_dropped": plane.injected.get("datagram_drop", 0),
+    }
+
+
+def run(rounds: int = 20000, warmup: int = 2000, degraded_calls: int = 300) -> dict:
+    """Run the P4 overhead bench; returns the measurement dict."""
+    # Two identical P1 worlds; only one gets a (quiet) fault plane.
+    kernel_off, _, general_off, _ = build_world()
+    kernel_quiet, _, general_quiet, _ = build_world()
+    install_chaos(kernel_quiet, seed=0)  # every rate zero: capability only
+
+    for _ in range(warmup):
+        general_off.total()
+        general_quiet.total()
+
+    sim_off = min(sim_us(kernel_off, general_off.total) for _ in range(5))
+    sim_quiet = min(sim_us(kernel_quiet, general_quiet.total) for _ in range(5))
+
+    results = {
+        "rounds": rounds,
+        "uninstalled_general_wall_us": round(best_of(general_off.total, rounds), 2),
+        "quiet_plane_general_wall_us": round(best_of(general_quiet.total, rounds), 2),
+        "uninstalled_general_sim_us": sim_off,
+        "quiet_plane_general_sim_us": sim_quiet,
+        "degraded_rawnet": [
+            degraded_rawnet(drop, degraded_calls) for drop in DEGRADED_DROP_RATES
+        ],
+    }
+    results["quiet_plane_wall_overhead_pct"] = round(
+        100.0
+        * (results["quiet_plane_general_wall_us"] - results["uninstalled_general_wall_us"])
+        / results["uninstalled_general_wall_us"],
+        1,
+    )
+
+    # -- deterministic invariants (machine-independent) -----------------
+
+    # Uninstalled mode charges not one simulated nanosecond: sim time
+    # matches the recorded pre-chaos tree bit-for-bit.
+    assert abs(sim_off - PRE_CHAOS_GENERAL_SIM_US) < 1e-6, (
+        f"chaos-uninstalled sim time drifted: {sim_off} != pre-chaos "
+        f"record {PRE_CHAOS_GENERAL_SIM_US}"
+    )
+    # A quiet plane draws nothing and charges nothing: installing it must
+    # not move sim time at all.
+    assert sim_quiet == sim_off, (
+        f"quiet fault plane charged sim time: {sim_quiet} != {sim_off}"
+    )
+    # The retransmission tax grows with the loss rate, and the protocol
+    # still gets (essentially) every call through at these rates.
+    clean, light, heavy = results["degraded_rawnet"]
+    assert clean["sim_us_per_call"] < light["sim_us_per_call"] < heavy["sim_us_per_call"]
+    assert clean["failed"] == 0 and clean["datagrams_dropped"] == 0
+    assert heavy["datagrams_dropped"] > light["datagrams_dropped"] > 0
+    for entry in (light, heavy):
+        assert entry["ok"] >= 0.95 * entry["calls"], (
+            f"rawnet lost {entry['failed']} calls at drop={entry['drop_rate']}"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def worlds():
+    kernel_off, _, general_off, _ = build_world()
+    kernel_quiet, _, general_quiet, _ = build_world()
+    install_chaos(kernel_quiet, seed=0)
+    return general_off, general_quiet
+
+
+@pytest.mark.benchmark(group="P4-chaos-overhead")
+def bench_p4_uninstalled_general(benchmark, worlds):
+    general_off, _ = worlds
+    benchmark(general_off.total)
+
+
+@pytest.mark.benchmark(group="P4-chaos-overhead")
+def bench_p4_quiet_plane_general(benchmark, worlds):
+    _, general_quiet = worlds
+    benchmark(general_quiet.total)
+
+
+@pytest.mark.bench_smoke
+def bench_p4_shape_and_record(record):
+    results = run(rounds=2000, warmup=500, degraded_calls=150)
+    record("P4", f"uninstalled general: {results['uninstalled_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P4", f"quiet plane general: {results['quiet_plane_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P4", f"quiet plane overhead: {results['quiet_plane_wall_overhead_pct']:+.1f}%")
+    for entry in results["degraded_rawnet"]:
+        record(
+            "P4",
+            f"rawnet @ {entry['drop_rate']:.0%} loss: "
+            f"{entry['sim_us_per_call']:8.2f} sim-us/call "
+            f"({entry['calls_per_sim_second']:.0f} calls/sim-s, "
+            f"{entry['failed']} failed)",
+        )

@@ -22,6 +22,13 @@ the same-session cross-check of the disabled path against the P1
 numbers just measured, and the committed PR-time A/B record of the
 2% disabled-overhead wall gate (see
 :mod:`benchmarks.bench_p3_obs_overhead`).
+
+And ``benchmarks/BENCH_P4.json`` (the PR-4 fault-plane overhead bench):
+chaos uninstalled vs installed-but-quiet on the same hot path (both
+sim-parity gates asserted inside the run), the deterministic
+degraded-mode retransmission tax at 1% / 5% datagram loss, and the
+committed PR-time A/B record of the 2% uninstalled-overhead wall gate
+(see :mod:`benchmarks.bench_p4_chaos_overhead`).
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).parent
 OUT_PATH = BENCH_DIR / "BENCH_P1.json"
 P3_OUT_PATH = BENCH_DIR / "BENCH_P3.json"
+P4_OUT_PATH = BENCH_DIR / "BENCH_P4.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -121,6 +129,31 @@ def main(argv: list[str] | None = None) -> int:
         f"sim-us/call == pre-observability record (asserted)"
     )
     print(f"wrote {P3_OUT_PATH}")
+
+    from benchmarks.bench_p4_chaos_overhead import PR_AB_VS_PRE_CHAOS
+    from benchmarks.bench_p4_chaos_overhead import run as run_p4
+
+    print(f"P4 fault-plane overhead bench: {rounds} rounds per configuration ...")
+    p4 = run_p4(rounds=rounds, warmup=warmup)
+    p4_payload = {
+        "bench": "P4-chaos-overhead",
+        "current": p4,
+        "pr_ab_vs_pre_chaos": PR_AB_VS_PRE_CHAOS,
+    }
+    P4_OUT_PATH.write_text(json.dumps(p4_payload, indent=2) + "\n")
+
+    print(
+        f"  uninstalled  {p4['uninstalled_general_wall_us']:7.2f} wall-us/call; "
+        f"quiet plane {p4['quiet_plane_general_wall_us']:.2f} "
+        f"({p4['quiet_plane_wall_overhead_pct']:+.1f}%)"
+    )
+    for entry in p4["degraded_rawnet"]:
+        print(
+            f"  rawnet @ {entry['drop_rate']:4.0%} loss: "
+            f"{entry['sim_us_per_call']:8.2f} sim-us/call "
+            f"({entry['calls_per_sim_second']:.0f} calls/sim-s)"
+        )
+    print(f"wrote {P4_OUT_PATH}")
     return 0
 
 

@@ -58,6 +58,10 @@ class Domain:
         self.locals: dict[str, Any] = {}
         #: free-list of reusable marshal buffers (invocation hot path)
         self._buffer_pool: list[MarshalBuffer] = []
+        #: pool-lifecycle counters; at quiescence acquires == releases,
+        #: which is the no-leak invariant the chaos soak asserts
+        self.buffer_acquires = 0
+        self.buffer_releases = 0
         #: per-domain span ring; attached lazily by repro.obs when tracing
         self._trace_ring: Any | None = None
 
@@ -72,6 +76,7 @@ class Domain:
         resets it and returns it here.  List append/pop are atomic under
         the GIL, so domain threads share the pool without a lock.
         """
+        self.buffer_acquires += 1
         pool = self._buffer_pool
         if pool:
             buffer = pool.pop()

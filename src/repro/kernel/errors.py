@@ -18,6 +18,7 @@ __all__ = [
     "CommunicationError",
     "NetworkPartitionError",
     "ServerDiedError",
+    "DeadlineExceeded",
 ]
 
 
@@ -70,3 +71,15 @@ class NetworkPartitionError(CommunicationError):
 
 class ServerDiedError(CommunicationError):
     """The server domain crashed while (or before) handling the call."""
+
+
+class DeadlineExceeded(CommunicationError):
+    """The call's deadline expired before it completed.
+
+    A ``deadline_us`` installed with :func:`repro.runtime.deadline.deadline`
+    travels in the wire context next to the trace context and is enforced
+    at the door, fabric, and network-server legs.  It is a communication
+    failure — the server may or may not have executed the operation — but
+    retry policies treat it as *non-retryable*: the caller's time budget
+    is spent, so retrying would only dishonour the deadline further.
+    """

@@ -35,6 +35,7 @@ from repro.kernel.doors import (
 )
 from repro.kernel.domain import Domain
 from repro.kernel.errors import (
+    DeadlineExceeded,
     DoorAccessError,
     DoorRevokedError,
     InvalidDoorError,
@@ -46,6 +47,18 @@ if TYPE_CHECKING:
     from repro.marshal.buffer import MarshalBuffer
 
 __all__ = ["Kernel"]
+
+
+class _ThreadDeadline(threading.local):
+    """Per-thread deadline slot with a class-level default.
+
+    The default makes the unset read (`self._deadline.value`) an ordinary
+    attribute lookup; ``getattr(local, "value", None)`` on a fresh thread
+    is AttributeError-driven and ~6x slower — too hot for the gate that
+    runs on every door call.
+    """
+
+    value: float | None = None
 
 
 class Kernel:
@@ -76,6 +89,14 @@ class Kernel:
         #: exactly one attribute read + one branch when tracing is off.
         #: Replaced by repro.obs.install_tracer.
         self.tracer = NULL_TRACER
+        #: the fault plane (repro.runtime.chaos.FaultPlane) or None; like
+        #: the tracer, uninstalled costs one attribute read + one branch
+        #: per interception point and zero simulated time.
+        self.chaos = None
+        # Per-thread absolute call deadline (sim-us); installed by
+        # repro.runtime.deadline.deadline() and stamped onto buffers at
+        # door_call so the budget follows the call across machines.
+        self._deadline = _ThreadDeadline()
 
     @property
     def call_depth(self) -> int:
@@ -239,6 +260,18 @@ class Kernel:
         fabric, which forwards them to the remote machine's kernel leg.
         """
         caller.check_alive()
+
+        # Deadline gate: refuse to launch a call whose budget is spent.
+        # Checked before the capability, so a spent budget wins over a
+        # dead door — retry loops must see DeadlineExceeded (which they
+        # refuse to retry), not a retryable ServerDiedError.
+        dl = self._deadline.value
+        if dl is not None and self.clock.now_us >= dl:
+            raise DeadlineExceeded(
+                f"deadline passed before calling door #{ident.uid} "
+                f"({self.clock.now_us - dl:.1f} us over budget)"
+            )
+
         with self._table_lock:
             self._check_usable(caller, ident, for_call=True)
             door = ident.door
@@ -247,6 +280,16 @@ class Kernel:
             raise ServerDiedError(
                 f"server domain {server.name!r} of door #{door.uid} has crashed"
             )
+
+        # Stamp the deadline onto the buffer's out-of-band slot so the
+        # budget follows the call across machines (release/recycle clear
+        # the slot, so unbounded calls need no write here).
+        if dl is not None:
+            buffer.deadline_us = dl
+
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.on_door_call(caller, door)
 
         buffer.seal_for_transmission(caller)
 
@@ -320,6 +363,18 @@ class Kernel:
             raise DoorRevokedError(f"door #{door.uid} has been revoked")
         with self._table_lock:
             door.calls_handled += 1
+        # The request has been consumed: this is where a crash-mid-call
+        # lands (server dies before replying) and where an expired
+        # deadline is refused on arrival, before the handler runs.
+        dl = buffer.deadline_us
+        if dl is not None and self.clock.now_us >= dl:
+            raise DeadlineExceeded(
+                f"deadline passed before door #{door.uid} handler ran "
+                f"({self.clock.now_us - dl:.1f} us over budget)"
+            )
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.on_deliver(door)
         depth_local = self._depth
         depth = getattr(depth_local, "value", 0)
         depth_local.value = depth + 1
@@ -344,6 +399,15 @@ class Kernel:
             raise DoorRevokedError(f"door #{door.uid} has been revoked")
         with self._table_lock:
             door.calls_handled += 1
+        dl = buffer.deadline_us
+        if dl is not None and self.clock.now_us >= dl:
+            raise DeadlineExceeded(
+                f"deadline passed before door #{door.uid} handler ran "
+                f"({self.clock.now_us - dl:.1f} us over budget)"
+            )
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.on_deliver(door)
         depth_local = self._depth
         depth = getattr(depth_local, "value", 0)
         depth_local.value = depth + 1

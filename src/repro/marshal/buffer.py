@@ -102,6 +102,7 @@ class MarshalBuffer:
         "_real_dec",
         "_released_at",
         "trace_ctx",
+        "deadline_us",
     )
 
     def __init__(self, kernel: "Kernel | None" = None) -> None:
@@ -126,6 +127,10 @@ class MarshalBuffer:
         #: kernel's traced door leg; like ``doors``, it crosses the
         #: transmission boundary without entering the marshalled bytes.
         self.trace_ctx: tuple[int, int] | None = None
+        #: out-of-band absolute call deadline (sim-us) stamped by the
+        #: kernel at door_call; enforced at the fabric, netserver, and
+        #: delivery legs (see repro.runtime.deadline).
+        self.deadline_us: float | None = None
 
     # ------------------------------------------------------------------
     # write side
@@ -415,9 +420,11 @@ class MarshalBuffer:
         self.region = None
         self.sealed = False
         self.trace_ctx = None
+        self.deadline_us = None
         self._real_dec.pos = 0
         # Stale handles now fail loudly on any put/get (use-after-release).
         self._enc = self._dec = _RELEASED_STREAM
+        home.buffer_releases += 1
         pool = home._buffer_pool
         if len(pool) < POOL_LIMIT:
             self._pooled = True

@@ -17,7 +17,11 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Callable
 
-from repro.kernel.errors import NetworkPartitionError
+from repro.kernel.errors import (
+    CommunicationError,
+    DeadlineExceeded,
+    NetworkPartitionError,
+)
 from repro.net.machine import Machine
 
 if TYPE_CHECKING:
@@ -123,13 +127,24 @@ class NetworkFabric:
             raise NetworkPartitionError(
                 f"machines {src.name!r} and {dst.name!r} are partitioned"
             )
+        chaos = self.kernel.chaos
+        if chaos is not None:
+            # A dropped request leg raises before delivery; the caller's
+            # failure path cleans the request buffer up, exactly as it
+            # does for a pre-existing partition.
+            chaos.on_carry(src, dst, "request")
         self.calls_carried += 1
 
         # Request leg: translate outbound doors, pay wire time, translate
         # inbound doors, then the remote kernel's door traversal.
         src.net_server.outbound(buffer.live_door_count(), domain=caller)
-        self._wire_time(buffer.size)
+        self._wire_time(buffer.size, src, dst)
         dst.net_server.inbound(buffer.live_door_count(), domain=door.server)
+        dl = buffer.deadline_us
+        if dl is not None and self.kernel.clock.now_us >= dl:
+            raise DeadlineExceeded(
+                f"deadline passed on the request wire leg to {dst.name!r}"
+            )
         self.kernel.clock.charge("door_call")
         reply = self.kernel._deliver(door, buffer)
 
@@ -142,17 +157,41 @@ class NetworkFabric:
             raise NetworkPartitionError(
                 f"reply lost: machines {src.name!r} and {dst.name!r} partitioned"
             )
-        dst.net_server.outbound_reply(reply.live_door_count(), domain=door.server)
-        self._wire_time(reply.size)
-        src.net_server.inbound_reply(reply.live_door_count(), domain=caller)
+        if chaos is not None:
+            try:
+                chaos.on_carry(src, dst, "reply")
+            except CommunicationError:
+                # A dropped reply is lost exactly like a reply lost to a
+                # partition: recycle it here, nobody else will.
+                reply.recycle()
+                raise
+        try:
+            dst.net_server.outbound_reply(reply.live_door_count(), domain=door.server)
+            self._wire_time(reply.size, src, dst)
+            src.net_server.inbound_reply(reply.live_door_count(), domain=caller)
+        except DeadlineExceeded:
+            # The netserver refused a translation leg: the reply never
+            # reaches the caller, so clean it up here.
+            reply.recycle()
+            raise
+        if dl is not None and self.kernel.clock.now_us >= dl:
+            # The reply landed after the caller's budget expired.
+            reply.recycle()
+            raise DeadlineExceeded(
+                f"reply from {dst.name!r} landed after the deadline"
+            )
         # Shared regions do not span machines; never let one leak across.
         reply.region = None
         return reply
 
-    def _wire_time(self, size: int) -> None:
-        self.kernel.clock.advance(
-            self.latency_us + self.bandwidth_us_per_byte * size, "network"
-        )
+    def _wire_time(
+        self, size: int, src: Machine | str | None = None, dst: Machine | str | None = None
+    ) -> None:
+        us = self.latency_us + self.bandwidth_us_per_byte * size
+        chaos = self.kernel.chaos
+        if chaos is not None and src is not None and dst is not None:
+            us = chaos.wire_us(src, dst, us)
+        self.kernel.clock.advance(us, "network")
 
     # ------------------------------------------------------------------
     # datagrams (unreliable; used by the video subcontract)
@@ -186,11 +225,22 @@ class NetworkFabric:
             return False
         if self.datagram_loss > 0 and self._rng.random() < self.datagram_loss:
             return False
+        chaos = self.kernel.chaos
+        if chaos is not None:
+            # The fault plane applies its link model (drop / duplicate /
+            # reorder / delay) and calls back into _deliver_datagram.
+            return chaos.send_datagram(self, src, dst, port, payload)
+        return self._deliver_datagram(src, dst, port, payload)
+
+    def _deliver_datagram(
+        self, src: Machine | str, dst: Machine | str, port: str, payload: bytes
+    ) -> bool:
+        """Actual delivery: port lookup, wire time, callback."""
         callback = self._ports.get((self._name(dst), port))
         if callback is None:
             return False
         if self._name(src) != self._name(dst):
-            self._wire_time(len(payload))
+            self._wire_time(len(payload), src, dst)
         self.datagrams_delivered += 1
         callback(bytes(payload))
         return True

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.kernel.errors import DeadlineExceeded
+
 if TYPE_CHECKING:
     from repro.kernel.domain import Domain
     from repro.net.machine import Machine
@@ -73,8 +75,15 @@ class NetworkServer:
                     kernel.clock.advance(
                         TRANSLATE_DOOR_US * door_count, "net_door_translate"
                     )
-            return
-        if door_count:
+        elif door_count:
             kernel.clock.advance(
                 TRANSLATE_DOOR_US * door_count, "net_door_translate"
+            )
+        # Deadline enforcement at the translation leg.  Invocation legs
+        # run synchronously on the calling thread, so the kernel's
+        # per-thread deadline is the same budget the buffer carries.
+        dl = getattr(kernel._deadline, "value", None)
+        if dl is not None and kernel.clock.now_us >= dl:
+            raise DeadlineExceeded(
+                f"deadline passed at {span_name} on machine {self.machine.name!r}"
             )

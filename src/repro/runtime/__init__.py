@@ -1,8 +1,11 @@
 """Runtime environment helpers: one-call world setup and fault injection."""
 
+from repro.runtime.chaos import FaultPlane, InjectedFault, LinkChaos, install_chaos
+from repro.runtime.deadline import deadline, remaining_us
 from repro.runtime.env import Environment
 from repro.runtime.faults import crash_domain, crash_machine, partitioned
 from repro.runtime.report import CostReport, compare_tallies, format_tally
+from repro.runtime.retry import BreakerOpenError, CircuitBreaker, RetryPolicy
 from repro.runtime.threads import run_concurrently
 from repro.runtime.transfer import give, transfer
 
@@ -12,6 +15,15 @@ __all__ = [
     "crash_domain",
     "crash_machine",
     "partitioned",
+    "FaultPlane",
+    "LinkChaos",
+    "InjectedFault",
+    "install_chaos",
+    "deadline",
+    "remaining_us",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerOpenError",
     "CostReport",
     "compare_tallies",
     "format_tally",

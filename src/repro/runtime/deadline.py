@@ -1,0 +1,63 @@
+"""Call deadlines: a time budget that travels with the invocation.
+
+``with deadline(kernel, timeout_us):`` installs an *absolute* simulated
+deadline for the calling thread.  The kernel stamps it onto every
+communication buffer it transmits (out-of-band, next to the trace
+context — only a float crosses, never a Python object graph), so the
+budget follows the call through doors, the network fabric, and into
+server-side handlers, where nested calls inherit it.  Enforcement sits
+at the transmission legs:
+
+* ``Kernel.door_call`` refuses to launch a call whose deadline has
+  already passed;
+* the fabric checks after each wire leg (a reply that lands late is
+  recycled and reported lost, exactly like a reply lost to a partition);
+* the network servers check after door-identifier translation;
+* delivery checks on arrival, before the handler runs.
+
+Every violation surfaces as :class:`~repro.kernel.errors.DeadlineExceeded`
+— a communication failure that retry policies deliberately refuse to
+retry (see :meth:`repro.runtime.retry.RetryPolicy.retryable`).
+
+Deadlines nest by tightening only: an inner ``deadline()`` may shorten
+the budget but never extend what an outer caller granted.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.kernel.nucleus import Kernel
+
+__all__ = ["deadline", "remaining_us"]
+
+
+@contextmanager
+def deadline(kernel: "Kernel", timeout_us: float) -> Iterator[float]:
+    """Bound every call made in this block to ``timeout_us`` of sim time.
+
+    Yields the absolute deadline (sim-us).  Restores the caller's prior
+    deadline (if any) on exit; nesting tightens, never loosens.
+    """
+    if timeout_us < 0:
+        raise ValueError(f"cannot set a negative deadline ({timeout_us} us)")
+    local = kernel._deadline
+    prior = local.value
+    absolute = kernel.clock.now_us + timeout_us
+    if prior is not None and prior < absolute:
+        absolute = prior
+    local.value = absolute
+    try:
+        yield absolute
+    finally:
+        local.value = prior
+
+
+def remaining_us(kernel: "Kernel") -> float | None:
+    """Sim-us left on the calling thread's deadline; ``None`` if unbounded."""
+    value = kernel._deadline.value
+    if value is None:
+        return None
+    return value - kernel.clock.now_us

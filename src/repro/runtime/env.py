@@ -51,6 +51,7 @@ class Environment:
     ) -> None:
         self.kernel = Kernel(cost_model)
         self.clock = self.kernel.clock
+        self.seed = seed
         self.fabric = NetworkFabric(
             self.kernel,
             latency_us=latency_us,
@@ -165,6 +166,26 @@ class Environment:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+
+    def install_chaos(self, seed: int | None = None):
+        """Install a deterministic fault plane on this world.
+
+        All fault injection — link drop/delay/duplicate/reorder, transient
+        door failures, crash-mid-call, scheduled crashes — is driven by
+        one ``random.Random(seed)`` (defaulting to the environment's own
+        seed) and the simulated clock, so a run replays bit-for-bit.
+        Returns the live :class:`repro.runtime.chaos.FaultPlane` (also at
+        ``env.kernel.chaos``).
+        """
+        from repro.runtime.chaos import install_chaos
+
+        return install_chaos(
+            self.kernel, self.fabric, seed=self.seed if seed is None else seed
+        )
+
+    def uninstall_chaos(self) -> None:
+        """Remove the fault plane; the hot path reverts to fault-free."""
+        self.kernel.chaos = None
 
     def install_tracer(self, ring_capacity: int | None = None):
         """Turn on end-to-end tracing for this world.

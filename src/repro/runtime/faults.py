@@ -6,6 +6,10 @@ The failure modes the paper's subcontracts are built against:
   re-resolves);
 * a whole machine crashes;
 * the network partitions (calls between two machines fail until healed).
+
+For probabilistic, seeded fault injection (link drop/delay/duplicate/
+reorder, transient door failures, crash-mid-call, scheduled crashes) see
+:mod:`repro.runtime.chaos`, whose helpers are re-exported here.
 """
 
 from __future__ import annotations
@@ -13,12 +17,30 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
+from repro.runtime.chaos import (
+    FaultPlane,
+    InjectedFault,
+    LinkChaos,
+    install_chaos,
+    uninstall_chaos,
+)
+
 if TYPE_CHECKING:
     from repro.kernel.domain import Domain
     from repro.net.fabric import NetworkFabric
     from repro.net.machine import Machine
 
-__all__ = ["crash_domain", "crash_machine", "partitioned"]
+__all__ = [
+    "crash_domain",
+    "crash_machine",
+    "partitioned",
+    # re-exported chaos helpers
+    "FaultPlane",
+    "LinkChaos",
+    "InjectedFault",
+    "install_chaos",
+    "uninstall_chaos",
+]
 
 
 def crash_domain(domain: "Domain") -> None:
@@ -35,9 +57,17 @@ def crash_machine(machine: "Machine") -> None:
 def partitioned(
     fabric: "NetworkFabric", a: "Machine | str", b: "Machine | str"
 ) -> Iterator[None]:
-    """Temporarily cut the link between two machines."""
+    """Temporarily cut the link between two machines.
+
+    On exit the link is restored to its *prior* state: a partition that
+    already existed when the block was entered (or an enclosing
+    ``partitioned`` block for the same pair) stays in force instead of
+    being silently healed.
+    """
+    was = fabric.partitioned(a, b)
     fabric.partition(a, b)
     try:
         yield
     finally:
-        fabric.heal(a, b)
+        if not was:
+            fabric.heal(a, b)

@@ -31,6 +31,7 @@ _LABELS = {
     "library_load": "dynamic library loads",
     "retry_backoff": "reconnect backoff",
     "rawnet_rto": "rawnet retransmission timeouts",
+    "chaos_delay": "chaos (injected link delay)",
     "shm_setup": "shared-region setup",
     "stable_write": "stable-storage commits",
     "stable_scan": "stable-storage recovery scans",

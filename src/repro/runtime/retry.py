@@ -1,0 +1,253 @@
+"""The shared retry policy: backoff, budgets, and circuit breakers.
+
+Before this module each retrying subcontract carried its own ad-hoc
+constants — reconnectable slept a flat ``RETRY_BACKOFF_US`` between
+re-resolutions, rawnet retransmitted on a flat ``RTO_US`` — and none of
+them shared a vocabulary for "stop hammering a dead target".  A
+:class:`RetryPolicy` replaces those constants with one policy object:
+
+* **exponential backoff** — attempt *n* waits
+  ``base_us * multiplier**(n-1)``, capped at ``max_backoff_us``;
+* **seeded jitter** — an optional multiplicative spread drawn from the
+  policy's own ``random.Random(seed)``, so two clients backing off from
+  the same failure do not retry in lockstep, yet every run with the same
+  seed replays the same waits (the chaos soak relies on this);
+* **a retry budget** — ``max_attempts`` bounds the loop; exhaustion is
+  the caller's cue to raise cleanly;
+* **circuit-breaker state** — after ``breaker_threshold`` consecutive
+  failures against one target the breaker *opens* and calls fail fast
+  (:class:`BreakerOpenError`) until ``breaker_cooldown_us`` of simulated
+  time has passed; the first call after cooldown is the *half-open*
+  probe whose outcome closes or re-opens the circuit.
+
+All waiting is simulated time on the kernel clock (``clock.advance``);
+nothing sleeps.  :meth:`RetryPolicy.retryable` centralises the one
+taxonomy decision every loop was making by hand: communication failures
+are retryable, but :class:`~repro.kernel.errors.DeadlineExceeded` is not
+— a spent time budget cannot be retried into compliance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Hashable
+
+from repro.kernel.errors import CommunicationError, DeadlineExceeded
+
+if TYPE_CHECKING:
+    from repro.kernel.clock import SimClock
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "BreakerOpenError"]
+
+
+class BreakerOpenError(CommunicationError):
+    """The circuit breaker for this target is open: failing fast.
+
+    Raised *instead of* attempting the call, so a client that has already
+    watched a target fail repeatedly spends no further simulated time on
+    it until the breaker's cooldown elapses.
+    """
+
+
+#: breaker states (kept as strings so traces read naturally)
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half_open"
+
+
+class _BreakerEntry:
+    __slots__ = ("state", "failures", "opened_at_us")
+
+    def __init__(self) -> None:
+        self.state = _CLOSED
+        self.failures = 0
+        self.opened_at_us = 0.0
+
+
+class CircuitBreaker:
+    """Per-target failure accounting with open/half-open/closed states.
+
+    Targets are arbitrary hashable keys (a door uid, a ``(machine,
+    port)`` endpoint, an object name).  The breaker never raises itself;
+    callers ask :meth:`allow` before attempting and raise
+    :class:`BreakerOpenError` on refusal, then report the attempt's
+    outcome with :meth:`record_failure` / :meth:`record_success`.  State
+    transitions are returned as strings (``"open"``, ``"half_open"``,
+    ``"closed"``) so call sites can annotate them onto the active trace.
+    """
+
+    __slots__ = ("threshold", "cooldown_us", "_entries")
+
+    def __init__(self, threshold: int, cooldown_us: float) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_us = cooldown_us
+        self._entries: dict[Hashable, _BreakerEntry] = {}
+
+    def _entry(self, key: Hashable) -> _BreakerEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = _BreakerEntry()
+        return entry
+
+    def state(self, key: Hashable) -> str:
+        """The breaker state for ``key`` (``closed`` when never tripped)."""
+        entry = self._entries.get(key)
+        return entry.state if entry is not None else _CLOSED
+
+    def allow(self, key: Hashable, now_us: float) -> str | None:
+        """May a call proceed against ``key`` right now?
+
+        Returns ``None`` (closed: proceed), ``"half_open"`` (cooldown
+        elapsed: this call is the probe), or raises nothing — a refusal
+        is signalled by the ``"open"`` return so the caller can raise
+        :class:`BreakerOpenError` with its own context.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.state == _CLOSED:
+            return None
+        if entry.state == _OPEN:
+            if now_us - entry.opened_at_us < self.cooldown_us:
+                return _OPEN
+            entry.state = _HALF_OPEN
+            return _HALF_OPEN
+        # Already half-open: one probe is in flight per cooldown window;
+        # further calls keep probing (single-threaded sims reach here only
+        # after a probe failed and re-opened, so treat it as a probe too).
+        return _HALF_OPEN
+
+    def record_failure(self, key: Hashable, now_us: float) -> str | None:
+        """Count a failed attempt; returns ``"open"`` on a new trip."""
+        entry = self._entry(key)
+        entry.failures += 1
+        if entry.state == _HALF_OPEN or entry.failures >= self.threshold:
+            was_open = entry.state == _OPEN
+            entry.state = _OPEN
+            entry.opened_at_us = now_us
+            return None if was_open else _OPEN
+        return None
+
+    def record_success(self, key: Hashable) -> str | None:
+        """Count a success; returns ``"closed"`` when it heals the circuit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        healed = entry.state != _CLOSED
+        entry.state = _CLOSED
+        entry.failures = 0
+        return _CLOSED if healed else None
+
+
+class RetryPolicy:
+    """One retry discipline, shared by every retrying subcontract.
+
+    The defaults are deliberately conservative: no jitter and no breaker,
+    so a subcontract that swaps its flat constant for
+    ``RetryPolicy(base_us=OLD_CONSTANT, multiplier=1.0)`` reproduces its
+    historical waits bit-for-bit, and the knobs are opted into one at a
+    time.
+    """
+
+    __slots__ = (
+        "base_us",
+        "multiplier",
+        "max_backoff_us",
+        "max_attempts",
+        "jitter",
+        "seed",
+        "_rng",
+        "breaker",
+    )
+
+    def __init__(
+        self,
+        base_us: float,
+        multiplier: float = 2.0,
+        max_backoff_us: float | None = None,
+        max_attempts: int = 8,
+        jitter: float = 0.0,
+        seed: int = 0,
+        breaker_threshold: int | None = None,
+        breaker_cooldown_us: float = 1_000_000.0,
+    ) -> None:
+        if base_us < 0:
+            raise ValueError("base_us must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.base_us = base_us
+        self.multiplier = multiplier
+        self.max_backoff_us = max_backoff_us
+        self.max_attempts = max_attempts
+        self.jitter = jitter
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.breaker: CircuitBreaker | None = (
+            CircuitBreaker(breaker_threshold, breaker_cooldown_us)
+            if breaker_threshold is not None
+            else None
+        )
+
+    def reseed(self, seed: int) -> None:
+        """Rewind the jitter stream (replaying a recorded chaos run)."""
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def backoff_us(self, attempt: int) -> float:
+        """The wait before retry ``attempt`` (1-based), jitter applied."""
+        if attempt < 1:
+            raise ValueError("attempt numbering is 1-based")
+        wait = self.base_us * self.multiplier ** (attempt - 1)
+        if self.max_backoff_us is not None and wait > self.max_backoff_us:
+            wait = self.max_backoff_us
+        if self.jitter:
+            wait *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return wait
+
+    def pause(
+        self, clock: "SimClock", attempt: int, category: str = "retry_backoff"
+    ) -> float:
+        """Charge the backoff for ``attempt`` to the clock; returns it."""
+        wait = self.backoff_us(attempt)
+        if wait > 0.0:
+            clock.advance(wait, category)
+        return wait
+
+    @staticmethod
+    def retryable(failure: BaseException) -> bool:
+        """Is this failure worth another attempt?
+
+        Communication failures are; an exceeded deadline is not (the time
+        budget is spent), and neither is anything non-communication —
+        application errors must surface unchanged.
+        """
+        return isinstance(failure, CommunicationError) and not isinstance(
+            failure, DeadlineExceeded
+        )
+
+    def derive(self, **overrides: Any) -> "RetryPolicy":
+        """A copy of this policy with some knobs replaced (fresh rng)."""
+        kwargs: dict[str, Any] = {
+            "base_us": self.base_us,
+            "multiplier": self.multiplier,
+            "max_backoff_us": self.max_backoff_us,
+            "max_attempts": self.max_attempts,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+        if self.breaker is not None:
+            kwargs["breaker_threshold"] = self.breaker.threshold
+            kwargs["breaker_cooldown_us"] = self.breaker.cooldown_us
+        kwargs.update(overrides)
+        return RetryPolicy(**kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RetryPolicy base={self.base_us}us x{self.multiplier}"
+            f" attempts={self.max_attempts} jitter={self.jitter}"
+            f" breaker={'on' if self.breaker is not None else 'off'}>"
+        )

@@ -32,7 +32,9 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ClientSubcontract, ServerSubcontract
+from repro.kernel.errors import CommunicationError, InvalidDoorError
 from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.retry import RetryPolicy
 from repro.subcontracts.common import make_door_handler
 
 if TYPE_CHECKING:
@@ -85,7 +87,28 @@ class CachingClient(ClientSubcontract):
                 via="cache" if rep.cache_door is not None else "server",
             )
         kernel.clock.charge("memory_copy_byte", buffer.size)
-        reply = kernel.door_call(self.domain, door, buffer)
+        try:
+            reply = kernel.door_call(self.domain, door, buffer)
+        except (CommunicationError, InvalidDoorError) as failure:
+            if rep.cache_door is None or (
+                isinstance(failure, CommunicationError)
+                and not RetryPolicy.retryable(failure)
+            ):
+                # No cache front to fall back from (or the caller's
+                # deadline is spent): surface the failure unchanged.
+                raise
+            # The local cache front died.  Drop D2 and degrade gracefully:
+            # all further invocations go straight to the server via D1.
+            dead = rep.cache_door
+            rep.cache_door = None
+            self._quiet_delete(dead)
+            if tracer.enabled:
+                tracer.event(
+                    "caching.fallback",
+                    subcontract=self.id,
+                    error=type(failure).__name__,
+                )
+            reply = kernel.door_call(self.domain, rep.server_door, buffer)
         kernel.clock.charge("memory_copy_byte", reply.size)
         return reply
 

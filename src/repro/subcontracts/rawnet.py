@@ -37,10 +37,11 @@ from repro.core.errors import SubcontractError
 from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ClientSubcontract, ServerSubcontract
-from repro.kernel.errors import CommunicationError
+from repro.kernel.errors import CommunicationError, DeadlineExceeded
 from repro.marshal.buffer import MarshalBuffer
 from repro.marshal.codec import Decoder, Encoder
 from repro.marshal.errors import MarshalError
+from repro.runtime.retry import RetryPolicy
 
 if TYPE_CHECKING:
     from repro.idl.rtypes import InterfaceBinding
@@ -52,11 +53,21 @@ __all__ = ["RawNetClient", "RawNetServer", "RawNetRep", "MTU"]
 #: maximum datagram payload carried per fragment
 MTU = 1024
 
-#: simulated retransmission timeout
+#: base simulated retransmission timeout; the retry policy backs it off
+#: exponentially across retransmissions
 RTO_US = 20_000.0
 
 #: request attempts before giving up
 MAX_ATTEMPTS = 6
+
+#: the shared retransmission discipline: exponential RTO from the
+#: historical flat constant, capped at 8x (a classic bounded backoff)
+DEFAULT_RTO_POLICY = RetryPolicy(
+    base_us=RTO_US,
+    multiplier=2.0,
+    max_backoff_us=RTO_US * 8,
+    max_attempts=MAX_ATTEMPTS,
+)
 
 _KIND_REQUEST = 0
 _KIND_REPLY = 1
@@ -188,6 +199,9 @@ class RawNetClient(ClientSubcontract):
 
     id = "rawnet"
 
+    #: the retransmission discipline; per-domain budget override below
+    rto_policy = DEFAULT_RTO_POLICY
+
     def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
         if buffer.live_door_count():
             raise MarshalError(
@@ -210,7 +224,16 @@ class RawNetClient(ClientSubcontract):
         # The attempt budget is a per-domain policy knob: lossier links
         # warrant more patience (domain.locals["rawnet_max_attempts"]).
         budget = self.domain.locals.get("rawnet_max_attempts", MAX_ATTEMPTS)
+        policy = self.rto_policy
+        # Rawnet never touches a door, so the kernel's deadline legs never
+        # see this call; enforce the caller's budget here instead.
+        dl = getattr(kernel._deadline, "value", None)
         for attempt in range(budget):
+            if dl is not None and kernel.clock.now_us >= dl:
+                raise DeadlineExceeded(
+                    f"rawnet: deadline passed before attempt {attempt + 1} "
+                    f"to {rep.machine_name}:{rep.port}"
+                )
             if attempt and tracer.enabled:
                 tracer.event(
                     "rawnet.retransmit",
@@ -242,9 +265,9 @@ class RawNetClient(ClientSubcontract):
                 reply.data.extend(whole)
                 reply.rewind()
                 return reply
-            # Nothing (or not everything) came back: wait one RTO and
-            # retransmit the whole request.
-            kernel.clock.advance(RTO_US, "rawnet_rto")
+            # Nothing (or not everything) came back: wait one (backed-off)
+            # RTO and retransmit the whole request.
+            kernel.clock.advance(policy.backoff_us(attempt + 1), "rawnet_rto")
             endpoint.reassembler.forget(msg_id)
         raise CommunicationError(
             f"rawnet: no reply from {rep.machine_name}:{rep.port} after "

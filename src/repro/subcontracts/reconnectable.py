@@ -31,6 +31,7 @@ from repro.core.registry import ensure_registry
 from repro.core.subcontract import ClientSubcontract, ServerSubcontract
 from repro.kernel.errors import CommunicationError, InvalidDoorError, KernelError
 from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.retry import BreakerOpenError, RetryPolicy
 from repro.subcontracts.common import make_door_handler
 
 if TYPE_CHECKING:
@@ -39,11 +40,21 @@ if TYPE_CHECKING:
 
 __all__ = ["ReconnectableClient", "ReconnectableServer", "ReconnectableRep"]
 
-#: simulated pause between reconnection attempts, charged to the clock
+#: base simulated pause between reconnection attempts, charged to the
+#: clock; the retry policy grows it exponentially across attempts
 RETRY_BACKOFF_US = 50_000.0
 
 #: how many resolve-and-retry rounds before giving up
 DEFAULT_MAX_RETRIES = 8
+
+#: the shared retry discipline: exponential backoff from the historical
+#: flat constant, capped so a full budget stays within ~1.6 s of sim time
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    base_us=RETRY_BACKOFF_US,
+    multiplier=2.0,
+    max_backoff_us=RETRY_BACKOFF_US * 16,
+    max_attempts=DEFAULT_MAX_RETRIES,
+)
 
 
 class ReconnectableRep:
@@ -66,35 +77,63 @@ class ReconnectableClient(ClientSubcontract):
 
     max_retries = DEFAULT_MAX_RETRIES
 
+    #: the retry discipline; tests override with derive() to add jitter,
+    #: change the budget, or attach a circuit breaker
+    retry_policy = DEFAULT_RETRY_POLICY
+
     def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
         kernel = self.domain.kernel
         tracer = kernel.tracer
         rep: ReconnectableRep = obj._rep
+        policy = self.retry_policy
+        breaker = policy.breaker
         attempts = 0
         while True:
+            if breaker is not None:
+                gate = breaker.allow(rep.name, kernel.clock.now_us)
+                if gate == "open":
+                    raise BreakerOpenError(
+                        f"reconnectable: circuit open for {rep.name!r}; "
+                        f"failing fast until the cooldown elapses"
+                    )
+                if gate == "half_open" and tracer.enabled:
+                    tracer.event("retry.breaker_probe", subcontract=self.id)
             try:
                 kernel.clock.charge("memory_copy_byte", buffer.size)
                 reply = kernel.door_call(self.domain, rep.door, buffer)
                 kernel.clock.charge("memory_copy_byte", reply.size)
+                if breaker is not None:
+                    healed = breaker.record_success(rep.name)
+                    if healed is not None and tracer.enabled:
+                        tracer.event("retry.breaker_closed", subcontract=self.id)
                 if tracer.enabled:
                     tracer.annotate(retries=attempts)
                 return reply
             except (CommunicationError, InvalidDoorError) as failure:
+                if isinstance(failure, CommunicationError) and not policy.retryable(
+                    failure
+                ):
+                    raise  # an exceeded deadline cannot be retried away
+                if breaker is not None:
+                    tripped = breaker.record_failure(rep.name, kernel.clock.now_us)
+                    if tripped is not None and tracer.enabled:
+                        tracer.event("retry.breaker_open", subcontract=self.id)
                 attempts += 1
                 if attempts > self.max_retries:
                     raise CommunicationError(
                         f"reconnectable: gave up re-resolving {rep.name!r} "
                         f"after {self.max_retries} attempts"
                     ) from failure
+                wait_us = policy.backoff_us(attempts)
                 if tracer.enabled:
                     tracer.event(
                         "reconnect.retry",
                         subcontract=self.id,
                         attempt=attempts,
                         error=type(failure).__name__,
-                        backoff_us=RETRY_BACKOFF_US,
+                        backoff_us=wait_us,
                     )
-                kernel.clock.advance(RETRY_BACKOFF_US, "retry_backoff")
+                kernel.clock.advance(wait_us, "retry_backoff")
                 self._reconnect(rep)
 
     def _reconnect(self, rep: ReconnectableRep) -> None:

@@ -27,6 +27,7 @@ from repro.core.registry import ensure_registry
 from repro.core.subcontract import ClientSubcontract
 from repro.kernel.errors import CommunicationError, InvalidDoorError, KernelError
 from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.retry import RetryPolicy
 from repro.subcontracts.common import make_door_handler
 
 if TYPE_CHECKING:
@@ -35,6 +36,11 @@ if TYPE_CHECKING:
     from repro.kernel.doors import DoorIdentifier
 
 __all__ = ["RepliconClient", "RepliconGroup", "RepliconRep"]
+
+#: the failover discipline: by default failover is immediate (base 0 us,
+#: so historical sim totals are unchanged); deployments expecting flappy
+#: replicas derive() a policy with a real backoff or a circuit breaker
+DEFAULT_FAILOVER_POLICY = RetryPolicy(base_us=0.0, multiplier=1.0, max_attempts=1)
 
 
 class RepliconRep:
@@ -56,6 +62,9 @@ class RepliconClient(ClientSubcontract):
 
     id = "replicon"
 
+    #: the failover discipline; derive() to add backoff between members
+    failover_policy = DEFAULT_FAILOVER_POLICY
+
     def invoke_preamble(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
         # Piggybacked control: the epoch of the client's replica set, so
         # a server with a newer set can send a correction in the reply.
@@ -65,6 +74,7 @@ class RepliconClient(ClientSubcontract):
         kernel = self.domain.kernel
         tracer = kernel.tracer
         rep: RepliconRep = obj._rep
+        policy = self.failover_policy
         #: replicas pruned during this invocation, for tests/benches
         pruned = 0
         while rep.doors:
@@ -80,18 +90,27 @@ class RepliconClient(ClientSubcontract):
                 kernel.clock.charge("memory_copy_byte", buffer.size)
                 reply = kernel.door_call(self.domain, door, buffer)
             except (CommunicationError, InvalidDoorError) as exc:
+                if isinstance(exc, CommunicationError) and not policy.retryable(exc):
+                    # The caller's deadline is spent: failing over to
+                    # another member would only dishonour it further, and
+                    # the replica itself is not at fault — do not prune.
+                    raise
                 # This replica is unreachable: delete the identifier from
                 # the target set and proceed to the next one.
                 rep.doors.pop(0)
                 self._quiet_delete(door)
                 pruned += 1
+                wait_us = policy.backoff_us(min(pruned, policy.max_attempts))
                 if tracer.enabled:
                     tracer.event(
                         "replicon.failover",
                         subcontract=self.id,
                         door=door.uid,
                         error=type(exc).__name__,
+                        backoff_us=wait_us,
                     )
+                if wait_us > 0.0:
+                    kernel.clock.advance(wait_us, "retry_backoff")
                 continue
             kernel.clock.charge("memory_copy_byte", reply.size)
             if tracer.enabled and pruned:

@@ -1,0 +1,320 @@
+"""Chaos-suite fixtures: a seeded multi-machine world and its invariants.
+
+``build_world(seed)`` stands up a four-machine topology with one service
+per retrying subcontract (singleton, reconnectable, replicon, rawnet),
+tracing on, and a :class:`~repro.runtime.chaos.FaultPlane` installed with
+that seed.  ``run_workload`` then drives a seed-derived mix of calls
+through it, tolerating exactly the failures the subcontracts are
+specified to surface.
+
+``check_invariants`` asserts what must hold after *any* run, faulted or
+not: no pooled-buffer leaks, sim-clock conservation, and that a crashed
+replica never executed a call.  ``span_projection`` reduces a trace to
+its run-order-stable shape (process-global uid counters differ between
+runs, so digits are stripped from names) for the identical-seed ⇒
+identical-trace soak assertion.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+import re
+
+import pytest
+
+from repro.kernel.errors import CommunicationError
+from repro.marshal.buffer import MarshalBuffer
+from repro.subcontracts.rawnet import RawNetServer
+from repro.subcontracts.reconnectable import ReconnectableServer
+from repro.subcontracts.replicon import RepliconGroup
+from repro.subcontracts.singleton import SingletonServer
+from repro.runtime.env import Environment
+from tests.conftest import COUNTER_IDL, CounterImpl
+
+__all__ = [
+    "build_world",
+    "run_workload",
+    "check_invariants",
+    "span_projection",
+    "chaos_seeds",
+    "trace_artifact_on_failure",
+]
+
+#: seeds swept by the soak test; CI sets CHAOS_SEEDS=8, full runs use 64
+DEFAULT_SEED_COUNT = 16
+
+
+def chaos_seeds() -> list[int]:
+    """The seed sweep, sized by the CHAOS_SEEDS environment variable."""
+    count = int(os.environ.get("CHAOS_SEEDS", DEFAULT_SEED_COUNT))
+    return list(range(count))
+
+
+class AliveProbeCounter(CounterImpl):
+    """A counter that records whether its domain was alive when called.
+
+    The kernel must never deliver a call into a crashed domain; every
+    execution observed with a dead domain is appended to ``violations``.
+    """
+
+    def __init__(self, violations: list) -> None:
+        super().__init__()
+        self.domain = None
+        self.violations = violations
+
+    def _check(self) -> None:
+        if self.domain is not None and not self.domain.alive:
+            self.violations.append(self.domain.name)
+
+    def add(self, n):
+        self._check()
+        return super().add(n)
+
+    def total(self):
+        self._check()
+        return super().total()
+
+
+class StableCounter(CounterImpl):
+    """Counter whose state survives server crashes in 'stable storage'."""
+
+    def __init__(self, stable: dict) -> None:
+        super().__init__()
+        self._stable = stable
+        self.value = stable.get("value", 0)
+
+    def add(self, n):
+        self.value += n
+        self._stable["value"] = self.value
+        return self.value
+
+
+def ship(kernel, src, dst, obj, binding):
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+def build_world(seed: int, counter_module, chaos: bool = True) -> dict:
+    """A four-machine world with one service per retrying subcontract."""
+    env = Environment(seed=seed)
+    tracer = env.install_tracer(ring_capacity=1 << 16)
+    binding = counter_module.binding("counter")
+    violations: list = []
+    stable: dict = {}
+
+    alpha = env.machine("alpha")
+    beta = env.machine("beta")
+    gamma = env.machine("gamma")
+    client_machine = env.machine("clients")
+    client = env.create_domain(client_machine, "client")
+
+    # singleton on alpha
+    single_server = env.create_domain(alpha, "single-server")
+    single_obj = SingletonServer(single_server).export(CounterImpl(), binding)
+    singleton = ship(env.kernel, single_server, client, single_obj, binding)
+
+    # reconnectable on beta (restartable via stable storage)
+    recon_server = env.create_domain(beta, "recon-server-1")
+    recon_obj = ReconnectableServer(recon_server).export(
+        StableCounter(stable), binding, name="/services/stable-counter"
+    )
+    reconnectable = ship(env.kernel, recon_server, client, recon_obj, binding)
+
+    # replicon across alpha/beta/gamma
+    group = RepliconGroup(binding)
+    replicas = []
+    for machine, label in ((alpha, "rep-a"), (beta, "rep-b"), (gamma, "rep-c")):
+        domain = env.create_domain(machine, label)
+        impl = AliveProbeCounter(violations)
+        impl.domain = domain
+        group.add_replica(domain, impl)
+        replicas.append(domain)
+    replicon = ship(
+        env.kernel, replicas[0], client, group.make_object(replicas[0]), binding
+    )
+
+    # rawnet on gamma
+    raw_server = env.create_domain(gamma, "raw-server")
+    raw_obj = RawNetServer(raw_server).export(CounterImpl(), binding)
+    rawnet = ship(env.kernel, raw_server, client, raw_obj, binding)
+
+    world = {
+        "env": env,
+        "tracer": tracer,
+        "binding": binding,
+        "client": client,
+        "singleton": singleton,
+        "reconnectable": reconnectable,
+        "recon_server": recon_server,
+        "recon_stable": stable,
+        "recon_incarnation": 1,
+        "replicon": replicon,
+        "group": group,
+        "rawnet": rawnet,
+        "violations": violations,
+        "plane": None,
+    }
+
+    if chaos:
+        # The name service is infrastructure, not a recovery path under
+        # test: crashing it would wedge every reconnect rather than
+        # exercise one.  (The flag only shields random crash-mid-call;
+        # link faults still hit naming traffic, and callers tolerate them.)
+        env.name_service.domain.locals["chaos_immune"] = True
+        plane = env.install_chaos(seed=seed)
+        plane.door_fault_rate = 0.02
+        plane.crash_mid_call_rate = 0.005
+        plane.default_link.carry_drop = 0.02
+        plane.default_link.drop = 0.05
+        plane.default_link.duplicate = 0.02
+        plane.default_link.reorder = 0.02
+        plane.default_link.jitter = 0.3
+        plane.link(alpha, client_machine).latency_scale = 1.5
+        plane.link(beta, client_machine).delay_us = 100.0
+        world["plane"] = plane
+    return world
+
+
+def restart_recon_server(world) -> None:
+    """Boot a fresh reconnectable server incarnation under the same name."""
+    world["recon_incarnation"] += 1
+    env = world["env"]
+    server = env.create_domain("beta", f"recon-server-{world['recon_incarnation']}")
+    ReconnectableServer(server).export(
+        StableCounter(world["recon_stable"]),
+        world["binding"],
+        name="/services/stable-counter",
+    )
+    world["recon_server"] = server
+
+
+def run_workload(world, seed: int, calls: int = 120) -> dict:
+    """Drive a seed-derived mix of calls; tolerate specified failures.
+
+    Returns per-target success/failure counts.  Any exception that is not
+    a :class:`CommunicationError` (the one failure subcontracts are
+    allowed to surface for injected faults) propagates and fails the test.
+    """
+    rng = random.Random(seed)
+    stats = {"ok": 0, "failed": 0, "recon_gave_up": 0}
+    targets = ["singleton", "reconnectable", "replicon", "rawnet"]
+    for step in range(calls):
+        target = rng.choice(targets)
+        obj = world[target]
+        # Deterministic repair: a dead reconnectable server is restarted
+        # every 8th step, so the recovery path gets exercised both ways
+        # (successful re-resolution AND clean budget exhaustion).
+        if target == "reconnectable" and step % 8 == 0:
+            if not world["recon_server"].alive:
+                try:
+                    restart_recon_server(world)
+                except CommunicationError:
+                    pass  # rebind lost to chaos; retried at the next window
+        if target == "replicon":
+            world["group"].prune_dead()
+        try:
+            if rng.random() < 0.5:
+                obj.add(1)
+            else:
+                obj.total()
+        except CommunicationError as failure:
+            stats["failed"] += 1
+            if target == "reconnectable":
+                # Budget exhaustion must be the clean, documented error.
+                assert "gave up" in str(failure) or "deadline" in str(failure)
+                stats["recon_gave_up"] += 1
+        else:
+            stats["ok"] += 1
+    return stats
+
+
+def check_invariants(world) -> None:
+    """Post-run invariants that must hold for every seed."""
+    env = world["env"]
+
+    # 1. No pooled-buffer leaks: every pool acquire was matched by a
+    # release, in every domain (counters live on the buffer's home pool).
+    for domain in env.kernel.domains.values():
+        assert domain.buffer_acquires == domain.buffer_releases, (
+            f"domain {domain.name!r} leaked "
+            f"{domain.buffer_acquires - domain.buffer_releases} pooled buffer(s)"
+        )
+
+    # 2. Sim-clock conservation: the clock's total equals the sum of the
+    # per-category tally (every advance was attributed to a category).
+    tally_sum = sum(env.clock.tally().values())
+    assert abs(env.clock.now_us - tally_sum) < 1e-6, (
+        f"clock leaked time: now_us={env.clock.now_us} != tally {tally_sum}"
+    )
+
+    # 3. A crashed replica never executed a call.
+    assert world["violations"] == []
+
+    # 4. The trace ring did not silently drop spans (the determinism
+    # comparison below needs the full sequence).
+    assert world["tracer"].dropped() == 0
+
+
+@contextlib.contextmanager
+def trace_artifact_on_failure(world, seed: int):
+    """Dump the failing seed's trace for offline replay.
+
+    When ``CHAOS_TRACE_DIR`` is set (CI does this and uploads the
+    directory as a workflow artifact), any assertion escaping the block
+    first writes the world's full span ring as JSONL — renderable with
+    ``python -m repro.obs tree`` — named after the seed that broke.
+    """
+    try:
+        yield
+    except BaseException:
+        out_dir = os.environ.get("CHAOS_TRACE_DIR")
+        if out_dir:
+            from repro.obs.export import write_jsonl
+
+            os.makedirs(out_dir, exist_ok=True)
+            write_jsonl(
+                world["tracer"].spans(),
+                os.path.join(out_dir, f"chaos-seed-{seed}.jsonl"),
+            )
+        raise
+
+
+_DIGITS = re.compile(r"\d+")
+
+
+def span_projection(tracer) -> list[tuple]:
+    """The run-order-stable shape of a trace.
+
+    Span/trace ids are per-tracer counters (comparable across two fresh
+    worlds); names and domains may embed process-global uids, so digits
+    are stripped.  Wall-clock fields are excluded; simulated timestamps
+    are excluded too because process-global counters (rawnet endpoint
+    names) can change marshalled byte counts between runs.
+    """
+    out = []
+    for span in tracer.spans():
+        out.append(
+            (
+                span.trace_id,
+                span.span_id,
+                span.parent_id,
+                span.category,
+                _DIGITS.sub("#", span.name),
+                _DIGITS.sub("#", span.domain_name),
+                span.machine_name,
+                span.status,
+                span.error_type,
+                tuple(evt["name"] for evt in span.events),
+            )
+        )
+    return out
+
+
+@pytest.fixture
+def chaos_world(counter_module):
+    """One chaos-enabled world with a fixed seed, for non-sweep tests."""
+    return build_world(0, counter_module)

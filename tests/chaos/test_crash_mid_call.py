@@ -1,0 +1,137 @@
+"""Crash-mid-call coverage: the server dies after consuming the request.
+
+Satellite requirement: for singleton, cluster, and reconnectable objects
+a mid-call crash must surface as a clean :class:`CommunicationError` (or
+be retried away), the request buffer must be recycled (no lifecycle
+errors, no pool leaks), and the error span must close with its status
+set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errors import CommunicationError, ServerDiedError
+from repro.runtime.env import Environment
+from repro.subcontracts.cluster import ClusterServer
+from repro.subcontracts.reconnectable import ReconnectableServer
+from repro.subcontracts.singleton import SingletonServer
+from tests.chaos.conftest import StableCounter, ship
+from tests.conftest import CounterImpl
+
+
+def assert_no_buffer_leaks(env):
+    for domain in env.kernel.domains.values():
+        assert domain.buffer_acquires == domain.buffer_releases, (
+            f"domain {domain.name!r} leaked pooled buffers"
+        )
+
+
+def error_spans(tracer):
+    return [span for span in tracer.spans() if span.status == "error"]
+
+
+@pytest.fixture
+def traced_env():
+    env = Environment()
+    tracer = env.install_tracer()
+    return env, tracer
+
+
+def build(env, counter_module, server_subcontract, **export_kwargs):
+    server = env.create_domain(env.machine("servers"), "server-1")
+    client = env.create_domain(env.machine("clients"), "client")
+    binding = counter_module.binding("counter")
+    exported = server_subcontract(server).export(
+        CounterImpl(), binding, **export_kwargs
+    )
+    obj = ship(env.kernel, server, client, exported, binding)
+    return server, client, obj, binding
+
+
+class TestSingleton:
+    def test_clean_error_and_recycled_buffers(self, traced_env, counter_module):
+        env, tracer = traced_env
+        server, _, obj, _ = build(env, counter_module, SingletonServer)
+        plane = env.install_chaos(seed=1)
+        assert obj.add(2) == 2
+        plane.crash_mid_call_next(server)
+        with pytest.raises(ServerDiedError, match="mid-call"):
+            obj.add(1)
+        assert not server.alive
+        assert_no_buffer_leaks(env)
+        # Every span along the failed call closed with its status set.
+        failed = error_spans(tracer)
+        assert failed
+        assert any(s.error_type == "ServerDiedError" for s in failed)
+        assert any(s.category == "invoke" for s in failed)
+        # Later calls stay a clean communication failure (dead door).
+        with pytest.raises(CommunicationError):
+            obj.total()
+        assert_no_buffer_leaks(env)
+
+
+class TestCluster:
+    def test_clean_error_and_recycled_buffers(self, traced_env, counter_module):
+        env, tracer = traced_env
+        server, _, obj, _ = build(env, counter_module, ClusterServer)
+        plane = env.install_chaos(seed=1)
+        assert obj.add(4) == 4
+        plane.crash_mid_call_next(server)
+        with pytest.raises(ServerDiedError, match="mid-call"):
+            obj.total()
+        assert_no_buffer_leaks(env)
+        assert any(s.error_type == "ServerDiedError" for s in error_spans(tracer))
+        with pytest.raises(CommunicationError):
+            obj.add(1)
+        assert_no_buffer_leaks(env)
+
+
+class TestReconnectable:
+    @pytest.fixture
+    def world(self, traced_env, counter_module):
+        env, tracer = traced_env
+        stable: dict = {}
+        server = env.create_domain(env.machine("servers"), "server-1")
+        client = env.create_domain(env.machine("clients"), "client")
+        binding = counter_module.binding("counter")
+        exported = ReconnectableServer(server).export(
+            StableCounter(stable), binding, name="/services/counter"
+        )
+        obj = ship(env.kernel, server, client, exported, binding)
+        return env, tracer, server, obj, binding, stable
+
+    def test_crash_mid_call_retried_onto_new_incarnation(self, world):
+        env, tracer, server, obj, binding, stable = world
+        plane = env.install_chaos(seed=2)
+        assert obj.add(5) == 5
+
+        def restart():
+            replacement = env.create_domain("servers", "server-2")
+            ReconnectableServer(replacement).export(
+                StableCounter(stable), binding, name="/services/counter"
+            )
+
+        # Crash the server mid-call; the replacement comes up (rebinding
+        # the name) before the retry loop re-resolves, so the same invoke
+        # completes on the new incarnation with the state intact.
+        plane.crash_mid_call_next(server)
+        plane.schedule(env.clock.now_us, restart, "restart")
+        assert obj.add(3) == 8
+        assert not server.alive
+        assert plane.injected["crash_mid_call"] == 1
+        assert_no_buffer_leaks(env)
+        # The mid-call crash was recorded on a span before the retry won.
+        assert any(
+            s.error_type == "ServerDiedError" for s in error_spans(tracer)
+        )
+
+    def test_crash_mid_call_without_restart_gives_up_cleanly(self, world):
+        env, tracer, server, obj, _, _ = world
+        plane = env.install_chaos(seed=2)
+        plane.crash_mid_call_next(server)
+        with pytest.raises(CommunicationError, match="gave up"):
+            obj.add(1)
+        assert_no_buffer_leaks(env)
+        failed = error_spans(tracer)
+        assert any(s.category == "invoke" for s in failed)

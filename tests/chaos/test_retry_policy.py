@@ -1,0 +1,214 @@
+"""The shared retry discipline: backoff, budgets, breakers — and their
+adoption by the reconnectable subcontract (exponential backoff replacing
+the historical flat constant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errors import (
+    CommunicationError,
+    DeadlineExceeded,
+    ServerDiedError,
+)
+from repro.runtime.faults import crash_domain
+from repro.runtime.retry import BreakerOpenError, CircuitBreaker, RetryPolicy
+from repro.subcontracts.reconnectable import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_POLICY,
+    RETRY_BACKOFF_US,
+    ReconnectableServer,
+)
+from tests.chaos.conftest import StableCounter, ship
+
+
+class TestBackoff:
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(base_us=100.0, multiplier=2.0, max_backoff_us=500.0)
+        waits = [policy.backoff_us(n) for n in range(1, 6)]
+        assert waits == [100.0, 200.0, 400.0, 500.0, 500.0]
+
+    def test_flat_policy_reproduces_historical_constant(self):
+        policy = RetryPolicy(base_us=50_000.0, multiplier=1.0)
+        assert [policy.backoff_us(n) for n in range(1, 4)] == [50_000.0] * 3
+
+    def test_attempts_are_one_based(self):
+        policy = RetryPolicy(base_us=1.0)
+        with pytest.raises(ValueError, match="1-based"):
+            policy.backoff_us(0)
+
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        a = RetryPolicy(base_us=1000.0, multiplier=1.0, jitter=0.25, seed=11)
+        b = RetryPolicy(base_us=1000.0, multiplier=1.0, jitter=0.25, seed=11)
+        seq_a = [a.backoff_us(1) for _ in range(8)]
+        seq_b = [b.backoff_us(1) for _ in range(8)]
+        assert seq_a == seq_b
+        assert all(750.0 <= w <= 1250.0 for w in seq_a)
+        assert len(set(seq_a)) > 1  # it actually spreads
+
+    def test_reseed_replays_the_jitter_stream(self):
+        policy = RetryPolicy(base_us=1000.0, jitter=0.5, seed=3)
+        first = [policy.backoff_us(1) for _ in range(4)]
+        policy.reseed(3)
+        assert [policy.backoff_us(1) for _ in range(4)] == first
+
+    def test_pause_charges_the_clock(self, kernel):
+        policy = RetryPolicy(base_us=250.0, multiplier=2.0)
+        waited = policy.pause(kernel.clock, 2)
+        assert waited == 500.0
+        assert kernel.clock.tally()["retry_backoff"] == 500.0
+
+    def test_derive_overrides_and_keeps_the_rest(self):
+        policy = RetryPolicy(base_us=10.0, multiplier=3.0, max_attempts=4)
+        derived = policy.derive(max_attempts=9, breaker_threshold=2)
+        assert derived.base_us == 10.0
+        assert derived.multiplier == 3.0
+        assert derived.max_attempts == 9
+        assert derived.breaker is not None
+        assert policy.breaker is None  # the original is untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_us=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_us=1.0, multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_us=1.0, jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_us=1.0, max_attempts=0)
+
+
+class TestRetryable:
+    def test_taxonomy(self):
+        assert RetryPolicy.retryable(CommunicationError("x"))
+        assert RetryPolicy.retryable(ServerDiedError("x"))
+        assert not RetryPolicy.retryable(DeadlineExceeded("x"))
+        assert not RetryPolicy.retryable(ValueError("x"))
+
+
+class TestCircuitBreaker:
+    def test_transitions(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_us=1000.0)
+        key = "target"
+        assert breaker.state(key) == "closed"
+        assert breaker.allow(key, 0.0) is None
+        assert breaker.record_failure(key, 0.0) is None  # 1 of 2
+        assert breaker.record_failure(key, 10.0) == "open"  # trips
+        assert breaker.state(key) == "open"
+        assert breaker.allow(key, 500.0) == "open"  # still cooling
+        assert breaker.allow(key, 1500.0) == "half_open"  # probe window
+        assert breaker.record_success(key) == "closed"
+        assert breaker.state(key) == "closed"
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_us=100.0)
+        breaker.record_failure("k", 0.0)
+        assert breaker.allow("k", 200.0) == "half_open"
+        assert breaker.record_failure("k", 200.0) == "open"
+        assert breaker.allow("k", 250.0) == "open"
+
+    def test_success_on_closed_is_quiet(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_us=100.0)
+        assert breaker.record_success("k") is None
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0, cooldown_us=1.0)
+
+
+@pytest.fixture
+def recon_world(env, counter_module):
+    """A traced reconnectable world whose server can crash and restart."""
+    tracer = env.install_tracer()
+    stable: dict = {}
+    server = env.create_domain(env.machine("servers"), "server-1")
+    client = env.create_domain(env.machine("clients"), "client")
+    binding = counter_module.binding("counter")
+    exported = ReconnectableServer(server).export(
+        StableCounter(stable), binding, name="/services/counter"
+    )
+    obj = ship(env.kernel, server, client, exported, binding)
+    return env, tracer, server, client, obj, binding, stable
+
+
+def reconnect_backoffs(tracer):
+    return [
+        evt["backoff_us"]
+        for span in tracer.spans()
+        for evt in span.events
+        if evt["name"] == "reconnect.retry"
+    ]
+
+
+class TestReconnectableAdoption:
+    """Satellite: ReconnectableClient's flat RETRY_BACKOFF_US became a
+    RetryPolicy — backoff must now grow across attempts."""
+
+    def test_backoff_grows_exponentially_across_attempts(self, recon_world):
+        env, tracer, server, _, obj, _, _ = recon_world
+        crash_domain(server)
+        before = env.clock.tally().get("retry_backoff", 0.0)
+        with pytest.raises(CommunicationError, match="gave up"):
+            obj.total()
+        backoffs = reconnect_backoffs(tracer)
+        expected = [
+            DEFAULT_RETRY_POLICY.backoff_us(n)
+            for n in range(1, DEFAULT_MAX_RETRIES + 1)
+        ]
+        assert backoffs == expected
+        # The first wait is the historical constant; growth is strict
+        # until the 16x cap, and every wait was charged to the clock.
+        assert backoffs[0] == RETRY_BACKOFF_US
+        assert all(b == 2 * a for a, b in zip(backoffs[:4], backoffs[1:5]))
+        assert max(backoffs) == RETRY_BACKOFF_US * 16
+        charged = env.clock.tally()["retry_backoff"] - before
+        assert charged == pytest.approx(sum(backoffs))
+        # Strictly more patient than the old flat schedule.
+        assert charged > DEFAULT_MAX_RETRIES * RETRY_BACKOFF_US
+
+    def test_breaker_fails_fast_then_heals(self, recon_world):
+        env, tracer, server, _, obj, binding, stable = recon_world
+        policy = DEFAULT_RETRY_POLICY.derive(
+            breaker_threshold=2, breaker_cooldown_us=500_000.0
+        )
+        obj._subcontract.retry_policy = policy
+        breaker = policy.breaker
+        crash_domain(server)
+
+        # Two failed attempts trip the breaker mid-invoke.
+        with pytest.raises(BreakerOpenError):
+            obj.total()
+        assert breaker.state("/services/counter") == "open"
+
+        # While open, calls fail fast: no further backoff is charged.
+        backoff_spent = env.clock.tally()["retry_backoff"]
+        with pytest.raises(BreakerOpenError):
+            obj.total()
+        assert env.clock.tally()["retry_backoff"] == backoff_spent
+
+        # A healthy incarnation comes back under the same name.
+        server2 = env.create_domain("servers", "server-2")
+        ReconnectableServer(server2).export(
+            StableCounter(stable), binding, name="/services/counter"
+        )
+
+        # First post-cooldown call is the half-open probe; it still holds
+        # the dead incarnation's door, so the probe fails, re-opens the
+        # circuit — and the retry loop re-resolves the name on the way out.
+        env.clock.advance(600_000.0, "think_time")
+        with pytest.raises(BreakerOpenError):
+            obj.total()
+
+        # Second probe goes to the live door: the circuit heals.
+        env.clock.advance(600_000.0, "think_time")
+        assert obj.total() == 0
+        assert breaker.state("/services/counter") == "closed"
+        events = [
+            evt["name"]
+            for span in tracer.spans()
+            for evt in span.events
+            if evt["name"].startswith("retry.breaker")
+        ]
+        assert "retry.breaker_open" in events
+        assert "retry.breaker_probe" in events
+        assert "retry.breaker_closed" in events

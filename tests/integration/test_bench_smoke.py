@@ -22,6 +22,10 @@ from benchmarks.bench_p3_obs_overhead import (
     SPANS_PER_GENERAL_CALL,
     run as run_p3,
 )
+from benchmarks.bench_p4_chaos_overhead import (
+    PRE_CHAOS_GENERAL_SIM_US,
+    run as run_p4,
+)
 from benchmarks.conftest import sim_us
 
 pytestmark = pytest.mark.bench_smoke
@@ -41,6 +45,14 @@ def p3_results():
     # time bit-for-bit equal to the pre-observability record, and the
     # enabled delta exactly the tracer's own probe charges.
     return run_p3(rounds=ROUNDS, warmup=WARMUP)
+
+
+@pytest.fixture(scope="module")
+def p4_results():
+    # run() itself asserts the deterministic P4 gates: uninstalled sim
+    # time bit-for-bit equal to the pre-chaos record, quiet-plane sim
+    # parity, and degraded-mode cost monotone in the loss rate.
+    return run_p4(rounds=ROUNDS, warmup=WARMUP, degraded_calls=100)
 
 
 def test_e1_smoke_subcontract_tax_is_small(p1_results):
@@ -74,6 +86,29 @@ def test_p3_smoke_enabled_tracing_charges_only_its_probes(p3_results):
     assert delta == pytest.approx(
         SPANS_PER_GENERAL_CALL * p3_results["trace_span_us"]
     )
+
+
+def test_p4_smoke_uninstalled_chaos_charges_zero_sim_time(p4_results):
+    # The machine-independent form of the 2% overhead gate: with no
+    # fault plane installed the sim clock's per-call total is bit-for-bit
+    # the pre-chaos figure — the interception points contribute nothing.
+    assert p4_results["uninstalled_general_sim_us"] == pytest.approx(
+        PRE_CHAOS_GENERAL_SIM_US, abs=1e-6
+    )
+
+
+def test_p4_smoke_quiet_plane_is_free(p4_results):
+    # An installed plane with every rate at zero draws nothing from the
+    # RNG and charges nothing: capability, not cost.
+    assert (
+        p4_results["quiet_plane_general_sim_us"]
+        == p4_results["uninstalled_general_sim_us"]
+    )
+
+
+def test_p4_smoke_retransmission_tax_grows_with_loss(p4_results):
+    costs = [e["sim_us_per_call"] for e in p4_results["degraded_rawnet"]]
+    assert costs == sorted(costs) and len(set(costs)) == len(costs)
 
 
 def test_p1_smoke_sim_time_is_deterministic():
