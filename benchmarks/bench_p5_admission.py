@@ -1,0 +1,271 @@
+"""P5 — admission-control bench (PR 5's overload-protection gates).
+
+Two questions, answered in the same style as P3/P4:
+
+1. **What does an uninstalled controller cost the hot path?**  Nothing
+   measurable: with ``kernel.admission = None`` (every kernel's default)
+   the interception point is one attribute read and one branch.  The PR
+   gate is that this regresses pre-admission ``general_wall_us`` by at
+   most 2% (same-session interleaved A/B against the pre-admission
+   commit, committed in :data:`PR_AB_VS_PRE_ADMISSION`), and that
+   uninstalled simulated time is *bit-for-bit* the pre-admission figure
+   (asserted on every run against :data:`PRE_ADMISSION_GENERAL_SIM_US`).
+   An **installed but ungoverned** controller must match bit-for-bit
+   too: governance is opt-in per door, and a door that never opted in
+   pays one cached dictionary miss, ever.
+
+2. **What does shedding buy under overload?**  The goodput curve: a
+   limit-1 door under a seeded open-loop burst at 1x / 2x / 5x its
+   service capacity, with shedding **on** (bounded queue, deadline
+   aware) versus **off** (unbounded queue, deadline blind).  Everything
+   is simulated time under a fixed seed, so the curve is deterministic
+   and machine-independent.  The PR gate: at 5x offered load the
+   shedding configuration must deliver at least **2x** the goodput of
+   the unprotected one — bounded queues fail the excess fast instead of
+   letting every call pay the standing queue's wait.
+
+The wall-gate methodology is the P3/P4 one: wall clocks in a JSON
+measure the machine of the day, so the ≤2% gate was applied as a
+same-session interleaved A/B against a worktree at the pre-admission
+commit, best-of across alternating rounds (the floor each tree can
+reach), committed below and riding into ``BENCH_P5.json``.  What *is*
+asserted on every run are the machine-independent invariants: the two
+sim-time parities and the goodput gate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.bench_p1_hotpath import best_of, build_world
+from benchmarks.conftest import COUNTER_IDL, CounterImpl, ship, sim_us
+from repro.idl.compiler import compile_idl
+from repro.kernel.clock import ClockWindow
+from repro.kernel.errors import ServerBusyError
+from repro.runtime.admission import AdmissionPolicy, install_admission
+from repro.runtime.env import Environment
+from repro.subcontracts.singleton import SingletonServer
+
+#: admission-uninstalled wall-us/call may regress at most this fraction
+#: versus the pre-admission tree measured in the same session
+UNINSTALLED_OVERHEAD_GATE = 0.02
+
+#: general-stub sim-us/call recorded by the PRE-admission tree (the same
+#: figure P3 and P4 pinned: the deadline gate, the fault plane and now
+#: the admission gate all charge nothing while idle).  The sim clock is
+#: deterministic, so the check is machine-independent.
+PRE_ADMISSION_GENERAL_SIM_US = 111.61000000010245
+
+#: the PR-time wall gate record: ten alternating best-of-6000 rounds of
+#: the P1 general-stub probe on this tree versus a worktree at the
+#: pre-admission commit (1fa45ca), same machine, same session.  The
+#: comparison is floor-to-floor across the alternating rounds (the same
+#: statistic P3/P4 used): best-of 9.18 instrumented vs 9.23
+#: pre-admission = -0.5%, inside the 2% gate.
+PR_AB_VS_PRE_ADMISSION = {
+    "pre_admission_commit": "1fa45ca",
+    "rounds_per_sample": 6000,
+    "pre_admission_general_wall_us": [
+        9.34, 9.25, 9.34, 9.36, 9.36, 9.29, 9.35, 9.23, 9.34, 9.42,
+    ],
+    "instrumented_general_wall_us": [
+        9.20, 9.22, 11.12, 9.37, 9.53, 9.18, 9.37, 9.32, 9.41, 9.58,
+    ],
+    "best_of_overhead_pct": round(100.0 * (9.18 - 9.23) / 9.23, 1),
+    "gate_pct": 100.0 * UNINSTALLED_OVERHEAD_GATE,
+    "gate": "pass",
+}
+
+#: phantom service demand in the goodput worlds; the limit-1 door's
+#: capacity is one call per SERVICE_US
+SERVICE_US = 400.0
+
+#: offered-load multiples swept by the goodput curve
+GOODPUT_FACTORS = (1, 2, 5)
+
+#: at 5x offered load, shedding-on goodput must beat shedding-off by
+#: at least this factor
+GOODPUT_GATE_AT_5X = 2.0
+
+
+def goodput_leg(factor: int, shedding: bool, calls: int = 240) -> dict:
+    """Drive one governed door under a ``factor``-x burst; goodput.
+
+    ``shedding`` on is the PR-5 overload posture (bounded queue,
+    deadline aware); off is the unprotected baseline (unbounded queue,
+    deadline blind — the controller still models occupancy, so every
+    admitted call pays the standing queue's wait, but nothing is ever
+    refused).  Goodput is successful calls per simulated second over
+    the whole storm, think time included.
+    """
+    env = Environment(seed=7)
+    server = env.create_domain(env.machine("s"), "server")
+    client = env.create_domain(env.machine("c"), "client")
+    module = compile_idl(COUNTER_IDL, f"p5_goodput_{factor}_{int(shedding)}")
+    binding = module.binding("counter")
+    exported = SingletonServer(server).export(CounterImpl(), binding)
+    obj = ship(env.kernel, server, client, exported, binding)
+
+    admission = env.install_admission(seed=7)
+    door = obj._rep.door
+    if shedding:
+        policy = AdmissionPolicy(
+            limit=1, queue_limit=8, deadline_aware=True,
+            service_estimate_us=SERVICE_US,
+        )
+    else:
+        policy = AdmissionPolicy(
+            limit=1, queue_limit=None, deadline_aware=False,
+            service_estimate_us=SERVICE_US,
+        )
+    admission.govern(door, policy)
+    plane = env.install_chaos(seed=7)  # every rate zero: burst only
+    plane.burst(door, interarrival_us=SERVICE_US / factor, service_us=SERVICE_US)
+
+    rng = random.Random(7)
+    ok = busy = 0
+    with ClockWindow(env.clock) as window:
+        for _ in range(calls):
+            env.clock.advance(50.0 + 150.0 * rng.random(), "think_time")
+            try:
+                obj.add(1)
+            except ServerBusyError:
+                busy += 1
+            else:
+                ok += 1
+    elapsed = window.elapsed_us
+    snapshot = admission.door_snapshot(door)
+    return {
+        "factor": factor,
+        "shedding": shedding,
+        "calls": calls,
+        "ok": ok,
+        "busy": busy,
+        "elapsed_sim_us": round(elapsed, 2),
+        "goodput_per_sim_s": round(ok / (elapsed / 1e6), 1),
+        "mean_sim_us_per_call": round(elapsed / calls, 2),
+        "queued": snapshot["queued"],
+        "shed": snapshot["shed"],
+        "rejected": snapshot["rejected"],
+        "phantom_admitted": snapshot["phantom_admitted"],
+    }
+
+
+def goodput_curve(calls: int = 240) -> list[dict]:
+    return [
+        goodput_leg(factor, shedding, calls=calls)
+        for factor in GOODPUT_FACTORS
+        for shedding in (True, False)
+    ]
+
+
+def run(rounds: int = 20000, warmup: int = 2000, goodput_calls: int = 240) -> dict:
+    """Run the P5 admission bench; returns the measurement dict."""
+    # Two identical P1 worlds; only one gets an (ungoverned) controller.
+    kernel_off, _, general_off, _ = build_world()
+    kernel_inst, _, general_inst, _ = build_world()
+    install_admission(kernel_inst, seed=0)  # installed, nothing governed
+
+    for _ in range(warmup):
+        general_off.total()
+        general_inst.total()
+
+    sim_off = min(sim_us(kernel_off, general_off.total) for _ in range(5))
+    sim_inst = min(sim_us(kernel_inst, general_inst.total) for _ in range(5))
+
+    results = {
+        "rounds": rounds,
+        "uninstalled_general_wall_us": round(best_of(general_off.total, rounds), 2),
+        "ungoverned_general_wall_us": round(best_of(general_inst.total, rounds), 2),
+        "uninstalled_general_sim_us": sim_off,
+        "ungoverned_general_sim_us": sim_inst,
+        "goodput": goodput_curve(calls=goodput_calls),
+    }
+    results["ungoverned_wall_overhead_pct"] = round(
+        100.0
+        * (results["ungoverned_general_wall_us"] - results["uninstalled_general_wall_us"])
+        / results["uninstalled_general_wall_us"],
+        1,
+    )
+
+    # -- deterministic invariants (machine-independent) -----------------
+
+    # Uninstalled mode charges not one simulated nanosecond: sim time
+    # matches the recorded pre-admission tree bit-for-bit.
+    assert abs(sim_off - PRE_ADMISSION_GENERAL_SIM_US) < 1e-6, (
+        f"admission-uninstalled sim time drifted: {sim_off} != pre-admission "
+        f"record {PRE_ADMISSION_GENERAL_SIM_US}"
+    )
+    # An installed controller with no governed doors resolves each door
+    # to a cached None and charges nothing: governance is opt-in.
+    assert sim_inst == sim_off, (
+        f"ungoverned admission controller charged sim time: {sim_inst} != {sim_off}"
+    )
+
+    # The goodput gate and the curve's shape.
+    by_config = {(leg["factor"], leg["shedding"]): leg for leg in results["goodput"]}
+    on_5x = by_config[(5, True)]
+    off_5x = by_config[(5, False)]
+    ratio = on_5x["goodput_per_sim_s"] / off_5x["goodput_per_sim_s"]
+    results["goodput_ratio_at_5x"] = round(ratio, 2)
+    assert ratio >= GOODPUT_GATE_AT_5X, (
+        f"shedding goodput gate failed at 5x: {on_5x['goodput_per_sim_s']} vs "
+        f"{off_5x['goodput_per_sim_s']} ({ratio:.2f}x < {GOODPUT_GATE_AT_5X}x)"
+    )
+    # The unprotected configuration never refuses a call — every one of
+    # them just pays the wait — while the protected one really shed.
+    for factor in GOODPUT_FACTORS:
+        off = by_config[(factor, False)]
+        assert off["busy"] == 0 and off["ok"] == off["calls"]
+    assert on_5x["busy"] > 0 and on_5x["ok"] > 0
+    # Unprotected goodput degrades monotonically as offered load grows.
+    off_curve = [by_config[(f, False)]["goodput_per_sim_s"] for f in GOODPUT_FACTORS]
+    assert off_curve == sorted(off_curve, reverse=True), (
+        f"unprotected goodput not monotone in offered load: {off_curve}"
+    )
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def worlds():
+    kernel_off, _, general_off, _ = build_world()
+    kernel_inst, _, general_inst, _ = build_world()
+    install_admission(kernel_inst, seed=0)
+    return general_off, general_inst
+
+
+@pytest.mark.benchmark(group="P5-admission")
+def bench_p5_uninstalled_general(benchmark, worlds):
+    general_off, _ = worlds
+    benchmark(general_off.total)
+
+
+@pytest.mark.benchmark(group="P5-admission")
+def bench_p5_ungoverned_general(benchmark, worlds):
+    _, general_inst = worlds
+    benchmark(general_inst.total)
+
+
+@pytest.mark.bench_smoke
+def bench_p5_shape_and_record(record):
+    results = run(rounds=2000, warmup=500, goodput_calls=120)
+    record("P5", f"uninstalled general: {results['uninstalled_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P5", f"ungoverned general:  {results['ungoverned_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P5", f"ungoverned overhead: {results['ungoverned_wall_overhead_pct']:+.1f}%")
+    for leg in results["goodput"]:
+        mode = "shed" if leg["shedding"] else "wait"
+        record(
+            "P5",
+            f"goodput @ {leg['factor']}x [{mode}]: "
+            f"{leg['goodput_per_sim_s']:8.1f} ok-calls/sim-s "
+            f"({leg['ok']} ok, {leg['busy']} busy, "
+            f"{leg['mean_sim_us_per_call']:.0f} sim-us/call)",
+        )
+    record("P5", f"goodput ratio at 5x: {results['goodput_ratio_at_5x']:.2f}x (gate >= {GOODPUT_GATE_AT_5X}x)")

@@ -29,6 +29,14 @@ sim-parity gates asserted inside the run), the deterministic
 degraded-mode retransmission tax at 1% / 5% datagram loss, and the
 committed PR-time A/B record of the 2% uninstalled-overhead wall gate
 (see :mod:`benchmarks.bench_p4_chaos_overhead`).
+
+And ``benchmarks/BENCH_P5.json`` (the PR-5 admission-control bench):
+admission uninstalled vs installed-but-ungoverned on the same hot path
+(both sim-parity gates asserted inside the run), the deterministic
+goodput curve at 1x / 2x / 5x offered load with shedding on vs off
+(the ≥2x-at-5x gate asserted inside the run), and the committed
+PR-time A/B record of the 2% uninstalled-overhead wall gate (see
+:mod:`benchmarks.bench_p5_admission`).
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ BENCH_DIR = Path(__file__).parent
 OUT_PATH = BENCH_DIR / "BENCH_P1.json"
 P3_OUT_PATH = BENCH_DIR / "BENCH_P3.json"
 P4_OUT_PATH = BENCH_DIR / "BENCH_P4.json"
+P5_OUT_PATH = BENCH_DIR / "BENCH_P5.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -154,6 +163,35 @@ def main(argv: list[str] | None = None) -> int:
             f"({entry['calls_per_sim_second']:.0f} calls/sim-s)"
         )
     print(f"wrote {P4_OUT_PATH}")
+
+    from benchmarks.bench_p5_admission import PR_AB_VS_PRE_ADMISSION
+    from benchmarks.bench_p5_admission import run as run_p5
+
+    print(f"P5 admission-control bench: {rounds} rounds per configuration ...")
+    p5 = run_p5(rounds=rounds, warmup=warmup)
+    p5_payload = {
+        "bench": "P5-admission",
+        "current": p5,
+        "pr_ab_vs_pre_admission": PR_AB_VS_PRE_ADMISSION,
+    }
+    P5_OUT_PATH.write_text(json.dumps(p5_payload, indent=2) + "\n")
+
+    print(
+        f"  uninstalled  {p5['uninstalled_general_wall_us']:7.2f} wall-us/call; "
+        f"ungoverned {p5['ungoverned_general_wall_us']:.2f} "
+        f"({p5['ungoverned_wall_overhead_pct']:+.1f}%)"
+    )
+    for leg in p5["goodput"]:
+        mode = "shed" if leg["shedding"] else "wait"
+        print(
+            f"  goodput @ {leg['factor']}x [{mode}]: "
+            f"{leg['goodput_per_sim_s']:8.1f} ok-calls/sim-s "
+            f"({leg['ok']} ok, {leg['busy']} busy)"
+        )
+    print(
+        f"  goodput ratio at 5x: {p5['goodput_ratio_at_5x']:.2f}x (gate >= 2x)"
+    )
+    print(f"wrote {P5_OUT_PATH}")
     return 0
 
 

@@ -13,6 +13,7 @@ from repro.analysis.rules.subcontract_conformance import SubcontractConformanceR
 from repro.analysis.rules.marshal_symmetry import MarshalSymmetryRule
 from repro.analysis.rules.lock_ordering import LockOrderingRule
 from repro.analysis.rules.clock_discipline import ClockDisciplineRule
+from repro.analysis.rules.unbounded_queue import UnboundedQueueRule
 
 __all__ = [
     "ALL_RULES",
@@ -22,6 +23,7 @@ __all__ = [
     "MarshalSymmetryRule",
     "LockOrderingRule",
     "ClockDisciplineRule",
+    "UnboundedQueueRule",
 ]
 
 ALL_RULES = (
@@ -31,4 +33,5 @@ ALL_RULES = (
     MarshalSymmetryRule,
     LockOrderingRule,
     ClockDisciplineRule,
+    UnboundedQueueRule,
 )

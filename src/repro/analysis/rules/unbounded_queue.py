@@ -1,0 +1,232 @@
+"""unbounded-queue: wait queues must be bounded, permits must not block.
+
+Overload protection (PR 5) rests on two invariants the type system cannot
+see:
+
+* **bounded wait queues** — a queue that buffers work while a server is
+  busy must carry an explicit bound, or it silently converts overload
+  into unbounded memory growth and unbounded queueing delay (the exact
+  failure admission control exists to prevent).  ``queue.Queue()``
+  without a positive ``maxsize`` and ``collections.deque()`` without a
+  ``maxlen`` are flagged when the result lands in a queue-ish name
+  (``*queue*``, ``*pending*``, ``*waiting*``, ``*backlog*``,
+  ``*inbox*``).  ``SimpleQueue`` has no bound at all, so any queue-ish
+  use is flagged.
+* **no blocking while holding a permit** — between
+  ``permit = <controller>.admit(...)`` and the matching
+  ``.complete(permit)``, a virtual server slot is occupied.  Calling a
+  blocking primitive (``sleep``, ``join``, ``wait``, ``acquire``, or a
+  queue ``.get``) in that window stalls the slot and starves every
+  queued caller behind it; the wait belongs *before* admission (where
+  the controller charges it as ``admission_wait``) or *after* release.
+
+Both checks are lexical, not data-flow: they look at the straight-line
+order of statements inside one function body, which is exactly the shape
+the admission hot path has.  Use a targeted suppression for the rare
+deliberate exception::
+
+    q = queue.Queue()  # springlint: disable=unbounded-queue -- test rig
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Rule, SourceModule
+
+__all__ = ["UnboundedQueueRule"]
+
+#: constructor name -> keyword that bounds it (None: cannot be bounded)
+_QUEUE_CTORS: dict[str, str | None] = {
+    "Queue": "maxsize",
+    "LifoQueue": "maxsize",
+    "PriorityQueue": "maxsize",
+    "SimpleQueue": None,
+    "deque": "maxlen",
+}
+
+#: substrings that mark a binding target as a wait queue
+_QUEUEISH = ("queue", "pending", "waiting", "backlog", "inbox")
+
+#: method/function names that block the calling thread
+_BLOCKING = ("sleep", "join", "wait", "acquire", "get")
+
+
+def _tail_name(node: ast.expr) -> str | None:
+    """The unqualified callable name: ``queue.Queue`` -> ``Queue``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _target_names(node: ast.stmt) -> list[str]:
+    """Names bound by an assignment/annassign statement."""
+    names: list[str] = []
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets = [node.target]
+    for target in targets:
+        for leaf in ast.walk(target):
+            if isinstance(leaf, ast.Name):
+                names.append(leaf.id)
+            elif isinstance(leaf, ast.Attribute):
+                names.append(leaf.attr)
+    return names
+
+
+def _is_queueish(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in _QUEUEISH)
+
+
+def _positive_constant(node: ast.expr | None) -> bool:
+    """True when the bound argument is a non-zero constant or any
+    non-constant expression (give runtime-computed bounds the benefit of
+    the doubt); False for a literal 0/None/absent."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant):
+        return bool(node.value)
+    return True
+
+
+def _bound_argument(call: ast.Call, keyword: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    # Queue(8) / deque(iterable, 8): the bound is also positional —
+    # maxsize is the first Queue argument, maxlen the second of deque.
+    index = 0 if keyword == "maxsize" else 1
+    if len(call.args) > index:
+        return call.args[index]
+    return None
+
+
+class UnboundedQueueRule(Rule):
+    name = "unbounded-queue"
+    description = (
+        "wait queues must declare a bound; no blocking calls while "
+        "holding an admission permit"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_queue_binding(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_permit_window(module, node)
+
+    # ------------------------------------------------------------------
+    # bounded wait queues
+    # ------------------------------------------------------------------
+
+    def _check_queue_binding(
+        self, module: SourceModule, node: ast.Assign | ast.AnnAssign
+    ) -> Iterator[Finding]:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        ctor = _tail_name(value.func)
+        keyword = _QUEUE_CTORS.get(ctor or "")
+        if ctor not in _QUEUE_CTORS:
+            return
+        names = _target_names(node)
+        if not any(_is_queueish(name) for name in names):
+            return
+        if keyword is not None and _positive_constant(
+            _bound_argument(value, keyword)
+        ):
+            return
+        label = ", ".join(names) or "<queue>"
+        if keyword is None:
+            message = (
+                f"{ctor}() bound to {label} cannot be bounded: overload "
+                "turns this wait queue into unbounded memory growth"
+            )
+            hint = "use queue.Queue(maxsize=N) or deque(maxlen=N) instead"
+        else:
+            message = (
+                f"{ctor}() bound to {label} has no {keyword}: an "
+                "unbounded wait queue converts overload into unbounded "
+                "queueing delay instead of shedding"
+            )
+            hint = (
+                f"pass an explicit {keyword}= bound (and shed or reject "
+                "when it is reached), or route the wait through "
+                "AdmissionPolicy(queue_limit=...)"
+            )
+        yield Finding(
+            rule=self.name,
+            path=module.path,
+            line=value.lineno,
+            col=value.col_offset,
+            severity="error",
+            message=message,
+            hint=hint,
+        )
+
+    # ------------------------------------------------------------------
+    # no blocking while holding an admission permit
+    # ------------------------------------------------------------------
+
+    def _check_permit_window(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        statements = list(ast.walk(func))
+        admits: list[tuple[int, str]] = []  # (lineno, permit name)
+        completes: list[int] = []
+        calls: list[ast.Call] = []
+        for node in statements:
+            if not isinstance(node, ast.Call):
+                continue
+            calls.append(node)
+            attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+            if attr == "complete":
+                completes.append(node.lineno)
+        for node in statements:
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            func_expr = node.value.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr == "admit"
+                and node.targets
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                admits.append((node.lineno, node.targets[0].id))
+        if not admits:
+            return
+        for admit_line, _permit in admits:
+            release_line = min(
+                (line for line in completes if line > admit_line),
+                default=func.end_lineno or admit_line,
+            )
+            for call in calls:
+                if not admit_line < call.lineno < release_line:
+                    continue
+                name = _tail_name(call.func)
+                if name not in _BLOCKING:
+                    continue
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    severity="error",
+                    message=(
+                        f"blocking call {name}() while holding an "
+                        "admission permit stalls a virtual server slot "
+                        "and starves every caller queued behind it"
+                    ),
+                    hint="move the wait before admit() (the controller "
+                    "charges it as admission_wait) or after complete()",
+                )

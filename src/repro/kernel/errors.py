@@ -18,6 +18,7 @@ __all__ = [
     "CommunicationError",
     "NetworkPartitionError",
     "ServerDiedError",
+    "ServerBusyError",
     "DeadlineExceeded",
 ]
 
@@ -71,6 +72,24 @@ class NetworkPartitionError(CommunicationError):
 
 class ServerDiedError(CommunicationError):
     """The server domain crashed while (or before) handling the call."""
+
+
+class ServerBusyError(CommunicationError):
+    """The server shed the call under overload (admission control).
+
+    Raised by the :class:`~repro.runtime.admission.AdmissionController`
+    when a door's bounded wait queue is full, or when the call's stamped
+    deadline would be spent before it could reach the front.  Busy is
+    *not* dead: the call never ran, the server is healthy, and the error
+    is retryable.  ``retry_after_us`` carries the server's seeded-jitter
+    hint of when capacity should free up; retry policies honour it as
+    the floor of their next backoff, and circuit breakers must not count
+    it as a failure.
+    """
+
+    def __init__(self, message: str, retry_after_us: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_us = retry_after_us
 
 
 class DeadlineExceeded(CommunicationError):

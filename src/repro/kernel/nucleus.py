@@ -97,6 +97,11 @@ class Kernel:
         # repro.runtime.deadline.deadline() and stamped onto buffers at
         # door_call so the budget follows the call across machines.
         self._deadline = _ThreadDeadline()
+        #: the admission controller (repro.runtime.admission) or None;
+        #: like chaos, uninstalled costs one attribute read + one branch
+        #: at each gate (local door launch, fabric incoming leg) and zero
+        #: simulated time.
+        self.admission = None
 
     @property
     def call_depth(self) -> int:
@@ -304,12 +309,34 @@ class Kernel:
         ):
             reply = self.fabric(caller, door, buffer)
         else:
-            self.clock.charge("door_call")
-            # Tracing was just checked off for this same synchronous call:
-            # go straight to the untraced delivery body.
-            reply = self._deliver_untraced(door, buffer)
+            admission = self.admission
+            if admission is not None:
+                reply = self._admitted_local_call(admission, door, buffer)
+            else:
+                self.clock.charge("door_call")
+                # Tracing was just checked off for this same synchronous
+                # call: go straight to the untraced delivery body.
+                reply = self._deliver_untraced(door, buffer)
         reply.seal_for_transmission(server)
         return reply
+
+    def _admitted_local_call(
+        self, admission, door: Door, buffer: "MarshalBuffer"
+    ) -> "MarshalBuffer":
+        """Local door-call tail with an admission controller installed.
+
+        The gate sits below the deadline gate (a spent budget beats a
+        busy-shed) and above handler dispatch; a shed call raises
+        ServerBusyError before the door traversal is even charged.
+        """
+        permit = admission.admit(door, buffer)
+        self.clock.charge("door_call")
+        if permit is None:
+            return self._deliver(door, buffer)
+        try:
+            return self._deliver(door, buffer)
+        finally:
+            admission.complete(permit)
 
     def _traced_door_call(
         self,
@@ -338,8 +365,12 @@ class Kernel:
                 if remote:
                     reply = self.fabric(caller, door, buffer)
                 else:
-                    self.clock.charge("door_call")
-                    reply = self._deliver(door, buffer)
+                    admission = self.admission
+                    if admission is not None:
+                        reply = self._admitted_local_call(admission, door, buffer)
+                    else:
+                        self.clock.charge("door_call")
+                        reply = self._deliver(door, buffer)
             finally:
                 buffer.trace_ctx = None
             reply.seal_for_transmission(server)

@@ -145,8 +145,23 @@ class NetworkFabric:
             raise DeadlineExceeded(
                 f"deadline passed on the request wire leg to {dst.name!r}"
             )
+        # Admission gate on the serving machine's incoming leg: the call
+        # already paid the request wire, but the server may still say
+        # busy — a shed here propagates back like any other carry
+        # failure, and the caller's failure path recycles the request.
+        admission = self.kernel.admission
+        if admission is not None:
+            permit = admission.admit(door, buffer)
+        else:
+            permit = None
         self.kernel.clock.charge("door_call")
-        reply = self.kernel._deliver(door, buffer)
+        if permit is None:
+            reply = self.kernel._deliver(door, buffer)
+        else:
+            try:
+                reply = self.kernel._deliver(door, buffer)
+            finally:
+                admission.complete(permit)
 
         # Reply leg: partitions that formed mid-call lose the reply.
         if self.partitioned(src, dst):

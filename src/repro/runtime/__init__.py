@@ -1,6 +1,18 @@
 """Runtime environment helpers: one-call world setup and fault injection."""
 
-from repro.runtime.chaos import FaultPlane, InjectedFault, LinkChaos, install_chaos
+from repro.runtime.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    install_admission,
+    uninstall_admission,
+)
+from repro.runtime.chaos import (
+    FaultPlane,
+    InjectedFault,
+    LinkChaos,
+    OpenLoopBurst,
+    install_chaos,
+)
 from repro.runtime.deadline import deadline, remaining_us
 from repro.runtime.env import Environment
 from repro.runtime.faults import crash_domain, crash_machine, partitioned
@@ -18,7 +30,12 @@ __all__ = [
     "FaultPlane",
     "LinkChaos",
     "InjectedFault",
+    "OpenLoopBurst",
     "install_chaos",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "install_admission",
+    "uninstall_admission",
     "deadline",
     "remaining_us",
     "RetryPolicy",

@@ -66,7 +66,98 @@ if TYPE_CHECKING:
     from repro.net.fabric import NetworkFabric
     from repro.net.machine import Machine
 
-__all__ = ["FaultPlane", "LinkChaos", "InjectedFault", "install_chaos"]
+__all__ = [
+    "FaultPlane",
+    "LinkChaos",
+    "InjectedFault",
+    "OpenLoopBurst",
+    "install_chaos",
+]
+
+
+class OpenLoopBurst:
+    """A seeded open-loop arrival process aimed at one governed door.
+
+    Overload needs callers that do *not* slow down when the server does —
+    an open loop.  A burst draws exponential interarrival times and
+    per-call service demands from its own ``random.Random(seed)`` and
+    feeds them to the :class:`~repro.runtime.admission.AdmissionController`
+    as *phantom* arrivals: they occupy the door's virtual concurrency
+    slots and queue positions (so real, measured calls experience genuine
+    queueing and shedding) but never advance the clock or touch a real
+    buffer.  Same seed, same clock, same workload ⇒ the same arrivals and
+    the same sheds, bit-for-bit — overload runs replay from their seed.
+
+    ``interarrival_us`` is the mean gap between arrivals; a door with
+    concurrency limit *L* and mean service *S* saturates at ``L / S``
+    calls/us, so ``interarrival_us = S / (L * m)`` offers *m*× capacity.
+    """
+
+    __slots__ = (
+        "door",
+        "interarrival_us",
+        "service_us",
+        "jitter",
+        "seed",
+        "calls",
+        "generated",
+        "rng",
+        "_next_at",
+    )
+
+    def __init__(
+        self,
+        door: "Door",
+        interarrival_us: float,
+        service_us: float,
+        seed: int = 0,
+        jitter: float = 0.0,
+        start_us: float = 0.0,
+        calls: int | None = None,
+    ) -> None:
+        if interarrival_us <= 0 or service_us <= 0:
+            raise ValueError("interarrival_us and service_us must be > 0")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        inner = getattr(door, "door", None)  # accept a DoorIdentifier too
+        self.door = inner if inner is not None else door
+        self.interarrival_us = interarrival_us
+        self.service_us = service_us
+        self.jitter = jitter
+        self.seed = seed
+        self.calls = calls
+        self.generated = 0
+        self.rng = random.Random(seed)
+        self._next_at: float | None = (
+            start_us + self.rng.expovariate(1.0 / interarrival_us)
+        )
+
+    @property
+    def next_at_us(self) -> float | None:
+        """When the next phantom arrives (sim-us); ``None`` once exhausted."""
+        return self._next_at
+
+    def take(self) -> tuple[float, float]:
+        """Consume the next arrival: ``(arrival_us, service_demand_us)``."""
+        at = self._next_at
+        if at is None:
+            raise RuntimeError("burst exhausted")
+        service = self.service_us
+        if self.jitter:
+            service *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        self.generated += 1
+        if self.calls is not None and self.generated >= self.calls:
+            self._next_at = None
+        else:
+            self._next_at = at + self.rng.expovariate(1.0 / self.interarrival_us)
+        return at, service
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<OpenLoopBurst door#{self.door.uid} mean={self.interarrival_us}us"
+            f" service={self.service_us}us seed={self.seed}"
+            f" generated={self.generated}>"
+        )
 
 
 class InjectedFault(CommunicationError):
@@ -148,6 +239,9 @@ class FaultPlane:
         self._held: dict[frozenset[str], tuple[str, str, bytes]] = {}
         #: injected-fault counters by kind, for tests and reports
         self.injected: dict[str, int] = {}
+        #: ordinal of the next aimed burst; seeds derive from it so a
+        #: rebuilt world replays regardless of global door-uid drift
+        self._burst_ordinal = 0
 
     # ------------------------------------------------------------------
     # configuration
@@ -171,6 +265,48 @@ class FaultPlane:
     def crash_mid_call_next(self, domain: "Domain | None" = None) -> None:
         """Arm a one-shot crash-mid-call (optionally only for ``domain``)."""
         self._crash_mid_call_armed = domain if domain is not None else True
+
+    def burst(
+        self,
+        door: "Door",
+        interarrival_us: float,
+        service_us: float,
+        seed: int | None = None,
+        **kwargs,
+    ) -> OpenLoopBurst:
+        """Aim an :class:`OpenLoopBurst` at a governed door.
+
+        The burst's seed derives arithmetically from the plane's seed and
+        the burst's aim ordinal (never from the plane's rng — configuring
+        a burst must not perturb the fault draw sequence, and door uids
+        are process-global so they would not replay across rebuilt
+        worlds), so a chaos run's overload replays from the same single
+        seed as its faults.  Requires an admission controller installed
+        on the kernel.
+        """
+        admission = self.kernel.admission
+        if admission is None:
+            raise RuntimeError(
+                "install an AdmissionController before aiming a burst "
+                "(Environment.install_admission)"
+            )
+        inner = getattr(door, "door", None)
+        door = inner if inner is not None else door
+        ordinal = self._burst_ordinal
+        self._burst_ordinal += 1
+        if seed is None:
+            seed = (self.seed * 1_000_003 + ordinal) & 0x7FFFFFFF
+        burst = OpenLoopBurst(door, interarrival_us, service_us, seed=seed, **kwargs)
+        admission.attach_burst(burst)
+        self._count("burst")
+        self._event(
+            "chaos.burst",
+            door=door.uid,
+            interarrival_us=interarrival_us,
+            service_us=service_us,
+            seed=seed,
+        )
+        return burst
 
     # ------------------------------------------------------------------
     # scheduled faults (crash-and-restart scripts)

@@ -187,6 +187,27 @@ class Environment:
         """Remove the fault plane; the hot path reverts to fault-free."""
         self.kernel.chaos = None
 
+    def install_admission(self, seed: int | None = None):
+        """Install overload protection (admission control) on this world.
+
+        Returns the live
+        :class:`repro.runtime.admission.AdmissionController` (also at
+        ``env.kernel.admission``); attach per-door or per-domain
+        :class:`~repro.runtime.admission.AdmissionPolicy` objects with
+        ``govern`` / ``govern_domain``.  The controller's only rng draws
+        jitter for ``retry_after_us`` hints, seeded here (defaulting to
+        the environment's own seed) so shed-heavy runs replay.
+        """
+        from repro.runtime.admission import install_admission
+
+        return install_admission(
+            self.kernel, seed=self.seed if seed is None else seed
+        )
+
+    def uninstall_admission(self) -> None:
+        """Remove admission control; doors revert to unbounded admission."""
+        self.kernel.admission = None
+
     def install_tracer(self, ring_capacity: int | None = None):
         """Turn on end-to-end tracing for this world.
 

@@ -30,6 +30,7 @@ _LABELS = {
     "local_call": "method-table hops",
     "library_load": "dynamic library loads",
     "retry_backoff": "reconnect backoff",
+    "admission_wait": "admission queueing",
     "rawnet_rto": "rawnet retransmission timeouts",
     "chaos_delay": "chaos (injected link delay)",
     "shm_setup": "shared-region setup",

@@ -23,8 +23,11 @@ them shared a vocabulary for "stop hammering a dead target".  A
 All waiting is simulated time on the kernel clock (``clock.advance``);
 nothing sleeps.  :meth:`RetryPolicy.retryable` centralises the one
 taxonomy decision every loop was making by hand: communication failures
-are retryable, but :class:`~repro.kernel.errors.DeadlineExceeded` is not
-— a spent time budget cannot be retried into compliance.
+are retryable — including :class:`~repro.kernel.errors.ServerBusyError`,
+whose ``retry_after_us`` hint the policy honours as the floor of the
+next backoff (:meth:`RetryPolicy.backoff_us`) — but
+:class:`~repro.kernel.errors.DeadlineExceeded` is not: a spent time
+budget cannot be retried into compliance, and beats a busy-retry.
 """
 
 from __future__ import annotations
@@ -197,8 +200,16 @@ class RetryPolicy:
         self.seed = seed
         self._rng = random.Random(seed)
 
-    def backoff_us(self, attempt: int) -> float:
-        """The wait before retry ``attempt`` (1-based), jitter applied."""
+    def backoff_us(self, attempt: int, floor_us: float = 0.0) -> float:
+        """The wait before retry ``attempt`` (1-based), jitter applied.
+
+        ``floor_us`` is a server-supplied lower bound — the
+        ``retry_after_us`` hint a :class:`ServerBusyError` carries.  It is
+        applied *after* jitter: the server said capacity frees up no
+        sooner than that, so no jitter draw may undercut it (jitter still
+        spreads retries out above the floor through the hint's own
+        server-side jitter).
+        """
         if attempt < 1:
             raise ValueError("attempt numbering is 1-based")
         wait = self.base_us * self.multiplier ** (attempt - 1)
@@ -206,13 +217,19 @@ class RetryPolicy:
             wait = self.max_backoff_us
         if self.jitter:
             wait *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        if wait < floor_us:
+            wait = floor_us
         return wait
 
     def pause(
-        self, clock: "SimClock", attempt: int, category: str = "retry_backoff"
+        self,
+        clock: "SimClock",
+        attempt: int,
+        category: str = "retry_backoff",
+        floor_us: float = 0.0,
     ) -> float:
         """Charge the backoff for ``attempt`` to the clock; returns it."""
-        wait = self.backoff_us(attempt)
+        wait = self.backoff_us(attempt, floor_us=floor_us)
         if wait > 0.0:
             clock.advance(wait, category)
         return wait
@@ -221,13 +238,25 @@ class RetryPolicy:
     def retryable(failure: BaseException) -> bool:
         """Is this failure worth another attempt?
 
-        Communication failures are; an exceeded deadline is not (the time
-        budget is spent), and neither is anything non-communication —
+        Communication failures are — including
+        :class:`~repro.kernel.errors.ServerBusyError`, which is overload
+        shedding, not death; an exceeded deadline is not (the time budget
+        is spent), and neither is anything non-communication —
         application errors must surface unchanged.
         """
         return isinstance(failure, CommunicationError) and not isinstance(
             failure, DeadlineExceeded
         )
+
+    @staticmethod
+    def retry_after_us(failure: BaseException) -> float:
+        """The server's busy hint riding on ``failure``, else ``0.0``.
+
+        Feed the result to :meth:`backoff_us` / :meth:`pause` as
+        ``floor_us`` so the next wait honours the server's own estimate
+        of when capacity frees up.
+        """
+        return getattr(failure, "retry_after_us", 0.0)
 
     def derive(self, **overrides: Any) -> "RetryPolicy":
         """A copy of this policy with some knobs replaced (fresh rng)."""

@@ -32,7 +32,11 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ClientSubcontract, ServerSubcontract
-from repro.kernel.errors import CommunicationError, InvalidDoorError
+from repro.kernel.errors import (
+    CommunicationError,
+    InvalidDoorError,
+    ServerBusyError,
+)
 from repro.marshal.buffer import MarshalBuffer
 from repro.runtime.retry import RetryPolicy
 from repro.subcontracts.common import make_door_handler
@@ -46,9 +50,15 @@ __all__ = ["CachingClient", "CachingServer", "CachingRep"]
 
 class CachingRep:
     """D1 (server door), D2 (local cache door, may be None), and the
-    cache manager name."""
+    cache manager name.
 
-    __slots__ = ("server_door", "cache_door", "manager_name")
+    ``stale`` is the degradation memo: the last good reply bytes per
+    request bytes, consulted only when the authority sheds the call
+    under overload (see :meth:`CachingClient.invoke`).  It is local
+    soft state — never marshalled, never copied.
+    """
+
+    __slots__ = ("server_door", "cache_door", "manager_name", "stale")
 
     def __init__(
         self,
@@ -59,6 +69,7 @@ class CachingRep:
         self.server_door = server_door
         self.cache_door = cache_door
         self.manager_name = manager_name
+        self.stale: dict[bytes, bytes] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         d2 = f"#{self.cache_door.uid}" if self.cache_door else "none"
@@ -72,6 +83,16 @@ class CachingClient(ClientSubcontract):
     """Client operations vector for the caching subcontract."""
 
     id = "caching"
+
+    #: serve the last good local reply when the authority sheds the call
+    #: (ServerBusyError) instead of surfacing the overload to the caller
+    stale_on_busy = True
+
+    #: only door-free replies up to this size are memoised for staleness
+    STALE_REPLY_CAP = 4096
+
+    #: distinct request keys memoised per object before eviction
+    STALE_MEMO_ENTRIES = 32
 
     def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
         kernel = self.domain.kernel
@@ -89,6 +110,23 @@ class CachingClient(ClientSubcontract):
         kernel.clock.charge("memory_copy_byte", buffer.size)
         try:
             reply = kernel.door_call(self.domain, door, buffer)
+        except ServerBusyError:
+            # Overload shedding, caught before the fallback handler below:
+            # busy is not dead, so the cache front must NOT be dropped.
+            # Degrade to the last good local copy of this exact reply if
+            # we hold one; otherwise surface the busy (it is retryable
+            # and carries the server's retry_after_us hint).
+            stale = rep.stale if self.stale_on_busy and not buffer.doors else None
+            memo = stale.get(bytes(buffer.data)) if stale is not None else None
+            if memo is None:
+                raise
+            if tracer.enabled:
+                tracer.event(
+                    "caching.stale_hit", subcontract=self.id, bytes=len(memo)
+                )
+            reply = self._stale_reply(kernel, memo)
+            kernel.clock.charge("memory_copy_byte", reply.size)
+            return reply
         except (CommunicationError, InvalidDoorError) as failure:
             if rep.cache_door is None or (
                 isinstance(failure, CommunicationError)
@@ -110,6 +148,29 @@ class CachingClient(ClientSubcontract):
                 )
             reply = kernel.door_call(self.domain, rep.server_door, buffer)
         kernel.clock.charge("memory_copy_byte", reply.size)
+        # Memoise door-free request/reply byte pairs so a later shed can
+        # be answered locally.  Door-carrying payloads never memoise: the
+        # bytes alone do not reproduce a capability transfer.
+        if (
+            self.stale_on_busy
+            and not buffer.doors
+            and not reply.doors
+            and len(reply.data) <= self.STALE_REPLY_CAP
+        ):
+            stale = rep.stale
+            if stale is None:
+                stale = rep.stale = {}
+            elif len(stale) >= self.STALE_MEMO_ENTRIES:
+                stale.pop(next(iter(stale)))
+            stale[bytes(buffer.data)] = bytes(reply.data)
+        return reply
+
+    @staticmethod
+    def _stale_reply(kernel: Any, memo: bytes) -> MarshalBuffer:
+        """Fabricate a reply buffer from memoised bytes (one local copy)."""
+        reply = MarshalBuffer(kernel)
+        reply.data.extend(memo)
+        kernel.clock.charge("memory_copy_byte", len(memo))
         return reply
 
     # ------------------------------------------------------------------

@@ -29,7 +29,12 @@ from repro.core.errors import SubcontractError
 from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ClientSubcontract, ServerSubcontract
-from repro.kernel.errors import CommunicationError, InvalidDoorError, KernelError
+from repro.kernel.errors import (
+    CommunicationError,
+    InvalidDoorError,
+    KernelError,
+    ServerBusyError,
+)
 from repro.marshal.buffer import MarshalBuffer
 from repro.runtime.retry import BreakerOpenError, RetryPolicy
 from repro.subcontracts.common import make_door_handler
@@ -114,7 +119,12 @@ class ReconnectableClient(ClientSubcontract):
                     failure
                 ):
                     raise  # an exceeded deadline cannot be retried away
-                if breaker is not None:
+                # Busy is not dead: an overloaded server shed the call but
+                # is healthy, so don't count it against the breaker and
+                # don't re-resolve the name — just back off (no shorter
+                # than the server's retry_after_us hint) and try again.
+                busy = isinstance(failure, ServerBusyError)
+                if breaker is not None and not busy:
                     tripped = breaker.record_failure(rep.name, kernel.clock.now_us)
                     if tripped is not None and tracer.enabled:
                         tracer.event("retry.breaker_open", subcontract=self.id)
@@ -124,17 +134,20 @@ class ReconnectableClient(ClientSubcontract):
                         f"reconnectable: gave up re-resolving {rep.name!r} "
                         f"after {self.max_retries} attempts"
                     ) from failure
-                wait_us = policy.backoff_us(attempts)
+                wait_us = policy.backoff_us(
+                    attempts, floor_us=policy.retry_after_us(failure)
+                )
                 if tracer.enabled:
                     tracer.event(
-                        "reconnect.retry",
+                        "reconnect.busy_backoff" if busy else "reconnect.retry",
                         subcontract=self.id,
                         attempt=attempts,
                         error=type(failure).__name__,
                         backoff_us=wait_us,
                     )
                 kernel.clock.advance(wait_us, "retry_backoff")
-                self._reconnect(rep)
+                if not busy:
+                    self._reconnect(rep)
 
     def _reconnect(self, rep: ReconnectableRep) -> None:
         """Resolve the object name to obtain a new object, adopting its

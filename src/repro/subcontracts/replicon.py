@@ -25,7 +25,12 @@ from repro.core.errors import SubcontractError
 from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ClientSubcontract
-from repro.kernel.errors import CommunicationError, InvalidDoorError, KernelError
+from repro.kernel.errors import (
+    CommunicationError,
+    InvalidDoorError,
+    KernelError,
+    ServerBusyError,
+)
 from repro.marshal.buffer import MarshalBuffer
 from repro.runtime.retry import RetryPolicy
 from repro.subcontracts.common import make_door_handler
@@ -77,8 +82,17 @@ class RepliconClient(ClientSubcontract):
         policy = self.failover_policy
         #: replicas pruned during this invocation, for tests/benches
         pruned = 0
+        #: members that shed this invocation — busy is not dead, so they
+        #: stay in the target set; we just stop re-asking them this round
+        busy_skipped: set[int] = set()
+        last_busy: ServerBusyError | None = None
         while rep.doors:
-            door = rep.doors[0]
+            if busy_skipped:
+                door = self._least_loaded(kernel, rep, busy_skipped)
+                if door is None:  # every member shed: surface the overload
+                    raise last_busy
+            else:
+                door = rep.doors[0]
             try:
                 if tracer.enabled:
                     tracer.event(
@@ -89,6 +103,23 @@ class RepliconClient(ClientSubcontract):
                     )
                 kernel.clock.charge("memory_copy_byte", buffer.size)
                 reply = kernel.door_call(self.domain, door, buffer)
+            except ServerBusyError as exc:
+                # Shedding alone never triggers failover: the member is
+                # healthy, only overloaded.  Divert to the least-loaded
+                # remaining replica; once every member has shed, raise
+                # the busy (with its retry_after_us hint) to the caller.
+                last_busy = exc
+                busy_skipped.add(door.uid)
+                if tracer.enabled:
+                    tracer.event(
+                        "replicon.divert",
+                        subcontract=self.id,
+                        door=door.uid,
+                        retry_after_us=round(exc.retry_after_us, 2),
+                    )
+                if len(busy_skipped) >= len(rep.doors):
+                    raise
+                continue
             except (CommunicationError, InvalidDoorError) as exc:
                 if isinstance(exc, CommunicationError) and not policy.retryable(exc):
                     # The caller's deadline is spent: failing over to
@@ -97,7 +128,7 @@ class RepliconClient(ClientSubcontract):
                     raise
                 # This replica is unreachable: delete the identifier from
                 # the target set and proceed to the next one.
-                rep.doors.pop(0)
+                rep.doors.remove(door)
                 self._quiet_delete(door)
                 pruned += 1
                 wait_us = policy.backoff_us(min(pruned, policy.max_attempts))
@@ -120,6 +151,24 @@ class RepliconClient(ClientSubcontract):
         raise CommunicationError(
             f"replicon: all {pruned} replica doors are unreachable"
         )
+
+    def _least_loaded(
+        self, kernel, rep: RepliconRep, skip: set[int]
+    ) -> "DoorIdentifier | None":
+        """The remaining member with the smallest projected admission
+        wait (list order breaks ties); ``None`` once every member shed."""
+        admission = kernel.admission
+        best = None
+        best_wait = 0.0
+        for door in rep.doors:
+            if door.uid in skip:
+                continue
+            wait = (
+                admission.projected_wait_us(door) if admission is not None else 0.0
+            )
+            if best is None or wait < best_wait:
+                best, best_wait = door, wait
+        return best
 
     def _read_reply_control(self, rep: RepliconRep, reply: MarshalBuffer) -> None:
         updated = reply.get_bool()

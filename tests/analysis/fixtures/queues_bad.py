@@ -1,0 +1,80 @@
+"""Fixture: unbounded wait queues and permit-holding blocks springlint
+must catch."""
+
+import collections
+import queue
+import threading
+import time
+from collections import deque
+from queue import Queue
+
+
+def unbounded_module_queue():
+    # Queue() with no maxsize bound at all.
+    request_queue = Queue()
+    return request_queue
+
+
+def zero_maxsize_is_unbounded():
+    # maxsize=0 means "infinite" in the stdlib — still unbounded.
+    pending = queue.Queue(maxsize=0)
+    return pending
+
+
+def unbounded_lifo_backlog():
+    backlog = queue.LifoQueue()
+    return backlog
+
+
+def unbounded_priority_inbox():
+    inbox = queue.PriorityQueue()
+    return inbox
+
+
+def simple_queue_cannot_be_bounded():
+    waiting_calls = queue.SimpleQueue()
+    return waiting_calls
+
+
+def unbounded_deque_wait_list():
+    wait_queue = deque()
+    return wait_queue
+
+
+def unbounded_deque_dotted():
+    pending_work = collections.deque()
+    return pending_work
+
+
+class Server:
+    def __init__(self):
+        # attribute targets count too
+        self.inbox = queue.Queue()
+
+
+def sleeps_while_holding_permit(controller, door, buffer):
+    permit = controller.admit(door, buffer)
+    time.sleep(0.01)
+    controller.complete(permit)
+
+
+def queue_get_while_holding_permit(controller, door, buffer, results):
+    permit = controller.admit(door, buffer)
+    reply = results.get()
+    controller.complete(permit)
+    return reply
+
+
+def lock_acquire_while_holding_permit(controller, door, buffer):
+    lock = threading.Lock()
+    permit = controller.admit(door, buffer)
+    lock.acquire()
+    controller.complete(permit)
+    lock.release()
+
+
+def blocks_with_permit_never_completed(controller, door, buffer, worker):
+    # no complete() at all: the window extends to the end of the function
+    permit = controller.admit(door, buffer)
+    worker.join()
+    return permit

@@ -1,0 +1,59 @@
+"""Fixture: bounded queues and clean permit windows the unbounded-queue
+rule must accept."""
+
+import queue
+import time
+from collections import deque
+from queue import Queue
+
+
+def bounded_queue():
+    request_queue = Queue(maxsize=8)
+    return request_queue
+
+
+def bounded_queue_positional():
+    pending = queue.Queue(8)
+    return pending
+
+
+def bounded_deque():
+    wait_queue = deque(maxlen=16)
+    return wait_queue
+
+
+def runtime_computed_bound(limit):
+    # a non-constant bound gets the benefit of the doubt
+    backlog = queue.Queue(maxsize=limit)
+    return backlog
+
+
+def non_queueish_names_are_ignored():
+    # not a wait queue by name: scratch storage, free lists, etc.
+    scratch = deque()
+    free_list = queue.Queue()
+    return scratch, free_list
+
+
+class Server:
+    def __init__(self, depth):
+        self.inbox = queue.Queue(maxsize=depth)
+
+
+def blocks_before_admission(controller, door, buffer, worker):
+    worker.join()
+    permit = controller.admit(door, buffer)
+    controller.complete(permit)
+
+
+def blocks_after_release(controller, door, buffer):
+    permit = controller.admit(door, buffer)
+    controller.complete(permit)
+    time.sleep(0.01)
+
+
+def non_blocking_work_inside_window(controller, door, buffer, handler):
+    permit = controller.admit(door, buffer)
+    reply = handler(buffer)
+    controller.complete(permit)
+    return reply

@@ -167,3 +167,35 @@ def test_clock_discipline_accepts_sim_clock_and_constants():
     # SimClock use, constant/hoisted charge names, charge_bytes, and a
     # justified inline suppression must all pass.
     assert run_rule("clock-discipline", "clock_good.py") == []
+
+
+# -- unbounded-queue ----------------------------------------------------
+
+
+def test_unbounded_queue_flags_every_seeded_violation():
+    findings = run_rule("unbounded-queue", "queues_bad.py")
+    text = messages(findings)
+    # unbounded constructions landing in queue-ish names
+    assert "Queue() bound to request_queue has no maxsize" in text
+    assert "Queue() bound to pending has no maxsize" in text  # maxsize=0
+    assert "LifoQueue() bound to backlog" in text
+    assert "PriorityQueue() bound to inbox" in text
+    assert "SimpleQueue() bound to waiting_calls cannot be bounded" in text
+    assert "deque() bound to wait_queue has no maxlen" in text
+    assert "deque() bound to pending_work has no maxlen" in text
+    assert "Queue() bound to inbox has no maxsize" in text  # self.inbox
+    # blocking while holding an admission permit
+    assert "blocking call sleep() while holding an admission permit" in text
+    assert "blocking call get() while holding an admission permit" in text
+    assert "blocking call acquire() while holding an admission permit" in text
+    assert "blocking call join() while holding an admission permit" in text
+    assert all(f.rule == "unbounded-queue" for f in findings)
+    assert all(f.severity == "error" for f in findings)
+    assert all(f.hint for f in findings)
+
+
+def test_unbounded_queue_accepts_bounded_and_clean_windows():
+    # Explicit maxsize/maxlen (keyword or positional), runtime-computed
+    # bounds, non-queue-ish names, and blocking strictly before admit()
+    # or after complete() must all pass.
+    assert run_rule("unbounded-queue", "queues_good.py") == []

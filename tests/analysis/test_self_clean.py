@@ -73,6 +73,20 @@ def test_generated_stub_source_is_lifecycle_clean():
     assert findings == [], "\n" + "\n".join(f.format_human() for f in findings)
 
 
+def test_generated_stub_source_has_no_unbounded_queues():
+    # Generated stubs must not buffer calls in hidden unbounded queues
+    # or block while holding an admission permit.
+    from repro.idl.compiler import compile_idl
+    from repro.idl.specialize import generate_specialized_source
+
+    module_idl = compile_idl("interface probe { int32 poke(int32 n); }")
+    source = generate_specialized_source(module_idl.binding("probe"))
+    module = SourceModule("<generated probe stub>", text=source)
+    analyzer = default_analyzer(selected=frozenset({"unbounded-queue"}))
+    findings = analyzer.run_modules([module])
+    assert findings == [], "\n" + "\n".join(f.format_human() for f in findings)
+
+
 def test_generated_stub_source_is_span_balanced():
     # The traced twin each fused stub delegates to opens a client invoke
     # span; the generated with-statement must satisfy span-balance.

@@ -260,13 +260,15 @@ def check_invariants(world) -> None:
 
 
 @contextlib.contextmanager
-def trace_artifact_on_failure(world, seed: int):
+def trace_artifact_on_failure(world, seed: int, label: str = "chaos"):
     """Dump the failing seed's trace for offline replay.
 
     When ``CHAOS_TRACE_DIR`` is set (CI does this and uploads the
     directory as a workflow artifact), any assertion escaping the block
     first writes the world's full span ring as JSONL — renderable with
     ``python -m repro.obs tree`` — named after the seed that broke.
+    ``label`` distinguishes the suite that produced the artifact (the
+    overload soak uses ``"overload"``).
     """
     try:
         yield
@@ -278,7 +280,7 @@ def trace_artifact_on_failure(world, seed: int):
             os.makedirs(out_dir, exist_ok=True)
             write_jsonl(
                 world["tracer"].spans(),
-                os.path.join(out_dir, f"chaos-seed-{seed}.jsonl"),
+                os.path.join(out_dir, f"{label}-seed-{seed}.jsonl"),
             )
         raise
 

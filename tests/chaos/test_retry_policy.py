@@ -9,6 +9,7 @@ import pytest
 from repro.kernel.errors import (
     CommunicationError,
     DeadlineExceeded,
+    ServerBusyError,
     ServerDiedError,
 )
 from repro.runtime.faults import crash_domain
@@ -84,6 +85,53 @@ class TestRetryable:
         assert RetryPolicy.retryable(ServerDiedError("x"))
         assert not RetryPolicy.retryable(DeadlineExceeded("x"))
         assert not RetryPolicy.retryable(ValueError("x"))
+
+    def test_server_busy_is_retryable(self):
+        # Busy is not dead: overload shedding earns another attempt.
+        assert RetryPolicy.retryable(ServerBusyError("shed", retry_after_us=5.0))
+
+    def test_spent_budget_beats_busy_retry(self):
+        # The interaction rule: a ServerBusyError invites a retry, but an
+        # exceeded deadline ends the exchange even if the server was
+        # merely busy — the time budget is gone either way.
+        busy = ServerBusyError("shed", retry_after_us=1_000.0)
+        late = DeadlineExceeded("budget spent")
+        assert RetryPolicy.retryable(busy)
+        assert not RetryPolicy.retryable(late)
+        # and the hint accessor is safe on both
+        assert RetryPolicy.retry_after_us(busy) == 1_000.0
+        assert RetryPolicy.retry_after_us(late) == 0.0
+
+
+class TestRetryAfterFloor:
+    def test_hint_rides_the_error(self):
+        failure = ServerBusyError("shed", retry_after_us=2_500.0)
+        assert RetryPolicy.retry_after_us(failure) == 2_500.0
+        assert RetryPolicy.retry_after_us(CommunicationError("x")) == 0.0
+
+    def test_floor_lifts_the_backoff(self):
+        policy = RetryPolicy(base_us=100.0, multiplier=2.0)
+        assert policy.backoff_us(1, floor_us=5_000.0) == 5_000.0
+        # a floor below the schedule changes nothing
+        assert policy.backoff_us(1, floor_us=10.0) == 100.0
+
+    def test_floor_is_applied_after_jitter(self):
+        # Jitter spreads 100us into [50, 150]; a 10ms floor must win over
+        # every draw — no jitter roll may undercut the server's hint.
+        policy = RetryPolicy(base_us=100.0, multiplier=1.0, jitter=0.5, seed=3)
+        waits = [policy.backoff_us(1, floor_us=10_000.0) for _ in range(16)]
+        assert waits == [10_000.0] * 16
+        # With the floor below the jitter band the spread survives intact.
+        policy.reseed(3)
+        spread = [policy.backoff_us(1, floor_us=25.0) for _ in range(16)]
+        assert all(50.0 <= w <= 150.0 for w in spread)
+        assert len(set(spread)) > 1
+
+    def test_pause_charges_the_floored_wait(self, kernel):
+        policy = RetryPolicy(base_us=100.0, multiplier=1.0)
+        waited = policy.pause(kernel.clock, 1, floor_us=4_000.0)
+        assert waited == 4_000.0
+        assert kernel.clock.tally()["retry_backoff"] == 4_000.0
 
 
 class TestCircuitBreaker:

@@ -26,6 +26,11 @@ from benchmarks.bench_p4_chaos_overhead import (
     PRE_CHAOS_GENERAL_SIM_US,
     run as run_p4,
 )
+from benchmarks.bench_p5_admission import (
+    GOODPUT_GATE_AT_5X,
+    PRE_ADMISSION_GENERAL_SIM_US,
+    run as run_p5,
+)
 from benchmarks.conftest import sim_us
 
 pytestmark = pytest.mark.bench_smoke
@@ -45,6 +50,14 @@ def p3_results():
     # time bit-for-bit equal to the pre-observability record, and the
     # enabled delta exactly the tracer's own probe charges.
     return run_p3(rounds=ROUNDS, warmup=WARMUP)
+
+
+@pytest.fixture(scope="module")
+def p5_results():
+    # run() itself asserts the deterministic P5 gates: uninstalled sim
+    # time bit-for-bit equal to the pre-admission record, ungoverned-
+    # controller sim parity, and the ≥2x goodput gate at 5x offered load.
+    return run_p5(rounds=ROUNDS, warmup=WARMUP, goodput_calls=120)
 
 
 @pytest.fixture(scope="module")
@@ -109,6 +122,38 @@ def test_p4_smoke_quiet_plane_is_free(p4_results):
 def test_p4_smoke_retransmission_tax_grows_with_loss(p4_results):
     costs = [e["sim_us_per_call"] for e in p4_results["degraded_rawnet"]]
     assert costs == sorted(costs) and len(set(costs)) == len(costs)
+
+
+def test_p5_smoke_uninstalled_admission_charges_zero_sim_time(p5_results):
+    # The machine-independent form of the 2% overhead gate: with no
+    # admission controller installed the sim clock's per-call total is
+    # bit-for-bit the pre-admission figure — the gate costs nothing idle.
+    assert p5_results["uninstalled_general_sim_us"] == pytest.approx(
+        PRE_ADMISSION_GENERAL_SIM_US, abs=1e-6
+    )
+
+
+def test_p5_smoke_ungoverned_controller_is_free(p5_results):
+    # An installed controller with no governed doors resolves each door
+    # to a cached None and charges nothing: governance is opt-in.
+    assert (
+        p5_results["ungoverned_general_sim_us"]
+        == p5_results["uninstalled_general_sim_us"]
+    )
+
+
+def test_p5_smoke_shedding_preserves_goodput_under_overload(p5_results):
+    # At 5x offered load the bounded-queue, deadline-aware posture must
+    # deliver at least 2x the goodput of the unprotected one.
+    assert p5_results["goodput_ratio_at_5x"] >= GOODPUT_GATE_AT_5X
+
+
+def test_p5_smoke_unprotected_door_never_refuses(p5_results):
+    # Without shedding every call is admitted (and pays the wait): the
+    # controller's refusal behaviour is entirely policy-driven.
+    for leg in p5_results["goodput"]:
+        if not leg["shedding"]:
+            assert leg["busy"] == 0 and leg["ok"] == leg["calls"]
 
 
 def test_p1_smoke_sim_time_is_deterministic():

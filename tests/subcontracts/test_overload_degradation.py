@@ -1,0 +1,220 @@
+"""Busy is not dead: how each subcontract degrades under overload.
+
+End-to-end coverage of the PR-5 degradation hooks.  A governed door that
+sheds a call raises :class:`ServerBusyError`; the subcontracts must
+treat it as a *healthy* server protecting itself — not a failure:
+
+* **reconnectable** backs off (honouring the server's ``retry_after_us``
+  hint as its floor) without counting the shed against its circuit
+  breaker and without re-resolving the name;
+* **replicon** diverts to the least-loaded replica without pruning the
+  busy one — shedding alone never triggers failover;
+* **caching** serves the last good local copy of the same request
+  instead of dropping its cache front.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errors import CommunicationError, ServerBusyError
+from repro.marshal.buffer import MarshalBuffer
+from repro.obs.tracer import install_tracer
+from repro.runtime.admission import AdmissionPolicy, install_admission
+from repro.subcontracts.caching import CachingServer
+from repro.subcontracts.replicon import RepliconGroup
+from repro.subcontracts.reconnectable import ReconnectableServer
+from tests.conftest import CounterImpl, make_domain
+
+#: occupancy long enough that a primed door stays busy across the next
+#: call's own marshalling/transit charges
+LONG_SERVICE_US = 500_000.0
+
+#: a zero-length wait queue: one primed call makes the next one shed
+SHED_POLICY = dict(limit=1, queue_limit=0, service_estimate_us=LONG_SERVICE_US)
+
+
+def ship(kernel, src, dst, obj, binding):
+    buffer = MarshalBuffer(kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(src)
+    return binding.unmarshal_from(buffer, dst)
+
+
+def span_events(tracer, prefix):
+    return [
+        evt["name"]
+        for span in tracer.spans()
+        for evt in span.events
+        if evt["name"].startswith(prefix)
+    ]
+
+
+class TestReconnectableUnderOverload:
+    @pytest.fixture
+    def world(self, env, counter_module):
+        tracer = env.install_tracer()
+        admission = env.install_admission()
+        server = env.create_domain(env.machine("servers"), "server")
+        client = env.create_domain(env.machine("clients"), "client")
+        binding = counter_module.binding("counter")
+        exported = ReconnectableServer(server).export(
+            CounterImpl(), binding, name="/services/counter"
+        )
+        obj = ship(env.kernel, server, client, exported, binding)
+        return env, tracer, admission, obj
+
+    def test_busy_backs_off_and_succeeds_without_reresolving(self, world):
+        env, tracer, admission, obj = world
+        admission.govern(obj._rep.door, AdmissionPolicy(**SHED_POLICY))
+        assert obj.add(1) == 1  # primes the occupancy
+        door_before = obj._rep.door
+        assert obj.add(1) == 2  # shed once, backed off, then served
+        # the shed was handled by waiting, not by adopting a new door
+        assert obj._rep.door is door_before
+        events = span_events(tracer, "reconnect.")
+        assert "reconnect.busy_backoff" in events
+        assert "reconnect.retry" not in events  # no re-resolution happened
+        # the backoff honoured the server's hint: at least the remaining
+        # occupancy was charged as simulated backoff time
+        assert env.clock.tally()["retry_backoff"] > 0.0
+
+    def test_breaker_does_not_count_busy_as_failure(self, world):
+        env, tracer, admission, obj = world
+        admission.govern(obj._rep.door, AdmissionPolicy(**SHED_POLICY))
+        policy = obj._subcontract.retry_policy.derive(
+            breaker_threshold=1, breaker_cooldown_us=1e9
+        )
+        obj._subcontract.retry_policy = policy
+        try:
+            assert obj.add(1) == 1
+            # This call is shed once; with threshold=1 a counted failure
+            # would trip the breaker open and fail the retry fast.
+            assert obj.add(1) == 2
+            assert policy.breaker.state("/services/counter") == "closed"
+            assert "retry.breaker_open" not in span_events(tracer, "retry.")
+        finally:
+            del obj._subcontract.retry_policy  # restore the class default
+
+
+class TestRepliconUnderOverload:
+    @pytest.fixture
+    def world(self, kernel, counter_module):
+        tracer = install_tracer(kernel)
+        admission = install_admission(kernel)
+        binding = counter_module.binding("counter")
+        group = RepliconGroup(binding)
+        replicas = []
+        for i in range(3):
+            domain = make_domain(kernel, f"replica-{i}")
+            impl = CounterImpl()
+            group.add_replica(domain, impl)
+            replicas.append((domain, impl))
+        client = make_domain(kernel, "client")
+        obj = ship(kernel, replicas[0][0], client, group.make_object(replicas[0][0]), binding)
+        return kernel, tracer, admission, group, replicas, obj
+
+    def test_shed_diverts_to_another_replica_without_pruning(self, world):
+        kernel, tracer, admission, group, replicas, obj = world
+        primary = obj._rep.doors[0]
+        admission.govern(primary, AdmissionPolicy(**SHED_POLICY))
+        assert obj.total() == 0  # primes the primary's occupancy
+        handled_before = obj._rep.doors[1].door.calls_handled
+        assert obj.total() == 0  # primary sheds; a sibling serves
+        assert obj._rep.doors[1].door.calls_handled == handled_before + 1
+        # Shedding alone is not failover: nothing was pruned, the epoch
+        # did not move, and the primary is still first in line.
+        assert len(obj._rep.doors) == 3
+        assert obj._rep.doors[0] is primary
+        assert obj._rep.epoch == group.epoch
+        assert "replicon.divert" in span_events(tracer, "replicon.")
+
+    def test_all_replicas_busy_surfaces_the_shed(self, world):
+        kernel, tracer, admission, group, replicas, obj = world
+        for door_id in obj._rep.doors:
+            admission.govern(door_id, AdmissionPolicy(**SHED_POLICY))
+        obj.total()  # occupies replica 0
+        obj.total()  # 0 sheds -> occupies replica 1
+        obj.total()  # 0, 1 shed -> occupies replica 2
+        with pytest.raises(ServerBusyError):
+            obj.total()  # everyone is busy: the shed surfaces, retryable
+        assert len(obj._rep.doors) == 3  # still nothing pruned
+
+    def test_replica_recovers_once_occupancy_drains(self, world):
+        kernel, tracer, admission, group, replicas, obj = world
+        primary = obj._rep.doors[0]
+        admission.govern(primary, AdmissionPolicy(**SHED_POLICY))
+        obj.total()
+        obj.total()  # diverted
+        kernel.clock.advance(2 * LONG_SERVICE_US, "think")
+        handled_before = primary.door.calls_handled
+        assert obj.total() == 0  # back on the (now idle) primary
+        assert primary.door.calls_handled == handled_before + 1
+
+
+class TestCachingUnderOverload:
+    @pytest.fixture
+    def world(self, env, counter_module):
+        env.install_tracer()
+        admission = env.install_admission()
+        server = env.create_domain("server-city", "server")
+        client = env.create_domain("client-town", "client")
+        binding = counter_module.binding("counter")
+        impl = CounterImpl()
+        exported = CachingServer(server).export(impl, binding)
+        received = ship(env.kernel, server, client, exported, binding)
+        return env, admission, impl, received, binding
+
+    def test_stale_copy_served_when_the_server_sheds(self, world):
+        env, admission, impl, received, binding = world
+        admission.govern(
+            received._rep.server_door, AdmissionPolicy(**SHED_POLICY)
+        )
+        assert received.total() == 0  # primes occupancy AND the stale memo
+        assert received.total() == 0  # shed -> last good local copy
+        # the stale hit never reached the server
+        assert impl.value == 0
+        tracer = env.kernel.tracer
+        assert (
+            tracer.metrics.counter("caching", "events:caching.stale_hit").value
+            == 1
+        )
+
+    def test_busy_without_a_memo_surfaces(self, world):
+        env, admission, impl, received, binding = world
+        admission.govern(
+            received._rep.server_door, AdmissionPolicy(**SHED_POLICY)
+        )
+        assert received.total() == 0  # primes; memoises only total()
+        # A *different* request has no stale copy: the busy surfaces
+        # unchanged (retryable, with the server's hint attached).
+        with pytest.raises(ServerBusyError) as excinfo:
+            received.add(1)
+        assert excinfo.value.retry_after_us > 0.0
+
+    def test_cache_front_is_not_dropped_on_busy(self, env, counter_module):
+        # With a local cache front (D2) in place, a shed must not be
+        # treated like a dead front: D2 survives the busy.
+        env.install_tracer()
+        admission = env.install_admission()
+        env.install_cache_manager("client-town")
+        server = env.create_domain("server-city", "server")
+        client = env.create_domain("client-town", "client")
+        binding = counter_module.binding("counter")
+        exported = CachingServer(server).export(CounterImpl(), binding)
+        received = ship(env.kernel, server, client, exported, binding)
+        front = received._rep.cache_door
+        assert front is not None
+        admission.govern(front, AdmissionPolicy(**SHED_POLICY))
+        assert received.total() == 0  # primes the front's occupancy
+        assert received.total() == 0  # shed -> stale, front untouched
+        assert received._rep.cache_door is front
+
+    def test_stale_memo_is_bounded(self, world):
+        env, admission, impl, received, binding = world
+        # no governance needed: successful calls memoise door-free replies
+        for i in range(received._subcontract.STALE_MEMO_ENTRIES + 8):
+            received.add(1)
+        stale = received._rep.stale
+        assert stale is not None
+        assert len(stale) <= received._subcontract.STALE_MEMO_ENTRIES
