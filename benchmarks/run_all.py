@@ -37,6 +37,15 @@ goodput curve at 1x / 2x / 5x offered load with shedding on vs off
 (the ≥2x-at-5x gate asserted inside the run), and the committed
 PR-time A/B record of the 2% uninstalled-overhead wall gate (see
 :mod:`benchmarks.bench_p5_admission`).
+
+And ``benchmarks/BENCH_P6.json`` (the PR-6 process-fabric bench): the
+default transport's sim-parity gate (asserted inside the run), the
+committed PR-time A/B record of the 2% default-transport wall gate, and
+the multiprocess scaling legs — aggregate general-stub wall calls/sec
+across 1 / 2 / 4 real worker processes, with the ≥2.5x 1→4 gate
+asserted when the runner has ≥ 4 cores and recorded (with the core
+count) otherwise (see :mod:`benchmarks.bench_p6_procfabric`).  Skipped
+with a note on platforms without the ``fork`` start method.
 """
 
 from __future__ import annotations
@@ -51,6 +60,7 @@ OUT_PATH = BENCH_DIR / "BENCH_P1.json"
 P3_OUT_PATH = BENCH_DIR / "BENCH_P3.json"
 P4_OUT_PATH = BENCH_DIR / "BENCH_P4.json"
 P5_OUT_PATH = BENCH_DIR / "BENCH_P5.json"
+P6_OUT_PATH = BENCH_DIR / "BENCH_P6.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -192,6 +202,46 @@ def main(argv: list[str] | None = None) -> int:
         f"  goodput ratio at 5x: {p5['goodput_ratio_at_5x']:.2f}x (gate >= 2x)"
     )
     print(f"wrote {P5_OUT_PATH}")
+
+    import multiprocessing
+
+    from benchmarks.bench_p6_procfabric import PR_AB_VS_PRE_P6
+    from benchmarks.bench_p6_procfabric import run as run_p6
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("P6 process-fabric bench: skipped (no fork start method)")
+        return 0
+    calls = 60 if args.quick else 300
+    print(f"P6 process-fabric bench: {calls} calls/worker per scaling leg ...")
+    p6 = run_p6(rounds=rounds, warmup=warmup, calls_per_worker=calls)
+    p6_payload = {
+        "bench": "P6-procfabric",
+        "current": p6,
+        "pr_ab_vs_pre_p6": PR_AB_VS_PRE_P6,
+    }
+    P6_OUT_PATH.write_text(json.dumps(p6_payload, indent=2) + "\n")
+
+    print(
+        f"  default transport  {p6['default_transport_general_wall_us']:7.2f} "
+        f"wall-us/call; sim {p6['default_transport_general_sim_us']:.2f} "
+        f"sim-us/call == pre-P6 record (asserted)"
+    )
+    for leg in p6["scaling"]:
+        print(
+            f"  procfabric @ {leg['workers']} worker(s): "
+            f"{leg['wall_calls_per_s']:8.1f} wall calls/s "
+            f"({leg['wall_us_per_call']:.0f} wall-us/call)"
+        )
+    gate_note = (
+        "asserted"
+        if p6["scaling_gate_checked"]
+        else f"recorded only ({p6['cores']} core(s); gate needs >= 4)"
+    )
+    print(
+        f"  scaling {p6['scaling_span']}: {p6['scaling_ratio']:.2f}x "
+        f"(gate >= {p6['scaling_gate']}x, {gate_note})"
+    )
+    print(f"wrote {P6_OUT_PATH}")
     return 0
 
 

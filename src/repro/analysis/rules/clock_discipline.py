@@ -22,16 +22,50 @@ Two checks:
   level and pass the precomputed string.
 
 ``charge_bytes`` is exempt — its arguments are sizes, not names.
+
+**Sanctioned wall-clock modules.**  A few modules legitimately live on
+the host clock: the process fabric's supervisor and worker loops block
+on real sockets and real join timeouts — wall-clock use there *is* the
+transport, not a simulated path.  Rather than scattering inline
+suppressions over every call, such a module declares itself once with a
+file-level directive::
+
+    # springlint: wall-clock-module -- <why this module may block on host time>
+
+The directive only takes effect when the module's path is also on the
+rule's sanctioned-module list (:data:`SANCTIONED_WALL_CLOCK_MODULES` by
+default) — a directive in an unlisted module is itself reported, as is a
+listed module whose directive omits the justification.  Sanctioning
+silences only the wall-clock check; charge-site formatting is still
+enforced (a sanctioned module that also touches the sim clock gets no
+free pass on accounting discipline).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+import io
+import re
+import tokenize
+from typing import Iterable, Iterator
 
 from repro.analysis.engine import Finding, Rule, SourceModule
 
-__all__ = ["ClockDisciplineRule"]
+__all__ = ["ClockDisciplineRule", "SANCTIONED_WALL_CLOCK_MODULES"]
+
+#: modules allowed to read the host clock (path suffixes, "/"-separated);
+#: each must also carry a justified ``wall-clock-module`` directive
+SANCTIONED_WALL_CLOCK_MODULES = (
+    "repro/net/procfabric.py",
+    "repro/net/procworker.py",
+)
+
+#: the file-level sanction directive; the justification after ``--`` is
+#: mandatory so the *reason* a module may block on host time is recorded
+#: next to the declaration
+_SANCTION_RE = re.compile(
+    r"#\s*springlint:\s*wall-clock-module\s*(?:--\s*(?P<why>\S.*))?"
+)
 
 #: fully-qualified callables that read the host's wall clock
 _BANNED = {
@@ -99,12 +133,70 @@ class ClockDisciplineRule(Rule):
         "must pass precomputed event names"
     )
 
+    def __init__(
+        self, sanctioned: Iterable[str] = SANCTIONED_WALL_CLOCK_MODULES
+    ) -> None:
+        self.sanctioned = tuple(sanctioned)
+
+    def _is_sanctioned_path(self, module: SourceModule) -> bool:
+        path = str(module.path).replace("\\", "/")
+        return any(path.endswith(suffix) for suffix in self.sanctioned)
+
+    @staticmethod
+    def _find_directive(module: SourceModule) -> tuple[re.Match | None, int]:
+        """The module's sanction directive, from real comment tokens only
+        (a directive quoted inside a docstring is documentation)."""
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(module.text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    match = _SANCTION_RE.match(tok.string)
+                    if match is not None:
+                        return match, tok.start[0]
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            pass
+        return None, 0
+
     def check(self, module: SourceModule) -> Iterator[Finding]:
+        directive, line = self._find_directive(module)
+        wall_clock_ok = False
+        if directive is not None:
+            if not self._is_sanctioned_path(module):
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=line,
+                    col=0,
+                    severity="error",
+                    message=(
+                        "wall-clock-module directive in a module that is "
+                        "not on the sanctioned-module list"
+                    ),
+                    hint="add the module to SANCTIONED_WALL_CLOCK_MODULES "
+                    "(with review) or drop the directive",
+                )
+            elif not directive.group("why"):
+                yield Finding(
+                    rule=self.name,
+                    path=module.path,
+                    line=line,
+                    col=0,
+                    severity="error",
+                    message=(
+                        "wall-clock-module directive without a "
+                        "justification"
+                    ),
+                    hint="append '-- <why this module may block on host "
+                    "time>' to the directive",
+                )
+            else:
+                wall_clock_ok = True
         imports = _import_table(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            yield from self._check_wall_clock(module, imports, node)
+            if not wall_clock_ok:
+                yield from self._check_wall_clock(module, imports, node)
             yield from self._check_charge_site(module, node)
 
     def _check_wall_clock(

@@ -1,0 +1,284 @@
+"""Framed envelopes: the marshal layer's process-boundary framing.
+
+The process fabric (:mod:`repro.net.procfabric`) carries door calls
+between real OS processes.  The *payload* of such a call is the exact
+byte stream a :class:`~repro.marshal.buffer.MarshalBuffer` already
+produced — the wire format IS the inter-process format, no re-marshalling
+layer exists — but two things ride on the buffer *out of band* and must
+survive the boundary: the call deadline (``deadline_us``) and the trace
+context (``trace_ctx``).  The envelope is the small fixed-size header
+that frames one payload and carries those two items, plus routing
+(call id, target export) and the shared-memory-ring indirection flag
+for bulk payloads.
+
+Layout (little-endian, 56 bytes)::
+
+    magic        u16   0x5BC6
+    version      u8    1
+    kind         u8    CALL / REPLY / ERROR / CONTROL / CONTROL_REPLY
+    call_id      u64   request/reply correlation
+    target       u32   export id (CALL) or control op (CONTROL)
+    flags        u32   RING / DEADLINE / TRACE bits
+    budget_us    f64   remaining deadline budget (sim-us), if DEADLINE
+    trace_id     u64   wire trace context, if TRACE
+    span_id      u64   wire trace context, if TRACE
+    payload_len  u32   payload byte count
+    ring_off     u64   free-running ring offset of the payload, if RING
+
+The deadline crosses as a *remaining budget* rather than an absolute
+instant because each process runs its own simulated clock; the receiver
+re-anchors the budget on its clock and the existing delivery-leg check
+enforces it unchanged.
+
+Error payloads reuse the ordinary :class:`~repro.marshal.codec.Encoder`
+items: a string (exception type name), a string (message), and a float64
+(the ``retry_after_us`` hint, so :class:`ServerBusyError`'s admission
+signal round-trips exactly).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Any
+
+from repro.marshal.codec import Decoder, Encoder
+
+if TYPE_CHECKING:
+    import socket
+
+__all__ = [
+    "Envelope",
+    "ChannelClosedError",
+    "KIND_CALL",
+    "KIND_REPLY",
+    "KIND_ERROR",
+    "KIND_CONTROL",
+    "KIND_CONTROL_REPLY",
+    "FLAG_RING",
+    "FLAG_DEADLINE",
+    "FLAG_TRACE",
+    "HEADER",
+    "pack_error",
+    "unpack_error",
+    "send_envelope",
+    "recv_envelope",
+    "read_exact",
+]
+
+MAGIC = 0x5BC6
+VERSION = 1
+
+KIND_CALL = 1
+KIND_REPLY = 2
+KIND_ERROR = 3
+KIND_CONTROL = 4
+KIND_CONTROL_REPLY = 5
+
+_KINDS = (KIND_CALL, KIND_REPLY, KIND_ERROR, KIND_CONTROL, KIND_CONTROL_REPLY)
+
+#: payload bytes live in the shared ring, not inline after the header
+FLAG_RING = 0x1
+#: ``budget_us`` is meaningful (the call carries a deadline)
+FLAG_DEADLINE = 0x2
+#: ``trace_id``/``span_id`` are meaningful (the call carries a context)
+FLAG_TRACE = 0x4
+
+HEADER = struct.Struct("<HBBQIIdQQIQ")
+
+
+class ChannelClosedError(Exception):
+    """The peer closed the socket mid-stream (worker death, shutdown)."""
+
+
+class Envelope:
+    """One decoded envelope: header fields plus the payload bytes."""
+
+    __slots__ = (
+        "kind",
+        "call_id",
+        "target",
+        "flags",
+        "budget_us",
+        "trace_ctx",
+        "payload",
+        "ring_off",
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        call_id: int,
+        target: int,
+        flags: int,
+        budget_us: float | None,
+        trace_ctx: tuple[int, int] | None,
+        payload: bytes,
+        ring_off: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.call_id = call_id
+        self.target = target
+        self.flags = flags
+        self.budget_us = budget_us
+        self.trace_ctx = trace_ctx
+        self.payload = payload
+        self.ring_off = ring_off
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Envelope kind={self.kind} call={self.call_id} "
+            f"target={self.target} {len(self.payload)}B flags={self.flags:#x}>"
+        )
+
+
+def pack_header(
+    kind: int,
+    call_id: int,
+    target: int,
+    flags: int,
+    budget_us: float,
+    trace_id: int,
+    span_id: int,
+    payload_len: int,
+    ring_off: int,
+) -> bytes:
+    return HEADER.pack(
+        MAGIC,
+        VERSION,
+        kind,
+        call_id,
+        target,
+        flags,
+        budget_us,
+        trace_id,
+        span_id,
+        payload_len,
+        ring_off,
+    )
+
+
+def pack_error(exc: BaseException) -> bytes:
+    """Encode an exception for an ERROR envelope (type, message, hint)."""
+    data = bytearray()
+    enc = Encoder(data)
+    enc.put_string(type(exc).__name__)
+    enc.put_string(str(exc))
+    enc.put_float64(float(getattr(exc, "retry_after_us", 0.0)))
+    return bytes(data)
+
+
+def unpack_error(payload: bytes) -> tuple[str, str, float]:
+    """Decode an ERROR payload into ``(type_name, message, retry_after_us)``."""
+    dec = Decoder(bytearray(payload))
+    return (dec.get_string(), dec.get_string(), dec.get_float64())
+
+
+def read_exact(sock: "socket.socket", count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ChannelClosedError`."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ChannelClosedError(
+                f"peer closed with {remaining}/{count} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    if len(chunks) == 1:
+        return chunks[0]
+    return b"".join(chunks)
+
+
+def send_envelope(
+    sock: "socket.socket",
+    kind: int,
+    call_id: int,
+    target: int,
+    payload: "bytes | bytearray | memoryview",
+    budget_us: float | None = None,
+    trace_ctx: tuple[int, int] | None = None,
+    ring: Any | None = None,
+    ring_min: int = 1 << 62,
+) -> bool:
+    """Frame and send one envelope; returns True when the ring carried it.
+
+    The payload is handed to the socket (or the shared ring) as a
+    ``memoryview`` — the marshal buffer's ``bytearray`` is never copied
+    into an intermediate joined message.  Callers serialize sends per
+    socket themselves (the fabric holds a per-worker send lock).
+    """
+    flags = 0
+    budget = 0.0
+    if budget_us is not None:
+        flags |= FLAG_DEADLINE
+        budget = budget_us
+    trace_id = span_id = 0
+    if trace_ctx is not None:
+        flags |= FLAG_TRACE
+        trace_id, span_id = trace_ctx
+    view = memoryview(payload)
+    ring_off = 0
+    via_ring = ring is not None and len(view) >= ring_min
+    if via_ring:
+        flags |= FLAG_RING
+        ring_off = ring.write(view)
+    header = pack_header(
+        kind, call_id, target, flags, budget, trace_id, span_id, len(view), ring_off
+    )
+    if via_ring or not len(view):
+        sock.sendall(header)
+        return via_ring
+    # Zero-copy gather write: header + payload in one syscall when the
+    # socket takes it, falling back to sendall on a short write.
+    sent = sock.sendmsg([header, view])
+    if sent < len(header):
+        sock.sendall(header[sent:])
+        sock.sendall(view)
+    else:
+        off = sent - len(header)
+        if off < len(view):
+            sock.sendall(view[off:])
+    return False
+
+
+def recv_envelope(sock: "socket.socket", ring: Any | None = None) -> Envelope:
+    """Receive one envelope; ring-flagged payloads are taken from ``ring``."""
+    raw = read_exact(sock, HEADER.size)
+    (
+        magic,
+        version,
+        kind,
+        call_id,
+        target,
+        flags,
+        budget,
+        trace_id,
+        span_id,
+        payload_len,
+        ring_off,
+    ) = HEADER.unpack(raw)
+    if magic != MAGIC or version != VERSION:
+        raise ChannelClosedError(
+            f"bad envelope header (magic={magic:#x} version={version})"
+        )
+    if kind not in _KINDS:
+        raise ChannelClosedError(f"unknown envelope kind {kind}")
+    if flags & FLAG_RING:
+        if ring is None:
+            raise ChannelClosedError("ring-flagged envelope but no ring attached")
+        payload = ring.take(payload_len, expected_off=ring_off)
+    elif payload_len:
+        payload = read_exact(sock, payload_len)
+    else:
+        payload = b""
+    return Envelope(
+        kind,
+        call_id,
+        target,
+        flags,
+        budget if flags & FLAG_DEADLINE else None,
+        (trace_id, span_id) if flags & FLAG_TRACE else None,
+        payload,
+        ring_off,
+    )

@@ -16,6 +16,7 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "merge_snapshots",
     "LATENCY_BUCKETS_US",
     "BYTES_BUCKETS",
     "RETRY_BUCKETS",
@@ -117,3 +118,51 @@ class MetricsRegistry:
             out.setdefault(scope, {"counters": {}, "histograms": {}})
             out[scope]["histograms"][name] = histogram.snapshot()
         return out
+
+
+def _merge_histogram(into: dict, add: dict) -> dict:
+    """Merge one histogram snapshot into another (matching bounds)."""
+    if list(into["bounds"]) != list(add["bounds"]):
+        raise ValueError(
+            f"cannot merge histograms with different bounds: "
+            f"{into['bounds']} vs {add['bounds']}"
+        )
+    counts = [a + b for a, b in zip(into["counts"], add["counts"])]
+    total = into["count"] + add["count"]
+    summed = into["sum"] + add["sum"]
+    return {
+        "bounds": list(into["bounds"]),
+        "counts": counts,
+        "count": total,
+        "sum": summed,
+        "mean": summed / total if total else 0.0,
+    }
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Merge :meth:`MetricsRegistry.snapshot` dicts from several registries.
+
+    Counters sum; histograms with identical bucket bounds merge bucket-wise
+    (fixed bounds chosen at creation make this exact, which is why the
+    process fabric can pull per-worker snapshots and fold them into one
+    cross-process view without re-observing anything).
+    """
+    out: dict[str, dict] = {}
+    for snap in snapshots:
+        for scope, groups in snap.items():
+            merged = out.setdefault(scope, {"counters": {}, "histograms": {}})
+            for name, value in groups.get("counters", {}).items():
+                merged["counters"][name] = merged["counters"].get(name, 0) + value
+            for name, hist in groups.get("histograms", {}).items():
+                seen = merged["histograms"].get(name)
+                if seen is None:
+                    merged["histograms"][name] = {
+                        "bounds": list(hist["bounds"]),
+                        "counts": list(hist["counts"]),
+                        "count": hist["count"],
+                        "sum": hist["sum"],
+                        "mean": hist["mean"],
+                    }
+                else:
+                    merged["histograms"][name] = _merge_histogram(seen, hist)
+    return out

@@ -48,10 +48,18 @@ class Environment:
         trusted_lib_dirs: Iterable[Path | str] = (),
         with_naming: bool = True,
         seed: int = 1993,
+        transport: str = "sim",
     ) -> None:
+        if transport not in ("sim", "proc"):
+            raise ValueError(f"unknown transport {transport!r} (sim or proc)")
         self.kernel = Kernel(cost_model)
         self.clock = self.kernel.clock
         self.seed = seed
+        #: which fabric carries cross-machine door calls: the in-process
+        #: simulated fabric ("sim", the deterministic tier-1 default) or
+        #: the real multiprocess fabric ("proc", installed on demand)
+        self.transport = transport
+        self.procfabric = None
         self.fabric = NetworkFabric(
             self.kernel,
             latency_us=latency_us,
@@ -221,6 +229,43 @@ class Environment:
         if ring_capacity is None:
             return install_tracer(self.kernel)
         return install_tracer(self.kernel, ring_capacity=ring_capacity)
+
+    # ------------------------------------------------------------------
+    # transports
+    # ------------------------------------------------------------------
+
+    def install_procfabric(self, bootstrap, workers: int = 2, **options):
+        """Start the multiprocess fabric: real OS-process workers.
+
+        Only available when the environment was built with
+        ``transport="proc"`` — the in-process simulated fabric stays the
+        deterministic default, and a world never mixes the two by
+        accident.  ``bootstrap(env, index)`` runs inside each forked
+        worker and returns its named exports; ``options`` pass through to
+        :class:`repro.net.procfabric.ProcFabric` (``trace``,
+        ``ring_bytes``, ``ring_min``, ``log_dir``, ...).  Returns the
+        started fabric (also at ``env.procfabric``).
+        """
+        from repro.net.procfabric import ProcFabric, ProcFabricError
+
+        if self.transport != "proc":
+            raise ProcFabricError(
+                "environment transport is 'sim'; build it with "
+                "Environment(transport='proc') to use the process fabric"
+            )
+        if self.procfabric is not None:
+            raise ProcFabricError("a process fabric is already installed")
+        options.setdefault("seed", self.seed)
+        fabric = ProcFabric(self.kernel, workers=workers, bootstrap=bootstrap, **options)
+        fabric.start()
+        self.procfabric = fabric
+        return fabric
+
+    def uninstall_procfabric(self, join_timeout_s: float = 5.0) -> None:
+        """Shut the process fabric's workers down (idempotent)."""
+        if self.procfabric is not None:
+            self.procfabric.shutdown(join_timeout_s)
+            self.procfabric = None
 
     # ------------------------------------------------------------------
     # naming conveniences

@@ -17,21 +17,201 @@ for.  Cross-machine objects degrade to plain copying.
 from __future__ import annotations
 
 import itertools
+import struct
+import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ServerSubcontract
 from repro.marshal.buffer import MarshalBuffer
+from repro.marshal.errors import MarshalError
 from repro.subcontracts.common import SingleDoorRep, make_door_handler
 from repro.subcontracts.singleton import SingleDoorClient
 
 if TYPE_CHECKING:
     from repro.idl.rtypes import InterfaceBinding
 
-__all__ = ["ShmClient", "ShmServer", "SharedRegion"]
+__all__ = [
+    "ShmClient",
+    "ShmServer",
+    "SharedRegion",
+    "REGION_PREAMBLE",
+    "REGION_MAGIC",
+    "pack_region_preamble",
+    "unpack_region_preamble",
+    "PreambleRing",
+]
 
 _region_uids = itertools.count(1)
+
+# ---------------------------------------------------------------------------
+# region preamble framing (shared with the process fabric's bulk ring)
+# ---------------------------------------------------------------------------
+
+#: every chunk of bytes placed in a shared region is framed by this
+#: preamble: magic, version, payload length, region/record uid.  The
+#: process fabric's bulk-bytes ring reuses the same framing, so a ring
+#: record *is* a shared-region chunk as far as the marshal layer cares.
+REGION_PREAMBLE = struct.Struct("<HHIQ")
+REGION_MAGIC = 0x5B9A
+REGION_VERSION = 1
+
+#: a preamble whose uid is 0 marks dead space to the end of the ring
+_RING_WRAP_UID = 0
+
+
+def pack_region_preamble(uid: int, length: int) -> bytes:
+    """Frame ``length`` payload bytes belonging to region/record ``uid``."""
+    return REGION_PREAMBLE.pack(REGION_MAGIC, REGION_VERSION, length, uid)
+
+
+def unpack_region_preamble(view: Any, offset: int = 0) -> tuple[int, int]:
+    """Read a preamble at ``offset``; returns ``(uid, length)``."""
+    magic, version, length, uid = REGION_PREAMBLE.unpack_from(view, offset)
+    if magic != REGION_MAGIC or version != REGION_VERSION:
+        raise MarshalError(
+            f"bad region preamble at +{offset}: magic={magic:#x} version={version}"
+        )
+    return uid, length
+
+
+class PreambleRing:
+    """A single-producer single-consumer byte ring over a shared buffer.
+
+    Records are framed with :data:`REGION_PREAMBLE` — the shm
+    subcontract's region framing, factored out so the process fabric's
+    bulk-bytes path speaks the same format.  The first 16 bytes of the
+    backing buffer hold two free-running u64 counters (consumer head,
+    producer tail); the rest is the data area.  Records never wrap: when
+    the tail is too close to the boundary the producer writes a wrap
+    marker (uid 0) and continues at the start.  Each side keeps its own
+    counter locally and publishes it to the header after every
+    operation, so the two processes only ever *read* each other's
+    counter (8-byte aligned loads; a stale read just means waiting one
+    more poll interval).
+
+    Payload offsets returned by :meth:`write` are free-running counters
+    (not buffer positions); the consumer's :meth:`take` cross-checks the
+    offset carried in the envelope against its own running position, so
+    a desynchronized ring fails loudly instead of handing back the wrong
+    bytes.
+    """
+
+    _HEAD = struct.Struct("<Q")
+    _HEADER_BYTES = 16
+    _PREAMBLE = REGION_PREAMBLE.size
+
+    def __init__(self, buf: Any, poll_s: float = 0.0002) -> None:
+        if len(buf) <= self._HEADER_BYTES + self._PREAMBLE:
+            raise ValueError("ring buffer too small")
+        self.buf = buf
+        self.capacity = len(buf) - self._HEADER_BYTES
+        self.poll_s = poll_s
+        self._head = 0  # consumer-local position
+        self._tail = 0  # producer-local position
+        self._uids = itertools.count(1)
+
+    # -- shared-counter plumbing ---------------------------------------
+
+    def _published_head(self) -> int:
+        return self._HEAD.unpack_from(self.buf, 0)[0]
+
+    def _published_tail(self) -> int:
+        return self._HEAD.unpack_from(self.buf, 8)[0]
+
+    def _publish_head(self) -> None:
+        self._HEAD.pack_into(self.buf, 0, self._head)
+
+    def _publish_tail(self) -> None:
+        self._HEAD.pack_into(self.buf, 8, self._tail)
+
+    # -- producer side -------------------------------------------------
+
+    def write(self, payload: "bytes | bytearray | memoryview") -> int:
+        """Append one framed record; returns the payload's ring offset.
+
+        Blocks (polling the consumer's published head) until the ring
+        has room.  Only the producing side of a direction may call this.
+        """
+        view = memoryview(payload)
+        record = self._PREAMBLE + len(view)
+        if record > self.capacity - self._PREAMBLE:
+            raise MarshalError(
+                f"record of {len(view)}B exceeds ring capacity {self.capacity}B"
+            )
+        pos = self._tail % self.capacity
+        dead = 0
+        if self.capacity - pos < record:
+            # Not enough contiguous room: retire the remainder of the
+            # ring (with a wrap marker when a preamble fits) and start
+            # the record at the boundary.
+            dead = self.capacity - pos
+        self._wait_for_room(record + dead)
+        base = self._HEADER_BYTES
+        if dead:
+            if dead >= self._PREAMBLE:
+                self.buf[base + pos : base + pos + self._PREAMBLE] = (
+                    REGION_PREAMBLE.pack(REGION_MAGIC, REGION_VERSION, 0, _RING_WRAP_UID)
+                )
+            self._tail += dead
+            pos = 0
+        uid = next(self._uids)
+        self.buf[base + pos : base + pos + self._PREAMBLE] = pack_region_preamble(
+            uid, len(view)
+        )
+        start = base + pos + self._PREAMBLE
+        self.buf[start : start + len(view)] = view
+        payload_off = self._tail + self._PREAMBLE
+        self._tail += record
+        self._publish_tail()
+        return payload_off
+
+    def _wait_for_room(self, needed: int) -> None:
+        while self.capacity - (self._tail - self._published_head()) < needed:
+            time.sleep(self.poll_s)
+
+    # -- consumer side -------------------------------------------------
+
+    def take(self, length: int, expected_off: int | None = None) -> bytes:
+        """Consume the next record's payload as bytes and free its space.
+
+        Blocks (polling the producer's published tail) until the record
+        has landed.  ``expected_off`` is the envelope's cross-check.
+        """
+        self._wait_for_data(self._PREAMBLE)
+        pos = self._head % self.capacity
+        if self.capacity - pos < self._PREAMBLE:
+            self._head += self.capacity - pos
+            self._wait_for_data(self._PREAMBLE)
+            pos = 0
+        base = self._HEADER_BYTES
+        uid, found = unpack_region_preamble(self.buf, base + pos)
+        if uid == _RING_WRAP_UID:
+            self._head += self.capacity - pos
+            self._publish_head()
+            return self.take(length, expected_off)
+        if found != length:
+            raise MarshalError(
+                f"ring record length mismatch: envelope says {length}B, "
+                f"preamble says {found}B"
+            )
+        payload_off = self._head + self._PREAMBLE
+        if expected_off is not None and expected_off != payload_off:
+            raise MarshalError(
+                f"ring desynchronized: envelope offset {expected_off} != "
+                f"consumer position {payload_off}"
+            )
+        self._wait_for_data(self._PREAMBLE + length)
+        start = base + pos + self._PREAMBLE
+        payload = bytes(self.buf[start : start + length])
+        self._head += self._PREAMBLE + length
+        self._publish_head()
+        return payload
+
+    def _wait_for_data(self, needed: int) -> None:
+        while self._published_tail() - self._head < needed:
+            time.sleep(self.poll_s)
 
 
 class SharedRegion:

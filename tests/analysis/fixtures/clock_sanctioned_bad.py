@@ -1,0 +1,17 @@
+"""Fixture: sanction-directive abuse.
+
+The directive below has no ``--`` justification, so even when this file
+is put on the sanctioned-module list the declaration is reported — and
+the wall-clock reads stay flagged.  The formatted charge site must be
+reported regardless: sanctioning never relaxes accounting discipline.
+"""
+
+# springlint: wall-clock-module
+
+import time
+
+
+def sample(clock, n):
+    start = time.monotonic()
+    clock.charge(f"sample:{n}")
+    return time.monotonic() - start

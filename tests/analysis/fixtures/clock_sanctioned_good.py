@@ -1,0 +1,31 @@
+"""Fixture: a legitimately sanctioned wall-clock module.
+
+Stands in for transport code (the process fabric's supervisor/worker
+loops) whose whole job is to block on host sockets and host timeouts.
+Clean only when the analyzing rule's sanctioned-module list includes
+this file; under the default list the directive itself is reported.
+"""
+
+# springlint: wall-clock-module -- this fixture stands in for a transport
+# loop that blocks on real sockets and host timeouts by design.
+
+import time
+
+_EV_POLL = "proc.poll"
+
+
+def poll_until(clock, ready, timeout_s):
+    """Host-time polling loop: wall-clock reads are the point here."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if ready():
+            return True
+        # Charge sites keep their discipline even in a sanctioned
+        # module: the name is a precomputed module-level constant.
+        clock.charge(_EV_POLL)
+        time.sleep(0.001)
+    return False
+
+
+def elapsed_wall_s(started_s):
+    return time.perf_counter() - started_s

@@ -169,6 +169,69 @@ def test_clock_discipline_accepts_sim_clock_and_constants():
     assert run_rule("clock-discipline", "clock_good.py") == []
 
 
+# -- clock-discipline: sanctioned wall-clock modules --------------------
+
+
+def run_clock_rule_sanctioning(fixture: str, extra_sanctioned=()):
+    from repro.analysis.engine import Analyzer
+    from repro.analysis.rules.clock_discipline import (
+        SANCTIONED_WALL_CLOCK_MODULES,
+        ClockDisciplineRule,
+    )
+
+    rule = ClockDisciplineRule(
+        sanctioned=SANCTIONED_WALL_CLOCK_MODULES + tuple(extra_sanctioned)
+    )
+    return Analyzer(rules=[rule]).run_paths([FIXTURES / fixture])
+
+
+def test_sanctioned_module_with_justified_directive_is_clean():
+    findings = run_clock_rule_sanctioning(
+        "clock_sanctioned_good.py",
+        extra_sanctioned=("clock_sanctioned_good.py",),
+    )
+    assert findings == []
+
+
+def test_directive_in_unlisted_module_is_itself_reported():
+    # The same good fixture under the *default* sanctioned list: the
+    # directive does not silence anything, and is reported on top of the
+    # wall-clock reads it failed to sanction.
+    findings = run_rule("clock-discipline", "clock_sanctioned_good.py")
+    text = messages(findings)
+    assert "not on the sanctioned-module list" in text
+    assert "wall-clock call time.monotonic()" in text
+    assert "wall-clock call time.perf_counter()" in text
+
+
+def test_unjustified_directive_is_reported_even_when_listed():
+    findings = run_clock_rule_sanctioning(
+        "clock_sanctioned_bad.py",
+        extra_sanctioned=("clock_sanctioned_bad.py",),
+    )
+    text = messages(findings)
+    assert "without a justification" in text
+    # ...and the wall-clock reads stay flagged
+    assert "wall-clock call time.monotonic()" in text
+
+
+def test_sanctioning_never_relaxes_charge_site_discipline():
+    findings = run_clock_rule_sanctioning(
+        "clock_sanctioned_bad.py",
+        extra_sanctioned=("clock_sanctioned_bad.py",),
+    )
+    assert "formatted event name" in messages(findings)
+
+
+def test_procfabric_modules_are_sanctioned_by_default():
+    # The real transport modules ship with justified directives and are
+    # on the default list: springlint stays clean over src.
+    repo_src = Path(__file__).resolve().parents[2] / "src" / "repro" / "net"
+    for module in ("procfabric.py", "procworker.py"):
+        findings = run_rule("clock-discipline", str(repo_src / module))
+        assert findings == [], messages(findings)
+
+
 # -- unbounded-queue ----------------------------------------------------
 
 

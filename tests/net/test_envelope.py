@@ -1,0 +1,212 @@
+"""Envelope framing and preamble-ring unit tests (no fork required).
+
+The envelope is the process fabric's only framing: 56 bytes of header
+carrying routing, the out-of-band deadline budget, the wire trace
+context, and the ring indirection for bulk payloads.  These tests
+exercise it over an in-process socketpair and the ring over a plain
+bytearray, so they run on every platform.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.kernel.errors import ServerBusyError
+from repro.marshal.envelope import (
+    FLAG_DEADLINE,
+    FLAG_RING,
+    FLAG_TRACE,
+    HEADER,
+    KIND_CALL,
+    KIND_REPLY,
+    ChannelClosedError,
+    pack_error,
+    recv_envelope,
+    send_envelope,
+    unpack_error,
+)
+from repro.marshal.errors import MarshalError
+from repro.subcontracts.shm import (
+    REGION_MAGIC,
+    REGION_PREAMBLE,
+    PreambleRing,
+    pack_region_preamble,
+    unpack_region_preamble,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestEnvelopeWire:
+    def test_header_is_56_bytes(self):
+        assert HEADER.size == 56
+
+    def test_plain_roundtrip(self, pair):
+        a, b = pair
+        send_envelope(a, KIND_CALL, 7, 3, b"hello wire")
+        env = recv_envelope(b)
+        assert env.kind == KIND_CALL
+        assert env.call_id == 7
+        assert env.target == 3
+        assert env.payload == b"hello wire"
+        assert env.budget_us is None
+        assert env.trace_ctx is None
+
+    def test_empty_payload(self, pair):
+        a, b = pair
+        send_envelope(a, KIND_REPLY, 1, 0, b"")
+        env = recv_envelope(b)
+        assert env.payload == b""
+
+    def test_deadline_budget_crosses_exactly(self, pair):
+        a, b = pair
+        send_envelope(a, KIND_CALL, 1, 0, b"x", budget_us=123.456789)
+        env = recv_envelope(b)
+        assert env.flags & FLAG_DEADLINE
+        assert env.budget_us == 123.456789
+
+    def test_trace_ctx_crosses_exactly(self, pair):
+        a, b = pair
+        ctx = ((3 << 40) + 17, (3 << 40) + 18)
+        send_envelope(a, KIND_CALL, 1, 0, b"x", trace_ctx=ctx)
+        env = recv_envelope(b)
+        assert env.flags & FLAG_TRACE
+        assert env.trace_ctx == ctx
+
+    def test_large_payload_inline(self, pair):
+        a, b = pair
+        blob = bytes(range(256)) * 1024  # 256 KiB: forces short writes
+        got = {}
+
+        def reader():
+            got["env"] = recv_envelope(b)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        send_envelope(a, KIND_CALL, 9, 0, blob)
+        thread.join(10.0)
+        assert got["env"].payload == blob
+
+    def test_memoryview_payload(self, pair):
+        a, b = pair
+        backing = bytearray(b"zero-copy hand-off")
+        send_envelope(a, KIND_CALL, 2, 0, memoryview(backing))
+        assert recv_envelope(b).payload == bytes(backing)
+
+    def test_peer_close_raises_channel_closed(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ChannelClosedError):
+            recv_envelope(b)
+
+    def test_garbage_header_refused(self, pair):
+        a, b = pair
+        a.sendall(b"\x00" * HEADER.size)
+        with pytest.raises(ChannelClosedError):
+            recv_envelope(b)
+
+
+class TestErrorPayload:
+    def test_error_roundtrip(self):
+        name, message, hint = unpack_error(pack_error(ValueError("boom")))
+        assert name == "ValueError"
+        assert message == "boom"
+        assert hint == 0.0
+
+    def test_retry_after_hint_is_bit_exact(self):
+        # The admission signal must survive the boundary exactly: the
+        # hint is an f64 item, not a formatted string.
+        hint = 1234.5678901234567
+        busy = ServerBusyError("queue full", retry_after_us=hint)
+        _, _, recovered = unpack_error(pack_error(busy))
+        assert recovered == hint
+
+
+class TestRegionPreamble:
+    def test_pack_unpack(self):
+        packed = pack_region_preamble(42, 1000)
+        assert len(packed) == REGION_PREAMBLE.size
+        assert unpack_region_preamble(packed) == (42, 1000)
+
+    def test_bad_magic_refused(self):
+        packed = bytearray(pack_region_preamble(1, 1))
+        packed[0] ^= 0xFF
+        with pytest.raises(MarshalError):
+            unpack_region_preamble(packed)
+
+    def test_magic_constant(self):
+        assert REGION_MAGIC == 0x5B9A
+
+
+class TestPreambleRing:
+    def make_ring_pair(self, size=4096):
+        # Producer and consumer views over the same backing store, the
+        # way the two processes each construct their own PreambleRing
+        # over the one shared mapping.
+        buf = bytearray(size)
+        return PreambleRing(buf), PreambleRing(buf)
+
+    def test_write_take_roundtrip(self):
+        producer, consumer = self.make_ring_pair()
+        off = producer.write(b"payload one")
+        assert consumer.take(11, expected_off=off) == b"payload one"
+
+    def test_many_records_fifo(self):
+        producer, consumer = self.make_ring_pair()
+        for i in range(50):
+            payload = f"record {i}".encode()
+            off = producer.write(payload)
+            assert consumer.take(len(payload), expected_off=off) == payload
+
+    def test_wraparound(self):
+        # Records larger than half the ring force a wrap marker on every
+        # other write; payload integrity must survive many laps.
+        producer, consumer = self.make_ring_pair(size=1024)
+        for i in range(40):
+            payload = bytes([i % 251]) * 700
+            off = producer.write(payload)
+            assert consumer.take(700, expected_off=off) == payload
+
+    def test_length_mismatch_fails_loudly(self):
+        producer, consumer = self.make_ring_pair()
+        producer.write(b"four")
+        with pytest.raises(MarshalError):
+            consumer.take(5)
+
+    def test_desync_fails_loudly(self):
+        producer, consumer = self.make_ring_pair()
+        producer.write(b"four")
+        with pytest.raises(MarshalError):
+            consumer.take(4, expected_off=999_999)
+
+    def test_oversized_record_refused(self):
+        producer, _ = self.make_ring_pair(size=256)
+        with pytest.raises(MarshalError):
+            producer.write(b"x" * 300)
+
+    def test_concurrent_producer_consumer(self):
+        # SPSC under real threads: the consumer lags, the producer blocks
+        # on ring room, everything still arrives in order and intact.
+        producer, consumer = self.make_ring_pair(size=2048)
+        payloads = [bytes([i % 256]) * (100 + i % 500) for i in range(200)]
+        seen = []
+
+        def consume():
+            for payload in payloads:
+                seen.append(consumer.take(len(payload)))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        for payload in payloads:
+            producer.write(payload)
+        thread.join(30.0)
+        assert seen == payloads

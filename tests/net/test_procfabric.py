@@ -1,0 +1,341 @@
+"""Process-fabric composition tests: real OS processes, unchanged stubs.
+
+Every test here forks worker processes, so the whole module is
+skip-marked on platforms without the ``fork`` start method.  The
+assertions are the ISSUE's composition criteria: deadlines expire across
+the boundary, traces join into one trace_id, admission's
+``ServerBusyError`` retry-after hints round-trip, bulk payloads ride the
+shared-memory ring, and a wedged worker is killed after a join timeout
+with :class:`ServerDiedError` surfaced to in-flight callers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.idl.compiler import compile_idl
+from repro.kernel.errors import (
+    DeadlineExceeded,
+    ServerBusyError,
+    ServerDiedError,
+)
+from repro.marshal.buffer import MarshalBuffer
+from repro.net.procfabric import ProcFabricError
+from repro.runtime.deadline import deadline
+from repro.runtime.env import Environment
+from repro.runtime.retry import RetryPolicy
+from repro.subcontracts.singleton import SingletonServer
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the process fabric requires the fork start method",
+)
+
+COUNTER_IDL = """
+interface counter {
+    int32 add(int32 n);
+    int32 total();
+}
+"""
+
+BLOB_IDL = """
+interface blob {
+    bytes echo(bytes data);
+}
+"""
+
+counter_module = compile_idl(COUNTER_IDL, "procfabric_counter")
+blob_module = compile_idl(BLOB_IDL, "procfabric_blob")
+
+
+class CounterImpl:
+    def __init__(self):
+        self.value = 0
+
+    def add(self, n):
+        self.value += n
+        return self.value
+
+    def total(self):
+        return self.value
+
+
+class BlobImpl:
+    def echo(self, data):
+        return data
+
+
+class WedgedImpl:
+    """Blocks the (single-threaded) worker on real wall time."""
+
+    def add(self, n):
+        time.sleep(30.0)
+        return n
+
+    def total(self):
+        return 0
+
+
+def export_counter(env, index):
+    server = env.create_domain("w", "server")
+    obj = SingletonServer(server).export(CounterImpl(), counter_module.binding("counter"))
+    return {"counter": obj}
+
+
+def export_blob(env, index):
+    server = env.create_domain("w", "server")
+    obj = SingletonServer(server).export(BlobImpl(), blob_module.binding("blob"))
+    return {"blob": obj}
+
+
+def export_wedged(env, index):
+    server = env.create_domain("w", "server")
+    obj = SingletonServer(server).export(WedgedImpl(), counter_module.binding("counter"))
+    return {"counter": obj}
+
+
+def export_busy(env, index):
+    """A governed counter whose one service slot is already taken."""
+    from repro.runtime.admission import AdmissionPolicy
+
+    server = env.create_domain("w", "server")
+    obj = SingletonServer(server).export(CounterImpl(), counter_module.binding("counter"))
+    controller = env.install_admission()
+    door = obj._rep.door.door
+    controller.govern(
+        door,
+        AdmissionPolicy(limit=1, queue_limit=0, service_estimate_us=50_000.0),
+    )
+    # Hold the only permit forever: every real call arriving over the
+    # fabric is shed with a positive retry-after hint.
+    controller.admit(door, MarshalBuffer(env.kernel))
+    return {"counter": obj}
+
+
+def proc_env(**kwargs):
+    return Environment(latency_us=0.0, transport="proc", **kwargs)
+
+
+class TestTransportSelection:
+    def test_sim_environment_refuses_procfabric(self):
+        env = Environment(latency_us=0.0)
+        assert env.transport == "sim"
+        with pytest.raises(ProcFabricError):
+            env.install_procfabric(export_counter)
+
+    def test_unknown_transport_refused(self):
+        with pytest.raises(ValueError):
+            Environment(transport="carrier-pigeon")
+
+
+class TestRoundtrip:
+    def test_calls_cross_the_process_boundary(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_counter, workers=2)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+            assert proxy.add(5) == 5
+            assert proxy.add(3) == 8
+            assert proxy.total() == 8
+        finally:
+            env.uninstall_procfabric()
+
+    def test_workers_hold_independent_state(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_counter, workers=2)
+        try:
+            client = env.create_domain("m0", "client")
+            w0 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=0)
+            w1 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=1)
+            assert w0.add(10) == 10
+            assert w1.add(1) == 1
+            assert w0.total() == 10
+            assert w1.total() == 1
+        finally:
+            env.uninstall_procfabric()
+
+    def test_unknown_export_refused(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_counter, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            with pytest.raises(ProcFabricError):
+                fabric.bind(client, "no-such-export", counter_module.binding("counter"))
+        finally:
+            env.uninstall_procfabric()
+
+    def test_bulk_payloads_ride_the_ring(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_blob, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "blob", blob_module.binding("blob"))
+            blob = bytes(range(256)) * 64  # 16 KiB >= ring_min
+            assert proxy.echo(blob) == blob
+            stats = fabric.stats()[0]
+            assert stats["ring_payloads"] >= 2  # request out, reply back
+        finally:
+            env.uninstall_procfabric()
+
+
+class TestDeadlineComposition:
+    def test_deadline_expires_across_the_boundary(self):
+        # A 200 us budget survives the supervisor's own legs (~112 sim-us
+        # for the proxy door call) but cannot cover the worker's 110 us
+        # door traversal: the worker's ordinary delivery-leg check trips
+        # and DeadlineExceeded crosses back as an ERROR envelope.
+        env = proc_env()
+        fabric = env.install_procfabric(export_counter, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+            with deadline(env.kernel, 200.0):
+                with pytest.raises(DeadlineExceeded) as excinfo:
+                    proxy.add(1)
+            assert "over budget" in str(excinfo.value)
+            # DeadlineExceeded ends retry exchanges on both sides of the
+            # boundary — the reconstructed error keeps its taxonomy.
+            assert not RetryPolicy.retryable(excinfo.value)
+        finally:
+            env.uninstall_procfabric()
+
+    def test_ample_budget_passes(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_counter, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+            with deadline(env.kernel, 1_000_000.0):
+                assert proxy.add(1) == 1
+        finally:
+            env.uninstall_procfabric()
+
+    def test_unbounded_calls_carry_no_budget(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_counter, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+            assert proxy.add(1) == 1  # no deadline installed, no envelope flag
+        finally:
+            env.uninstall_procfabric()
+
+
+class TestTraceComposition:
+    def test_spans_join_one_trace_id(self):
+        env = proc_env()
+        env.install_tracer()
+        fabric = env.install_procfabric(export_counter, workers=1, trace=True)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+            assert proxy.add(7) == 7
+
+            local_ids = {s.trace_id for s in env.kernel.tracer.spans()}
+            assert len(local_ids) == 1
+            worker_spans = fabric.pull_obs(0)["spans"]
+            assert worker_spans, "worker must record handler spans"
+            assert {s["trace_id"] for s in worker_spans} == local_ids
+            # The worker's handler span is parented from the wire context
+            # alone: its parent is a span the supervisor allocated.
+            supervisor_span_ids = {s.span_id for s in env.kernel.tracer.spans()}
+            handler_parents = {
+                s["parent_id"] for s in worker_spans if s["category"] == "handler"
+            }
+            assert handler_parents <= supervisor_span_ids
+        finally:
+            env.uninstall_procfabric()
+
+    def test_merged_views_tag_processes(self):
+        env = proc_env()
+        env.install_tracer()
+        fabric = env.install_procfabric(export_counter, workers=2, trace=True)
+        try:
+            client = env.create_domain("m0", "client")
+            w0 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=0)
+            w1 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=1)
+            w0.add(1)
+            w1.add(2)
+            merged = fabric.merged_spans()
+            processes = {r["process"] for r in merged}
+            assert {"supervisor", "worker0", "worker1"} <= processes
+            metrics = fabric.merged_metrics()
+            assert metrics, "merged metrics must not be empty"
+        finally:
+            env.uninstall_procfabric()
+
+
+class TestAdmissionComposition:
+    def test_busy_hint_round_trips(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_busy, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+            with pytest.raises(ServerBusyError) as excinfo:
+                proxy.add(1)
+            busy = excinfo.value
+            assert busy.retry_after_us > 0.0
+            assert RetryPolicy.retryable(busy)
+            assert RetryPolicy.retry_after_us(busy) == busy.retry_after_us
+        finally:
+            env.uninstall_procfabric()
+
+
+class TestTeardown:
+    def test_clean_shutdown_is_idempotent(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_counter, workers=2)
+        client = env.create_domain("m0", "client")
+        proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+        assert proxy.add(1) == 1
+        env.uninstall_procfabric()
+        fabric.shutdown()  # second shutdown is a no-op
+        for handle in fabric._handles:
+            assert not handle.process.is_alive()
+
+    def test_calls_after_worker_death_raise_server_died(self):
+        env = proc_env()
+        fabric = env.install_procfabric(export_counter, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+            assert proxy.add(1) == 1
+            fabric.kill_worker(0)
+            with pytest.raises(ServerDiedError):
+                proxy.add(1)
+        finally:
+            env.uninstall_procfabric()
+
+    def test_wedged_worker_is_killed_and_callers_unblocked(self):
+        # The satellite criterion: a worker stuck inside a handler is
+        # terminated after the join timeout and the in-flight caller gets
+        # ServerDiedError instead of a hang.
+        env = proc_env()
+        fabric = env.install_procfabric(export_wedged, workers=1)
+        client = env.create_domain("m0", "client")
+        proxy = fabric.bind(client, "counter", counter_module.binding("counter"))
+        outcome = {}
+
+        def call():
+            try:
+                outcome["result"] = proxy.add(1)
+            except BaseException as exc:
+                outcome["error"] = exc
+
+        caller = threading.Thread(target=call)
+        caller.start()
+        # Give the call time to reach the worker and wedge there.
+        deadline_s = time.monotonic() + 5.0
+        while not fabric._handles[0].pending and time.monotonic() < deadline_s:
+            time.sleep(0.01)
+        fabric.shutdown(join_timeout_s=0.5)
+        caller.join(10.0)
+        assert not caller.is_alive(), "in-flight caller must not hang"
+        assert isinstance(outcome.get("error"), ServerDiedError)
+        assert not fabric._handles[0].process.is_alive()
