@@ -219,7 +219,14 @@ def send_envelope(
         trace_id, span_id = trace_ctx
     view = memoryview(payload)
     ring_off = 0
-    via_ring = ring is not None and len(view) >= ring_min
+    # Payloads over the ring's half-capacity budget cross inline on the
+    # socket: the ring's notify-after-write protocol cannot carry them
+    # without risking a self-deadlock (see PreambleRing.max_payload).
+    via_ring = (
+        ring is not None
+        and len(view) >= ring_min
+        and len(view) <= ring.max_payload
+    )
     if via_ring:
         flags |= FLAG_RING
         ring_off = ring.write(view)

@@ -213,13 +213,29 @@ class ProcFabric:
     # ------------------------------------------------------------------
 
     def start(self) -> "ProcFabric":
-        """Fork the workers, wire rings and reader threads, load exports."""
+        """Fork the workers, wire rings and reader threads, load exports.
+
+        A failure anywhere in here (socketpair/mmap exhaustion, a worker
+        whose bootstrap raises so its export roundtrip dies) reaps every
+        worker forked so far before re-raising: no orphaned processes,
+        sockets, mappings, or reader threads outlive a failed start.
+        """
         if self._started:
             raise ProcFabricError("ProcFabric already started")
         if "fork" not in multiprocessing.get_all_start_methods():
             raise ProcFabricError(
                 "the process fabric requires the fork start method"
             )
+        try:
+            self._start_workers()
+        except BaseException:
+            self._shut = True
+            for handle in self._handles:
+                self._reap(handle, 1.0, graceful=False)
+            raise
+        return self
+
+    def _start_workers(self) -> None:
         ctx = multiprocessing.get_context("fork")
         config = {
             "seed": self.seed,
@@ -229,7 +245,9 @@ class ProcFabric:
         }
         for index in range(self.workers):
             handle = _WorkerHandle(index)
+            self._handles.append(handle)
             parent_sock, child_sock = socket.socketpair()
+            handle.sock = parent_sock
             # Anonymous shared mappings created pre-fork: both sides see
             # the same pages, no filesystem involved.
             call_buf = mmap.mmap(-1, self.ring_bytes)
@@ -245,8 +263,15 @@ class ProcFabric:
             process.start()
             child_sock.close()
             handle.process = process
-            handle.sock = parent_sock
             handle.alive = True
+            # Bound the ring waits: a producer blocked on a ring whose
+            # consumer died (or wedged with the ring full) must raise,
+            # not spin forever inside send_lock where neither the call
+            # timeout nor fail_pending can reach it.
+            peer_alive = lambda h=handle: h.alive and h.process.is_alive()
+            handle.call_ring.peer_alive = peer_alive
+            handle.reply_ring.peer_alive = peer_alive
+            handle.call_ring.stall_timeout_s = self.call_timeout_s
             reader = threading.Thread(
                 target=self._read_replies,
                 args=(handle,),
@@ -255,12 +280,10 @@ class ProcFabric:
             )
             handle.reader = reader
             reader.start()
-            self._handles.append(handle)
         self._started = True
         for handle in self._handles:
             doc = json.loads(self._control(handle.index, OP_LIST_EXPORTS))
             handle.exports = dict(doc["exports"])
-        return self
 
     def shutdown(self, join_timeout_s: float = 5.0) -> None:
         """Stop every worker: graceful first, then kill the wedged.
@@ -452,17 +475,25 @@ class ProcFabric:
         # The send lock serializes both the socket write and the ring
         # append, so each direction keeps a single logical producer.
         with handle.send_lock:
-            via_ring = send_envelope(
-                handle.sock,
-                kind,
-                call_id,
-                target,
-                payload,
-                budget_us=budget_us,
-                trace_ctx=trace_ctx,
-                ring=handle.call_ring,
-                ring_min=self.ring_min,
-            )
+            try:
+                via_ring = send_envelope(
+                    handle.sock,
+                    kind,
+                    call_id,
+                    target,
+                    payload,
+                    budget_us=budget_us,
+                    trace_ctx=trace_ctx,
+                    ring=handle.call_ring,
+                    ring_min=self.ring_min,
+                )
+            except ChannelClosedError as exc:
+                # The call ring's bounded wait gave up: the worker died
+                # or stopped draining its ring entirely.
+                raise ServerDiedError(
+                    f"procfabric worker {handle.index} stopped draining "
+                    f"the call ring: {exc}"
+                ) from exc
         if via_ring:
             handle.ring_payloads += 1
 
@@ -564,7 +595,11 @@ class ProcFabric:
         for handle in self._handles:
             if not handle.alive:
                 continue
-            for rec in self.pull_obs(handle.index)["spans"]:
+            try:
+                spans = self.pull_obs(handle.index)["spans"]
+            except (ServerDiedError, CommunicationError):
+                continue  # died between the check and the roundtrip
+            for rec in spans:
                 rec["process"] = f"worker{handle.index}"
                 records.append(rec)
         return records
@@ -576,8 +611,12 @@ class ProcFabric:
         if tracer.enabled:
             snapshots.append(tracer.metrics.snapshot())
         for handle in self._handles:
-            if handle.alive:
+            if not handle.alive:
+                continue
+            try:
                 snapshots.append(self.pull_obs(handle.index)["metrics"])
+            except (ServerDiedError, CommunicationError):
+                continue  # died between the check and the roundtrip
         return merge_snapshots(*snapshots)
 
     def stats(self) -> dict:

@@ -162,8 +162,22 @@ def _serve(
         names[name] = eid
     log.write(f"serving {len(table)} exports: {sorted(names)}")
 
-    call_ring = PreambleRing(call_ring_buf) if call_ring_buf is not None else None
-    reply_ring = PreambleRing(reply_ring_buf) if reply_ring_buf is not None else None
+    # Ring waits check supervisor liveness: when the parent dies, the
+    # worker is reparented and getppid changes, so a worker blocked on a
+    # full reply ring (or a half-written call record) raises
+    # ChannelClosedError instead of spinning forever.
+    parent_pid = os.getppid()
+    parent_alive = lambda: os.getppid() == parent_pid
+    call_ring = (
+        PreambleRing(call_ring_buf, peer_alive=parent_alive)
+        if call_ring_buf is not None
+        else None
+    )
+    reply_ring = (
+        PreambleRing(reply_ring_buf, peer_alive=parent_alive)
+        if reply_ring_buf is not None
+        else None
+    )
     ring_min = config.get("ring_min", 1 << 62)
     calls_served = 0
 
@@ -177,25 +191,40 @@ def _serve(
             try:
                 reply = _serve_call(kernel, table, envelope)
             except Exception as exc:
-                send_envelope(sock, KIND_ERROR, envelope.call_id, 0, pack_error(exc))
+                try:
+                    send_envelope(
+                        sock, KIND_ERROR, envelope.call_id, 0, pack_error(exc)
+                    )
+                except (ChannelClosedError, OSError):
+                    log.write("supervisor channel closed mid-reply; exiting")
+                    return
                 continue
             calls_served += 1
-            send_envelope(
-                sock,
-                KIND_REPLY,
-                envelope.call_id,
-                0,
-                reply.data,
-                ring=reply_ring,
-                ring_min=ring_min,
-            )
-            reply.region = None
-            reply.recycle()
+            try:
+                send_envelope(
+                    sock,
+                    KIND_REPLY,
+                    envelope.call_id,
+                    0,
+                    reply.data,
+                    ring=reply_ring,
+                    ring_min=ring_min,
+                )
+            except (ChannelClosedError, OSError):
+                log.write("supervisor channel closed mid-reply; exiting")
+                return
+            finally:
+                reply.region = None
+                reply.recycle()
         elif envelope.kind == KIND_CONTROL:
             payload, stop = _serve_control(
                 kernel, envelope.target, names, calls_served
             )
-            send_envelope(sock, KIND_CONTROL_REPLY, envelope.call_id, 0, payload)
+            try:
+                send_envelope(sock, KIND_CONTROL_REPLY, envelope.call_id, 0, payload)
+            except (ChannelClosedError, OSError):
+                log.write("supervisor channel closed mid-reply; exiting")
+                return
             if stop:
                 log.write("shutdown requested by supervisor")
                 return

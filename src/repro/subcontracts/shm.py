@@ -25,6 +25,7 @@ from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ServerSubcontract
 from repro.marshal.buffer import MarshalBuffer
+from repro.marshal.envelope import ChannelClosedError
 from repro.marshal.errors import MarshalError
 from repro.subcontracts.common import SingleDoorRep, make_door_handler
 from repro.subcontracts.singleton import SingleDoorClient
@@ -91,26 +92,50 @@ class PreambleRing:
     counter (8-byte aligned loads; a stale read just means waiting one
     more poll interval).
 
+    One record may use at most half the ring (:attr:`max_payload` plus
+    the preamble): consumers are told about a record only after it is
+    fully written, so a larger record could wait on room that only
+    consuming that same record's wrap marker would free.  Transports
+    send larger payloads inline on their socket instead.
+
     Payload offsets returned by :meth:`write` are free-running counters
     (not buffer positions); the consumer's :meth:`take` cross-checks the
     offset carried in the envelope against its own running position, so
     a desynchronized ring fails loudly instead of handing back the wrong
     bytes.
+
+    The poll loops are bounded: ``peer_alive`` (when set) is checked on
+    every poll and ``stall_timeout_s`` (when set) caps one wait, either
+    raising :class:`~repro.marshal.envelope.ChannelClosedError` so a
+    dead or wedged peer unblocks the waiter instead of wedging it too.
     """
 
     _HEAD = struct.Struct("<Q")
     _HEADER_BYTES = 16
     _PREAMBLE = REGION_PREAMBLE.size
 
-    def __init__(self, buf: Any, poll_s: float = 0.0002) -> None:
+    def __init__(
+        self,
+        buf: Any,
+        poll_s: float = 0.0002,
+        peer_alive: Callable[[], bool] | None = None,
+        stall_timeout_s: float | None = None,
+    ) -> None:
         if len(buf) <= self._HEADER_BYTES + self._PREAMBLE:
             raise ValueError("ring buffer too small")
         self.buf = buf
         self.capacity = len(buf) - self._HEADER_BYTES
         self.poll_s = poll_s
+        self.peer_alive = peer_alive
+        self.stall_timeout_s = stall_timeout_s
         self._head = 0  # consumer-local position
         self._tail = 0  # producer-local position
         self._uids = itertools.count(1)
+
+    @property
+    def max_payload(self) -> int:
+        """Largest payload :meth:`write` accepts (half capacity, framed)."""
+        return self.capacity // 2 - self._PREAMBLE
 
     # -- shared-counter plumbing ---------------------------------------
 
@@ -136,26 +161,36 @@ class PreambleRing:
         """
         view = memoryview(payload)
         record = self._PREAMBLE + len(view)
-        if record > self.capacity - self._PREAMBLE:
+        if record > self.capacity // 2:
+            # Consumers learn about a record only after it is fully
+            # written (the envelope header follows the ring append), so
+            # a record needing more than half the ring can block on room
+            # that only consuming *this* record's wrap would free — a
+            # protocol deadlock.  Refuse; transports fall back to the
+            # inline socket path for such payloads.
             raise MarshalError(
-                f"record of {len(view)}B exceeds ring capacity {self.capacity}B"
+                f"record of {len(view)}B exceeds ring budget "
+                f"{self.max_payload}B (half of {self.capacity}B capacity)"
             )
+        base = self._HEADER_BYTES
         pos = self._tail % self.capacity
-        dead = 0
         if self.capacity - pos < record:
             # Not enough contiguous room: retire the remainder of the
-            # ring (with a wrap marker when a preamble fits) and start
-            # the record at the boundary.
+            # ring in its own step — wait for the dead bytes alone,
+            # write a wrap marker when a preamble fits, publish — then
+            # wait for the record separately at the boundary.  Waiting
+            # for record+dead in one step can demand more than the
+            # ring's capacity, which no amount of consuming satisfies.
             dead = self.capacity - pos
-        self._wait_for_room(record + dead)
-        base = self._HEADER_BYTES
-        if dead:
+            self._wait_for_room(dead)
             if dead >= self._PREAMBLE:
                 self.buf[base + pos : base + pos + self._PREAMBLE] = (
                     REGION_PREAMBLE.pack(REGION_MAGIC, REGION_VERSION, 0, _RING_WRAP_UID)
                 )
             self._tail += dead
+            self._publish_tail()
             pos = 0
+        self._wait_for_room(record)
         uid = next(self._uids)
         self.buf[base + pos : base + pos + self._PREAMBLE] = pack_region_preamble(
             uid, len(view)
@@ -168,8 +203,10 @@ class PreambleRing:
         return payload_off
 
     def _wait_for_room(self, needed: int) -> None:
-        while self.capacity - (self._tail - self._published_head()) < needed:
-            time.sleep(self.poll_s)
+        self._poll(
+            lambda: self.capacity - (self._tail - self._published_head()) >= needed,
+            "ring room",
+        )
 
     # -- consumer side -------------------------------------------------
 
@@ -210,8 +247,34 @@ class PreambleRing:
         return payload
 
     def _wait_for_data(self, needed: int) -> None:
-        while self._published_tail() - self._head < needed:
+        self._poll(lambda: self._published_tail() - self._head >= needed, "ring data")
+
+    def _poll(self, ready: Callable[[], bool], what: str) -> None:
+        """Poll ``ready`` with peer-liveness and stall bounds.
+
+        Raises :class:`ChannelClosedError` when the peer is reported
+        dead or the wait exceeds ``stall_timeout_s``; the waiter's
+        transport translates that into its own dead-server error.
+        """
+        if ready():
+            return
+        # The stall bound accumulates slept poll intervals rather than
+        # reading host time: at least ``stall_timeout_s`` of waiting
+        # passes before giving up, and no wall clock leaks in here.
+        remaining = self.stall_timeout_s
+        while True:
+            if self.peer_alive is not None and not self.peer_alive():
+                raise ChannelClosedError(f"ring peer died while waiting for {what}")
+            if remaining is not None and remaining <= 0.0:
+                raise ChannelClosedError(
+                    f"ring stalled waiting for {what} "
+                    f"for over {self.stall_timeout_s:.1f}s"
+                )
             time.sleep(self.poll_s)
+            if remaining is not None:
+                remaining -= self.poll_s
+            if ready():
+                return
 
 
 class SharedRegion:

@@ -102,6 +102,26 @@ class TestEnvelopeWire:
         send_envelope(a, KIND_CALL, 2, 0, memoryview(backing))
         assert recv_envelope(b).payload == bytes(backing)
 
+    def test_oversized_ring_payload_falls_back_inline(self, pair):
+        # A payload over the ring's half-capacity budget must cross the
+        # socket inline rather than be refused by the ring.
+        a, b = pair
+        ring_buf = bytearray(1024)
+        tx, rx = PreambleRing(ring_buf), PreambleRing(ring_buf)
+        blob = bytes(range(256)) * 4  # 1 KiB > max_payload of a 1 KiB ring
+        got = {}
+
+        def reader():
+            got["env"] = recv_envelope(b, ring=rx)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        via_ring = send_envelope(a, KIND_CALL, 1, 0, blob, ring=tx, ring_min=1)
+        thread.join(10.0)
+        assert via_ring is False
+        assert not got["env"].flags & FLAG_RING
+        assert got["env"].payload == blob
+
     def test_peer_close_raises_channel_closed(self, pair):
         a, b = pair
         a.close()
@@ -168,13 +188,64 @@ class TestPreambleRing:
             assert consumer.take(len(payload), expected_off=off) == payload
 
     def test_wraparound(self):
-        # Records larger than half the ring force a wrap marker on every
-        # other write; payload integrity must survive many laps.
+        # Records near the half-ring budget force a wrap marker every
+        # few writes; payload integrity must survive many laps.
         producer, consumer = self.make_ring_pair(size=1024)
         for i in range(40):
-            payload = bytes([i % 251]) * 700
+            payload = bytes([i % 251]) * 400
             off = producer.write(payload)
-            assert consumer.take(700, expected_off=off) == payload
+            assert consumer.take(400, expected_off=off) == payload
+
+    def test_wrap_with_backlog_does_not_deadlock(self):
+        # Regression: a wrapping record used to wait for record+dead
+        # bytes in one step, which can exceed what consuming the backlog
+        # frees; the dead tail must be retired in its own step so the
+        # producer's demands stay individually satisfiable.
+        producer, consumer = self.make_ring_pair(size=2048)
+        payloads = [b"a" * 400, b"b" * 400, b"c" * 400, b"d" * 900]
+        seen = []
+
+        def consume():
+            for payload in payloads:
+                seen.append(consumer.take(len(payload)))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        for payload in payloads:  # the 900B record wraps past the backlog
+            producer.write(payload)
+        thread.join(10.0)
+        assert not thread.is_alive(), "wrapping write must not deadlock"
+        assert seen == payloads
+
+    def test_record_over_half_capacity_refused(self):
+        # The consumer learns about a record only after it is written
+        # (the envelope header follows the ring append): a record over
+        # half the ring can wait on room only its own consumption would
+        # free, so write refuses it up front.
+        producer, _ = self.make_ring_pair(size=1024)
+        assert producer.max_payload == 1008 // 2 - REGION_PREAMBLE.size
+        with pytest.raises(MarshalError):
+            producer.write(b"x" * 600)
+
+    def test_dead_peer_unblocks_producer(self):
+        buf = bytearray(512)
+        producer = PreambleRing(buf, peer_alive=lambda: False)
+        producer.write(b"x" * 200)  # fits without waiting
+        producer.write(b"y" * 200)
+        with pytest.raises(ChannelClosedError):
+            producer.write(b"z" * 200)  # blocks on room, peer is dead
+
+    def test_dead_peer_unblocks_consumer(self):
+        consumer = PreambleRing(bytearray(512), peer_alive=lambda: False)
+        with pytest.raises(ChannelClosedError):
+            consumer.take(10)
+
+    def test_stalled_ring_times_out(self):
+        producer = PreambleRing(bytearray(256), stall_timeout_s=0.05)
+        producer.write(b"x" * 100)
+        producer.write(b"y" * 100)
+        with pytest.raises(ChannelClosedError):
+            producer.write(b"z" * 100)  # nobody consumes: bounded wait
 
     def test_length_mismatch_fails_loudly(self):
         producer, consumer = self.make_ring_pair()

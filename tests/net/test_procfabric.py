@@ -182,6 +182,41 @@ class TestRoundtrip:
         finally:
             env.uninstall_procfabric()
 
+    def test_mixed_large_payloads_wrap_the_ring(self):
+        # Regression: mixed sizes misalign the wrap point with record
+        # boundaries, which used to make the wrapping write demand
+        # record+dead bytes of room in one step and hang the supervisor
+        # inside send_lock.
+        env = proc_env()
+        fabric = env.install_procfabric(export_blob, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "blob", blob_module.binding("blob"))
+            small = bytes(range(256)) * 1200  # 300 KiB
+            large = bytes(range(256)) * 1800  # 450 KiB, under the budget
+            for blob in (small, large, small, large, large, small):
+                assert proxy.echo(blob) == blob
+            stats = fabric.stats()[0]
+            assert stats["ring_payloads"] >= 12  # all rode the ring
+        finally:
+            env.uninstall_procfabric()
+
+    def test_payload_over_ring_budget_falls_back_inline(self):
+        # Regression: a payload over half the ring used to wedge the
+        # supervisor forever (the ring cannot carry it without a
+        # protocol deadlock); it must cross the socket inline instead.
+        env = proc_env()
+        fabric = env.install_procfabric(export_blob, workers=1)
+        try:
+            client = env.create_domain("m0", "client")
+            proxy = fabric.bind(client, "blob", blob_module.binding("blob"))
+            blob = bytes(range(256)) * 2400  # 600 KiB > half the 1 MiB ring
+            before = fabric.stats()[0]["ring_payloads"]
+            assert proxy.echo(blob) == blob
+            assert fabric.stats()[0]["ring_payloads"] == before
+        finally:
+            env.uninstall_procfabric()
+
 
 class TestDeadlineComposition:
     def test_deadline_expires_across_the_boundary(self):
@@ -251,6 +286,32 @@ class TestTraceComposition:
         finally:
             env.uninstall_procfabric()
 
+    def test_merged_views_skip_dead_workers(self, monkeypatch):
+        # A worker dying between the alive check and the control
+        # roundtrip must cost its own observability only, not fail the
+        # whole merge.
+        env = proc_env()
+        env.install_tracer()
+        fabric = env.install_procfabric(export_counter, workers=2, trace=True)
+        try:
+            client = env.create_domain("m0", "client")
+            w0 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=0)
+            w0.add(1)
+            real_pull = fabric.pull_obs
+
+            def racy_pull(worker):
+                if worker == 1:
+                    raise ServerDiedError("worker 1 died mid-pull")
+                return real_pull(worker)
+
+            monkeypatch.setattr(fabric, "pull_obs", racy_pull)
+            merged = fabric.merged_spans()
+            processes = {r["process"] for r in merged}
+            assert "worker0" in processes and "worker1" not in processes
+            assert fabric.merged_metrics(), "surviving workers still merge"
+        finally:
+            env.uninstall_procfabric()
+
     def test_merged_views_tag_processes(self):
         env = proc_env()
         env.install_tracer()
@@ -285,6 +346,27 @@ class TestAdmissionComposition:
             assert RetryPolicy.retry_after_us(busy) == busy.retry_after_us
         finally:
             env.uninstall_procfabric()
+
+
+def export_broken(env, index):
+    raise RuntimeError("bootstrap failed on purpose")
+
+
+class TestStartFailure:
+    def test_failed_bootstrap_reaps_forked_workers(self):
+        # A worker whose bootstrap raises dies before serving exports;
+        # start() must reap every worker it forked (processes, sockets,
+        # reader threads) before re-raising, not leak them.
+        from repro.net.procfabric import ProcFabric
+
+        env = Environment(latency_us=0.0)
+        fabric = ProcFabric(env.kernel, workers=2, bootstrap=export_broken)
+        with pytest.raises(ServerDiedError):
+            fabric.start()
+        for handle in fabric._handles:
+            assert not handle.alive
+            assert handle.process is not None and not handle.process.is_alive()
+            assert handle.reader is not None and not handle.reader.is_alive()
 
 
 class TestTeardown:
