@@ -1,0 +1,306 @@
+"""P7 — springtsan race-detector bench (PR 7's dynamic tentpole head).
+
+Two questions, in the P3/P4/P5/P6 style:
+
+1. **What does an uninstalled detector cost the hot path?**  Nothing
+   measurable: with ``kernel.tsan = None`` (every kernel's default)
+   each sync-edge hook is one attribute read and one branch.  The PR
+   gates are the usual pair — the general-stub simulated time stays
+   *bit-for-bit* the pre-P7 figure (asserted on every run against
+   :data:`PRE_TSAN_GENERAL_SIM_US`), and the PR-time interleaved A/B
+   against a worktree at the pre-P7 commit stays inside the 2% wall
+   gate (committed in :data:`PR_AB_VS_PRE_TSAN`).
+
+2. **What does an installed detector buy, and at what cost?**  The
+   enabled leg re-measures the same general-stub probe with a
+   collect-mode detector attached to the kernel: its wall overhead is
+   *recorded* (vector clocks and tracked tables are not free and the
+   number should be honest), its simulated time must still match the
+   pre-P7 record bit-for-bit (the detector charges zero sim time), and
+   the clean hot path must report zero races.  Detection power is the
+   deterministic part: the four canonical race classes — unlocked
+   write/write, lock-protected-but-disjoint locksets, a missed join
+   edge, and the door-handoff pattern that must *not* be flagged — are
+   replayed on every run and must classify 4/4.  ``run_concurrently``
+   forks every worker's token before any thread starts, so the classes
+   detect deterministically regardless of host scheduling.
+
+The static head rides along: the whole-program springlint pass over
+``src/`` must come back clean, and its wall time is recorded serial and
+parallel (``--jobs 4``) so the cost of the project-wide call graph is
+visible in the same artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_p1_hotpath import best_of, build_world
+from benchmarks.conftest import sim_us
+from repro.runtime import tsan
+from repro.runtime.threads import run_concurrently
+from repro.runtime.tsan import DataRaceError, install_tsan, uninstall_tsan
+
+#: tsan-uninstalled wall-us/call may regress at most this fraction
+#: versus the pre-P7 tree measured in the same session
+UNINSTALLED_OVERHEAD_GATE = 0.02
+
+#: general-stub sim-us/call recorded by the PRE-P7 tree (the same figure
+#: P3/P4/P5/P6 pinned: tracing, chaos, admission and now the race
+#: detector all charge nothing while idle — and the detector charges
+#: nothing even while live).
+PRE_TSAN_GENERAL_SIM_US = 111.61000000010245
+
+#: the PR-time wall gate record: ten alternating best-of-6000 rounds of
+#: the P1 general-stub probe on this tree versus a worktree at the
+#: pre-P7 commit (01b8c50), same machine, same session.  Floor-to-floor
+#: across the alternating rounds (the P3–P6 statistic): best-of 10.67
+#: instrumented vs 10.56 pre-P7 = +1.0%, inside the 2% gate.
+PR_AB_VS_PRE_TSAN = {
+    "pre_p7_commit": "01b8c50",
+    "rounds_per_sample": 6000,
+    "pre_p7_general_wall_us": [
+        10.81, 10.89, 10.61, 10.56, 10.96, 10.93, 11.01, 10.95, 10.91, 10.79,
+    ],
+    "instrumented_general_wall_us": [
+        10.75, 10.86, 10.76, 10.86, 11.21, 11.09, 10.67, 10.85, 11.15, 11.51,
+    ],
+    "best_of_overhead_pct": round(100.0 * (10.67 - 10.56) / 10.56, 1),
+    "gate_pct": 100.0 * UNINSTALLED_OVERHEAD_GATE,
+    "gate": "pass",
+}
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src"
+
+
+def _fresh_detector(kernel, **options):
+    if tsan.active() is not None:
+        uninstall_tsan()
+    return install_tsan(kernel, **options)
+
+
+def _raced(program) -> bool:
+    """True when ``program()`` raises a DataRaceError naming both sites."""
+    try:
+        program()
+    except DataRaceError as failure:
+        first, second = failure.report.sites()
+        return bool(first and second)
+    return False
+
+
+def detect_race_classes() -> dict:
+    """Replay the four canonical race classes; all deterministic.
+
+    Returns one boolean per class, True meaning the detector classified
+    it correctly (flagged the three real races, stayed quiet on the
+    door handoff, and flagged the handoff again once door edges were
+    switched off — proving the suppression is load-bearing, not luck).
+    """
+    from repro.kernel.nucleus import Kernel
+
+    results = {}
+
+    # 1. unlocked write/write
+    _fresh_detector(Kernel())
+    shared = tsan.track({}, "p7.ww")
+    results["unlocked_write_write"] = _raced(
+        lambda: run_concurrently([lambda: shared.update(hits=1)] * 2)
+    )
+
+    # 2. lock-protected but disjoint locksets
+    _fresh_detector(Kernel())
+    lock_a = tsan.instrument_lock(threading.Lock(), "p7.lock-a")
+    lock_b = tsan.instrument_lock(threading.Lock(), "p7.lock-b")
+    disjoint = tsan.track({}, "p7.disjoint")
+
+    def _under(lock):
+        with lock:
+            disjoint.update(hits=1)
+
+    results["disjoint_locksets"] = _raced(
+        lambda: run_concurrently([lambda: _under(lock_a), lambda: _under(lock_b)])
+    )
+
+    # 3. missed join edge: clean with thread edges, racy without
+    def _join_program():
+        joined = tsan.track({}, "p7.join")
+        run_concurrently([lambda: joined.update(hits=1)])
+        joined.update(hits=2)
+
+    _fresh_detector(Kernel())
+    clean_with_edges = not _raced(_join_program)
+    _fresh_detector(Kernel(), thread_edges=False)
+    results["missed_join_edge"] = clean_with_edges and _raced(_join_program)
+
+    # 4. door handoff: an edge, not a race — and only because of the edge
+    def _door_program(runtime):
+        handoff = tsan.track({}, "p7.door")
+        parcel = object()
+        sent = threading.Event()
+
+        def sender():
+            handoff.update(payload=1)
+            runtime.on_door_send(None, parcel)
+            sent.set()
+
+        def receiver():
+            sent.wait(5.0)
+            runtime.on_door_receive(None, parcel)
+            handoff.update(payload=2)
+
+        run_concurrently([sender, receiver])
+
+    runtime = _fresh_detector(Kernel())
+    suppressed = not _raced(lambda: _door_program(runtime))
+    runtime = _fresh_detector(Kernel(), door_edges=False)
+    results["door_handoff_suppressed"] = suppressed and _raced(
+        lambda: _door_program(runtime)
+    )
+
+    uninstall_tsan()
+    return results
+
+
+def springlint_whole_program() -> dict:
+    """Whole-program springlint over src/: must be clean; time it."""
+    from repro.analysis import default_analyzer
+
+    legs = {}
+    for jobs in (1, 4):
+        start = time.perf_counter()
+        findings = default_analyzer().run_paths([SRC_ROOT], jobs=jobs)
+        elapsed_ms = round(1e3 * (time.perf_counter() - start), 1)
+        assert findings == [], (
+            f"whole-program springlint found {len(findings)} issue(s) in src/"
+        )
+        legs[f"jobs_{jobs}_wall_ms"] = elapsed_ms
+    legs["files"] = len(list(SRC_ROOT.rglob("*.py")))
+    legs["findings"] = 0
+    return legs
+
+
+def _detached_world():
+    """A P1 world with no detector attached — the default posture.
+
+    Under ``REPRO_TSAN=1`` every new kernel auto-installs a detector,
+    so the bench detaches after construction: the uninstalled leg must
+    measure what every kernel ships with, env var or not.
+    """
+    world = build_world()
+    if tsan.active() is not None:
+        uninstall_tsan()
+    return world
+
+
+def run(rounds: int = 20000, warmup: int = 2000) -> dict:
+    """Run the P7 springtsan bench; returns the measurement dict."""
+    if tsan.active() is not None:
+        uninstall_tsan()
+
+    # Uninstalled leg first, with no detector anywhere in the process:
+    # this is every kernel's default posture.
+    kernel_off, _, general_off, _ = _detached_world()
+    for _ in range(warmup):
+        general_off.total()
+    sim_off = min(sim_us(kernel_off, general_off.total) for _ in range(5))
+    wall_off = round(best_of(general_off.total, rounds), 2)
+
+    # Enabled leg: same world shape, collect-mode detector attached.
+    kernel_on, _, general_on, _ = _detached_world()
+    runtime = install_tsan(kernel_on, report_mode="collect")
+    try:
+        for _ in range(warmup):
+            general_on.total()
+        sim_on = min(sim_us(kernel_on, general_on.total) for _ in range(5))
+        wall_on = round(best_of(general_on.total, rounds), 2)
+        races = list(runtime.races)
+        edges = runtime.stats["edges"]
+    finally:
+        uninstall_tsan()
+
+    results = {
+        "rounds": rounds,
+        "uninstalled_general_wall_us": wall_off,
+        "enabled_general_wall_us": wall_on,
+        "uninstalled_general_sim_us": sim_off,
+        "enabled_general_sim_us": sim_on,
+        "enabled_wall_overhead_pct": round(
+            100.0 * (wall_on - wall_off) / wall_off, 1
+        ),
+        "enabled_sync_edges_observed": edges,
+        "race_classes": detect_race_classes(),
+        "springlint_whole_program": springlint_whole_program(),
+    }
+
+    # -- deterministic invariants (machine-independent) -----------------
+
+    # Uninstalled mode charges not one simulated nanosecond: sim time
+    # matches the recorded pre-P7 tree bit-for-bit.
+    assert abs(sim_off - PRE_TSAN_GENERAL_SIM_US) < 1e-6, (
+        f"tsan-uninstalled sim time drifted: {sim_off} != pre-P7 "
+        f"record {PRE_TSAN_GENERAL_SIM_US}"
+    )
+    # The detector watches the clock, never advances it: enabled sim
+    # time is the same bit-for-bit figure.
+    assert sim_on == sim_off, (
+        f"enabled detector charged sim time: {sim_on} != {sim_off}"
+    )
+    # The clean hot path must be reported clean — by a detector that
+    # demonstrably looked at it.
+    assert races == [], f"detector flagged the race-free hot path: {races}"
+    assert edges > 0, "enabled leg recorded no sync edges: detector inert"
+    # Detection power: all four canonical classes classified correctly.
+    missed = [name for name, hit in results["race_classes"].items() if not hit]
+    assert not missed, f"race classes misclassified: {missed}"
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def tsan_worlds():
+    if tsan.active() is not None:
+        uninstall_tsan()
+    _, _, general_off, _ = _detached_world()
+    kernel_on, _, general_on, _ = _detached_world()
+    install_tsan(kernel_on, report_mode="collect")
+    yield general_off, general_on
+    if tsan.active() is not None:
+        uninstall_tsan()
+
+
+@pytest.mark.benchmark(group="P7-tsan")
+def bench_p7_uninstalled_general(benchmark, tsan_worlds):
+    general_off, _ = tsan_worlds
+    benchmark(general_off.total)
+
+
+@pytest.mark.benchmark(group="P7-tsan")
+def bench_p7_enabled_general(benchmark, tsan_worlds):
+    _, general_on = tsan_worlds
+    benchmark(general_on.total)
+
+
+@pytest.mark.bench_smoke
+def bench_p7_shape_and_record(record):
+    results = run(rounds=2000, warmup=500)
+    record("P7", f"uninstalled general: {results['uninstalled_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P7", f"enabled general:     {results['enabled_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P7", f"enabled overhead:    {results['enabled_wall_overhead_pct']:+.1f}% wall (sim: bit-for-bit, asserted)")
+    for name, hit in results["race_classes"].items():
+        record("P7", f"race class {name}: {'detected' if hit else 'MISSED'}")
+    lint = results["springlint_whole_program"]
+    record(
+        "P7",
+        f"springlint whole-program over src: {lint['findings']} findings in "
+        f"{lint['files']} files ({lint['jobs_1_wall_ms']:.0f} ms serial, "
+        f"{lint['jobs_4_wall_ms']:.0f} ms at --jobs 4)",
+    )

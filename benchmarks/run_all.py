@@ -46,6 +46,16 @@ across 1 / 2 / 4 real worker processes, with the ≥2.5x 1→4 gate
 asserted when the runner has ≥ 4 cores and recorded (with the core
 count) otherwise (see :mod:`benchmarks.bench_p6_procfabric`).  Skipped
 with a note on platforms without the ``fork`` start method.
+
+And ``benchmarks/BENCH_P7.json`` (the PR-7 springtsan bench): detector
+uninstalled vs enabled on the same hot path (uninstalled sim time
+bit-for-bit the pre-P7 record, enabled sim time identical — the
+detector charges nothing — both asserted inside the run), the enabled
+wall-overhead record, the four canonical race classes replayed and
+classified deterministically, the whole-program springlint timing over
+src/ (serial and ``--jobs 4``, zero findings asserted), and the
+committed PR-time A/B record of the 2% uninstalled-overhead wall gate
+(see :mod:`benchmarks.bench_p7_tsan`).
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ P3_OUT_PATH = BENCH_DIR / "BENCH_P3.json"
 P4_OUT_PATH = BENCH_DIR / "BENCH_P4.json"
 P5_OUT_PATH = BENCH_DIR / "BENCH_P5.json"
 P6_OUT_PATH = BENCH_DIR / "BENCH_P6.json"
+P7_OUT_PATH = BENCH_DIR / "BENCH_P7.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -210,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if "fork" not in multiprocessing.get_all_start_methods():
         print("P6 process-fabric bench: skipped (no fork start method)")
-        return 0
+        return run_p7_bench(rounds, warmup)
     calls = 60 if args.quick else 300
     print(f"P6 process-fabric bench: {calls} calls/worker per scaling leg ...")
     p6 = run_p6(rounds=rounds, warmup=warmup, calls_per_worker=calls)
@@ -242,6 +253,39 @@ def main(argv: list[str] | None = None) -> int:
         f"(gate >= {p6['scaling_gate']}x, {gate_note})"
     )
     print(f"wrote {P6_OUT_PATH}")
+    return run_p7_bench(rounds, warmup)
+
+
+def run_p7_bench(rounds: int, warmup: int) -> int:
+    from benchmarks.bench_p7_tsan import PR_AB_VS_PRE_TSAN
+    from benchmarks.bench_p7_tsan import run as run_p7
+
+    print(f"P7 springtsan bench: {rounds} rounds per configuration ...")
+    p7 = run_p7(rounds=rounds, warmup=warmup)
+    p7_payload = {
+        "bench": "P7-tsan",
+        "current": p7,
+        "pr_ab_vs_pre_tsan": PR_AB_VS_PRE_TSAN,
+    }
+    P7_OUT_PATH.write_text(json.dumps(p7_payload, indent=2) + "\n")
+
+    print(
+        f"  uninstalled  {p7['uninstalled_general_wall_us']:7.2f} wall-us/call; "
+        f"enabled {p7['enabled_general_wall_us']:.2f} "
+        f"({p7['enabled_wall_overhead_pct']:+.1f}% wall, sim bit-for-bit)"
+    )
+    detected = sum(1 for hit in p7["race_classes"].values() if hit)
+    print(
+        f"  race classes: {detected}/{len(p7['race_classes'])} classified "
+        f"correctly (asserted)"
+    )
+    lint = p7["springlint_whole_program"]
+    print(
+        f"  springlint whole-program: {lint['findings']} findings in "
+        f"{lint['files']} files ({lint['jobs_1_wall_ms']:.0f} ms serial, "
+        f"{lint['jobs_4_wall_ms']:.0f} ms at --jobs 4)"
+    )
+    print(f"wrote {P7_OUT_PATH}")
     return 0
 
 

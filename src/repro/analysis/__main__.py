@@ -54,7 +54,57 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="RULE",
         help="run only the named rule(s) (repeatable)",
     )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="only report findings in files changed relative to the "
+        "given git ref (default HEAD: staged + unstaged + untracked); "
+        "every file is still parsed so whole-program rules keep full "
+        "context",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze files with N parallel worker processes (the "
+        "whole-program pass still runs once, over all files)",
+    )
     return parser
+
+
+def _changed_files(ref: str) -> "set[str] | None":
+    """Absolute paths of python files changed relative to ``ref``.
+
+    Includes staged, unstaged, and (for HEAD) untracked files; returns
+    None when git is unavailable or the ref does not resolve.
+    """
+    import subprocess
+    from pathlib import Path
+
+    commands = [["git", "diff", "--name-only", ref]]
+    if ref == "HEAD":
+        commands.append(
+            ["git", "ls-files", "--others", "--exclude-standard"]
+        )
+    changed: set[str] = set()
+    for command in commands:
+        try:
+            result = subprocess.run(
+                command, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if result.returncode != 0:
+            return None
+        for line in result.stdout.splitlines():
+            line = line.strip()
+            if line.endswith(".py"):
+                changed.add(str(Path(line).resolve()))
+    return changed
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,20 +140,53 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    report_only = None
+    if args.changed is not None:
+        changed = _changed_files(args.changed)
+        if changed is None:
+            print(
+                f"springlint: error: could not list files changed vs "
+                f"{args.changed!r} (not a git checkout, or bad ref)",
+                file=sys.stderr,
+            )
+            return 2
+
     started = time.perf_counter()  # springlint: disable=clock-discipline -- CLI elapsed-time report, see module comment
     analyzer = default_analyzer(disabled=disabled, selected=selected)
     files = list(iter_python_files(paths))
-    findings = analyzer.run_paths(paths)
+    if args.changed is not None:
+        # Findings are filtered by resolved path; every file under the
+        # analyzed paths still feeds the whole-program rules.
+        report_only = frozenset(
+            str(f) for f in files if str(Path(f).resolve()) in changed
+        )
+        if not report_only:
+            noun = "file" if len(files) == 1 else "files"
+            print(
+                f"springlint: 0 findings ({len(files)} {noun} parsed, "
+                f"none changed vs {args.changed})",
+                file=sys.stderr,
+            )
+            return 0
+    findings = analyzer.run_paths(
+        paths, jobs=max(1, args.jobs), report_only=report_only
+    )
     elapsed = time.perf_counter() - started  # springlint: disable=clock-discipline -- CLI elapsed-time report, see module comment
 
+    reported_files = len(report_only) if report_only is not None else len(files)
     if args.json:
-        print(render_json(findings, files_seen=len(files)))
+        print(render_json(findings, files_seen=reported_files))
     else:
         for finding in findings:
             print(finding.format_human())
         noun = "finding" if len(findings) == 1 else "findings"
+        scope = (
+            f"{reported_files} changed of {len(files)} files"
+            if report_only is not None
+            else f"{len(files)} files"
+        )
         print(
-            f"springlint: {len(findings)} {noun} in {len(files)} files "
+            f"springlint: {len(findings)} {noun} in {scope} "
             f"({elapsed:.2f}s)",
             file=sys.stderr,
         )

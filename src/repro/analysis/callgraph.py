@@ -1,0 +1,392 @@
+"""Whole-program context for springlint: module index plus call graph.
+
+springlint's first rules worked a module at a time, with one level of
+call resolution inside a single file.  That misses exactly the defects a
+distributed runtime grows: a lock-ordering cycle threaded through three
+modules, or a shared structure mutated from a helper two calls away from
+the lock that guards it.  This module supplies the missing context:
+
+* :class:`Program` — every parsed :class:`SourceModule` of a run, with
+  a lazily built :class:`CallGraph`; handed to whole-program rules via
+  :meth:`repro.analysis.engine.Rule.begin`;
+* :class:`CallGraph` — an index of every function and class in the
+  program, import tables per module, and best-effort static call
+  resolution (``self`` methods including inherited ones, same-module
+  and imported functions, module-alias attributes, constructor calls,
+  and attribute calls through *annotated* receivers such as
+  ``rep: RepliconRep``).
+
+Resolution is deliberately conservative: an unresolvable call simply
+contributes no edge.  Rules built on the graph therefore under-report
+rather than invent findings — the right polarity for a linter whose
+clean run gates CI.
+
+Everything here is derived from source text (``ast``), never from
+importing the analyzed code, so the graph builds for broken trees and
+deliberately racy fixtures alike.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import SourceModule
+
+__all__ = ["CallGraph", "FunctionInfo", "Program", "module_name_for"]
+
+#: (module path, class name or None, function name) — the identity of a
+#: function definition program-wide.  Nested functions are keyed by a
+#: dotted function name ("export.handler").
+FuncKey = tuple[str, "str | None", str]
+
+
+def module_name_for(path: str) -> str:
+    """Best-effort dotted module name for a file path.
+
+    Paths under a ``src`` component use the package layout
+    (``.../src/repro/runtime/tsan.py`` -> ``repro.runtime.tsan``);
+    anything else (test fixtures, scratch files) falls back to the stem.
+    """
+    parts = path.replace("\\", "/").split("/")
+    stem_parts = parts[:-1] + [parts[-1].rsplit(".", 1)[0]]
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        dotted = stem_parts[anchor + 1 :]
+        if dotted:
+            if dotted[-1] == "__init__":
+                dotted = dotted[:-1]
+            if dotted:
+                return ".".join(dotted)
+    return stem_parts[-1]
+
+
+class FunctionInfo:
+    """One function definition: its AST, owner class, and annotations."""
+
+    __slots__ = ("key", "node", "module", "class_name", "annotations", "calls")
+
+    def __init__(
+        self,
+        key: FuncKey,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        module: "SourceModule",
+        class_name: str | None,
+    ) -> None:
+        self.key = key
+        self.node = node
+        self.module = module
+        self.class_name = class_name
+        #: local/parameter name -> annotated type name (last component)
+        self.annotations: dict[str, str] = {}
+        #: every ast.Call in the body (nested defs excluded)
+        self.calls: list[ast.Call] = []
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """The bare class name an annotation denotes, if recognizable."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotations: 'RepliconRep', 'RepliconRep | None'
+        text = node.value.split("|")[0].strip().strip('"')
+        return text.rsplit(".", 1)[-1] or None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # X | None: take the non-None side
+        for side in (node.left, node.right):
+            name = _annotation_name(side)
+            if name and name != "None":
+                return name
+    if isinstance(node, ast.Subscript):
+        # Optional[X] and friends: look inside
+        return _annotation_name(
+            node.slice if not isinstance(node.slice, ast.Tuple) else None
+        )
+    return None
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Fill one FunctionInfo: annotations and calls, skipping nested defs
+    (each nested def is collected as its own function)."""
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.info.calls.append(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            name = _annotation_name(node.annotation)
+            if name:
+                self.info.annotations[node.target.id] = name
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+
+class CallGraph:
+    """Function index + import tables + static call resolution."""
+
+    def __init__(self, modules: Iterable["SourceModule"]) -> None:
+        self.modules = list(modules)
+        #: FuncKey -> FunctionInfo
+        self.functions: dict[FuncKey, FunctionInfo] = {}
+        #: (module path, class name) -> list of base-class names
+        self.class_bases: dict[tuple[str, str], list[str]] = {}
+        #: bare class name -> module paths defining it (program-wide)
+        self.class_sites: dict[str, list[str]] = {}
+        #: module path -> {local alias -> dotted module name}
+        self.module_aliases: dict[str, dict[str, str]] = {}
+        #: module path -> {local name -> (dotted module, original name)}
+        self.from_imports: dict[str, dict[str, tuple[str, str]]] = {}
+        #: dotted module name -> module path
+        self.dotted_paths: dict[str, str] = {}
+        self._callees: dict[FuncKey, tuple[FuncKey, ...]] = {}
+        for module in self.modules:
+            self.dotted_paths[module_name_for(module.path)] = module.path
+        for module in self.modules:
+            self._index_module(module)
+
+    # -- construction ----------------------------------------------------
+
+    def _index_module(self, module: "SourceModule") -> None:
+        path = module.path
+        aliases = self.module_aliases.setdefault(path, {})
+        froms = self.from_imports.setdefault(path, {})
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".", 1)[0]
+                    aliases[local] = item.name if item.asname else item.name.split(".", 1)[0]
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    prefix_parts = module_name_for(path).split(".")
+                    prefix_parts = prefix_parts[: len(prefix_parts) - node.level]
+                    base = ".".join(prefix_parts + ([node.module] if node.module else []))
+                for item in node.names:
+                    local = item.asname or item.name
+                    dotted_child = f"{base}.{item.name}" if base else item.name
+                    if dotted_child in self.dotted_paths:
+                        # ``from pkg import mod``: the name is a module
+                        aliases[local] = dotted_child
+                    else:
+                        froms[local] = (base, item.name)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, None, node.name, node)
+            elif isinstance(node, ast.ClassDef):
+                self.class_bases[(path, node.name)] = [
+                    b
+                    for b in (
+                        base.id
+                        if isinstance(base, ast.Name)
+                        else base.attr
+                        if isinstance(base, ast.Attribute)
+                        else None
+                        for base in node.bases
+                    )
+                    if b
+                ]
+                self.class_sites.setdefault(node.name, []).append(path)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._index_function(module, node.name, item.name, item)
+
+    def _index_function(
+        self,
+        module: "SourceModule",
+        class_name: str | None,
+        func_name: str,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> None:
+        key: FuncKey = (module.path, class_name, func_name)
+        info = FunctionInfo(key, node, module, class_name)
+        for arg in (
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ):
+            name = _annotation_name(arg.annotation)
+            if name:
+                info.annotations[arg.arg] = name
+        collector = _FunctionCollector(info)
+        for stmt in node.body:
+            collector.visit(stmt)
+        self.functions[key] = info
+        # Nested defs become their own dotted-named functions.
+        for stmt in node.body:
+            self._index_nested(module, class_name, func_name, stmt)
+
+    def _index_nested(
+        self,
+        module: "SourceModule",
+        class_name: str | None,
+        outer: str,
+        stmt: ast.stmt,
+    ) -> None:
+        # Only defs at this nesting level: a def's own body is indexed by
+        # the recursive _index_function call, under its dotted name.
+        todo: list[ast.AST] = [stmt]
+        while todo:
+            node = todo.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(
+                    module, class_name, f"{outer}.{node.name}", node
+                )
+                continue
+            if isinstance(node, ast.ClassDef):
+                continue
+            todo.extend(ast.iter_child_nodes(node))
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve_class(self, module_path: str, name: str) -> str | None:
+        """The module path defining class ``name`` as seen from a module."""
+        if (module_path, name) in self.class_bases:
+            return module_path
+        froms = self.from_imports.get(module_path, {})
+        if name in froms:
+            dotted, orig = froms[name]
+            target = self.dotted_paths.get(dotted)
+            if target is not None and (target, orig) in self.class_bases:
+                return target
+        sites = self.class_sites.get(name, ())
+        if len(sites) == 1:
+            return sites[0]
+        return None
+
+    def _method_on(self, class_path: str, class_name: str, meth: str) -> FuncKey | None:
+        """Find ``meth`` on a class or (by name) up its base chain."""
+        seen: set[tuple[str, str]] = set()
+        stack = [(class_path, class_name)]
+        while stack:
+            path, cls = stack.pop()
+            if (path, cls) in seen:
+                continue
+            seen.add((path, cls))
+            key = (path, cls, meth)
+            if key in self.functions:
+                return key
+            for base in self.class_bases.get((path, cls), ()):
+                base_path = self.resolve_class(path, base)
+                if base_path is not None:
+                    stack.append((base_path, base))
+        return None
+
+    def resolve_call(
+        self,
+        caller: FunctionInfo,
+        call: ast.Call,
+        extra_annotations: dict[str, str] | None = None,
+    ) -> FuncKey | None:
+        """The FuncKey a call statically resolves to, or None."""
+        module_path = caller.module.path
+        func = call.func
+        ann = caller.annotations
+        if extra_annotations:
+            ann = {**ann, **extra_annotations}
+        if isinstance(func, ast.Name):
+            name = func.id
+            direct = (module_path, None, name)
+            if direct in self.functions:
+                return direct
+            froms = self.from_imports.get(module_path, {})
+            if name in froms:
+                dotted, orig = froms[name]
+                target = self.dotted_paths.get(dotted)
+                if target is not None:
+                    imported = (target, None, orig)
+                    if imported in self.functions:
+                        return imported
+                    # ``from mod import Cls`` then ``Cls()``: constructor
+                    if (target, orig) in self.class_bases:
+                        return self._method_on(target, orig, "__init__")
+            if (module_path, name) in self.class_bases:
+                return self._method_on(module_path, name, "__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            meth = func.attr
+            value = func.value
+            if isinstance(value, ast.Name):
+                receiver = value.id
+                if receiver == "self" and caller.class_name is not None:
+                    owner = caller.class_name.split(".", 1)[0]
+                    return self._method_on(module_path, owner, meth)
+                if receiver in ann:
+                    cls = ann[receiver]
+                    cls_path = self.resolve_class(module_path, cls)
+                    if cls_path is not None:
+                        return self._method_on(cls_path, cls, meth)
+                aliases = self.module_aliases.get(module_path, {})
+                if receiver in aliases:
+                    target = self.dotted_paths.get(aliases[receiver])
+                    if target is not None:
+                        key = (target, None, meth)
+                        if key in self.functions:
+                            return key
+                        if (target, meth) in self.class_bases:
+                            return self._method_on(target, meth, "__init__")
+                # ``Cls.method(...)`` through the class itself (classes
+                # are the only bare names resolve_class recognizes, so a
+                # plain variable receiver falls through to None here)
+                cls_path = self.resolve_class(module_path, receiver)
+                if cls_path is not None:
+                    return self._method_on(cls_path, receiver, meth)
+        return None
+
+    def callees(self, key: FuncKey) -> tuple[FuncKey, ...]:
+        """Every function a function's body can statically reach (one hop)."""
+        cached = self._callees.get(key)
+        if cached is not None:
+            return cached
+        info = self.functions.get(key)
+        if info is None:
+            self._callees[key] = ()
+            return ()
+        out: list[FuncKey] = []
+        seen: set[FuncKey] = set()
+        for call in info.calls:
+            resolved = self.resolve_call(info, call)
+            if resolved is not None and resolved not in seen:
+                seen.add(resolved)
+                out.append(resolved)
+        result = tuple(out)
+        self._callees[key] = result
+        return result
+
+    def call_sites(self) -> Iterator[tuple[FunctionInfo, ast.Call, FuncKey]]:
+        """Yield every statically resolved call in the program."""
+        for info in self.functions.values():
+            for call in info.calls:
+                resolved = self.resolve_call(info, call)
+                if resolved is not None:
+                    yield info, call, resolved
+
+
+class Program:
+    """Everything a whole-program rule can see: modules + call graph."""
+
+    def __init__(self, modules: Iterable["SourceModule"]) -> None:
+        self.modules = list(modules)
+        self.by_path = {m.path: m for m in self.modules}
+        self._callgraph: CallGraph | None = None
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.modules)
+        return self._callgraph

@@ -2,17 +2,23 @@
 
 springlint is an AST-based analyzer for the invariants this codebase
 cannot express in the type system: pooled-buffer lifecycle, subcontract
-conformance, marshal/unmarshal symmetry, lock ordering, and simulated-
-clock discipline.  The engine is deliberately small:
+conformance, marshal/unmarshal symmetry, lock ordering, shared-state
+discipline, and simulated-clock discipline.  The engine is deliberately
+small:
 
 * a :class:`SourceModule` wraps one parsed file plus its inline
   suppressions (``# springlint: disable=<rule>``);
-* a :class:`Rule` inspects modules one at a time via :meth:`Rule.check`
-  and may emit cross-file findings from :meth:`Rule.finish` once every
-  module has been seen (the lock-ordering rule needs the whole graph);
+* a per-module :class:`Rule` inspects files independently via
+  :meth:`Rule.check`; a rule that sets ``whole_program = True`` instead
+  receives the entire parsed program — every module plus a project-wide
+  call graph (:class:`repro.analysis.callgraph.Program`) — through
+  :meth:`Rule.begin` and emits from :meth:`Rule.finish` (lock ordering
+  chases call chains across modules at arbitrary depth);
 * the :class:`Analyzer` walks the requested paths, runs every enabled
   rule, filters suppressed findings, and hands back a sorted list of
-  :class:`Finding` objects.
+  :class:`Finding` objects.  Per-module rules parallelize across files
+  (``jobs``); whole-program rules always see the full module set, even
+  when reporting is restricted to changed files (``--changed``).
 
 Rules never import the packages they analyze — everything is derived
 from source text, so the analyzer runs on broken trees, on fixtures that
@@ -27,7 +33,10 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import Program
 
 __all__ = [
     "Finding",
@@ -122,15 +131,26 @@ class Rule:
 
     Subclasses set ``name`` (the kebab-case id used in output and in
     suppression comments) and ``description``, and implement
-    :meth:`check`.  Rules needing whole-program state accumulate it in
-    ``check`` and emit from :meth:`finish`.
+    :meth:`check`.  A rule needing cross-module context sets
+    ``whole_program = True``: it is handed the full parsed program (all
+    modules plus the project-wide call graph) via :meth:`begin`, and
+    emits everything from :meth:`finish`; its :meth:`check` is never
+    parallelized and by default does nothing.  Per-module rules
+    (``whole_program = False``) must keep :meth:`check` self-contained
+    per file — the engine may run them on different files concurrently.
     """
 
     name: str = ""
     description: str = ""
+    #: True: the rule sees every module via begin() and reports from
+    #: finish(); False: check() runs per file, independently.
+    whole_program: bool = False
+
+    def begin(self, program: "Program") -> None:
+        """Receive the whole parsed program (whole-program rules only)."""
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
-        raise NotImplementedError
+        return iter(())
 
     def finish(self) -> Iterator[Finding]:
         return iter(())
@@ -151,6 +171,33 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield child
 
 
+def _parse_failure(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule="parse",
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        severity="error",
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _parse_and_check(
+    path: str, rules: Sequence[Rule]
+) -> tuple[SourceModule | None, list[Finding], Finding | None]:
+    """Worker unit for parallel analysis: parse one file and run the
+    per-module rules on it.  Top-level so it pickles; ``rules`` arrive
+    as per-task copies, so concurrent files never share rule state."""
+    try:
+        module = SourceModule(path)
+    except SyntaxError as exc:
+        return None, [], _parse_failure(path, exc)
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(module))
+    return module, findings, None
+
+
 @dataclass
 class Analyzer:
     """Run a set of rules over a set of files."""
@@ -169,14 +216,39 @@ class Analyzer:
             out.append(rule)
         return out
 
-    def run_modules(self, modules: Iterable[SourceModule]) -> list[Finding]:
+    def run_modules(
+        self,
+        modules: Iterable[SourceModule],
+        precomputed: "Sequence[Finding] | None" = None,
+        report_only: "frozenset[str] | None" = None,
+    ) -> list[Finding]:
+        """Run enabled rules over parsed modules.
+
+        ``precomputed`` (not None) carries the per-module findings
+        already produced by parallel workers — the per-module rules are
+        then skipped here, even when the workers found nothing;
+        ``report_only`` restricts *reporting* to the named paths while
+        every module still feeds the whole-program rules.
+        """
+        from repro.analysis.callgraph import Program
+
         modules = list(modules)
         by_path = {m.path: m for m in modules}
         rules = self.enabled_rules()
-        findings: list[Finding] = []
-        for rule in rules:
-            for module in modules:
-                findings.extend(rule.check(module))
+        findings: list[Finding] = list(precomputed or ())
+        whole = [r for r in rules if r.whole_program]
+        per_module = [r for r in rules if not r.whole_program]
+        if precomputed is None:
+            for rule in per_module:
+                for module in modules:
+                    findings.extend(rule.check(module))
+        if whole:
+            program = Program(modules)
+            for rule in whole:
+                rule.begin(program)
+            for rule in whole:
+                for module in modules:
+                    findings.extend(rule.check(module))
         for rule in rules:
             findings.extend(rule.finish())
         kept = []
@@ -184,28 +256,58 @@ class Analyzer:
             module = by_path.get(finding.path)
             if module is not None and module.suppressed(finding):
                 continue
+            if report_only is not None and finding.path not in report_only:
+                continue
             kept.append(finding)
         kept.sort(key=Finding.sort_key)
         return kept
 
-    def run_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
-        modules = []
+    def run_paths(
+        self,
+        paths: Iterable[str | Path],
+        jobs: int = 1,
+        report_only: "frozenset[str] | None" = None,
+    ) -> list[Finding]:
+        """Analyze every python file under ``paths``.
+
+        ``jobs > 1`` fans the parse + per-module-rule phase out across
+        worker processes (one task per file); the whole-program phase
+        then runs over the assembled module set in this process.
+        """
+        files = [str(p) for p in iter_python_files(paths)]
+        modules: list[SourceModule] = []
         parse_failures: list[Finding] = []
-        for path in iter_python_files(paths):
-            try:
-                modules.append(SourceModule(path))
-            except SyntaxError as exc:
-                parse_failures.append(
-                    Finding(
-                        rule="parse",
-                        path=str(path),
-                        line=exc.lineno or 1,
-                        col=(exc.offset or 1) - 1,
-                        severity="error",
-                        message=f"file does not parse: {exc.msg}",
-                    )
+        per_module_findings: list[Finding] = []
+        per_module_rules = [r for r in self.enabled_rules() if not r.whole_program]
+        if jobs > 1 and len(files) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = pool.map(
+                    _parse_and_check,
+                    files,
+                    [per_module_rules] * len(files),
                 )
-        findings = self.run_modules(modules)
+                for module, found, failure in results:
+                    if failure is not None:
+                        parse_failures.append(failure)
+                    if module is not None:
+                        modules.append(module)
+                        per_module_findings.extend(found)
+            findings = self.run_modules(
+                modules,
+                precomputed=per_module_findings,
+                report_only=report_only,
+            )
+        else:
+            for path in files:
+                try:
+                    modules.append(SourceModule(path))
+                except SyntaxError as exc:
+                    parse_failures.append(_parse_failure(path, exc))
+            findings = self.run_modules(modules, report_only=report_only)
+        if report_only is not None:
+            parse_failures = [f for f in parse_failures if f.path in report_only]
         findings.extend(parse_failures)
         findings.sort(key=Finding.sort_key)
         return findings

@@ -13,6 +13,7 @@ from repro.analysis.rules.subcontract_conformance import SubcontractConformanceR
 from repro.analysis.rules.marshal_symmetry import MarshalSymmetryRule
 from repro.analysis.rules.lock_ordering import LockOrderingRule
 from repro.analysis.rules.clock_discipline import ClockDisciplineRule
+from repro.analysis.rules.shared_state_discipline import SharedStateDisciplineRule
 from repro.analysis.rules.unbounded_queue import UnboundedQueueRule
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "MarshalSymmetryRule",
     "LockOrderingRule",
     "ClockDisciplineRule",
+    "SharedStateDisciplineRule",
     "UnboundedQueueRule",
 ]
 
@@ -33,5 +35,6 @@ ALL_RULES = (
     MarshalSymmetryRule,
     LockOrderingRule,
     ClockDisciplineRule,
+    SharedStateDisciplineRule,
     UnboundedQueueRule,
 )

@@ -11,20 +11,24 @@ expression *names* a lock — a bare name or attribute whose identifier
 contains ``lock`` (but not ``clock``; ``ClockWindow`` is not a mutex).
 Call expressions (``with Foo():``) are ignored: those are constructors
 or context-manager factories, not held mutexes.  Locks are keyed as
-``ClassName.attr`` for ``self`` attributes (so every method of a class
-shares one node per lock field) and by qualified function name for
-locals.
+``ClassName.attr`` for ``self`` attributes and for attributes of
+receivers whose class is known from an annotation in scope
+(``rep: RepliconRep`` makes ``rep.lock`` the program-wide node
+``RepliconRep.lock``), and by qualified function name for locals.
 
-Edges come from two places:
+This is a whole-program rule.  Edges come from two places:
 
 * **lexical nesting** — a ``with b_lock:`` inside a ``with a_lock:``
   adds a -> b;
-* **one-level calls** — calling ``self.method()`` or a same-module
-  function while holding a lock adds an edge to every lock that callee
-  acquires at its top level.  Deeper transitive resolution is
-  deliberately out of scope; one level catches the classic
-  "public method takes the lock, calls another public method that takes
-  another lock" pattern without whole-program points-to analysis.
+* **calls under lock, resolved transitively** — calling any function
+  the project-wide call graph can resolve (``self`` methods including
+  inherited ones, same-module and imported functions, module aliases,
+  annotated receivers) while holding a lock adds an edge to every lock
+  that callee acquires *anywhere in its transitive call closure*, across
+  module boundaries and at arbitrary depth.  The one-level, same-module
+  analysis this replaces missed exactly the cycles that matter in a
+  layered runtime: subcontract code holding its rep lock while a helper
+  two modules down re-enters a kernel lock.
 
 Cycles are reported once per cycle, as warnings, at the site of the
 first edge the walker saw.
@@ -33,9 +37,12 @@ first edge the walker saw.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.engine import Finding, Rule, SourceModule
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import FunctionInfo, Program
 
 __all__ = ["LockOrderingRule"]
 
@@ -57,28 +64,31 @@ def _lock_name(expr: ast.expr) -> str | None:
 class _FunctionScan(ast.NodeVisitor):
     """Collect lock acquisitions and calls-under-lock for one function."""
 
-    def __init__(self, rule: "LockOrderingRule", module: SourceModule,
-                 class_name: str | None, func_name: str) -> None:
+    def __init__(self, rule: "LockOrderingRule", info: "FunctionInfo") -> None:
         self.rule = rule
-        self.module = module
-        self.class_name = class_name
-        self.func_name = func_name
+        self.info = info
+        self.module = info.module
         #: stack of lock keys currently held (lexically)
         self.held: list[str] = []
         #: lock keys acquired anywhere in this function body
         self.acquired: set[str] = set()
+        #: (held-keys snapshot, call node) for every call made under lock
+        self.calls_under_lock: list[tuple[list[str], ast.Call]] = []
 
     def _key(self, expr: ast.expr, ident: str) -> str:
-        if (
-            isinstance(expr, ast.Attribute)
-            and isinstance(expr.value, ast.Name)
-            and expr.value.id == "self"
-            and self.class_name
-        ):
-            return f"{self.class_name}.{ident}"
+        info = self.info
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            receiver = expr.value.id
+            if receiver == "self" and info.class_name:
+                return f"{info.class_name.split('.', 1)[0]}.{ident}"
+            # A receiver with a known class annotation names the same
+            # program-wide lock node from every module that touches it.
+            cls = info.annotations.get(receiver)
+            if cls:
+                return f"{cls}.{ident}"
         if isinstance(expr, ast.Attribute):
-            return ident  # cls-level or module object attribute: key by field
-        return f"{self.class_name or self.module.path}.{self.func_name}.{ident}"
+            return ident  # unknown receiver: key by field name alone
+        return f"{info.class_name or self.module.path}.{info.key[2]}.{ident}"
 
     def visit_With(self, node: ast.With) -> None:
         taken: list[str] = []
@@ -100,20 +110,7 @@ class _FunctionScan(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         if self.held:
-            callee = None
-            if (
-                isinstance(node.func, ast.Attribute)
-                and isinstance(node.func.value, ast.Name)
-                and node.func.value.id == "self"
-                and self.class_name
-            ):
-                callee = (self.class_name, node.func.attr)
-            elif isinstance(node.func, ast.Name):
-                callee = (None, node.func.id)
-            if callee is not None:
-                self.rule.add_call_edge(
-                    list(self.held), self.module, callee, node
-                )
+            self.calls_under_lock.append((list(self.held), node))
         self.generic_visit(node)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -128,19 +125,18 @@ class _FunctionScan(ast.NodeVisitor):
 class LockOrderingRule(Rule):
     name = "lock-ordering"
     description = (
-        "the static lock-acquisition graph (with-blocks plus one level "
-        "of calls) must contain no cycles"
+        "the static lock-acquisition graph (with-blocks plus the "
+        "transitive call closure, across modules) must contain no cycles"
     )
+    whole_program = True
 
     def __init__(self) -> None:
-        #: lock key -> {lock key acquired while holding it}
+        self._program: "Program | None" = None
+        #: lock key -> {lock key acquired while holding it -> first site}
         self.edges: dict[str, dict[str, tuple[SourceModule, int, int]]] = {}
-        #: (module_key, class_or_None, func_name) -> set of lock keys
-        self._acquires: dict[tuple[str, str | None, str], set[str]] = {}
-        #: deferred call edges: (held-keys, module, callee, site)
-        self._pending_calls: list[
-            tuple[list[str], SourceModule, tuple[str | None, str], ast.Call]
-        ] = []
+
+    def begin(self, program: "Program") -> None:
+        self._program = program
 
     def add_edge(
         self, frm: str, to: str, module: SourceModule, site: ast.AST
@@ -149,53 +145,54 @@ class LockOrderingRule(Rule):
             to, (module, site.lineno, site.col_offset)
         )
 
-    def add_call_edge(
-        self,
-        held: list[str],
-        module: SourceModule,
-        callee: tuple[str | None, str],
-        site: ast.Call,
-    ) -> None:
-        self._pending_calls.append((held, module, callee, site))
-
-    def check(self, module: SourceModule) -> Iterator[Finding]:
-        for node in module.tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._scan_function(module, None, node)
-            elif isinstance(node, ast.ClassDef):
-                for item in node.body:
-                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        self._scan_function(module, node.name, item)
-        return iter(())
-
-    def _scan_function(
-        self,
-        module: SourceModule,
-        class_name: str | None,
-        node: ast.FunctionDef | ast.AsyncFunctionDef,
-    ) -> None:
-        scan = _FunctionScan(self, module, class_name, node.name)
-        for stmt in node.body:
-            scan.visit(stmt)
-        self._acquires[(module.path, class_name, node.name)] = scan.acquired
-
     def finish(self) -> Iterator[Finding]:
-        # Resolve one level of calls: an edge from every held lock to
-        # every lock the callee acquires.  Same-class methods match on
-        # (class, name); bare names match a same-module function.
-        for held, module, (cls, name), site in self._pending_calls:
-            acquired = self._acquires.get((module.path, cls, name))
-            if not acquired:
+        if self._program is None:
+            return
+        graph = self._program.callgraph
+
+        # Pass 1: lexical edges, per-function acquire sets, and the
+        # calls each function makes while holding a lock.
+        direct: dict[tuple, set[str]] = {}
+        pending: list[tuple["FunctionInfo", list[str], ast.Call]] = []
+        for info in graph.functions.values():
+            scan = _FunctionScan(self, info)
+            for stmt in info.node.body:
+                scan.visit(stmt)
+            direct[info.key] = scan.acquired
+            for held, call in scan.calls_under_lock:
+                pending.append((info, held, call))
+
+        # Pass 2: the transitive acquire closure of every function — a
+        # fixpoint over the call graph, so a lock taken three calls and
+        # two modules away still reaches the holder.
+        closure = {key: set(locks) for key, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key in closure:
+                mine = closure[key]
+                before = len(mine)
+                for callee in graph.callees(key):
+                    callee_locks = closure.get(callee)
+                    if callee_locks:
+                        mine |= callee_locks
+                if len(mine) != before:
+                    changed = True
+
+        # Pass 3: call edges — every lock held at the call site orders
+        # before every lock the callee's closure can acquire.
+        for info, held, call in pending:
+            resolved = graph.resolve_call(info, call)
+            if resolved is None:
                 continue
-            for frm in held:
-                for to in acquired:
+            for to in closure.get(resolved, ()):
+                for frm in held:
                     if frm != to:
-                        self.add_edge(frm, to, module, site)
-        self._pending_calls = []
+                        self.add_edge(frm, to, info.module, call)
 
         yield from self._report_cycles()
         self.edges = {}
-        self._acquires = {}
+        self._program = None
 
     def _report_cycles(self) -> Iterator[Finding]:
         reported: set[frozenset[str]] = set()

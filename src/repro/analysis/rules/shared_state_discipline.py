@@ -1,0 +1,373 @@
+"""shared-state-discipline: declared shared structures mutate under locks.
+
+The dynamic race detector (``repro.runtime.tsan``) checks *executions*:
+it catches two unordered accesses with disjoint locksets, but only on
+the interleavings a run happens to produce.  This rule is the static
+half of the same contract: any structure the code *declares* shared —
+a class decorated ``@shared_state`` or a container registered through
+``tsan.track(...)`` — may only be mutated
+
+* inside a ``with <lock>:`` region (any named lock; *which* lock is the
+  dynamic detector's job),
+* in the declaring class's ``__init__`` (construction precedes
+  sharing),
+* in a door handler (door dispatch serializes the handler against its
+  caller — the kernel adds the happens-before edge), or
+* in a function the project-wide call graph proves is only ever reached
+  under a lock (every resolved call site is lexically inside a
+  ``with <lock>:`` or inside another such protected function).  This is
+  what makes the rule whole-program: ``_rebuild_matrix`` mutating
+  ``self._matrix`` is fine *because* its three callers all hold
+  ``self._lock`` — a fact no single function, and often no single
+  module, exhibits.
+
+Mutations recognized: attribute assignment on a shared instance
+(``rep.epoch = n``, ``rep.doors += [...]``), subscript stores and
+deletes on a tracked container (``stats["shed"] += 1``), and calls to
+mutator methods on either (``rep.doors.remove(d)``, ``memo.update(...)``).
+Shared instances are identified as ``self`` inside a ``@shared_state``
+class or any receiver whose class annotation names one — the same
+annotation discipline the lock-ordering rule keys on.
+
+A finding means one of: take the lock, move the mutation into the
+declaring ``__init__``/a handler, or — if the path really is
+single-threaded by construction — suppress with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.rules.lock_ordering import _lock_name
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import FunctionInfo, Program
+
+__all__ = ["SharedStateDisciplineRule"]
+
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "appendleft",
+        "popleft",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_track_call(node: ast.expr) -> bool:
+    """True for ``track(...)`` / ``tsan.track(...)`` / ``_tsan.track(...)``."""
+    return isinstance(node, ast.Call) and _decorator_name(node.func) == "track"
+
+
+class SharedStateDisciplineRule(Rule):
+    name = "shared-state-discipline"
+    description = (
+        "structures declared shared (@shared_state classes, tsan.track "
+        "containers) must only be mutated under a lock, in __init__, or "
+        "in a door-serialized handler"
+    )
+    whole_program = True
+
+    def __init__(self) -> None:
+        self._program: "Program | None" = None
+
+    def begin(self, program: "Program") -> None:
+        self._program = program
+
+    # -- collection ------------------------------------------------------
+
+    def _collect(self, graph) -> tuple[set[str], set[tuple[str, str]], dict, set]:
+        """Shared class names, tracked (class, field) pairs, tracked
+        locals per function, and door-handler function keys."""
+        shared_classes: set[str] = set()
+        for module in self._program.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and any(
+                    _decorator_name(d) == "shared_state" for d in node.decorator_list
+                ):
+                    shared_classes.add(node.name)
+
+        tracked_fields: set[tuple[str, str]] = set()
+        tracked_locals: dict[tuple, set[str]] = {}
+        handler_keys: set[tuple] = set()
+        for info in graph.functions.values():
+            locals_here: set[str] = set()
+            for node in ast.walk(info.node):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if value is None or not _is_track_call(value):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        locals_here.add(target.id)
+                    elif isinstance(target, ast.Attribute) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        owner = self._receiver_class(info, target.value.id)
+                        if owner:
+                            tracked_fields.add((owner, target.attr))
+            if locals_here:
+                tracked_locals[info.key] = locals_here
+            # door handlers: bare names passed to a create_door(...) call
+            for call in info.calls:
+                callee = call.func
+                callee_name = (
+                    callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else callee.id
+                    if isinstance(callee, ast.Name)
+                    else None
+                )
+                if callee_name != "create_door":
+                    continue
+                for arg in call.args:
+                    if isinstance(arg, ast.Name):
+                        # nested function passed by name
+                        for key in graph.functions:
+                            if (
+                                key[0] == info.key[0]
+                                and key[2].rsplit(".", 1)[-1] == arg.id
+                            ):
+                                handler_keys.add(key)
+                    elif isinstance(arg, ast.Attribute) and isinstance(
+                        arg.value, ast.Name
+                    ):
+                        # bound method: create_door(domain, self.handler)
+                        owner = self._receiver_class(info, arg.value.id)
+                        if owner:
+                            key = (info.key[0], owner, arg.attr)
+                            if key in graph.functions:
+                                handler_keys.add(key)
+        return shared_classes, tracked_fields, tracked_locals, handler_keys
+
+    def _receiver_class(self, info: "FunctionInfo", receiver: str) -> str | None:
+        """The class a bare receiver name denotes, if knowable."""
+        if receiver == "self" and info.class_name:
+            return info.class_name.split(".", 1)[0]
+        return info.annotations.get(receiver)
+
+    # -- protection fixpoint ---------------------------------------------
+
+    def _protected_functions(self, graph) -> set[tuple]:
+        """Functions only ever reached while some lock is held.
+
+        Greatest fixpoint: start from every function that has at least
+        one resolved call site, then evict any with a call site that is
+        neither under a lock nor inside a still-protected caller.
+        """
+        callers: dict[tuple, list[tuple[tuple, bool]]] = {}
+        for info in graph.functions.values():
+            for held, call in self._calls_with_lock_state(info):
+                resolved = graph.resolve_call(info, call)
+                if resolved is not None:
+                    callers.setdefault(resolved, []).append((info.key, bool(held)))
+        protected = set(callers)
+        changed = True
+        while changed:
+            changed = False
+            for key in list(protected):
+                for caller, under_lock in callers[key]:
+                    if not under_lock and caller not in protected:
+                        protected.discard(key)
+                        changed = True
+                        break
+        return protected
+
+    @staticmethod
+    def _calls_with_lock_state(info: "FunctionInfo"):
+        """(held-locks, call) for every call in a function body."""
+        results: list[tuple[list[str], ast.Call]] = []
+
+        class Walker(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.held: list[str] = []
+
+            def visit_With(self, node: ast.With) -> None:
+                taken = 0
+                for item in node.items:
+                    if _lock_name(item.context_expr) is not None:
+                        self.held.append("lock")
+                        taken += 1
+                for stmt in node.body:
+                    self.visit(stmt)
+                for _ in range(taken):
+                    self.held.pop()
+
+            def visit_Call(self, node: ast.Call) -> None:
+                results.append((list(self.held), node))
+                self.generic_visit(node)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                pass
+
+            visit_AsyncFunctionDef = visit_FunctionDef
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                pass
+
+        walker = Walker()
+        for stmt in info.node.body:
+            walker.visit(stmt)
+        return results
+
+    # -- checking --------------------------------------------------------
+
+    def finish(self) -> Iterator[Finding]:
+        if self._program is None:
+            return
+        graph = self._program.callgraph
+        shared_classes, tracked_fields, tracked_locals, handlers = self._collect(
+            graph
+        )
+        if not shared_classes and not tracked_fields and not tracked_locals:
+            self._program = None
+            return
+        protected = self._protected_functions(graph)
+        for info in graph.functions.values():
+            base_name = info.key[2].rsplit(".", 1)[-1]
+            if base_name == "__init__" and info.class_name in shared_classes:
+                continue  # construction precedes sharing
+            if info.key in handlers or info.key in protected:
+                continue
+            yield from self._check_function(
+                info, shared_classes, tracked_fields, tracked_locals.get(info.key, ())
+            )
+        self._program = None
+
+    def _check_function(
+        self,
+        info: "FunctionInfo",
+        shared_classes: set[str],
+        tracked_fields: set[tuple[str, str]],
+        tracked_locals,
+    ) -> Iterator[Finding]:
+        rule = self
+
+        def shared_attr(node: ast.expr) -> str | None:
+            """'Cls.field' when node is <shared>.field, else None."""
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                owner = rule._receiver_class(info, node.value.id)
+                if owner in shared_classes:
+                    return f"{owner}.{node.attr}"
+            return None
+
+        def tracked_container(node: ast.expr) -> str | None:
+            """A display name when node denotes a tracked container."""
+            if isinstance(node, ast.Name) and node.id in tracked_locals:
+                return node.id
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                owner = rule._receiver_class(info, node.value.id)
+                if owner and (owner, node.attr) in tracked_fields:
+                    return f"{owner}.{node.attr}"
+            return shared_attr(node)
+
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                Finding(
+                    rule=rule.name,
+                    path=info.module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    severity="warning",
+                    message=(
+                        f"shared state {what} mutated outside a lock "
+                        "region or door-serialized handler"
+                    ),
+                    hint="wrap the mutation in the owning lock, move it "
+                    "into __init__ or a door handler, or suppress with a "
+                    "justification if the path is single-threaded by "
+                    "construction",
+                )
+            )
+
+        class Walker(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.lock_depth = 0
+
+            def visit_With(self, node: ast.With) -> None:
+                locked = any(
+                    _lock_name(item.context_expr) is not None
+                    for item in node.items
+                )
+                if locked:
+                    self.lock_depth += 1
+                for stmt in node.body:
+                    self.visit(stmt)
+                if locked:
+                    self.lock_depth -= 1
+
+            def _check_target(self, target: ast.expr, node: ast.AST) -> None:
+                if self.lock_depth:
+                    return
+                what = shared_attr(target)
+                if what is None and isinstance(target, ast.Subscript):
+                    what = tracked_container(target.value)
+                    if what is not None:
+                        what = f"{what}[...]"
+                if what is not None:
+                    flag(node, what)
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                for target in node.targets:
+                    self._check_target(target, node)
+                self.generic_visit(node.value)
+
+            def visit_AugAssign(self, node: ast.AugAssign) -> None:
+                self._check_target(node.target, node)
+                self.generic_visit(node.value)
+
+            def visit_Delete(self, node: ast.Delete) -> None:
+                for target in node.targets:
+                    self._check_target(target, node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if (
+                    not self.lock_depth
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS
+                ):
+                    what = tracked_container(node.func.value)
+                    if what is not None:
+                        flag(node, f"{what}.{node.func.attr}()")
+                self.generic_visit(node)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                pass  # nested defs are checked as their own functions
+
+            visit_AsyncFunctionDef = visit_FunctionDef
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                pass
+
+        walker = Walker()
+        for stmt in info.node.body:
+            walker.visit(stmt)
+        yield from findings

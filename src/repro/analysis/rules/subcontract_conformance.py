@@ -103,18 +103,21 @@ class SubcontractConformanceRule(Rule):
         "subcontract subclasses must implement the required operations "
         "with stub-compatible signatures and must not swallow MarshalError"
     )
+    #: the class hierarchy spans modules (SingleDoorClient lives apart
+    #: from its leaves), so this rule sees the whole program
+    whole_program = True
 
     def __init__(self) -> None:
         self._classes: dict[str, _ClassInfo] = {}
         self._class_nodes: list[tuple[SourceModule, ast.ClassDef]] = []
 
-    # -- per-module collection ------------------------------------------
+    # -- whole-program collection ---------------------------------------
 
-    def check(self, module: SourceModule) -> Iterator[Finding]:
-        for node in module.tree.body:
-            if isinstance(node, ast.ClassDef):
-                self._collect_class(module, node)
-        return iter(())
+    def begin(self, program) -> None:
+        for module in program.modules:
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    self._collect_class(module, node)
 
     def _collect_class(self, module: SourceModule, node: ast.ClassDef) -> None:
         info = _ClassInfo(

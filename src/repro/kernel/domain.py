@@ -80,6 +80,9 @@ class Domain:
         pool = self._buffer_pool
         if pool:
             buffer = pool.pop()
+            ts = self.kernel.tsan
+            if ts is not None:
+                ts.on_buffer_acquire(buffer)
             buffer._pooled = False
             # Re-arm the real streams (release() left use-after-release
             # sentinels in their place) before the pristine check reads them.

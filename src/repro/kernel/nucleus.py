@@ -22,6 +22,7 @@ servers.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import TYPE_CHECKING, Callable
 
@@ -47,6 +48,11 @@ if TYPE_CHECKING:
     from repro.marshal.buffer import MarshalBuffer
 
 __all__ = ["Kernel"]
+
+#: ``REPRO_TSAN=1`` in the environment => every new kernel installs the
+#: happens-before race detector on itself (read once at import; the
+#: per-call cost stays one attribute read + one branch either way).
+_TSAN_FROM_ENV = os.environ.get("REPRO_TSAN", "") not in ("", "0")
 
 
 class _ThreadDeadline(threading.local):
@@ -102,6 +108,14 @@ class Kernel:
         #: at each gate (local door launch, fabric incoming leg) and zero
         #: simulated time.
         self.admission = None
+        #: the happens-before race detector (repro.runtime.tsan) or
+        #: None; uninstalled costs one attribute read + one branch at
+        #: each sync-edge hook and zero simulated time either way.
+        self.tsan = None
+        if _TSAN_FROM_ENV:
+            from repro.runtime.tsan import install_tsan
+
+            install_tsan(self)
 
     @property
     def call_depth(self) -> int:
@@ -117,7 +131,10 @@ class Kernel:
         with self._table_lock:
             domain = Domain(self, name)
             self.domains[domain.uid] = domain
-            return domain
+        ts = self.tsan
+        if ts is not None:
+            ts.on_domain_created(domain)
+        return domain
 
     def crash_domain(self, domain: Domain) -> None:
         """Terminate a domain abruptly.
@@ -298,8 +315,17 @@ class Kernel:
 
         buffer.seal_for_transmission(caller)
 
+        # Race-detector edge: the request carries the caller's clock to
+        # the handler, the reply carries the handler's clock back.
+        ts = self.tsan
+        if ts is not None:
+            ts.on_door_send(door, buffer)
+
         if self.tracer.enabled:
-            return self._traced_door_call(caller, door, server, buffer, self.tracer)
+            reply = self._traced_door_call(caller, door, server, buffer, self.tracer)
+            if ts is not None:
+                ts.on_reply_receive(reply)
+            return reply
 
         if (
             self.fabric is not None
@@ -318,6 +344,8 @@ class Kernel:
                 # call: go straight to the untraced delivery body.
                 reply = self._deliver_untraced(door, buffer)
         reply.seal_for_transmission(server)
+        if ts is not None:
+            ts.on_reply_receive(reply)
         return reply
 
     def _admitted_local_call(
@@ -409,10 +437,15 @@ class Kernel:
         depth_local = self._depth
         depth = getattr(depth_local, "value", 0)
         depth_local.value = depth + 1
+        ts = self.tsan
+        if ts is not None:
+            ts.on_door_receive(door, buffer)
         try:
             reply = door.handler(buffer)
         finally:
             depth_local.value = depth
+        if ts is not None:
+            ts.on_reply_send(reply)
         return reply
 
     def _traced_deliver(
@@ -442,12 +475,17 @@ class Kernel:
         depth_local = self._depth
         depth = getattr(depth_local, "value", 0)
         depth_local.value = depth + 1
+        ts = self.tsan
+        if ts is not None:
+            ts.on_door_receive(door, buffer)
         name = door.label or f"door#{door.uid}"
         try:
             with tracer.begin_handler(server, name, buffer.trace_ctx, door=door.uid):
                 reply = door.handler(buffer)
         finally:
             depth_local.value = depth
+        if ts is not None:
+            ts.on_reply_send(reply)
         return reply
 
     # ------------------------------------------------------------------

@@ -427,6 +427,11 @@ class MarshalBuffer:
         home.buffer_releases += 1
         pool = home._buffer_pool
         if len(pool) < POOL_LIMIT:
+            # Race-detector edge: returning to the pool happens-before
+            # the next acquire that hands this buffer to another thread.
+            ts = self.kernel.tsan
+            if ts is not None:
+                ts.on_buffer_release(self)
             self._pooled = True
             pool.append(self)
         else:

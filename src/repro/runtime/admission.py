@@ -55,9 +55,11 @@ from __future__ import annotations
 
 import heapq
 import random
+import threading
 from typing import TYPE_CHECKING
 
 from repro.kernel.errors import ServerBusyError
+from repro.runtime import tsan as _tsan
 
 if TYPE_CHECKING:
     from repro.kernel.domain import Domain
@@ -244,16 +246,26 @@ class AdmissionController:
         self._domain_policies: dict[int, AdmissionPolicy] = {}
         #: door uid -> _DoorState, or None for cached "ungoverned"
         self._states: dict[int, _DoorState | None] = {}
+        # Serializes the occupancy model (heaps, counters, EWMA, rng)
+        # against concurrent caller threads.  Only governed doors take
+        # it: the ungoverned fast path stays a lock-free cached dict
+        # read, so admission-free hot paths keep their wall parity.
+        self._gate_lock = _tsan.instrument_lock(
+            threading.Lock(), "AdmissionController._gate_lock"
+        )
         #: controller-wide counters (real calls and phantoms separately)
-        self.stats: dict[str, int] = {
-            "admitted": 0,
-            "queued": 0,
-            "shed": 0,
-            "rejected": 0,
-            "phantom_admitted": 0,
-            "phantom_shed": 0,
-            "phantom_rejected": 0,
-        }
+        self.stats: dict[str, int] = _tsan.track(
+            {
+                "admitted": 0,
+                "queued": 0,
+                "shed": 0,
+                "rejected": 0,
+                "phantom_admitted": 0,
+                "phantom_shed": 0,
+                "phantom_rejected": 0,
+            },
+            "admission.stats",
+        )
 
     # ------------------------------------------------------------------
     # configuration
@@ -264,17 +276,27 @@ class AdmissionController:
     ) -> AdmissionPolicy:
         """Attach an admission policy to one door."""
         door = _as_door(door)
-        self._door_policies[door.uid] = policy
-        self._states.pop(door.uid, None)  # drop any cached "ungoverned"
+        with self._gate_lock:
+            self._door_policies[door.uid] = policy
+            self._states.pop(door.uid, None)  # drop any cached "ungoverned"
         return policy
 
     def govern_domain(self, domain: "Domain", policy: AdmissionPolicy) -> AdmissionPolicy:
         """Attach an admission policy to every door ``domain`` serves."""
-        self._domain_policies[domain.uid] = policy
-        self._states.clear()  # re-resolve lazily under the new coverage
+        with self._gate_lock:
+            self._domain_policies[domain.uid] = policy
+            self._states.clear()  # re-resolve lazily under the new coverage
         return policy
 
     def _resolve(self, door: "Door") -> "_DoorState | None":
+        """Resolve a door's state; call with ``_gate_lock`` held.
+
+        Re-checks the cache under the lock so two threads racing on a
+        door's first governed call share one occupancy model instead of
+        splitting its bookkeeping across two.
+        """
+        if door.uid in self._states:
+            return self._states[door.uid]
         policy = self._door_policies.get(door.uid)
         if policy is None:
             policy = self._domain_policies.get(door.server.uid)
@@ -297,48 +319,51 @@ class AdmissionController:
         try:
             state = self._states[door.uid]
         except KeyError:
-            state = self._resolve(door)
+            with self._gate_lock:
+                state = self._resolve(door)
         if state is None:
             return None
         clock = self.kernel.clock
-        now = clock.now_us
-        if state.bursts:
-            self._pump_bursts(state, now)
-        wait, depth = self._assess(state, now, buffer.deadline_us)
-        self._commit(state, now, wait)
         tracer = self.kernel.tracer
-        if wait > 0.0:
-            state.queued += 1
-            self.stats["queued"] += 1
-            clock.advance(wait, "admission_wait")
+        with self._gate_lock:
+            now = clock.now_us
+            if state.bursts:
+                self._pump_bursts(state, now)
+            wait, depth = self._assess(state, now, buffer.deadline_us)
+            self._commit(state, now, wait)
+            if wait > 0.0:
+                state.queued += 1
+                self.stats["queued"] += 1
+                clock.advance(wait, "admission_wait")
+                if tracer.enabled:
+                    tracer.event(
+                        "admission.queued",
+                        subcontract="admission",
+                        door=door.uid,
+                        wait_us=round(wait, 2),
+                        depth=depth,
+                    )
+            state.admitted += 1
+            self.stats["admitted"] += 1
             if tracer.enabled:
-                tracer.event(
-                    "admission.queued",
-                    subcontract="admission",
-                    door=door.uid,
-                    wait_us=round(wait, 2),
-                    depth=depth,
-                )
-        state.admitted += 1
-        self.stats["admitted"] += 1
-        if tracer.enabled:
-            metrics = tracer.metrics
-            metrics.histogram(
-                "admission", "queue_depth", QUEUE_DEPTH_BUCKETS
-            ).observe(float(depth))
-            metrics.histogram(
-                "admission", "queue_wait_us", QUEUE_WAIT_BUCKETS_US
-            ).observe(wait)
-        return (state, clock.now_us)
+                metrics = tracer.metrics
+                metrics.histogram(
+                    "admission", "queue_depth", QUEUE_DEPTH_BUCKETS
+                ).observe(float(depth))
+                metrics.histogram(
+                    "admission", "queue_wait_us", QUEUE_WAIT_BUCKETS_US
+                ).observe(wait)
+            return (state, clock.now_us)
 
     def complete(self, permit: "tuple[_DoorState, float]") -> None:
         """Report a permitted call finished; feeds the service-time EWMA."""
         state, started_us = permit
         measured = self.kernel.clock.now_us - started_us
         if measured > 0.0:
-            state.ewma_service_us += _SERVICE_EWMA_ALPHA * (
-                measured - state.ewma_service_us
-            )
+            with self._gate_lock:
+                state.ewma_service_us += _SERVICE_EWMA_ALPHA * (
+                    measured - state.ewma_service_us
+                )
 
     # ------------------------------------------------------------------
     # the FIFO multi-server model (shared by real calls and phantoms)
@@ -470,16 +495,14 @@ class AdmissionController:
         Phantom arrivals are folded in lazily, in arrival order, whenever
         the door is consulted — they never advance the clock themselves.
         """
-        try:
-            state = self._states[burst.door.uid]
-        except KeyError:
+        with self._gate_lock:
             state = self._resolve(burst.door)
-        if state is None:
-            raise ValueError(
-                f"door #{burst.door.uid} has no admission policy; govern it "
-                f"before attaching a burst"
-            )
-        state.bursts.append(burst)
+            if state is None:
+                raise ValueError(
+                    f"door #{burst.door.uid} has no admission policy; govern "
+                    f"it before attaching a burst"
+                )
+            state.bursts.append(burst)
 
     def _pump_bursts(self, state: _DoorState, now: float) -> None:
         bursts = state.bursts
@@ -547,23 +570,25 @@ class AdmissionController:
         try:
             state = self._states[door.uid]
         except KeyError:
-            state = self._resolve(door)
+            with self._gate_lock:
+                state = self._resolve(door)
         if state is None:
             return 0.0
-        now = self.kernel.clock.now_us
-        if state.bursts:
-            self._pump_bursts(state, now)
-        free = state.server_free
-        while len(free) < state.limit:
-            heapq.heappush(free, now)
-        earliest = free[0]
-        if earliest <= now:
-            return 0.0
-        policy = state.policy
-        if policy.queue_limit is not None:
-            if self._queue_depth(state, now) >= policy.queue_limit:
-                return float("inf")
-        return earliest - now
+        with self._gate_lock:
+            now = self.kernel.clock.now_us
+            if state.bursts:
+                self._pump_bursts(state, now)
+            free = state.server_free
+            while len(free) < state.limit:
+                heapq.heappush(free, now)
+            earliest = free[0]
+            if earliest <= now:
+                return 0.0
+            policy = state.policy
+            if policy.queue_limit is not None:
+                if self._queue_depth(state, now) >= policy.queue_limit:
+                    return float("inf")
+            return earliest - now
 
     def queue_depth(self, door: "Door | DoorIdentifier") -> int:
         """Calls currently waiting (admitted, not yet started) at ``door``."""
@@ -571,7 +596,8 @@ class AdmissionController:
         state = self._states.get(door.uid)
         if state is None:
             return 0
-        return self._queue_depth(state, self.kernel.clock.now_us)
+        with self._gate_lock:
+            return self._queue_depth(state, self.kernel.clock.now_us)
 
     def door_snapshot(self, door: "Door | DoorIdentifier") -> dict | None:
         """Per-door counters, or ``None`` for ungoverned doors."""

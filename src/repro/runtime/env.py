@@ -216,6 +216,29 @@ class Environment:
         """Remove admission control; doors revert to unbounded admission."""
         self.kernel.admission = None
 
+    def install_tsan(self, **options):
+        """Install the springtsan happens-before race detector.
+
+        Door calls, thread start/join, instrumented locks, and marshal
+        pool transfers become synchronization edges; accesses to tracked
+        shared state (``domain.locals``, capability tables, anything
+        declared via ``@shared_state`` / ``tsan.track``) are checked and
+        two unordered accesses with disjoint locksets raise
+        :class:`repro.runtime.tsan.DataRaceError` naming both sites.
+        Returns the live :class:`repro.runtime.tsan.TsanRuntime` (also
+        at ``env.kernel.tsan``).  No simulated time is charged either
+        way — sim totals are bit-for-bit identical with and without it.
+        """
+        from repro.runtime.tsan import install_tsan
+
+        return install_tsan(self.kernel, **options)
+
+    def uninstall_tsan(self) -> None:
+        """Remove the race detector; hooks revert to one-branch no-ops."""
+        from repro.runtime.tsan import uninstall_tsan
+
+        uninstall_tsan(self.kernel)
+
     def install_tracer(self, ring_capacity: int | None = None):
         """Turn on end-to-end tracing for this world.
 

@@ -3,36 +3,70 @@ of threads" (Section 3.3).
 
 The kernel's capability tables are lock-protected, so multiple Python
 threads may drive door calls concurrently.  ``run_concurrently`` is the
-test/bench-friendly way to do it: start every worker, join them all, and
-re-raise the first failure instead of letting it vanish inside a thread.
+test/bench-friendly way to do it: start every worker, join them all
+against one shared deadline, and re-raise the first failure instead of
+letting it vanish inside a thread.
+
+When the springtsan race detector is installed (:mod:`repro.runtime
+.tsan`), the start and join of each worker are happens-before edges:
+everything the parent did before ``start`` is visible to the child, and
+everything a child did is visible to the parent after its ``join``
+returns.  Uninstalled, the hooks cost one function call returning None
+plus a branch per worker — off the per-door-call hot path entirely.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
+
+from repro.runtime import tsan as _tsan
 
 __all__ = ["run_concurrently"]
 
 
 def run_concurrently(workers: list[Callable[[], None]], timeout: float = 60.0) -> None:
-    """Run workers in parallel threads; propagate the first exception."""
+    """Run workers in parallel threads; propagate the first exception.
+
+    ``timeout`` is one shared deadline for the whole batch, not a
+    per-thread allowance: joining N wedged workers takes ``timeout``
+    seconds total, not ``N x timeout``.
+    """
     failures: list[BaseException] = []
     lock = threading.Lock()
+    ts = _tsan.active()
 
-    def wrap(worker: Callable[[], None]) -> None:
+    def wrap(worker: Callable[[], None], token: int) -> None:
+        if ts is not None:
+            ts.child_begin(token)
         try:
             worker()
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
             with lock:
                 failures.append(exc)
+        finally:
+            if ts is not None:
+                ts.child_end(token)
 
-    threads = [threading.Thread(target=wrap, args=(w,)) for w in workers]
+    threads: list[threading.Thread] = []
+    tokens: list[int] = []
+    for worker in workers:
+        token = ts.fork() if ts is not None else 0
+        tokens.append(token)
+        threads.append(threading.Thread(target=wrap, args=(worker, token)))
     for thread in threads:
         thread.start()
-    for thread in threads:
-        thread.join(timeout)
+    # The join deadline is genuinely host time: it bounds how long the
+    # calling test/bench blocks on real OS threads, and must keep
+    # counting down while a worker is wedged (the sim clock would not).
+    deadline = time.monotonic() + timeout  # springlint: disable=clock-discipline -- real-thread join deadline, not a simulated path
+    for thread, token in zip(threads, tokens):
+        remaining = deadline - time.monotonic()  # springlint: disable=clock-discipline -- real-thread join deadline, not a simulated path
+        thread.join(max(0.0, remaining))
         if thread.is_alive():
             raise TimeoutError("a worker thread did not finish in time")
+        if ts is not None:
+            ts.join_edge(token)
     if failures:
         raise failures[0]

@@ -27,6 +27,7 @@ server through D1.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.object import SpringObject
@@ -38,6 +39,7 @@ from repro.kernel.errors import (
     ServerBusyError,
 )
 from repro.marshal.buffer import MarshalBuffer
+from repro.runtime import tsan as _tsan
 from repro.runtime.retry import RetryPolicy
 from repro.subcontracts.common import make_door_handler
 
@@ -48,6 +50,7 @@ if TYPE_CHECKING:
 __all__ = ["CachingClient", "CachingServer", "CachingRep"]
 
 
+@_tsan.shared_state
 class CachingRep:
     """D1 (server door), D2 (local cache door, may be None), and the
     cache manager name.
@@ -56,9 +59,13 @@ class CachingRep:
     request bytes, consulted only when the authority sheds the call
     under overload (see :meth:`CachingClient.invoke`).  It is local
     soft state — never marshalled, never copied.
+
+    ``lock`` serialises the mutable fields (``cache_door`` demotion and
+    the ``stale`` memo) when sibling threads of one domain share the
+    object; the door-call fast path never takes it.
     """
 
-    __slots__ = ("server_door", "cache_door", "manager_name", "stale")
+    __slots__ = ("server_door", "cache_door", "manager_name", "stale", "lock")
 
     def __init__(
         self,
@@ -66,6 +73,9 @@ class CachingRep:
         cache_door: "DoorIdentifier | None",
         manager_name: str,
     ) -> None:
+        self.lock = _tsan.instrument_lock(
+            threading.Lock(), f"CachingRep.lock@{id(self):x}"
+        )
         self.server_door = server_door
         self.cache_door = cache_door
         self.manager_name = manager_name
@@ -99,13 +109,17 @@ class CachingClient(ClientSubcontract):
         rep: CachingRep = obj._rep
         # "Whenever the subcontract performs an invoke operation it uses
         # the D2 door identifier" — D1 only when no local cache exists.
-        door = rep.cache_door if rep.cache_door is not None else rep.server_door
+        # Snapshot D2 under the rep lock: a sibling thread's fallback may
+        # demote it concurrently.
+        with rep.lock:
+            cache_door = rep.cache_door
+        door = cache_door if cache_door is not None else rep.server_door
         tracer = kernel.tracer
         if tracer.enabled:
             tracer.event(
                 "caching.route",
                 subcontract=self.id,
-                via="cache" if rep.cache_door is not None else "server",
+                via="cache" if cache_door is not None else "server",
             )
         kernel.clock.charge("memory_copy_byte", buffer.size)
         try:
@@ -116,8 +130,14 @@ class CachingClient(ClientSubcontract):
             # Degrade to the last good local copy of this exact reply if
             # we hold one; otherwise surface the busy (it is retryable
             # and carries the server's retry_after_us hint).
-            stale = rep.stale if self.stale_on_busy and not buffer.doors else None
-            memo = stale.get(bytes(buffer.data)) if stale is not None else None
+            if self.stale_on_busy and not buffer.doors:
+                with rep.lock:
+                    stale = rep.stale
+                    memo = (
+                        stale.get(bytes(buffer.data)) if stale is not None else None
+                    )
+            else:
+                memo = None
             if memo is None:
                 raise
             if tracer.enabled:
@@ -128,7 +148,7 @@ class CachingClient(ClientSubcontract):
             kernel.clock.charge("memory_copy_byte", reply.size)
             return reply
         except (CommunicationError, InvalidDoorError) as failure:
-            if rep.cache_door is None or (
+            if cache_door is None or (
                 isinstance(failure, CommunicationError)
                 and not RetryPolicy.retryable(failure)
             ):
@@ -137,9 +157,11 @@ class CachingClient(ClientSubcontract):
                 raise
             # The local cache front died.  Drop D2 and degrade gracefully:
             # all further invocations go straight to the server via D1.
-            dead = rep.cache_door
-            rep.cache_door = None
-            self._quiet_delete(dead)
+            with rep.lock:
+                dead = rep.cache_door
+                rep.cache_door = None
+            if dead is not None:
+                self._quiet_delete(dead)
             if tracer.enabled:
                 tracer.event(
                     "caching.fallback",
@@ -157,12 +179,13 @@ class CachingClient(ClientSubcontract):
             and not reply.doors
             and len(reply.data) <= self.STALE_REPLY_CAP
         ):
-            stale = rep.stale
-            if stale is None:
-                stale = rep.stale = {}
-            elif len(stale) >= self.STALE_MEMO_ENTRIES:
-                stale.pop(next(iter(stale)))
-            stale[bytes(buffer.data)] = bytes(reply.data)
+            with rep.lock:
+                stale = rep.stale
+                if stale is None:
+                    stale = rep.stale = _tsan.track({}, "caching.stale")
+                elif len(stale) >= self.STALE_MEMO_ENTRIES:
+                    stale.pop(next(iter(stale)))
+                stale[bytes(buffer.data)] = bytes(reply.data)
         return reply
 
     @staticmethod

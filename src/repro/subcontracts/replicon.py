@@ -19,6 +19,7 @@ identifiers which the client adopts.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import SubcontractError
@@ -32,6 +33,7 @@ from repro.kernel.errors import (
     ServerBusyError,
 )
 from repro.marshal.buffer import MarshalBuffer
+from repro.runtime import tsan as _tsan
 from repro.runtime.retry import RetryPolicy
 from repro.subcontracts.common import make_door_handler
 
@@ -48,13 +50,23 @@ __all__ = ["RepliconClient", "RepliconGroup", "RepliconRep"]
 DEFAULT_FAILOVER_POLICY = RetryPolicy(base_us=0.0, multiplier=1.0, max_attempts=1)
 
 
+@_tsan.shared_state
 class RepliconRep:
     """A set of kernel door identifiers, one per replica, plus the epoch
-    of the replica set they came from."""
+    of the replica set they came from.
 
-    __slots__ = ("doors", "epoch")
+    Client threads sharing one replicon object mutate the rep on
+    failover (pruning a dead member) and on epoch updates (adopting a
+    fresh door set); ``lock`` serializes those updates against the
+    member selection at the top of each invoke.
+    """
+
+    __slots__ = ("doors", "epoch", "lock")
 
     def __init__(self, doors: list["DoorIdentifier"], epoch: int) -> None:
+        self.lock = _tsan.instrument_lock(
+            threading.Lock(), f"RepliconRep.lock@{id(self):x}"
+        )
         self.doors = doors
         self.epoch = epoch
 
@@ -86,20 +98,25 @@ class RepliconClient(ClientSubcontract):
         #: stay in the target set; we just stop re-asking them this round
         busy_skipped: set[int] = set()
         last_busy: ServerBusyError | None = None
-        while rep.doors:
-            if busy_skipped:
-                door = self._least_loaded(kernel, rep, busy_skipped)
-                if door is None:  # every member shed: surface the overload
-                    raise last_busy
-            else:
-                door = rep.doors[0]
+        while True:
+            with rep.lock:
+                if not rep.doors:
+                    break
+                members = len(rep.doors)
+                epoch = rep.epoch
+                if busy_skipped:
+                    door = self._least_loaded(kernel, rep, busy_skipped)
+                else:
+                    door = rep.doors[0]
+            if door is None:  # every member shed: surface the overload
+                raise last_busy
             try:
                 if tracer.enabled:
                     tracer.event(
                         "replicon.member",
                         subcontract=self.id,
                         door=door.uid,
-                        epoch=rep.epoch,
+                        epoch=epoch,
                     )
                 kernel.clock.charge("memory_copy_byte", buffer.size)
                 reply = kernel.door_call(self.domain, door, buffer)
@@ -117,7 +134,7 @@ class RepliconClient(ClientSubcontract):
                         door=door.uid,
                         retry_after_us=round(exc.retry_after_us, 2),
                     )
-                if len(busy_skipped) >= len(rep.doors):
+                if len(busy_skipped) >= members:
                     raise
                 continue
             except (CommunicationError, InvalidDoorError) as exc:
@@ -127,8 +144,11 @@ class RepliconClient(ClientSubcontract):
                     # the replica itself is not at fault — do not prune.
                     raise
                 # This replica is unreachable: delete the identifier from
-                # the target set and proceed to the next one.
-                rep.doors.remove(door)
+                # the target set and proceed to the next one.  Another
+                # thread may have pruned (or replaced) it concurrently.
+                with rep.lock:
+                    if door in rep.doors:
+                        rep.doors.remove(door)
                 self._quiet_delete(door)
                 pruned += 1
                 wait_us = policy.backoff_us(min(pruned, policy.max_attempts))
@@ -156,7 +176,8 @@ class RepliconClient(ClientSubcontract):
         self, kernel, rep: RepliconRep, skip: set[int]
     ) -> "DoorIdentifier | None":
         """The remaining member with the smallest projected admission
-        wait (list order breaks ties); ``None`` once every member shed."""
+        wait (list order breaks ties); ``None`` once every member shed.
+        Called with ``rep.lock`` held (it walks ``rep.doors``)."""
         admission = kernel.admission
         best = None
         best_wait = 0.0
@@ -183,18 +204,30 @@ class RepliconClient(ClientSubcontract):
             for door in new_doors:
                 self._quiet_delete(door)
             return
-        for door in rep.doors:
+        with rep.lock:
+            if new_epoch <= rep.epoch:
+                # Another thread already adopted this epoch (or a newer
+                # one); this reply's door set is redundant, not fresher.
+                stale_doors, old_epoch, retired = new_doors, rep.epoch, None
+            else:
+                stale_doors, old_epoch = None, rep.epoch
+                retired = rep.doors
+                rep.doors = new_doors
+                rep.epoch = new_epoch
+        if stale_doors is not None:
+            for door in stale_doors:
+                self._quiet_delete(door)
+            return
+        for door in retired:
             self._quiet_delete(door)
         if tracer.enabled:
             tracer.event(
                 "replicon.epoch_update",
                 subcontract=self.id,
-                old_epoch=rep.epoch,
+                old_epoch=old_epoch,
                 new_epoch=new_epoch,
                 members=len(new_doors),
             )
-        rep.doors = new_doors
-        rep.epoch = new_epoch
 
     def _quiet_delete(self, door: "DoorIdentifier") -> None:
         try:
@@ -246,6 +279,7 @@ class RepliconClient(ClientSubcontract):
         obj._mark_consumed()
 
 
+@_tsan.shared_state
 class RepliconGroup:
     """The server side of replicon: a set of conspiring server domains.
 
@@ -271,6 +305,12 @@ class RepliconGroup:
         self.members: list[tuple["Domain", Any, "DoorIdentifier"]] = []
         #: domain uid -> list of identifiers (one per member) owned by it
         self._matrix: dict[int, list["DoorIdentifier"]] = {}
+        # Serializes membership changes (epoch bumps, matrix rebuilds)
+        # against each other and against handler threads reading the
+        # epoch/matrix in the control hook.
+        self._lock = _tsan.instrument_lock(
+            threading.Lock(), f"RepliconGroup.lock@{id(self):x}"
+        )
 
     # ------------------------------------------------------------------
     # membership
@@ -284,17 +324,19 @@ class RepliconGroup:
         door = domain.kernel.create_door(
             domain, handler, label=f"replicon:{self.binding.name}"
         )
-        self.members.append((domain, impl, door))
-        self.epoch += 1
-        self._rebuild_matrix()
+        with self._lock:
+            self.members.append((domain, impl, door))
+            self.epoch += 1
+            self._rebuild_matrix()
 
     def remove_replica(self, domain: "Domain") -> None:
         """A member leaves (or is declared dead by its peers)."""
-        before = len(self.members)
-        self.members = [m for m in self.members if m[0] is not domain]
-        if len(self.members) != before:
-            self.epoch += 1
-            self._rebuild_matrix()
+        with self._lock:
+            before = len(self.members)
+            self.members = [m for m in self.members if m[0] is not domain]
+            if len(self.members) != before:
+                self.epoch += 1
+                self._rebuild_matrix()
 
     def prune_dead(self) -> None:
         """The peers' failure detector: drop crashed member domains.
@@ -303,11 +345,12 @@ class RepliconGroup:
         one matrix rebuild) — rebuilding per-removal would try to copy
         door identifiers still owned by other dead members.
         """
-        live = [m for m in self.members if m[0].alive]
-        if len(live) != len(self.members):
-            self.members = live
-            self.epoch += 1
-            self._rebuild_matrix()
+        with self._lock:
+            live = [m for m in self.members if m[0].alive]
+            if len(live) != len(self.members):
+                self.members = live
+                self.epoch += 1
+                self._rebuild_matrix()
 
     def _rebuild_matrix(self) -> None:
         # Drop identifiers owned by previous matrix holders.
@@ -340,12 +383,14 @@ class RepliconGroup:
     def _control_hook(self, domain: "Domain"):
         def hook(request: MarshalBuffer, reply: MarshalBuffer) -> None:
             client_epoch = request.get_int32()
-            if client_epoch >= self.epoch:
+            with self._lock:
+                epoch = self.epoch
+                idents = list(self._matrix.get(domain.uid, []))
+            if client_epoch >= epoch:
                 reply.put_bool(False)
                 return
             reply.put_bool(True)
-            reply.put_int32(self.epoch)
-            idents = self._matrix.get(domain.uid, [])
+            reply.put_int32(epoch)
             fresh = [
                 domain.kernel.copy_door_id(domain, ident)
                 for ident in idents
@@ -367,14 +412,17 @@ class RepliconGroup:
         ``domain`` is typically one of the member domains, which then
         marshals the object out to clients.
         """
-        idents = self._matrix.get(domain.uid)
-        if idents is None:
-            raise SubcontractError(
-                f"domain {domain.name!r} is not a member of this replicon group"
-            )
+        with self._lock:
+            idents = self._matrix.get(domain.uid)
+            if idents is None:
+                raise SubcontractError(
+                    f"domain {domain.name!r} is not a member of this replicon group"
+                )
+            idents = list(idents)
+            epoch = self.epoch
         doors = [domain.kernel.copy_door_id(domain, ident) for ident in idents]
         client_vector = ensure_registry(domain).lookup(self.id)
-        return client_vector.make_object(RepliconRep(doors, self.epoch), self.binding)
+        return client_vector.make_object(RepliconRep(doors, epoch), self.binding)
 
     # ------------------------------------------------------------------
     # the servers' own state synchronization
@@ -382,8 +430,10 @@ class RepliconGroup:
 
     def broadcast(self, apply_fn) -> int:
         """Apply a state change on every live replica; returns the count."""
+        with self._lock:
+            members = list(self.members)
         applied = 0
-        for domain, impl, _ in self.members:
+        for domain, impl, _ in members:
             if domain.alive:
                 apply_fn(impl)
                 applied += 1
@@ -391,4 +441,6 @@ class RepliconGroup:
 
     def live_member_count(self) -> int:
         """Number of member domains currently alive."""
-        return sum(1 for domain, _, _ in self.members if domain.alive)
+        with self._lock:
+            members = list(self.members)
+        return sum(1 for domain, _, _ in members if domain.alive)

@@ -23,6 +23,7 @@ from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ServerSubcontract
 from repro.marshal.buffer import MarshalBuffer
+from repro.runtime import tsan as _tsan
 from repro.subcontracts.common import SingleDoorRep, make_door_handler
 from repro.subcontracts.singleton import SingleDoorClient
 
@@ -64,7 +65,14 @@ class SynchronizedServer(ServerSubcontract):
         if options:
             raise TypeError(f"unknown export options: {sorted(options)}")
         inner = make_door_handler(self.domain, impl, binding)
-        lock = threading.Lock()
+        raw_lock = threading.Lock()
+        # With the race detector installed, the per-object mutex is a
+        # named synchronization object (dispatches under it are ordered
+        # and their locksets include it); uninstalled this returns
+        # raw_lock unchanged.
+        lock = _tsan.instrument_lock(
+            raw_lock, f"synchronized:{binding.name}@{id(raw_lock):x}"
+        )
 
         def handler(request: MarshalBuffer) -> MarshalBuffer:
             with lock:

@@ -1,0 +1,42 @@
+"""Fixture: shared-state-discipline violations (all flagged)."""
+
+import threading
+
+from repro.runtime.tsan import shared_state, track
+
+
+@shared_state
+class Ledger:
+    """Declared shared: every mutation must be disciplined."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.balance = 0
+        self.entries = []
+
+
+class Teller:
+    def __init__(self) -> None:
+        self.stats = track({"deposits": 0}, "teller.stats")
+
+    def unlocked_attr_write(self, ledger: Ledger) -> None:
+        ledger.balance = 10  # flagged: attr write, no lock
+
+    def unlocked_aug_write(self, ledger: Ledger) -> None:
+        ledger.balance += 1  # flagged: augmented write, no lock
+
+    def unlocked_mutator_call(self, ledger: Ledger) -> None:
+        ledger.entries.append("x")  # flagged: mutator on shared field
+
+    def unlocked_tracked_subscript(self) -> None:
+        self.stats["deposits"] += 1  # flagged: tracked container store
+
+    def helper_with_unlocked_caller(self, ledger: Ledger) -> None:
+        # Called both under a lock and without one below: the unlocked
+        # call site breaks the protection proof, so this write is flagged.
+        ledger.balance -= 1
+
+    def sometimes_locked(self, ledger: Ledger) -> None:
+        with ledger.lock:
+            self.helper_with_unlocked_caller(ledger)
+        self.helper_with_unlocked_caller(ledger)

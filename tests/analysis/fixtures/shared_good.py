@@ -1,0 +1,53 @@
+"""Fixture: disciplined shared-state mutation (no findings)."""
+
+import threading
+
+from repro.runtime.tsan import shared_state, track
+
+
+@shared_state
+class Ledger:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.balance = 0  # __init__ precedes sharing: exempt
+        self.entries = []
+
+
+class Teller:
+    def __init__(self, domain) -> None:
+        self.stats = track({"deposits": 0}, "teller.stats")
+        self._meta_lock = threading.Lock()
+        domain.kernel.create_door(domain, self.handle_deposit, label="teller")
+
+    def locked_writes(self, ledger: Ledger) -> None:
+        with ledger.lock:
+            ledger.balance += 1
+            ledger.entries.append("deposit")
+
+    def locked_tracked_store(self) -> None:
+        with self._meta_lock:
+            self.stats["deposits"] += 1
+
+    def handle_deposit(self, ledger: Ledger) -> None:
+        # Door handlers are serialized against their callers by the
+        # kernel's happens-before edge: mutations here are disciplined.
+        ledger.balance += 1
+
+    def _apply(self, ledger: Ledger) -> None:
+        # Never called without the lock: the call-graph fixpoint proves
+        # this helper protected, so the lockless-looking write is fine.
+        ledger.balance -= 1
+        ledger.entries.pop()
+
+    def withdraw(self, ledger: Ledger) -> None:
+        with ledger.lock:
+            self._apply(ledger)
+
+    def withdraw_again(self, ledger: Ledger) -> None:
+        with ledger.lock:
+            self._apply(ledger)
+
+    def read_only(self, ledger: Ledger) -> int:
+        # Reads are the dynamic detector's job; the static rule only
+        # polices mutation.
+        return ledger.balance

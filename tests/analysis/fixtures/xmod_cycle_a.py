@@ -1,0 +1,25 @@
+"""Fixture: one half of a cross-module lock-ordering cycle.
+
+``Registry.register`` holds ``_reg_lock`` while calling into
+``xmod_cycle_b.Relay``; two calls deeper, the relay re-enters
+``Registry.audit`` while holding its own lock.  The cycle spans both a
+module boundary and a call depth of two — invisible to a one-module,
+one-level analysis, found by the whole-program call graph.
+"""
+
+import threading
+
+from xmod_cycle_b import Relay
+
+
+class Registry:
+    def __init__(self) -> None:
+        self._reg_lock = threading.Lock()
+
+    def register(self, relay: Relay) -> None:
+        with self._reg_lock:
+            relay.forward(self)
+
+    def audit(self) -> None:
+        with self._reg_lock:
+            pass

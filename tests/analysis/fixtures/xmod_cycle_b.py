@@ -1,0 +1,20 @@
+"""Fixture: the other half of the cross-module lock-ordering cycle.
+
+``forward`` is a lock-free shim — the acquisition hides one call deeper
+in ``_bounce``, which takes ``_relay_lock`` and calls back into the
+registry (annotated by name only; the classes never import each other).
+"""
+
+import threading
+
+
+class Relay:
+    def __init__(self) -> None:
+        self._relay_lock = threading.Lock()
+
+    def forward(self, registry: "Registry") -> None:
+        self._bounce(registry)
+
+    def _bounce(self, registry: "Registry") -> None:
+        with self._relay_lock:
+            registry.audit()

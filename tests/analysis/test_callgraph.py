@@ -1,0 +1,197 @@
+"""Call-graph resolution unit tests.
+
+The graph is deliberately conservative — an unresolvable call produces
+*no* edge rather than a guessed one — so these tests pin down both what
+resolves and what must not.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.callgraph import CallGraph, Program, module_name_for
+from repro.analysis.engine import SourceModule
+
+
+def build(*named_sources: tuple[str, str]) -> CallGraph:
+    modules = [
+        SourceModule(path, text=textwrap.dedent(text))
+        for path, text in named_sources
+    ]
+    return Program(modules).callgraph
+
+
+def edges_of(graph: CallGraph, key) -> set:
+    return set(graph.callees(key))
+
+
+def test_module_name_for_anchors_at_src():
+    assert module_name_for("/x/src/repro/runtime/tsan.py") == "repro.runtime.tsan"
+    assert module_name_for("/x/src/repro/__init__.py") == "repro"
+    assert module_name_for("/tmp/loose.py") == "loose"
+
+
+def test_self_method_calls_resolve_within_class():
+    graph = build(
+        (
+            "m.py",
+            """\
+            class Box:
+                def outer(self):
+                    self.inner()
+
+                def inner(self):
+                    pass
+            """,
+        )
+    )
+    assert ("m.py", "Box", "inner") in edges_of(graph, ("m.py", "Box", "outer"))
+
+
+def test_self_method_calls_walk_the_base_chain():
+    graph = build(
+        (
+            "m.py",
+            """\
+            class Base:
+                def helper(self):
+                    pass
+
+            class Child(Base):
+                def run(self):
+                    self.helper()
+            """,
+        )
+    )
+    assert ("m.py", "Base", "helper") in edges_of(graph, ("m.py", "Child", "run"))
+
+
+def test_annotated_receiver_resolves_cross_module():
+    graph = build(
+        (
+            "a.py",
+            """\
+            class Engine:
+                def start(self):
+                    pass
+            """,
+        ),
+        (
+            "b.py",
+            """\
+            def boot(engine: Engine):
+                engine.start()
+            """,
+        ),
+    )
+    assert ("a.py", "Engine", "start") in edges_of(graph, ("b.py", None, "boot"))
+
+
+def test_string_annotation_resolves_like_a_name():
+    graph = build(
+        (
+            "m.py",
+            """\
+            class Engine:
+                def start(self):
+                    pass
+
+            def boot(engine: "Engine"):
+                engine.start()
+            """,
+        )
+    )
+    assert ("m.py", "Engine", "start") in edges_of(graph, ("m.py", None, "boot"))
+
+
+def test_from_import_function_resolves():
+    graph = build(
+        ("util.py", "def helper():\n    pass\n"),
+        (
+            "main.py",
+            """\
+            from util import helper
+
+            def run():
+                helper()
+            """,
+        ),
+    )
+    assert ("util.py", None, "helper") in edges_of(graph, ("main.py", None, "run"))
+
+
+def test_constructor_call_resolves_to_init():
+    graph = build(
+        (
+            "m.py",
+            """\
+            class Box:
+                def __init__(self):
+                    pass
+
+            def make():
+                return Box()
+            """,
+        )
+    )
+    assert ("m.py", "Box", "__init__") in edges_of(graph, ("m.py", None, "make"))
+
+
+def test_unresolvable_calls_make_no_edges():
+    graph = build(
+        (
+            "m.py",
+            """\
+            def run(thing):
+                thing.spin()       # unannotated receiver: unknown
+                mystery()          # no such function anywhere
+            """,
+        )
+    )
+    assert edges_of(graph, ("m.py", None, "run")) == set()
+
+
+def test_nested_functions_are_indexed_once_under_dotted_names():
+    graph = build(
+        (
+            "m.py",
+            """\
+            def outer():
+                def inner():
+                    def innermost():
+                        pass
+                    innermost()
+                inner()
+            """,
+        )
+    )
+    keys = {key for key in graph.functions if key[0] == "m.py"}
+    assert keys == {
+        ("m.py", None, "outer"),
+        ("m.py", None, "outer.inner"),
+        ("m.py", None, "outer.inner.innermost"),
+    }
+
+
+def test_call_sites_reports_callers():
+    graph = build(
+        (
+            "m.py",
+            """\
+            def helper():
+                pass
+
+            def one():
+                helper()
+
+            def two():
+                helper()
+            """,
+        )
+    )
+    callers = {
+        info.key
+        for info, _call, resolved in graph.call_sites()
+        if resolved == ("m.py", None, "helper")
+    }
+    assert callers == {("m.py", None, "one"), ("m.py", None, "two")}

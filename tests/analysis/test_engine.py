@@ -185,3 +185,121 @@ def test_cli_list_rules(capsys):
         "clock-discipline",
     ):
         assert name in out
+
+
+# -- parallel analysis (--jobs) -----------------------------------------
+
+
+def test_run_paths_parallel_matches_serial(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(LEAKY, encoding="utf-8")
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    broken = tmp_path / "broken.py"
+    broken.write_text("def nope(:\n", encoding="utf-8")
+
+    paths = [dirty, clean, broken]
+    serial = default_analyzer().run_paths(paths)
+    parallel = default_analyzer().run_paths(paths, jobs=4)
+
+    def shape(findings):
+        return sorted((f.path, f.line, f.rule, f.message) for f in findings)
+
+    assert shape(parallel) == shape(serial)
+    assert any(f.rule == "parse" for f in parallel)
+
+
+def test_cli_jobs_flag(tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(LEAKY, encoding="utf-8")
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    assert main(["--jobs", "2", str(dirty), str(clean)]) == 1
+    assert main(["--jobs", "2", str(clean)]) == 0
+
+
+def test_parallel_whole_program_rules_see_every_module(tmp_path):
+    # Per-file analysis fans out to workers, but the whole-program phase
+    # must still run over ALL parsed modules in the parent: the
+    # cross-module cycle needs both halves.
+    from pathlib import Path
+
+    fixtures = Path(__file__).parent / "fixtures"
+    analyzer = default_analyzer(selected=frozenset({"lock-ordering"}))
+    findings = analyzer.run_paths(
+        [fixtures / "xmod_cycle_a.py", fixtures / "xmod_cycle_b.py"], jobs=2
+    )
+    assert len(findings) == 1
+    assert "lock-ordering cycle" in findings[0].message
+
+
+# -- incremental analysis (--changed) -----------------------------------
+
+
+def _git(tmp_path, *argv):
+    import subprocess
+
+    return subprocess.run(
+        ["git", *argv],
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+
+
+def _seed_repo(tmp_path):
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "config", "user.email", "t@example.invalid")
+    _git(tmp_path, "config", "user.name", "t")
+    committed = tmp_path / "committed.py"
+    committed.write_text(LEAKY, encoding="utf-8")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return committed
+
+
+def test_changed_json_reports_only_touched_files(tmp_path, monkeypatch, capsys):
+    _seed_repo(tmp_path)
+    fresh = tmp_path / "fresh.py"
+    fresh.write_text(LEAKY, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+
+    capsys.readouterr()
+    assert main(["--json", str(tmp_path), "--changed"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    paths = {finding["path"] for finding in doc["findings"]}
+    assert all(path.endswith("fresh.py") for path in paths), paths
+    assert paths, "the untracked leaky file must still be reported"
+
+
+def test_changed_with_no_touched_files_is_green(tmp_path, monkeypatch, capsys):
+    _seed_repo(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    capsys.readouterr()
+    # committed.py is leaky, but nothing changed since HEAD: exit 0.
+    assert main([str(tmp_path), "--changed"]) == 0
+    assert "none changed" in capsys.readouterr().err
+
+
+def test_changed_against_explicit_ref(tmp_path, monkeypatch, capsys):
+    committed = _seed_repo(tmp_path)
+    first = _git(tmp_path, "rev-parse", "HEAD").stdout.strip()
+    committed.write_text(LEAKY + "\n# touched\n", encoding="utf-8")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "touch")
+    monkeypatch.chdir(tmp_path)
+
+    capsys.readouterr()
+    # vs the first commit the file changed: its findings surface again.
+    assert main(["--changed", first, str(tmp_path)]) == 1
+    # vs HEAD nothing changed.
+    assert main(["--changed", "HEAD", str(tmp_path)]) == 0
+
+
+def test_changed_outside_a_repo_is_a_hard_error(tmp_path, monkeypatch, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    assert main([str(clean), "--changed"]) == 2
+    assert "git" in capsys.readouterr().err.lower()

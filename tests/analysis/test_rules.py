@@ -262,3 +262,69 @@ def test_unbounded_queue_accepts_bounded_and_clean_windows():
     # bounds, non-queue-ish names, and blocking strictly before admit()
     # or after complete() must all pass.
     assert run_rule("unbounded-queue", "queues_good.py") == []
+
+
+# -- cross-module lock-ordering (whole-program) -------------------------
+
+
+def test_lock_ordering_finds_cross_module_cycle_at_depth_two():
+    # Registry.register (module a) holds _reg_lock and calls
+    # Relay.forward (module b), a lock-free shim whose callee _bounce
+    # holds _relay_lock and re-enters Registry.audit.  The cycle spans a
+    # module boundary AND hides one call deep: only the project-wide
+    # call graph with the transitive acquire closure can see it.
+    analyzer = default_analyzer(selected=frozenset({"lock-ordering"}))
+    findings = analyzer.run_paths(
+        [FIXTURES / "xmod_cycle_a.py", FIXTURES / "xmod_cycle_b.py"]
+    )
+    assert len(findings) == 1, messages(findings)
+    assert "lock-ordering cycle" in findings[0].message
+    assert "Registry._reg_lock" in findings[0].message
+    assert "Relay._relay_lock" in findings[0].message
+
+
+def test_lock_ordering_cycle_is_invisible_module_at_a_time():
+    # The proof that the whole-program upgrade matters: analyzing either
+    # half alone — the old per-module scope — reports nothing.
+    analyzer = default_analyzer(selected=frozenset({"lock-ordering"}))
+    assert analyzer.run_paths([FIXTURES / "xmod_cycle_a.py"]) == []
+    assert analyzer.run_paths([FIXTURES / "xmod_cycle_b.py"]) == []
+
+
+# -- shared-state-discipline --------------------------------------------
+
+
+def test_shared_state_flags_every_seeded_violation():
+    findings = run_rule("shared-state-discipline", "shared_bad.py")
+    text = messages(findings)
+    assert "Ledger.balance mutated outside" in text
+    assert "Ledger.entries.append() mutated outside" in text
+    assert "Teller.stats[...] mutated outside" in text
+    assert len(findings) == 5, messages(findings)
+    assert all(f.rule == "shared-state-discipline" for f in findings)
+    assert all(f.severity == "warning" for f in findings)
+    assert all(f.hint for f in findings)
+
+
+def test_shared_state_helper_flagged_when_one_call_site_is_unlocked():
+    # helper_with_unlocked_caller is called once under the lock and once
+    # without: the protection fixpoint must evict it and flag its write.
+    findings = run_rule("shared-state-discipline", "shared_bad.py")
+    lines = {f.line for f in findings}
+    import ast as _ast
+
+    src = (FIXTURES / "shared_bad.py").read_text()
+    tree = _ast.parse(src)
+    helper = next(
+        node
+        for node in _ast.walk(tree)
+        if isinstance(node, _ast.FunctionDef)
+        and node.name == "helper_with_unlocked_caller"
+    )
+    assert any(helper.lineno < line <= helper.end_lineno for line in lines)
+
+
+def test_shared_state_accepts_disciplined_mutation():
+    # Locked writes, __init__ construction, a door handler, a helper
+    # whose every call site holds the lock, and plain reads: all clean.
+    assert run_rule("shared-state-discipline", "shared_good.py") == []

@@ -1,0 +1,308 @@
+"""springtsan soak and canonical race classes.
+
+Two jobs in one file:
+
+* **Soak** — drive replicon + caching + admission traffic from several
+  real threads under a collect-mode detector, across a seed sweep.  The
+  assertion is that src/ is race-clean: any unordered, lockset-disjoint
+  access pair in the runtime would land in ``runtime.races``.
+
+* **Race classes** — the four deterministic fixtures the detector must
+  catch (or, for the door-handoff case, must *not* falsely catch).
+  ``run_concurrently`` forks every worker's token before starting any
+  thread, so workers are logically concurrent no matter how the host
+  scheduler interleaves them: detection does not depend on timing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import tsan
+from repro.runtime.env import Environment
+from repro.runtime.admission import AdmissionPolicy
+from repro.runtime.threads import run_concurrently
+from repro.runtime.tsan import DataRaceError, install_tsan, uninstall_tsan
+from repro.kernel.errors import CommunicationError
+from repro.subcontracts.caching import CachingServer
+from repro.subcontracts.replicon import RepliconGroup
+from repro.subcontracts.singleton import SingletonServer
+from tests.chaos.conftest import chaos_seeds, ship
+from tests.conftest import CounterImpl
+
+FIXTURES = Path(__file__).resolve().parents[1] / "analysis" / "fixtures"
+
+
+def _fresh_runtime(kernel=None, **options):
+    """A detector in the requested mode, replacing any live one.
+
+    The suite may run under REPRO_TSAN=1, where every new kernel attaches
+    to (or creates) a raise-mode process-wide detector; options can only
+    be set on a fresh install, so evict first.
+    """
+    if tsan.active() is not None:
+        uninstall_tsan()
+    return install_tsan(kernel, **options) if kernel is not None else None
+
+
+def _dump_races(runtime, seed: int) -> None:
+    """Write the seed's race reports where CI can collect them.
+
+    When ``TSAN_REPORT_DIR`` is set (CI does, and uploads it as a
+    workflow artifact on failure), each racy seed leaves a text file
+    with every report's two sites — enough to replay the seed offline.
+    """
+    out_dir = os.environ.get("TSAN_REPORT_DIR")
+    if not out_dir or not runtime.races:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, f"tsan-seed-{seed}.txt"), "w") as fh:
+        for race in runtime.races:
+            fh.write(f"{race}\n\n")
+
+
+@pytest.fixture
+def detector_guard():
+    """Always leave the process with no live detector after the test."""
+    yield
+    if tsan.active() is not None:
+        uninstall_tsan()
+
+
+def build_soak_world(seed: int, counter_module) -> dict:
+    """Replicon + caching + admission on a three-machine world.
+
+    The collect-mode detector must be live *before* this runs so every
+    ``instrument_lock`` call made during construction yields a wrapped
+    lock (a plain lock acquired at runtime contributes nothing to a
+    lockset, which would manufacture false races).
+    """
+    env = Environment(seed=seed)
+    _fresh_runtime(env.kernel, report_mode="collect")
+    runtime = tsan.active()
+
+    binding = counter_module.binding("counter")
+    alpha = env.machine("alpha")
+    beta = env.machine("beta")
+    town = env.machine("client-town")
+    env.install_cache_manager(town)
+    client = env.create_domain(town, "client")
+
+    group = RepliconGroup(binding)
+    replicas = []
+    for machine, label in ((alpha, "rep-a"), (beta, "rep-b")):
+        domain = env.create_domain(machine, label)
+        group.add_replica(domain, CounterImpl())
+        replicas.append(domain)
+    replicon = ship(
+        env.kernel, replicas[0], client, group.make_object(replicas[0]), binding
+    )
+
+    cache_server = env.create_domain(alpha, "cache-server")
+    cached = ship(
+        env.kernel,
+        cache_server,
+        client,
+        CachingServer(cache_server).export(CounterImpl(), binding),
+        binding,
+    )
+
+    single_server = env.create_domain(beta, "single-server")
+    governed = ship(
+        env.kernel,
+        single_server,
+        client,
+        SingletonServer(single_server).export(CounterImpl(), binding),
+        binding,
+    )
+    controller = env.install_admission()
+    controller.govern(governed._rep.door, AdmissionPolicy(limit=64))
+
+    return {
+        "env": env,
+        "runtime": runtime,
+        "group": group,
+        "replicon": replicon,
+        "cached": cached,
+        "governed": governed,
+    }
+
+
+def drive(world, worker_seed: int, calls: int = 40) -> None:
+    """A fixed per-worker call mix over all three subsystems."""
+    targets = [world["replicon"], world["cached"], world["governed"]]
+    for step in range(calls):
+        obj = targets[(step + worker_seed) % len(targets)]
+        try:
+            if (step ^ worker_seed) & 1:
+                obj.add(1)
+            else:
+                obj.total()
+        except CommunicationError:
+            pass  # admission shed under contention is legitimate
+
+
+class TestSoak:
+    @pytest.mark.parametrize("seed", chaos_seeds())
+    def test_src_is_race_clean_under_concurrent_soak(
+        self, seed, counter_module, detector_guard
+    ):
+        world = build_soak_world(seed, counter_module)
+        runtime = world["runtime"]
+        workers = [
+            (lambda ws=ws: drive(world, ws)) for ws in range(4)
+        ]
+        run_concurrently(workers, timeout=120.0)
+        world["group"].prune_dead()
+        _dump_races(runtime, seed)
+        reports = "\n".join(str(race) for race in runtime.races)
+        assert runtime.races == [], f"races in src under soak:\n{reports}"
+        # the soak actually exercised the detector, not a no-op pass
+        assert runtime.stats["edges"] > 0
+        assert runtime.stats["reads"] > 0
+        assert runtime.stats["writes"] > 0
+
+    def test_soak_world_is_deterministic_under_detector(self, counter_module):
+        """Same seed, sequential drive: bit-identical sim totals."""
+        def total(seed: int) -> float:
+            world = build_soak_world(seed, counter_module)
+            try:
+                for ws in range(4):
+                    drive(world, ws)
+                assert world["runtime"].races == []
+                return world["env"].kernel.clock.now_us
+            finally:
+                uninstall_tsan()
+
+        assert total(3) == total(3)
+
+
+class TestRaceClasses:
+    """The canonical fixtures, each detected deterministically."""
+
+    def test_unlocked_write_write(self, kernel, detector_guard):
+        _fresh_runtime(kernel)
+        shared = tsan.track({}, "fixture.ww")
+
+        def writer():
+            shared["hits"] = 1
+
+        with pytest.raises(DataRaceError) as failure:
+            run_concurrently([writer, writer])
+        first, second = failure.value.report.sites()
+        assert "test_tsan_soak.py" in first
+        assert "test_tsan_soak.py" in second
+        assert "fixture.ww" in str(failure.value)
+
+    def test_lock_protected_but_disjoint_locksets(self, kernel, detector_guard):
+        _fresh_runtime(kernel)
+        lock_a = tsan.instrument_lock(threading.Lock(), "fixture.lock-a")
+        lock_b = tsan.instrument_lock(threading.Lock(), "fixture.lock-b")
+        shared = tsan.track({}, "fixture.disjoint")
+
+        def via_a():
+            with lock_a:
+                shared["hits"] = 1
+
+        def via_b():
+            with lock_b:
+                shared["hits"] = 2
+
+        with pytest.raises(DataRaceError) as failure:
+            run_concurrently([via_a, via_b])
+        first, second = failure.value.report.sites()
+        assert first != second
+
+        # control: the same mix through ONE lock is ordered and clean
+        _fresh_runtime(kernel)
+        lock = tsan.instrument_lock(threading.Lock(), "fixture.common")
+        safe = tsan.track({}, "fixture.common-var")
+
+        def via_common(value):
+            with lock:
+                safe["hits"] = value
+
+        run_concurrently([lambda: via_common(1), lambda: via_common(2)])
+
+    def test_missed_join_edge(self, kernel, detector_guard):
+        """The parent's post-join write is safe only because join is an
+        edge; with thread edges disabled the same program races."""
+        def program():
+            shared = tsan.track({}, "fixture.join")
+
+            def child():
+                shared["hits"] = 1
+
+            run_concurrently([child])
+            shared["hits"] = 2  # ordered after child only via the join edge
+
+        _fresh_runtime(kernel)  # defaults: thread_edges=True
+        program()
+
+        _fresh_runtime(kernel, thread_edges=False)
+        with pytest.raises(DataRaceError) as failure:
+            program()
+        assert "fixture.join" in str(failure.value)
+
+    def test_door_handoff_is_not_a_race(self, kernel, detector_guard):
+        """Send-side writes happen-before receive-side reads through the
+        door edge; disabling door edges shows the same access pattern
+        would otherwise be flagged (the suppression is load-bearing)."""
+        def program(runtime):
+            shared = tsan.track({}, "fixture.door")
+            parcel = object()  # stands in for the marshalled buffer
+            sent = threading.Event()
+
+            def sender():
+                shared["payload"] = 1
+                runtime.on_door_send(None, parcel)
+                sent.set()
+
+            def receiver():
+                sent.wait(5.0)
+                runtime.on_door_receive(None, parcel)
+                shared["payload"] = 2
+
+            run_concurrently([sender, receiver])
+
+        program(_fresh_runtime(kernel))  # door_edges=True: clean
+
+        with pytest.raises(DataRaceError) as failure:
+            program(_fresh_runtime(kernel, door_edges=False))
+        assert "fixture.door" in str(failure.value)
+
+
+class TestTwoHeadsMeet:
+    def test_static_finding_reproduces_dynamically(self, kernel, detector_guard):
+        """A mutation springlint flags statically is a race springtsan
+        raises dynamically under a seeded concurrent schedule."""
+        from repro.analysis import default_analyzer
+
+        findings = default_analyzer().run_paths([FIXTURES / "shared_bad.py"])
+        flagged = [f for f in findings if f.rule == "shared-state-discipline"]
+        assert any(f.line for f in flagged), "static head found nothing"
+        assert any("Ledger.balance" in f.message for f in flagged)
+
+        sys.path.insert(0, str(FIXTURES))
+        try:
+            import shared_bad
+        finally:
+            sys.path.remove(str(FIXTURES))
+
+        _fresh_runtime(kernel)
+        ledger = shared_bad.Ledger()
+        teller = shared_bad.Teller()
+
+        with pytest.raises(DataRaceError) as failure:
+            run_concurrently(
+                [
+                    lambda: teller.unlocked_attr_write(ledger),
+                    lambda: teller.unlocked_attr_write(ledger),
+                ]
+            )
+        assert "balance" in str(failure.value)

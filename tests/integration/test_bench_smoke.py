@@ -170,3 +170,43 @@ def test_p1_smoke_sim_time_is_deterministic():
         )
 
     assert measure() == measure()
+
+
+@pytest.fixture(scope="module")
+def p7_results():
+    # run() itself asserts the deterministic P7 gates: uninstalled sim
+    # time bit-for-bit equal to the pre-P7 record, enabled-detector sim
+    # parity, a race-free hot path with sync edges observed, all four
+    # canonical race classes classified correctly, and a clean
+    # whole-program springlint pass over src/.
+    from benchmarks.bench_p7_tsan import run as run_p7
+
+    return run_p7(rounds=ROUNDS, warmup=WARMUP)
+
+
+def test_p7_smoke_uninstalled_tsan_charges_zero_sim_time(p7_results):
+    from benchmarks.bench_p7_tsan import PRE_TSAN_GENERAL_SIM_US
+
+    # The machine-independent form of the 2% overhead gate: with no
+    # detector installed the sim clock's per-call total is bit-for-bit
+    # the pre-P7 figure — the sync-edge hooks cost nothing idle.
+    assert p7_results["uninstalled_general_sim_us"] == pytest.approx(
+        PRE_TSAN_GENERAL_SIM_US, abs=1e-6
+    )
+
+
+def test_p7_smoke_enabled_detector_charges_zero_sim_time(p7_results):
+    # The detector watches the clock, never advances it: even enabled,
+    # sim totals are bit-for-bit the uninstalled figure.
+    assert (
+        p7_results["enabled_general_sim_us"]
+        == p7_results["uninstalled_general_sim_us"]
+    )
+
+
+def test_p7_smoke_race_classes_classify_deterministically(p7_results):
+    assert all(p7_results["race_classes"].values()), p7_results["race_classes"]
+
+
+def test_p7_smoke_whole_program_springlint_is_clean(p7_results):
+    assert p7_results["springlint_whole_program"]["findings"] == 0

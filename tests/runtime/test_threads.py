@@ -1,0 +1,48 @@
+"""run_concurrently semantics: shared deadline, failure propagation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runtime.threads import run_concurrently
+
+
+def test_all_workers_run_to_completion():
+    hits = []
+    run_concurrently([lambda i=i: hits.append(i) for i in range(6)])
+    assert sorted(hits) == list(range(6))
+
+
+def test_first_failure_propagates():
+    def ok():
+        pass
+
+    def boom():
+        raise RuntimeError("worker exploded")
+
+    with pytest.raises(RuntimeError, match="worker exploded"):
+        run_concurrently([ok, boom, ok])
+
+
+def test_timeout_is_a_shared_deadline_not_per_thread():
+    """One deadline covers the whole join loop.
+
+    Four sleepers of 0.7s against timeout=0.25: a per-thread timeout
+    would spend 0.25s on the first join and then reap the remaining
+    three (already finished) threads only after ~0.7s of real time.
+    A shared deadline times out once, before any sleeper finishes.
+    """
+    def sleeper():
+        time.sleep(0.7)
+
+    start = time.monotonic()
+    with pytest.raises(TimeoutError):
+        run_concurrently([sleeper] * 4, timeout=0.25)
+    elapsed = time.monotonic() - start
+    assert elapsed < 0.7, f"join loop overshot the shared deadline: {elapsed:.2f}s"
+
+
+def test_generous_timeout_does_not_trip():
+    run_concurrently([lambda: time.sleep(0.01)] * 3, timeout=5.0)
