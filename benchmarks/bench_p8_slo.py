@@ -1,0 +1,237 @@
+"""P8 — SLO plane bench (windowed quantiles, attribution, obsd head).
+
+Two questions, in the P3/P4/P5/P6/P7 style:
+
+1. **What does the uninstalled windowed feed cost the hot path?**
+   Nothing measurable: with ``tracer.windows = None`` (every tracer's
+   default — and the NullTracer worlds the P1 probe builds never reach
+   even that) each span/event finish is one attribute read and one
+   branch.  The PR gates are the usual pair — the general-stub
+   simulated time stays *bit-for-bit* the pre-P8 figure (asserted on
+   every run against :data:`PRE_P8_GENERAL_SIM_US`), and the PR-time
+   interleaved A/B against a worktree at the pre-P8 commit stays inside
+   the 2% wall gate (committed in :data:`PR_AB_VS_PRE_P8`).
+
+2. **What does the installed plane buy, and at what cost?**  The
+   enabled leg re-measures the same general-stub probe with a live
+   tracer *and* a :class:`~repro.obs.windows.WindowedSeries` attached:
+   wall overhead is recorded (sketch inserts are not free and the
+   number should be honest), the simulated surcharge is the explicit,
+   deterministic ``trace_span``/``window_probe`` tariff (asserted
+   identical across two fresh worlds), and the windowed snapshot the
+   run produces must agree with the live series exactly — the offline
+   analyzer over the wire form IS the live answer.  Micro-legs record
+   the raw :class:`~repro.obs.sketch.Sketch` insert/quantile cost and
+   the end-to-end :class:`~repro.obs.slo.SloEngine` evaluation time so
+   the obsd pull path's constituents are visible in the same artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.bench_p1_hotpath import best_of, build_world
+from benchmarks.conftest import sim_us
+from repro.obs.sketch import Sketch
+from repro.obs.slo import SloEngine, SloPolicy
+from repro.obs.tracer import install_tracer
+from repro.obs.windows import WindowedSeries, install_windows, snapshot_quantile
+
+#: windows-uninstalled wall-us/call may regress at most this fraction
+#: versus the pre-P8 tree measured in the same session
+UNINSTALLED_OVERHEAD_GATE = 0.02
+
+#: general-stub sim-us/call recorded by the PRE-P8 tree (the same figure
+#: P3/P4/P5/P6/P7 pinned: tracing, chaos, admission, the race detector
+#: and now the windowed feed all charge nothing while uninstalled).
+PRE_P8_GENERAL_SIM_US = 111.61000000010245
+
+#: the PR-time wall gate record: ten alternating best-of-6000 rounds of
+#: the P1 general-stub probe on this tree versus a worktree at the
+#: pre-P8 commit (638e430), same machine, same session.  Floor-to-floor
+#: across the alternating rounds (the P3–P7 statistic): best-of 10.65
+#: instrumented vs 10.60 pre-P8 = +0.5%, inside the 2% gate.
+PR_AB_VS_PRE_P8 = {
+    "pre_p8_commit": "638e430",
+    "rounds_per_sample": 6000,
+    "pre_p8_general_wall_us": [
+        10.60, 10.63, 11.14, 10.76, 11.05, 10.73, 11.04, 10.68, 10.62, 10.64,
+    ],
+    "instrumented_general_wall_us": [
+        10.87, 12.23, 11.11, 10.65, 11.12, 10.82, 10.80, 10.98, 10.93, 10.91,
+    ],
+    "best_of_overhead_pct": round(100.0 * (10.65 - 10.60) / 10.60, 1),
+    "gate_pct": 100.0 * UNINSTALLED_OVERHEAD_GATE,
+    "gate": "pass",
+}
+
+
+def sketch_micro(values: int = 100_000) -> dict:
+    """Raw sketch cost: ns/insert and us/quantile at ``values`` items."""
+    sketch = Sketch()
+    seed = 0x9E3779B9
+    samples = []
+    for i in range(values):
+        seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+        samples.append(1.0 + (seed % 1_000_000) / 100.0)
+    start = time.perf_counter()
+    insert = sketch.insert
+    for value in samples:
+        insert(value)
+    insert_ns = 1e9 * (time.perf_counter() - start) / values
+    start = time.perf_counter()
+    reads = 200
+    for _ in range(reads):
+        sketch.quantile(0.99)
+    quantile_us = 1e6 * (time.perf_counter() - start) / reads
+    return {
+        "values": values,
+        "buckets": len(sketch._buckets),
+        "insert_ns": round(insert_ns, 1),
+        "quantile_p99_us": round(quantile_us, 2),
+    }
+
+
+def slo_eval_micro(windows: int = 64, calls_per_window: int = 50) -> dict:
+    """End-to-end SLO evaluation cost over a filled series."""
+    series = WindowedSeries(window_us=1_000.0, retention=windows)
+    for index in range(windows):
+        now = index * 1_000.0 + 1.0
+        for call in range(calls_per_window):
+            series.count("svc", "invocations", now_us=now)
+            series.observe("svc", "invoke_sim_us", 50.0 + call, now_us=now)
+    engine = SloEngine(
+        [
+            SloPolicy(
+                name="bench-latency", scope="svc", latency_p_us=80.0,
+                fast_windows=4, slow_windows=32,
+            ),
+            SloPolicy(
+                name="bench-errors", scope="svc", max_error_rate=0.01,
+                fast_windows=4, slow_windows=32,
+            ),
+        ]
+    )
+    evaluations = 200
+    start = time.perf_counter()
+    for _ in range(evaluations):
+        states = engine.evaluate(series)
+    eval_us = 1e6 * (time.perf_counter() - start) / evaluations
+    # replaying the engine over the wire snapshot must agree exactly
+    replayed = engine.evaluate_snapshot(series.snapshot())
+    assert states == replayed, "snapshot replay diverged from live evaluation"
+    return {
+        "windows": windows,
+        "calls_per_window": calls_per_window,
+        "evaluate_us": round(eval_us, 1),
+        "states": sorted(s["state"] for s in states),
+    }
+
+
+def _windowed_world():
+    """A P1 world with the full obs v2 plane attached."""
+    kernel, raw, general, special = build_world()
+    tracer = install_tracer(kernel)
+    install_windows(tracer, window_us=50_000.0, retention=256)
+    return kernel, general, tracer
+
+
+def run(rounds: int = 20000, warmup: int = 2000) -> dict:
+    """Run the P8 SLO-plane bench; returns the measurement dict."""
+    # Uninstalled leg first: every kernel's default posture (NullTracer,
+    # no windows object anywhere near the hot path).
+    kernel_off, _, general_off, _ = build_world()
+    for _ in range(warmup):
+        general_off.total()
+    sim_off = min(sim_us(kernel_off, general_off.total) for _ in range(5))
+    wall_off = round(best_of(general_off.total, rounds), 2)
+
+    # Enabled leg: same world shape, tracer + windowed series attached.
+    kernel_on, general_on, tracer = _windowed_world()
+    for _ in range(warmup):
+        general_on.total()
+    sim_on = min(sim_us(kernel_on, general_on.total) for _ in range(5))
+    wall_on = round(best_of(general_on.total, rounds), 2)
+    windows = tracer.windows
+    live_p99 = windows.quantile("singleton", "invoke_sim_us", 0.99)
+    wire_p99 = snapshot_quantile(
+        windows.snapshot(), "singleton", "invoke_sim_us", 0.99
+    )
+
+    results = {
+        "rounds": rounds,
+        "uninstalled_general_wall_us": wall_off,
+        "enabled_general_wall_us": wall_on,
+        "uninstalled_general_sim_us": sim_off,
+        "enabled_general_sim_us": sim_on,
+        "enabled_wall_overhead_pct": round(
+            100.0 * (wall_on - wall_off) / wall_off, 1
+        ),
+        "enabled_sim_surcharge_us": round(sim_on - sim_off, 6),
+        "windowed_observations": windows.recorded,
+        "sketch_micro": sketch_micro(),
+        "slo_eval_micro": slo_eval_micro(),
+    }
+
+    # -- deterministic invariants (machine-independent) -----------------
+
+    # Uninstalled mode charges not one simulated nanosecond: sim time
+    # matches the recorded pre-P8 tree bit-for-bit.
+    assert abs(sim_off - PRE_P8_GENERAL_SIM_US) < 1e-6, (
+        f"windows-uninstalled sim time drifted: {sim_off} != pre-P8 "
+        f"record {PRE_P8_GENERAL_SIM_US}"
+    )
+    # The enabled surcharge is a deterministic tariff, not noise: a
+    # second fresh windowed world charges the identical figure.
+    kernel_again, general_again, _ = _windowed_world()
+    for _ in range(warmup):
+        general_again.total()
+    sim_again = min(sim_us(kernel_again, general_again.total) for _ in range(5))
+    assert sim_again == sim_on, (
+        f"enabled sim tariff nondeterministic: {sim_again} != {sim_on}"
+    )
+    assert sim_on > sim_off, "enabled plane charged nothing: feed inert"
+    # The wire form IS the analysis form: offline == live, bit for bit.
+    assert wire_p99 == live_p99 > 0.0, (
+        f"snapshot p99 {wire_p99} != live p99 {live_p99}"
+    )
+    assert windows.recorded > 0, "enabled leg recorded no observations"
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def slo_worlds():
+    _, _, general_off, _ = build_world()
+    _, general_on, _ = _windowed_world()
+    return general_off, general_on
+
+
+@pytest.mark.benchmark(group="P8-slo")
+def bench_p8_uninstalled_general(benchmark, slo_worlds):
+    general_off, _ = slo_worlds
+    benchmark(general_off.total)
+
+
+@pytest.mark.benchmark(group="P8-slo")
+def bench_p8_enabled_general(benchmark, slo_worlds):
+    _, general_on = slo_worlds
+    benchmark(general_on.total)
+
+
+@pytest.mark.bench_smoke
+def bench_p8_shape_and_record(record):
+    results = run(rounds=2000, warmup=500)
+    record("P8", f"uninstalled general: {results['uninstalled_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P8", f"enabled general:     {results['enabled_general_wall_us']:8.2f} wall-us/call (best)")
+    record("P8", f"enabled overhead:    {results['enabled_wall_overhead_pct']:+.1f}% wall, +{results['enabled_sim_surcharge_us']:.2f} sim-us/call tariff (deterministic, asserted)")
+    micro = results["sketch_micro"]
+    record("P8", f"sketch: {micro['insert_ns']:.0f} ns/insert, p99 read {micro['quantile_p99_us']:.2f} us at {micro['values']} values ({micro['buckets']} buckets)")
+    slo = results["slo_eval_micro"]
+    record("P8", f"slo engine: {slo['evaluate_us']:.0f} us/evaluation over {slo['windows']} windows (snapshot replay exact, asserted)")

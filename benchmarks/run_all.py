@@ -56,6 +56,15 @@ classified deterministically, the whole-program springlint timing over
 src/ (serial and ``--jobs 4``, zero findings asserted), and the
 committed PR-time A/B record of the 2% uninstalled-overhead wall gate
 (see :mod:`benchmarks.bench_p7_tsan`).
+
+And ``benchmarks/BENCH_P8.json`` (the PR-8 SLO-plane bench): windowed
+feed uninstalled vs tracer+windows enabled on the same hot path
+(uninstalled sim time bit-for-bit the pre-P8 record, enabled sim
+surcharge deterministic across fresh worlds, snapshot p99 == live p99 —
+all asserted inside the run), the raw sketch insert/quantile micro-leg,
+the SLO-engine evaluation micro-leg with exact snapshot replay, and the
+committed PR-time A/B record of the 2% uninstalled-overhead wall gate
+(see :mod:`benchmarks.bench_p8_slo`).
 """
 
 from __future__ import annotations
@@ -72,6 +81,7 @@ P4_OUT_PATH = BENCH_DIR / "BENCH_P4.json"
 P5_OUT_PATH = BENCH_DIR / "BENCH_P5.json"
 P6_OUT_PATH = BENCH_DIR / "BENCH_P6.json"
 P7_OUT_PATH = BENCH_DIR / "BENCH_P7.json"
+P8_OUT_PATH = BENCH_DIR / "BENCH_P8.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -286,6 +296,40 @@ def run_p7_bench(rounds: int, warmup: int) -> int:
         f"{lint['jobs_4_wall_ms']:.0f} ms at --jobs 4)"
     )
     print(f"wrote {P7_OUT_PATH}")
+    return run_p8_bench(rounds, warmup)
+
+
+def run_p8_bench(rounds: int, warmup: int) -> int:
+    from benchmarks.bench_p8_slo import PR_AB_VS_PRE_P8
+    from benchmarks.bench_p8_slo import run as run_p8
+
+    print(f"P8 SLO-plane bench: {rounds} rounds per configuration ...")
+    p8 = run_p8(rounds=rounds, warmup=warmup)
+    p8_payload = {
+        "bench": "P8-slo",
+        "current": p8,
+        "pr_ab_vs_pre_p8": PR_AB_VS_PRE_P8,
+    }
+    P8_OUT_PATH.write_text(json.dumps(p8_payload, indent=2) + "\n")
+
+    print(
+        f"  uninstalled  {p8['uninstalled_general_wall_us']:7.2f} wall-us/call; "
+        f"enabled {p8['enabled_general_wall_us']:.2f} "
+        f"({p8['enabled_wall_overhead_pct']:+.1f}% wall, "
+        f"+{p8['enabled_sim_surcharge_us']:.2f} sim-us/call tariff)"
+    )
+    micro = p8["sketch_micro"]
+    print(
+        f"  sketch: {micro['insert_ns']:.0f} ns/insert, p99 read "
+        f"{micro['quantile_p99_us']:.2f} us at {micro['values']} values "
+        f"({micro['buckets']} buckets)"
+    )
+    slo = p8["slo_eval_micro"]
+    print(
+        f"  slo engine: {slo['evaluate_us']:.0f} us/evaluation over "
+        f"{slo['windows']} windows (snapshot replay exact, asserted)"
+    )
+    print(f"wrote {P8_OUT_PATH}")
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.analysis.rules.lock_ordering import LockOrderingRule
 from repro.analysis.rules.clock_discipline import ClockDisciplineRule
 from repro.analysis.rules.shared_state_discipline import SharedStateDisciplineRule
 from repro.analysis.rules.unbounded_queue import UnboundedQueueRule
+from repro.analysis.rules.metrics_naming import MetricsNamingRule
 
 __all__ = [
     "ALL_RULES",
@@ -26,6 +27,7 @@ __all__ = [
     "ClockDisciplineRule",
     "SharedStateDisciplineRule",
     "UnboundedQueueRule",
+    "MetricsNamingRule",
 ]
 
 ALL_RULES = (
@@ -37,4 +39,5 @@ ALL_RULES = (
     ClockDisciplineRule,
     SharedStateDisciplineRule,
     UnboundedQueueRule,
+    MetricsNamingRule,
 )

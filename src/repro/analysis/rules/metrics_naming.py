@@ -1,0 +1,168 @@
+"""metrics-naming: telemetry names must be literal ``scope.name`` strings.
+
+The windowed telemetry plane (PR 8) aggregates by exact string key: the
+offline analyzer, the SLO engine, and the ``obsd`` service all look up
+``(scope, name)`` pairs that must match what the emit site wrote.  A
+name computed at runtime (f-string, concatenation, variable) breaks
+that contract twice over:
+
+* **grep-ability** — ``rg '"cache.hit"'`` must find every emit site of a
+  series; dashboards and SLO policies reference the literal string, so
+  the literal string has to exist in the source;
+* **cardinality** — interpolating a request-scoped value into a metric
+  name (``f"door.{door_id}.sim_us"``) mints an unbounded family of
+  series, which is the windowed plane's version of an unbounded queue.
+
+Two checks, both lexical:
+
+* ``<tracer>.event(<name>, ...)`` — the first argument must be a string
+  literal of the dotted form ``scope.name`` (``"cache.hit"``,
+  ``"retry.backoff"``); a conditional expression over such literals
+  (``"a.b" if flag else "a.c"``) is fine because both arms are still
+  grep-able.
+* ``<metrics>.counter(scope, <name>)`` / ``.histogram(scope, <name>)``
+  — the *name* argument must be a plain literal (``"invocations"``,
+  ``"queue_wait_us"``); the scope may be computed (it is routinely the
+  subcontract id).
+
+Receivers are matched by name (``tracer`` / ``metrics`` anywhere in the
+attribute tail), which is the codebase convention.  Generic relays that
+forward a caller-supplied name carry a targeted suppression::
+
+    tracer.event(name, ...)  # springlint: disable=metrics-naming -- relay
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Rule, SourceModule
+
+__all__ = ["MetricsNamingRule"]
+
+#: event names: lowercase dotted scope.name (at least one dot)
+_EVENT_NAME = re.compile(r"^[a-z0-9_]+\.[a-z0-9_.]+$")
+
+#: counter/histogram names: lowercase words, dots allowed, no interpolation
+_METRIC_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def _receiver_tail(node: ast.expr) -> str | None:
+    """The receiver's trailing name: ``kernel.tracer`` -> ``tracer``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_tracerish(name: str | None) -> bool:
+    return name is not None and "tracer" in name.lower()
+
+
+def _is_metricsish(name: str | None) -> bool:
+    return name is not None and "metric" in name.lower()
+
+
+def _literal_ok(node: ast.expr, pattern: re.Pattern) -> bool:
+    """True when ``node`` is a matching literal (or a conditional whose
+    arms are both matching literals — still grep-able, still bounded)."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, str) and bool(pattern.match(node.value))
+    if isinstance(node, ast.IfExp):
+        return _literal_ok(node.body, pattern) and _literal_ok(node.orelse, pattern)
+    return False
+
+
+def _name_argument(call: ast.Call, position: int, keyword: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+class MetricsNamingRule(Rule):
+    name = "metrics-naming"
+    description = (
+        "tracer events and metric names must be literal dotted strings "
+        "at the emit site (grep-able, bounded-cardinality)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = _receiver_tail(func.value)
+            if func.attr == "event" and _is_tracerish(receiver):
+                yield from self._check_event(module, node)
+            elif func.attr in ("counter", "histogram") and _is_metricsish(receiver):
+                yield from self._check_metric(module, node, func.attr)
+
+    def _check_event(self, module: SourceModule, call: ast.Call) -> Iterator[Finding]:
+        arg = _name_argument(call, 0, "name")
+        if arg is None or _literal_ok(arg, _EVENT_NAME):
+            return
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            message = (
+                f"event name {arg.value!r} is not of the dotted "
+                "scope.name form the windowed plane aggregates by"
+            )
+            hint = 'name events "scope.what", e.g. "cache.hit" or "retry.backoff"'
+        else:
+            message = (
+                "event name is computed at runtime: non-literal names "
+                "defeat grep-ability and can mint unbounded metric "
+                "cardinality"
+            )
+            hint = (
+                "emit a literal dotted name here, or suppress a generic "
+                "relay with a justified # springlint: disable=metrics-naming"
+            )
+        yield Finding(
+            rule=self.name,
+            path=module.path,
+            line=call.lineno,
+            col=call.col_offset,
+            severity="error",
+            message=message,
+            hint=hint,
+        )
+
+    def _check_metric(
+        self, module: SourceModule, call: ast.Call, kind: str
+    ) -> Iterator[Finding]:
+        arg = _name_argument(call, 1, "name")
+        if arg is None or _literal_ok(arg, _METRIC_NAME):
+            return
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            message = (
+                f"{kind} name {arg.value!r} is not a plain lowercase "
+                "dotted identifier"
+            )
+            hint = 'use lowercase words joined by _ or ., e.g. "queue_wait_us"'
+        else:
+            message = (
+                f"{kind} name is computed at runtime: the SLO/attribution "
+                "plane looks series up by exact literal (scope, name) keys"
+            )
+            hint = (
+                "pass a literal name (the scope argument may be computed), "
+                "or suppress a generic relay with a justified "
+                "# springlint: disable=metrics-naming"
+            )
+        yield Finding(
+            rule=self.name,
+            path=module.path,
+            line=call.lineno,
+            col=call.col_offset,
+            severity="error",
+            message=message,
+            hint=hint,
+        )

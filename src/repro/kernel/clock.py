@@ -55,6 +55,10 @@ class CostModel:
     # enabled, so untraced runs accumulate bit-for-bit identical totals.
     trace_span_us: float = 0.6
     trace_event_us: float = 0.15
+    # Windowed-telemetry probe cost (repro.obs v2): charged per sketch/
+    # counter update only while a WindowedSeries is installed on the
+    # tracer; uninstalled runs charge nothing.
+    window_probe_us: float = 0.1
 
 
 class _TallyShard:

@@ -84,6 +84,7 @@ from repro.net.procworker import (
 )
 from repro.obs.export import span_record
 from repro.obs.metrics import merge_snapshots
+from repro.obs.windows import merge_window_snapshots
 from repro.subcontracts.common import SingleDoorRep
 from repro.subcontracts.shm import PreambleRing
 
@@ -182,6 +183,7 @@ class ProcFabric:
         bootstrap: Callable[[Any, int], dict] | None = None,
         seed: int = 1993,
         trace: bool = False,
+        windows: "dict | bool" = False,
         ring_bytes: int = DEFAULT_RING_BYTES,
         ring_min: int = DEFAULT_RING_MIN,
         log_dir: str | None = None,
@@ -196,6 +198,11 @@ class ProcFabric:
         self.bootstrap = bootstrap
         self.seed = seed
         self.trace = trace
+        # Windowed telemetry needs span records, hence tracing: a truthy
+        # ``windows`` (True, or an install_windows kwargs dict) implies it.
+        if windows and not trace:
+            raise ProcFabricError("windows=... requires trace=True")
+        self.windows = windows
         self.ring_bytes = ring_bytes
         self.ring_min = ring_min
         self.log_dir = log_dir if log_dir is not None else os.environ.get(
@@ -240,6 +247,7 @@ class ProcFabric:
         config = {
             "seed": self.seed,
             "trace": self.trace,
+            "windows": self.windows,
             "log_dir": self.log_dir,
             "ring_min": self.ring_min,
         }
@@ -580,11 +588,17 @@ class ProcFabric:
             return False
 
     def pull_obs(self, worker: int) -> dict:
-        """One worker's spans, metrics, clock, and call count."""
+        """One worker's spans, metrics, windows, clock, and call count."""
         return json.loads(self._control(worker, OP_OBS_PULL))
 
     def merged_spans(self) -> list[dict]:
-        """Supervisor + worker span records, tagged with their process."""
+        """Supervisor + worker span records, tagged with their process.
+
+        Deterministically ordered by ``(trace_id, span_id, process)``:
+        worker span ids live in disjoint per-worker bands, so the same
+        set of calls yields the same record order no matter which
+        worker replied first or how the pull interleaved.
+        """
         records: list[dict] = []
         tracer = self.kernel.tracer
         if tracer.enabled:
@@ -602,6 +616,7 @@ class ProcFabric:
             for rec in spans:
                 rec["process"] = f"worker{handle.index}"
                 records.append(rec)
+        records.sort(key=lambda r: (r["trace_id"], r["span_id"], r["process"]))
         return records
 
     def merged_metrics(self) -> dict:
@@ -618,6 +633,30 @@ class ProcFabric:
             except (ServerDiedError, CommunicationError):
                 continue  # died between the check and the roundtrip
         return merge_snapshots(*snapshots)
+
+    def merged_windows(self) -> dict:
+        """Windowed snapshots merged across processes (obs v2).
+
+        Workers booted with ``windows=...`` ship their snapshot in the
+        OBS_PULL document; the supervisor's own series (if installed)
+        joins the merge.  Sketch merges are exactly associative, so the
+        merged quantiles are independent of worker pull order.
+        """
+        snapshots = []
+        tracer = self.kernel.tracer
+        windows = getattr(tracer, "windows", None)
+        if windows is not None:
+            snapshots.append(windows.snapshot())
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            try:
+                snapshot = self.pull_obs(handle.index).get("windows")
+            except (ServerDiedError, CommunicationError):
+                continue  # died between the check and the roundtrip
+            if snapshot:
+                snapshots.append(snapshot)
+        return merge_window_snapshots(*snapshots)
 
     def stats(self) -> dict:
         """Supervisor-side transport counters, per worker."""

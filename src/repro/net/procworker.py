@@ -153,6 +153,13 @@ def _serve(
         band = (index + 1) << _ID_BAND_SHIFT
         tracer._trace_ids = itertools.count(band + 1)
         tracer._span_ids = itertools.count(band + 1)
+        windows = config.get("windows")
+        if windows:
+            from repro.obs.windows import install_windows
+
+            install_windows(
+                tracer, **(windows if isinstance(windows, dict) else {})
+            )
 
     exported = bootstrap(env, index)
     table: dict[int, Any] = {}
@@ -281,9 +288,11 @@ def _serve_control(
         return json.dumps(doc).encode("utf-8"), False
     if op == OP_OBS_PULL:
         tracer = kernel.tracer
+        windows = getattr(tracer, "windows", None)
         doc = {
             "spans": [span_record(s) for s in tracer.spans()] if tracer.enabled else [],
             "metrics": tracer.metrics.snapshot() if tracer.enabled else {},
+            "windows": windows.snapshot() if windows is not None else None,
             "clock_now_us": kernel.clock.now_us,
             "calls_served": calls_served,
         }

@@ -24,10 +24,25 @@ Design constraints (see ``docs/observability.md``):
 * **Per-domain ring collection.**  Finished spans land in a fixed-size
   per-domain ring (no lock, no unbounded growth); exporters and the CLI
   merge the rings.
+
+The v2 analysis layer builds on the same feed (see
+``docs/observability.md``): :class:`~repro.obs.sketch.Sketch` gives
+relative-error quantiles, :class:`~repro.obs.windows.WindowedSeries`
+buckets them into tumbling sim-time windows,
+:mod:`repro.obs.attribution` decomposes call latency into named
+segments, and :mod:`repro.obs.slo` evaluates declarative SLO policies
+with burn-rate alerting — all deterministic, all mergeable across
+processes, and all served back through the runtime's own doors by
+:mod:`repro.services.obsd`.
 """
 
 from __future__ import annotations
 
+from repro.obs.attribution import (
+    attribution_json,
+    attribution_report,
+    render_attribution,
+)
 from repro.obs.export import (
     chrome_trace,
     render_metrics,
@@ -37,25 +52,60 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsMergeError,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from repro.obs.ring import TraceRing
+from repro.obs.sketch import Sketch, SketchMergeError
+from repro.obs.slo import SloEngine, SloPolicy, render_slo, slo_json
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer, install_tracer
+from repro.obs.windows import (
+    WindowedSeries,
+    WindowMergeError,
+    install_windows,
+    merge_window_snapshots,
+    snapshot_counter_total,
+    snapshot_quantile,
+    uninstall_windows,
+)
 
 __all__ = [
     "Counter",
     "Histogram",
+    "MetricsMergeError",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "Sketch",
+    "SketchMergeError",
+    "SloEngine",
+    "SloPolicy",
     "Span",
     "TraceRing",
     "Tracer",
+    "WindowMergeError",
+    "WindowedSeries",
+    "attribution_json",
+    "attribution_report",
     "chrome_trace",
     "install_tracer",
+    "install_windows",
+    "merge_snapshots",
+    "merge_window_snapshots",
+    "render_attribution",
     "render_metrics",
+    "render_slo",
     "render_summary",
     "render_tree",
+    "slo_json",
+    "snapshot_counter_total",
+    "snapshot_quantile",
     "span_record",
+    "uninstall_windows",
     "write_chrome_trace",
     "write_jsonl",
 ]

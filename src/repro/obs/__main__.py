@@ -2,18 +2,30 @@
 
 Subcommands:
 
-* ``demo``     run the two-machine demo, print the trace tree, and
+* ``demo``         run the two-machine demo, print the trace tree, and
   optionally export JSONL / Chrome trace files;
-* ``tree``     render a trace tree from a JSONL export;
-* ``summary``  render the span-latency summary from a JSONL export;
-* ``metrics``  run the demo and dump the per-subcontract metrics.
+* ``tree``         render a trace tree from a JSONL export;
+* ``summary``      render the span-latency summary from a JSONL export;
+* ``metrics``      run the demo and dump the per-subcontract metrics;
+* ``attribution``  latency-attribution waterfall (from a JSONL export,
+  or the demo when no path is given);
+* ``slo``          run the demo with windowed telemetry and evaluate
+  the default SLO policies;
+* ``report``       demo + windows: attribution, SLO states, and the
+  windowed snapshot in one deterministic report (the CI artifact).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.obs.attribution import (
+    attribution_json,
+    attribution_report,
+    render_attribution,
+)
 from repro.obs.demo import run_demo
 from repro.obs.export import (
     load_jsonl,
@@ -23,6 +35,29 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.slo import SloEngine, SloPolicy, render_slo, slo_json
+
+
+def _demo_engine() -> SloEngine:
+    """The demo's SLO policies: one per demo subcontract scope."""
+    return SloEngine(
+        [
+            SloPolicy(
+                name="cluster-latency",
+                scope="cluster",
+                latency_p_us=5_000.0,
+                fast_windows=1,
+                slow_windows=8,
+            ),
+            SloPolicy(
+                name="caching-errors",
+                scope="caching",
+                max_error_rate=0.01,
+                fast_windows=1,
+                slow_windows=8,
+            ),
+        ]
+    )
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -58,6 +93,59 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attribution(args: argparse.Namespace) -> int:
+    if args.path:
+        records = load_jsonl(args.path)
+    else:
+        _, tracer = run_demo()
+        records = tracer.spans()
+    report = attribution_report(records)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(attribution_json(report))
+            fh.write("\n")
+        print(f"wrote attribution report to {args.json}")
+    print(render_attribution(report))
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    _, tracer = run_demo(windows=True)
+    states = _demo_engine().evaluate(tracer.windows)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(slo_json(states))
+            fh.write("\n")
+        print(f"wrote SLO states to {args.json}")
+    print(render_slo(states))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    _, tracer = run_demo(windows=True)
+    report = attribution_report(tracer.spans())
+    states = _demo_engine().evaluate(tracer.windows)
+    if args.attribution:
+        with open(args.attribution, "w", encoding="utf-8") as fh:
+            fh.write(attribution_json(report))
+            fh.write("\n")
+        print(f"wrote attribution report to {args.attribution}")
+    if args.slo:
+        with open(args.slo, "w", encoding="utf-8") as fh:
+            fh.write(slo_json(states))
+            fh.write("\n")
+        print(f"wrote SLO states to {args.slo}")
+    if args.windows:
+        with open(args.windows, "w", encoding="utf-8") as fh:
+            json.dump(tracer.windows.snapshot(), fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        print(f"wrote windowed snapshot to {args.windows}")
+    print(render_attribution(report))
+    print()
+    print(render_slo(states))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -80,6 +168,27 @@ def main(argv: list[str] | None = None) -> int:
 
     metrics = sub.add_parser("metrics", help="run the demo and dump metrics")
     metrics.set_defaults(func=_cmd_metrics)
+
+    attribution = sub.add_parser(
+        "attribution", help="latency-attribution waterfall (JSONL or demo)"
+    )
+    attribution.add_argument(
+        "path", nargs="?", help="JSONL export; omitted = run the demo"
+    )
+    attribution.add_argument("--json", help="also write the report as JSON")
+    attribution.set_defaults(func=_cmd_attribution)
+
+    slo = sub.add_parser("slo", help="demo SLO states over windowed telemetry")
+    slo.add_argument("--json", help="also write the states as JSON")
+    slo.set_defaults(func=_cmd_slo)
+
+    report = sub.add_parser(
+        "report", help="demo attribution + SLO + windows in one report"
+    )
+    report.add_argument("--attribution", help="write attribution JSON here")
+    report.add_argument("--slo", help="write SLO-state JSON here")
+    report.add_argument("--windows", help="write the windowed snapshot here")
+    report.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,312 @@
+"""Trace-driven latency attribution: where did the p99 go?
+
+Spans say *that* a call took 1.4ms; this module says *where*.  Each
+invoke span's simulated time is decomposed into named **segments** by
+walking its subtree:
+
+* a span's **self time** (duration minus the durations of its recorded
+  children) is attributed to the segment of its category — ``invoke``
+  self time is stub/marshal work, ``door`` self time is kernel door
+  traversal, ``fabric`` is wire time, ``handler`` is server-side
+  delivery, ``skeleton`` is dispatch, ``netserver`` is boundary
+  translation;
+* **events that carry an amount** pull known waits out of the enclosing
+  span's self time into their own segment: ``admission.queued``'s
+  ``wait_us`` becomes ``admission_wait``, ``reconnect.retry`` /
+  ``reconnect.busy_backoff`` / ``retry.backoff``'s ``backoff_us``
+  become ``retry_backoff``, and ``chaos.link_delay``'s ``delay_us``
+  becomes ``chaos_delay``.
+
+Calls are grouped two ways — per ``(subcontract, op)`` and per door
+(the first ``door``-category child's name) — and each group reports
+exact order-statistic quantiles over its call durations plus a
+**waterfall**: the mean segment decomposition over all calls and over
+the calls at or above the group p99 ("where the p99 went").
+
+The analyzer is offline and deterministic: it consumes span records
+(live :class:`~repro.obs.tracer.Span` objects or the JSONL dict form),
+never touches the clock, tolerates orphan spans (parents lost to
+``TraceRing`` overflow become their own attribution roots and are
+counted in the report), and renders byte-identical text/JSON for
+identical span sets regardless of input order.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Sequence
+
+from repro.obs.export import _as_records
+
+__all__ = [
+    "SEGMENT_FOR_CATEGORY",
+    "EVENT_SEGMENTS",
+    "attribute",
+    "attribution_report",
+    "render_attribution",
+    "attribution_json",
+]
+
+#: span category -> segment its *self* time is attributed to
+SEGMENT_FOR_CATEGORY = {
+    "invoke": "stub",
+    "door": "door",
+    "fabric": "wire",
+    "netserver": "netserver",
+    "handler": "handler",
+    "skeleton": "dispatch",
+}
+
+#: event name -> (segment, detail key carrying the simulated amount)
+EVENT_SEGMENTS = {
+    "admission.queued": ("admission_wait", "wait_us"),
+    "retry.backoff": ("retry_backoff", "backoff_us"),
+    "reconnect.retry": ("retry_backoff", "backoff_us"),
+    "reconnect.busy_backoff": ("retry_backoff", "backoff_us"),
+    "chaos.link_delay": ("chaos_delay", "delay_us"),
+}
+
+#: catch-all for time a span spent that no child or event explains
+#: (including children lost to ring overflow)
+_OTHER = "other"
+
+
+def _event_segments(rec: dict) -> dict[str, float]:
+    """Amount-carrying event time on one span, clamped to its duration."""
+    out: dict[str, float] = {}
+    budget = rec["duration_us"]
+    for evt in rec.get("events", ()):
+        known = EVENT_SEGMENTS.get(evt.get("name"))
+        if known is None:
+            continue
+        segment, key = known
+        amount = evt.get(key)
+        if isinstance(amount, (int, float)) and amount > 0.0:
+            amount = min(float(amount), budget)
+            out[segment] = out.get(segment, 0.0) + amount
+    total = sum(out.values())
+    if total > budget > 0.0:
+        # Events claim more than the span lasted (rounded details);
+        # scale down proportionally so segments never exceed the span.
+        scale = budget / total
+        out = {segment: amount * scale for segment, amount in out.items()}
+    return out
+
+
+def attribute(spans: "Sequence | Sequence[dict]") -> dict:
+    """Decompose every invoke span's time into named segments.
+
+    Returns ``{"calls": [...], "orphans": int, "spans": int}`` where
+    each call dict carries ``trace_id``/``span_id``, grouping keys
+    (``subcontract``, ``op``, ``door``), ``duration_us``, ``status``
+    and a ``segments`` mapping whose values sum to ``duration_us``.
+    """
+    records = _as_records(spans)
+    by_id: dict[tuple[int, int], dict] = {}
+    for rec in records:
+        by_id[(rec["trace_id"], rec["span_id"])] = rec
+    children: dict[tuple[int, int], list[dict]] = defaultdict(list)
+    orphans = 0
+    for rec in records:
+        parent = (rec["trace_id"], rec["parent_id"])
+        if rec["parent_id"] and parent in by_id:
+            children[parent].append(rec)
+        elif rec["parent_id"]:
+            orphans += 1
+    for recs in children.values():
+        recs.sort(key=lambda r: (r["start_sim_us"], r["span_id"]))
+
+    def _self_us(rec: dict) -> float:
+        kids = children.get((rec["trace_id"], rec["span_id"]), ())
+        own = rec["duration_us"] - sum(k["duration_us"] for k in kids)
+        return own if own > 0.0 else 0.0
+
+    calls = []
+    for rec in records:
+        if rec["category"] != "invoke":
+            continue
+        segments: dict[str, float] = {}
+        door_name = None
+        # Iterative subtree walk from this invoke, cycle-safe.
+        stack = [rec]
+        seen: set[tuple[int, int]] = set()
+        while stack:
+            node = stack.pop()
+            node_id = (node["trace_id"], node["span_id"])
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            if (
+                door_name is None
+                and node is not rec
+                and node["category"] == "door"
+            ):
+                door_name = node["name"]
+            events = _event_segments(node)
+            own = _self_us(node)
+            explained = sum(events.values())
+            if explained > own:
+                # The event waits span child time too (e.g. a backoff
+                # around a whole nested call); keep the event segments,
+                # zero the remaining self share.
+                own = 0.0
+            else:
+                own -= explained
+            for segment, amount in events.items():
+                segments[segment] = segments.get(segment, 0.0) + amount
+            segment = SEGMENT_FOR_CATEGORY.get(node["category"], _OTHER)
+            if own > 0.0:
+                segments[segment] = segments.get(segment, 0.0) + own
+            stack.extend(children.get(node_id, ()))
+        explained = sum(segments.values())
+        unexplained = rec["duration_us"] - explained
+        if unexplained > 1e-9:
+            segments[_OTHER] = segments.get(_OTHER, 0.0) + unexplained
+        elif unexplained < 0.0 and explained > 0.0:
+            # Children that overlap in sim time (parallel fabric legs,
+            # door handoffs measured on both sides) double-count; scale
+            # the waterfall back so segments always sum to the call.
+            scale = rec["duration_us"] / explained
+            for segment in segments:
+                segments[segment] *= scale
+        calls.append(
+            {
+                "trace_id": rec["trace_id"],
+                "span_id": rec["span_id"],
+                "subcontract": rec.get("subcontract") or "unknown",
+                "op": rec["name"],
+                "door": door_name or "(local)",
+                "duration_us": rec["duration_us"],
+                "status": rec["status"],
+                "segments": segments,
+            }
+        )
+    calls.sort(key=lambda c: (c["trace_id"], c["span_id"]))
+    return {"calls": calls, "orphans": orphans, "spans": len(records)}
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Exact nearest-rank quantile over a sorted list (deterministic)."""
+    if not sorted_values:
+        return 0.0
+    index = round(q * (len(sorted_values) - 1))
+    return sorted_values[index]
+
+
+def _aggregate(calls: list[dict], key: str, kind: str) -> list[dict]:
+    groups: dict[str | tuple, list[dict]] = defaultdict(list)
+    for call in calls:
+        if key == "op":
+            groups[(call["subcontract"], call["op"])].append(call)
+        else:
+            groups[call[key]].append(call)
+    out = []
+    for group_key in sorted(groups, key=str):
+        members = groups[group_key]
+        durations = sorted(c["duration_us"] for c in members)
+        p99 = _quantile(durations, 0.99)
+        tail = [c for c in members if c["duration_us"] >= p99] or members
+
+        def _mean_segments(subset: list[dict]) -> dict[str, float]:
+            sums: dict[str, float] = {}
+            for call in subset:
+                for segment, amount in call["segments"].items():
+                    sums[segment] = sums.get(segment, 0.0) + amount
+            return {
+                segment: round(total / len(subset), 3)
+                for segment, total in sorted(sums.items())
+            }
+
+        label = (
+            f"{group_key[0]}.{group_key[1]}" if key == "op" else str(group_key)
+        )
+        out.append(
+            {
+                "kind": kind,
+                "key": label,
+                "count": len(members),
+                "errors": sum(1 for c in members if c["status"] != "ok"),
+                "total_us": round(sum(durations), 3),
+                "p50_us": round(_quantile(durations, 0.50), 3),
+                "p90_us": round(_quantile(durations, 0.90), 3),
+                "p99_us": round(p99, 3),
+                "max_us": round(durations[-1], 3),
+                "segments": _mean_segments(members),
+                "p99_segments": _mean_segments(tail),
+                "p99_calls": len(tail),
+            }
+        )
+    out.sort(key=lambda g: (-g["total_us"], g["key"]))
+    return out
+
+
+def attribution_report(spans: "Sequence | Sequence[dict]") -> dict:
+    """The full waterfall report: per-door and per-op groups."""
+    attributed = attribute(spans)
+    calls = attributed["calls"]
+    return {
+        "calls": len(calls),
+        "spans": attributed["spans"],
+        "orphans": attributed["orphans"],
+        "doors": _aggregate(calls, "door", "door"),
+        "ops": _aggregate(calls, "op", "op"),
+    }
+
+
+def _render_group(group: dict, lines: list[str]) -> None:
+    lines.append(
+        f"  {group['key']:<40} calls={group['count']:<6} errors={group['errors']:<4}"
+        f" p50={group['p50_us']:.2f}us p90={group['p90_us']:.2f}us"
+        f" p99={group['p99_us']:.2f}us max={group['max_us']:.2f}us"
+    )
+    mean_total = sum(group["segments"].values()) or 1.0
+    for segment, amount in sorted(
+        group["segments"].items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        share = 100.0 * amount / mean_total
+        lines.append(f"    {segment:<18} {amount:>12.2f}us  {share:5.1f}%  (mean)")
+    tail_total = sum(group["p99_segments"].values())
+    if tail_total > 0.0:
+        lines.append(
+            f"    -- where the p99 went ({group['p99_calls']} call(s) >= p99):"
+        )
+        for segment, amount in sorted(
+            group["p99_segments"].items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            share = 100.0 * amount / tail_total
+            lines.append(f"    {segment:<18} {amount:>12.2f}us  {share:5.1f}%")
+
+
+def render_attribution(
+    spans_or_report: "Sequence | Sequence[dict] | dict",
+) -> str:
+    """Deterministic text rendering of the attribution waterfall."""
+    report = (
+        spans_or_report
+        if isinstance(spans_or_report, dict)
+        else attribution_report(spans_or_report)
+    )
+    lines = [
+        f"latency attribution: {report['calls']} call(s) over"
+        f" {report['spans']} span(s), {report['orphans']} orphan(s)"
+    ]
+    if report["doors"]:
+        lines.append("per door:")
+        for group in report["doors"]:
+            _render_group(group, lines)
+    if report["ops"]:
+        lines.append("per op:")
+        for group in report["ops"]:
+            _render_group(group, lines)
+    return "\n".join(lines)
+
+
+def attribution_json(spans_or_report: "Sequence | Sequence[dict] | dict") -> str:
+    """The report as canonical (sorted-keys) JSON."""
+    report = (
+        spans_or_report
+        if isinstance(spans_or_report, dict)
+        else attribution_report(spans_or_report)
+    )
+    return json.dumps(report, sort_keys=True, indent=1)

@@ -87,10 +87,19 @@ def _ship(env: Environment, src, dst, obj, binding):
     return binding.unmarshal_from(buffer, dst)
 
 
-def build_demo_world() -> dict:
-    """Stand up the two-machine world with tracing installed."""
+def build_demo_world(windows: bool = False) -> dict:
+    """Stand up the two-machine world with tracing installed.
+
+    ``windows=True`` also attaches a :class:`WindowedSeries` (small
+    windows so the short demo workload still spreads across several),
+    which is what the CLI's attribution/SLO subcommands feed on.
+    """
     env = Environment()
     tracer = install_tracer(env.kernel)
+    if windows:
+        from repro.obs.windows import install_windows
+
+        install_windows(tracer, window_us=2_000.0, retention=64)
 
     alpha = env.machine("alpha")
     beta = env.machine("beta")
@@ -130,9 +139,9 @@ def build_demo_world() -> dict:
     }
 
 
-def run_demo() -> tuple[Environment, Tracer]:
+def run_demo(windows: bool = False) -> tuple[Environment, Tracer]:
     """Run the scenario; returns the environment and its tracer."""
-    world = build_demo_world()
+    world = build_demo_world(windows=windows)
     counter = world["counter"]
     store = world["store"]
 

@@ -95,6 +95,9 @@ def chrome_trace(spans: "Sequence[Span]") -> dict:
     pids: dict[str, int] = {}
     tids: dict[str, int] = {}
     events: list[dict] = []
+    # Spans whose parent was lost to TraceRing overflow still render —
+    # flagged so a viewer knows the gap is collection, not causality.
+    present = {(span.trace_id, span.span_id) for span in spans}
 
     def _pid(machine: str) -> int:
         pid = pids.get(machine)
@@ -140,6 +143,8 @@ def chrome_trace(spans: "Sequence[Span]") -> dict:
             args["subcontract"] = span.subcontract
         if span.error_type:
             args["error_type"] = span.error_type
+        if span.parent_id and (span.trace_id, span.parent_id) not in present:
+            args["orphan"] = True
         args.update(span.attrs)
         events.append(
             {
@@ -235,11 +240,24 @@ def render_tree(spans: "Sequence[Span] | Sequence[dict]") -> str:
 
 
 def render_summary(spans: "Sequence[Span] | Sequence[dict]") -> str:
-    """Per-(category, name) latency table: count, total, mean, max, errors."""
+    """Per-(category, name) latency table: count, total, mean, max, errors.
+
+    Orphan spans — parent lost to TraceRing overflow — are counted in
+    their group like any other span, and a footer reports how many of
+    the rendered spans were orphans so a truncated collection is visible
+    in the summary itself.
+    """
     records = _as_records(spans)
     groups: dict[tuple[str, str], list[dict]] = defaultdict(list)
+    present: set[tuple[int, int]] = set()
     for rec in records:
         groups[(rec["category"], rec["name"])].append(rec)
+        present.add((rec["trace_id"], rec["span_id"]))
+    orphans = sum(
+        1
+        for rec in records
+        if rec["parent_id"] and (rec["trace_id"], rec["parent_id"]) not in present
+    )
 
     header = f"{'span':<42} {'count':>6} {'total_us':>12} {'mean_us':>10} {'max_us':>10} {'errors':>6}"
     lines = [header, "-" * len(header)]
@@ -252,6 +270,10 @@ def render_summary(spans: "Sequence[Span] | Sequence[dict]") -> str:
             f"{category + ':' + name:<42} {len(recs):>6} {sum(durations):>12.2f}"
             f" {sum(durations) / len(durations):>10.2f} {max(durations):>10.2f}"
             f" {errors:>6}"
+        )
+    if orphans:
+        lines.append(
+            f"({orphans} orphan span(s): parent records lost to ring overflow)"
         )
     return "\n".join(lines)
 

@@ -15,12 +15,24 @@ from typing import Iterable
 __all__ = [
     "Counter",
     "Histogram",
+    "MetricsMergeError",
     "MetricsRegistry",
     "merge_snapshots",
     "LATENCY_BUCKETS_US",
     "BYTES_BUCKETS",
     "RETRY_BUCKETS",
 ]
+
+
+class MetricsMergeError(ValueError):
+    """Histograms with incompatible bucket bounds were combined.
+
+    Raised both when :func:`merge_snapshots` meets two snapshots whose
+    histograms disagree on bounds, and when a caller re-requests an
+    existing histogram from a registry with *different* bounds — the
+    silent version of the same corruption: observations would land in a
+    bucket layout the caller did not ask for.
+    """
 
 #: simulated-microsecond latency bounds, spanning a local indirect call
 #: (sub-µs) through cross-machine calls with retry backoff (hundreds of ms)
@@ -100,12 +112,30 @@ class MetricsRegistry:
         return counter
 
     def histogram(
-        self, scope: str, name: str, bounds: Iterable[float] = LATENCY_BUCKETS_US
+        self, scope: str, name: str, bounds: "Iterable[float] | None" = None
     ) -> Histogram:
+        """The histogram at ``(scope, name)``, created on first use.
+
+        ``bounds=None`` accepts whatever bounds the histogram already
+        has (readers never need to know them) and falls back to
+        :data:`LATENCY_BUCKETS_US` on creation.  Passing explicit
+        bounds that disagree with the registered ones raises
+        :class:`MetricsMergeError` — silently observing into a
+        different bucket layout would corrupt every later merge.
+        """
         key = (scope, name)
         histogram = self._histograms.get(key)
         if histogram is None:
-            histogram = self._histograms[key] = Histogram(bounds)
+            histogram = self._histograms[key] = Histogram(
+                LATENCY_BUCKETS_US if bounds is None else bounds
+            )
+        elif bounds is not None:
+            requested = tuple(float(b) for b in bounds)
+            if requested != histogram.bounds:
+                raise MetricsMergeError(
+                    f"histogram {scope!r}/{name!r} already exists with bounds "
+                    f"{histogram.bounds}; re-requested with {requested}"
+                )
         return histogram
 
     def snapshot(self) -> dict:
@@ -120,12 +150,13 @@ class MetricsRegistry:
         return out
 
 
-def _merge_histogram(into: dict, add: dict) -> dict:
+def _merge_histogram(into: dict, add: dict, scope: str, name: str) -> dict:
     """Merge one histogram snapshot into another (matching bounds)."""
     if list(into["bounds"]) != list(add["bounds"]):
-        raise ValueError(
-            f"cannot merge histograms with different bounds: "
-            f"{into['bounds']} vs {add['bounds']}"
+        raise MetricsMergeError(
+            f"cannot merge histogram {scope!r}/{name!r}: bucket bounds differ "
+            f"({into['bounds']} vs {add['bounds']}); bucket-wise addition "
+            f"across different layouts would silently corrupt the counts"
         )
     counts = [a + b for a, b in zip(into["counts"], add["counts"])]
     total = into["count"] + add["count"]
@@ -164,5 +195,7 @@ def merge_snapshots(*snapshots: dict) -> dict:
                         "mean": hist["mean"],
                     }
                 else:
-                    merged["histograms"][name] = _merge_histogram(seen, hist)
+                    merged["histograms"][name] = _merge_histogram(
+                        seen, hist, scope, name
+                    )
     return out

@@ -200,6 +200,7 @@ class Span:
 #: precomputed charge-site names (clock-discipline: no hot-path formatting)
 _EV_TRACE_SPAN = "trace_span"
 _EV_TRACE_EVENT = "trace_event"
+_EV_WINDOW_PROBE = "window_probe"
 
 
 class Tracer:
@@ -215,6 +216,9 @@ class Tracer:
         self.clock = kernel.clock
         self.ring_capacity = ring_capacity
         self.metrics = MetricsRegistry()
+        #: optional WindowedSeries (repro.obs.windows.install_windows);
+        #: None keeps the windowed feed at one attr read per span/event
+        self.windows = None
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._local = threading.local()
@@ -245,6 +249,10 @@ class Tracer:
 
     def _finish(self, span: Span) -> None:
         span._ring.record(span)
+        windows = self.windows
+        if windows is not None:
+            self.clock.charge(_EV_WINDOW_PROBE)
+            windows.record_span(span)
         if span.category != "invoke":
             return
         scope = span.subcontract or "unknown"
@@ -358,7 +366,12 @@ class Tracer:
         but the per-subcontract counter still ticks.
         """
         if subcontract is not None:
-            self.metrics.counter(subcontract, "events:" + name).inc()
+            self.metrics.counter(subcontract, "events:" + name).inc()  # springlint: disable=metrics-naming -- generic relay: the literal name is at the caller's emit site
+        windows = self.windows
+        if windows is not None:
+            clock = self.clock
+            clock.charge(_EV_WINDOW_PROBE)
+            windows.record_event(name, subcontract, detail, clock.now_us)
         stack = self._stack()
         if stack:
             stack[-1].event(name, **detail)
@@ -398,6 +411,7 @@ class NullTracer:
 
     enabled = False
     metrics = None
+    windows = None
 
     def begin_span(self, *args: Any, **kwargs: Any) -> "_NullSpan":
         return _NULL_SPAN

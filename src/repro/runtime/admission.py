@@ -353,6 +353,14 @@ class AdmissionController:
                 metrics.histogram(
                     "admission", "queue_wait_us", QUEUE_WAIT_BUCKETS_US
                 ).observe(wait)
+                windows = tracer.windows
+                if windows is not None:
+                    # queue depth has no *_us suffix, so the generic
+                    # event feed would not sketch it; feed it directly.
+                    clock.charge("window_probe")
+                    windows.observe(
+                        "admission", "queue_depth", float(depth), clock.now_us
+                    )
             return (state, clock.now_us)
 
     def complete(self, permit: "tuple[_DoorState, float]") -> None:
@@ -612,7 +620,7 @@ class AdmissionController:
     def _event(self, name: str, **detail) -> None:
         tracer = self.kernel.tracer
         if tracer.enabled:
-            tracer.event(name, subcontract="admission", **detail)
+            tracer.event(name, subcontract="admission", **detail)  # springlint: disable=metrics-naming -- generic relay: literal names live at the emit sites
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         governed = sum(1 for s in self._states.values() if s is not None)

@@ -253,6 +253,41 @@ class Environment:
             return install_tracer(self.kernel)
         return install_tracer(self.kernel, ring_capacity=ring_capacity)
 
+    def install_windows(self, **options):
+        """Attach windowed telemetry (obs v2) to this world's tracer.
+
+        Installs a tracer first if the world is untraced.  ``options``
+        pass through to :class:`repro.obs.windows.WindowedSeries`
+        (``window_us``, ``retention``, ``alpha``).  Returns the live
+        series (also at ``env.kernel.tracer.windows``).  While
+        installed, every recorded span/event charges ``window_probe``
+        simulated time — deterministic, and absent when uninstalled.
+        """
+        from repro.obs.windows import install_windows
+
+        tracer = self.kernel.tracer
+        if not tracer.enabled:
+            tracer = self.install_tracer()
+        return install_windows(tracer, **options)
+
+    def uninstall_windows(self) -> None:
+        """Detach windowed telemetry; the tracer feed reverts to no-op."""
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.windows = None
+
+    def install_obsd(self, domain: "Domain", engine=None):
+        """Serve this world's telemetry through an ``obsd`` door.
+
+        Exports the introspection service from ``domain`` (an ordinary
+        singleton-subcontract export); hand objects to clients with
+        ``service.object_for(client_domain)``.  Returns the live
+        :class:`repro.services.obsd.ObsdService`.
+        """
+        from repro.services.obsd import ObsdService
+
+        return ObsdService(domain, engine)
+
     # ------------------------------------------------------------------
     # transports
     # ------------------------------------------------------------------

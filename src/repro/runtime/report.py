@@ -38,6 +38,7 @@ _LABELS = {
     "stable_scan": "stable-storage recovery scans",
     "trace_span": "tracing (span probes)",
     "trace_event": "tracing (event probes)",
+    "window_probe": "windowed telemetry (sketch probes)",
     "explicit": "explicit delays",
 }
 

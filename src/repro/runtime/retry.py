@@ -227,10 +227,23 @@ class RetryPolicy:
         attempt: int,
         category: str = "retry_backoff",
         floor_us: float = 0.0,
+        tracer: "Any | None" = None,
     ) -> float:
-        """Charge the backoff for ``attempt`` to the clock; returns it."""
+        """Charge the backoff for ``attempt`` to the clock; returns it.
+
+        Pass the kernel's ``tracer`` to stamp a ``retry.backoff`` event
+        (with ``backoff_us`` detail) onto the current span, which is how
+        latency attribution separates backoff from service time.
+        """
         wait = self.backoff_us(attempt, floor_us=floor_us)
         if wait > 0.0:
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "retry.backoff",
+                    subcontract="retry",
+                    attempt=attempt,
+                    backoff_us=round(wait, 2),
+                )
             clock.advance(wait, category)
         return wait
 

@@ -85,8 +85,12 @@ class _CacheFront:
         self.server_door = server_door
         self.entries: dict[tuple[str, bytes], bytes] = {}
         domain = manager.domain
+        # Label by the fronted door's own label when it has one: door uids
+        # are a process-global counter, and a uid-bearing label would make
+        # per-door telemetry keys differ between otherwise identical runs.
+        fronted = server_door.door.label or f"door#{server_door.door.uid}"
         self.front_door = domain.kernel.create_door(
-            domain, self.handle, label=f"cache-front:door#{server_door.door.uid}"
+            domain, self.handle, label=f"cache-front:{fronted}"
         )
 
     def handle(self, request: MarshalBuffer) -> MarshalBuffer:

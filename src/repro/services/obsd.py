@@ -1,0 +1,154 @@
+"""``obsd``: the runtime's telemetry served through its own machinery.
+
+The reflective move the related middleware line (RAFDA, the St Andrews
+policy-aware systems) argues for: observability is not a side channel
+bolted onto the runtime — it is *a service like any other*, defined in
+the IDL, exported through an ordinary subcontract, and invoked through
+the same stubs/doors/fabric it measures.  A client that can call a
+counter can call ``obsd`` and ask "what is the p99 of that counter's
+door over the last three windows" — over the wire, cross-machine, with
+the call itself showing up in the telemetry it fetches.
+
+Payloads are canonical JSON strings (sorted keys) rather than bespoke
+record types: the windowed snapshot format is already JSON-safe and
+deterministic, and a string crosses every fabric — including the
+process fabric, where the supervisor pulls the same wire format from
+workers.  The one binary-honest operation is ``quantile``, which
+returns an IDL ``float64`` (an exact struct double on the wire): the
+acceptance gate compares it bit-for-bit against the offline analyzer's
+recomputation from the snapshot JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+from repro.idl.compiler import IdlModule, compile_idl
+from repro.subcontracts.singleton import SingletonServer
+
+if TYPE_CHECKING:
+    from repro.core.object import SpringObject
+    from repro.idl.rtypes import InterfaceBinding
+    from repro.kernel.domain import Domain
+    from repro.obs.slo import SloEngine
+
+__all__ = ["OBSD_IDL", "obsd_module", "obsd_binding", "ObsdImpl", "ObsdService"]
+
+OBSD_IDL = """
+// Introspection service: windowed telemetry, attribution, SLO states.
+interface obsd {
+    string windows_json(int32 last);
+    float64 quantile(string scope, string name, float64 q);
+    string attribution_json();
+    string slo_json();
+    string metrics_json();
+    int32 span_count();
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def obsd_module() -> IdlModule:
+    return compile_idl(OBSD_IDL, module_name="repro.services.obsd")
+
+
+def obsd_binding() -> "InterfaceBinding":
+    """The runtime binding for the ``obsd`` interface."""
+    return obsd_module().binding("obsd")
+
+
+class ObsdImpl:
+    """The introspection implementation: reads the kernel's tracer.
+
+    Every operation is a read over already-collected telemetry — no
+    clock access, no mutation — so identical telemetry yields identical
+    (byte-for-byte) replies.
+    """
+
+    def __init__(self, kernel, engine: "SloEngine | None" = None) -> None:
+        self.kernel = kernel
+        self.engine = engine
+
+    def _windows(self):
+        tracer = self.kernel.tracer
+        return getattr(tracer, "windows", None)
+
+    # -- IDL operations -------------------------------------------------
+
+    def windows_json(self, last: int) -> str:
+        """The windowed snapshot (last N windows; <= 0 means all)."""
+        windows = self._windows()
+        if windows is None:
+            return "{}"
+        snapshot = windows.snapshot(last if last > 0 else None)
+        return json.dumps(snapshot, sort_keys=True)
+
+    def quantile(self, scope: str, name: str, q: float) -> float:
+        """A windowed quantile across all retained windows.
+
+        Exactly the value the offline analyzer recomputes from
+        ``windows_json`` (sketch quantiles read only integer buckets).
+        """
+        windows = self._windows()
+        if windows is None:
+            return 0.0
+        return windows.quantile(scope, name, q)
+
+    def attribution_json(self) -> str:
+        """The latency-attribution waterfall over retained spans."""
+        from repro.obs.attribution import attribution_report
+
+        tracer = self.kernel.tracer
+        if not tracer.enabled:
+            return "{}"
+        return json.dumps(attribution_report(tracer.spans()), sort_keys=True)
+
+    def slo_json(self) -> str:
+        """Alert states for the configured SLO policies."""
+        from repro.obs.slo import slo_json as render
+
+        windows = self._windows()
+        if self.engine is None or windows is None:
+            return "[]"
+        return render(self.engine.evaluate(windows))
+
+    def metrics_json(self) -> str:
+        """The cumulative metrics snapshot (PR 3 registry)."""
+        tracer = self.kernel.tracer
+        if not tracer.enabled:
+            return "{}"
+        return json.dumps(tracer.metrics.snapshot(), sort_keys=True)
+
+    def span_count(self) -> int:
+        """Retained span count (ring accounting, not lifetime total)."""
+        tracer = self.kernel.tracer
+        return len(tracer.spans()) if tracer.enabled else 0
+
+
+class ObsdService:
+    """``obsd`` exported from a domain via the singleton subcontract."""
+
+    def __init__(
+        self, domain: "Domain", engine: "SloEngine | None" = None
+    ) -> None:
+        self.domain = domain
+        self.impl = ObsdImpl(domain.kernel, engine)
+        self.binding = obsd_binding()
+        self.exported = SingletonServer(domain).export(self.impl, self.binding)
+
+    def object_for(self, client_domain: "Domain") -> "SpringObject":
+        """Marshal a copy of the obsd object out to a client domain.
+
+        ``marshal_copy`` (not ``marshal``): the service keeps its own
+        object live so any number of clients can be handed telemetry
+        access.
+        """
+        from repro.marshal.buffer import MarshalBuffer
+
+        obj = self.exported
+        buffer = MarshalBuffer(self.domain.kernel)
+        obj._subcontract.marshal_copy(obj, buffer)
+        buffer.seal_for_transmission(self.domain)
+        return self.binding.unmarshal_from(buffer, client_domain)

@@ -267,7 +267,9 @@ class RawNetClient(ClientSubcontract):
                 return reply
             # Nothing (or not everything) came back: wait one (backed-off)
             # RTO and retransmit the whole request.
-            kernel.clock.advance(policy.backoff_us(attempt + 1), "rawnet_rto")
+            policy.pause(
+                kernel.clock, attempt + 1, category="rawnet_rto", tracer=tracer
+            )
             endpoint.reassembler.forget(msg_id)
         raise CommunicationError(
             f"rawnet: no reply from {rep.machine_name}:{rep.port} after "

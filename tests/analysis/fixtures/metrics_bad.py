@@ -1,0 +1,41 @@
+"""Fixture: runtime-computed and malformed telemetry names the
+metrics-naming rule must flag."""
+
+
+def fstring_event_name(tracer, door_id):
+    # interpolating a request-scoped id mints unbounded series
+    tracer.event(f"door.{door_id}.called", subcontract="door")
+
+
+def concatenated_event_name(tracer, op):
+    tracer.event("cache." + op, subcontract="caching")
+
+
+def variable_event_name(tracer, name):
+    tracer.event(name, subcontract="caching")
+
+
+def undotted_event_name(tracer):
+    # no scope prefix: the windowed plane aggregates by scope.name
+    tracer.event("hit", subcontract="caching")
+
+
+def uppercase_event_name(tracer):
+    tracer.event("Cache.Hit", subcontract="caching")
+
+
+def computed_counter_name(metrics, op):
+    metrics.counter("caching", "reads_" + op).inc()
+
+
+def fstring_histogram_name(metrics, member):
+    metrics.histogram("cluster", f"latency_{member}", (1.0, 10.0)).observe(2.0)
+
+
+def variable_counter_name(self_metrics, name):
+    # attribute-tailed receivers count too
+    self_metrics.counter("admission", name).inc()
+
+
+def keyword_name_is_checked(metrics, name):
+    metrics.counter("admission", name=name).inc()

@@ -1,0 +1,41 @@
+"""Fixture: literal telemetry names the metrics-naming rule must accept."""
+
+
+def literal_dotted_event(tracer):
+    tracer.event("cache.hit", subcontract="caching", op="get")
+
+
+def multi_segment_event(tracer):
+    tracer.event("replicon.epoch_update.applied", subcontract="replicon")
+
+
+def conditional_over_literals(tracer, busy):
+    # both arms are grep-able literals: still a bounded name family
+    tracer.event(
+        "reconnect.busy_backoff" if busy else "reconnect.retry",
+        subcontract="reconnect",
+    )
+
+
+def literal_counter_with_computed_scope(metrics, subcontract_id):
+    # the scope is routinely the subcontract id; only the name must be literal
+    metrics.counter(subcontract_id, "invocations").inc()
+
+
+def literal_histogram(metrics):
+    metrics.histogram("admission", "queue_wait_us", (10.0, 100.0)).observe(5.0)
+
+
+def dotted_metric_name(metrics):
+    metrics.counter("door", "door.alpha.errors").inc()
+
+
+def non_tracer_receivers_are_ignored(view, stack, name):
+    # a windowed view lookup is a read, not an emit site
+    view.counter("cluster", name)
+    # and a span's event() method is the relay the tracer already owns
+    stack[-1].event(name, op="get")
+
+
+def suppressed_relay(tracer, name):
+    tracer.event(name, subcontract="relay")  # springlint: disable=metrics-naming -- fixture relay

@@ -328,3 +328,29 @@ def test_shared_state_accepts_disciplined_mutation():
     # Locked writes, __init__ construction, a door handler, a helper
     # whose every call site holds the lock, and plain reads: all clean.
     assert run_rule("shared-state-discipline", "shared_good.py") == []
+
+
+# -- metrics-naming -----------------------------------------------------
+
+
+def test_metrics_naming_flags_every_seeded_violation():
+    findings = run_rule("metrics-naming", "metrics_bad.py")
+    text = messages(findings)
+    # runtime-computed event names (f-string, concat, variable)
+    assert text.count("event name is computed at runtime") == 3
+    # malformed literal event names (undotted, uppercase)
+    assert "'hit' is not of the dotted" in text
+    assert "'Cache.Hit' is not of the dotted" in text
+    # runtime-computed counter/histogram names, incl. keyword name=
+    assert text.count("counter name is computed at runtime") == 3
+    assert "histogram name is computed at runtime" in text
+    assert len(findings) == 9, messages(findings)
+    assert all(f.rule == "metrics-naming" for f in findings)
+    assert all(f.severity == "error" for f in findings)
+    assert all(f.hint for f in findings)
+
+
+def test_metrics_naming_accepts_literal_emit_sites():
+    # dotted literals, conditional-over-literals, computed *scope* with a
+    # literal name, non-tracer receivers, and a justified suppression.
+    assert run_rule("metrics-naming", "metrics_good.py") == []

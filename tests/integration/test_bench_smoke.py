@@ -210,3 +210,40 @@ def test_p7_smoke_race_classes_classify_deterministically(p7_results):
 
 def test_p7_smoke_whole_program_springlint_is_clean(p7_results):
     assert p7_results["springlint_whole_program"]["findings"] == 0
+
+
+@pytest.fixture(scope="module")
+def p8_results():
+    # run() itself asserts the deterministic P8 gates: uninstalled sim
+    # time bit-for-bit equal to the pre-P8 record, a deterministic
+    # enabled sim tariff across fresh worlds, and snapshot p99 equal to
+    # the live windowed series bit-for-bit.
+    from benchmarks.bench_p8_slo import run as run_p8
+
+    return run_p8(rounds=ROUNDS, warmup=WARMUP)
+
+
+def test_p8_smoke_uninstalled_windows_charge_zero_sim_time(p8_results):
+    from benchmarks.bench_p8_slo import PRE_P8_GENERAL_SIM_US
+
+    # The machine-independent form of the 2% overhead gate: with no
+    # windowed series installed the sim clock's per-call total is
+    # bit-for-bit the pre-P8 figure — the feed costs one attr read idle.
+    assert p8_results["uninstalled_general_sim_us"] == pytest.approx(
+        PRE_P8_GENERAL_SIM_US, abs=1e-6
+    )
+
+
+def test_p8_smoke_enabled_plane_charges_a_deterministic_tariff(p8_results):
+    # Enabled, the plane charges the explicit trace_span/window_probe
+    # tariff — more than zero, and identical across fresh worlds (the
+    # bench asserts the second half internally).
+    assert (
+        p8_results["enabled_general_sim_us"]
+        > p8_results["uninstalled_general_sim_us"]
+    )
+
+
+def test_p8_smoke_sketch_and_slo_micro_legs_ran(p8_results):
+    assert p8_results["sketch_micro"]["buckets"] > 0
+    assert p8_results["slo_eval_micro"]["states"]

@@ -421,3 +421,122 @@ class TestTeardown:
         assert not caller.is_alive(), "in-flight caller must not hang"
         assert isinstance(outcome.get("error"), ServerDiedError)
         assert not fabric._handles[0].process.is_alive()
+
+
+def export_counter_with_obsd(env, index):
+    """Worker bootstrap: a counter plus the worker's own obsd door."""
+    from repro.services.obsd import ObsdService
+
+    server = env.create_domain("w", "server")
+    obj = SingletonServer(server).export(
+        CounterImpl(), counter_module.binding("counter")
+    )
+    obs_domain = env.create_domain("w", "obsd")
+    return {"counter": obj, "obsd": ObsdService(obs_domain).exported}
+
+
+class TestObsV2:
+    """Windowed telemetry across the process boundary (obs v2)."""
+
+    def test_windows_without_trace_refused(self):
+        env = proc_env()
+        with pytest.raises(ProcFabricError):
+            env.install_procfabric(export_counter, workers=1, windows=True)
+
+    def test_merged_windows_combine_supervisor_and_workers(self):
+        from repro.obs.windows import snapshot_counter_total, snapshot_quantile
+
+        env = proc_env()
+        env.install_tracer()
+        env.install_windows()
+        fabric = env.install_procfabric(
+            export_counter, workers=2, trace=True, windows=True
+        )
+        try:
+            client = env.create_domain("m0", "client")
+            w0 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=0)
+            w1 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=1)
+            w0.add(1)
+            w0.add(2)
+            w1.add(3)
+            merged = fabric.merged_windows()
+            assert merged["windows"], "merged snapshot must carry windows"
+            # The supervisor's invoke spans land in its own series; the
+            # workers' door spans land in theirs; the merge carries both.
+            invocations = sum(
+                snapshot_counter_total(merged, scope, "invocations")
+                for scope in ("singleton", "unknown")
+            )
+            assert invocations >= 3
+            # Workers record the server-side handler sketch (the
+            # client-side door span lives in the supervisor process).
+            handler_metrics = {
+                name
+                for window in merged["windows"]
+                for scope, name, _ in window["sketches"]
+                if scope == "handler" and "counter" in name
+            }
+            assert handler_metrics, "worker handler sketches must survive the merge"
+            for name in sorted(handler_metrics):
+                assert snapshot_quantile(merged, "handler", name, 0.99) > 0.0
+        finally:
+            env.uninstall_procfabric()
+
+    def test_merged_spans_order_is_deterministic(self):
+        env = proc_env()
+        env.install_tracer()
+        fabric = env.install_procfabric(export_counter, workers=2, trace=True)
+        try:
+            client = env.create_domain("m0", "client")
+            w0 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=0)
+            w1 = fabric.bind(client, "counter", counter_module.binding("counter"), worker=1)
+            for n in (1, 2, 3):
+                w0.add(n)
+                w1.add(n)
+            first = fabric.merged_spans()
+            second = fabric.merged_spans()
+            assert first == second
+            keys = [(r["trace_id"], r["span_id"], r["process"]) for r in first]
+            assert keys == sorted(keys)
+        finally:
+            env.uninstall_procfabric()
+
+    def test_worker_obsd_snapshot_matches_offline_analyzer(self):
+        # The acceptance gate on the proc fabric: an obsd door inside a
+        # worker hands back a marshalled windowed snapshot, and the
+        # offline analyzer over those wire bytes agrees bit-for-bit with
+        # the worker's live quantile operation.
+        import json as _json
+
+        from repro.obs.windows import snapshot_quantile
+        from repro.services.obsd import obsd_binding
+
+        env = proc_env()
+        env.install_tracer()
+        fabric = env.install_procfabric(
+            export_counter_with_obsd, workers=1, trace=True, windows=True
+        )
+        try:
+            client = env.create_domain("m0", "client")
+            counter = fabric.bind(client, "counter", counter_module.binding("counter"))
+            for n in (1, 2, 3, 4):
+                counter.add(n)
+            obsd = fabric.bind(client, "obsd", obsd_binding())
+            snapshot = _json.loads(obsd.windows_json(0))
+            doors = sorted(
+                {
+                    name
+                    for window in snapshot["windows"]
+                    for scope, name, _ in window["sketches"]
+                    if scope == "handler" and "obsd" not in name
+                }
+            )
+            assert doors, "the counter workload must exercise worker doors"
+            for metric in doors:
+                offline = snapshot_quantile(snapshot, "handler", metric, 0.99)
+                # The obsd calls themselves only touch the obsd door's
+                # series, so the counter door's live read is unmoved.
+                assert offline == obsd.quantile("handler", metric, 0.99)
+                assert offline > 0.0
+        finally:
+            env.uninstall_procfabric()

@@ -1,0 +1,150 @@
+"""Latency attribution: segments must account for every simulated
+microsecond of a call, deterministically, orphans included."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.attribution import (
+    attribute,
+    attribution_json,
+    attribution_report,
+    render_attribution,
+)
+from repro.obs.demo import run_demo
+
+
+def span_rec(
+    trace_id,
+    span_id,
+    parent_id,
+    category,
+    name,
+    start,
+    duration,
+    subcontract=None,
+    events=(),
+    status="ok",
+):
+    return {
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "category": category,
+        "name": name,
+        "subcontract": subcontract,
+        "start_sim_us": start,
+        "duration_us": duration,
+        "status": status,
+        "events": list(events),
+        "attrs": {},
+    }
+
+
+class TestSyntheticTrees:
+    def test_self_time_goes_to_category_segments(self):
+        spans = [
+            span_rec(1, 1, 0, "invoke", "add", 0.0, 100.0, subcontract="singleton"),
+            span_rec(1, 2, 1, "door", "singleton:counter", 10.0, 80.0),
+            span_rec(1, 3, 2, "handler", "singleton:counter", 20.0, 40.0),
+        ]
+        result = attribute(spans)
+        assert result["orphans"] == 0
+        (call,) = result["calls"]
+        assert call["door"] == "singleton:counter"
+        segments = call["segments"]
+        assert segments["stub"] == pytest.approx(20.0)  # 100 - 80
+        assert segments["door"] == pytest.approx(40.0)  # 80 - 40
+        assert segments["handler"] == pytest.approx(40.0)
+        assert sum(segments.values()) == pytest.approx(call["duration_us"])
+
+    def test_amount_events_pull_time_out_of_self(self):
+        spans = [
+            span_rec(
+                1,
+                1,
+                0,
+                "invoke",
+                "get",
+                0.0,
+                100.0,
+                subcontract="caching",
+                events=[{"name": "admission.queued", "wait_us": 30.0}],
+            ),
+        ]
+        (call,) = attribute(spans)["calls"]
+        assert call["segments"]["admission_wait"] == pytest.approx(30.0)
+        assert call["segments"]["stub"] == pytest.approx(70.0)
+
+    def test_event_claims_are_clamped_to_span_duration(self):
+        spans = [
+            span_rec(
+                1,
+                1,
+                0,
+                "invoke",
+                "get",
+                0.0,
+                50.0,
+                events=[{"name": "retry.backoff", "backoff_us": 500.0}],
+            ),
+        ]
+        (call,) = attribute(spans)["calls"]
+        assert call["segments"]["retry_backoff"] == pytest.approx(50.0)
+        assert sum(call["segments"].values()) == pytest.approx(50.0)
+
+    def test_unexplained_time_lands_in_other(self):
+        # child span lost to ring overflow: parent's time is unexplained
+        spans = [
+            span_rec(1, 1, 0, "invoke", "add", 0.0, 100.0),
+            span_rec(1, 9, 7, "handler", "x", 10.0, 20.0),  # orphan
+        ]
+        result = attribute(spans)
+        assert result["orphans"] == 1
+        (call,) = result["calls"]
+        assert call["segments"]["stub"] == pytest.approx(100.0)
+
+    def test_input_order_does_not_change_report(self):
+        spans = [
+            span_rec(1, 1, 0, "invoke", "add", 0.0, 100.0, subcontract="s"),
+            span_rec(1, 2, 1, "door", "d", 10.0, 80.0),
+            span_rec(2, 3, 0, "invoke", "add", 200.0, 50.0, subcontract="s"),
+        ]
+        forward = attribution_json(attribution_report(spans))
+        backward = attribution_json(attribution_report(list(reversed(spans))))
+        assert forward == backward
+
+
+class TestDemoReport:
+    def test_demo_report_is_deterministic(self):
+        _, tracer_a = run_demo()
+        _, tracer_b = run_demo()
+        assert attribution_json(
+            attribution_report(tracer_a.spans())
+        ) == attribution_json(attribution_report(tracer_b.spans()))
+
+    def test_demo_waterfall_structure(self):
+        _, tracer = run_demo()
+        report = attribution_report(tracer.spans())
+        assert report["calls"] > 0
+        assert report["orphans"] == 0
+        kinds = {g["kind"] for g in report["doors"]}
+        assert kinds == {"door"}
+        # cluster + caching demo doors both appear, wire time dominates
+        keys = [g["key"] for g in report["doors"]]
+        assert any("cluster" in k for k in keys)
+        assert any("caching" in k for k in keys)
+        for group in report["doors"]:
+            mean_total = sum(group["segments"].values())
+            assert mean_total > 0.0
+            assert group["p99_us"] >= group["p50_us"]
+        text = render_attribution(report)
+        assert "where the p99 went" in text
+        assert "per door:" in text and "per op:" in text
+
+    def test_segments_sum_to_call_duration(self):
+        _, tracer = run_demo()
+        for call in attribute(tracer.spans())["calls"]:
+            assert sum(call["segments"].values()) == pytest.approx(
+                call["duration_us"], abs=1e-6
+            )

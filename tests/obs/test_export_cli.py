@@ -145,3 +145,43 @@ class TestCli:
         assert result.returncode == 0, result.stderr
         assert "[cluster]" in result.stdout
         assert "invocations" in result.stdout
+
+
+class TestOrphanRobustness:
+    """Spans whose parents were lost to ring overflow must render, not lie."""
+
+    def _spans_with_orphan(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        remote.add(1)
+        records = [span_record(s) for s in tracer.spans()]
+        # simulate ring overflow: drop the root invoke record
+        root = next(r for r in records if r["category"] == "invoke")
+        return [r for r in records if r is not root]
+
+    def test_summary_counts_orphans_in_footer(self, traced_world):
+        orphaned = self._spans_with_orphan(traced_world)
+        summary = render_summary(orphaned)
+        assert "orphan span(s): parent records lost to ring overflow" in summary
+
+    def test_summary_without_orphans_has_no_footer(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        remote.add(1)
+        assert "orphan" not in render_summary(tracer.spans())
+
+    def test_chrome_trace_tags_orphans(self, traced_world):
+        env, tracer, _, _, remote = traced_world
+        remote.add(1)
+        spans = tracer.spans()
+        root = next(s for s in spans if s.category == "invoke")
+        document = chrome_trace([s for s in spans if s is not root])
+        flagged = [
+            e
+            for e in document["traceEvents"]
+            if e.get("args", {}).get("orphan") is True
+        ]
+        assert flagged, "orphaned spans must be tagged in the export"
+
+    def test_tree_renders_orphans_without_crashing(self, traced_world):
+        orphaned = self._spans_with_orphan(traced_world)
+        text = render_tree(orphaned)
+        assert text  # orphan subtrees surface as roots

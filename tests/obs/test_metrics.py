@@ -78,3 +78,41 @@ class TestSubcontractEventCounters:
         # The demo's invoke spans all landed in per-subcontract scopes.
         for scope in ("cluster", "caching", "singleton"):
             assert snap[scope]["counters"]["invocations"] > 0
+
+
+class TestMergeSafety:
+    """Regressions for the mismatched-bounds paths (obs v2 hardening)."""
+
+    def test_rerequest_with_different_bounds_raises(self):
+        from repro.obs.metrics import MetricsMergeError
+
+        registry = MetricsRegistry()
+        registry.histogram("s", "lat", (1.0, 10.0)).observe(5.0)
+        with pytest.raises(MetricsMergeError) as exc:
+            registry.histogram("s", "lat", (1.0, 100.0))
+        assert "'s'" in str(exc.value) and "'lat'" in str(exc.value)
+        # same bounds re-request returns the same histogram untouched
+        again = registry.histogram("s", "lat", (1.0, 10.0))
+        assert again.total == 1
+
+    def test_merge_snapshots_with_mismatched_bounds_raises(self):
+        from repro.obs.metrics import MetricsMergeError, merge_snapshots
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("s", "lat", (1.0, 10.0)).observe(2.0)
+        b.histogram("s", "lat", (5.0, 50.0)).observe(2.0)
+        with pytest.raises(MetricsMergeError) as exc:
+            merge_snapshots(a.snapshot(), b.snapshot())
+        assert "'s'" in str(exc.value) and "'lat'" in str(exc.value)
+
+    def test_merge_snapshots_with_matching_bounds_adds(self):
+        from repro.obs.metrics import merge_snapshots
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("s", "lat", (1.0, 10.0)).observe(2.0)
+        b.histogram("s", "lat", (1.0, 10.0)).observe(20.0)
+        a.counter("s", "calls").inc(3)
+        b.counter("s", "calls").inc(4)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["s"]["counters"]["calls"] == 7
+        assert merged["s"]["histograms"]["lat"]["count"] == 2

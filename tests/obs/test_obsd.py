@@ -1,0 +1,132 @@
+"""obsd: telemetry served through the runtime's own doors.
+
+The acceptance gate: the marshalled windowed snapshot an ``obsd`` door
+returns must yield exactly the same per-door p99 as the offline
+analyzer, and the service's ``quantile`` operation must be bit-equal to
+the live series — the wire format IS the analysis format.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.demo import build_demo_world
+from repro.obs.slo import SloEngine, SloPolicy
+from repro.obs.windows import snapshot_counter_total, snapshot_quantile
+from repro.services.obsd import ObsdService
+
+
+def windowed_world():
+    world = build_demo_world(windows=True)
+    counter, store = world["counter"], world["store"]
+    for n in (3, 4, 5):
+        counter.add(n)
+    store.get("motd")
+    store.get("motd")
+    store.put("k", "v")
+    return world
+
+
+def serve_obsd(world, engine=None) -> tuple:
+    """Export obsd from its own domain on beta; client lives on alpha."""
+    env = world["env"]
+    obs_domain = env.create_domain("beta", "obsd")
+    client = env.create_domain("alpha", "obs-client")
+    service = ObsdService(obs_domain, engine)
+    return service, service.object_for(client)
+
+
+class TestObsdOverSimFabric:
+    def test_windows_json_round_trips_the_snapshot(self):
+        world = windowed_world()
+        _, proxy = serve_obsd(world)
+        snapshot = json.loads(proxy.windows_json(0))
+        live = world["tracer"].windows
+        assert snapshot["window_us"] == live.window_us
+        assert snapshot["windows"]
+        assert snapshot_counter_total(snapshot, "cluster", "invocations") >= 3
+
+    def test_wire_snapshot_p99_matches_offline_analyzer_exactly(self):
+        world = windowed_world()
+        _, proxy = serve_obsd(world)
+        snapshot = json.loads(proxy.windows_json(0))
+        live = world["tracer"].windows
+        # every per-door sketch the workload produced, except the obsd
+        # door itself (the pull keeps adding to its own series)
+        doors = sorted(
+            {
+                name
+                for window in snapshot["windows"]
+                for scope, name, _ in window["sketches"]
+                if scope == "door" and "obsd" not in name
+            }
+        )
+        assert doors, "the workload must exercise doors"
+        for door_metric in doors:
+            offline = snapshot_quantile(snapshot, "door", door_metric, 0.99)
+            assert offline == live.quantile("door", door_metric, 0.99)
+            assert offline > 0.0
+
+    def test_quantile_operation_is_exact_over_the_wire(self):
+        world = windowed_world()
+        live = world["tracer"].windows
+        _, proxy = serve_obsd(world)
+        # the obsd call is a singleton-scope call: it cannot move the
+        # cluster-scope sketch between the live read and the wire read
+        expected = live.quantile("cluster", "invoke_sim_us", 0.99)
+        assert proxy.quantile("cluster", "invoke_sim_us", 0.99) == expected
+        assert expected > 0.0
+
+    def test_span_count_and_metrics(self):
+        world = windowed_world()
+        _, proxy = serve_obsd(world)
+        assert proxy.span_count() > 0
+        metrics = json.loads(proxy.metrics_json())
+        assert metrics["cluster"]["counters"]["invocations"] >= 3
+
+    def test_attribution_json_over_the_wire(self):
+        world = windowed_world()
+        _, proxy = serve_obsd(world)
+        report = json.loads(proxy.attribution_json())
+        assert report["calls"] > 0
+        assert {g["kind"] for g in report["doors"]} == {"door"}
+
+    def test_slo_json_over_the_wire(self):
+        world = windowed_world()
+        engine = SloEngine(
+            [
+                SloPolicy(
+                    name="cluster-latency",
+                    scope="cluster",
+                    latency_p_us=1.0,  # deliberately unreachable
+                    # lookbacks spanning the whole retention ring with tiny
+                    # burn thresholds: one hot window anywhere pages, no
+                    # matter how many quiet windows the obsd pull adds after
+                    # the workload
+                    fast_windows=64,
+                    slow_windows=64,
+                    fast_burn=0.01,
+                    slow_burn=0.01,
+                )
+            ]
+        )
+        _, proxy = serve_obsd(world, engine)
+        (state,) = json.loads(proxy.slo_json())
+        assert state["policy"] == "cluster-latency"
+        assert state["state"] == "page"
+
+    def test_service_serves_many_clients(self):
+        world = windowed_world()
+        env = world["env"]
+        service, first = serve_obsd(world)
+        other = env.create_domain("alpha", "obs-client-2")
+        second = service.object_for(other)
+        assert first.span_count() > 0
+        assert second.span_count() > 0
+
+    def test_unwindowed_world_degrades_gracefully(self):
+        world = build_demo_world(windows=False)
+        _, proxy = serve_obsd(world)
+        assert proxy.windows_json(0) == "{}"
+        assert proxy.quantile("cluster", "invoke_sim_us", 0.99) == 0.0
+        assert proxy.slo_json() == "[]"

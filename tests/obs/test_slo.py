@@ -1,0 +1,161 @@
+"""SLO engine: multi-window burn-rate states, live == snapshot replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.slo import SloEngine, SloPolicy, render_slo, slo_json
+from repro.obs.windows import WindowedSeries
+
+
+def fill(series: WindowedSeries, index: int, latency_us: float, errors: int = 0):
+    """One window with ten calls at the given latency, ``errors`` failing."""
+    now = index * series.window_us + 1.0
+    for _ in range(10):
+        series.count("svc", "invocations", now_us=now)
+        series.observe("svc", "invoke_sim_us", latency_us, now_us=now)
+    for _ in range(errors):
+        series.count("svc", "errors", now_us=now)
+
+
+def latency_policy(**overrides):
+    defaults = dict(
+        name="svc-latency",
+        scope="svc",
+        latency_p_us=100.0,
+        latency_q=0.9,
+        fast_windows=2,
+        slow_windows=8,
+        fast_burn=1.0,
+        slow_burn=0.5,
+    )
+    defaults.update(overrides)
+    return SloPolicy(**defaults)
+
+
+class TestPolicyValidation:
+    def test_policy_needs_a_target(self):
+        with pytest.raises(ValueError):
+            SloPolicy(name="empty", scope="svc")
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            latency_policy(fast_windows=6, slow_windows=3)
+        with pytest.raises(ValueError):
+            latency_policy(fast_windows=0)
+
+    def test_quantile_range_enforced(self):
+        with pytest.raises(ValueError):
+            latency_policy(latency_q=1.0)
+
+
+class TestStates:
+    def test_ok_when_under_target(self):
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for index in range(8):
+            fill(series, index, latency_us=50.0)
+        (state,) = SloEngine([latency_policy()]).evaluate(series)
+        assert state["state"] == "ok"
+        assert state["fast_burn"] == 0.0 and state["slow_burn"] == 0.0
+        assert state["violating_windows"] == 0
+
+    def test_page_when_sustained_and_current(self):
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for index in range(8):
+            fill(series, index, latency_us=500.0)  # every window violates
+        (state,) = SloEngine([latency_policy()]).evaluate(series)
+        assert state["state"] == "page"
+        assert state["fast_burn"] == 1.0 and state["slow_burn"] == 1.0
+        assert state["violating_windows"] == 8
+        assert state["last"]["latency_p_us"] > 100.0
+
+    def test_warn_on_fresh_spike(self):
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for index in range(6):
+            fill(series, index, latency_us=50.0)  # healthy history
+        for index in (6, 7):
+            fill(series, index, latency_us=500.0)  # fresh spike
+        (state,) = SloEngine([latency_policy()]).evaluate(series)
+        # fast lookback is fully hot, slow burn 2/8 < 0.5: warn, not page
+        assert state["state"] == "warn"
+        assert state["fast_burn"] == 1.0
+        assert state["slow_burn"] < 0.5
+
+    def test_warn_on_slow_bleed(self):
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for index in range(8):
+            # alternating hot/cold windows, currently cold: sustained
+            # violation without a current one
+            fill(series, index, latency_us=500.0 if index % 2 == 0 else 50.0)
+        (state,) = SloEngine([latency_policy()]).evaluate(series)
+        assert state["state"] == "warn"
+        assert state["fast_burn"] < 1.0
+        assert state["slow_burn"] >= 0.5
+
+    def test_error_rate_target(self):
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for index in range(4):
+            fill(series, index, latency_us=10.0, errors=5)
+        policy = SloPolicy(
+            name="svc-errors",
+            scope="svc",
+            max_error_rate=0.01,
+            fast_windows=1,
+            slow_windows=4,
+        )
+        (state,) = SloEngine([policy]).evaluate(series)
+        assert state["state"] == "page"
+        assert state["last"]["error_rate"] == pytest.approx(0.5)
+
+    def test_goodput_floor(self):
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for index in range(4):
+            fill(series, index, latency_us=10.0)
+        policy = SloPolicy(
+            name="svc-goodput",
+            scope="svc",
+            min_goodput_per_window=100.0,  # ten calls/window: floor missed
+            fast_windows=1,
+            slow_windows=4,
+        )
+        (state,) = SloEngine([policy]).evaluate(series)
+        assert state["state"] == "page"
+        assert state["last"]["goodput"] == 10
+
+
+class TestSnapshotReplay:
+    def test_snapshot_evaluation_matches_live_exactly(self):
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for index in range(8):
+            fill(series, index, latency_us=90.0 + index * 5.0, errors=index % 2)
+        engine = SloEngine(
+            [
+                latency_policy(),
+                SloPolicy(
+                    name="svc-errors",
+                    scope="svc",
+                    max_error_rate=0.05,
+                    fast_windows=2,
+                    slow_windows=8,
+                ),
+            ]
+        )
+        live = engine.evaluate(series)
+        wire = json.loads(json.dumps(series.snapshot()))
+        replayed = engine.evaluate_snapshot(wire)
+        assert slo_json(live) == slo_json(replayed)
+
+    def test_render_is_deterministic(self):
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for index in range(4):
+            fill(series, index, latency_us=500.0)
+        engine = SloEngine([latency_policy()])
+        assert render_slo(engine.evaluate(series)) == render_slo(
+            engine.evaluate(series)
+        )
+        assert "svc-latency" in render_slo(engine.evaluate(series))
+
+    def test_no_policies_renders_calmly(self):
+        assert render_slo([]) == "no SLO policies configured"

@@ -1,0 +1,134 @@
+"""Seed-swept chaos + overload soak (PR 8 acceptance criterion).
+
+A world under link chaos and open-loop overload, with windowed telemetry
+and an SLO engine attached, must produce **byte-identical** attribution
+and SLO reports when rebuilt from the same seed — the observability
+plane inherits the simulator's determinism, it does not dilute it.
+"""
+
+from __future__ import annotations
+
+from repro.core.stubs import narrow
+from repro.idl.compiler import compile_idl
+from repro.kernel.errors import ServerBusyError
+from repro.obs.attribution import attribution_json
+from repro.obs.slo import SloEngine, SloPolicy, slo_json
+from repro.runtime import AdmissionPolicy, Environment
+from repro.subcontracts.singleton import SingletonServer
+
+SOAK_IDL = """
+interface counter {
+    int32 add(int32 n);
+    int32 total();
+}
+"""
+
+soak_module = compile_idl(SOAK_IDL, "obs_soak_counter")
+
+
+class CounterImpl:
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int) -> int:
+        self.value += n
+        return self.value
+
+    def total(self) -> int:
+        return self.value
+
+
+def soak_policies() -> list[SloPolicy]:
+    return [
+        SloPolicy(
+            name="soak-latency",
+            scope="singleton",
+            latency_p_us=1_000.0,
+            latency_q=0.9,
+            fast_windows=2,
+            slow_windows=8,
+        ),
+        SloPolicy(
+            name="soak-errors",
+            scope="singleton",
+            max_error_rate=0.01,
+            fast_windows=2,
+            slow_windows=8,
+        ),
+    ]
+
+
+def run_soak(seed: int, calls: int = 120) -> dict:
+    """One chaos+overload soak; returns its full observability output."""
+    env = Environment(seed=seed)
+    tracer = env.install_tracer()
+    env.install_windows(window_us=50_000.0, retention=256)
+
+    server = env.create_domain("alpha", "server")
+    client = env.create_domain("beta", "client")
+    binding = soak_module.binding("counter")
+    obj = SingletonServer(server).export(CounterImpl(), binding)
+    env.bind(server, "/svc/counter", obj)
+    proxy = narrow(env.resolve(client, "/svc/counter"), binding)
+
+    controller = env.install_admission()
+    controller.govern(proxy._rep.door, AdmissionPolicy(limit=1, queue_limit=2))
+    plane = env.install_chaos(seed=seed)
+    # open-loop phantom overload on the governed door, plus a chaotic
+    # link: some calls queue, some are shed, every wire crossing pays a
+    # deterministic extra delay that attribution must account for
+    plane.burst(proxy._rep.door, interarrival_us=50.0, service_us=400.0)
+    link = plane.link("alpha", "beta")
+    link.delay_us = 250.0
+    link.latency_scale = 1.5
+
+    outcomes: list[object] = []
+    for _ in range(calls):
+        env.clock.advance(100.0, "think")
+        try:
+            proxy.add(1)
+            outcomes.append("ok")
+        except ServerBusyError as busy:
+            outcomes.append(round(busy.retry_after_us, 6))
+
+    engine = SloEngine(soak_policies())
+    return {
+        "attribution": attribution_json(tracer.spans()),
+        "slo": slo_json(engine.evaluate(tracer.windows)),
+        "outcomes": outcomes,
+        "sim_us": env.clock.now_us,
+    }
+
+
+class TestSeedSweptSoak:
+    def test_identical_seed_identical_reports(self):
+        for seed in (7, 23, 1993):
+            first = run_soak(seed)
+            second = run_soak(seed)
+            assert first["sim_us"] == second["sim_us"]
+            assert first["outcomes"] == second["outcomes"]
+            assert first["attribution"] == second["attribution"]
+            assert first["slo"] == second["slo"]
+
+    def test_different_seeds_diverge(self):
+        assert run_soak(7)["outcomes"] != run_soak(23)["outcomes"]
+
+    def test_soak_exercises_the_slo_and_attribution_planes(self):
+        result = run_soak(7)
+        import json
+
+        report = json.loads(result["attribution"])
+        assert report["calls"] > 0
+        segments = {
+            segment
+            for group in report["ops"]
+            for segment in group["segments"]
+        }
+        # chaos delay and queueing must be attributed, not lumped as other
+        assert "chaos_delay" in segments
+        states = {s["policy"]: s["state"] for s in json.loads(result["slo"])}
+        assert set(states) == {"soak-latency", "soak-errors"}
+        # the burst sheds real calls and chaos slows the rest: both
+        # policies must leave "ok" under this much sustained abuse
+        assert states["soak-latency"] != "ok"
+        assert states["soak-errors"] != "ok"

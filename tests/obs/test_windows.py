@@ -1,0 +1,218 @@
+"""Windowed telemetry: deterministic snapshots, exact offline replay,
+bounded retention, and cross-process snapshot merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.ring import TraceRing
+from repro.obs.sketch import Sketch
+from repro.obs.tracer import NullTracer, install_tracer
+from repro.obs.windows import (
+    WindowedSeries,
+    WindowMergeError,
+    install_windows,
+    merge_window_snapshots,
+    snapshot_counter_total,
+    snapshot_quantile,
+    uninstall_windows,
+)
+from tests.obs.conftest import build_counter_world
+
+
+def run_windowed_workload(counter_module, seed_calls: int = 9):
+    """A traced + windowed counter workload; returns (env, tracer)."""
+    env, client, server, remote = build_counter_world(counter_module)
+    tracer = install_tracer(env.kernel)
+    # windows sized so the whole workload fits inside the retention ring
+    install_windows(tracer, window_us=2_000.0, retention=64)
+    for i in range(seed_calls):
+        remote.add(i)
+    remote.total()
+    return env, tracer
+
+
+class TestFeed:
+    def test_spans_land_in_windows(self, counter_module):
+        env, tracer = run_windowed_workload(counter_module)
+        series = tracer.windows
+        assert series.recorded > 0
+        assert series.counter_total("singleton", "invocations") == 10
+        assert series.quantile("singleton", "invoke_sim_us", 0.5) > 0.0
+        # per-door feed: every windowed door sketch carries durations
+        snap = series.snapshot()
+        door_sketches = [
+            name
+            for window in snap["windows"]
+            for scope, name, _ in window["sketches"]
+            if scope == "door"
+        ]
+        assert door_sketches and all(n.endswith(".sim_us") for n in door_sketches)
+
+    def test_events_sketch_us_details_only(self):
+        series = WindowedSeries(window_us=100.0, retention=8)
+        series.record_event(
+            "retry.backoff",
+            "retry",
+            {"backoff_us": 40.0, "attempt": 3, "label": "x"},
+            now_us=10.0,
+        )
+        snap = series.snapshot()
+        names = [
+            (scope, name)
+            for window in snap["windows"]
+            for scope, name, _ in window["sketches"]
+        ]
+        assert names == [("retry", "retry.backoff.backoff_us")]
+        assert series.counter_total("retry", "retry.backoff") == 1
+
+    def test_windows_tumble_on_sim_time(self):
+        series = WindowedSeries(window_us=100.0, retention=8)
+        series.observe("s", "v", 10.0, now_us=50.0)
+        series.observe("s", "v", 20.0, now_us=150.0)
+        series.observe("s", "v", 30.0, now_us=155.0)
+        indices = [w.index for w in series.windows()]
+        assert indices == [0, 1]
+        assert series.quantile("s", "v", 0.0, last=1) > 0.0
+
+    def test_retention_evicts_and_counts(self):
+        series = WindowedSeries(window_us=100.0, retention=4)
+        for i in range(10):
+            series.count("s", "ticks", now_us=i * 100.0 + 1.0)
+        assert len(series.windows()) == 4
+        assert series.dropped_windows == 6
+        assert series.counter_total("s", "ticks") == 4  # retained only
+
+    def test_install_requires_enabled_tracer(self):
+        with pytest.raises(ValueError):
+            install_windows(NullTracer())
+
+    def test_uninstall_reverts_to_uninstrumented(self, counter_module):
+        env, tracer = run_windowed_workload(counter_module)
+        uninstall_windows(tracer)
+        assert tracer.windows is None
+
+
+class TestDeterminism:
+    def test_identical_seed_bit_identical_snapshots(self, counter_module):
+        _, tracer_a = run_windowed_workload(counter_module)
+        _, tracer_b = run_windowed_workload(counter_module)
+        snap_a = json.dumps(tracer_a.windows.snapshot(), sort_keys=True)
+        snap_b = json.dumps(tracer_b.windows.snapshot(), sort_keys=True)
+        assert snap_a == snap_b
+
+    def test_window_probe_cost_is_charged_only_when_installed(
+        self, counter_module
+    ):
+        env, client, server, remote = build_counter_world(counter_module)
+        tracer = install_tracer(env.kernel)
+        env.clock.reset_tally()
+        remote.add(1)
+        assert "window_probe" not in env.clock.tally()
+        install_windows(tracer)
+        env.clock.reset_tally()
+        remote.add(1)
+        assert env.clock.tally()["window_probe"] > 0.0
+
+
+class TestOfflineReplay:
+    def test_snapshot_quantile_equals_live_exactly(self, counter_module):
+        _, tracer = run_windowed_workload(counter_module)
+        series = tracer.windows
+        snap = json.loads(json.dumps(series.snapshot()))  # wire round-trip
+        for q in (0.5, 0.9, 0.99):
+            assert snapshot_quantile(
+                snap, "singleton", "invoke_sim_us", q
+            ) == series.quantile("singleton", "invoke_sim_us", q)
+        assert snapshot_counter_total(
+            snap, "singleton", "invocations"
+        ) == series.counter_total("singleton", "invocations")
+
+    def test_last_n_windows_selection_matches(self, counter_module):
+        _, tracer = run_windowed_workload(counter_module)
+        series = tracer.windows
+        snap = series.snapshot()
+        assert snapshot_quantile(
+            snap, "singleton", "invoke_sim_us", 0.9, last=2
+        ) == series.quantile("singleton", "invoke_sim_us", 0.9, last=2)
+
+
+class TestMerge:
+    def _series(self, offset_us: float) -> WindowedSeries:
+        series = WindowedSeries(window_us=100.0, retention=16)
+        for i in range(5):
+            now = offset_us + i * 100.0 + 1.0
+            series.count("s", "calls", now_us=now)
+            series.observe("s", "lat_us", 10.0 * (i + 1), now_us=now)
+        return series
+
+    def test_merge_sums_counters_and_sketches(self):
+        a, b = self._series(0.0), self._series(0.0)
+        merged = merge_window_snapshots(a.snapshot(), b.snapshot())
+        assert snapshot_counter_total(merged, "s", "calls") == 10
+        # offline merge over the wire == in-memory sketch-level merge
+        direct = Sketch(a.alpha)
+        direct.merge(a.merged_sketch("s", "lat_us"))
+        direct.merge(b.merged_sketch("s", "lat_us"))
+        assert snapshot_quantile(merged, "s", "lat_us", 0.99) == direct.quantile(
+            0.99
+        )
+
+    def test_merge_keeps_disjoint_windows(self):
+        a, b = self._series(0.0), self._series(1000.0)
+        merged = merge_window_snapshots(a.snapshot(), b.snapshot())
+        assert [w["index"] for w in merged["windows"]] == [0, 1, 2, 3, 4, 10, 11, 12, 13, 14]
+
+    def test_merge_is_order_independent(self):
+        a, b, c = self._series(0.0), self._series(300.0), self._series(700.0)
+        forward = merge_window_snapshots(a.snapshot(), b.snapshot(), c.snapshot())
+        backward = merge_window_snapshots(c.snapshot(), b.snapshot(), a.snapshot())
+        assert json.dumps(forward, sort_keys=True) == json.dumps(
+            backward, sort_keys=True
+        )
+
+    def test_merge_refuses_mismatched_geometry(self):
+        a = WindowedSeries(window_us=100.0)
+        b = WindowedSeries(window_us=200.0)
+        with pytest.raises(WindowMergeError):
+            merge_window_snapshots(a.snapshot(), b.snapshot())
+        c = WindowedSeries(window_us=100.0, alpha=0.05)
+        with pytest.raises(WindowMergeError):
+            merge_window_snapshots(a.snapshot(), c.snapshot())
+
+    def test_merge_of_nothing_is_empty_geometry(self):
+        merged = merge_window_snapshots()
+        assert merged["windows"] == []
+        assert snapshot_quantile(merged, "s", "x", 0.5) == 0.0
+
+    def test_merge_skips_falsy_snapshots(self):
+        a = self._series(0.0)
+        merged = merge_window_snapshots(None, a.snapshot(), {})
+        assert snapshot_counter_total(merged, "s", "calls") == 5
+
+
+class TestTraceRingAccounting:
+    def test_overflow_recorded_and_dropped(self):
+        ring = TraceRing(capacity=4)
+
+        class _Rec:
+            pass
+
+        for _ in range(11):
+            ring.record(_Rec())
+        assert ring.recorded == 11
+        assert ring.dropped == 7
+        assert len(ring.spans()) == 4
+
+    def test_no_overflow_no_drops(self):
+        ring = TraceRing(capacity=8)
+
+        class _Rec:
+            pass
+
+        for _ in range(5):
+            ring.record(_Rec())
+        assert ring.recorded == 5
+        assert ring.dropped == 0
