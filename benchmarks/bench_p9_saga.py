@@ -1,0 +1,297 @@
+"""P9 — exactly-once bench (saga coordinator + idempotency-key dedup).
+
+Two questions, in the P3–P8 style:
+
+1. **What does the uninstalled exactly-once plane cost the hot path?**
+   Nothing measurable: with no ``idempotency_key`` context live anywhere
+   in the process, ``door_call``'s stamp gate is one plain attribute
+   read (``kernel._idem_depth``) + one branch, and delivery's key-
+   hygiene gate is one ``__slots__`` read (``buffer.idem_key``) + one
+   branch.  The PR gates are the usual pair — the general-stub simulated
+   time stays *bit-for-bit* the pre-P9 figure (asserted on every run
+   against :data:`PRE_P9_GENERAL_SIM_US`), and the PR-time interleaved
+   A/B against a worktree at the pre-P9 commit stays inside the 2% wall
+   gate (committed in :data:`PR_AB_VS_PRE_P9`).
+
+2. **What does a saga cost, and what does chaos add?**  The saga leg
+   runs a fixed transfer workload (debit one durable bank, credit
+   another, both journalled through stable storage) at 0% / 1% / 5%
+   crash-mid-call rates with a periodic repair action reviving dead
+   banks.  Per leg it records simulated us/transfer, journal commits,
+   and commit/abort outcomes — and asserts the whole leg is
+   deterministic by running it twice from the same seed and requiring
+   identical results, including the sim-time figure to the bit.  Money
+   conservation (no lost updates, no doubled updates) is asserted at
+   every rate.  A dedup micro-leg records the raw memo lookup/record
+   cost so the keyed path's constituents are visible in the artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.bench_p1_hotpath import best_of, build_world
+from benchmarks.conftest import sim_us
+
+#: exactly-once-uninstalled wall-us/call may regress at most this
+#: fraction versus the pre-P9 tree measured in the same session
+UNINSTALLED_OVERHEAD_GATE = 0.02
+
+#: general-stub sim-us/call recorded by the PRE-P9 tree (the same figure
+#: P3–P8 pinned: every uninstalled plane, now including the idempotency
+#: stamp gate and the delivery key-hygiene gate, charges nothing).
+PRE_P9_GENERAL_SIM_US = 111.61000000010245
+
+#: the PR-time wall gate record: ten alternating best-of-6000 rounds of
+#: the P1 general-stub probe on this tree versus a worktree at the
+#: pre-P9 commit (f59c6d5), same machine, same session.  Floor-to-floor
+#: across the alternating rounds (the P3–P8 statistic): best-of 10.77
+#: instrumented vs 10.68 pre-P9 = +0.8%, inside the 2% gate.
+PR_AB_VS_PRE_P9 = {
+    "pre_p9_commit": "f59c6d5",
+    "rounds_per_sample": 6000,
+    "pre_p9_general_wall_us": [
+        10.95, 10.68, 10.90, 10.91, 11.63, 10.68, 10.82, 10.81, 10.93, 10.81,
+    ],
+    "instrumented_general_wall_us": [
+        10.90, 11.02, 11.08, 10.94, 10.81, 10.87, 10.77, 11.10, 11.06, 10.83,
+    ],
+    "best_of_overhead_pct": round(100.0 * (10.77 - 10.68) / 10.68, 1),
+    "gate_pct": 100.0 * UNINSTALLED_OVERHEAD_GATE,
+    "gate": "pass",
+}
+
+#: transfers per saga leg and the per-transfer amount
+SAGA_TRANSFERS = 40
+SAGA_AMOUNT = 10
+SAGA_SEED_BALANCE = 10_000
+#: crash-mid-call rates the saga leg sweeps
+SAGA_CRASH_RATES = (0.0, 0.01, 0.05)
+#: repair cadence for crashed banks (simulated us)
+REPAIR_PERIOD_US = 150_000.0
+
+
+def dedup_micro(entries: int = 10_000) -> dict:
+    """Raw memo cost: ns per miss-lookup, record, and hit-lookup."""
+    from repro.runtime.env import Environment
+    from repro.runtime.idem import DedupMemo
+
+    env = Environment()
+    domain = env.create_domain("m", "bench")
+    memo = DedupMemo(entries=entries)
+    reply = domain.acquire_buffer()
+    reply.data.extend(b"x" * 64)
+
+    start = time.perf_counter()
+    for key in range(entries):
+        memo.lookup(key)
+    miss_ns = 1e9 * (time.perf_counter() - start) / entries
+
+    start = time.perf_counter()
+    for key in range(entries):
+        memo.record(key, reply)
+    record_ns = 1e9 * (time.perf_counter() - start) / entries
+
+    start = time.perf_counter()
+    for key in range(entries):
+        memo.lookup(key)
+    hit_ns = 1e9 * (time.perf_counter() - start) / entries
+    reply.release()
+    return {
+        "entries": entries,
+        "miss_lookup_ns": round(miss_ns, 1),
+        "record_ns": round(record_ns, 1),
+        "hit_lookup_ns": round(hit_ns, 1),
+    }
+
+
+def saga_leg(crash_rate: float, seed: int = 11) -> dict:
+    """One deterministic saga workload at a crash-mid-call rate.
+
+    Builds a fresh two-bank world, runs :data:`SAGA_TRANSFERS` transfer
+    sagas, recovers any saga whose own compensation was interrupted,
+    and asserts money conservation before reporting.
+    """
+    from repro.kernel.errors import CommunicationError
+    from repro.runtime.env import Environment
+    from repro.runtime.saga import SagaAborted, SagaCoordinator
+    from repro.services.stable import DurableKVService
+
+    env = Environment(seed=seed)
+    bank_a = DurableKVService(env, "bank-a", "/services/acct-a")
+    bank_b = DurableKVService(env, "bank-b", "/services/acct-b")
+    teller = env.create_domain("clients", "teller")
+    acct_a = bank_a.client_for(teller)
+    acct_b = bank_b.client_for(teller)
+    acct_a.put("balance", str(SAGA_SEED_BALANCE))
+    acct_b.put("balance", str(SAGA_SEED_BALANCE))
+    coord = SagaCoordinator(teller, name="bench")
+
+    if crash_rate:
+        env.name_service.domain.locals["chaos_immune"] = True
+        plane = env.install_chaos(seed=seed)
+        plane.crash_mid_call_rate = crash_rate
+        banks = (bank_a, bank_b)
+
+        def repair() -> None:
+            plane.schedule(
+                env.clock.now_us + REPAIR_PERIOD_US, repair, "repair-banks"
+            )
+            for bank in banks:
+                if bank.domain is None or not bank.domain.alive:
+                    try:
+                        bank.restart()
+                    except CommunicationError:
+                        bank.crash()
+
+        plane.schedule(
+            env.clock.now_us + REPAIR_PERIOD_US, repair, "repair-banks"
+        )
+
+    journal_commits_before = coord.store.commits
+    sim_before = env.clock.now_us
+    committed = aborted = 0
+    for i in range(SAGA_TRANSFERS):
+        try:
+            with coord.begin(f"transfer-{i}") as saga:
+                saga.run(
+                    "debit-a",
+                    lambda: acct_a.adjust("balance", -SAGA_AMOUNT),
+                    compensation=lambda token: acct_a.adjust(
+                        "balance", int(token)
+                    ),
+                    comp_token=str(SAGA_AMOUNT),
+                )
+                saga.run(
+                    "credit-b",
+                    lambda: acct_b.adjust("balance", SAGA_AMOUNT),
+                    compensation=lambda token: acct_b.adjust(
+                        "balance", -int(token)
+                    ),
+                    comp_token=str(SAGA_AMOUNT),
+                )
+        except SagaAborted:
+            aborted += 1
+        else:
+            committed += 1
+
+    # Finish any saga whose compensation was itself interrupted: a
+    # replacement coordinator works purely from the journal.
+    replacement = SagaCoordinator(
+        env.create_domain("clients", "teller-recovery"),
+        name="bench",
+        store=coord.store,
+    )
+    compensators = {
+        "debit-a": lambda token: acct_a.adjust("balance", int(token)),
+        "credit-b": lambda token: acct_b.adjust("balance", -int(token)),
+    }
+    journal = coord.journal_snapshot()
+    for _ in range(4):
+        sids = {key.partition(".")[0] for key in journal}
+        if all(f"{sid}.end" in journal for sid in sids):
+            break
+        replacement.recover(compensators)
+        journal = coord.journal_snapshot()
+
+    sim_total = env.clock.now_us - sim_before
+
+    # Money conservation: exactly-once at every rate, with attribution.
+    ended = sum(
+        1
+        for key, value in journal.items()
+        if key.endswith(".end") and value == "committed"
+    )
+    a = int(bank_a.store._records["/services/acct-a"]["balance"])
+    b = int(bank_b.store._records["/services/acct-b"]["balance"])
+    assert a + b == 2 * SAGA_SEED_BALANCE, f"money not conserved: {a} + {b}"
+    assert a == SAGA_SEED_BALANCE - SAGA_AMOUNT * ended
+    assert b == SAGA_SEED_BALANCE + SAGA_AMOUNT * ended
+    assert committed == ended
+
+    return {
+        "crash_rate": crash_rate,
+        "transfers": SAGA_TRANSFERS,
+        "committed": committed,
+        "aborted": aborted,
+        "sim_us_per_transfer": sim_total / SAGA_TRANSFERS,
+        "journal_commits": coord.store.commits - journal_commits_before,
+    }
+
+
+def run(rounds: int = 20000, warmup: int = 2000) -> dict:
+    """Run the P9 exactly-once bench; returns the measurement dict."""
+    # Uninstalled leg: no key context anywhere — the default posture of
+    # every kernel in the tree.
+    kernel_off, _, general_off, _ = build_world()
+    for _ in range(warmup):
+        general_off.total()
+    sim_off = min(sim_us(kernel_off, general_off.total) for _ in range(5))
+    wall_off = round(best_of(general_off.total, rounds), 2)
+
+    # Saga legs: deterministic, asserted by replaying each leg.
+    legs = []
+    for rate in SAGA_CRASH_RATES:
+        leg = saga_leg(rate)
+        again = saga_leg(rate)
+        assert leg == again, (
+            f"saga leg at crash rate {rate} nondeterministic:\n"
+            f"{leg}\n{again}"
+        )
+        legs.append(
+            {**leg, "sim_us_per_transfer": round(leg["sim_us_per_transfer"], 2)}
+        )
+
+    results = {
+        "rounds": rounds,
+        "uninstalled_general_wall_us": wall_off,
+        "uninstalled_general_sim_us": sim_off,
+        "dedup_micro": dedup_micro(),
+        "saga_legs": legs,
+    }
+
+    # -- deterministic invariants (machine-independent) -----------------
+
+    # Uninstalled mode charges not one simulated nanosecond: sim time
+    # matches the recorded pre-P9 tree bit-for-bit.
+    assert abs(sim_off - PRE_P9_GENERAL_SIM_US) < 1e-6, (
+        f"exactly-once-uninstalled sim time drifted: {sim_off} != pre-P9 "
+        f"record {PRE_P9_GENERAL_SIM_US}"
+    )
+    # Chaos must make the workload strictly more expensive per transfer
+    # (retries, journal replays, repair scans) — and the quiet leg must
+    # commit everything.
+    assert legs[0]["committed"] == SAGA_TRANSFERS
+    assert legs[0]["aborted"] == 0
+    for quiet, faulted in zip(legs, legs[1:]):
+        assert faulted["sim_us_per_transfer"] > quiet["sim_us_per_transfer"]
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="P9-saga")
+def bench_p9_uninstalled_general(benchmark):
+    _, _, general_off, _ = build_world()
+    benchmark(general_off.total)
+
+
+@pytest.mark.bench_smoke
+def bench_p9_shape_and_record(record):
+    results = run(rounds=2000, warmup=500)
+    record("P9", f"uninstalled general: {results['uninstalled_general_wall_us']:8.2f} wall-us/call (best; sim bit-for-bit pre-P9)")
+    micro = results["dedup_micro"]
+    record("P9", f"dedup memo: {micro['miss_lookup_ns']:.0f} ns miss, {micro['record_ns']:.0f} ns record, {micro['hit_lookup_ns']:.0f} ns hit at {micro['entries']} entries")
+    for leg in results["saga_legs"]:
+        record(
+            "P9",
+            f"saga @ {leg['crash_rate']:4.0%} crash: "
+            f"{leg['sim_us_per_transfer']:9.2f} sim-us/transfer, "
+            f"{leg['committed']}/{leg['transfers']} committed, "
+            f"{leg['journal_commits']} journal commits (deterministic, asserted)",
+        )

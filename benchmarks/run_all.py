@@ -65,6 +65,16 @@ all asserted inside the run), the raw sketch insert/quantile micro-leg,
 the SLO-engine evaluation micro-leg with exact snapshot replay, and the
 committed PR-time A/B record of the 2% uninstalled-overhead wall gate
 (see :mod:`benchmarks.bench_p8_slo`).
+
+And ``benchmarks/BENCH_P9.json`` (the PR-9 exactly-once bench): the
+idempotency stamp gate uninstalled on the same hot path (general-stub
+sim time bit-for-bit the pre-P9 record, asserted inside the run), the
+committed PR-time A/B record of the 2% uninstalled-overhead wall gate,
+the dedup-memo micro-leg, and the deterministic saga-overhead legs —
+the same transfer workload at 0% / 1% / 5% crash-mid-call rates, each
+leg replayed from its seed and asserted identical to the bit, with
+money conservation asserted at every rate (see
+:mod:`benchmarks.bench_p9_saga`).
 """
 
 from __future__ import annotations
@@ -82,6 +92,7 @@ P5_OUT_PATH = BENCH_DIR / "BENCH_P5.json"
 P6_OUT_PATH = BENCH_DIR / "BENCH_P6.json"
 P7_OUT_PATH = BENCH_DIR / "BENCH_P7.json"
 P8_OUT_PATH = BENCH_DIR / "BENCH_P8.json"
+P9_OUT_PATH = BENCH_DIR / "BENCH_P9.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -330,6 +341,40 @@ def run_p8_bench(rounds: int, warmup: int) -> int:
         f"{slo['windows']} windows (snapshot replay exact, asserted)"
     )
     print(f"wrote {P8_OUT_PATH}")
+    return run_p9_bench(rounds, warmup)
+
+
+def run_p9_bench(rounds: int, warmup: int) -> int:
+    from benchmarks.bench_p9_saga import PR_AB_VS_PRE_P9
+    from benchmarks.bench_p9_saga import run as run_p9
+
+    print(f"P9 exactly-once bench: {rounds} rounds per configuration ...")
+    p9 = run_p9(rounds=rounds, warmup=warmup)
+    p9_payload = {
+        "bench": "P9-saga",
+        "current": p9,
+        "pr_ab_vs_pre_p9": PR_AB_VS_PRE_P9,
+    }
+    P9_OUT_PATH.write_text(json.dumps(p9_payload, indent=2) + "\n")
+
+    print(
+        f"  uninstalled  {p9['uninstalled_general_wall_us']:7.2f} wall-us/call "
+        f"(sim bit-for-bit pre-P9, asserted)"
+    )
+    micro = p9["dedup_micro"]
+    print(
+        f"  dedup memo: {micro['miss_lookup_ns']:.0f} ns miss, "
+        f"{micro['record_ns']:.0f} ns record, {micro['hit_lookup_ns']:.0f} ns "
+        f"hit at {micro['entries']} entries"
+    )
+    for leg in p9["saga_legs"]:
+        print(
+            f"  saga @ {leg['crash_rate']:4.0%} crash: "
+            f"{leg['sim_us_per_transfer']:9.2f} sim-us/transfer, "
+            f"{leg['committed']}/{leg['transfers']} committed "
+            f"(deterministic, asserted)"
+        )
+    print(f"wrote {P9_OUT_PATH}")
     return 0
 
 

@@ -16,6 +16,7 @@ from repro.analysis.rules.clock_discipline import ClockDisciplineRule
 from repro.analysis.rules.shared_state_discipline import SharedStateDisciplineRule
 from repro.analysis.rules.unbounded_queue import UnboundedQueueRule
 from repro.analysis.rules.metrics_naming import MetricsNamingRule
+from repro.analysis.rules.compensation_discipline import CompensationDisciplineRule
 
 __all__ = [
     "ALL_RULES",
@@ -28,6 +29,7 @@ __all__ = [
     "SharedStateDisciplineRule",
     "UnboundedQueueRule",
     "MetricsNamingRule",
+    "CompensationDisciplineRule",
 ]
 
 ALL_RULES = (
@@ -40,4 +42,5 @@ ALL_RULES = (
     SharedStateDisciplineRule,
     UnboundedQueueRule,
     MetricsNamingRule,
+    CompensationDisciplineRule,
 )

@@ -1,0 +1,147 @@
+"""compensation-discipline: saga steps must be undoable (or say they
+are not), and dedup memos must be bounded.
+
+The saga coordinator's exactly-once guarantee rests on two local
+disciplines that are easy to drop and invisible at the call site once
+dropped:
+
+* **every step needs a compensation** — a saga step registered without
+  one cannot be undone when a later step fails, silently converting the
+  saga back into the partial-update workflow it exists to prevent.  The
+  API requires ``irreversible=True`` to make the exception explicit (and
+  raises at runtime otherwise); this rule catches the omission at lint
+  time, before a chaos seed has to find it.
+* **idempotency-key memos must be bounded** — every retried request
+  parks recorded reply bytes in the server's dedup memo.  Constructing
+  :class:`~repro.runtime.idem.DedupMemo` with a falsy or negative entry
+  bound (``entries=0``, ``entries=None``) is the memo-shaped version of
+  an unbounded queue under millions of retrying clients.
+
+Both checks are lexical, matching the codebase's naming conventions the
+way the other rules do: a ``.run(...)`` call whose receiver mentions
+``saga`` is a saga step; a call to a name ending in ``DedupMemo`` is a
+memo construction.  A call that threads a caller-supplied compensation
+through (a generic relay) carries a targeted suppression::
+
+    saga.run(label, action, compensation=comp)  # fine: non-None literal
+    runner.saga.run(label, act)  # springlint: disable=compensation-discipline -- relay
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Rule, SourceModule
+
+__all__ = ["CompensationDisciplineRule"]
+
+
+def _receiver_tail(node: ast.expr) -> str | None:
+    """The receiver's trailing name: ``self.saga`` -> ``saga``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_sagaish(name: str | None) -> bool:
+    return name is not None and "saga" in name.lower()
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_literal(node: ast.expr | None, value: object) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+class CompensationDisciplineRule(Rule):
+    name = "compensation-discipline"
+    description = (
+        "saga steps need a compensation (or an explicit irreversible=True) "
+        "and idempotency-key dedup memos need a bound"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "run":
+                if _is_sagaish(_receiver_tail(func.value)):
+                    yield from self._check_step(module, node)
+            name = _receiver_tail(func)
+            if name is not None and name.endswith("DedupMemo"):
+                yield from self._check_memo(module, node)
+
+    def _check_step(self, module: SourceModule, call: ast.Call) -> Iterator[Finding]:
+        compensation = _keyword(call, "compensation")
+        if len(call.args) > 2:
+            compensation = call.args[2]
+        if compensation is not None and not _is_literal(compensation, None):
+            return
+        if _is_literal(_keyword(call, "irreversible"), True):
+            return
+        yield Finding(
+            rule=self.name,
+            path=module.path,
+            line=call.lineno,
+            col=call.col_offset,
+            severity="error",
+            message=(
+                "saga step registered without a compensation: a later "
+                "step's failure cannot undo this one"
+            ),
+            hint=(
+                "pass compensation=<fn> (with a comp_token the journal can "
+                "persist), or declare the step irreversible=True"
+            ),
+        )
+
+    def _check_memo(self, module: SourceModule, call: ast.Call) -> Iterator[Finding]:
+        entries = _keyword(call, "entries")
+        if len(call.args) > 0:
+            entries = call.args[0]
+        if entries is None:
+            return  # default bound applies
+        # -1 parses as UnaryOp(USub, Constant(1)): any negated int
+        # literal is non-positive, so it is unbounded by definition.
+        negated_int = (
+            isinstance(entries, ast.UnaryOp)
+            and isinstance(entries.op, ast.USub)
+            and isinstance(entries.operand, ast.Constant)
+            and isinstance(entries.operand.value, int)
+        )
+        unbounded = (
+            _is_literal(entries, None)
+            or negated_int
+            or (
+                isinstance(entries, ast.Constant)
+                and isinstance(entries.value, int)
+                and not isinstance(entries.value, bool)
+                and entries.value <= 0
+            )
+        )
+        if not unbounded:
+            return
+        yield Finding(
+            rule=self.name,
+            path=module.path,
+            line=call.lineno,
+            col=call.col_offset,
+            severity="error",
+            message=(
+                "dedup memo constructed without a bound: recorded replies "
+                "accumulate per retried request and never leave"
+            ),
+            hint=(
+                "give the memo a positive entries= bound (FIFO eviction "
+                "keeps the hot keys; the default is DEDUP_MEMO_ENTRIES)"
+            ),
+        )

@@ -67,6 +67,14 @@ class _ThreadDeadline(threading.local):
     value: float | None = None
 
 
+class _ThreadIdem(threading.local):
+    """Per-thread idempotency-key slot, class-level default like
+    :class:`_ThreadDeadline` (the unset read must stay one attribute
+    lookup — this slot is consulted on every door call)."""
+
+    value: int | None = None
+
+
 class Kernel:
     """One Spring nucleus instance.
 
@@ -103,6 +111,20 @@ class Kernel:
         # repro.runtime.deadline.deadline() and stamped onto buffers at
         # door_call so the budget follows the call across machines.
         self._deadline = _ThreadDeadline()
+        # Per-thread idempotency key; installed by
+        # repro.runtime.idem.idempotency_key() and stamped onto buffers
+        # at door_call.  Cleared around handler delivery: the key names
+        # ONE logical request, so calls a handler makes never inherit it.
+        self._idem = _ThreadIdem()
+        #: count of live idempotency_key contexts (any thread).  Zero on
+        #: the unkeyed fast path, so door_call's stamp gate is one plain
+        #: attribute read + branch — the thread-local is only consulted
+        #: while some thread actually holds a key.
+        self._idem_depth = 0
+        # Kernel-scoped sequence counters (txn ids, saga ids, idempotency
+        # keys).  Process-global counters leak state between worlds and
+        # break seed-swept replays; these reset with the kernel.
+        self._seqs: dict[str, int] = {}
         #: the admission controller (repro.runtime.admission) or None;
         #: like chaos, uninstalled costs one attribute read + one branch
         #: at each gate (local door launch, fabric incoming leg) and zero
@@ -121,6 +143,19 @@ class Kernel:
     def call_depth(self) -> int:
         """Depth of the calling thread's nested door-call chain."""
         return getattr(self._depth, "value", 0)
+
+    def next_seq(self, kind: str) -> int:
+        """Allocate the next kernel-scoped sequence number for ``kind``.
+
+        Used for identifiers that must be deterministic per world
+        (transaction ids, saga ids, idempotency keys): two worlds built
+        from the same seed allocate the same numbers in the same order,
+        regardless of what other tests ran in the process before them.
+        """
+        with self._table_lock:
+            value = self._seqs.get(kind, 0) + 1
+            self._seqs[kind] = value
+            return value
 
     # ------------------------------------------------------------------
     # domains
@@ -309,6 +344,15 @@ class Kernel:
         if dl is not None:
             buffer.deadline_us = dl
 
+        # Stamp the idempotency key the same way; a retry loop reusing
+        # this buffer re-stamps the same key, which is the point.  Gated
+        # on the live-context count so the unkeyed path never pays the
+        # thread-local read.
+        if self._idem_depth:
+            ik = self._idem.value
+            if ik is not None:
+                buffer.idem_key = ik
+
         chaos = self.chaos
         if chaos is not None:
             chaos.on_door_call(caller, door)
@@ -437,6 +481,20 @@ class Kernel:
         depth_local = self._depth
         depth = getattr(depth_local, "value", 0)
         depth_local.value = depth + 1
+        # The idempotency key names exactly one logical request: clear
+        # the thread slot while the handler runs so its nested calls
+        # don't inherit the caller's key, and restore it for the
+        # caller's retry loop.  Gated on the buffer's slot — door_call
+        # stamps it whenever the thread slot is set, so an unkeyed
+        # delivery pays one __slots__ read + branch, never the (much
+        # slower) thread-local read.
+        if buffer.idem_key is not None:
+            idem_local = self._idem
+            ik = idem_local.value
+            if ik is not None:
+                idem_local.value = None
+        else:
+            ik = None
         ts = self.tsan
         if ts is not None:
             ts.on_door_receive(door, buffer)
@@ -444,6 +502,8 @@ class Kernel:
             reply = door.handler(buffer)
         finally:
             depth_local.value = depth
+            if ik is not None:
+                idem_local.value = ik
         if ts is not None:
             ts.on_reply_send(reply)
         return reply
@@ -475,6 +535,15 @@ class Kernel:
         depth_local = self._depth
         depth = getattr(depth_local, "value", 0)
         depth_local.value = depth + 1
+        # Same key hygiene as the untraced body: the handler's own calls
+        # must not inherit the caller's idempotency key.
+        if buffer.idem_key is not None:
+            idem_local = self._idem
+            ik = idem_local.value
+            if ik is not None:
+                idem_local.value = None
+        else:
+            ik = None
         ts = self.tsan
         if ts is not None:
             ts.on_door_receive(door, buffer)
@@ -484,6 +553,8 @@ class Kernel:
                 reply = door.handler(buffer)
         finally:
             depth_local.value = depth
+            if ik is not None:
+                idem_local.value = ik
         if ts is not None:
             ts.on_reply_send(reply)
         return reply

@@ -103,6 +103,7 @@ class MarshalBuffer:
         "_released_at",
         "trace_ctx",
         "deadline_us",
+        "idem_key",
     )
 
     def __init__(self, kernel: "Kernel | None" = None) -> None:
@@ -131,6 +132,10 @@ class MarshalBuffer:
         #: kernel at door_call; enforced at the fabric, netserver, and
         #: delivery legs (see repro.runtime.deadline).
         self.deadline_us: float | None = None
+        #: out-of-band idempotency key (u64) stamped by the kernel at
+        #: door_call; consulted by server-side dedup memos so a retried
+        #: request returns the recorded reply (see repro.runtime.idem).
+        self.idem_key: int | None = None
 
     # ------------------------------------------------------------------
     # write side
@@ -421,6 +426,7 @@ class MarshalBuffer:
         self.sealed = False
         self.trace_ctx = None
         self.deadline_us = None
+        self.idem_key = None
         self._real_dec.pos = 0
         # Stale handles now fail loudly on any put/get (use-after-release).
         self._enc = self._dec = _RELEASED_STREAM

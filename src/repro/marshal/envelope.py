@@ -4,26 +4,27 @@ The process fabric (:mod:`repro.net.procfabric`) carries door calls
 between real OS processes.  The *payload* of such a call is the exact
 byte stream a :class:`~repro.marshal.buffer.MarshalBuffer` already
 produced — the wire format IS the inter-process format, no re-marshalling
-layer exists — but two things ride on the buffer *out of band* and must
-survive the boundary: the call deadline (``deadline_us``) and the trace
-context (``trace_ctx``).  The envelope is the small fixed-size header
-that frames one payload and carries those two items, plus routing
-(call id, target export) and the shared-memory-ring indirection flag
-for bulk payloads.
+layer exists — but three things ride on the buffer *out of band* and must
+survive the boundary: the call deadline (``deadline_us``), the trace
+context (``trace_ctx``), and the idempotency key (``idem_key``).  The
+envelope is the small fixed-size header that frames one payload and
+carries those items, plus routing (call id, target export) and the
+shared-memory-ring indirection flag for bulk payloads.
 
-Layout (little-endian, 56 bytes)::
+Layout (little-endian, 64 bytes)::
 
     magic        u16   0x5BC6
-    version      u8    1
+    version      u8    2
     kind         u8    CALL / REPLY / ERROR / CONTROL / CONTROL_REPLY
     call_id      u64   request/reply correlation
     target       u32   export id (CALL) or control op (CONTROL)
-    flags        u32   RING / DEADLINE / TRACE bits
+    flags        u32   RING / DEADLINE / TRACE / IDEM bits
     budget_us    f64   remaining deadline budget (sim-us), if DEADLINE
     trace_id     u64   wire trace context, if TRACE
     span_id      u64   wire trace context, if TRACE
     payload_len  u32   payload byte count
     ring_off     u64   free-running ring offset of the payload, if RING
+    idem_key     u64   idempotency key of the logical request, if IDEM
 
 The deadline crosses as a *remaining budget* rather than an absolute
 instant because each process runs its own simulated clock; the receiver
@@ -57,6 +58,7 @@ __all__ = [
     "FLAG_RING",
     "FLAG_DEADLINE",
     "FLAG_TRACE",
+    "FLAG_IDEM",
     "HEADER",
     "pack_error",
     "unpack_error",
@@ -66,7 +68,7 @@ __all__ = [
 ]
 
 MAGIC = 0x5BC6
-VERSION = 1
+VERSION = 2
 
 KIND_CALL = 1
 KIND_REPLY = 2
@@ -82,8 +84,10 @@ FLAG_RING = 0x1
 FLAG_DEADLINE = 0x2
 #: ``trace_id``/``span_id`` are meaningful (the call carries a context)
 FLAG_TRACE = 0x4
+#: ``idem_key`` is meaningful (the call names a logical request)
+FLAG_IDEM = 0x8
 
-HEADER = struct.Struct("<HBBQIIdQQIQ")
+HEADER = struct.Struct("<HBBQIIdQQIQQ")
 
 
 class ChannelClosedError(Exception):
@@ -102,6 +106,7 @@ class Envelope:
         "trace_ctx",
         "payload",
         "ring_off",
+        "idem_key",
     )
 
     def __init__(
@@ -114,6 +119,7 @@ class Envelope:
         trace_ctx: tuple[int, int] | None,
         payload: bytes,
         ring_off: int = 0,
+        idem_key: "int | None" = None,
     ) -> None:
         self.kind = kind
         self.call_id = call_id
@@ -123,6 +129,7 @@ class Envelope:
         self.trace_ctx = trace_ctx
         self.payload = payload
         self.ring_off = ring_off
+        self.idem_key = idem_key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -141,6 +148,7 @@ def pack_header(
     span_id: int,
     payload_len: int,
     ring_off: int,
+    idem_key: int = 0,
 ) -> bytes:
     return HEADER.pack(
         MAGIC,
@@ -154,6 +162,7 @@ def pack_header(
         span_id,
         payload_len,
         ring_off,
+        idem_key,
     )
 
 
@@ -200,6 +209,7 @@ def send_envelope(
     trace_ctx: tuple[int, int] | None = None,
     ring: Any | None = None,
     ring_min: int = 1 << 62,
+    idem_key: "int | None" = None,
 ) -> bool:
     """Frame and send one envelope; returns True when the ring carried it.
 
@@ -217,6 +227,10 @@ def send_envelope(
     if trace_ctx is not None:
         flags |= FLAG_TRACE
         trace_id, span_id = trace_ctx
+    key = 0
+    if idem_key is not None:
+        flags |= FLAG_IDEM
+        key = idem_key
     view = memoryview(payload)
     ring_off = 0
     # Payloads over the ring's half-capacity budget cross inline on the
@@ -231,7 +245,16 @@ def send_envelope(
         flags |= FLAG_RING
         ring_off = ring.write(view)
     header = pack_header(
-        kind, call_id, target, flags, budget, trace_id, span_id, len(view), ring_off
+        kind,
+        call_id,
+        target,
+        flags,
+        budget,
+        trace_id,
+        span_id,
+        len(view),
+        ring_off,
+        key,
     )
     if via_ring or not len(view):
         sock.sendall(header)
@@ -264,6 +287,7 @@ def recv_envelope(sock: "socket.socket", ring: Any | None = None) -> Envelope:
         span_id,
         payload_len,
         ring_off,
+        idem_key,
     ) = HEADER.unpack(raw)
     if magic != MAGIC or version != VERSION:
         raise ChannelClosedError(
@@ -288,4 +312,5 @@ def recv_envelope(sock: "socket.socket", ring: Any | None = None) -> Envelope:
         (trace_id, span_id) if flags & FLAG_TRACE else None,
         payload,
         ring_off,
+        idem_key if flags & FLAG_IDEM else None,
     )

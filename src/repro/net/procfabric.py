@@ -411,17 +411,20 @@ class ProcFabric:
                     f"deadline spent before crossing to worker {worker} "
                     f"({-budget:.1f} us over budget)"
                 )
+            ik = request.idem_key
             tracer = kernel.tracer
             if tracer.enabled:
                 with tracer.begin_span(
                     bridge, _SPAN_CARRY, "fabric", worker=worker, export=name
                 ) as span:
                     payload = self.call_raw(
-                        worker, export_id, request.data, budget, span.ctx
+                        worker, export_id, request.data, budget, span.ctx,
+                        idem_key=ik,
                     )
             else:
                 payload = self.call_raw(
-                    worker, export_id, request.data, budget, request.trace_ctx
+                    worker, export_id, request.data, budget, request.trace_ctx,
+                    idem_key=ik,
                 )
             reply = bridge.acquire_buffer()
             reply.data.extend(payload)
@@ -441,6 +444,7 @@ class ProcFabric:
         budget_us: float | None = None,
         trace_ctx: tuple[int, int] | None = None,
         timeout_s: float | None = None,
+        idem_key: "int | None" = None,
     ) -> bytes:
         """Ship one call's wire bytes to a worker; returns the reply bytes.
 
@@ -456,6 +460,7 @@ class ProcFabric:
             budget_us=budget_us,
             trace_ctx=trace_ctx,
             timeout_s=timeout_s,
+            idem_key=idem_key,
         )
         handle.calls += 1
         if envelope.kind == KIND_ERROR:
@@ -477,6 +482,7 @@ class ProcFabric:
         payload: "bytes | bytearray | memoryview",
         budget_us: float | None = None,
         trace_ctx: tuple[int, int] | None = None,
+        idem_key: "int | None" = None,
     ) -> None:
         if not handle.alive or handle.sock is None:
             raise ServerDiedError(f"procfabric worker {handle.index} is down")
@@ -494,6 +500,7 @@ class ProcFabric:
                     trace_ctx=trace_ctx,
                     ring=handle.call_ring,
                     ring_min=self.ring_min,
+                    idem_key=idem_key,
                 )
             except ChannelClosedError as exc:
                 # The call ring's bounded wait gave up: the worker died
@@ -514,6 +521,7 @@ class ProcFabric:
         budget_us: float | None = None,
         trace_ctx: tuple[int, int] | None = None,
         timeout_s: float | None = None,
+        idem_key: "int | None" = None,
     ):
         call_id = next(self._call_ids)
         pending = _Pending()
@@ -521,7 +529,7 @@ class ProcFabric:
         try:
             self._send(
                 handle, kind, call_id, target, payload,
-                budget_us=budget_us, trace_ctx=trace_ctx,
+                budget_us=budget_us, trace_ctx=trace_ctx, idem_key=idem_key,
             )
         except OSError as exc:
             handle.pending.pop(call_id, None)

@@ -254,6 +254,10 @@ def _serve_call(kernel: Any, table: dict, envelope: Any) -> MarshalBuffer:
             request.deadline_us = kernel.clock.now_us + envelope.budget_us
         if envelope.trace_ctx is not None and kernel.tracer.enabled:
             request.trace_ctx = envelope.trace_ctx
+        # The idempotency key crosses the same way the deadline does:
+        # restored out-of-band so the worker-side dedup memo sees it.
+        if envelope.idem_key is not None:
+            request.idem_key = envelope.idem_key
         # Mirror of Kernel._admitted_local_call: the admission gate sits
         # on the incoming leg exactly as it does for the sim fabric.
         admission = kernel.admission

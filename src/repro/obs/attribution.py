@@ -65,6 +65,7 @@ EVENT_SEGMENTS = {
     "reconnect.retry": ("retry_backoff", "backoff_us"),
     "reconnect.busy_backoff": ("retry_backoff", "backoff_us"),
     "chaos.link_delay": ("chaos_delay", "delay_us"),
+    "saga.journal": ("journal_write", "write_us"),
 }
 
 #: catch-all for time a span spent that no child or event explains

@@ -16,8 +16,15 @@ from repro.runtime.chaos import (
 from repro.runtime.deadline import deadline, remaining_us
 from repro.runtime.env import Environment
 from repro.runtime.faults import crash_domain, crash_machine, partitioned
+from repro.runtime.idem import (
+    DedupMemo,
+    idempotency_key,
+    next_idempotency_key,
+    wrap_idempotent,
+)
 from repro.runtime.report import CostReport, compare_tallies, format_tally
 from repro.runtime.retry import BreakerOpenError, CircuitBreaker, RetryPolicy
+from repro.runtime.saga import Saga, SagaAborted, SagaCoordinator, SagaUsageError
 from repro.runtime.threads import run_concurrently
 from repro.runtime.transfer import give, transfer
 
@@ -38,6 +45,14 @@ __all__ = [
     "uninstall_admission",
     "deadline",
     "remaining_us",
+    "idempotency_key",
+    "next_idempotency_key",
+    "DedupMemo",
+    "wrap_idempotent",
+    "SagaCoordinator",
+    "Saga",
+    "SagaAborted",
+    "SagaUsageError",
     "RetryPolicy",
     "CircuitBreaker",
     "BreakerOpenError",

@@ -232,6 +232,8 @@ class FaultPlane:
         #: one-shot triggers (deterministic test hooks)
         self._fail_next_door_calls = 0
         self._crash_mid_call_armed: "Domain | None | bool" = False
+        #: leg name -> remaining armed carry drops for that leg
+        self._drop_next_carry: dict[str, int] = {}
         #: scheduled actions: (at_us, seq, label, fn)
         self._schedule: list[tuple[float, int, str, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -265,6 +267,18 @@ class FaultPlane:
     def crash_mid_call_next(self, domain: "Domain | None" = None) -> None:
         """Arm a one-shot crash-mid-call (optionally only for ``domain``)."""
         self._crash_mid_call_armed = domain if domain is not None else True
+
+    def drop_next_carry(self, leg: str = "reply", count: int = 1) -> None:
+        """Arm deterministic drops for the next N carries of one leg.
+
+        ``leg="reply"`` is the lost-reply scenario the idempotency-key
+        dedup layer exists for: the server executed, the result
+        evaporated on the wire, and the client's retry must replay the
+        recorded reply instead of re-executing.  Armed drops fire before
+        (and without) a rate draw, so arming one never perturbs the
+        seeded fault sequence.
+        """
+        self._drop_next_carry[leg] = self._drop_next_carry.get(leg, 0) + count
 
     def burst(
         self,
@@ -411,6 +425,25 @@ class FaultPlane:
         """Fabric hook: once per carry leg; may drop the leg or add delay."""
         if self._schedule:
             self.pump()
+        if self._drop_next_carry:
+            armed = self._drop_next_carry.get(leg, 0)
+            if armed > 0:
+                if armed == 1:
+                    del self._drop_next_carry[leg]
+                else:
+                    self._drop_next_carry[leg] = armed - 1
+                self._count("carry_drop")
+                self._event(
+                    "chaos.carry_drop",
+                    src=src.name,
+                    dst=dst.name,
+                    leg=leg,
+                    armed=True,
+                )
+                raise InjectedFault(
+                    f"chaos: {leg} lost between {src.name!r} and "
+                    f"{dst.name!r} (armed)"
+                )
         link = self._link_for(src.name, dst.name)
         rate = link.carry_drop
         if rate and self.rng.random() < rate:

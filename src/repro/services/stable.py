@@ -19,6 +19,7 @@ from functools import lru_cache
 from typing import TYPE_CHECKING
 
 from repro.idl.compiler import IdlModule, compile_idl
+from repro.runtime.idem import DedupMemo
 from repro.subcontracts.reconnectable import ReconnectableServer
 
 if TYPE_CHECKING:
@@ -81,6 +82,7 @@ interface durable_kv {
     bool has(string key);
     void remove(string key);
     sequence<string> keys();
+    string adjust(string key, int32 delta);
 }
 """
 
@@ -120,6 +122,18 @@ class _DurableKVImpl:
     def keys(self) -> list[str]:
         return sorted(self._data)
 
+    def adjust(self, key: str, delta: int) -> str:
+        """Add ``delta`` to an integer-valued key (absent counts as 0).
+
+        The read-modify-write that makes blind retries dangerous — and
+        therefore the op the idempotency-key dedup layer exists for.
+        Returns the new value as a string.
+        """
+        value = int(self._data.get(key, "0")) + delta
+        self._store.commit(self._name, key, str(value))
+        self._data[key] = str(value)
+        return str(value)
+
 
 class DurableKVService:
     """A reconnectable, stable-storage-backed KV service.
@@ -152,8 +166,15 @@ class DurableKVService:
         )
         self.impl = _DurableKVImpl(self.store, self.service_name)
         binding = durable_kv_module().binding("durable_kv")
+        # The dedup memo is durable like the data it guards: recorded
+        # replies live in the same stable store, so a client retrying
+        # across a crash+restart still gets the first execution's reply
+        # (the new incarnation reloads the memo in its recovery scan).
+        self.dedup_memo = DedupMemo(
+            store=self.store, record=f"{self.service_name}#dedup"
+        )
         ReconnectableServer(self.domain).export(
-            self.impl, binding, name=self.service_name
+            self.impl, binding, name=self.service_name, dedup=self.dedup_memo
         )
 
     def restart(self) -> None:

@@ -36,6 +36,7 @@ from repro.kernel.errors import (
     ServerBusyError,
 )
 from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.idem import DedupMemo, wrap_idempotent
 from repro.runtime.retry import BreakerOpenError, RetryPolicy
 from repro.subcontracts.common import make_door_handler
 
@@ -233,6 +234,7 @@ class ReconnectableServer(ServerSubcontract):
         binding: "InterfaceBinding",
         name: str = "",
         unreferenced: Callable[[Any], None] | None = None,
+        dedup: "DedupMemo | None" = None,
         **options: Any,
     ) -> SpringObject:
         if not name:
@@ -245,7 +247,17 @@ class ReconnectableServer(ServerSubcontract):
                 f"domain {self.domain.name!r} has no naming context; "
                 f"reconnectable servers must be able to (re)bind their name"
             )
-        handler = make_door_handler(self.domain, impl, binding)
+        # A reconnectable export is by definition retried by its clients,
+        # so every one gets an idempotency-key dedup memo in front of the
+        # skeleton: a retry after a lost reply replays the recorded reply
+        # instead of re-executing.  Pass ``dedup`` to share a memo across
+        # incarnations (durable services back it with stable storage).
+        if dedup is None:
+            dedup = DedupMemo()
+        self.dedup = dedup
+        handler = wrap_idempotent(
+            self.domain, make_door_handler(self.domain, impl, binding), dedup
+        )
         door = self.domain.kernel.create_door(
             self.domain, handler, label=f"reconnectable:{binding.name}"
         )

@@ -34,6 +34,7 @@ from repro.kernel.errors import (
 )
 from repro.marshal.buffer import MarshalBuffer
 from repro.runtime import tsan as _tsan
+from repro.runtime.idem import DedupMemo, wrap_idempotent
 from repro.runtime.retry import RetryPolicy
 from repro.subcontracts.common import make_door_handler
 
@@ -305,6 +306,8 @@ class RepliconGroup:
         self.members: list[tuple["Domain", Any, "DoorIdentifier"]] = []
         #: domain uid -> list of identifiers (one per member) owned by it
         self._matrix: dict[int, list["DoorIdentifier"]] = {}
+        #: domain uid -> that replica's idempotency-key dedup memo
+        self.dedup_memos: dict[int, DedupMemo] = {}
         # Serializes membership changes (epoch bumps, matrix rebuilds)
         # against each other and against handler threads reading the
         # epoch/matrix in the control hook.
@@ -318,13 +321,23 @@ class RepliconGroup:
 
     def add_replica(self, domain: "Domain", impl: Any) -> None:
         """A new server domain joins the conspiracy."""
-        handler = make_door_handler(
-            domain, impl, self.binding, control_hook=self._control_hook(domain)
+        # Each replica fronts its door with its own dedup memo: a client
+        # retry that lands on the *same* replica replays the recorded
+        # reply (a retry that fails over to a sibling re-executes there —
+        # replicas synchronize state, not memos).
+        memo = DedupMemo()
+        handler = wrap_idempotent(
+            domain,
+            make_door_handler(
+                domain, impl, self.binding, control_hook=self._control_hook(domain)
+            ),
+            memo,
         )
         door = domain.kernel.create_door(
             domain, handler, label=f"replicon:{self.binding.name}"
         )
         with self._lock:
+            self.dedup_memos[domain.uid] = memo
             self.members.append((domain, impl, door))
             self.epoch += 1
             self._rebuild_matrix()

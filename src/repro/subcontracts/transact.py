@@ -16,11 +16,20 @@ implementations:
 Application code never mentions transactions in its IDL interfaces — the
 context rides entirely in subcontract control space, which is the point
 of the example.
+
+Two-phase commit is the *atomic* face of this subcontract; the *durable,
+retriable* face is the saga coordinator (:mod:`repro.runtime.saga`,
+re-exported here): a workflow of door calls with registered
+compensations, a stable-storage step journal, and automatic compensation
+replay after a crash.  Use transactions when every participant shares
+one coordinator and can hold its vote; use sagas when the workflow must
+survive crashes, retries, and lost replies end-to-end (the coordinator
+pairs with the idempotency-key dedup layer in
+:mod:`repro.runtime.idem`).
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.errors import SubcontractError
@@ -28,6 +37,8 @@ from repro.core.object import SpringObject
 from repro.core.registry import ensure_registry
 from repro.core.subcontract import ServerSubcontract
 from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.idem import DedupMemo, wrap_idempotent
+from repro.runtime.saga import Saga, SagaAborted, SagaCoordinator
 from repro.subcontracts.common import SingleDoorRep, make_door_handler
 from repro.subcontracts.singleton import SingleDoorClient
 
@@ -42,9 +53,10 @@ __all__ = [
     "Transaction",
     "begin_transaction",
     "current_transaction",
+    "SagaCoordinator",
+    "Saga",
+    "SagaAborted",
 ]
-
-_txn_counter = itertools.count(1)
 
 #: sentinel transaction ID meaning "no transaction"
 NO_TXN = 0
@@ -54,7 +66,10 @@ class Transaction:
     """A client-side transaction handle."""
 
     def __init__(self, coordinator: "TransactionCoordinator", domain: "Domain") -> None:
-        self.txn_id = next(_txn_counter)
+        # Kernel-scoped, not process-global: seed-swept replays and
+        # telemetry keys must see the same ids regardless of what other
+        # worlds this process ran first (the cachemgr uid fix's twin).
+        self.txn_id = domain.kernel.next_seq("txn")
         self.coordinator = coordinator
         self.domain = domain
         self.state = "active"  # active | committed | aborted
@@ -181,12 +196,17 @@ class TransactServer(ServerSubcontract):
             raise TypeError(f"unknown export options: {sorted(options)}")
         inner = make_door_handler(self.domain, impl, binding)
 
-        def handler(request: MarshalBuffer) -> MarshalBuffer:
+        def enlisting(request: MarshalBuffer) -> MarshalBuffer:
             txn_id = request.get_int64()
             if txn_id != NO_TXN:
                 self.coordinator.enlist(txn_id, impl)
             return inner(request)
 
+        # The dedup memo sits outside enlistment: a replayed request must
+        # not enlist the participant a second time (the first execution
+        # already did).
+        self.dedup = DedupMemo()
+        handler = wrap_idempotent(self.domain, enlisting, self.dedup)
         door = self.domain.kernel.create_door(
             self.domain, handler, label=f"transact:{binding.name}"
         )

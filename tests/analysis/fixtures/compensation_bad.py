@@ -1,0 +1,30 @@
+"""Fixture: saga and dedup-memo misuse the compensation-discipline rule
+must flag."""
+
+from repro.runtime.idem import DedupMemo
+
+
+def step_without_compensation(saga, account):
+    # nothing can undo this debit when a later step fails
+    saga.run("debit", lambda: account.adjust("balance", -30))
+
+
+def step_with_explicit_none(saga, account):
+    saga.run("debit", lambda: account.adjust("balance", -30), compensation=None)
+
+
+def step_on_attribute_receiver(self_saga, account):
+    # attribute-tailed receivers count too
+    self_saga.run("credit", lambda: account.adjust("balance", 30))
+
+
+def unbounded_memo_none():
+    return DedupMemo(entries=None)
+
+
+def unbounded_memo_zero():
+    return DedupMemo(0)
+
+
+def unbounded_memo_negative():
+    return DedupMemo(entries=-1)

@@ -1,0 +1,44 @@
+"""Fixture: disciplined saga steps and bounded memos the
+compensation-discipline rule must accept."""
+
+from repro.runtime.idem import DedupMemo
+
+
+def step_with_compensation(saga, account):
+    saga.run(
+        "debit",
+        lambda: account.adjust("balance", -30),
+        compensation=lambda token: account.adjust("balance", int(token)),
+        comp_token="30",
+    )
+
+
+def step_with_positional_compensation(saga, account, undo):
+    saga.run("debit", lambda: account.adjust("balance", -30), undo, "30")
+
+
+def irreversible_step(saga, mailer):
+    # sent mail cannot be unsent; the step says so explicitly
+    saga.run("notify", lambda: mailer.send("done"), irreversible=True)
+
+
+def relayed_compensation(saga, label, action, comp):
+    # a non-literal compensation expression is assumed non-None
+    saga.run(label, action, compensation=comp, comp_token="t")
+
+
+def bounded_memo_default():
+    return DedupMemo()
+
+
+def bounded_memo_explicit():
+    return DedupMemo(entries=64)
+
+
+def non_saga_run_is_ignored(pool, job):
+    # .run() on non-saga receivers is not a saga step
+    pool.run(job)
+
+
+def suppressed_relay(generic_saga, label, action):
+    generic_saga.run(label, action)  # springlint: disable=compensation-discipline -- fixture relay

@@ -354,3 +354,27 @@ def test_metrics_naming_accepts_literal_emit_sites():
     # dotted literals, conditional-over-literals, computed *scope* with a
     # literal name, non-tracer receivers, and a justified suppression.
     assert run_rule("metrics-naming", "metrics_good.py") == []
+
+
+# -- compensation-discipline --------------------------------------------
+
+
+def test_compensation_discipline_flags_every_seeded_violation():
+    findings = run_rule("compensation-discipline", "compensation_bad.py")
+    text = messages(findings)
+    # steps with no compensation (omitted, explicit None, attribute
+    # receiver)
+    assert text.count("saga step registered without a compensation") == 3
+    # unbounded memo constructions (entries=None, 0, negative)
+    assert text.count("dedup memo constructed without a bound") == 3
+    assert len(findings) == 6, messages(findings)
+    assert all(f.rule == "compensation-discipline" for f in findings)
+    assert all(f.severity == "error" for f in findings)
+    assert all(f.hint for f in findings)
+
+
+def test_compensation_discipline_accepts_disciplined_sagas():
+    # registered compensations (keyword and positional), explicit
+    # irreversible=True, relayed non-literal compensations, bounded
+    # memos, non-saga .run() receivers, and a justified suppression.
+    assert run_rule("compensation-discipline", "compensation_good.py") == []

@@ -247,3 +247,43 @@ def test_p8_smoke_enabled_plane_charges_a_deterministic_tariff(p8_results):
 def test_p8_smoke_sketch_and_slo_micro_legs_ran(p8_results):
     assert p8_results["sketch_micro"]["buckets"] > 0
     assert p8_results["slo_eval_micro"]["states"]
+
+
+@pytest.fixture(scope="module")
+def p9_results():
+    # run() itself asserts the deterministic P9 gates: uninstalled sim
+    # time bit-for-bit equal to the pre-P9 record, every saga leg
+    # identical when replayed from its seed, and money conservation at
+    # every crash rate.
+    from benchmarks.bench_p9_saga import run as run_p9
+
+    return run_p9(rounds=ROUNDS, warmup=WARMUP)
+
+
+def test_p9_smoke_uninstalled_exactly_once_charges_zero_sim_time(p9_results):
+    from benchmarks.bench_p9_saga import PRE_P9_GENERAL_SIM_US
+
+    # The machine-independent form of the 2% overhead gate: with no
+    # idempotency-key context live, the sim clock's per-call total is
+    # bit-for-bit the pre-P9 figure — the stamp gate costs one plain
+    # attribute read + branch idle.
+    assert p9_results["uninstalled_general_sim_us"] == pytest.approx(
+        PRE_P9_GENERAL_SIM_US, abs=1e-6
+    )
+
+
+def test_p9_smoke_chaos_makes_transfers_dearer_not_wrong(p9_results):
+    # Rising crash rates cost more simulated time per transfer (retries,
+    # journal replays, repair scans) but never break exactly-once — the
+    # bench asserts conservation inside each leg.
+    legs = p9_results["saga_legs"]
+    assert [leg["crash_rate"] for leg in legs] == [0.0, 0.01, 0.05]
+    costs = [leg["sim_us_per_transfer"] for leg in legs]
+    assert costs == sorted(costs)
+    assert costs[0] < costs[-1]
+
+
+def test_p9_smoke_dedup_micro_leg_ran(p9_results):
+    micro = p9_results["dedup_micro"]
+    assert micro["entries"] > 0
+    assert micro["hit_lookup_ns"] > 0.0

@@ -1,10 +1,10 @@
 """Envelope framing and preamble-ring unit tests (no fork required).
 
-The envelope is the process fabric's only framing: 56 bytes of header
+The envelope is the process fabric's only framing: 64 bytes of header
 carrying routing, the out-of-band deadline budget, the wire trace
-context, and the ring indirection for bulk payloads.  These tests
-exercise it over an in-process socketpair and the ring over a plain
-bytearray, so they run on every platform.
+context, the idempotency key, and the ring indirection for bulk
+payloads.  These tests exercise it over an in-process socketpair and
+the ring over a plain bytearray, so they run on every platform.
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ import pytest
 from repro.kernel.errors import ServerBusyError
 from repro.marshal.envelope import (
     FLAG_DEADLINE,
+    FLAG_IDEM,
     FLAG_RING,
     FLAG_TRACE,
     HEADER,
@@ -47,8 +48,8 @@ def pair():
 
 
 class TestEnvelopeWire:
-    def test_header_is_56_bytes(self):
-        assert HEADER.size == 56
+    def test_header_is_64_bytes(self):
+        assert HEADER.size == 64
 
     def test_plain_roundtrip(self, pair):
         a, b = pair
@@ -60,6 +61,23 @@ class TestEnvelopeWire:
         assert env.payload == b"hello wire"
         assert env.budget_us is None
         assert env.trace_ctx is None
+        assert env.idem_key is None
+
+    def test_idem_key_crosses_exactly(self, pair):
+        a, b = pair
+        key = (41 << 32) | 7
+        send_envelope(a, KIND_CALL, 1, 0, b"x", idem_key=key)
+        env = recv_envelope(b)
+        assert env.flags & FLAG_IDEM
+        assert env.idem_key == key
+
+    def test_idem_key_zero_is_distinct_from_unset(self, pair):
+        # Key 0 is a valid key: the flag bit, not the value, says "set".
+        a, b = pair
+        send_envelope(a, KIND_CALL, 1, 0, b"x", idem_key=0)
+        env = recv_envelope(b)
+        assert env.flags & FLAG_IDEM
+        assert env.idem_key == 0
 
     def test_empty_payload(self, pair):
         a, b = pair

@@ -1,0 +1,348 @@
+"""The saga coordinator: forward steps, reverse compensations, and a
+journal that survives the coordinator.
+
+The exactly-once claim decomposes into properties this file checks one
+at a time: the journal records history in key-sort order; an abort
+compensates completed steps newest-first; irreversible steps are
+declared, journalled as ``!``, and skipped on the reverse path;
+``DeadlineExceeded`` is never retried; a crashed coordinator's
+replacement recovers open sagas from the journal alone; and identical
+worlds produce byte-identical journals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.errors import CommunicationError, DeadlineExceeded
+from repro.runtime.env import Environment
+from repro.runtime.saga import (
+    IRREVERSIBLE,
+    Saga,
+    SagaAborted,
+    SagaCoordinator,
+    SagaUsageError,
+)
+from repro.services.stable import DurableKVService
+
+
+def build_bank(env):
+    """One durable account service plus a coordinator on the client."""
+    service = DurableKVService(env, "bank", "/services/acct")
+    teller = env.create_domain("clients", "teller")
+    acct = service.client_for(teller)
+    acct.put("a", "100")
+    acct.put("b", "100")
+    coord = SagaCoordinator(teller, name="transfer")
+    return service, acct, coord
+
+
+def transfer(coord, acct, amount):
+    with coord.begin(f"transfer-{amount}") as saga:
+        saga.run(
+            "debit-a",
+            lambda: acct.adjust("a", -amount),
+            compensation=lambda token: acct.adjust("a", int(token)),
+            comp_token=str(amount),
+        )
+        saga.run(
+            "credit-b",
+            lambda: acct.adjust("b", amount),
+            compensation=lambda token: acct.adjust("b", -int(token)),
+            comp_token=str(amount),
+        )
+    return saga
+
+
+class TestForwardPath:
+    def test_commit_journals_exact_history(self, env):
+        service, acct, coord = build_bank(env)
+        saga = transfer(coord, acct, 30)
+        assert saga.state == "committed"
+        assert (acct.get("a"), acct.get("b")) == ("70", "130")
+        assert coord.journal_snapshot() == {
+            "0000000001.begin": "transfer-30",
+            "0000000001.0001.s": "debit-a",
+            "0000000001.0001.d": "30",
+            "0000000001.0002.s": "credit-b",
+            "0000000001.0002.d": "30",
+            "0000000001.end": "committed",
+        }
+        assert coord.committed == 1
+
+    def test_step_without_compensation_raises(self, env):
+        _, acct, coord = build_bank(env)
+        with pytest.raises(SagaUsageError, match="irreversible"):
+            with coord.begin("t") as saga:
+                saga.run("debit", lambda: acct.adjust("a", -1))
+
+    def test_run_after_commit_raises(self, env):
+        _, acct, coord = build_bank(env)
+        saga = transfer(coord, acct, 1)
+        with pytest.raises(SagaUsageError, match="committed"):
+            saga.run("late", lambda: None, irreversible=True)
+
+    def test_saga_ids_are_kernel_scoped(self):
+        # Two worlds allocate the same ids: determinism cannot depend on
+        # how many sagas some other test's world ran first.
+        ids = []
+        for _ in range(2):
+            env = Environment()
+            _, acct, coord = build_bank(env)
+            saga = transfer(coord, acct, 5)
+            ids.append(saga.saga_id)
+        assert ids == [1, 1]
+
+
+class TestReversePath:
+    def test_abort_compensates_in_reverse(self, env):
+        _, acct, coord = build_bank(env)
+        undone = []
+
+        def undo(key):
+            def compensation(token):
+                undone.append(key)
+                acct.adjust(key, int(token))
+
+            return compensation
+
+        with pytest.raises(SagaAborted) as info:
+            with coord.begin("transfer") as saga:
+                saga.run(
+                    "debit-a",
+                    lambda: acct.adjust("a", -30),
+                    compensation=undo("a"),
+                    comp_token="30",
+                )
+                saga.run(
+                    "debit-b",
+                    lambda: acct.adjust("b", -30),
+                    compensation=undo("b"),
+                    comp_token="30",
+                )
+                saga.run("boom", lambda: 1 / 0, irreversible=True)
+        assert undone == ["b", "a"]  # newest first
+        assert (acct.get("a"), acct.get("b")) == ("100", "100")
+        assert info.value.step == "boom"
+        assert isinstance(info.value.cause, ZeroDivisionError)
+        journal = coord.journal_snapshot()
+        assert journal["0000000001.end"] == "aborted"
+        assert journal["0000000001.0001.c"] == ""
+        assert journal["0000000001.0002.c"] == ""
+        assert coord.aborted == 1
+
+    def test_irreversible_steps_are_skipped_not_undone(self, env):
+        _, acct, coord = build_bank(env)
+        with pytest.raises(SagaAborted):
+            with coord.begin("t") as saga:
+                saga.run("notify", lambda: "sent", irreversible=True)
+                saga.run(
+                    "debit-a",
+                    lambda: acct.adjust("a", -10),
+                    compensation=lambda token: acct.adjust("a", int(token)),
+                    comp_token="10",
+                )
+                saga.run("boom", lambda: 1 / 0, irreversible=True)
+        journal = coord.journal_snapshot()
+        assert journal["0000000001.0001.d"] == IRREVERSIBLE
+        assert "0000000001.0001.c" not in journal  # nothing to undo
+        assert journal["0000000001.0002.c"] == ""
+        assert acct.get("a") == "100"
+
+    def test_plain_exception_in_block_aborts_then_reraises(self, env):
+        _, acct, coord = build_bank(env)
+        with pytest.raises(ValueError, match="caller bug"):
+            with coord.begin("t") as saga:
+                saga.run(
+                    "debit-a",
+                    lambda: acct.adjust("a", -10),
+                    compensation=lambda token: acct.adjust("a", int(token)),
+                    comp_token="10",
+                )
+                raise ValueError("caller bug")
+        assert saga.state == "aborted"
+        assert acct.get("a") == "100"
+        assert coord.journal_snapshot()["0000000001.end"] == "aborted"
+
+    def test_failed_compensation_leaves_saga_open(self, env):
+        _, acct, coord = build_bank(env)
+        broken = {"on": True}
+
+        def fragile(token):
+            if broken["on"]:
+                raise RuntimeError("compensator down")
+            acct.adjust("a", int(token))
+
+        with pytest.raises(SagaAborted) as info:
+            with coord.begin("t") as saga:
+                saga.run(
+                    "debit-a",
+                    lambda: acct.adjust("a", -10),
+                    compensation=fragile,
+                    comp_token="10",
+                )
+                saga.run("boom", lambda: 1 / 0, irreversible=True)
+        assert info.value.uncompensated == ("debit-a",)
+        journal = coord.journal_snapshot()
+        assert "0000000001.end" not in journal  # still open for recover()
+        # A later recovery with a healthy compensator finishes the job.
+        broken["on"] = False
+        assert coord.recover({"debit-a": fragile}) == [1]
+        assert acct.get("a") == "100"
+        assert coord.journal_snapshot()["0000000001.end"] == "aborted"
+
+
+class TestRetryInterplay:
+    def test_retryable_failures_are_retried_with_backoff(self, env):
+        _, acct, coord = build_bank(env)
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise CommunicationError("transient")
+            return acct.adjust("a", -10)
+
+        before = env.kernel.clock.now_us
+        with coord.begin("t") as saga:
+            saga.run(
+                "debit-a",
+                flaky,
+                compensation=lambda token: acct.adjust("a", int(token)),
+                comp_token="10",
+            )
+        assert attempts["n"] == 3
+        assert saga.state == "committed"
+        # Two backoffs at base 100ms, multiplier 2: >= 300ms of sim time.
+        assert env.kernel.clock.now_us - before >= 300_000
+
+    def test_deadline_exceeded_beats_replay(self, env):
+        # A spent deadline cannot be retried into compliance: the saga
+        # must compensate immediately, not keep the step alive.
+        _, acct, coord = build_bank(env)
+        attempts = {"n": 0}
+
+        def doomed():
+            attempts["n"] += 1
+            raise DeadlineExceeded("budget spent")
+
+        with pytest.raises(SagaAborted) as info:
+            with coord.begin("t") as saga:
+                saga.run(
+                    "debit-a",
+                    lambda: acct.adjust("a", -10),
+                    compensation=lambda token: acct.adjust("a", int(token)),
+                    comp_token="10",
+                )
+                saga.run("slow", doomed, irreversible=True)
+        assert attempts["n"] == 1  # no retry
+        assert isinstance(info.value.cause, DeadlineExceeded)
+        assert acct.get("a") == "100"
+
+    def test_exhausted_retries_abort(self, env):
+        _, acct, coord = build_bank(env)
+        attempts = {"n": 0}
+
+        def always_down():
+            attempts["n"] += 1
+            raise CommunicationError("still down")
+
+        with pytest.raises(SagaAborted):
+            with coord.begin("t") as saga:
+                saga.run("call", always_down, irreversible=True)
+        assert attempts["n"] == coord.policy.max_attempts
+
+
+class TestRecovery:
+    def test_recover_compensates_abandoned_sagas(self, env):
+        # The coordinator dies between steps; a replacement built on the
+        # same machine sees the journal and undoes the half-applied work.
+        service, acct, coord = build_bank(env)
+        saga = coord.begin("transfer")
+        saga.run(
+            "debit-a",
+            lambda: acct.adjust("a", -30),
+            compensation=lambda token: acct.adjust("a", int(token)),
+            comp_token="30",
+        )
+        assert acct.get("a") == "70"
+        del saga  # the closures die with the coordinator's domain
+
+        replacement = SagaCoordinator(
+            env.create_domain("clients", "teller2"),
+            name="transfer",
+            store=coord.store,
+        )
+        aborted = replacement.recover(
+            {"debit-a": lambda token: acct.adjust("a", int(token))}
+        )
+        assert aborted == [1]
+        assert acct.get("a") == "100"  # no lost, no doubled update
+        journal = replacement.journal_snapshot()
+        assert journal["0000000001.0001.c"] == ""
+        assert journal["0000000001.end"] == "aborted"
+        assert replacement.recovered == 1
+
+    def test_recover_skips_finished_sagas(self, env):
+        _, acct, coord = build_bank(env)
+        transfer(coord, acct, 10)
+        assert coord.recover({}) == []
+        assert (acct.get("a"), acct.get("b")) == ("90", "110")
+
+    def test_recover_skips_irreversible_steps(self, env):
+        _, acct, coord = build_bank(env)
+        saga = coord.begin("t")
+        saga.run("notify", lambda: "sent", irreversible=True)
+        # no compensator supplied and none needed
+        assert coord.recover({}) == [1]
+
+    def test_recover_without_compensator_is_a_usage_error(self, env):
+        _, acct, coord = build_bank(env)
+        saga = coord.begin("t")
+        saga.run(
+            "debit-a",
+            lambda: acct.adjust("a", -5),
+            compensation=lambda token: acct.adjust("a", int(token)),
+            comp_token="5",
+        )
+        fresh = SagaCoordinator(
+            env.create_domain("clients", "other"),
+            name="transfer",
+            store=coord.store,
+        )
+        with pytest.raises(SagaUsageError, match="debit-a"):
+            fresh.recover({})
+
+    def test_coordinator_without_machine_needs_a_store(self, kernel):
+        from repro.kernel.domain import Domain
+
+        domain = Domain(kernel, "floating")
+        if getattr(domain, "machine", None) is None:
+            with pytest.raises(SagaUsageError, match="machine"):
+                SagaCoordinator(domain)
+
+
+class TestDeterminism:
+    def test_identical_worlds_produce_identical_journals(self):
+        def world():
+            env = Environment()
+            env.install_tracer()
+            service, acct, coord = build_bank(env)
+            transfer(coord, acct, 30)
+            with pytest.raises(SagaAborted):
+                with coord.begin("doomed") as saga:
+                    saga.run(
+                        "debit-a",
+                        lambda: acct.adjust("a", -5),
+                        compensation=lambda token: acct.adjust("a", int(token)),
+                        comp_token="5",
+                    )
+                    saga.run("boom", lambda: 1 / 0, irreversible=True)
+            return (
+                coord.journal_snapshot(),
+                acct.get("a"),
+                acct.get("b"),
+                env.kernel.clock.now_us,
+            )
+
+        assert world() == world()
