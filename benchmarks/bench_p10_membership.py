@@ -1,0 +1,219 @@
+"""P10 — membership bench (gossip failure detection + leader election).
+
+Two questions, in the P3–P9 style:
+
+1. **What does the uninstalled membership plane cost the hot path?**
+   Nothing measurable: a world that never calls ``install_membership``
+   has no gossip timers, no election checks, and every membership-aware
+   subcontract's fast path is one class-default attribute read
+   (``membership is None``) + one branch.  The PR gates are the usual
+   pair — the general-stub simulated time stays *bit-for-bit* the
+   pre-P10 figure (asserted on every run against
+   :data:`PRE_P10_GENERAL_SIM_US`), and the PR-time interleaved A/B
+   against a worktree at the pre-P10 commit stays inside the 2% wall
+   gate (committed in :data:`PR_AB_VS_PRE_P10`).
+
+2. **How fast is failover, and how tight is its distribution?**  The
+   failover leg builds a five-machine membership + election world per
+   seed, crashes the sitting leader, and measures two simulated
+   intervals: crash → first gossip eviction of the leader (detection)
+   and crash → a new member winning a higher term (failover).  Both
+   distributions are swept across :data:`FAILOVER_SEEDS` seeds, checked
+   against the computable protocol bound, and asserted deterministic by
+   replaying the entire sweep and requiring identical results — the
+   same property the chaos soak enforces end-to-end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_p1_hotpath import best_of, build_world
+from benchmarks.conftest import sim_us
+
+#: membership-uninstalled wall-us/call may regress at most this
+#: fraction versus the pre-P10 tree measured in the same session
+UNINSTALLED_OVERHEAD_GATE = 0.02
+
+#: general-stub sim-us/call recorded by the PRE-P10 tree (the same
+#: figure P3–P9 pinned: every uninstalled plane, now including gossip
+#: membership and election, charges nothing).
+PRE_P10_GENERAL_SIM_US = 111.61000000010245
+
+#: the PR-time wall gate record: ten alternating best-of-6000 rounds of
+#: the P1 general-stub probe on this tree versus a worktree at the
+#: pre-P10 commit (4512e18), same machine, same session.  Floor-to-floor
+#: across the alternating rounds (the P3–P9 statistic): best-of 10.69
+#: instrumented vs 10.74 pre-P10 = -0.5%, inside the 2% gate.
+PR_AB_VS_PRE_P10 = {
+    "pre_p10_commit": "4512e18",
+    "rounds_per_sample": 6000,
+    "pre_p10_general_wall_us": [
+        10.88, 10.74, 10.98, 10.88, 10.89, 10.78, 10.74, 10.98, 11.16, 10.94,
+    ],
+    "instrumented_general_wall_us": [
+        10.87, 10.92, 10.69, 10.99, 10.83, 11.01, 10.77, 11.10, 11.25, 11.22,
+    ],
+    "best_of_overhead_pct": round(100.0 * (10.69 - 10.74) / 10.74, 1),
+    "gate_pct": 100.0 * UNINSTALLED_OVERHEAD_GATE,
+    "gate": "pass",
+}
+
+#: seeds the failover distribution sweeps
+FAILOVER_SEEDS = tuple(range(12))
+#: members per failover world
+FAILOVER_MEMBERS = 5
+
+
+def failover_bound_us(election, membership) -> float:
+    """Crash-to-new-leader bound: detection (lease lapse or gossip
+    eviction, whichever is slower), then scheduling, backoff, and a
+    vote round — the same bound the runtime tests assert."""
+    cfg = election.config
+    mcfg = membership.config
+    detect = max(
+        cfg.lease_us,
+        (len(membership.nodes) - 1)
+        * (mcfg.probe_interval_us + mcfg.probe_jitter_us)
+        + 2 * mcfg.ack_timeout_us
+        + mcfg.suspicion_timeout_us,
+    )
+    return (
+        detect
+        + cfg.check_interval_us
+        + 2 * cfg.backoff_base_us
+        + 2 * cfg.vote_timeout_us
+        + 1_000_000.0
+    )
+
+
+def failover_leg(seed: int) -> dict:
+    """One crash-failover measurement: detection and failover times."""
+    from repro.runtime.env import Environment
+
+    env = Environment(seed=seed)
+    machines = [env.machine(f"m{i}") for i in range(FAILOVER_MEMBERS)]
+    mem = env.install_membership()
+    election = env.install_election()
+
+    bound = failover_bound_us(election, mem)
+    while not election.current_leaders() and mem.now() < 15_000_000.0:
+        mem.run_for(100_000)
+    leaders = election.current_leaders()
+    assert leaders, f"seed {seed}: no initial leader"
+    leader, term = leaders[0]
+
+    crash_at = mem.now()
+    machines[int(leader[1:])].crash()
+    detected_at = won_at = None
+    # Detection and failover race: with the default config the lease
+    # lapses before gossip finishes evicting, so run until *both* have
+    # happened (each must land within the bound).
+    while mem.now() - crash_at < bound and (detected_at is None or won_at is None):
+        mem.run_for(50_000)
+        if detected_at is None:
+            evicts = [
+                e[0]
+                for e in mem.events
+                if e[2] == "evict" and e[3] == leader and e[0] > crash_at
+            ]
+            if evicts:
+                detected_at = evicts[0]
+        if won_at is None:
+            wins = [
+                e[0]
+                for e in mem.events
+                if e[2] == "election.won" and e[4] > term and e[0] > crash_at
+            ]
+            if wins:
+                won_at = wins[0]
+    assert detected_at is not None, f"seed {seed}: leader never evicted"
+    assert won_at is not None, f"seed {seed}: no failover within the bound"
+    election.assert_single_leader_per_term()
+    return {
+        "seed": seed,
+        "detection_us": round(detected_at - crash_at, 2),
+        "failover_us": round(won_at - crash_at, 2),
+        "bound_us": round(bound, 2),
+    }
+
+
+def _distribution(values: list[float]) -> dict:
+    ordered = sorted(values)
+    return {
+        "min_us": ordered[0],
+        "median_us": ordered[len(ordered) // 2],
+        "max_us": ordered[-1],
+        "mean_us": round(sum(ordered) / len(ordered), 2),
+    }
+
+
+def run(rounds: int = 20000, warmup: int = 2000) -> dict:
+    """Run the P10 membership bench; returns the measurement dict."""
+    # Uninstalled leg: no membership anywhere — the default posture of
+    # every kernel in the tree.
+    kernel_off, _, general_off, _ = build_world()
+    for _ in range(warmup):
+        general_off.total()
+    sim_off = min(sim_us(kernel_off, general_off.total) for _ in range(5))
+    wall_off = round(best_of(general_off.total, rounds), 2)
+
+    # Failover legs: deterministic, asserted by replaying the sweep.
+    legs = [failover_leg(seed) for seed in FAILOVER_SEEDS]
+    again = [failover_leg(seed) for seed in FAILOVER_SEEDS]
+    assert legs == again, "failover sweep nondeterministic"
+
+    results = {
+        "rounds": rounds,
+        "uninstalled_general_wall_us": wall_off,
+        "uninstalled_general_sim_us": sim_off,
+        "failover_seeds": len(legs),
+        "failover_members": FAILOVER_MEMBERS,
+        "detection": _distribution([leg["detection_us"] for leg in legs]),
+        "failover": _distribution([leg["failover_us"] for leg in legs]),
+        "failover_legs": legs,
+    }
+
+    # -- deterministic invariants (machine-independent) -----------------
+
+    # Uninstalled mode charges not one simulated nanosecond: sim time
+    # matches the recorded pre-P10 tree bit-for-bit.
+    assert abs(sim_off - PRE_P10_GENERAL_SIM_US) < 1e-6, (
+        f"membership-uninstalled sim time drifted: {sim_off} != pre-P10 "
+        f"record {PRE_P10_GENERAL_SIM_US}"
+    )
+    # Both detection and failover respect the protocol bound.
+    for leg in legs:
+        assert leg["detection_us"] <= leg["bound_us"]
+        assert leg["failover_us"] <= leg["bound_us"]
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="P10-membership")
+def bench_p10_uninstalled_general(benchmark):
+    _, _, general_off, _ = build_world()
+    benchmark(general_off.total)
+
+
+@pytest.mark.bench_smoke
+def bench_p10_shape_and_record(record):
+    results = run(rounds=2000, warmup=500)
+    record("P10", f"uninstalled general: {results['uninstalled_general_wall_us']:8.2f} wall-us/call (best; sim bit-for-bit pre-P10)")
+    detection, failover = results["detection"], results["failover"]
+    record(
+        "P10",
+        f"detection over {results['failover_seeds']} seeds: "
+        f"{detection['min_us']:.0f} / {detection['median_us']:.0f} / "
+        f"{detection['max_us']:.0f} us (min/median/max, deterministic, asserted)",
+    )
+    record(
+        "P10",
+        f"failover over {results['failover_seeds']} seeds: "
+        f"{failover['min_us']:.0f} / {failover['median_us']:.0f} / "
+        f"{failover['max_us']:.0f} us (min/median/max, within bound, asserted)",
+    )

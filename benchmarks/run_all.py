@@ -75,6 +75,16 @@ the same transfer workload at 0% / 1% / 5% crash-mid-call rates, each
 leg replayed from its seed and asserted identical to the bit, with
 money conservation asserted at every rate (see
 :mod:`benchmarks.bench_p9_saga`).
+
+And ``benchmarks/BENCH_P10.json`` (the PR-10 membership bench): the
+membership plane uninstalled on the same hot path (general-stub sim
+time bit-for-bit the pre-P10 record, asserted inside the run), the
+committed PR-time A/B record of the 2% uninstalled-overhead wall gate,
+and the deterministic failover legs — a five-member gossip + election
+world per seed, leader crashed, crash-to-eviction and crash-to-new-term
+distributions swept across twelve seeds, the whole sweep replayed and
+asserted identical to the bit, every figure within the computable
+protocol bound (see :mod:`benchmarks.bench_p10_membership`).
 """
 
 from __future__ import annotations
@@ -93,6 +103,7 @@ P6_OUT_PATH = BENCH_DIR / "BENCH_P6.json"
 P7_OUT_PATH = BENCH_DIR / "BENCH_P7.json"
 P8_OUT_PATH = BENCH_DIR / "BENCH_P8.json"
 P9_OUT_PATH = BENCH_DIR / "BENCH_P9.json"
+P10_OUT_PATH = BENCH_DIR / "BENCH_P10.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -375,6 +386,38 @@ def run_p9_bench(rounds: int, warmup: int) -> int:
             f"(deterministic, asserted)"
         )
     print(f"wrote {P9_OUT_PATH}")
+    return run_p10_bench(rounds, warmup)
+
+
+def run_p10_bench(rounds: int, warmup: int) -> int:
+    from benchmarks.bench_p10_membership import PR_AB_VS_PRE_P10
+    from benchmarks.bench_p10_membership import run as run_p10
+
+    print(f"P10 membership bench: {rounds} rounds per configuration ...")
+    p10 = run_p10(rounds=rounds, warmup=warmup)
+    p10_payload = {
+        "bench": "P10-membership",
+        "current": p10,
+        "pr_ab_vs_pre_p10": PR_AB_VS_PRE_P10,
+    }
+    P10_OUT_PATH.write_text(json.dumps(p10_payload, indent=2) + "\n")
+
+    print(
+        f"  uninstalled  {p10['uninstalled_general_wall_us']:7.2f} wall-us/call "
+        f"(sim bit-for-bit pre-P10, asserted)"
+    )
+    detection, failover = p10["detection"], p10["failover"]
+    print(
+        f"  detection over {p10['failover_seeds']} seeds: "
+        f"{detection['min_us']:.0f} / {detection['median_us']:.0f} / "
+        f"{detection['max_us']:.0f} us (min/median/max)"
+    )
+    print(
+        f"  failover  over {p10['failover_seeds']} seeds: "
+        f"{failover['min_us']:.0f} / {failover['median_us']:.0f} / "
+        f"{failover['max_us']:.0f} us (deterministic, within bound, asserted)"
+    )
+    print(f"wrote {P10_OUT_PATH}")
     return 0
 
 

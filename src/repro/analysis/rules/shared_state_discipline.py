@@ -26,8 +26,13 @@ Mutations recognized: attribute assignment on a shared instance
 deletes on a tracked container (``stats["shed"] += 1``), and calls to
 mutator methods on either (``rep.doors.remove(d)``, ``memo.update(...)``).
 Shared instances are identified as ``self`` inside a ``@shared_state``
-class or any receiver whose class annotation names one — the same
-annotation discipline the lock-ordering rule keys on.
+class, any receiver whose class annotation names one — the same
+annotation discipline the lock-ordering rule keys on — or, since the
+membership work, any field a constructor assigns one to: seeing
+``self.table = MemberTable(...)`` teaches the rule that ``self.table``
+in that class *is* a ``MemberTable``, so ``self.table.incarnation = n``
+and ``self.table.members[k] = v`` are checked wherever they appear,
+one attribute hop deep, with no annotation required.
 
 A finding means one of: take the lock, move the mutation into the
 declaring ``__init__``/a handler, or — if the path really is
@@ -100,9 +105,12 @@ class SharedStateDisciplineRule(Rule):
 
     # -- collection ------------------------------------------------------
 
-    def _collect(self, graph) -> tuple[set[str], set[tuple[str, str]], dict, set]:
+    def _collect(
+        self, graph
+    ) -> tuple[set[str], set[tuple[str, str]], dict, set, dict]:
         """Shared class names, tracked (class, field) pairs, tracked
-        locals per function, and door-handler function keys."""
+        locals per function, door-handler function keys, and the
+        constructor-assignment map (class, field) -> shared class."""
         shared_classes: set[str] = set()
         for module in self._program.modules:
             for node in ast.walk(module.tree):
@@ -114,24 +122,38 @@ class SharedStateDisciplineRule(Rule):
         tracked_fields: set[tuple[str, str]] = set()
         tracked_locals: dict[tuple, set[str]] = {}
         handler_keys: set[tuple] = set()
+        constructed: dict[tuple[str, str], str] = {}
         for info in graph.functions.values():
             locals_here: set[str] = set()
             for node in ast.walk(info.node):
                 if not isinstance(node, (ast.Assign, ast.AnnAssign)):
                     continue
                 value = node.value
-                if value is None or not _is_track_call(value):
+                if value is None:
                     continue
                 targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-                for target in targets:
-                    if isinstance(target, ast.Name):
-                        locals_here.add(target.id)
-                    elif isinstance(target, ast.Attribute) and isinstance(
-                        target.value, ast.Name
-                    ):
-                        owner = self._receiver_class(info, target.value.id)
-                        if owner:
-                            tracked_fields.add((owner, target.attr))
+                if _is_track_call(value):
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            locals_here.add(target.id)
+                        elif isinstance(target, ast.Attribute) and isinstance(
+                            target.value, ast.Name
+                        ):
+                            owner = self._receiver_class(info, target.value.id)
+                            if owner:
+                                tracked_fields.add((owner, target.attr))
+                elif isinstance(value, ast.Call):
+                    # constructor-assignment inference: self.<field> =
+                    # SharedCls(...) teaches us the field's class
+                    cls_name = _decorator_name(value.func)
+                    if cls_name in shared_classes:
+                        for target in targets:
+                            if isinstance(target, ast.Attribute) and isinstance(
+                                target.value, ast.Name
+                            ):
+                                owner = self._receiver_class(info, target.value.id)
+                                if owner:
+                                    constructed[(owner, target.attr)] = cls_name
             if locals_here:
                 tracked_locals[info.key] = locals_here
             # door handlers: bare names passed to a create_door(...) call
@@ -164,7 +186,7 @@ class SharedStateDisciplineRule(Rule):
                             key = (info.key[0], owner, arg.attr)
                             if key in graph.functions:
                                 handler_keys.add(key)
-        return shared_classes, tracked_fields, tracked_locals, handler_keys
+        return shared_classes, tracked_fields, tracked_locals, handler_keys, constructed
 
     def _receiver_class(self, info: "FunctionInfo", receiver: str) -> str | None:
         """The class a bare receiver name denotes, if knowable."""
@@ -242,8 +264,8 @@ class SharedStateDisciplineRule(Rule):
         if self._program is None:
             return
         graph = self._program.callgraph
-        shared_classes, tracked_fields, tracked_locals, handlers = self._collect(
-            graph
+        shared_classes, tracked_fields, tracked_locals, handlers, constructed = (
+            self._collect(graph)
         )
         if not shared_classes and not tracked_fields and not tracked_locals:
             self._program = None
@@ -256,7 +278,11 @@ class SharedStateDisciplineRule(Rule):
             if info.key in handlers or info.key in protected:
                 continue
             yield from self._check_function(
-                info, shared_classes, tracked_fields, tracked_locals.get(info.key, ())
+                info,
+                shared_classes,
+                tracked_fields,
+                tracked_locals.get(info.key, ()),
+                constructed,
             )
         self._program = None
 
@@ -266,13 +292,26 @@ class SharedStateDisciplineRule(Rule):
         shared_classes: set[str],
         tracked_fields: set[tuple[str, str]],
         tracked_locals,
+        constructed: dict[tuple[str, str], str],
     ) -> Iterator[Finding]:
         rule = self
 
-        def shared_attr(node: ast.expr) -> str | None:
-            """'Cls.field' when node is <shared>.field, else None."""
+        def instance_class(node: ast.expr) -> str | None:
+            """The class an expression denotes an instance of, if knowable:
+            a bare receiver (``self`` / annotated param), or one attribute
+            hop through the constructor-assignment map."""
+            if isinstance(node, ast.Name):
+                return rule._receiver_class(info, node.id)
             if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
                 owner = rule._receiver_class(info, node.value.id)
+                if owner:
+                    return constructed.get((owner, node.attr))
+            return None
+
+        def shared_attr(node: ast.expr) -> str | None:
+            """'Cls.field' when node is <shared>.field, else None."""
+            if isinstance(node, ast.Attribute):
+                owner = instance_class(node.value)
                 if owner in shared_classes:
                     return f"{owner}.{node.attr}"
             return None
@@ -281,8 +320,8 @@ class SharedStateDisciplineRule(Rule):
             """A display name when node denotes a tracked container."""
             if isinstance(node, ast.Name) and node.id in tracked_locals:
                 return node.id
-            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
-                owner = rule._receiver_class(info, node.value.id)
+            if isinstance(node, ast.Attribute):
+                owner = instance_class(node.value)
                 if owner and (owner, node.attr) in tracked_fields:
                     return f"{owner}.{node.attr}"
             return shared_attr(node)

@@ -49,6 +49,14 @@ class SubcontractRegistry:
         upgraded library is loaded).
         """
         instance = subcontract_class(self.domain)
+        # Membership-aware subcontracts declare a class-default
+        # ``membership = None``; a domain that had a gossip view planted
+        # (``MembershipService.plant``) wires it into vectors created
+        # *after* the plant, so plant order does not matter.
+        if getattr(instance, "membership", False) is None:
+            view = self.domain.locals.get("membership")
+            if view is not None:
+                instance.membership = view
         self._subcontracts[instance.id] = instance
         return instance
 

@@ -50,8 +50,17 @@ class NetworkFabric:
         self.datagram_loss = datagram_loss
         self._rng = random.Random(seed)
         self.machines: dict[str, Machine] = {}
-        #: unordered machine-name pairs that cannot reach each other
-        self._partitions: set[frozenset[str]] = set()
+        #: *directed* cut links: ``(src, dst)`` present means datagrams
+        #: and call legs travelling src -> dst are lost.  A symmetric
+        #: partition is simply both directions present.
+        self._partitions: set[tuple[str, str]] = set()
+        #: machine name -> (region, zone); empty until placed
+        self._placement: dict[str, tuple[str, str]] = {}
+        #: (intra_zone, intra_region, inter_region) wire-time multipliers,
+        #: or None when the fabric has no region latency classes — the
+        #: default, keeping historical sim totals bit-for-bit
+        self._region_scales: tuple[float, float, float] | None = None
+        self._pair_scale_cache: dict[tuple[str, str], float] = {}
         #: (machine_name, port) -> callback(payload)
         self._ports: dict[tuple[str, str], Callable[[bytes], None]] = {}
         #: statistics
@@ -64,29 +73,131 @@ class NetworkFabric:
     # topology
     # ------------------------------------------------------------------
 
-    def create_machine(self, name: str) -> Machine:
-        """Add a machine to this network."""
+    def create_machine(
+        self, name: str, region: str = "", zone: str = ""
+    ) -> Machine:
+        """Add a machine to this network, optionally placed in a region."""
         if name in self.machines:
             raise ValueError(f"machine {name!r} already exists")
         machine = Machine(self.kernel, name, self)
         self.machines[name] = machine
+        if region:
+            self.place(machine, region, zone)
         return machine
+
+    def place(self, machine: Machine | str, region: str, zone: str = "") -> None:
+        """Assign a machine to a region (and optionally a zone)."""
+        name = self._name(machine)
+        self._placement[name] = (region, zone)
+        self._pair_scale_cache.clear()
+        placed = self.machines.get(name)
+        if placed is not None:
+            placed.region = region
+            placed.zone = zone
+
+    def region_of(self, machine: Machine | str) -> str:
+        """The machine's region ("" until placed)."""
+        return self._placement.get(self._name(machine), ("", ""))[0]
+
+    def machines_in_region(self, region: str) -> list[str]:
+        """Sorted names of the machines placed in a region."""
+        return sorted(
+            name for name, (r, _) in self._placement.items() if r == region
+        )
+
+    def set_region_latency(
+        self,
+        intra_zone: float = 1.0,
+        intra_region: float = 2.5,
+        inter_region: float = 8.0,
+    ) -> None:
+        """Layer latency classes over wire time: every wire-time charge
+        is scaled by the class of its (src, dst) placement — same zone,
+        same region, or cross-region.  Pairs involving an unplaced
+        machine keep scale 1.0, so turning classes on never perturbs
+        traffic to machines outside the region topology."""
+        self._region_scales = (intra_zone, intra_region, inter_region)
+        self._pair_scale_cache.clear()
+
+    def _pair_scale(self, src: str, dst: str) -> float:
+        cached = self._pair_scale_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        intra_zone, intra_region, inter_region = self._region_scales
+        src_region, src_zone = self._placement.get(src, ("", ""))
+        dst_region, dst_zone = self._placement.get(dst, ("", ""))
+        if not src_region or not dst_region:
+            scale = 1.0
+        elif src_region != dst_region:
+            scale = inter_region
+        elif src_zone == dst_zone:
+            scale = intra_zone
+        else:
+            scale = intra_region
+        self._pair_scale_cache[(src, dst)] = scale
+        return scale
 
     def partition(self, a: Machine | str, b: Machine | str) -> None:
         """Cut the link between two machines (both directions)."""
-        self._partitions.add(frozenset((self._name(a), self._name(b))))
+        a, b = self._name(a), self._name(b)
+        self._partitions.add((a, b))
+        self._partitions.add((b, a))
+
+    def partition_oneway(self, src: Machine | str, dst: Machine | str) -> None:
+        """Cut only the src -> dst direction: src's messages to dst are
+        lost while dst can still reach src — the classic asymmetric-link
+        failure that turns gossip false alarms into refutation tests."""
+        self._partitions.add((self._name(src), self._name(dst)))
 
     def heal(self, a: Machine | str, b: Machine | str) -> None:
-        """Restore the link between two machines."""
-        self._partitions.discard(frozenset((self._name(a), self._name(b))))
+        """Restore the link between two machines (both directions)."""
+        a, b = self._name(a), self._name(b)
+        self._partitions.discard((a, b))
+        self._partitions.discard((b, a))
+
+    def heal_oneway(self, src: Machine | str, dst: Machine | str) -> None:
+        """Restore only the src -> dst direction."""
+        self._partitions.discard((self._name(src), self._name(dst)))
 
     def heal_all(self) -> None:
         """Restore every cut link."""
         self._partitions.clear()
 
-    def partitioned(self, a: Machine | str, b: Machine | str) -> bool:
-        """True when the two machines cannot currently reach each other."""
-        return frozenset((self._name(a), self._name(b))) in self._partitions
+    def partitioned(self, src: Machine | str, dst: Machine | str) -> bool:
+        """True when traffic *from* ``src`` *to* ``dst`` is currently cut.
+
+        Symmetric partitions (the historical kind) answer True in both
+        argument orders; a one-way cut answers True only in the cut
+        direction.
+        """
+        return (self._name(src), self._name(dst)) in self._partitions
+
+    def partition_region(self, region: str) -> list[tuple[str, str]]:
+        """Isolate a region: cut both directions between every machine
+        placed in ``region`` and every other machine on the fabric
+        (placed elsewhere or not placed at all).  Returns the directed
+        links actually added, so a helper can restore precisely the
+        prior state."""
+        inside = set(self.machines_in_region(region))
+        added: list[tuple[str, str]] = []
+        for a in sorted(inside):
+            for b in sorted(self.machines):
+                if b in inside:
+                    continue
+                for link in ((a, b), (b, a)):
+                    if link not in self._partitions:
+                        self._partitions.add(link)
+                        added.append(link)
+        return added
+
+    def heal_region(self, region: str) -> None:
+        """Drop every cut link touching a machine placed in ``region``."""
+        inside = set(self.machines_in_region(region))
+        self._partitions = {
+            link
+            for link in self._partitions
+            if link[0] not in inside and link[1] not in inside
+        }
 
     @staticmethod
     def _name(machine: Machine | str) -> str:
@@ -163,8 +274,11 @@ class NetworkFabric:
             finally:
                 admission.complete(permit)
 
-        # Reply leg: partitions that formed mid-call lose the reply.
-        if self.partitioned(src, dst):
+        # Reply leg: partitions that formed mid-call lose the reply.  The
+        # reply travels dst -> src, so it is that *direction* that must
+        # be open — a one-way cut of the return path loses replies while
+        # requests keep landing.
+        if self.partitioned(dst, src):
             # The reply never reaches the caller, so nobody else will
             # clean it up: drop its in-transit doors and return it to its
             # server-side pool here.
@@ -203,6 +317,8 @@ class NetworkFabric:
         self, size: int, src: Machine | str | None = None, dst: Machine | str | None = None
     ) -> None:
         us = self.latency_us + self.bandwidth_us_per_byte * size
+        if self._region_scales is not None and src is not None and dst is not None:
+            us *= self._pair_scale(self._name(src), self._name(dst))
         chaos = self.kernel.chaos
         if chaos is not None and src is not None and dst is not None:
             us = chaos.wire_us(src, dst, us)

@@ -28,6 +28,12 @@ class Machine:
         self.name = name
         self.fabric = fabric
         self.domains: list["Domain"] = []
+        #: region placement (set through ``fabric.place``); "" = unplaced
+        self.region = ""
+        self.zone = ""
+        #: True after :meth:`crash` — gossip nodes on a crashed machine
+        #: go silent (they neither probe nor answer)
+        self.crashed = False
         #: per-machine network server statistics (doors in/out, calls)
         self.net_server = NetworkServer(self)
 
@@ -40,6 +46,7 @@ class Machine:
 
     def crash(self) -> None:
         """Power off the machine: every domain on it crashes."""
+        self.crashed = True
         for domain in self.domains:
             self.kernel.crash_domain(domain)
 

@@ -342,6 +342,34 @@ class FaultPlane:
         """Power off a machine at a simulated time."""
         self.schedule(at_us, machine.crash, f"crash:{machine.name}")
 
+    def schedule_partition_region(
+        self, region: str, at_us: float, heal_at_us: float | None = None
+    ) -> None:
+        """Isolate a whole region at a simulated time; optionally heal it.
+
+        Only the directed links the cut actually *added* are healed, so
+        overlapping partitions keep their prior state (the same contract
+        as :func:`repro.runtime.faults.region_partitioned`).
+        """
+        fabric = self.fabric
+        if fabric is None:
+            raise RuntimeError("this fault plane was installed without a fabric")
+
+        def cut() -> None:
+            added = fabric.partition_region(region)
+            self._count("region_partition")
+            self._event("chaos.region_partition", region=region, links=len(added))
+            if heal_at_us is not None:
+                def mend() -> None:
+                    for src, dst in added:
+                        fabric.heal_oneway(src, dst)
+                    self._count("region_heal")
+                    self._event("chaos.region_heal", region=region, links=len(added))
+
+                self.schedule(heal_at_us, mend, f"heal-region:{region}")
+
+        self.schedule(at_us, cut, f"partition-region:{region}")
+
     def pump(self) -> int:
         """Fire every scheduled action that is due; returns the count.
 

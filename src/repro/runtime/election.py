@@ -1,0 +1,624 @@
+"""Lease-based leader election over gossip membership.
+
+The saga coordinator (and the future shard-map owner) needs a single
+writer; this module elects one and keeps it elected only while a
+majority keeps agreeing.  The guarantees, and how they are enforced:
+
+* **at most one leader per term** — terms are monotonic; a voter grants
+  at most one vote per term; winning takes a majority of the *fixed
+  electorate* (not of whoever is reachable), so the minority side of a
+  partition can never elect;
+* **no split-brain across a partition** — a leader that cannot renew
+  against a majority within one lease steps down, and the majority side
+  only elects a *new* term after the old leader's lease (as witnessed
+  by its own grant) has expired or gossip has evicted it;
+* **fast failover** — followers do not wait for the full lease when
+  membership evicts the leader: the eviction triggers candidacy after a
+  short seeded backoff.
+
+Like membership, everything runs on the sim clock through the
+membership service's event heap, and all messages travel fabric
+datagrams (port ``"lease"``), so chaos, regions, and one-way partitions
+apply.  Same seed ⇒ the same campaigns, the same grants, the same
+winners, bit-for-bit.
+
+:class:`ElectedCoordinator` binds a saga coordinator to the election:
+each time its member wins a term it stands up a replacement
+:class:`~repro.runtime.saga.SagaCoordinator` and runs journal-only
+``recover`` — the "replacement coordinator" of PR 9, now self-appointing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.runtime import tsan as _tsan
+
+if TYPE_CHECKING:
+    from repro.kernel.domain import Domain
+    from repro.runtime.membership import MembershipService
+
+__all__ = ["ElectionConfig", "ElectionService", "ElectedCoordinator"]
+
+#: the fabric datagram port lease traffic rides on
+LEASE_PORT = "lease"
+
+#: roles
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+class ElectionConfig:
+    """Election tuning knobs, all in simulated microseconds."""
+
+    __slots__ = (
+        "lease_us",
+        "renew_interval_us",
+        "check_interval_us",
+        "vote_timeout_us",
+        "backoff_base_us",
+    )
+
+    def __init__(
+        self,
+        lease_us: float = 1_500_000.0,
+        renew_interval_us: float = 400_000.0,
+        check_interval_us: float = 300_000.0,
+        vote_timeout_us: float = 400_000.0,
+        backoff_base_us: float = 60_000.0,
+    ) -> None:
+        self.lease_us = lease_us
+        self.renew_interval_us = renew_interval_us
+        self.check_interval_us = check_interval_us
+        self.vote_timeout_us = vote_timeout_us
+        self.backoff_base_us = backoff_base_us
+
+
+@_tsan.shared_state
+class ElectionState:
+    """One member's election state, shared between the protocol pump and
+    readers asking ``is_leader`` / ``leader`` from application threads.
+    All mutation happens under ``lock``.
+    """
+
+    __slots__ = (
+        "lock",
+        "role",
+        "term",
+        "voted_term",
+        "voted_for",
+        "leader",
+        "leader_term",
+        "lease_expiry_us",
+        "votes",
+        "renew_acks",
+        "campaign_scheduled",
+        "last_majority_us",
+    )
+
+    def __init__(self) -> None:
+        self.lock = _tsan.instrument_lock(
+            threading.Lock(), f"ElectionState.lock@{id(self):x}"
+        )
+        self.role = FOLLOWER
+        self.term = 0
+        self.voted_term = 0
+        self.voted_for: str | None = None
+        self.leader: str | None = None
+        self.leader_term = 0
+        self.lease_expiry_us = 0.0
+        self.votes: set[str] = _tsan.track(set(), "election.votes")
+        self.renew_acks: set[str] = _tsan.track(set(), "election.renew_acks")
+        self.campaign_scheduled = False
+        self.last_majority_us = 0.0
+
+
+class _ElectionNode:
+    """One electorate member's protocol participant."""
+
+    def __init__(
+        self, service: "ElectionService", name: str, seed: int
+    ) -> None:
+        self.service = service
+        self.name = name
+        self.machine = service.membership.nodes[name].machine
+        self.rng = random.Random(seed)
+        self.state = ElectionState()
+
+    # -- the view ------------------------------------------------------
+
+    def is_leader(self) -> bool:
+        with self.state.lock:
+            return self.state.role == LEADER
+
+    def leader(self) -> tuple[str | None, int]:
+        """The leader this member currently follows, and its term."""
+        now = self.service.now()
+        with self.state.lock:
+            if self.state.leader is not None and (
+                self.state.leader == self.name or now < self.state.lease_expiry_us
+            ):
+                return self.state.leader, self.state.leader_term
+            return None, self.state.leader_term
+
+    # -- the periodic check --------------------------------------------
+
+    def _check(self) -> None:
+        self.service.schedule(
+            self.service.now() + self.service.config.check_interval_us,
+            self._check,
+            f"election-check:{self.name}",
+        )
+        if self.machine.crashed:
+            return
+        campaign_at: float | None = None
+        with self.state.lock:
+            if self.state.role == LEADER:
+                return  # renewal loop owns leader liveness
+            if self._leader_valid_locked():
+                return
+            if not self.state.campaign_scheduled:
+                self.state.campaign_scheduled = True
+                base = self.service.config.backoff_base_us
+                campaign_at = (
+                    self.service.now() + base + self.rng.random() * base
+                )
+        if campaign_at is not None:
+            self.service.schedule(
+                campaign_at, self._campaign, f"campaign:{self.name}"
+            )
+
+    def _leader_valid_locked(self) -> bool:
+        """Called with ``state.lock`` held."""
+        leader = self.state.leader
+        if leader is None or leader == self.name:
+            return False
+        if self.service.now() >= self.state.lease_expiry_us:
+            return False
+        return self.service.membership.nodes[self.name].is_live(leader)
+
+    # -- candidacy ------------------------------------------------------
+
+    def _campaign(self) -> None:
+        if self.machine.crashed:
+            with self.state.lock:
+                self.state.campaign_scheduled = False
+            return
+        if not self._quorum_visible():
+            # Minority-side guard (pre-vote in spirit): with fewer than a
+            # majority of the electorate visible in the membership view,
+            # a campaign cannot win — skip it entirely so the stranded
+            # side does not spin terms upward and dethrone the healthy
+            # leader with a higher-term NACK on heal.
+            with self.state.lock:
+                self.state.campaign_scheduled = False
+            return
+        with self.state.lock:
+            self.state.campaign_scheduled = False
+            if self.state.role == LEADER or self._leader_valid_locked():
+                return
+            term = max(self.state.term, self.state.voted_term) + 1
+            self.state.term = term
+            self.state.voted_term = term
+            self.state.voted_for = self.name
+            self.state.role = CANDIDATE
+            self.state.votes.clear()
+            self.state.votes.add(self.name)
+        self.service.log_entry(self.name, "election.campaign", self.name, term)
+        self.service._event(
+            "election.campaign", node=self.name, term=term
+        )
+        if self._won(term):  # single-member electorate wins instantly
+            return
+        for peer in self.service.electorate:
+            if peer != self.name:
+                self._send(peer, {"t": "vote_req", "c": self.name, "n": term})
+        self.service.schedule(
+            self.service.now() + self.service.config.vote_timeout_us,
+            lambda: self._campaign_timeout(term),
+            f"campaign-timeout:{self.name}",
+        )
+
+    def _on_membership_event(self, kind: str, member: str, incarnation: int) -> None:
+        """Fast failover: gossip evicting our leader triggers candidacy
+        after one short seeded backoff instead of waiting for the next
+        periodic check to notice the lease lapsed."""
+        if kind != "evict" or self.machine.crashed:
+            return
+        campaign_at: float | None = None
+        with self.state.lock:
+            if (
+                self.state.leader == member
+                and self.state.role == FOLLOWER
+                and not self.state.campaign_scheduled
+            ):
+                self.state.campaign_scheduled = True
+                base = self.service.config.backoff_base_us
+                campaign_at = self.service.now() + base + self.rng.random() * base
+        if campaign_at is not None:
+            self.service.schedule(
+                campaign_at, self._campaign, f"campaign:{self.name}"
+            )
+
+    def _quorum_visible(self) -> bool:
+        """Whether this member's own gossip view still shows a majority
+        of the electorate as live (self counts)."""
+        view = self.service.membership.nodes[self.name]
+        live = sum(
+            1
+            for peer in self.service.electorate
+            if peer == self.name or view.is_live(peer)
+        )
+        return live >= self.service.majority
+
+    def _campaign_timeout(self, term: int) -> None:
+        with self.state.lock:
+            if self.state.role == CANDIDATE and self.state.term == term:
+                self.state.role = FOLLOWER
+
+    def _won(self, term: int) -> bool:
+        """Check the vote count; on majority, take office.  Returns True
+        when this member is (already) the leader for ``term``."""
+        now = self.service.now()
+        with self.state.lock:
+            if self.state.term != term:
+                return False
+            if self.state.role == LEADER:
+                return True
+            if self.state.role != CANDIDATE:
+                return False
+            if len(self.state.votes) < self.service.majority:
+                return False
+            self.state.role = LEADER
+            self.state.leader = self.name
+            self.state.leader_term = term
+            self.state.lease_expiry_us = now + self.service.config.lease_us
+            self.state.last_majority_us = now
+        self.service._record_win(self.name, term)
+        for peer in self.service.electorate:
+            if peer != self.name:
+                self._send(
+                    peer,
+                    {
+                        "t": "leader",
+                        "l": self.name,
+                        "n": term,
+                        "e": self.service.config.lease_us,
+                    },
+                )
+        self.service.schedule(
+            now + self.service.config.renew_interval_us,
+            self._renew,
+            f"renew:{self.name}",
+        )
+        for fn in self.service._win_callbacks.get(self.name, ()):
+            fn(term)
+        return True
+
+    # -- lease renewal --------------------------------------------------
+
+    def _renew(self) -> None:
+        now = self.service.now()
+        with self.state.lock:
+            if self.state.role != LEADER or self.machine.crashed:
+                return
+            term = self.state.term
+            self.state.renew_acks.clear()
+            self.state.renew_acks.add(self.name)
+        for peer in self.service.electorate:
+            if peer != self.name:
+                self._send(peer, {"t": "renew", "l": self.name, "n": term})
+        stepdown = False
+        with self.state.lock:
+            if self.state.role != LEADER or self.state.term != term:
+                return
+            if len(self.state.renew_acks) >= self.service.majority:
+                self.state.last_majority_us = now
+                self.state.lease_expiry_us = now + self.service.config.lease_us
+            elif now - self.state.last_majority_us >= self.service.config.lease_us:
+                self.state.role = FOLLOWER
+                self.state.leader = None
+                stepdown = True
+        if stepdown:
+            self.service.log_entry(self.name, "election.stepdown", self.name, term)
+            self.service._event("election.stepdown", node=self.name, term=term)
+            return
+        self.service.schedule(
+            now + self.service.config.renew_interval_us,
+            self._renew,
+            f"renew:{self.name}",
+        )
+
+    # -- wire protocol --------------------------------------------------
+
+    def _on_datagram(self, payload: bytes) -> None:
+        if self.machine.crashed:
+            return
+        msg = json.loads(payload.decode("ascii"))
+        kind = msg["t"]
+        if kind == "vote_req":
+            self._on_vote_req(msg["c"], msg["n"])
+        elif kind == "vote":
+            self._on_vote(msg["v"], msg["n"])
+        elif kind == "leader":
+            self._adopt(msg["l"], msg["n"], msg["e"])
+        elif kind == "renew":
+            self._on_renew(msg["l"], msg["n"])
+        elif kind == "renew_ack":
+            self._on_renew_ack(msg["f"], msg["n"])
+        elif kind == "nack":
+            self._on_nack(msg["n"])
+
+    def _on_vote_req(self, candidate: str, term: int) -> None:
+        grant = False
+        with self.state.lock:
+            if term > self.state.voted_term and not (
+                self._leader_valid_locked() and self.state.leader != candidate
+            ):
+                self.state.voted_term = term
+                self.state.voted_for = candidate
+                if term > self.state.term:
+                    self.state.term = term
+                    if self.state.role != FOLLOWER:
+                        self.state.role = FOLLOWER
+                grant = True
+        if grant:
+            self.service.log_entry(self.name, "election.vote", candidate, term)
+            self._send(candidate, {"t": "vote", "v": self.name, "n": term})
+
+    def _on_vote(self, voter: str, term: int) -> None:
+        with self.state.lock:
+            if self.state.role != CANDIDATE or self.state.term != term:
+                return
+            self.state.votes.add(voter)
+        self._won(term)
+
+    def _adopt(self, leader: str, term: int, lease_us: float) -> None:
+        now = self.service.now()
+        demoted = False
+        with self.state.lock:
+            if term < self.state.term:
+                return
+            demoted = self.state.role == LEADER and leader != self.name
+            self.state.term = term
+            self.state.leader = leader
+            self.state.leader_term = term
+            self.state.lease_expiry_us = now + lease_us
+            if leader != self.name:
+                self.state.role = FOLLOWER
+        if demoted:
+            self.service.log_entry(self.name, "election.stepdown", self.name, term)
+            self.service._event("election.stepdown", node=self.name, term=term)
+
+    def _on_renew(self, leader: str, term: int) -> None:
+        now = self.service.now()
+        stale = False
+        with self.state.lock:
+            if term < self.state.term:
+                stale = True
+                current = self.state.term
+            else:
+                demote = self.state.role == LEADER and leader != self.name
+                self.state.term = term
+                self.state.leader = leader
+                self.state.leader_term = term
+                self.state.lease_expiry_us = (
+                    now + self.service.config.lease_us
+                )
+                if demote:
+                    self.state.role = FOLLOWER
+        if stale:
+            self._send(leader, {"t": "nack", "n": current})
+            return
+        self._send(leader, {"t": "renew_ack", "f": self.name, "n": term})
+
+    def _on_renew_ack(self, follower: str, term: int) -> None:
+        with self.state.lock:
+            if self.state.role == LEADER and self.state.term == term:
+                self.state.renew_acks.add(follower)
+
+    def _on_nack(self, newer_term: int) -> None:
+        """A peer has seen a newer term than ours: stop leading."""
+        stepdown = False
+        with self.state.lock:
+            if newer_term > self.state.term:
+                old_term = self.state.term
+                self.state.term = newer_term
+                if self.state.role == LEADER:
+                    self.state.role = FOLLOWER
+                    self.state.leader = None
+                    stepdown = True
+        if stepdown:
+            self.service.log_entry(
+                self.name, "election.stepdown", self.name, old_term
+            )
+            self.service._event("election.stepdown", node=self.name, term=old_term)
+
+    def _send(self, member: str, msg: dict) -> None:
+        peer = self.service._nodes.get(member)
+        if peer is None:
+            return
+        payload = json.dumps(
+            msg, separators=(",", ":"), sort_keys=True
+        ).encode("ascii")
+        self.service.membership.fabric.send_datagram(
+            self.machine, peer.machine, LEASE_PORT, payload
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_ElectionNode {self.name} role={self.state.role}>"
+
+
+class ElectionService:
+    """Lease-based leader election over a fixed electorate.
+
+    Piggybacks on the membership service's event heap and seed; the
+    electorate defaults to the membership nodes present at install time
+    and stays *fixed* — majority is always counted against it, which is
+    what makes minority-side election impossible.
+    """
+
+    def __init__(
+        self,
+        membership: "MembershipService",
+        electorate: list[str] | None = None,
+        config: ElectionConfig | None = None,
+        **knobs,
+    ) -> None:
+        self.membership = membership
+        self.config = config if config is not None else ElectionConfig(**knobs)
+        self.electorate = (
+            sorted(membership.nodes) if electorate is None else sorted(electorate)
+        )
+        if not self.electorate:
+            raise ValueError("the electorate is empty")
+        self.majority = len(self.electorate) // 2 + 1
+        self._nodes: dict[str, _ElectionNode] = {}
+        #: term -> set of winners; the at-most-one-leader-per-term audit
+        self.winners: dict[int, set[str]] = {}
+        self._win_callbacks: dict[str, list[Callable[[int], None]]] = {}
+        for index, name in enumerate(self.electorate):
+            node = _ElectionNode(
+                self,
+                name,
+                seed=(membership.seed * 999_983 + 104_729 * index) & 0x7FFFFFFF,
+            )
+            self._nodes[name] = node
+            membership.fabric.register_port(
+                node.machine, LEASE_PORT, node._on_datagram
+            )
+            membership.nodes[name].subscribe(node._on_membership_event)
+        for index, name in enumerate(self.electorate):
+            self.schedule(
+                self.now()
+                + self.config.check_interval_us * (index + 1) / (len(self.electorate) + 1),
+                self._nodes[name]._check,
+                f"election-check:{name}",
+            )
+
+    # -- plumbing shared with membership --------------------------------
+
+    def now(self) -> float:
+        return self.membership.now()
+
+    def schedule(self, at_us: float, fn: Callable[[], None], label: str) -> None:
+        self.membership.schedule(at_us, fn, label)
+
+    def log_entry(self, node: str, kind: str, member: str, term: int) -> None:
+        self.membership.log(node, kind, member, term)
+
+    def _event(self, name: str, **detail) -> None:
+        tracer = self.membership.kernel.tracer
+        if tracer.enabled:
+            tracer.event(name, subcontract="election", **detail)  # springlint: disable=metrics-naming -- generic relay: literal names live at the call sites
+
+    # -- the public view -------------------------------------------------
+
+    def member(self, name: str) -> _ElectionNode:
+        return self._nodes[name]
+
+    def leader_of(self, name: str) -> tuple[str | None, int]:
+        """Who the named member currently follows, and the term."""
+        return self._nodes[name].leader()
+
+    def current_leaders(self) -> list[tuple[str, int]]:
+        """Members currently holding office (name, term)."""
+        out = []
+        for name, node in sorted(self._nodes.items()):
+            with node.state.lock:
+                if node.state.role == LEADER:
+                    out.append((name, node.state.term))
+        return out
+
+    def on_win(self, member: str, fn: Callable[[int], None]) -> None:
+        """Call ``fn(term)`` whenever ``member`` wins a term."""
+        if member not in self._nodes:
+            raise ValueError(f"{member!r} is not in the electorate")
+        self._win_callbacks.setdefault(member, []).append(fn)
+
+    def _record_win(self, member: str, term: int) -> None:
+        self.winners.setdefault(term, set()).add(member)
+        self.log_entry(member, "election.won", member, term)
+        self._event("election.won", node=member, term=term)
+
+    def assert_single_leader_per_term(self) -> None:
+        """The soak's core invariant: no term ever had two winners."""
+        for term, names in sorted(self.winners.items()):
+            if len(names) > 1:
+                raise AssertionError(
+                    f"split-brain: term {term} won by {sorted(names)}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ElectionService electorate={self.electorate} "
+            f"majority={self.majority} terms={len(self.winners)}>"
+        )
+
+
+class ElectedCoordinator:
+    """A saga coordinator slot bound to an election.
+
+    Every time ``member`` wins a term, a fresh
+    :class:`~repro.runtime.saga.SagaCoordinator` is stood up in
+    ``domain`` against the shared journal ``store`` and immediately runs
+    journal-only :meth:`~repro.runtime.saga.SagaCoordinator.recover`
+    with the registered compensators — a failed-over workflow owner
+    finishes (or compensates) whatever its predecessor left half-done
+    before taking new work.
+    """
+
+    def __init__(
+        self,
+        election: ElectionService,
+        member: str,
+        domain: "Domain",
+        name: str,
+        compensators: dict | None = None,
+        store=None,
+        policy=None,
+    ) -> None:
+        self.election = election
+        self.member = member
+        self.domain = domain
+        self.name = name
+        self.compensators = dict(compensators) if compensators else {}
+        self.store = store
+        self.policy = policy
+        self.coordinator = None
+        self.term: int | None = None
+        #: how many times this slot recovered after winning
+        self.recoveries = 0
+        election.on_win(member, self._on_win)
+
+    def _on_win(self, term: int) -> None:
+        from repro.runtime.saga import SagaCoordinator
+
+        kwargs = {"name": self.name}
+        if self.store is not None:
+            kwargs["store"] = self.store
+        if self.policy is not None:
+            kwargs["policy"] = self.policy
+        coordinator = SagaCoordinator(self.domain, **kwargs)
+        if self.store is None:
+            self.store = coordinator.store
+        self.coordinator = coordinator
+        self.term = term
+        coordinator.recover(dict(self.compensators))
+        self.recoveries += 1
+        self.election.log_entry(
+            self.member, "election.recovered", self.name, term
+        )
+        self.election._event(
+            "election.recovered", node=self.member, saga=self.name, term=term
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ElectedCoordinator {self.name!r} member={self.member} "
+            f"term={self.term} recoveries={self.recoveries}>"
+        )

@@ -60,6 +60,9 @@ class Environment:
         #: the real multiprocess fabric ("proc", installed on demand)
         self.transport = transport
         self.procfabric = None
+        #: gossip membership / leader election, installed on demand
+        self.membership = None
+        self.election = None
         self.fabric = NetworkFabric(
             self.kernel,
             latency_us=latency_us,
@@ -81,12 +84,14 @@ class Environment:
     # topology
     # ------------------------------------------------------------------
 
-    def machine(self, name: str) -> Machine:
-        """Get or create a machine."""
+    def machine(self, name: str, region: str = "", zone: str = "") -> Machine:
+        """Get or create a machine, optionally placing it in a region."""
         existing = self.fabric.machines.get(name)
         if existing is not None:
+            if region:
+                self.fabric.place(existing, region, zone)
             return existing
-        return self.fabric.create_machine(name)
+        return self.fabric.create_machine(name, region=region, zone=zone)
 
     def create_domain(
         self,
@@ -287,6 +292,80 @@ class Environment:
         from repro.services.obsd import ObsdService
 
         return ObsdService(domain, engine)
+
+    # ------------------------------------------------------------------
+    # self-organization (gossip membership + leader election)
+    # ------------------------------------------------------------------
+
+    def install_membership(
+        self, machines=None, seed: int | None = None, plant: bool = True, **knobs
+    ):
+        """Start SWIM gossip membership on this world.
+
+        ``machines`` is the member set (names or :class:`Machine`
+        objects); it defaults to every machine except the name server.
+        The nodes bootstrap knowing each other and probe on the sim
+        clock — drive the protocol with ``membership.run_for(...)``.
+        With ``plant=True`` every domain already booted on a member
+        machine gets its machine's view wired into its replicon /
+        cluster / reconnectable client vectors.  Returns the live
+        :class:`repro.runtime.membership.MembershipService` (also at
+        ``env.membership``).  ``knobs`` pass through to
+        :class:`~repro.runtime.membership.MembershipConfig`.
+        """
+        from repro.runtime.membership import MembershipService
+
+        if self.membership is not None:
+            raise RuntimeError("a membership service is already installed")
+        if machines is None:
+            members = [
+                machine
+                for name, machine in sorted(self.fabric.machines.items())
+                if name != "nameserver"
+            ]
+        else:
+            members = [
+                self.machine(m) if isinstance(m, str) else m for m in machines
+            ]
+        service = MembershipService(
+            self.kernel,
+            self.fabric,
+            seed=self.seed if seed is None else seed,
+            **knobs,
+        )
+        service.bootstrap(members)
+        if plant:
+            for machine in members:
+                for domain in machine.domains:
+                    if domain.alive:
+                        service.plant(domain)
+        self.membership = service
+        return service
+
+    def install_election(
+        self, electorate=None, seed: int | None = None, **knobs
+    ):
+        """Start lease-based leader election over the membership service.
+
+        Requires :meth:`install_membership` first.  ``electorate``
+        defaults to every membership node and stays fixed (majority is
+        counted against it, so a minority partition can never elect).
+        Returns the live
+        :class:`repro.runtime.election.ElectionService` (also at
+        ``env.election``).  ``knobs`` pass through to
+        :class:`~repro.runtime.election.ElectionConfig`.  ``seed`` is
+        accepted for signature symmetry but derivation happens from the
+        membership service's seed to keep one seed per world.
+        """
+        from repro.runtime.election import ElectionService
+
+        if self.membership is None:
+            raise RuntimeError("install_membership before install_election")
+        if self.election is not None:
+            raise RuntimeError("an election service is already installed")
+        service = ElectionService(self.membership, electorate=electorate, **knobs)
+        self.election = service
+        return service
 
     # ------------------------------------------------------------------
     # transports

@@ -34,6 +34,7 @@ __all__ = [
     "crash_domain",
     "crash_machine",
     "partitioned",
+    "region_partitioned",
     # re-exported chaos helpers
     "FaultPlane",
     "LinkChaos",
@@ -55,19 +56,48 @@ def crash_machine(machine: "Machine") -> None:
 
 @contextmanager
 def partitioned(
-    fabric: "NetworkFabric", a: "Machine | str", b: "Machine | str"
+    fabric: "NetworkFabric",
+    a: "Machine | str",
+    b: "Machine | str",
+    oneway: bool = False,
 ) -> Iterator[None]:
     """Temporarily cut the link between two machines.
 
-    On exit the link is restored to its *prior* state: a partition that
-    already existed when the block was entered (or an enclosing
-    ``partitioned`` block for the same pair) stays in force instead of
-    being silently healed.
+    ``oneway=True`` cuts only the ``a -> b`` direction — ``b`` can still
+    reach ``a``, the classic asymmetric-link failure (a's datagrams and
+    request legs are lost; b's probes of a still land but a's acks
+    vanish).  On exit each direction is restored to its *prior* state: a
+    partition that already existed when the block was entered (or an
+    enclosing ``partitioned`` block for the same pair) stays in force
+    instead of being silently healed.
     """
-    was = fabric.partitioned(a, b)
-    fabric.partition(a, b)
+    was_ab = fabric.partitioned(a, b)
+    was_ba = fabric.partitioned(b, a)
+    if oneway:
+        fabric.partition_oneway(a, b)
+    else:
+        fabric.partition(a, b)
     try:
         yield
     finally:
-        if not was:
-            fabric.heal(a, b)
+        if not was_ab:
+            fabric.heal_oneway(a, b)
+        if not oneway and not was_ba:
+            fabric.heal_oneway(b, a)
+
+
+@contextmanager
+def region_partitioned(fabric: "NetworkFabric", region: str) -> Iterator[None]:
+    """Temporarily isolate a whole region (see
+    :meth:`~repro.net.fabric.NetworkFabric.partition_region`).
+
+    Only the directed links actually *added* on entry are healed on
+    exit, so pre-existing cuts (including overlapping region partitions)
+    survive the block.
+    """
+    added = fabric.partition_region(region)
+    try:
+        yield
+    finally:
+        for src, dst in added:
+            fabric.heal_oneway(src, dst)

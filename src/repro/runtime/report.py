@@ -39,6 +39,7 @@ _LABELS = {
     "trace_span": "tracing (span probes)",
     "trace_event": "tracing (event probes)",
     "window_probe": "windowed telemetry (sketch probes)",
+    "membership": "membership (gossip + election rounds)",
     "explicit": "explicit delays",
 }
 

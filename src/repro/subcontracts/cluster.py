@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.errors import RevokedObjectError
 from repro.core.object import SpringObject
+from repro.kernel.errors import CommunicationError
 from repro.core.registry import ensure_registry
 from repro.core.stubs import write_revoked_status
 from repro.core.subcontract import ClientSubcontract, ServerSubcontract
@@ -50,6 +51,11 @@ class ClusterClient(ClientSubcontract):
 
     id = "cluster"
 
+    #: a :class:`~repro.runtime.membership.MembershipNode` view planted
+    #: by ``MembershipService.plant``; ``None`` (the class default) keeps
+    #: the hot path at one attribute read + one branch
+    membership = None
+
     def invoke_preamble(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
         # Ship the object's tag ahead of the marshalled arguments so the
         # server-side cluster code can dispatch to the right object.
@@ -63,6 +69,30 @@ class ClusterClient(ClientSubcontract):
             tracer.event(
                 "cluster.member", subcontract=self.id, tag=rep.tag, door=rep.door.uid
             )
+        membership = self.membership
+        if membership is not None:
+            # Cluster has a single door and no failover story: when
+            # gossip has evicted the serving machine, fail fast instead
+            # of paying a wire round trip that cannot succeed.
+            server = obj._rep.door.door.server.machine
+            evicted_at = (
+                membership.evicted_incarnation(server.name)
+                if server is not None
+                else None
+            )
+            if evicted_at is not None:
+                if tracer.enabled:
+                    tracer.event(
+                        "cluster.evicted",
+                        subcontract=self.id,
+                        door=obj._rep.door.uid,
+                        member=server.name,
+                        incarnation=evicted_at,
+                    )
+                raise CommunicationError(
+                    f"cluster: machine {server.name!r} was evicted from "
+                    f"membership (incarnation {evicted_at})"
+                )
         kernel.clock.charge("memory_copy_byte", buffer.size)
         reply = kernel.door_call(self.domain, obj._rep.door, buffer)
         kernel.clock.charge("memory_copy_byte", reply.size)

@@ -87,6 +87,11 @@ class ReconnectableClient(ClientSubcontract):
     #: change the budget, or attach a circuit breaker
     retry_policy = DEFAULT_RETRY_POLICY
 
+    #: a :class:`~repro.runtime.membership.MembershipNode` view planted
+    #: by ``MembershipService.plant``; ``None`` (the class default) keeps
+    #: the hot path at one attribute read + one branch
+    membership = None
+
     def invoke(self, obj: SpringObject, buffer: MarshalBuffer) -> MarshalBuffer:
         kernel = self.domain.kernel
         tracer = kernel.tracer
@@ -95,6 +100,39 @@ class ReconnectableClient(ClientSubcontract):
         breaker = policy.breaker
         attempts = 0
         while True:
+            membership = self.membership
+            if membership is not None:
+                # Gossip already evicted the serving machine: skip the
+                # doomed call and go straight to backoff + re-resolve —
+                # the name service hands back the replacement the new
+                # leader (re)bound.
+                server = rep.door.door.server.machine
+                evicted_at = (
+                    membership.evicted_incarnation(server.name)
+                    if server is not None
+                    else None
+                )
+                if evicted_at is not None:
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        raise CommunicationError(
+                            f"reconnectable: gave up re-resolving {rep.name!r} "
+                            f"after {self.max_retries} attempts (machine "
+                            f"{server.name!r} evicted at incarnation {evicted_at})"
+                        )
+                    wait_us = policy.backoff_us(attempts)
+                    if tracer.enabled:
+                        tracer.event(
+                            "reconnect.evicted",
+                            subcontract=self.id,
+                            member=server.name,
+                            incarnation=evicted_at,
+                            attempt=attempts,
+                            backoff_us=wait_us,
+                        )
+                    kernel.clock.advance(wait_us, "retry_backoff")
+                    self._reconnect(rep)
+                    continue
             if breaker is not None:
                 gate = breaker.allow(rep.name, kernel.clock.now_us)
                 if gate == "open":

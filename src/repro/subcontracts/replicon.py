@@ -83,6 +83,11 @@ class RepliconClient(ClientSubcontract):
     #: the failover discipline; derive() to add backoff between members
     failover_policy = DEFAULT_FAILOVER_POLICY
 
+    #: a :class:`~repro.runtime.membership.MembershipNode` view planted
+    #: by ``MembershipService.plant``; ``None`` (the class default) keeps
+    #: the hot path at one attribute read + one branch
+    membership = None
+
     def invoke_preamble(self, obj: SpringObject, buffer: MarshalBuffer) -> None:
         # Piggybacked control: the epoch of the client's replica set, so
         # a server with a newer set can send a correction in the reply.
@@ -111,6 +116,33 @@ class RepliconClient(ClientSubcontract):
                     door = rep.doors[0]
             if door is None:  # every member shed: surface the overload
                 raise last_busy
+            membership = self.membership
+            if membership is not None:
+                server = door.door.server.machine
+                evicted_at = (
+                    membership.evicted_incarnation(server.name)
+                    if server is not None
+                    else None
+                )
+                if evicted_at is not None:
+                    # Gossip already evicted this replica's machine: prune
+                    # without paying the doomed call, and say *why* — the
+                    # evicting incarnation separates "replica dead" from
+                    # "replica busy" in attribution waterfalls.
+                    with rep.lock:
+                        if door in rep.doors:
+                            rep.doors.remove(door)
+                    self._quiet_delete(door)
+                    pruned += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "replicon.evicted",
+                            subcontract=self.id,
+                            door=door.uid,
+                            member=server.name,
+                            incarnation=evicted_at,
+                        )
+                    continue
             try:
                 if tracer.enabled:
                     tracer.event(
@@ -154,6 +186,24 @@ class RepliconClient(ClientSubcontract):
                 pruned += 1
                 wait_us = policy.backoff_us(min(pruned, policy.max_attempts))
                 if tracer.enabled:
+                    membership = self.membership
+                    if membership is not None:
+                        server = door.door.server.machine
+                        evicted_at = (
+                            membership.evicted_incarnation(server.name)
+                            if server is not None
+                            else None
+                        )
+                        if evicted_at is not None:
+                            # The failure has a known cause: the machine
+                            # was evicted at this incarnation.
+                            tracer.event(
+                                "replicon.evicted",
+                                subcontract=self.id,
+                                door=door.uid,
+                                member=server.name,
+                                incarnation=evicted_at,
+                            )
                     tracer.event(
                         "replicon.failover",
                         subcontract=self.id,
@@ -308,6 +358,9 @@ class RepliconGroup:
         self._matrix: dict[int, list["DoorIdentifier"]] = {}
         #: domain uid -> that replica's idempotency-key dedup memo
         self.dedup_memos: dict[int, DedupMemo] = {}
+        #: machine name -> (domain, impl, door) tuples parked by a gossip
+        #: eviction, re-admitted when the member rejoins
+        self._parked: dict[str, list] = {}
         # Serializes membership changes (epoch bumps, matrix rebuilds)
         # against each other and against handler threads reading the
         # epoch/matrix in the control hook.
@@ -364,6 +417,61 @@ class RepliconGroup:
                 self.members = live
                 self.epoch += 1
                 self._rebuild_matrix()
+
+    def watch_membership(self, node) -> None:
+        """Subscribe the group to gossip membership instead of static
+        configuration: an ``evict`` removes every replica on the evicted
+        machine (one epoch bump, doors parked, clients fail over); a
+        ``rejoin`` re-admits the parked replicas (another epoch bump, so
+        clients re-adopt the full set).  ``node`` is the
+        :class:`~repro.runtime.membership.MembershipNode` whose view the
+        group trusts — typically one co-located with the group's state.
+        """
+        node.subscribe(self._on_membership_event)
+
+    def _on_membership_event(self, kind: str, member: str, incarnation: int) -> None:
+        if kind == "evict":
+            self.evict_machine(member)
+        elif kind == "rejoin":
+            self.readmit_machine(member)
+
+    def evict_machine(self, machine_name: str) -> int:
+        """Remove (and park) every replica on a machine; returns the count.
+
+        Parked replicas keep their doors — a partition-evicted machine's
+        domains are still alive, and its doors become valid targets again
+        the moment a rejoin re-admits them.
+        """
+        with self._lock:
+            leaving = [
+                member
+                for member in self.members
+                if member[0].machine is not None
+                and member[0].machine.name == machine_name
+            ]
+            if not leaving:
+                return 0
+            keep = [member for member in self.members if member not in leaving]
+            self.members = keep
+            self._parked.setdefault(machine_name, []).extend(leaving)
+            self.epoch += 1
+            self._rebuild_matrix()
+        return len(leaving)
+
+    def readmit_machine(self, machine_name: str) -> int:
+        """Re-admit the machine's parked replicas; returns the count."""
+        with self._lock:
+            returning = [
+                member
+                for member in self._parked.pop(machine_name, ())
+                if member[0].alive
+            ]
+            if not returning:
+                return 0
+            self.members = self.members + returning
+            self.epoch += 1
+            self._rebuild_matrix()
+        return len(returning)
 
     def _rebuild_matrix(self) -> None:
         # Drop identifiers owned by previous matrix holders.

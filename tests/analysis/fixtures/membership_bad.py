@@ -1,0 +1,39 @@
+"""Fixture: constructor-assignment inference violations (all flagged).
+
+No annotation names ``Table`` anywhere below — the rule only knows
+``self.table`` is shared because ``__init__`` assigns ``Table()`` to it.
+"""
+
+import threading
+
+from repro.runtime.tsan import shared_state, track
+
+
+@shared_state
+class Table:
+    """Declared shared: every mutation must be disciplined."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.incarnation = 1
+        self.rows = track({}, "fixture.rows")
+
+
+class GossipNode:
+    def __init__(self) -> None:
+        self.table = Table()
+
+    def unlocked_nested_attr_write(self) -> None:
+        self.table.incarnation = 2  # flagged: attr write through the field
+
+    def unlocked_nested_aug_write(self) -> None:
+        self.table.incarnation += 1  # flagged: augmented write
+
+    def unlocked_nested_subscript(self) -> None:
+        self.table.rows["n1"] = "alive"  # flagged: tracked container store
+
+    def unlocked_nested_mutator(self) -> None:
+        self.table.rows.update({"n2": "dead"})  # flagged: mutator call
+
+    def unlocked_nested_delete(self) -> None:
+        del self.table.rows["n1"]  # flagged: tracked container delete

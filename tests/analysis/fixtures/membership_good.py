@@ -1,0 +1,39 @@
+"""Fixture: disciplined constructor-assigned shared state (all clean)."""
+
+import threading
+
+from repro.runtime.tsan import shared_state, track
+
+
+@shared_state
+class Table:
+    """Declared shared: every mutation must be disciplined."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.incarnation = 1
+        self.rows = track({}, "fixture.rows")
+
+
+class GossipNode:
+    def __init__(self) -> None:
+        self.table = Table()
+
+    def locked_nested_writes(self) -> None:
+        with self.table.lock:
+            self.table.incarnation += 1
+            self.table.rows["n1"] = "alive"
+            self.table.rows.update({"n2": "dead"})
+            del self.table.rows["n2"]
+
+    def nested_reads_are_free(self) -> str:
+        return self.table.rows.get("n1", "unknown")
+
+    def _locked_caller(self) -> None:
+        with self.table.lock:
+            self._helper_always_under_lock()
+
+    def _helper_always_under_lock(self) -> None:
+        # every call site holds the lock: the protection fixpoint
+        # clears this write even through the constructor-assigned field
+        self.table.incarnation += 1

@@ -330,6 +330,23 @@ def test_shared_state_accepts_disciplined_mutation():
     assert run_rule("shared-state-discipline", "shared_good.py") == []
 
 
+def test_shared_state_constructor_assignment_inference_fires():
+    # No annotation anywhere names Table; the rule learns self.table's
+    # class from the __init__ assignment and checks mutations one
+    # attribute hop deep (the membership/election code shape).
+    findings = run_rule("shared-state-discipline", "membership_bad.py")
+    text = messages(findings)
+    assert "Table.incarnation mutated outside" in text
+    assert "Table.rows[...] mutated outside" in text
+    assert "Table.rows.update() mutated outside" in text
+    assert len(findings) == 5, messages(findings)
+
+
+def test_shared_state_constructor_assignment_accepts_discipline():
+    # Locked nested writes, reads, and an always-locked helper: clean.
+    assert run_rule("shared-state-discipline", "membership_good.py") == []
+
+
 # -- metrics-naming -----------------------------------------------------
 
 

@@ -287,3 +287,37 @@ def test_p9_smoke_dedup_micro_leg_ran(p9_results):
     micro = p9_results["dedup_micro"]
     assert micro["entries"] > 0
     assert micro["hit_lookup_ns"] > 0.0
+
+
+@pytest.fixture(scope="module")
+def p10_results():
+    # run() itself asserts the deterministic P10 gates: uninstalled sim
+    # time bit-for-bit equal to the pre-P10 record, the failover sweep
+    # identical when replayed, every figure within the protocol bound.
+    from benchmarks.bench_p10_membership import run as run_p10
+
+    return run_p10(rounds=ROUNDS, warmup=WARMUP)
+
+
+def test_p10_smoke_uninstalled_membership_charges_zero_sim_time(p10_results):
+    from benchmarks.bench_p10_membership import PRE_P10_GENERAL_SIM_US
+
+    # The machine-independent form of the 2% overhead gate: with no
+    # membership installed, the sim clock's per-call total is bit-for-bit
+    # the pre-P10 figure — the view gate costs one class-default
+    # attribute read + branch idle.
+    assert p10_results["uninstalled_general_sim_us"] == pytest.approx(
+        PRE_P10_GENERAL_SIM_US, abs=1e-6
+    )
+
+
+def test_p10_smoke_failover_distribution_within_bound(p10_results):
+    legs = p10_results["failover_legs"]
+    assert len(legs) == p10_results["failover_seeds"]
+    for leg in legs:
+        assert 0.0 < leg["detection_us"] <= leg["bound_us"]
+        assert 0.0 < leg["failover_us"] <= leg["bound_us"]
+    # the distribution block summarizes the same legs
+    failover = p10_results["failover"]
+    assert failover["min_us"] == min(leg["failover_us"] for leg in legs)
+    assert failover["max_us"] == max(leg["failover_us"] for leg in legs)

@@ -1,0 +1,210 @@
+"""Region topology: placement, latency classes, directed partitions.
+
+The fabric's region layer exists so membership scenarios can model
+"east coast vs west coast" without inventing per-pair latency tables:
+placement assigns each machine a (region, zone), ``set_region_latency``
+scales every wire-time charge by the pair's class, and the partition
+helpers grew region- and direction-aware variants.  These tests pin the
+contracts the membership soak leans on: scaling never perturbs unplaced
+machines, one-way cuts are truly asymmetric, and region heals restore
+exactly the prior link state — never more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import NetworkPartitionError
+from repro.marshal.buffer import MarshalBuffer
+from repro.runtime.env import Environment
+from repro.runtime.faults import partitioned, region_partitioned
+from repro.subcontracts.simplex import SimplexServer
+from tests.conftest import CounterImpl
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=0)
+
+
+def make_remote(env, counter_module, server_machine, client_machine):
+    server = env.create_domain(server_machine, f"srv-{server_machine}")
+    client = env.create_domain(client_machine, f"cli-{client_machine}")
+    binding = counter_module.binding("counter")
+    obj = SimplexServer(server).export(CounterImpl(), binding)
+    buffer = MarshalBuffer(env.kernel)
+    obj._subcontract.marshal(obj, buffer)
+    buffer.seal_for_transmission(server)
+    return binding.unmarshal_from(buffer, client)
+
+
+def network_cost(env, remote) -> float:
+    env.clock.reset_tally()
+    remote.add(1)
+    return env.clock.tally()["network"]
+
+
+class TestPlacement:
+    def test_machine_helper_places_and_reports(self, env):
+        env.machine("e1", region="east", zone="a")
+        env.machine("e2", region="east", zone="b")
+        env.machine("w1", region="west")
+        assert env.fabric.region_of("e1") == "east"
+        assert env.fabric.machines_in_region("east") == ["e1", "e2"]
+        assert env.fabric.machines_in_region("west") == ["w1"]
+        assert env.fabric.machines_in_region("mars") == []
+
+    def test_unplaced_machine_has_empty_region(self, env):
+        env.machine("loner")
+        assert env.fabric.region_of("loner") == ""
+
+
+class TestLatencyClasses:
+    def test_latency_scales_by_pair_class(self, env, counter_module):
+        env.machine("za1", region="east", zone="a")
+        env.machine("za2", region="east", zone="a")
+        env.machine("zb1", region="east", zone="b")
+        env.machine("far1", region="west", zone="a")
+        env.fabric.set_region_latency(
+            intra_zone=1.0, intra_region=2.5, inter_region=8.0
+        )
+        same_zone = make_remote(env, counter_module, "za1", "za2")
+        same_region = make_remote(env, counter_module, "za1", "zb1")
+        cross = make_remote(env, counter_module, "za1", "far1")
+
+        base = network_cost(env, same_zone)
+        assert network_cost(env, same_region) == pytest.approx(2.5 * base)
+        assert network_cost(env, cross) == pytest.approx(8.0 * base)
+
+    def test_unplaced_pairs_keep_scale_one(self, env, counter_module):
+        # Turning region latency on must not perturb traffic touching
+        # machines outside the region topology (e.g. the nameserver).
+        env.machine("placed", region="east")
+        env.machine("outside")
+        baseline = make_remote(env, counter_module, "placed", "outside")
+        before = network_cost(env, baseline)
+        env.fabric.set_region_latency(inter_region=100.0)
+        assert network_cost(env, baseline) == pytest.approx(before)
+
+
+class TestOnewayPartition:
+    def test_cut_is_asymmetric(self, env):
+        env.machine("a")
+        env.machine("b")
+        env.fabric.partition_oneway("a", "b")
+        assert env.fabric.partitioned("a", "b")
+        assert not env.fabric.partitioned("b", "a")
+        env.fabric.heal_oneway("a", "b")
+        assert not env.fabric.partitioned("a", "b")
+
+    def test_symmetric_partition_answers_both_orders(self, env):
+        env.machine("a")
+        env.machine("b")
+        env.fabric.partition("a", "b")
+        assert env.fabric.partitioned("a", "b")
+        assert env.fabric.partitioned("b", "a")
+
+    def test_oneway_datagrams_dropped_only_in_cut_direction(self, env):
+        a, b = env.machine("a"), env.machine("b")
+        seen: dict[str, list[bytes]] = {"a": [], "b": []}
+        env.fabric.register_port(a, "p", seen["a"].append)
+        env.fabric.register_port(b, "p", seen["b"].append)
+        env.fabric.partition_oneway("a", "b")
+        env.fabric.send_datagram(a, b, "p", b"a->b")
+        env.fabric.send_datagram(b, a, "p", b"b->a")
+        assert seen["b"] == []
+        assert seen["a"] == [b"b->a"]
+
+    def test_faults_partitioned_oneway_restores_prior_state(
+        self, env, counter_module
+    ):
+        env.machine("a")
+        env.machine("b")
+        remote = make_remote(env, counter_module, "a", "b")
+        with partitioned(env.fabric, "b", "a", oneway=True):
+            # request leg client->server ("b" -> "a") is cut
+            with pytest.raises(NetworkPartitionError):
+                remote.add(1)
+            assert not env.fabric.partitioned("a", "b")
+        assert remote.add(1) == 1
+
+    def test_faults_partitioned_keeps_preexisting_cut(self, env):
+        env.machine("a")
+        env.machine("b")
+        env.fabric.partition_oneway("a", "b")
+        with partitioned(env.fabric, "a", "b"):
+            assert env.fabric.partitioned("a", "b")
+            assert env.fabric.partitioned("b", "a")
+        # the enclosing one-way cut survives; the added direction healed
+        assert env.fabric.partitioned("a", "b")
+        assert not env.fabric.partitioned("b", "a")
+
+
+class TestRegionPartition:
+    def build(self, env):
+        for name in ("e1", "e2"):
+            env.machine(name, region="east")
+        for name in ("w1", "w2"):
+            env.machine(name, region="west")
+        env.machine("stray")  # unplaced: still isolated from a cut region
+
+    def test_partition_region_isolates_from_everyone(self, env):
+        self.build(env)
+        added = env.fabric.partition_region("east")
+        for inside in ("e1", "e2"):
+            for outside in ("w1", "w2", "stray"):
+                assert env.fabric.partitioned(inside, outside)
+                assert env.fabric.partitioned(outside, inside)
+        # intra-region links stay up
+        assert not env.fabric.partitioned("e1", "e2")
+        # outside = w1, w2, stray, plus the auto-created nameserver
+        assert len(added) == len(set(added)) == 2 * 4 * 2
+
+    def test_partition_region_reports_only_added_links(self, env):
+        self.build(env)
+        env.fabric.partition("e1", "w1")
+        added = env.fabric.partition_region("east")
+        assert ("e1", "w1") not in added
+        assert ("w1", "e1") not in added
+        assert len(added) == 2 * 4 * 2 - 2
+
+    def test_region_partitioned_heals_only_what_it_cut(self, env):
+        self.build(env)
+        env.fabric.partition("e1", "w1")
+        with region_partitioned(env.fabric, "east"):
+            assert env.fabric.partitioned("e2", "w2")
+        assert not env.fabric.partitioned("e2", "w2")
+        # the pre-existing cut is still in force
+        assert env.fabric.partitioned("e1", "w1")
+        assert env.fabric.partitioned("w1", "e1")
+
+    def test_heal_region_drops_every_link_touching_the_region(self, env):
+        self.build(env)
+        env.fabric.partition("e1", "w1")
+        env.fabric.partition_region("east")
+        env.fabric.heal_region("east")
+        assert not env.fabric.partitioned("e1", "w1")
+        assert not env.fabric.partitioned("w2", "e2")
+
+
+class TestScheduledRegionPartition:
+    def test_chaos_plane_cuts_and_heals_on_schedule(self, env):
+        for name in ("e1", "e2"):
+            env.machine(name, region="east")
+        env.machine("w1", region="west")
+        plane = env.install_chaos(seed=0)
+        env.fabric.partition("e1", "w1")  # pre-existing cut must survive
+        plane.schedule_partition_region(
+            "east", at_us=1_000.0, heal_at_us=2_000.0
+        )
+        assert not env.fabric.partitioned("e2", "w1")
+        env.clock.advance(1_500.0, "explicit")
+        plane.pump()
+        assert env.fabric.partitioned("e2", "w1")
+        assert env.fabric.partitioned("w1", "e2")
+        env.clock.advance(1_000.0, "explicit")
+        plane.pump()
+        assert not env.fabric.partitioned("e2", "w1")
+        assert env.fabric.partitioned("e1", "w1"), "heal clobbered a prior cut"
+        assert plane.injected.get("region_partition") == 1
+        assert plane.injected.get("region_heal") == 1

@@ -1,0 +1,259 @@
+"""SWIM gossip membership: detection, refutation, rejoin, determinism.
+
+The protocol's contract decomposes into the properties this file checks
+one at a time: a bootstrap group converges to all-alive views; a
+crashed member is suspected before it is evicted, and evicted within a
+computable bound; a *live* member that gossip wrongly suspects (lossy
+links, one-way partitions) refutes by bumping its incarnation and is
+never evicted — swept across seeds and loss rates, because that is
+exactly the regime where a naive failure detector flaps; an evicted
+member rejoins after a heal; and identical seeds replay a byte-identical
+membership event log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.env import Environment
+from repro.runtime.membership import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    MembershipConfig,
+    _overrides,
+)
+
+SEEDS = range(6)
+
+#: loss rates the refutation sweep must survive (satellite: 1-5%)
+LOSS_RATES = (0.01, 0.03, 0.05)
+
+
+def build_group(seed: int = 0, n: int = 4, chaos_drop: float = 0.0, **knobs):
+    """``n`` machines, bootstrapped membership, optional datagram loss."""
+    env = Environment(seed=seed)
+    machines = [env.machine(f"m{i}") for i in range(n)]
+    if chaos_drop:
+        plane = env.install_chaos(seed=seed)
+        plane.default_link.drop = chaos_drop
+    mem = env.install_membership(**knobs)
+    return env, mem, machines
+
+
+def eviction_bound_us(n: int, config: MembershipConfig) -> float:
+    """Worst-case silence-to-eviction time, plus dissemination slack.
+
+    A survivor's probe ring reaches the silent member within ``n - 1``
+    rounds, the direct and indirect ack timeouts both lapse, then the
+    suspicion window runs out; one extra second covers piggyback spread
+    to the *last* survivor.
+    """
+    return (
+        (n - 1) * (config.probe_interval_us + config.probe_jitter_us)
+        + 2 * config.ack_timeout_us
+        + config.suspicion_timeout_us
+        + 1_000_000.0
+    )
+
+
+class TestBootstrapAndViews:
+    def test_bootstrap_converges_to_all_alive(self):
+        env, mem, _ = build_group(seed=3, n=5)
+        mem.run_for(3_000_000)
+        for name, node in mem.nodes.items():
+            others = sorted(m for m in mem.nodes if m != name)
+            assert node.alive_members() == others
+
+    def test_unknown_member_gets_benefit_of_the_doubt(self):
+        _, mem, _ = build_group(seed=0, n=3)
+        node = mem.node("m0")
+        assert node.is_live("never-heard-of-it")
+        assert node.evicted_incarnation("never-heard-of-it") is None
+        assert node.state_of("never-heard-of-it") is None
+
+    def test_join_via_sync_spreads_both_ways(self):
+        env, mem, _ = build_group(seed=7, n=3)
+        mem.run_for(1_000_000)
+        newcomer = env.machine("m3")
+        mem.add_node(newcomer, via="m0")
+        mem.run_for(4_000_000)
+        assert mem.node("m3").alive_members() == ["m0", "m1", "m2"]
+        for name in ("m0", "m1", "m2"):
+            assert "m3" in mem.node(name).alive_members()
+        assert mem.transitions("join")
+
+    def test_plant_wires_domain_and_subcontract_vectors(self):
+        env, mem, machines = build_group(seed=0, n=3)
+        domain = env.create_domain(machines[0], "svc")
+        node = mem.plant(domain)
+        assert domain.locals["membership"] is node
+        assert node is mem.node("m0")
+        from repro.core.registry import ensure_registry
+
+        registry = ensure_registry(domain)
+        for subcontract_id in ("replicon", "cluster", "reconnectable"):
+            vector = registry._subcontracts.get(subcontract_id)
+            if vector is not None:
+                assert vector.membership is node
+
+    def test_membership_time_lands_in_its_clock_category(self):
+        env, mem, _ = build_group(seed=0, n=3)
+        mem.run_for(2_000_000)
+        tally = env.clock.tally()
+        assert tally.get("membership", 0.0) > 0.0
+        from repro.runtime.report import CostReport
+
+        assert "membership (gossip + election rounds)" in str(CostReport(tally))
+
+
+class TestCrashDetection:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_silent_member_evicted_within_bound_every_seed(self, seed):
+        env, mem, machines = build_group(seed=seed, n=4)
+        mem.run_for(2_000_000)
+        t_crash = mem.now()
+        machines[2].crash()
+        mem.run_for(eviction_bound_us(4, mem.config))
+        survivors = [n for n in mem.nodes if n != "m2"]
+        for name in survivors:
+            node = mem.node(name)
+            assert node.state_of("m2") == DEAD, f"seed {seed}: {name} never evicted"
+            assert not node.is_live("m2")
+            assert node.evicted_incarnation("m2") == 1
+        evicts = mem.transitions("evict")
+        assert {e[1] for e in evicts} == set(survivors)
+        for at_us, *_ in evicts:
+            assert at_us - t_crash <= eviction_bound_us(4, mem.config)
+
+    def test_suspicion_precedes_every_eviction(self):
+        env, mem, machines = build_group(seed=1, n=4)
+        mem.run_for(2_000_000)
+        machines[1].crash()
+        mem.run_for(eviction_bound_us(4, mem.config))
+        for name in ("m0", "m2", "m3"):
+            kinds = [
+                e[2] for e in mem.events if e[1] == name and e[3] == "m1"
+            ]
+            assert "evict" in kinds
+            assert kinds.index("suspect") < kinds.index("evict")
+
+    def test_probing_stops_toward_the_dead(self):
+        env, mem, machines = build_group(seed=2, n=3)
+        mem.run_for(1_000_000)
+        machines[2].crash()
+        mem.run_for(eviction_bound_us(3, mem.config))
+        assert mem.node("m0").state_of("m2") == DEAD
+        # after eviction only the rejoin probe (forced dead rumour) may
+        # target m2; the regular ring must exclude it
+        node = mem.node("m0")
+        for _ in range(20):
+            assert node._next_target() != "m2"
+
+
+class TestRefutation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("drop", LOSS_RATES)
+    def test_datagram_loss_never_evicts_a_live_member(self, seed, drop):
+        # The satellite sweep: 1-5% loss makes false suspicion routine;
+        # incarnation refutation must win the race against every node's
+        # suspicion timer, every seed, every rate.
+        env, mem, _ = build_group(seed=seed, n=4, chaos_drop=drop)
+        mem.run_for(25_000_000)
+        assert mem.transitions("evict") == [], (
+            f"seed {seed} drop {drop}: refutation lost to the suspicion timer"
+        )
+        for name, node in mem.nodes.items():
+            others = sorted(m for m in mem.nodes if m != name)
+            assert node.alive_members() == others
+        # loss at these rates does cause suspicion; refutation cleared it
+        if mem.transitions("suspect"):
+            assert mem.transitions("refute") or mem.transitions("alive")
+
+    def test_one_way_partition_does_not_evict(self):
+        # m0 cannot reach m1, but m1 can reach m0 (and everyone can
+        # reach everyone else): indirect probes and gossip refutation
+        # must keep m1 in m0's view.
+        env, mem, _ = build_group(seed=4, n=4)
+        mem.run_for(2_000_000)
+        env.fabric.partition_oneway("m0", "m1")
+        mem.run_for(20_000_000)
+        assert mem.transitions("evict") == []
+        assert mem.node("m0").state_of("m1") in (ALIVE, SUSPECT)
+        assert mem.node("m0").is_live("m1")
+
+    def test_refutation_bumps_incarnation(self):
+        env, mem, _ = build_group(seed=5, n=3)
+        mem.run_for(2_000_000)
+        # forge a suspicion rumour about m2 and let gossip carry it
+        node = mem.node("m0")
+        with node.table.lock:
+            info = node.table.members["m2"]
+            info.state = SUSPECT
+            node.table.updates["m2"] = ["s", info.incarnation, 8]
+        mem.run_for(3_000_000)
+        refutes = mem.transitions("refute")
+        assert refutes and all(e[4] >= 2 for e in refutes)
+        assert mem.node("m0").state_of("m2") == ALIVE
+        assert mem.node("m0").members()["m2"][1] >= 2
+
+
+class TestRejoin:
+    def test_partitioned_member_rejoins_after_heal(self):
+        env, mem, _ = build_group(seed=6, n=4)
+        mem.run_for(2_000_000)
+        with_m3 = [n for n in mem.nodes if n != "m3"]
+        for name in with_m3:
+            env.fabric.partition("m3", name)
+        mem.run_for(eviction_bound_us(4, mem.config))
+        for name in with_m3:
+            assert mem.node(name).state_of("m3") == DEAD
+        env.fabric.heal_all()
+        mem.run_for(10_000_000)
+        for name in with_m3:
+            node = mem.node(name)
+            assert node.state_of("m3") == ALIVE, f"{name} never re-admitted m3"
+            # rejoin happened through a refutation incarnation bump
+            assert node.members()["m3"][1] >= 2
+        rejoins = mem.transitions("rejoin")
+        assert {e[1] for e in rejoins} >= set(with_m3)
+
+
+class TestDeterminism:
+    def run_scenario(self, seed: int) -> bytes:
+        env, mem, machines = build_group(seed=seed, n=4)
+        mem.run_for(2_000_000)
+        machines[3].crash()
+        mem.run_for(6_000_000)
+        return mem.event_log_bytes()
+
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_same_seed_replays_byte_identical_event_log(self, seed):
+        assert self.run_scenario(seed) == self.run_scenario(seed)
+
+    def test_different_seeds_probe_differently(self):
+        assert self.run_scenario(0) != self.run_scenario(9)
+
+
+class TestPrecedence:
+    """The `_overrides` partial order, straight from the SWIM paper."""
+
+    def test_alive_overrides_only_older_incarnations(self):
+        assert _overrides(ALIVE, 2, ALIVE, 1)
+        assert _overrides(ALIVE, 2, SUSPECT, 1)
+        assert _overrides(ALIVE, 2, DEAD, 1)  # the rejoin edge
+        assert not _overrides(ALIVE, 1, ALIVE, 1)
+        assert not _overrides(ALIVE, 1, SUSPECT, 1)
+        assert not _overrides(ALIVE, 1, DEAD, 1)
+
+    def test_suspect_ties_beat_alive_but_not_suspect(self):
+        assert _overrides(SUSPECT, 1, ALIVE, 1)
+        assert not _overrides(SUSPECT, 1, SUSPECT, 1)
+        assert _overrides(SUSPECT, 2, SUSPECT, 1)
+        assert not _overrides(SUSPECT, 5, DEAD, 1)  # never un-evicts
+
+    def test_dead_is_terminal_until_newer_alive(self):
+        assert _overrides(DEAD, 1, ALIVE, 1)
+        assert _overrides(DEAD, 1, SUSPECT, 1)
+        assert not _overrides(DEAD, 2, DEAD, 1)
+        assert not _overrides(DEAD, 0, ALIVE, 1)
